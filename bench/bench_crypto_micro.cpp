@@ -1,0 +1,172 @@
+// Ablation A1: crypto microbenchmarks grounding Table II and the
+// Section VII-A1 discussion — per-operation costs of everything the PoA
+// pipeline uses, on this host (absolute numbers differ from the Pi 3;
+// ratios are what matter: RSA-2048 sign >> RSA-1024 sign >> HMAC).
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/ecdsa.h"
+#include "crypto/hmac.h"
+#include "crypto/prime.h"
+#include "crypto/rsa.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace alidrone::crypto {
+namespace {
+
+const RsaKeyPair& key_for(std::size_t bits) {
+  static const RsaKeyPair k512 = [] {
+    DeterministicRandom rng("bench-512");
+    return generate_rsa_keypair(512, rng);
+  }();
+  static const RsaKeyPair k1024 = [] {
+    DeterministicRandom rng("bench-1024");
+    return generate_rsa_keypair(1024, rng);
+  }();
+  static const RsaKeyPair k2048 = [] {
+    DeterministicRandom rng("bench-2048");
+    return generate_rsa_keypair(2048, rng);
+  }();
+  switch (bits) {
+    case 512:
+      return k512;
+    case 1024:
+      return k1024;
+    default:
+      return k2048;
+  }
+}
+
+const Bytes& sample_bytes() {
+  static const Bytes sample(32, 0x5A);  // one canonical GPS sample
+  return sample;
+}
+
+void BM_RsaSign(benchmark::State& state) {
+  const RsaKeyPair& kp = key_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rsa_sign(kp.priv, sample_bytes(), HashAlgorithm::kSha1));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const RsaKeyPair& kp = key_for(static_cast<std::size_t>(state.range(0)));
+  const Bytes sig = rsa_sign(kp.priv, sample_bytes(), HashAlgorithm::kSha1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rsa_verify(kp.pub, sample_bytes(), sig, HashAlgorithm::kSha1));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaEncrypt(benchmark::State& state) {
+  const RsaKeyPair& kp = key_for(static_cast<std::size_t>(state.range(0)));
+  DeterministicRandom rng("bench-encrypt");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_encrypt(kp.pub, sample_bytes(), rng));
+  }
+}
+BENCHMARK(BM_RsaEncrypt)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaDecrypt(benchmark::State& state) {
+  const RsaKeyPair& kp = key_for(static_cast<std::size_t>(state.range(0)));
+  DeterministicRandom rng("bench-decrypt");
+  const Bytes ct = rsa_encrypt(kp.pub, sample_bytes(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_decrypt(kp.priv, ct));
+  }
+}
+BENCHMARK(BM_RsaDecrypt)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaKeygen(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    DeterministicRandom rng(seed++);
+    benchmark::DoNotOptimize(
+        generate_rsa_keypair(static_cast<std::size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_RsaKeygen)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_Sha1(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(32)->Arg(1024)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(32)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256::mac(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256)->Arg(32)->Arg(1024);
+
+void BM_ChaCha20(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes nonce(12, 0x22);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChaCha20::crypt(key, nonce, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(32)->Arg(4096);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  DeterministicRandom rng("bench-ecdsa");
+  const EcdsaKeyPair kp = ecdsa_generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_sign(kp.private_key, sample_bytes()));
+  }
+}
+BENCHMARK(BM_EcdsaSign)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  DeterministicRandom rng("bench-ecdsa");
+  const EcdsaKeyPair kp = ecdsa_generate(rng);
+  const EcdsaSignature sig = ecdsa_sign(kp.private_key, sample_bytes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_verify(kp.public_key, sample_bytes(), sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdsaKeygen(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    DeterministicRandom rng(seed++);
+    benchmark::DoNotOptimize(ecdsa_generate(rng));
+  }
+}
+BENCHMARK(BM_EcdsaKeygen)->Unit(benchmark::kMicrosecond);
+
+void BM_MillerRabin(benchmark::State& state) {
+  DeterministicRandom rng("bench-mr");
+  const BigInt prime = generate_prime(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_probable_prime(prime, rng, 16));
+  }
+}
+BENCHMARK(BM_MillerRabin)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace alidrone::crypto
+
+BENCHMARK_MAIN();

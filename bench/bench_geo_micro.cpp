@@ -1,0 +1,97 @@
+// Ablation A4: geometry microbenchmarks — the smallest-enclosing-circle
+// registration cost (Section VII-B2 claims linear time; Welzl is expected
+// linear) and the per-update cost of the alibi geometry primitives that
+// Algorithm 1 and the verifier run constantly.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/random.h"
+#include "geo/ellipse.h"
+#include "geo/ellipsoid.h"
+#include "geo/geopoint.h"
+#include "geo/polygon.h"
+
+namespace alidrone::geo {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, std::uint64_t seed) {
+  crypto::DeterministicRandom rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform_double() * 1000.0, rng.uniform_double() * 1000.0});
+  }
+  return pts;
+}
+
+void BM_SmallestEnclosingCircle(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smallest_enclosing_circle(pts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SmallestEnclosingCircle)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_FocalDisjointTest(benchmark::State& state) {
+  const TravelEllipse e({0, 0}, {100, 0}, 300.0);
+  const Circle z{{400, 150}, 50.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.focal_test_disjoint(z));
+  }
+}
+BENCHMARK(BM_FocalDisjointTest);
+
+void BM_ExactDisjointTest(benchmark::State& state) {
+  const TravelEllipse e({0, 0}, {100, 0}, 300.0);
+  const Circle z{{400, 150}, 50.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.exactly_disjoint(z));
+  }
+}
+BENCHMARK(BM_ExactDisjointTest);
+
+void BM_NearestZoneScan(benchmark::State& state) {
+  // The FindNearestZone step of Algorithm 1 over a residential-sized list.
+  const auto centers = random_points(static_cast<std::size_t>(state.range(0)), 13);
+  std::vector<Circle> zones;
+  zones.reserve(centers.size());
+  for (const Vec2 c : centers) zones.push_back({c, 6.1});
+  const Vec2 p1{500, 500};
+  const Vec2 p2{501, 500};
+  for (auto _ : state) {
+    double best = 1e300;
+    for (const Circle& z : zones) {
+      best = std::min(best, z.boundary_distance(p1) + z.boundary_distance(p2));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_NearestZoneScan)->Arg(94)->Arg(1000);
+
+void BM_Ellipsoid3dExactTest(benchmark::State& state) {
+  const TravelEllipsoid e({0, 0, 40}, {100, 0, 60}, 300.0);
+  const Cylinder z{{400, 150}, 50.0, 120.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.exactly_disjoint(z));
+  }
+}
+BENCHMARK(BM_Ellipsoid3dExactTest);
+
+void BM_HaversineDistance(benchmark::State& state) {
+  const GeoPoint a{40.1164, -88.2434};
+  const GeoPoint b{40.0393, -88.2781};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(haversine_distance(a, b));
+  }
+}
+BENCHMARK(BM_HaversineDistance);
+
+}  // namespace
+}  // namespace alidrone::geo
+
+BENCHMARK_MAIN();

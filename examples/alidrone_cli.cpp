@@ -1,0 +1,224 @@
+// alidrone_cli — command-line front end for the simulation stack.
+//
+//   alidrone_cli simulate  --scenario airport|residential
+//                          [--sampler adaptive|fixed] [--rate HZ]
+//                          [--mode rsa|hmac|batch] [--out FILE]
+//   alidrone_cli verify    --scenario airport|residential --poa FILE
+//   alidrone_cli preflight --scenario airport|residential [--key-bits N]
+//
+// `simulate` flies the scenario and writes the serialized Proof-of-Alibi
+// to FILE; `verify` reconstructs the same Auditor (deterministic seeds)
+// and renders a verdict on the file; `preflight` prints the feasibility
+// report. simulate+verify across two process invocations demonstrates
+// that the PoA file alone carries everything the Auditor needs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "core/preflight.h"
+#include "core/zone_owner.h"
+#include "geo/units.h"
+#include "sim/scenarios.h"
+
+using namespace alidrone;
+
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kKeyBits = 512;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      args.options[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  alidrone_cli simulate  --scenario airport|residential"
+               " [--sampler adaptive|fixed] [--rate HZ] [--mode rsa|hmac|batch]"
+               " [--out FILE]\n"
+               "  alidrone_cli verify    --scenario airport|residential --poa FILE\n"
+               "  alidrone_cli preflight --scenario airport|residential"
+               " [--key-bits N]\n");
+  return 2;
+}
+
+sim::Scenario load_scenario(const std::string& name) {
+  if (name == "airport") return sim::make_airport_scenario(kT0);
+  if (name == "residential") return sim::make_residential_scenario(kT0);
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+/// Deterministic world shared by `simulate` and `verify`: same seeds give
+/// the same Auditor keys and drone registration in both processes.
+struct World {
+  crypto::DeterministicRandom auditor_rng{std::string_view("cli-auditor")};
+  crypto::DeterministicRandom owner_rng{std::string_view("cli-owner")};
+  crypto::DeterministicRandom operator_rng{std::string_view("cli-operator")};
+  core::Auditor auditor;
+  core::ZoneOwner owner;
+  tee::DroneTee tee;
+  core::DroneClient client;
+  net::MessageBus bus;
+
+  explicit World(const sim::Scenario& scenario)
+      : auditor(kKeyBits, auditor_rng),
+        owner(kKeyBits, owner_rng),
+        tee([] {
+          tee::DroneTee::Config config;
+          config.key_bits = kKeyBits;
+          config.manufacturing_seed = "cli-device";
+          return config;
+        }()),
+        client(tee, kKeyBits, operator_rng) {
+    auditor.bind(bus);
+    if (!client.register_with_auditor(bus)) {
+      throw std::runtime_error("drone registration failed");
+    }
+    for (const geo::GeoZone& z : scenario.zones) {
+      owner.register_zone(bus, z, "zone");
+    }
+  }
+};
+
+int cmd_simulate(const Args& args) {
+  const sim::Scenario scenario = load_scenario(args.get("scenario", "airport"));
+  World world(scenario);
+
+  const double rate = std::stod(args.get("rate", "5"));
+  const std::string sampler_name = args.get("sampler", "adaptive");
+  const std::string mode_name = args.get("mode", "rsa");
+  const std::string out_path = args.get("out", "poa.bin");
+
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = scenario.route.start_time();
+  gps::GpsReceiverSim receiver(rc, scenario.route.as_position_source());
+
+  std::unique_ptr<core::SamplingPolicy> policy;
+  if (sampler_name == "adaptive") {
+    policy = std::make_unique<core::AdaptiveSampler>(
+        scenario.frame, scenario.local_zones(), geo::kFaaMaxSpeedMps, 5.0);
+  } else if (sampler_name == "fixed") {
+    policy = std::make_unique<core::FixedRateSampler>(rate, rc.start_time);
+  } else {
+    std::fprintf(stderr, "unknown sampler: %s\n", sampler_name.c_str());
+    return 2;
+  }
+
+  core::FlightConfig flight;
+  flight.end_time = scenario.route.end_time();
+  flight.frame = scenario.frame;
+  flight.local_zones = scenario.local_zones();
+  flight.auditor_encryption_key = world.auditor.encryption_key();
+  if (mode_name == "hmac") {
+    flight.auth_mode = core::AuthMode::kHmacSession;
+  } else if (mode_name == "batch") {
+    flight.auth_mode = core::AuthMode::kBatchSignature;
+  } else if (mode_name != "rsa") {
+    std::fprintf(stderr, "unknown mode: %s\n", mode_name.c_str());
+    return 2;
+  }
+
+  const core::ProofOfAlibi poa = world.client.fly(receiver, *policy, flight);
+  const crypto::Bytes bytes = poa.serialize();
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  std::printf("scenario    %s (%zu zones)\n", scenario.name.c_str(),
+              scenario.zones.size());
+  std::printf("sampler     %s\n", policy->name().c_str());
+  std::printf("mode        %s, samples encrypted for the Auditor\n",
+              core::to_string(poa.mode).c_str());
+  std::printf("flight      %.0f s, %llu GPS updates\n", scenario.route.duration(),
+              static_cast<unsigned long long>(world.client.last_flight().gps_updates));
+  std::printf("PoA         %zu samples, %zu bytes -> %s\n", poa.samples.size(),
+              bytes.size(), out_path.c_str());
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const sim::Scenario scenario = load_scenario(args.get("scenario", "airport"));
+  World world(scenario);
+
+  const std::string poa_path = args.get("poa", "poa.bin");
+  std::ifstream in(poa_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", poa_path.c_str());
+    return 1;
+  }
+  const crypto::Bytes bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+
+  const core::PoaVerdict verdict = world.auditor.verify_poa_bytes(bytes, kT0 + 3600);
+  std::printf("PoA file    %s (%zu bytes)\n", poa_path.c_str(), bytes.size());
+  std::printf("verdict     %s, %s\n", verdict.accepted ? "ACCEPTED" : "REJECTED",
+              verdict.compliant ? "COMPLIANT" : "NON-COMPLIANT");
+  std::printf("detail      %s (%u violations)\n", verdict.detail.c_str(),
+              verdict.violation_count);
+  return verdict.accepted && verdict.compliant ? 0 : 1;
+}
+
+int cmd_preflight(const Args& args) {
+  const sim::Scenario scenario = load_scenario(args.get("scenario", "airport"));
+  core::PreflightConfig config;
+  config.tee_key_bits = static_cast<std::size_t>(
+      std::stoul(args.get("key-bits", "1024")));
+  const core::PreflightReport report =
+      core::analyze_route(scenario.route, scenario.local_zones(), config);
+
+  std::printf("scenario            %s (%zu zones)\n", scenario.name.c_str(),
+              scenario.zones.size());
+  std::printf("min clearance       %.1f m at t+%.1f s\n", report.min_clearance_m,
+              report.min_clearance_time - scenario.route.start_time());
+  std::printf("required peak rate  %.2f Hz (GPS caps at %.1f Hz)\n",
+              report.required_peak_rate_hz, config.gps_rate_hz);
+  std::printf("estimated samples   %zu\n", report.estimated_samples);
+  std::printf("route avoids zones  %s\n", report.route_avoids_zones ? "yes" : "NO");
+  std::printf("gps rate sufficient %s\n", report.gps_rate_sufficient ? "yes" : "NO");
+  std::printf("tee keeps up        %s (%zu-bit key)\n",
+              report.tee_can_keep_up ? "yes" : "NO", config.tee_key_bits);
+  std::printf("=> %s\n", report.feasible() ? "FEASIBLE" : "NOT FEASIBLE");
+  return report.feasible() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "verify") return cmd_verify(args);
+    if (args.command == "preflight") return cmd_preflight(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

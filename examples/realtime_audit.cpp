@@ -1,0 +1,101 @@
+// Real-time auditing (paper Section IV-B, the deferred alternative):
+// the drone streams each TEE-signed sample to the Auditor as it is
+// recorded; the Auditor verifies incrementally and raises the violation
+// the moment a rogue detour happens — at a measurable battery premium
+// over the paper's end-of-flight submission.
+#include <cstdio>
+
+#include "core/flight.h"
+#include "core/sampler.h"
+#include "core/streaming.h"
+#include "geo/units.h"
+#include "net/codec.h"
+#include "sim/scenarios.h"
+#include "tee/secure_monitor.h"
+
+using namespace alidrone;
+
+int main() {
+  std::printf("AliDrone real-time audit\n========================\n\n");
+  constexpr double kT0 = 1528400000.0;
+
+  const sim::Scenario scenario = sim::make_residential_scenario(kT0);
+  tee::DroneTee::Config tee_config;
+  tee_config.key_bits = 512;
+  tee_config.manufacturing_seed = "realtime-device";
+  tee::DroneTee drone_tee(tee_config);
+
+  // A rogue flight: the drone follows the route but dips into house #10's
+  // zone between t+40s and t+45s.
+  const geo::GeoZone target = scenario.zones[10];
+  gps::PositionSource source =
+      [base = scenario.route.as_position_source(), target, kT0](double t) {
+        gps::GpsFix f = base(t);
+        if (t - kT0 > 40.0 && t - kT0 < 45.0) f.position = target.center;
+        return f;
+      };
+
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = scenario.route.start_time();
+  gps::GpsReceiverSim receiver(rc, std::move(source));
+
+  core::AdaptiveSampler policy(scenario.frame, scenario.local_zones(),
+                               geo::kFaaMaxSpeedMps, 5.0);
+  core::FlightConfig config;
+  config.end_time = scenario.route.end_time();
+  config.frame = scenario.frame;
+  config.local_zones = scenario.local_zones();
+  const core::FlightResult flight = core::run_flight(drone_tee, receiver, policy, config);
+
+  // Replay the flight's recorded samples through the streaming pipeline.
+  net::MessageBus bus;
+  core::StreamingVerifier verifier(drone_tee.verification_key(),
+                                   crypto::HashAlgorithm::kSha1, scenario.zones,
+                                   geo::kFaaMaxSpeedMps);
+  bool first_violation_reported = false;
+  bus.register_endpoint("auditor.stream", [&](const crypto::Bytes& payload) {
+    net::Reader r(payload);
+    const auto count = r.u32();
+    for (std::uint32_t i = 0; count && i < *count; ++i) {
+      const auto blob = r.bytes();
+      if (!blob) break;
+      net::Reader inner(*blob);
+      auto sample = inner.bytes();
+      auto signature = inner.bytes();
+      if (!sample || !signature) break;
+      const auto status = verifier.ingest({*sample, *signature});
+      if (!first_violation_reported &&
+          (status == core::StreamingVerifier::SampleStatus::kInsideZone ||
+           status == core::StreamingVerifier::SampleStatus::kInsufficientPair)) {
+        first_violation_reported = true;
+        std::printf("[auditor]  LIVE ALERT at t+%.1f s: %s\n",
+                    *verifier.last_time() - kT0,
+                    status == core::StreamingVerifier::SampleStatus::kInsideZone
+                        ? "drone inside an NFZ"
+                        : "alibi gap near an NFZ");
+      }
+    }
+    return crypto::Bytes{};
+  });
+
+  core::StreamingUplink uplink(bus, "auditor.stream");
+  for (const core::SignedSample& s : flight.poa_samples) uplink.send(s);
+
+  std::printf("[drone]    streamed %zu samples in %zu transmissions\n",
+              flight.poa_samples.size(), uplink.transmissions());
+  std::printf("[auditor]  accepted %zu samples, %zu violation(s) — flight %s\n",
+              verifier.accepted(), verifier.violations(),
+              verifier.compliant_so_far() ? "COMPLIANT" : "NON-COMPLIANT");
+
+  const double streaming_j = uplink.energy_joules();
+  const double batch_j = uplink.batch_upload_energy_j(
+      flight.poa_samples.size(), 32, flight.poa_samples[0].signature.size());
+  std::printf("\nradio energy: %.2f J streamed vs %.3f J as one upload (%.0fx)\n",
+              streaming_j, batch_j, streaming_j / batch_j);
+  std::printf("-> the paper's Goal G2 rationale for end-of-flight submission,\n"
+              "   quantified; streaming buys detection within seconds instead.\n");
+
+  // This flight was rogue: the demo succeeds iff the violation was caught.
+  return !verifier.compliant_so_far() && first_violation_reported ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Route planner demo (paper Section IV-B step 2-3): after the zone query,
+// the drone computes a viable route around the returned NFZs. Renders a
+// small ASCII map of the zones and the planned path.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "geo/circle.h"
+#include "sim/planner.h"
+
+using namespace alidrone;
+
+namespace {
+
+void render_ascii(const std::vector<geo::Circle>& zones,
+                  const std::vector<geo::Vec2>& path, double extent) {
+  constexpr int kCols = 72;
+  constexpr int kRows = 28;
+  std::vector<std::string> grid(kRows, std::string(kCols, '.'));
+
+  const auto to_cell = [&](geo::Vec2 p) {
+    const int col = static_cast<int>((p.x / extent) * (kCols - 1));
+    const int row =
+        (kRows - 1) - static_cast<int>(((p.y + extent / 2) / extent) * (kRows - 1));
+    return std::pair<int, int>{row, col};
+  };
+  const auto in_bounds = [&](int r, int c) {
+    return r >= 0 && r < kRows && c >= 0 && c < kCols;
+  };
+
+  // Zones.
+  for (int r = 0; r < kRows; ++r) {
+    for (int c = 0; c < kCols; ++c) {
+      const geo::Vec2 p{extent * c / (kCols - 1),
+                        (extent * (kRows - 1 - r)) / (kRows - 1) - extent / 2};
+      for (const geo::Circle& z : zones) {
+        if (z.contains(p)) {
+          grid[r][c] = '#';
+          break;
+        }
+      }
+    }
+  }
+
+  // Path: dense interpolation between waypoints.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const geo::Vec2 a = path[i - 1];
+    const geo::Vec2 b = path[i];
+    const int steps = 200;
+    for (int s = 0; s <= steps; ++s) {
+      const geo::Vec2 p = a + (b - a) * (static_cast<double>(s) / steps);
+      const auto [r, c] = to_cell(p);
+      if (in_bounds(r, c)) grid[r][c] = '*';
+    }
+  }
+  if (!path.empty()) {
+    const auto [r0, c0] = to_cell(path.front());
+    const auto [r1, c1] = to_cell(path.back());
+    if (in_bounds(r0, c0)) grid[r0][c0] = 'S';
+    if (in_bounds(r1, c1)) grid[r1][c1] = 'G';
+  }
+
+  for (const std::string& row : grid) std::printf("  %s\n", row.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("AliDrone route planner demo\n===========================\n\n");
+
+  // A zone field the Auditor returned for the flight rectangle.
+  const std::vector<geo::Circle> zones{
+      {{250, 40}, 70.0},  {{450, -60}, 60.0}, {{650, 50}, 80.0},
+      {{850, -30}, 55.0}, {{520, 160}, 50.0}, {{380, -190}, 65.0},
+  };
+  const geo::Vec2 start{0, 0};
+  const geo::Vec2 goal{1100, 0};
+
+  const sim::PlanResult direct_check = sim::plan_route(start, goal, {});
+  const sim::PlanResult plan = sim::plan_route(start, goal, zones);
+  if (!plan.found) {
+    std::printf("no route found\n");
+    return 1;
+  }
+
+  std::printf("zones: %zu   direct distance: %.0f m   planned route: %.0f m "
+              "(+%.1f%% detour)\n\n",
+              zones.size(), direct_check.length_m, plan.length_m,
+              100.0 * (plan.length_m / direct_check.length_m - 1.0));
+  std::printf("  legend: S start, G goal, * path, # no-fly-zone\n\n");
+  render_ascii(zones, plan.path, 1150.0);
+
+  std::printf("\nwaypoints (%zu):\n", plan.path.size());
+  for (const geo::Vec2 p : plan.path) {
+    std::printf("  (%7.1f, %7.1f)\n", p.x, p.y);
+  }
+  std::printf("\ncollision-free: %s (with the planner's 15 m clearance margin)\n",
+              sim::path_is_collision_free(plan.path, zones) ? "yes" : "NO");
+  return sim::path_is_collision_free(plan.path, zones) ? 0 : 1;
+}

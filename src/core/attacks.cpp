@@ -1,0 +1,65 @@
+#include "core/attacks.h"
+
+#include <algorithm>
+
+#include "tee/sample_codec.h"
+
+namespace alidrone::core::attacks {
+
+ProofOfAlibi forge_trace(const DroneId& drone_id,
+                         const std::vector<gps::GpsFix>& fake_route,
+                         crypto::HashAlgorithm hash, std::size_t key_bits,
+                         crypto::RandomSource& rng) {
+  const crypto::RsaKeyPair attacker_key = crypto::generate_rsa_keypair(key_bits, rng);
+
+  ProofOfAlibi poa;
+  poa.drone_id = drone_id;
+  poa.mode = AuthMode::kRsaPerSample;
+  poa.hash = hash;
+  poa.samples.reserve(fake_route.size());
+  for (const gps::GpsFix& fix : fake_route) {
+    const crypto::Bytes sample = tee::encode_sample(fix);
+    crypto::Bytes signature = crypto::rsa_sign(attacker_key.priv, sample, hash);
+    poa.samples.push_back({sample, std::move(signature)});
+  }
+  return poa;
+}
+
+ProofOfAlibi relay(const ProofOfAlibi& other, const DroneId& my_drone_id) {
+  ProofOfAlibi poa = other;
+  poa.drone_id = my_drone_id;
+  return poa;
+}
+
+ProofOfAlibi tamper_position(const ProofOfAlibi& poa, std::size_t index,
+                             geo::GeoPoint new_position) {
+  ProofOfAlibi out = poa;
+  if (index >= out.samples.size()) return out;
+  auto fix = out.samples[index].fix();
+  if (!fix) return out;
+  fix->position = new_position;
+  out.samples[index].sample = tee::encode_sample(*fix);  // signature untouched
+  return out;
+}
+
+ProofOfAlibi tamper_time(const ProofOfAlibi& poa, std::size_t index,
+                         double delta_seconds) {
+  ProofOfAlibi out = poa;
+  if (index >= out.samples.size()) return out;
+  auto fix = out.samples[index].fix();
+  if (!fix) return out;
+  fix->unix_time += delta_seconds;
+  out.samples[index].sample = tee::encode_sample(*fix);
+  return out;
+}
+
+ProofOfAlibi drop_samples(const ProofOfAlibi& poa, std::size_t from, std::size_t to) {
+  ProofOfAlibi out = poa;
+  if (from >= to || from >= out.samples.size()) return out;
+  const std::size_t end = std::min(to, out.samples.size());
+  out.samples.erase(out.samples.begin() + static_cast<std::ptrdiff_t>(from),
+                    out.samples.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+}  // namespace alidrone::core::attacks

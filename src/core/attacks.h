@@ -1,0 +1,49 @@
+// GPS forgery attack library (paper Section III-B).
+//
+// Implements the dishonest Drone Operator's moves so tests and demos can
+// show each one being rejected by the Auditor:
+//  - forge_trace:   fabricate an innocuous route and sign it with a key
+//                   the attacker generated (T- is unreachable, so this is
+//                   the best they can do);
+//  - relay:         present another drone's honest PoA as this drone's;
+//  - tamper_*:      modify samples of an honestly generated PoA;
+//  - drop_samples:  cut out the window where the drone entered a zone
+//                   (creates an insufficient gap, eq. (1) catches it);
+//  - replay is resubmitting a stored PoA verbatim — no helper needed; the
+//    accusation path shows why it fails (wrong flight window).
+#pragma once
+
+#include <vector>
+
+#include "core/poa.h"
+#include "crypto/random.h"
+#include "gps/fix.h"
+
+namespace alidrone::core::attacks {
+
+/// Fabricate a PoA over `fake_route` signed by a fresh attacker keypair
+/// (the operator cannot extract T-). Verification against the registered
+/// T+ must fail.
+ProofOfAlibi forge_trace(const DroneId& drone_id,
+                         const std::vector<gps::GpsFix>& fake_route,
+                         crypto::HashAlgorithm hash, std::size_t key_bits,
+                         crypto::RandomSource& rng);
+
+/// Rebrand another drone's honest PoA with this drone's id. Signatures
+/// were made by the other drone's TEE, so verification against this
+/// drone's registered T+ must fail.
+ProofOfAlibi relay(const ProofOfAlibi& other, const DroneId& my_drone_id);
+
+/// Move sample `index` to `new_position` without re-signing.
+ProofOfAlibi tamper_position(const ProofOfAlibi& poa, std::size_t index,
+                             geo::GeoPoint new_position);
+
+/// Shift sample `index`'s timestamp by `delta_seconds` without re-signing.
+ProofOfAlibi tamper_time(const ProofOfAlibi& poa, std::size_t index,
+                         double delta_seconds);
+
+/// Remove samples [from, to); signatures stay valid but the time gap
+/// makes the alibi insufficient near any zone the drone approached.
+ProofOfAlibi drop_samples(const ProofOfAlibi& poa, std::size_t from, std::size_t to);
+
+}  // namespace alidrone::core::attacks

@@ -1,0 +1,153 @@
+#include "core/audit_log.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace alidrone::core {
+
+std::string to_string(AuditEventType type) {
+  switch (type) {
+    case AuditEventType::kDroneRegistered:
+      return "drone-registered";
+    case AuditEventType::kZoneRegistered:
+      return "zone-registered";
+    case AuditEventType::kZoneQuery:
+      return "zone-query";
+    case AuditEventType::kPoaVerdict:
+      return "poa-verdict";
+    case AuditEventType::kAccusation:
+      return "accusation";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::optional<AuditEventType> type_from_string(const std::string& s) {
+  for (const auto type :
+       {AuditEventType::kDroneRegistered, AuditEventType::kZoneRegistered,
+        AuditEventType::kZoneQuery, AuditEventType::kPoaVerdict,
+        AuditEventType::kAccusation}) {
+    if (to_string(type) == s) return type;
+  }
+  return std::nullopt;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '|' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Split on unescaped '|' and unescape fields.
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields{""};
+  bool escaped = false;
+  for (const char c : line) {
+    if (escaped) {
+      fields.back().push_back(c == 'n' ? '\n' : c);
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == '|') {
+      fields.emplace_back();
+    } else {
+      fields.back().push_back(c);
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::string AuditEvent::to_line() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << time << '|' << to_string(type) << '|' << escape(subject) << '|'
+      << (outcome_ok ? 1 : 0) << '|' << escape(detail);
+  return out.str();
+}
+
+std::optional<AuditEvent> AuditEvent::from_line(const std::string& line) {
+  const std::vector<std::string> fields = split_fields(line);
+  if (fields.size() != 5) return std::nullopt;
+
+  AuditEvent event;
+  try {
+    event.time = std::stod(fields[0]);
+  } catch (...) {
+    return std::nullopt;
+  }
+  const auto type = type_from_string(fields[1]);
+  if (!type) return std::nullopt;
+  event.type = *type;
+  event.subject = fields[2];
+  if (fields[3] != "0" && fields[3] != "1") return std::nullopt;
+  event.outcome_ok = fields[3] == "1";
+  event.detail = fields[4];
+  return event;
+}
+
+AuditLog::AuditLog(const std::filesystem::path& path) {
+  sink_.emplace(path, std::ios::app);
+  if (!*sink_) throw std::runtime_error("AuditLog: cannot open " + path.string());
+}
+
+void AuditLog::record(AuditEvent event) {
+  if (sink_) {
+    *sink_ << event.to_line() << '\n';
+    sink_->flush();
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<AuditEvent> AuditLog::by_type(AuditEventType type) const {
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<AuditEvent> AuditLog::by_subject(const std::string& subject) const {
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.subject == subject) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<AuditEvent> AuditLog::in_window(double from_time, double to_time) const {
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.time >= from_time && e.time <= to_time) out.push_back(e);
+  }
+  return out;
+}
+
+AuditLog AuditLog::replay(const std::filesystem::path& path,
+                          std::size_t* corrupt_lines) {
+  AuditLog log;
+  std::ifstream in(path);
+  std::string line;
+  std::size_t corrupt = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto event = AuditEvent::from_line(line)) {
+      log.events_.push_back(std::move(*event));
+    } else {
+      ++corrupt;
+    }
+  }
+  if (corrupt_lines != nullptr) *corrupt_lines = corrupt;
+  return log;
+}
+
+}  // namespace alidrone::core

@@ -1,0 +1,66 @@
+// Append-only audit log for the AliDrone server.
+//
+// An Auditor is itself an accountable party: registrations, verdicts and
+// accusations are legal events that regulators (and accused operators)
+// will want replayed. AuditLog records them append-only in memory with an
+// optional line-oriented file sink, and supports filtered queries.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alidrone::core {
+
+enum class AuditEventType : std::uint8_t {
+  kDroneRegistered,
+  kZoneRegistered,
+  kZoneQuery,
+  kPoaVerdict,
+  kAccusation,
+};
+
+std::string to_string(AuditEventType type);
+
+struct AuditEvent {
+  double time = 0.0;           ///< protocol time of the event
+  AuditEventType type = AuditEventType::kDroneRegistered;
+  std::string subject;         ///< drone or zone id
+  std::string detail;
+  bool outcome_ok = false;     ///< accepted/compliant/granted
+
+  /// One-line serialization: "time|type|subject|ok|detail".
+  std::string to_line() const;
+  static std::optional<AuditEvent> from_line(const std::string& line);
+};
+
+class AuditLog {
+ public:
+  AuditLog() = default;
+
+  /// Also append each event to `path` (line per event, flushed).
+  explicit AuditLog(const std::filesystem::path& path);
+
+  void record(AuditEvent event);
+
+  const std::vector<AuditEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  std::vector<AuditEvent> by_type(AuditEventType type) const;
+  std::vector<AuditEvent> by_subject(const std::string& subject) const;
+  std::vector<AuditEvent> in_window(double from_time, double to_time) const;
+
+  /// Load a previously written file sink back into memory (corrupt lines
+  /// are skipped and counted).
+  static AuditLog replay(const std::filesystem::path& path,
+                         std::size_t* corrupt_lines = nullptr);
+
+ private:
+  std::vector<AuditEvent> events_;
+  std::optional<std::ofstream> sink_;
+};
+
+}  // namespace alidrone::core

@@ -1,0 +1,457 @@
+#include "core/auditor.h"
+
+#include "core/thinning.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+#include "net/codec.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::core {
+
+namespace {
+constexpr std::size_t kMinNonceBytes = 16;
+}
+
+Auditor::Auditor(std::size_t key_bits, crypto::RandomSource& rng, ProtocolParams params)
+    : keypair_(crypto::generate_rsa_keypair(key_bits, rng)), params_(params) {}
+
+bool Auditor::note_nonce(const crypto::Bytes& nonce) {
+  if (seen_nonces_.contains(nonce)) return false;
+  seen_nonces_.insert(nonce);
+  nonce_order_.push_back(nonce);
+  while (nonce_order_.size() > params_.nonce_cache_size) {
+    seen_nonces_.erase(nonce_order_.front());
+    nonce_order_.pop_front();
+  }
+  return true;
+}
+
+void Auditor::attach_registry(std::shared_ptr<RegistryStore> registry) {
+  registry_ = std::move(registry);
+  if (registry_ == nullptr) return;
+  if (const auto snapshot = registry_->load()) {
+    drones_ = snapshot->drones;
+    zones_ = snapshot->zones;
+    next_drone_number_ = snapshot->next_drone_number;
+    next_zone_number_ = snapshot->next_zone_number;
+    zone_index_ = ZoneIndex();
+    for (const auto& [id, record] : zones_) zone_index_.insert(id, record.zone);
+  }
+}
+
+void Auditor::audit(double time, AuditEventType type, const std::string& subject,
+                    bool ok, const std::string& detail) const {
+  if (audit_ == nullptr) return;
+  AuditEvent event;
+  event.time = time;
+  event.type = type;
+  event.subject = subject;
+  event.outcome_ok = ok;
+  event.detail = detail;
+  audit_->record(std::move(event));
+}
+
+void Auditor::persist_registry() const {
+  if (registry_ == nullptr) return;
+  RegistryStore::Snapshot snapshot;
+  snapshot.drones = drones_;
+  snapshot.zones = zones_;
+  snapshot.next_drone_number = next_drone_number_;
+  snapshot.next_zone_number = next_zone_number_;
+  registry_->save(snapshot);
+}
+
+RegisterDroneResponse Auditor::register_drone(const RegisterDroneRequest& request) {
+  const crypto::RsaPublicKey op_key = request.operator_key();
+  const crypto::RsaPublicKey tee_key = request.tee_key();
+  if (op_key.modulus_bits() < 512 || tee_key.modulus_bits() < 512) return {};
+
+  // One identity per TEE key: re-registering the same hardware under a new
+  // operator key would let an attacker shed accusations.
+  for (const auto& [id, record] : drones_) {
+    if (record.tee_key == tee_key) return {};
+  }
+
+  DroneId id = "drone-" + std::to_string(next_drone_number_++);
+  drones_[id] = DroneRecord{id, op_key, tee_key};
+  persist_registry();
+  audit(0.0, AuditEventType::kDroneRegistered, id, true, "D+ and T+ on file");
+  return {true, std::move(id)};
+}
+
+RegisterZoneResponse Auditor::register_zone(const RegisterZoneRequest& request) {
+  if (request.zone.radius_m <= 0.0) return {};
+  if (std::abs(request.zone.center.lat_deg) > 90.0 ||
+      std::abs(request.zone.center.lon_deg) > 180.0) {
+    return {};
+  }
+  crypto::RsaPublicKey owner_key{crypto::BigInt::from_bytes(request.owner_key_n),
+                                 crypto::BigInt::from_bytes(request.owner_key_e)};
+  if (owner_key.modulus_bits() < 512) return {};
+
+  // Proof of ownership: the owner's signature over the zone coordinates.
+  if (!crypto::rsa_verify(owner_key, request.signed_payload(),
+                          request.proof_signature,
+                          crypto::HashAlgorithm::kSha256)) {
+    return {};
+  }
+
+  ZoneId id = "zone-" + std::to_string(next_zone_number_++);
+  zones_[id] = ZoneRecord{id, request.zone, owner_key, request.description, {}};
+  zone_index_.insert(id, request.zone);
+  persist_registry();
+  audit(0.0, AuditEventType::kZoneRegistered, id, true, request.description);
+  return {true, std::move(id)};
+}
+
+RegisterZoneResponse Auditor::register_zone_3d(const RegisterZoneRequest& request,
+                                               double ceiling_m) {
+  if (ceiling_m <= 0.0) return {};
+  RegisterZoneResponse response = register_zone(request);
+  if (response.ok) {
+    zones_[response.zone_id].ceiling_m = ceiling_m;
+    persist_registry();  // re-snapshot with the ceiling included
+  }
+  return response;
+}
+
+RegisterZoneResponse Auditor::register_polygon_zone(
+    const std::vector<geo::GeoPoint>& vertices,
+    const crypto::RsaPublicKey& owner_key, const crypto::Bytes& proof_signature,
+    const std::string& description) {
+  if (vertices.size() < 3) return {};
+  if (owner_key.modulus_bits() < 512) return {};
+
+  // Ownership is proven over the polygon itself.
+  if (!crypto::rsa_verify(owner_key, polygon_zone_payload(vertices, description),
+                          proof_signature, crypto::HashAlgorithm::kSha256)) {
+    return {};
+  }
+
+  // Project into a frame at the first vertex, solve the smallest circle
+  // problem, and register the covering circle (Section VII-B2).
+  const geo::LocalFrame frame(vertices.front());
+  std::vector<geo::Vec2> pts;
+  pts.reserve(vertices.size());
+  for (const geo::GeoPoint& v : vertices) pts.push_back(frame.to_local(v));
+  const geo::Circle cover = geo::smallest_enclosing_circle(pts);
+
+  ZoneId id = "zone-" + std::to_string(next_zone_number_++);
+  const geo::GeoZone covering{frame.to_geo(cover.center), cover.radius};
+  zones_[id] = ZoneRecord{id, covering, owner_key, description, {}};
+  zone_index_.insert(id, covering);
+  persist_registry();
+  return {true, std::move(id)};
+}
+
+ZoneQueryResponse Auditor::query_zones(const ZoneQueryRequest& request) {
+  const auto it = drones_.find(request.drone_id);
+  if (it == drones_.end()) return {false, "unknown drone", {}};
+  if (request.nonce.size() < kMinNonceBytes) return {false, "nonce too short", {}};
+
+  if (!crypto::rsa_verify(it->second.operator_key, request.nonce,
+                          request.nonce_signature, crypto::HashAlgorithm::kSha256)) {
+    return {false, "bad nonce signature", {}};
+  }
+  if (!note_nonce(request.nonce)) return {false, "replayed nonce", {}};
+
+  ZoneQueryResponse response;
+  response.ok = true;
+  for (const ZoneId& id : zone_index_.query_rect(request.rect)) {
+    response.zones.push_back({id, zones_.at(id).zone});
+  }
+  audit(0.0, AuditEventType::kZoneQuery, request.drone_id, true,
+        std::to_string(response.zones.size()) + " zones returned");
+  return response;
+}
+
+std::vector<geo::GeoZone> Auditor::all_zone_shapes() const {
+  std::vector<geo::GeoZone> out;
+  out.reserve(zones_.size());
+  for (const auto& [id, record] : zones_) out.push_back(record.zone);
+  return out;
+}
+
+std::vector<geo::GeoZone> Auditor::planar_zone_shapes() const {
+  std::vector<geo::GeoZone> out;
+  for (const auto& [id, record] : zones_) {
+    if (!record.ceiling_m) out.push_back(record.zone);
+  }
+  return out;
+}
+
+std::vector<geo::GeoZone3> Auditor::cylinder_zone_shapes() const {
+  std::vector<geo::GeoZone3> out;
+  for (const auto& [id, record] : zones_) {
+    if (record.ceiling_m) {
+      out.push_back({record.zone.center, record.zone.radius_m, *record.ceiling_m});
+    }
+  }
+  return out;
+}
+
+std::string Auditor::authenticate_samples(const ProofOfAlibi& poa,
+                                          const DroneRecord& drone,
+                                          std::vector<gps::GpsFix>& out_samples) const {
+  // Mode-specific key material checks first.
+  crypto::Bytes hmac_key;
+  if (poa.mode == AuthMode::kHmacSession) {
+    if (!crypto::rsa_verify(drone.tee_key, poa.session_key_ciphertext,
+                            poa.session_key_signature, poa.hash)) {
+      return "session key signature invalid";
+    }
+    const auto key = crypto::rsa_decrypt(keypair_.priv, poa.session_key_ciphertext);
+    if (!key || key->size() != 32) return "session key unreadable";
+    hmac_key = *key;
+  }
+
+  crypto::Bytes batch_payload;
+  out_samples.clear();
+  out_samples.reserve(poa.samples.size());
+
+  for (std::size_t i = 0; i < poa.samples.size(); ++i) {
+    const SignedSample& s = poa.samples[i];
+
+    crypto::Bytes plain = s.sample;
+    if (poa.encrypted) {
+      const auto decrypted = crypto::rsa_decrypt(keypair_.priv, s.sample);
+      if (!decrypted) return "sample " + std::to_string(i) + " undecryptable";
+      plain = *decrypted;
+    }
+    const auto fix = tee::decode_sample(plain);
+    if (!fix) return "sample " + std::to_string(i) + " malformed";
+
+    switch (poa.mode) {
+      case AuthMode::kRsaPerSample:
+        if (!crypto::rsa_verify(drone.tee_key, plain, s.signature, poa.hash)) {
+          return "sample " + std::to_string(i) + " signature invalid";
+        }
+        break;
+      case AuthMode::kHmacSession: {
+        const auto tag = crypto::HmacSha256::mac(hmac_key, plain);
+        if (s.signature.size() != tag.size() ||
+            !crypto::constant_time_equal(s.signature, tag)) {
+          return "sample " + std::to_string(i) + " MAC invalid";
+        }
+        break;
+      }
+      case AuthMode::kBatchSignature:
+        batch_payload.insert(batch_payload.end(), plain.begin(), plain.end());
+        break;
+    }
+    out_samples.push_back(*fix);
+  }
+
+  if (poa.mode == AuthMode::kBatchSignature) {
+    if (poa.samples.empty()) return "empty batch";
+    if (!crypto::rsa_verify(drone.tee_key, batch_payload, poa.batch_signature,
+                            poa.hash)) {
+      return "batch signature invalid";
+    }
+  }
+  return "";
+}
+
+PoaVerdict Auditor::verify_poa(const ProofOfAlibi& poa, double submission_time) {
+  PoaVerdict verdict;
+  const auto drone_it = drones_.find(poa.drone_id);
+  if (drone_it == drones_.end()) {
+    verdict.detail = "unknown drone";
+    return verdict;
+  }
+  if (poa.samples.empty()) {
+    verdict.detail = "empty PoA";
+    return verdict;
+  }
+
+  std::vector<gps::GpsFix> samples;
+  const std::string failure = authenticate_samples(poa, drone_it->second, samples);
+  if (!failure.empty()) {
+    verdict.detail = failure;
+    return verdict;
+  }
+  verdict.accepted = true;
+
+  // Planar zones use the paper's eq. (1); cylinder zones (the Section
+  // VII-B1 extension) use the altitude-aware ellipsoid check.
+  const SufficiencyReport planar =
+      check_sufficiency(samples, planar_zone_shapes(), params_.vmax_mps);
+  if (!planar.well_formed) {
+    verdict.accepted = false;
+    verdict.detail = "samples not time-ordered";
+    return verdict;
+  }
+  const auto cylinders = cylinder_zone_shapes();
+  SufficiencyReport volumetric;
+  volumetric.well_formed = true;
+  volumetric.sufficient = true;
+  if (!cylinders.empty()) {
+    volumetric = check_sufficiency_3d(samples, cylinders, params_.vmax_mps);
+  }
+
+  verdict.compliant = planar.sufficient && volumetric.sufficient;
+  verdict.violation_count = static_cast<std::uint32_t>(planar.violations.size() +
+                                                       volumetric.violations.size());
+  verdict.detail = verdict.compliant ? "sufficient alibi" : "insufficient alibi";
+
+  // Retain for later accusations (Section IV-C2) — in memory and, when a
+  // store is attached, durably on disk. Optionally thinned first: the
+  // minimal sufficient witness answers accusations just as well.
+  ProofOfAlibi to_retain = poa;
+  std::vector<gps::GpsFix> retained_samples = std::move(samples);
+  if (params_.thin_before_retention) {
+    to_retain = thin_poa(poa, all_zone_shapes(), params_.vmax_mps);
+    if (to_retain.samples.size() < poa.samples.size()) {
+      retained_samples.clear();
+      for (const SignedSample& s : to_retain.samples) {
+        if (const auto f = s.fix()) retained_samples.push_back(*f);
+      }
+    }
+  }
+  if (store_ != nullptr) store_->save(poa.drone_id, submission_time, to_retain);
+  RetainedPoa retained;
+  retained.submission_time = submission_time;
+  retained.poa = std::move(to_retain);
+  retained.samples = std::move(retained_samples);
+  retained_[poa.drone_id].push_back(std::move(retained));
+  audit(submission_time, AuditEventType::kPoaVerdict, poa.drone_id,
+        verdict.compliant, verdict.detail);
+  return verdict;
+}
+
+PoaVerdict Auditor::verify_poa_bytes(std::span<const std::uint8_t> poa_bytes,
+                                     double submission_time) {
+  const auto poa = ProofOfAlibi::parse(poa_bytes);
+  if (!poa) {
+    PoaVerdict verdict;
+    verdict.detail = "unparseable PoA";
+    return verdict;
+  }
+  return verify_poa(*poa, submission_time);
+}
+
+AccusationResponse Auditor::handle_accusation(const AccusationRequest& request) {
+  const auto zone_it = zones_.find(request.zone_id);
+  if (zone_it == zones_.end()) return {false, false, "unknown zone"};
+  if (!drones_.contains(request.drone_id)) return {false, false, "unknown drone"};
+
+  // Only the Zone Owner can accuse for her zone.
+  if (!crypto::rsa_verify(zone_it->second.owner_key, request.signed_payload(),
+                          request.owner_signature, crypto::HashAlgorithm::kSha256)) {
+    return {false, false, "bad owner signature"};
+  }
+
+  const auto finish = [&](AccusationResponse response) {
+    audit(request.incident_time, AuditEventType::kAccusation, request.drone_id,
+          response.alibi_holds, response.detail);
+    return response;
+  };
+
+  // The burden of proof rests on the operator: find a retained PoA whose
+  // flight window covers the incident and whose samples around the
+  // incident time prove non-entrance to this zone.
+  const auto retained_it = retained_.find(request.drone_id);
+  if (retained_it != retained_.end()) {
+    for (const RetainedPoa& r : retained_it->second) {
+      if (const auto response =
+              adjudicate(r.samples, zone_it->second, request.incident_time)) {
+        return finish(*response);
+      }
+    }
+  }
+
+  // Fall back to the durable store (survives Auditor restarts). Stored
+  // PoAs must be re-authenticated: the disk is part of the trust base but
+  // the samples still carry their TEE signatures, so re-checking is cheap
+  // insurance against tampered storage.
+  if (store_ != nullptr) {
+    const auto drone_it = drones_.find(request.drone_id);
+    for (const PoaStore::StoredPoa& stored :
+         store_->load_for_drone(request.drone_id)) {
+      std::vector<gps::GpsFix> samples;
+      if (drone_it == drones_.end() ||
+          !authenticate_samples(stored.poa, drone_it->second, samples).empty()) {
+        continue;
+      }
+      if (const auto response =
+              adjudicate(samples, zone_it->second, request.incident_time)) {
+        return finish(*response);
+      }
+    }
+  }
+  return finish({true, false, "no PoA covers the incident time"});
+}
+
+std::optional<AccusationResponse> Auditor::adjudicate(
+    const std::vector<gps::GpsFix>& samples, const ZoneRecord& zone,
+    double incident_time) const {
+  if (samples.empty()) return std::nullopt;
+  if (incident_time < samples.front().unix_time ||
+      incident_time > samples.back().unix_time) {
+    return std::nullopt;
+  }
+  // Check eq. (1) for this zone across the whole covered flight: any
+  // insufficient pair near the zone breaks the alibi.
+  const SufficiencyReport report =
+      check_sufficiency(samples, {zone.zone}, params_.vmax_mps);
+  if (report.well_formed && report.sufficient) {
+    return AccusationResponse{true, true, "retained PoA proves non-entrance"};
+  }
+  return AccusationResponse{true, false, "retained PoA does not prove non-entrance"};
+}
+
+void Auditor::expire_poas(double now) {
+  for (auto& [id, list] : retained_) {
+    std::erase_if(list, [&](const RetainedPoa& r) {
+      return now - r.submission_time > params_.poa_retention_seconds;
+    });
+  }
+  if (store_ != nullptr) {
+    store_->expire_before(now - params_.poa_retention_seconds);
+  }
+}
+
+std::size_t Auditor::retained_poa_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, list] : retained_) n += list.size();
+  return n;
+}
+
+void Auditor::bind(net::MessageBus& bus) {
+  bus.register_endpoint("auditor.register_drone", [this](const crypto::Bytes& in) {
+    const auto request = RegisterDroneRequest::decode(in);
+    return (request ? register_drone(*request) : RegisterDroneResponse{}).encode();
+  });
+  bus.register_endpoint("auditor.register_zone", [this](const crypto::Bytes& in) {
+    const auto request = RegisterZoneRequest::decode(in);
+    return (request ? register_zone(*request) : RegisterZoneResponse{}).encode();
+  });
+  bus.register_endpoint("auditor.query_zones", [this](const crypto::Bytes& in) {
+    const auto request = ZoneQueryRequest::decode(in);
+    return (request ? query_zones(*request)
+                    : ZoneQueryResponse{false, "bad request", {}})
+        .encode();
+  });
+  bus.register_endpoint("auditor.submit_poa", [this](const crypto::Bytes& in) {
+    const auto request = SubmitPoaRequest::decode(in);
+    if (!request) {
+      PoaVerdict verdict;
+      verdict.detail = "bad request";
+      return verdict.encode();
+    }
+    // Submission time: latest sample time stands in for server wall clock.
+    const auto poa = ProofOfAlibi::parse(request->poa);
+    const double t = poa && poa->end_time() ? *poa->end_time() : 0.0;
+    return verify_poa_bytes(request->poa, t).encode();
+  });
+  bus.register_endpoint("auditor.accuse", [this](const crypto::Bytes& in) {
+    const auto request = AccusationRequest::decode(in);
+    return (request ? handle_accusation(*request)
+                    : AccusationResponse{false, false, "bad request"})
+        .encode();
+  });
+}
+
+}  // namespace alidrone::core

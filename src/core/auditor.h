@@ -1,0 +1,144 @@
+// Auditor — the AliDrone server (paper Sections III-A, IV-B, IV-C2).
+//
+// Maintains the registered-drone and NFZ databases, answers signed zone
+// queries, verifies submitted Proofs-of-Alibi (signatures, well-formedness
+// and eq.-(1) sufficiency) and retains verified PoAs so later accusations
+// from Zone Owners can be adjudicated. All functionality is available as
+// a direct API and as serialized endpoints on a net::MessageBus.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <memory>
+
+#include "core/audit_log.h"
+#include "core/messages.h"
+#include "core/poa.h"
+#include "core/poa_store.h"
+#include "core/protocol_types.h"
+#include "core/registry_store.h"
+#include "core/sufficiency.h"
+#include "core/zone_index.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "geo/polygon.h"
+#include "net/message_bus.h"
+
+namespace alidrone::core {
+
+class Auditor {
+ public:
+  /// The Auditor has its own keypair: the public half encrypts PoA samples
+  /// in transit/storage (Section V-C). Key generation uses `rng`.
+  Auditor(std::size_t key_bits, crypto::RandomSource& rng,
+          ProtocolParams params = {});
+
+  /// Public encryption key handed to drone clients.
+  const crypto::RsaPublicKey& encryption_key() const { return keypair_.pub; }
+
+  // ---- Step 0: drone registration ----
+  RegisterDroneResponse register_drone(const RegisterDroneRequest& request);
+
+  // ---- Step 1: zone registration ----
+  RegisterZoneResponse register_zone(const RegisterZoneRequest& request);
+
+  /// Section VII-B2: polygon NFZ registration. The Auditor reduces the
+  /// polygon to its smallest enclosing circle at registration time.
+  /// `proof_signature` must verify over polygon_zone_payload(..).
+  RegisterZoneResponse register_polygon_zone(
+      const std::vector<geo::GeoPoint>& vertices,
+      const crypto::RsaPublicKey& owner_key, const crypto::Bytes& proof_signature,
+      const std::string& description);
+
+  /// Section VII-B1: register a cylindrical zone with a ceiling altitude;
+  /// altitude-aware PoAs can prove alibi by flying above it.
+  RegisterZoneResponse register_zone_3d(const RegisterZoneRequest& request,
+                                        double ceiling_m);
+
+  // ---- Steps 2-3: zone query ----
+  ZoneQueryResponse query_zones(const ZoneQueryRequest& request);
+
+  // ---- Step 4: PoA verification ----
+  PoaVerdict verify_poa(const ProofOfAlibi& poa, double submission_time);
+  PoaVerdict verify_poa_bytes(std::span<const std::uint8_t> poa_bytes,
+                              double submission_time);
+
+  // ---- Accusations ----
+  AccusationResponse handle_accusation(const AccusationRequest& request);
+
+  /// Drop retained PoAs older than the retention window.
+  void expire_poas(double now);
+
+  /// Attach durable PoA retention: verified PoAs are also written to the
+  /// store, and accusations consult it when memory has no match (e.g.
+  /// after an Auditor restart).
+  void attach_store(std::shared_ptr<PoaStore> store) { store_ = std::move(store); }
+
+  /// Attach durable identity databases: restores any existing snapshot
+  /// (drones, zones, id counters) immediately, then persists after every
+  /// registration.
+  void attach_registry(std::shared_ptr<RegistryStore> registry);
+
+  /// Attach an audit log; registrations, queries, verdicts and
+  /// accusations are recorded from then on.
+  void attach_audit_log(std::shared_ptr<AuditLog> log) { audit_ = std::move(log); }
+
+  // ---- Introspection ----
+  std::size_t drone_count() const { return drones_.size(); }
+  std::size_t zone_count() const { return zones_.size(); }
+  std::size_t retained_poa_count() const;
+  const std::map<ZoneId, ZoneRecord>& zones() const { return zones_; }
+  const ProtocolParams& params() const { return params_; }
+
+  /// Register the serialized endpoints ("auditor.register_drone", ...).
+  void bind(net::MessageBus& bus);
+
+ private:
+  crypto::RsaKeyPair keypair_;
+  ProtocolParams params_;
+  std::map<DroneId, DroneRecord> drones_;
+  std::map<ZoneId, ZoneRecord> zones_;
+  ZoneIndex zone_index_;  // spatial index over zones_ for queries
+  int next_drone_number_ = 1;
+  int next_zone_number_ = 1;
+
+  // Replay defense for zone-query nonces (bounded FIFO + set).
+  std::set<crypto::Bytes> seen_nonces_;
+  std::deque<crypto::Bytes> nonce_order_;
+
+  struct RetainedPoa {
+    double submission_time = 0.0;
+    ProofOfAlibi poa;
+    std::vector<gps::GpsFix> samples;  ///< decoded, decrypted
+  };
+  std::map<DroneId, std::vector<RetainedPoa>> retained_;
+  std::shared_ptr<PoaStore> store_;             // optional durable retention
+  std::shared_ptr<RegistryStore> registry_;     // optional durable identities
+  std::shared_ptr<AuditLog> audit_;             // optional event log
+
+  void persist_registry() const;
+  void audit(double time, AuditEventType type, const std::string& subject,
+             bool ok, const std::string& detail) const;
+
+  /// Evaluate one retained flight against an accusation; nullopt when the
+  /// incident is outside the flight window.
+  std::optional<AccusationResponse> adjudicate(
+      const std::vector<gps::GpsFix>& samples, const ZoneRecord& zone,
+      double incident_time) const;
+
+  bool note_nonce(const crypto::Bytes& nonce);
+  std::vector<geo::GeoZone> all_zone_shapes() const;
+  std::vector<geo::GeoZone> planar_zone_shapes() const;
+  std::vector<geo::GeoZone3> cylinder_zone_shapes() const;
+
+  /// Decrypt + authenticate the samples of a PoA; on success fills
+  /// `out_samples` with decoded fixes. Returns a failure detail or "".
+  std::string authenticate_samples(const ProofOfAlibi& poa,
+                                   const DroneRecord& drone,
+                                   std::vector<gps::GpsFix>& out_samples) const;
+};
+
+}  // namespace alidrone::core

@@ -1,0 +1,74 @@
+#include "core/drone_client.h"
+
+#include "tee/gps_sampler_ta.h"
+
+namespace alidrone::core {
+
+DroneClient::DroneClient(tee::DroneTee& tee, std::size_t operator_key_bits,
+                         crypto::RandomSource& rng)
+    : tee_(tee), keypair_(crypto::generate_rsa_keypair(operator_key_bits, rng)) {}
+
+bool DroneClient::register_with_auditor(net::MessageBus& bus) {
+  // Read T+ through the monitored TA interface, as the operator would at
+  // merchandising time.
+  const tee::InvokeResult key = tee_.monitor().invoke(
+      tee_.sampler_uuid(),
+      static_cast<std::uint32_t>(tee::SamplerCommand::kGetPublicKey));
+  if (!key.ok() || key.outputs.size() != 2) return false;
+
+  RegisterDroneRequest request;
+  request.operator_key_n = keypair_.pub.n.to_bytes();
+  request.operator_key_e = keypair_.pub.e.to_bytes();
+  request.tee_key_n = key.outputs[0];
+  request.tee_key_e = key.outputs[1];
+
+  const crypto::Bytes reply = bus.request("auditor.register_drone", request.encode());
+  const auto response = RegisterDroneResponse::decode(reply);
+  if (!response || !response->ok) return false;
+  id_ = response->drone_id;
+  return true;
+}
+
+ZoneQueryRequest DroneClient::make_zone_query(const QueryRect& rect) {
+  ZoneQueryRequest request;
+  request.drone_id = id_;
+  request.rect = rect;
+  request.nonce = nonce_rng_.bytes(16);
+  request.nonce_signature = crypto::rsa_sign(keypair_.priv, request.nonce,
+                                             crypto::HashAlgorithm::kSha256);
+  return request;
+}
+
+std::optional<std::vector<ZoneInfo>> DroneClient::query_zones(net::MessageBus& bus,
+                                                              const QueryRect& rect) {
+  const crypto::Bytes reply =
+      bus.request("auditor.query_zones", make_zone_query(rect).encode());
+  const auto response = ZoneQueryResponse::decode(reply);
+  if (!response || !response->ok) return std::nullopt;
+  return response->zones;
+}
+
+ProofOfAlibi DroneClient::fly(gps::GpsReceiverSim& receiver, SamplingPolicy& policy,
+                              FlightConfig config, crypto::HashAlgorithm hash) {
+  last_flight_ = run_flight(tee_, receiver, policy, config);
+
+  ProofOfAlibi poa;
+  poa.drone_id = id_;
+  poa.mode = config.auth_mode;
+  poa.hash = hash;
+  poa.encrypted = config.auditor_encryption_key.has_value();
+  poa.samples = last_flight_.poa_samples;
+  poa.session_key_ciphertext = last_flight_.session_key_ciphertext;
+  poa.session_key_signature = last_flight_.session_key_signature;
+  poa.batch_signature = last_flight_.batch_signature;
+  return poa;
+}
+
+std::optional<PoaVerdict> DroneClient::submit_poa(net::MessageBus& bus,
+                                                  const ProofOfAlibi& poa) {
+  SubmitPoaRequest request{poa.serialize()};
+  const crypto::Bytes reply = bus.request("auditor.submit_poa", request.encode());
+  return PoaVerdict::decode(reply);
+}
+
+}  // namespace alidrone::core

@@ -1,0 +1,64 @@
+// DroneClient — the Drone Operator's side of the protocol: registration
+// (step 0), signed zone queries (steps 2-3), flights with PoA generation,
+// and PoA submission (step 4). Wraps the TEE, the samplers and the flight
+// loop behind the workflow of Fig. 2.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/flight.h"
+#include "core/messages.h"
+#include "core/poa.h"
+#include "core/protocol_types.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "net/message_bus.h"
+#include "tee/secure_monitor.h"
+
+namespace alidrone::core {
+
+class DroneClient {
+ public:
+  /// `tee` is the drone's trusted hardware (borrowed); the operator key D
+  /// is generated here from `rng`.
+  DroneClient(tee::DroneTee& tee, std::size_t operator_key_bits,
+              crypto::RandomSource& rng);
+
+  const crypto::RsaPublicKey& operator_key() const { return keypair_.pub; }
+  const DroneId& id() const { return id_; }
+  tee::DroneTee& tee() { return tee_; }
+
+  /// Step 0: register with the Auditor over the bus. Returns false when
+  /// the Auditor refuses. Reads T+ out of the TEE via GetPublicKey.
+  bool register_with_auditor(net::MessageBus& bus);
+
+  /// Steps 2-3: query NFZs in a rectangle with a fresh signed nonce.
+  std::optional<std::vector<ZoneInfo>> query_zones(net::MessageBus& bus,
+                                                   const QueryRect& rect);
+
+  /// Build a signed zone-query request (exposed for tests/attacks).
+  ZoneQueryRequest make_zone_query(const QueryRect& rect);
+
+  /// Run a flight and assemble the PoA from the recorded samples.
+  /// The samples are RSAES-encrypted for `auditor_key` when provided.
+  ProofOfAlibi fly(gps::GpsReceiverSim& receiver, SamplingPolicy& policy,
+                   FlightConfig config,
+                   crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1);
+
+  /// Step 4: submit a PoA; returns the Auditor's verdict.
+  std::optional<PoaVerdict> submit_poa(net::MessageBus& bus,
+                                       const ProofOfAlibi& poa);
+
+  /// The result of the last fly() call (log, counters) for evaluation.
+  const FlightResult& last_flight() const { return last_flight_; }
+
+ private:
+  tee::DroneTee& tee_;
+  crypto::RsaKeyPair keypair_;
+  DroneId id_;
+  crypto::SecureRandom nonce_rng_;
+  FlightResult last_flight_;
+};
+
+}  // namespace alidrone::core

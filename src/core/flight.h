@@ -1,0 +1,68 @@
+// FlightSession — the normal-world Adapter's main loop (paper Fig. 4).
+//
+// Drives one flight end to end: the GPS receiver emits NMEA at its update
+// rate; every sentence reaches both the secure-world driver (the hardware
+// UART is wired into the TEE) and a normal-world driver the Adapter polls
+// with ReadGPS(). On each fresh fix the sampling policy decides whether to
+// cross into the TEE for GetGPSAuth(); authenticated samples are appended
+// to the PoA (optionally RSAES-encrypted for the Auditor) and all costs
+// are charged to the CPU accountant, which is how Table II is measured.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/poa.h"
+#include "core/sampler.h"
+#include "crypto/rsa.h"
+#include "gps/driver.h"
+#include "gps/receiver_sim.h"
+#include "resource/cost_model.h"
+#include "tee/secure_monitor.h"
+
+namespace alidrone::core {
+
+/// One row of the flight's time series, recorded per GPS update — the raw
+/// material for Fig. 6 and Fig. 8.
+struct FlightLogEntry {
+  double time = 0.0;                 ///< unix time of the update
+  double nearest_zone_distance = 0.0;///< boundary distance, meters
+  bool recorded = false;             ///< did this update enter the PoA?
+  std::size_t cumulative_samples = 0;
+};
+
+struct FlightResult {
+  std::vector<SignedSample> poa_samples;
+  std::vector<FlightLogEntry> log;
+  std::uint64_t gps_updates = 0;
+  std::uint64_t authentications = 0;
+  std::uint64_t tee_failures = 0;    ///< GetGPSAuth returned non-success
+  /// kHmacSession: the TEE's encrypted session key + signature over it.
+  crypto::Bytes session_key_ciphertext;
+  crypto::Bytes session_key_signature;
+  /// kBatchSignature: one signature over the concatenated trace.
+  crypto::Bytes batch_signature;
+};
+
+struct FlightConfig {
+  double end_time = 0.0;             ///< stop once the receiver clock passes this
+  /// How samples are authenticated (Section IV-C2 baseline or the
+  /// Section VII-A1 alternatives). kHmacSession requires
+  /// auditor_encryption_key (the session key is wrapped for the Auditor).
+  AuthMode auth_mode = AuthMode::kRsaPerSample;
+  /// Encrypt each recorded sample for this key (Section V-C); plaintext
+  /// PoA when absent.
+  std::optional<crypto::RsaPublicKey> auditor_encryption_key;
+  /// Cost accounting (Table II); disabled when cpu is null.
+  resource::CpuAccountant* cpu = nullptr;
+  resource::CostProfile cost_profile{};
+  std::vector<geo::Circle> local_zones;  ///< for the distance log
+  geo::LocalFrame frame{geo::GeoPoint{0.0, 0.0}};
+};
+
+/// Run a full flight. The receiver is advanced from its current clock to
+/// config.end_time; the policy decides which updates become PoA samples.
+FlightResult run_flight(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
+                        SamplingPolicy& policy, const FlightConfig& config);
+
+}  // namespace alidrone::core

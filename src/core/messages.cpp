@@ -1,0 +1,316 @@
+#include "core/messages.h"
+
+#include "net/codec.h"
+
+namespace alidrone::core {
+
+namespace {
+crypto::RsaPublicKey key_from(const crypto::Bytes& n, const crypto::Bytes& e) {
+  return {crypto::BigInt::from_bytes(n), crypto::BigInt::from_bytes(e)};
+}
+}  // namespace
+
+crypto::Bytes polygon_zone_payload(const std::vector<geo::GeoPoint>& vertices,
+                                   const std::string& description) {
+  net::Writer w;
+  w.u32(static_cast<std::uint32_t>(vertices.size()));
+  for (const geo::GeoPoint& v : vertices) {
+    w.f64(v.lat_deg);
+    w.f64(v.lon_deg);
+  }
+  w.str(description);
+  return std::move(w).take();
+}
+
+// ---- RegisterDrone ----
+
+crypto::Bytes RegisterDroneRequest::encode() const {
+  net::Writer w;
+  w.bytes(operator_key_n);
+  w.bytes(operator_key_e);
+  w.bytes(tee_key_n);
+  w.bytes(tee_key_e);
+  return std::move(w).take();
+}
+
+std::optional<RegisterDroneRequest> RegisterDroneRequest::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  RegisterDroneRequest m;
+  auto a = r.bytes();
+  auto b = r.bytes();
+  auto c = r.bytes();
+  auto d = r.bytes();
+  if (!a || !b || !c || !d || !r.at_end()) return std::nullopt;
+  m.operator_key_n = std::move(*a);
+  m.operator_key_e = std::move(*b);
+  m.tee_key_n = std::move(*c);
+  m.tee_key_e = std::move(*d);
+  return m;
+}
+
+crypto::RsaPublicKey RegisterDroneRequest::operator_key() const {
+  return key_from(operator_key_n, operator_key_e);
+}
+
+crypto::RsaPublicKey RegisterDroneRequest::tee_key() const {
+  return key_from(tee_key_n, tee_key_e);
+}
+
+crypto::Bytes RegisterDroneResponse::encode() const {
+  net::Writer w;
+  w.u8(ok ? 1 : 0);
+  w.str(drone_id);
+  return std::move(w).take();
+}
+
+std::optional<RegisterDroneResponse> RegisterDroneResponse::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  RegisterDroneResponse m;
+  auto ok = r.u8();
+  auto id = r.str();
+  if (!ok || !id || !r.at_end()) return std::nullopt;
+  m.ok = *ok != 0;
+  m.drone_id = std::move(*id);
+  return m;
+}
+
+// ---- RegisterZone ----
+
+crypto::Bytes RegisterZoneRequest::signed_payload() const {
+  net::Writer w;
+  w.f64(zone.center.lat_deg);
+  w.f64(zone.center.lon_deg);
+  w.f64(zone.radius_m);
+  w.str(description);
+  return std::move(w).take();
+}
+
+crypto::Bytes RegisterZoneRequest::encode() const {
+  net::Writer w;
+  w.f64(zone.center.lat_deg);
+  w.f64(zone.center.lon_deg);
+  w.f64(zone.radius_m);
+  w.str(description);
+  w.bytes(owner_key_n);
+  w.bytes(owner_key_e);
+  w.bytes(proof_signature);
+  return std::move(w).take();
+}
+
+std::optional<RegisterZoneRequest> RegisterZoneRequest::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  RegisterZoneRequest m;
+  auto lat = r.f64();
+  auto lon = r.f64();
+  auto radius = r.f64();
+  auto desc = r.str();
+  auto kn = r.bytes();
+  auto ke = r.bytes();
+  auto sig = r.bytes();
+  if (!lat || !lon || !radius || !desc || !kn || !ke || !sig || !r.at_end()) {
+    return std::nullopt;
+  }
+  m.zone = {{*lat, *lon}, *radius};
+  m.description = std::move(*desc);
+  m.owner_key_n = std::move(*kn);
+  m.owner_key_e = std::move(*ke);
+  m.proof_signature = std::move(*sig);
+  return m;
+}
+
+crypto::Bytes RegisterZoneResponse::encode() const {
+  net::Writer w;
+  w.u8(ok ? 1 : 0);
+  w.str(zone_id);
+  return std::move(w).take();
+}
+
+std::optional<RegisterZoneResponse> RegisterZoneResponse::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  RegisterZoneResponse m;
+  auto ok = r.u8();
+  auto id = r.str();
+  if (!ok || !id || !r.at_end()) return std::nullopt;
+  m.ok = *ok != 0;
+  m.zone_id = std::move(*id);
+  return m;
+}
+
+// ---- ZoneQuery ----
+
+crypto::Bytes ZoneQueryRequest::encode() const {
+  net::Writer w;
+  w.str(drone_id);
+  w.f64(rect.corner1.lat_deg);
+  w.f64(rect.corner1.lon_deg);
+  w.f64(rect.corner2.lat_deg);
+  w.f64(rect.corner2.lon_deg);
+  w.bytes(nonce);
+  w.bytes(nonce_signature);
+  return std::move(w).take();
+}
+
+std::optional<ZoneQueryRequest> ZoneQueryRequest::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  ZoneQueryRequest m;
+  auto id = r.str();
+  auto lat1 = r.f64();
+  auto lon1 = r.f64();
+  auto lat2 = r.f64();
+  auto lon2 = r.f64();
+  auto nonce = r.bytes();
+  auto sig = r.bytes();
+  if (!id || !lat1 || !lon1 || !lat2 || !lon2 || !nonce || !sig || !r.at_end()) {
+    return std::nullopt;
+  }
+  m.drone_id = std::move(*id);
+  m.rect = {{*lat1, *lon1}, {*lat2, *lon2}};
+  m.nonce = std::move(*nonce);
+  m.nonce_signature = std::move(*sig);
+  return m;
+}
+
+crypto::Bytes ZoneQueryResponse::encode() const {
+  net::Writer w;
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+  w.u32(static_cast<std::uint32_t>(zones.size()));
+  for (const ZoneInfo& z : zones) {
+    w.str(z.id);
+    w.f64(z.zone.center.lat_deg);
+    w.f64(z.zone.center.lon_deg);
+    w.f64(z.zone.radius_m);
+  }
+  return std::move(w).take();
+}
+
+std::optional<ZoneQueryResponse> ZoneQueryResponse::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  ZoneQueryResponse m;
+  auto ok = r.u8();
+  auto error = r.str();
+  auto count = r.u32();
+  if (!ok || !error || !count) return std::nullopt;
+  m.ok = *ok != 0;
+  m.error = std::move(*error);
+  // Each zone entry costs at least 28 bytes; cap before reserving.
+  if (*count > r.remaining() / 28) return std::nullopt;
+  m.zones.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto id = r.str();
+    auto lat = r.f64();
+    auto lon = r.f64();
+    auto radius = r.f64();
+    if (!id || !lat || !lon || !radius) return std::nullopt;
+    m.zones.push_back({std::move(*id), {{*lat, *lon}, *radius}});
+  }
+  if (!r.at_end()) return std::nullopt;
+  return m;
+}
+
+// ---- SubmitPoA ----
+
+crypto::Bytes SubmitPoaRequest::encode() const {
+  net::Writer w;
+  w.bytes(poa);
+  return std::move(w).take();
+}
+
+std::optional<SubmitPoaRequest> SubmitPoaRequest::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  auto poa = r.bytes();
+  if (!poa || !r.at_end()) return std::nullopt;
+  return SubmitPoaRequest{std::move(*poa)};
+}
+
+crypto::Bytes PoaVerdict::encode() const {
+  net::Writer w;
+  w.u8(accepted ? 1 : 0);
+  w.u8(compliant ? 1 : 0);
+  w.u32(violation_count);
+  w.str(detail);
+  return std::move(w).take();
+}
+
+std::optional<PoaVerdict> PoaVerdict::decode(std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  PoaVerdict m;
+  auto accepted = r.u8();
+  auto compliant = r.u8();
+  auto violations = r.u32();
+  auto detail = r.str();
+  if (!accepted || !compliant || !violations || !detail || !r.at_end()) {
+    return std::nullopt;
+  }
+  m.accepted = *accepted != 0;
+  m.compliant = *compliant != 0;
+  m.violation_count = *violations;
+  m.detail = std::move(*detail);
+  return m;
+}
+
+// ---- Accusation ----
+
+crypto::Bytes AccusationRequest::signed_payload() const {
+  net::Writer w;
+  w.str(zone_id);
+  w.str(drone_id);
+  w.f64(incident_time);
+  return std::move(w).take();
+}
+
+crypto::Bytes AccusationRequest::encode() const {
+  net::Writer w;
+  w.str(zone_id);
+  w.str(drone_id);
+  w.f64(incident_time);
+  w.bytes(owner_signature);
+  return std::move(w).take();
+}
+
+std::optional<AccusationRequest> AccusationRequest::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  AccusationRequest m;
+  auto zone = r.str();
+  auto drone = r.str();
+  auto time = r.f64();
+  auto sig = r.bytes();
+  if (!zone || !drone || !time || !sig || !r.at_end()) return std::nullopt;
+  m.zone_id = std::move(*zone);
+  m.drone_id = std::move(*drone);
+  m.incident_time = *time;
+  m.owner_signature = std::move(*sig);
+  return m;
+}
+
+crypto::Bytes AccusationResponse::encode() const {
+  net::Writer w;
+  w.u8(ok ? 1 : 0);
+  w.u8(alibi_holds ? 1 : 0);
+  w.str(detail);
+  return std::move(w).take();
+}
+
+std::optional<AccusationResponse> AccusationResponse::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  AccusationResponse m;
+  auto ok = r.u8();
+  auto holds = r.u8();
+  auto detail = r.str();
+  if (!ok || !holds || !detail || !r.at_end()) return std::nullopt;
+  m.ok = *ok != 0;
+  m.alibi_holds = *holds != 0;
+  m.detail = std::move(*detail);
+  return m;
+}
+
+}  // namespace alidrone::core

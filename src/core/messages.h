@@ -1,0 +1,134 @@
+// Wire messages between the drone client and the AliDrone server
+// (protocol steps 0-4, Section IV-B). Every message has a strict binary
+// encode/decode pair over net::Writer/Reader; decode returns nullopt on
+// any malformation.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/protocol_types.h"
+#include "crypto/bytes.h"
+
+namespace alidrone::core {
+
+/// Canonical bytes a Zone Owner signs to prove ownership of a polygon
+/// zone (Section VII-B2 registration).
+crypto::Bytes polygon_zone_payload(const std::vector<geo::GeoPoint>& vertices,
+                                   const std::string& description);
+
+/// Step 0: drone registration — the operator submits D+ and T+.
+struct RegisterDroneRequest {
+  crypto::Bytes operator_key_n;
+  crypto::Bytes operator_key_e;
+  crypto::Bytes tee_key_n;
+  crypto::Bytes tee_key_e;
+
+  crypto::Bytes encode() const;
+  static std::optional<RegisterDroneRequest> decode(std::span<const std::uint8_t>);
+
+  crypto::RsaPublicKey operator_key() const;
+  crypto::RsaPublicKey tee_key() const;
+};
+
+struct RegisterDroneResponse {
+  bool ok = false;
+  DroneId drone_id;
+
+  crypto::Bytes encode() const;
+  static std::optional<RegisterDroneResponse> decode(std::span<const std::uint8_t>);
+};
+
+/// Step 1: zone registration by a Zone Owner. `proof_signature` is the
+/// owner's signature over the zone coordinates (the "proof of ownership").
+struct RegisterZoneRequest {
+  geo::GeoZone zone;
+  std::string description;
+  crypto::Bytes owner_key_n;
+  crypto::Bytes owner_key_e;
+  crypto::Bytes proof_signature;
+
+  /// The exact bytes the ownership proof signs.
+  crypto::Bytes signed_payload() const;
+
+  crypto::Bytes encode() const;
+  static std::optional<RegisterZoneRequest> decode(std::span<const std::uint8_t>);
+};
+
+struct RegisterZoneResponse {
+  bool ok = false;
+  ZoneId zone_id;
+
+  crypto::Bytes encode() const;
+  static std::optional<RegisterZoneResponse> decode(std::span<const std::uint8_t>);
+};
+
+/// Steps 2-3: zone query. The nonce is signed with D- so the Auditor knows
+/// the query comes from a registered drone; the Auditor also rejects
+/// repeated nonces (replayed queries).
+struct ZoneQueryRequest {
+  DroneId drone_id;
+  QueryRect rect;
+  crypto::Bytes nonce;
+  crypto::Bytes nonce_signature;
+
+  crypto::Bytes encode() const;
+  static std::optional<ZoneQueryRequest> decode(std::span<const std::uint8_t>);
+};
+
+struct ZoneInfo {
+  ZoneId id;
+  geo::GeoZone zone;
+};
+
+struct ZoneQueryResponse {
+  bool ok = false;
+  std::string error;
+  std::vector<ZoneInfo> zones;
+
+  crypto::Bytes encode() const;
+  static std::optional<ZoneQueryResponse> decode(std::span<const std::uint8_t>);
+};
+
+/// Step 4: PoA submission. The PoA body carries its own serialization.
+struct SubmitPoaRequest {
+  crypto::Bytes poa;  ///< ProofOfAlibi::serialize()
+
+  crypto::Bytes encode() const;
+  static std::optional<SubmitPoaRequest> decode(std::span<const std::uint8_t>);
+};
+
+/// The Auditor's verdict on a submitted PoA.
+struct PoaVerdict {
+  bool accepted = false;   ///< parseable, registered drone, valid signatures
+  bool compliant = false;  ///< sufficient alibi w.r.t. every registered NFZ
+  std::uint32_t violation_count = 0;
+  std::string detail;
+
+  crypto::Bytes encode() const;
+  static std::optional<PoaVerdict> decode(std::span<const std::uint8_t>);
+};
+
+/// A Zone Owner's incident report ("I saw drone X near my zone at time t").
+struct AccusationRequest {
+  ZoneId zone_id;
+  DroneId drone_id;
+  double incident_time = 0.0;
+  crypto::Bytes owner_signature;  ///< over (zone_id, drone_id, time)
+
+  crypto::Bytes signed_payload() const;
+  crypto::Bytes encode() const;
+  static std::optional<AccusationRequest> decode(std::span<const std::uint8_t>);
+};
+
+struct AccusationResponse {
+  bool ok = false;           ///< accusation well-formed & zone/owner match
+  bool alibi_holds = false;  ///< stored PoA proves non-entrance
+  std::string detail;
+
+  crypto::Bytes encode() const;
+  static std::optional<AccusationResponse> decode(std::span<const std::uint8_t>);
+};
+
+}  // namespace alidrone::core

@@ -1,0 +1,97 @@
+#include "core/poa.h"
+
+#include "net/codec.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::core {
+
+std::string to_string(AuthMode mode) {
+  switch (mode) {
+    case AuthMode::kRsaPerSample:
+      return "rsa-per-sample";
+    case AuthMode::kHmacSession:
+      return "hmac-session";
+    case AuthMode::kBatchSignature:
+      return "batch-signature";
+  }
+  return "unknown";
+}
+
+std::optional<gps::GpsFix> SignedSample::fix() const {
+  return tee::decode_sample(sample);
+}
+
+std::optional<double> ProofOfAlibi::start_time() const {
+  if (samples.empty()) return std::nullopt;
+  const auto f = samples.front().fix();
+  if (!f) return std::nullopt;
+  return f->unix_time;
+}
+
+std::optional<double> ProofOfAlibi::end_time() const {
+  if (samples.empty()) return std::nullopt;
+  const auto f = samples.back().fix();
+  if (!f) return std::nullopt;
+  return f->unix_time;
+}
+
+crypto::Bytes ProofOfAlibi::serialize() const {
+  net::Writer w;
+  w.str(drone_id);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u8(hash == crypto::HashAlgorithm::kSha256 ? 1 : 0);
+  w.u8(encrypted ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(samples.size()));
+  for (const SignedSample& s : samples) {
+    w.bytes(s.sample);
+    w.bytes(s.signature);
+  }
+  w.bytes(batch_signature);
+  w.bytes(session_key_ciphertext);
+  w.bytes(session_key_signature);
+  return std::move(w).take();
+}
+
+std::optional<ProofOfAlibi> ProofOfAlibi::parse(std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  ProofOfAlibi poa;
+
+  const auto id = r.str();
+  const auto mode = r.u8();
+  const auto hash = r.u8();
+  const auto encrypted = r.u8();
+  const auto count = r.u32();
+  if (!id || !mode || !hash || !encrypted || !count) return std::nullopt;
+  if (*mode > static_cast<std::uint8_t>(AuthMode::kBatchSignature)) return std::nullopt;
+  if (*hash > 1 || *encrypted > 1) return std::nullopt;
+
+  poa.drone_id = *id;
+  poa.mode = static_cast<AuthMode>(*mode);
+  poa.hash = *hash == 1 ? crypto::HashAlgorithm::kSha256 : crypto::HashAlgorithm::kSha1;
+  poa.encrypted = *encrypted == 1;
+
+  // Bound the claimed count by the bytes actually present (every sample
+  // costs at least two 4-byte length prefixes) before reserving — a
+  // hostile count must not drive allocation.
+  if (*count > r.remaining() / 8) return std::nullopt;
+  poa.samples.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto sample = r.bytes();
+    auto signature = r.bytes();
+    if (!sample || !signature) return std::nullopt;
+    poa.samples.push_back({std::move(*sample), std::move(*signature)});
+  }
+
+  auto batch_sig = r.bytes();
+  auto key_ct = r.bytes();
+  auto key_sig = r.bytes();
+  if (!batch_sig || !key_ct || !key_sig) return std::nullopt;
+  poa.batch_signature = std::move(*batch_sig);
+  poa.session_key_ciphertext = std::move(*key_ct);
+  poa.session_key_signature = std::move(*key_sig);
+
+  if (!r.at_end()) return std::nullopt;  // trailing garbage
+  return poa;
+}
+
+}  // namespace alidrone::core

@@ -1,0 +1,70 @@
+// Proof-of-Alibi data structures (paper Section IV-C2).
+//
+// PoA = { (S_0, Sig(S_0, T-)), (S_1, Sig(S_1, T-)), ... }
+//
+// Samples travel as their canonical 32-byte TEE encoding so the Auditor
+// can re-verify the exact signed bytes. Three authentication modes are
+// supported: the paper's per-sample RSA signatures, plus the Section
+// VII-A1 alternatives (ephemeral HMAC session keys; one batch signature
+// over the whole trace).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/protocol_types.h"
+#include "crypto/bytes.h"
+#include "gps/fix.h"
+
+namespace alidrone::core {
+
+/// How the samples in a PoA are authenticated.
+enum class AuthMode : std::uint8_t {
+  kRsaPerSample = 0,   ///< paper baseline: Sig(S_i, T-) per sample
+  kHmacSession = 1,    ///< Section VII-A1a: HMAC under an ephemeral key
+  kBatchSignature = 2, ///< Section VII-A1b: one signature over the trace
+};
+
+std::string to_string(AuthMode mode);
+
+/// One alibi element: the signed canonical sample bytes. In kHmacSession
+/// mode `signature` is a 32-byte HMAC tag; in kBatchSignature mode it is
+/// empty (the PoA-level batch_signature covers everything).
+struct SignedSample {
+  crypto::Bytes sample;     ///< tee::encode_sample output (32 bytes)
+  crypto::Bytes signature;
+
+  /// Decoded view; nullopt when `sample` is malformed.
+  std::optional<gps::GpsFix> fix() const;
+};
+
+struct ProofOfAlibi {
+  DroneId drone_id;
+  AuthMode mode = AuthMode::kRsaPerSample;
+  crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1;
+  /// When true, each SignedSample::sample is RSAES-PKCS1-v1_5 ciphertext
+  /// under the Auditor's public key (paper Section V-C); signatures remain
+  /// over the plaintext canonical encoding.
+  bool encrypted = false;
+  std::vector<SignedSample> samples;
+
+  /// kBatchSignature: Sig(S_0 || S_1 || ... || S_n, T-).
+  crypto::Bytes batch_signature;
+
+  /// kHmacSession: the session key encrypted under the Auditor's public
+  /// key, and the TEE's signature over that ciphertext (proves the key
+  /// came from this drone's TEE).
+  crypto::Bytes session_key_ciphertext;
+  crypto::Bytes session_key_signature;
+
+  /// Decoded sample timestamps must be non-decreasing for a well-formed
+  /// PoA; first/last give the flight window.
+  std::optional<double> start_time() const;
+  std::optional<double> end_time() const;
+
+  crypto::Bytes serialize() const;
+  static std::optional<ProofOfAlibi> parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace alidrone::core

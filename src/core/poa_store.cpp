@@ -1,0 +1,119 @@
+#include "core/poa_store.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "net/codec.h"
+
+namespace alidrone::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xA11D0A01;  // "AliD PoA v1"
+constexpr const char* kExtension = ".poa";
+}  // namespace
+
+PoaStore::PoaStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  if (std::filesystem::exists(directory_)) {
+    if (!std::filesystem::is_directory(directory_)) {
+      throw std::runtime_error("PoaStore: not a directory: " + directory_.string());
+    }
+  } else {
+    std::filesystem::create_directories(directory_);
+  }
+  // Continue sequence numbers after any existing files.
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.path().extension() == kExtension) ++next_sequence_;
+  }
+}
+
+std::filesystem::path PoaStore::save(const DroneId& drone_id,
+                                     double submission_time,
+                                     const ProofOfAlibi& poa) {
+  net::Writer w;
+  w.u32(kMagic);
+  w.str(drone_id);
+  w.f64(submission_time);
+  w.bytes(poa.serialize());
+
+  // Filename avoids trusting the drone id's characters.
+  const std::filesystem::path path =
+      directory_ / ("poa-" + std::to_string(next_sequence_++) + kExtension);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("PoaStore: cannot write " + path.string());
+  const crypto::Bytes& data = w.data();
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw std::runtime_error("PoaStore: short write to " + path.string());
+  return path;
+}
+
+std::optional<PoaStore::StoredPoa> PoaStore::read_file(
+    const std::filesystem::path& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++corrupt_;
+    return std::nullopt;
+  }
+  crypto::Bytes data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+
+  net::Reader r(data);
+  const auto magic = r.u32();
+  const auto drone_id = r.str();
+  const auto time = r.f64();
+  const auto poa_bytes = r.bytes();
+  if (!magic || *magic != kMagic || !drone_id || !time || !poa_bytes ||
+      !r.at_end()) {
+    ++corrupt_;
+    return std::nullopt;
+  }
+  const auto poa = ProofOfAlibi::parse(*poa_bytes);
+  if (!poa) {
+    ++corrupt_;
+    return std::nullopt;
+  }
+  return StoredPoa{*drone_id, *time, *poa};
+}
+
+std::vector<PoaStore::StoredPoa> PoaStore::load_all() const {
+  std::vector<StoredPoa> out;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.path().extension() != kExtension) continue;
+    if (auto stored = read_file(entry.path())) out.push_back(std::move(*stored));
+  }
+  std::sort(out.begin(), out.end(), [](const StoredPoa& a, const StoredPoa& b) {
+    return a.submission_time < b.submission_time;
+  });
+  return out;
+}
+
+std::vector<PoaStore::StoredPoa> PoaStore::load_for_drone(
+    const DroneId& drone_id) const {
+  std::vector<StoredPoa> all = load_all();
+  std::erase_if(all, [&](const StoredPoa& s) { return s.drone_id != drone_id; });
+  return all;
+}
+
+std::size_t PoaStore::expire_before(double cutoff_time) {
+  std::size_t deleted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.path().extension() != kExtension) continue;
+    const auto stored = read_file(entry.path());
+    if (stored && stored->submission_time < cutoff_time) {
+      std::filesystem::remove(entry.path());
+      ++deleted;
+    }
+  }
+  return deleted;
+}
+
+std::size_t PoaStore::count() const {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.path().extension() == kExtension) ++n;
+  }
+  return n;
+}
+
+}  // namespace alidrone::core

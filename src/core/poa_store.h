@@ -1,0 +1,57 @@
+// File-backed Proof-of-Alibi retention.
+//
+// The paper requires the AliDrone server to "save the PoAs for a couple
+// of days" as evidence for later accusations (Section IV-C2). PoaStore
+// persists serialized PoAs to a directory — one file per submission with
+// a small header — so retention survives Auditor restarts, and expires
+// files past the retention window.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/poa.h"
+#include "core/protocol_types.h"
+
+namespace alidrone::core {
+
+class PoaStore {
+ public:
+  /// Creates the directory if needed; throws std::runtime_error when the
+  /// path exists but is not a directory.
+  explicit PoaStore(std::filesystem::path directory);
+
+  struct StoredPoa {
+    DroneId drone_id;
+    double submission_time = 0.0;
+    ProofOfAlibi poa;
+  };
+
+  /// Persist one submission; returns the file path written.
+  std::filesystem::path save(const DroneId& drone_id, double submission_time,
+                             const ProofOfAlibi& poa);
+
+  /// Load every stored PoA (corrupt files are skipped and counted).
+  std::vector<StoredPoa> load_all() const;
+
+  /// Stored PoAs for one drone, sorted by submission time.
+  std::vector<StoredPoa> load_for_drone(const DroneId& drone_id) const;
+
+  /// Delete submissions older than `cutoff_time`; returns #deleted.
+  std::size_t expire_before(double cutoff_time);
+
+  std::size_t count() const;
+  std::size_t corrupt_files_seen() const { return corrupt_; }
+  const std::filesystem::path& directory() const { return directory_; }
+
+ private:
+  std::filesystem::path directory_;
+  std::uint64_t next_sequence_ = 0;
+  mutable std::size_t corrupt_ = 0;
+
+  std::optional<StoredPoa> read_file(const std::filesystem::path& path) const;
+};
+
+}  // namespace alidrone::core

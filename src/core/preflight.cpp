@@ -1,0 +1,61 @@
+#include "core/preflight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/sufficiency.h"
+
+namespace alidrone::core {
+
+double max_sample_interval_s(double d1_m, double d2_m, double vmax_mps) {
+  if (d1_m <= 0.0 || d2_m <= 0.0) return 0.0;
+  return (d1_m + d2_m) / vmax_mps;
+}
+
+PreflightReport analyze_route(const sim::Route& route,
+                              const std::vector<geo::Circle>& local_zones,
+                              const PreflightConfig& config) {
+  PreflightReport report;
+  report.min_clearance_m = std::numeric_limits<double>::infinity();
+  report.min_clearance_time = route.start_time();
+
+  double required_rate_integral = 0.0;  // expected #samples
+  double peak_rate = 0.0;
+
+  for (double t = route.start_time(); t <= route.end_time();
+       t += config.analysis_step_s) {
+    const geo::Vec2 p = route.local_position_at(t);
+    const double d = nearest_zone_boundary_distance(p, local_zones);
+    if (d < report.min_clearance_m) {
+      report.min_clearance_m = d;
+      report.min_clearance_time = t;
+    }
+    if (!local_zones.empty() && d > 0.0) {
+      // Instantaneous required rate: consecutive samples at distance ~d
+      // must be at most 2d/v_max apart (d1 ~ d2 ~ d near the approach).
+      const double rate = config.vmax_mps / (2.0 * d);
+      peak_rate = std::max(peak_rate, rate);
+      // Algorithm 1 cannot sample slower than needed but also never
+      // faster than the hardware delivers.
+      required_rate_integral +=
+          std::min(rate, config.gps_rate_hz) * config.analysis_step_s;
+    }
+  }
+
+  report.required_peak_rate_hz = peak_rate;
+  report.route_avoids_zones =
+      !std::isfinite(report.min_clearance_m) || report.min_clearance_m > 0.0;
+  report.gps_rate_sufficient = peak_rate <= config.gps_rate_hz;
+
+  const double per_sample =
+      config.cost_profile.per_sample_cost(config.tee_key_bits);
+  report.tee_can_keep_up =
+      peak_rate <= 0.0 || per_sample * peak_rate <= 1.0;
+
+  report.estimated_samples = static_cast<std::size_t>(
+      std::ceil(std::max(1.0, required_rate_integral)));
+  return report;
+}
+
+}  // namespace alidrone::core

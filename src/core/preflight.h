@@ -1,0 +1,68 @@
+// Preflight analysis — the planning-side counterpart of Algorithm 1.
+//
+// The paper's Fig. 3 observes that the minimum sampling rate producing a
+// sufficient alibi makes the travel-range ellipse tangent to the NFZ: a
+// pair of samples straddling distance D from a zone boundary must be no
+// more than (D1 + D2)/v_max apart in time. Given a planned route and the
+// zone list from the Auditor, this module computes, before takeoff:
+//   - the closest approach to any zone,
+//   - the peak sampling rate Algorithm 1 will need,
+//   - whether the GPS hardware (and the TEE's signing throughput) can
+//     deliver it, and
+//   - an estimate of the number of PoA samples the flight will record.
+// A drone can thus refuse a route its hardware cannot prove compliant —
+// turning a runtime insufficiency (Fig. 8(c)) into a planning error.
+#pragma once
+
+#include <vector>
+
+#include "geo/circle.h"
+#include "resource/cost_model.h"
+#include "sim/route.h"
+
+namespace alidrone::core {
+
+struct PreflightConfig {
+  double vmax_mps = geo::kFaaMaxSpeedMps;
+  double gps_rate_hz = 5.0;          ///< receiver capability
+  std::size_t tee_key_bits = 1024;   ///< determines signing throughput
+  resource::CostProfile cost_profile = resource::CostProfile::raspberry_pi3();
+  double analysis_step_s = 0.2;      ///< route scan granularity
+};
+
+struct PreflightReport {
+  /// Closest approach of the route to any zone boundary (meters);
+  /// +infinity when no zones. Negative means the route enters a zone.
+  double min_clearance_m = 0.0;
+  /// Time of the closest approach (absolute, route clock).
+  double min_clearance_time = 0.0;
+
+  /// Peak instantaneous sampling rate Algorithm 1 needs along the route:
+  /// v_max / (D1 + D2) evaluated pointwise (Hz). 0 when no zones.
+  double required_peak_rate_hz = 0.0;
+
+  /// Estimated total PoA samples for the whole flight (integral of the
+  /// required rate, clamped to the GPS rate, with a floor of one sample).
+  std::size_t estimated_samples = 0;
+
+  bool route_avoids_zones = false;   ///< no point of the route inside a zone
+  bool gps_rate_sufficient = false;  ///< receiver can deliver the peak rate
+  bool tee_can_keep_up = false;      ///< signing cost fits the peak rate
+
+  /// All four gates pass: fly it.
+  bool feasible() const {
+    return route_avoids_zones && gps_rate_sufficient && tee_can_keep_up;
+  }
+};
+
+PreflightReport analyze_route(const sim::Route& route,
+                              const std::vector<geo::Circle>& local_zones,
+                              const PreflightConfig& config = {});
+
+/// The tangency bound itself (paper Fig. 3): the longest admissible time
+/// between two samples at boundary distances d1 and d2 from the nearest
+/// zone, (d1 + d2)/v_max. Non-positive distances return 0: the drone is
+/// touching the zone and no sampling interval can prove alibi.
+double max_sample_interval_s(double d1_m, double d2_m, double vmax_mps);
+
+}  // namespace alidrone::core

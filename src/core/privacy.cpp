@@ -1,0 +1,103 @@
+#include "core/privacy.h"
+
+#include <algorithm>
+
+#include "crypto/chacha20.h"
+#include "geo/ellipse.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::core {
+
+namespace {
+// One-time keys: each key encrypts exactly one sample, so a fixed nonce is
+// safe (no key/nonce pair ever repeats).
+const crypto::Bytes kZeroNonce(crypto::ChaCha20::kNonceSize, 0);
+}  // namespace
+
+PrivatePoaBundle build_private_poa(const ProofOfAlibi& plain,
+                                   crypto::RandomSource& rng) {
+  PrivatePoaBundle bundle;
+  bundle.upload.drone_id = plain.drone_id;
+  bundle.upload.hash = plain.hash;
+  bundle.upload.entries.reserve(plain.samples.size());
+  bundle.secrets.keys.reserve(plain.samples.size());
+  bundle.secrets.sample_times.reserve(plain.samples.size());
+
+  for (const SignedSample& s : plain.samples) {
+    crypto::Bytes key = rng.bytes(crypto::ChaCha20::kKeySize);
+    PrivatePoaEntry entry;
+    entry.ciphertext = crypto::ChaCha20::crypt(key, kZeroNonce, s.sample);
+    entry.signature = s.signature;
+    bundle.upload.entries.push_back(std::move(entry));
+
+    const auto fix = s.fix();
+    bundle.secrets.sample_times.push_back(fix ? fix->unix_time : 0.0);
+    bundle.secrets.keys.push_back(std::move(key));
+  }
+  return bundle;
+}
+
+std::optional<KeyReveal> make_reveal(const PrivatePoaSecrets& secrets,
+                                     double incident_time) {
+  const auto& times = secrets.sample_times;
+  if (times.size() < 2) return std::nullopt;
+  if (incident_time < times.front() || incident_time > times.back()) {
+    return std::nullopt;
+  }
+  const auto it = std::upper_bound(times.begin(), times.end(), incident_time);
+  std::size_t hi = static_cast<std::size_t>(it - times.begin());
+  hi = std::clamp<std::size_t>(hi, 1, times.size() - 1);
+
+  KeyReveal reveal;
+  reveal.first_index = hi - 1;
+  reveal.key_first = secrets.keys[hi - 1];
+  reveal.key_second = secrets.keys[hi];
+  return reveal;
+}
+
+PrivateAuditResult audit_reveal(const PrivatePoa& upload, const KeyReveal& reveal,
+                                const crypto::RsaPublicKey& tee_key,
+                                const geo::GeoZone& zone, double incident_time,
+                                double vmax_mps) {
+  PrivateAuditResult result;
+  const std::size_t i = reveal.first_index;
+  if (i + 1 >= upload.entries.size()) return result;
+  if (reveal.key_first.size() != crypto::ChaCha20::kKeySize ||
+      reveal.key_second.size() != crypto::ChaCha20::kKeySize) {
+    return result;
+  }
+
+  const crypto::Bytes plain1 =
+      crypto::ChaCha20::crypt(reveal.key_first, kZeroNonce, upload.entries[i].ciphertext);
+  const crypto::Bytes plain2 = crypto::ChaCha20::crypt(reveal.key_second, kZeroNonce,
+                                                       upload.entries[i + 1].ciphertext);
+
+  if (!crypto::rsa_verify(tee_key, plain1, upload.entries[i].signature, upload.hash) ||
+      !crypto::rsa_verify(tee_key, plain2, upload.entries[i + 1].signature,
+                          upload.hash)) {
+    return result;
+  }
+  result.signatures_valid = true;
+
+  const auto fix1 = tee::decode_sample(plain1);
+  const auto fix2 = tee::decode_sample(plain2);
+  if (!fix1 || !fix2) return result;
+  result.first = fix1;
+  result.second = fix2;
+
+  result.bracket_covers_incident =
+      fix1->unix_time <= incident_time && incident_time <= fix2->unix_time;
+  if (!result.bracket_covers_incident) return result;
+
+  // Alibi for the accused zone: the travel ellipse of the revealed pair
+  // must be disjoint from the zone (focal criterion, eq. (2)).
+  const geo::LocalFrame frame(fix1->position);
+  const geo::Circle local_zone = geo::to_local(frame, zone);
+  const geo::TravelEllipse ellipse = geo::TravelEllipse::from_samples(
+      frame.to_local(fix1->position), fix1->unix_time,
+      frame.to_local(fix2->position), fix2->unix_time, vmax_mps);
+  result.alibi_holds = ellipse.focal_test_disjoint(local_zone);
+  return result;
+}
+
+}  // namespace alidrone::core

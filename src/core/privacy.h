@@ -1,0 +1,79 @@
+// Privacy-preserving verification (paper Section VII-B3).
+//
+// An honest-but-curious Auditor should not learn the drone's whole
+// trajectory. The operator encrypts every PoA sample with its own one-time
+// key before upload; the TEE signatures (made over the plaintext samples)
+// ride alongside. When a Zone Owner files an accusation, the operator
+// reveals only the keys of the two samples bracketing the incident time;
+// the Auditor decrypts exactly those, checks the TEE signatures, and
+// decides the alibi for the accused zone — learning two points of the
+// trajectory instead of all of it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/poa.h"
+#include "core/protocol_types.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+
+namespace alidrone::core {
+
+/// One uploaded entry: ChaCha20 ciphertext of the canonical sample bytes,
+/// plus the TEE signature over the plaintext.
+struct PrivatePoaEntry {
+  crypto::Bytes ciphertext;
+  crypto::Bytes signature;
+};
+
+struct PrivatePoa {
+  DroneId drone_id;
+  crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1;
+  std::vector<PrivatePoaEntry> entries;
+};
+
+/// The operator's retained secrets: one 32-byte key per entry plus the
+/// plaintext timestamps (needed to find which samples bracket an incident).
+struct PrivatePoaSecrets {
+  std::vector<crypto::Bytes> keys;
+  std::vector<double> sample_times;
+};
+
+/// Encrypt a plaintext PoA (mode kRsaPerSample, not already encrypted)
+/// sample-by-sample with fresh one-time keys.
+struct PrivatePoaBundle {
+  PrivatePoa upload;
+  PrivatePoaSecrets secrets;
+};
+PrivatePoaBundle build_private_poa(const ProofOfAlibi& plain,
+                                   crypto::RandomSource& rng);
+
+/// What the operator sends after an accusation: the bracketing indices and
+/// their keys.
+struct KeyReveal {
+  std::size_t first_index = 0;   ///< i: reveal entries i and i+1
+  crypto::Bytes key_first;
+  crypto::Bytes key_second;
+};
+
+/// Operator side: find the sample pair bracketing `incident_time` and
+/// produce the reveal. nullopt when the incident is outside the flight.
+std::optional<KeyReveal> make_reveal(const PrivatePoaSecrets& secrets,
+                                     double incident_time);
+
+/// Auditor side: decrypt the two revealed entries, verify their TEE
+/// signatures against T+, and evaluate the alibi for `zone`.
+struct PrivateAuditResult {
+  bool signatures_valid = false;
+  bool bracket_covers_incident = false;
+  bool alibi_holds = false;
+  std::optional<gps::GpsFix> first;   ///< the two (and only two) learned points
+  std::optional<gps::GpsFix> second;
+};
+PrivateAuditResult audit_reveal(const PrivatePoa& upload, const KeyReveal& reveal,
+                                const crypto::RsaPublicKey& tee_key,
+                                const geo::GeoZone& zone, double incident_time,
+                                double vmax_mps);
+
+}  // namespace alidrone::core

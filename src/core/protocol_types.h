@@ -1,0 +1,73 @@
+// Protocol identities, keys and records — Table I of the paper, as types.
+//
+//   id_drone  DroneId      carried on the drone, like a license plate
+//   id_zone   ZoneId       issued by the Auditor at zone registration
+//   T-        (in the TEE) tee::KeyVault private half — never leaves TEE
+//   T+        RsaPublicKey TEE verification key, known to Operator/Auditor
+//   D-        RsaPrivateKey operator sign key (authenticates zone queries)
+//   D+        RsaPublicKey operator verification key, known to the Auditor
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "geo/units.h"
+#include "geo/zone.h"
+
+namespace alidrone::core {
+
+using DroneId = std::string;
+using ZoneId = std::string;
+
+/// The Auditor's record of a registered drone: (id_drone, D+, T+).
+struct DroneRecord {
+  DroneId id;
+  crypto::RsaPublicKey operator_key;  ///< D+
+  crypto::RsaPublicKey tee_key;       ///< T+
+};
+
+/// The Auditor's record of a registered no-fly-zone: (id_zone, z).
+struct ZoneRecord {
+  ZoneId id;
+  geo::GeoZone zone;                      ///< z = (lat, lon, r)
+  crypto::RsaPublicKey owner_key;         ///< for accusations & ownership
+  std::string description;
+  /// Section VII-B1 extension: when set, the zone is a cylinder from the
+  /// ground to this altitude and altitude-aware PoAs can prove alibi by
+  /// overflying it; unset means unbounded (the paper's 2D model).
+  std::optional<double> ceiling_m;
+};
+
+/// A rectangular navigation area for zone queries: two opposite corners
+/// (x1, y1), (x2, y2) in geodetic degrees, as in protocol step 2.
+struct QueryRect {
+  geo::GeoPoint corner1;
+  geo::GeoPoint corner2;
+
+  bool contains(geo::GeoPoint p) const {
+    const double lat_lo = std::min(corner1.lat_deg, corner2.lat_deg);
+    const double lat_hi = std::max(corner1.lat_deg, corner2.lat_deg);
+    const double lon_lo = std::min(corner1.lon_deg, corner2.lon_deg);
+    const double lon_hi = std::max(corner1.lon_deg, corner2.lon_deg);
+    return p.lat_deg >= lat_lo && p.lat_deg <= lat_hi && p.lon_deg >= lon_lo &&
+           p.lon_deg <= lon_hi;
+  }
+};
+
+/// Protocol constants.
+struct ProtocolParams {
+  /// FAA speed cap used in the possible-traveling-range computation.
+  double vmax_mps = geo::kFaaMaxSpeedMps;
+  /// How long the Auditor retains verified PoAs for later accusations
+  /// ("a couple of days", Section IV-C2).
+  double poa_retention_seconds = 3.0 * 24 * 3600;
+  /// Zone-query nonces seen within this window are rejected as replays.
+  std::size_t nonce_cache_size = 4096;
+  /// Thin plaintext per-sample PoAs to their minimal sufficient witness
+  /// before retention (Section IV-C3's monotonicity, applied offline).
+  bool thin_before_retention = false;
+};
+
+}  // namespace alidrone::core

@@ -1,0 +1,40 @@
+// Durable identity databases for the Auditor.
+//
+// The paper's server keeps "the information of registered drones and
+// NFZs"; in production those records must survive restarts (unlike nonce
+// caches, which should reset). RegistryStore snapshots both tables to a
+// single file with a strict binary format and restores them on startup.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+
+#include "core/protocol_types.h"
+
+namespace alidrone::core {
+
+class RegistryStore {
+ public:
+  explicit RegistryStore(std::filesystem::path file) : file_(std::move(file)) {}
+
+  struct Snapshot {
+    std::map<DroneId, DroneRecord> drones;
+    std::map<ZoneId, ZoneRecord> zones;
+    int next_drone_number = 1;
+    int next_zone_number = 1;
+  };
+
+  /// Atomically replace the on-disk snapshot (write temp + rename).
+  void save(const Snapshot& snapshot) const;
+
+  /// nullopt when the file does not exist or is corrupt.
+  std::optional<Snapshot> load() const;
+
+  const std::filesystem::path& file() const { return file_; }
+
+ private:
+  std::filesystem::path file_;
+};
+
+}  // namespace alidrone::core

@@ -1,0 +1,109 @@
+#include "core/streaming.h"
+
+#include <limits>
+
+#include "net/codec.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::core {
+
+StreamingVerifier::StreamingVerifier(crypto::RsaPublicKey tee_key,
+                                     crypto::HashAlgorithm hash,
+                                     std::vector<geo::GeoZone> zones,
+                                     double vmax_mps)
+    : tee_key_(std::move(tee_key)),
+      hash_(hash),
+      zones_(std::move(zones)),
+      vmax_(vmax_mps) {}
+
+StreamingVerifier::SampleStatus StreamingVerifier::ingest(
+    const SignedSample& sample) {
+  if (!crypto::rsa_verify(tee_key_, sample.sample, sample.signature, hash_)) {
+    return SampleStatus::kBadSignature;
+  }
+  const auto fix = tee::decode_sample(sample.sample);
+  if (!fix) return SampleStatus::kMalformed;
+  if (last_time_ && fix->unix_time < *last_time_) return SampleStatus::kOutOfOrder;
+
+  // Lazily anchor the planar frame at the first sample.
+  if (!frame_) {
+    frame_.emplace(fix->position);
+    local_zones_.clear();
+    local_zones_.reserve(zones_.size());
+    for (const geo::GeoZone& z : zones_) {
+      local_zones_.push_back(geo::to_local(*frame_, z));
+    }
+  }
+  const geo::Vec2 pos = frame_->to_local(fix->position);
+  ++accepted_;
+
+  SampleStatus status = SampleStatus::kAccepted;
+  if (nearest_zone_boundary_distance(pos, local_zones_) < 0.0) {
+    ++violations_;
+    status = SampleStatus::kInsideZone;
+  } else if (last_pos_ && last_time_ && !local_zones_.empty()) {
+    const double allowed = vmax_ * (fix->unix_time - *last_time_);
+    double min_focal = std::numeric_limits<double>::infinity();
+    for (const geo::Circle& z : local_zones_) {
+      min_focal = std::min(min_focal,
+                           z.boundary_distance(*last_pos_) + z.boundary_distance(pos));
+    }
+    if (min_focal < allowed) {
+      ++violations_;
+      status = SampleStatus::kInsufficientPair;
+    }
+  }
+
+  last_pos_ = pos;
+  last_time_ = fix->unix_time;
+  return status;
+}
+
+StreamingUplink::StreamingUplink(net::MessageBus& bus, std::string endpoint,
+                                 resource::RadioModel radio)
+    : bus_(bus), endpoint_(std::move(endpoint)), radio_(radio) {}
+
+crypto::Bytes StreamingUplink::encode(const SignedSample& sample) {
+  net::Writer w;
+  w.bytes(sample.sample);
+  w.bytes(sample.signature);
+  return std::move(w).take();
+}
+
+bool StreamingUplink::send(const SignedSample& sample) {
+  queue_.push_back(sample);
+  return flush();
+}
+
+bool StreamingUplink::flush() {
+  // One transmission carries everything queued (piggy-backed retries).
+  if (queue_.empty()) return true;
+  net::Writer w;
+  w.u32(static_cast<std::uint32_t>(queue_.size()));
+  for (const SignedSample& s : queue_) {
+    const crypto::Bytes encoded = encode(s);
+    w.bytes(encoded);
+  }
+  const crypto::Bytes payload = std::move(w).take();
+
+  // Energy is spent whether or not the packet arrives.
+  energy_j_ += radio_.transmit_energy_j(payload.size());
+  ++transmissions_;
+  try {
+    bus_.request(endpoint_, payload);
+  } catch (const net::TimeoutError&) {
+    return false;  // keep queued for the next attempt
+  }
+  queue_.clear();
+  return true;
+}
+
+double StreamingUplink::batch_upload_energy_j(std::size_t n,
+                                              std::size_t sample_bytes,
+                                              std::size_t signature_bytes) const {
+  // One transmission for the whole flight, sized like the real PoA body.
+  const std::size_t payload = n * (sample_bytes + signature_bytes + 8) + 64;
+  return radio_.transmit_energy_j(payload);
+}
+
+}  // namespace alidrone::core

@@ -1,0 +1,137 @@
+#include "core/sufficiency.h"
+
+#include <limits>
+
+namespace alidrone::core {
+
+SufficiencyReport check_sufficiency(const std::vector<gps::GpsFix>& samples,
+                                    const std::vector<geo::GeoZone>& zones,
+                                    double vmax_mps) {
+  SufficiencyReport report;
+  if (samples.empty()) return report;
+
+  // Time ordering is part of well-formedness.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].unix_time < samples[i - 1].unix_time) return report;
+  }
+  report.well_formed = true;
+
+  const geo::LocalFrame frame(samples.front().position);
+  std::vector<geo::Circle> local_zones;
+  local_zones.reserve(zones.size());
+  for (const geo::GeoZone& z : zones) local_zones.push_back(geo::to_local(frame, z));
+
+  // A sample recorded inside a zone is a violation on its own (the drone
+  // was provably there), independent of any pair.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const geo::Vec2 p = frame.to_local(samples[i].position);
+    for (std::size_t zi = 0; zi < local_zones.size(); ++zi) {
+      const double d = local_zones[zi].boundary_distance(p);
+      if (d < 0.0) report.violations.push_back({i, zi, d, 0.0});
+    }
+  }
+
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    const geo::Vec2 p1 = frame.to_local(samples[i].position);
+    const geo::Vec2 p2 = frame.to_local(samples[i + 1].position);
+    const double allowed = vmax_mps * (samples[i + 1].unix_time - samples[i].unix_time);
+
+    // Only the nearest zone can violate (its focal sum is minimal).
+    double min_focal = std::numeric_limits<double>::infinity();
+    std::size_t min_zone = 0;
+    for (std::size_t zi = 0; zi < local_zones.size(); ++zi) {
+      const double d1 = local_zones[zi].boundary_distance(p1);
+      const double d2 = local_zones[zi].boundary_distance(p2);
+      const double focal = d1 + d2;
+      if (focal < min_focal) {
+        min_focal = focal;
+        min_zone = zi;
+      }
+    }
+    if (!local_zones.empty() && min_focal < allowed) {
+      report.violations.push_back({i, min_zone, min_focal, allowed});
+    }
+  }
+
+  report.sufficient = report.violations.empty();
+  return report;
+}
+
+InsufficiencyCounter::InsufficiencyCounter(const geo::LocalFrame& frame,
+                                           std::vector<geo::Circle> local_zones,
+                                           double vmax_mps)
+    : frame_(frame), zones_(std::move(local_zones)), vmax_(vmax_mps) {}
+
+bool InsufficiencyCounter::add_sample(const gps::GpsFix& fix) {
+  const geo::Vec2 pos = frame_.to_local(fix.position);
+  bool insufficient = false;
+  if (has_prev_ && !zones_.empty()) {
+    const double allowed = vmax_ * (fix.unix_time - prev_time_);
+    double min_focal = std::numeric_limits<double>::infinity();
+    for (const geo::Circle& z : zones_) {
+      min_focal = std::min(min_focal,
+                           z.boundary_distance(prev_pos_) + z.boundary_distance(pos));
+    }
+    if (min_focal < allowed) {
+      insufficient = true;
+      ++count_;
+    }
+  }
+  has_prev_ = true;
+  prev_pos_ = pos;
+  prev_time_ = fix.unix_time;
+  return insufficient;
+}
+
+SufficiencyReport check_sufficiency_3d(const std::vector<gps::GpsFix>& samples,
+                                       const std::vector<geo::GeoZone3>& zones,
+                                       double vmax_mps) {
+  SufficiencyReport report;
+  if (samples.empty()) return report;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].unix_time < samples[i - 1].unix_time) return report;
+  }
+  report.well_formed = true;
+
+  const geo::LocalFrame frame(samples.front().position);
+  std::vector<geo::Cylinder> cylinders;
+  cylinders.reserve(zones.size());
+  for (const geo::GeoZone3& z : zones) {
+    cylinders.push_back({frame.to_local(z.center), z.radius_m, z.ceiling_m});
+  }
+
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    const geo::Vec2 q1 = frame.to_local(samples[i].position);
+    const geo::Vec2 q2 = frame.to_local(samples[i + 1].position);
+    const geo::Vec3 p1{q1.x, q1.y, samples[i].altitude_m};
+    const geo::Vec3 p2{q2.x, q2.y, samples[i + 1].altitude_m};
+    const double allowed = vmax_mps * (samples[i + 1].unix_time - samples[i].unix_time);
+
+    double min_focal = std::numeric_limits<double>::infinity();
+    std::size_t min_zone = 0;
+    for (std::size_t zi = 0; zi < cylinders.size(); ++zi) {
+      const double focal =
+          cylinders[zi].distance_to(p1) + cylinders[zi].distance_to(p2);
+      if (focal < min_focal) {
+        min_focal = focal;
+        min_zone = zi;
+      }
+    }
+    if (!cylinders.empty() && min_focal < allowed) {
+      report.violations.push_back({i, min_zone, min_focal, allowed});
+    }
+  }
+  report.sufficient = report.violations.empty();
+  return report;
+}
+
+double nearest_zone_boundary_distance(const geo::Vec2& position,
+                                      const std::vector<geo::Circle>& zones) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const geo::Circle& z : zones) {
+    best = std::min(best, z.boundary_distance(position));
+  }
+  return best;
+}
+
+}  // namespace alidrone::core

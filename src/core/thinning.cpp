@@ -1,0 +1,97 @@
+#include "core/thinning.h"
+
+#include <limits>
+
+namespace alidrone::core {
+
+namespace {
+
+/// Focal-distance sufficiency of the pair (i, j) against all zones.
+bool pair_sufficient(const std::vector<geo::Vec2>& positions,
+                     const std::vector<double>& times,
+                     const std::vector<geo::Circle>& zones, double vmax,
+                     std::size_t i, std::size_t j) {
+  if (zones.empty()) return true;
+  const double allowed = vmax * (times[j] - times[i]);
+  double min_focal = std::numeric_limits<double>::infinity();
+  for (const geo::Circle& z : zones) {
+    min_focal = std::min(min_focal, z.boundary_distance(positions[i]) +
+                                        z.boundary_distance(positions[j]));
+  }
+  return min_focal >= allowed;
+}
+
+}  // namespace
+
+ThinningResult thin_samples(const std::vector<gps::GpsFix>& samples,
+                            const std::vector<geo::GeoZone>& zones,
+                            double vmax_mps) {
+  ThinningResult result;
+  result.original_count = samples.size();
+  if (samples.empty()) return result;
+
+  const geo::LocalFrame frame(samples.front().position);
+  std::vector<geo::Vec2> positions;
+  std::vector<double> times;
+  positions.reserve(samples.size());
+  times.reserve(samples.size());
+  for (const gps::GpsFix& s : samples) {
+    positions.push_back(frame.to_local(s.position));
+    times.push_back(s.unix_time);
+  }
+  std::vector<geo::Circle> local_zones;
+  local_zones.reserve(zones.size());
+  for (const geo::GeoZone& z : zones) local_zones.push_back(geo::to_local(frame, z));
+
+  result.input_sufficient =
+      check_sufficiency(samples, zones, vmax_mps).sufficient;
+
+  // Greedy argmax: from the last kept sample i, jump to the largest j
+  // such that the pair (i, j) is sufficient. If even (i, i+1) is not —
+  // the trace itself is insufficient there — keep the adjacent sample so
+  // the violation stays visible.
+  result.kept_indices.push_back(0);
+  std::size_t i = 0;
+  while (i + 1 < samples.size()) {
+    std::size_t best = i + 1;
+    for (std::size_t j = i + 1; j < samples.size(); ++j) {
+      if (pair_sufficient(positions, times, local_zones, vmax_mps, i, j)) {
+        best = j;
+      }
+      // No early break: sufficiency is not monotone in j when the drone
+      // turns back toward a zone, and candidates are cheap to test.
+    }
+    result.kept_indices.push_back(best);
+    i = best;
+  }
+
+  std::vector<gps::GpsFix> kept;
+  kept.reserve(result.kept_indices.size());
+  for (const std::size_t k : result.kept_indices) kept.push_back(samples[k]);
+  result.output_sufficient = check_sufficiency(kept, zones, vmax_mps).sufficient;
+  return result;
+}
+
+ProofOfAlibi thin_poa(const ProofOfAlibi& poa,
+                      const std::vector<geo::GeoZone>& zones, double vmax_mps) {
+  if (poa.mode != AuthMode::kRsaPerSample || poa.encrypted) return poa;
+
+  std::vector<gps::GpsFix> fixes;
+  fixes.reserve(poa.samples.size());
+  for (const SignedSample& s : poa.samples) {
+    const auto f = s.fix();
+    if (!f) return poa;  // undecodable: leave untouched
+    fixes.push_back(*f);
+  }
+
+  const ThinningResult thinned = thin_samples(fixes, zones, vmax_mps);
+  ProofOfAlibi out = poa;
+  out.samples.clear();
+  out.samples.reserve(thinned.kept_indices.size());
+  for (const std::size_t k : thinned.kept_indices) {
+    out.samples.push_back(poa.samples[k]);
+  }
+  return out;
+}
+
+}  // namespace alidrone::core

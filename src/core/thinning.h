@@ -1,0 +1,44 @@
+// Offline PoA thinning — the verification-side dual of adaptive sampling.
+//
+// Section IV-C3 proves E(S_i, S_j) ⊆ E(S_i, S_k) for j < k: if the pair
+// (S_i, S_k) is sufficient, every intermediate sample is redundant. The
+// Adapter exploits this online (k_{i+1} = argmax_j such that the pair
+// stays sufficient); this module applies the same argmax offline to a
+// recorded trace. The Auditor can thin retained PoAs to their minimal
+// sufficient witness before long-term storage — a fixed-rate 5 Hz PoA
+// shrinks to roughly what adaptive sampling would have recorded.
+//
+// Thinning preserves verifiability: the kept samples are the original
+// TEE-signed (sample, signature) pairs, untouched.
+#pragma once
+
+#include <vector>
+
+#include "core/poa.h"
+#include "core/sufficiency.h"
+
+namespace alidrone::core {
+
+struct ThinningResult {
+  std::vector<std::size_t> kept_indices;  ///< indices into the input samples
+  std::size_t original_count = 0;
+  bool input_sufficient = false;   ///< eq. (1) held for the full trace
+  bool output_sufficient = false;  ///< eq. (1) holds for the kept subset
+};
+
+/// Greedy furthest-reach thinning of decoded samples against `zones`.
+/// The first and last samples are always kept (they anchor the flight
+/// window for accusations). If the input is insufficient somewhere, the
+/// insufficient pairs are preserved as-is (thinning never hides evidence).
+ThinningResult thin_samples(const std::vector<gps::GpsFix>& samples,
+                            const std::vector<geo::GeoZone>& zones,
+                            double vmax_mps);
+
+/// Thin a plaintext per-sample-signed PoA; returns a PoA containing only
+/// the kept (sample, signature) pairs. Modes other than kRsaPerSample and
+/// encrypted PoAs are returned unchanged (their signatures cover the
+/// whole trace or the Auditor cannot decode them here).
+ProofOfAlibi thin_poa(const ProofOfAlibi& poa,
+                      const std::vector<geo::GeoZone>& zones, double vmax_mps);
+
+}  // namespace alidrone::core

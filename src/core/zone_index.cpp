@@ -1,0 +1,112 @@
+#include "core/zone_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace alidrone::core {
+
+ZoneIndex::ZoneIndex(double cell_degrees) : cell_degrees_(cell_degrees) {
+  if (cell_degrees <= 0.0) {
+    throw std::invalid_argument("ZoneIndex: cell size must be positive");
+  }
+}
+
+ZoneIndex::CellKey ZoneIndex::cell_of(geo::GeoPoint p) const {
+  return {static_cast<std::int32_t>(std::floor(p.lat_deg / cell_degrees_)),
+          static_cast<std::int32_t>(std::floor(p.lon_deg / cell_degrees_))};
+}
+
+void ZoneIndex::insert(const ZoneId& id, const geo::GeoZone& zone) {
+  erase(id);  // replace semantics
+  zones_[id] = zone;
+  cells_[cell_of(zone.center)].push_back(id);
+}
+
+bool ZoneIndex::erase(const ZoneId& id) {
+  const auto it = zones_.find(id);
+  if (it == zones_.end()) return false;
+  const CellKey key = cell_of(it->second.center);
+  auto& bucket = cells_[key];
+  std::erase(bucket, id);
+  if (bucket.empty()) cells_.erase(key);
+  zones_.erase(it);
+  return true;
+}
+
+const geo::GeoZone* ZoneIndex::find(const ZoneId& id) const {
+  const auto it = zones_.find(id);
+  return it == zones_.end() ? nullptr : &it->second;
+}
+
+std::vector<ZoneId> ZoneIndex::query_rect(const QueryRect& rect) const {
+  const double lat_lo = std::min(rect.corner1.lat_deg, rect.corner2.lat_deg);
+  const double lat_hi = std::max(rect.corner1.lat_deg, rect.corner2.lat_deg);
+  const double lon_lo = std::min(rect.corner1.lon_deg, rect.corner2.lon_deg);
+  const double lon_hi = std::max(rect.corner1.lon_deg, rect.corner2.lon_deg);
+
+  const auto cell_lo = cell_of({lat_lo, lon_lo});
+  const auto cell_hi = cell_of({lat_hi, lon_hi});
+
+  std::vector<ZoneId> out;
+  for (std::int32_t r = cell_lo.first; r <= cell_hi.first; ++r) {
+    for (std::int32_t c = cell_lo.second; c <= cell_hi.second; ++c) {
+      const auto it = cells_.find({r, c});
+      if (it == cells_.end()) continue;
+      for (const ZoneId& id : it->second) {
+        if (rect.contains(zones_.at(id).center)) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<ZoneIndex::Nearest> ZoneIndex::nearest(geo::GeoPoint p) const {
+  if (zones_.empty()) return std::nullopt;
+
+  const CellKey center = cell_of(p);
+  const double cell_height_m = cell_degrees_ * 111320.0;  // >= cell width
+
+  Nearest best;
+  double best_dist = std::numeric_limits<double>::infinity();
+
+  // Expand square rings of cells until the ring's minimum possible
+  // distance exceeds the best boundary distance found.
+  const std::int32_t max_ring = static_cast<std::int32_t>(
+      std::ceil(180.0 / cell_degrees_));  // cover the globe as a backstop
+  for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate is found, one extra ring guarantees correctness:
+    // any zone farther than (ring-1) cells away is at least
+    // (ring-1)*cell_height - max_radius meters out.
+    if (std::isfinite(best_dist) &&
+        (static_cast<double>(ring) - 1.0) * cell_height_m > best_dist + 100000.0) {
+      break;
+    }
+    bool any_cell = false;
+    for (std::int32_t r = center.first - ring; r <= center.first + ring; ++r) {
+      for (std::int32_t c = center.second - ring; c <= center.second + ring; ++c) {
+        // Ring perimeter only (interior already visited).
+        if (std::abs(r - center.first) != ring && std::abs(c - center.second) != ring) {
+          continue;
+        }
+        const auto it = cells_.find({r, c});
+        if (it == cells_.end()) continue;
+        any_cell = true;
+        for (const ZoneId& id : it->second) {
+          const geo::GeoZone& z = zones_.at(id);
+          const double d = geo::haversine_distance(p, z.center) - z.radius_m;
+          if (d < best_dist) {
+            best_dist = d;
+            best = {id, d};
+          }
+        }
+      }
+    }
+    (void)any_cell;
+  }
+  return best;
+}
+
+}  // namespace alidrone::core

@@ -1,0 +1,54 @@
+// Spatial index over registered no-fly-zones.
+//
+// The paper's Auditor "pulls a list of NFZs within the rectangle" for
+// every zone query; at B4UFLY scale (tens of thousands of zones nation-
+// wide) a linear scan per query does not hold up. ZoneIndex buckets zone
+// centers into a uniform geodetic grid: rectangle queries touch only the
+// covered cells, and nearest-zone lookups expand ring by ring.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol_types.h"
+#include "geo/zone.h"
+
+namespace alidrone::core {
+
+class ZoneIndex {
+ public:
+  /// `cell_degrees` is the grid pitch; 0.05 deg ~ 5.5 km of latitude,
+  /// comfortably larger than typical zone radii.
+  explicit ZoneIndex(double cell_degrees = 0.05);
+
+  void insert(const ZoneId& id, const geo::GeoZone& zone);
+  bool erase(const ZoneId& id);
+  std::size_t size() const { return zones_.size(); }
+
+  /// Zones whose center lies inside the rectangle (matching the paper's
+  /// center-in-rectangle query semantics).
+  std::vector<ZoneId> query_rect(const QueryRect& rect) const;
+
+  /// Zone whose boundary is nearest to `p`; nullopt when empty.
+  struct Nearest {
+    ZoneId id;
+    double boundary_distance_m = 0.0;
+  };
+  std::optional<Nearest> nearest(geo::GeoPoint p) const;
+
+  const geo::GeoZone* find(const ZoneId& id) const;
+
+ private:
+  using CellKey = std::pair<std::int32_t, std::int32_t>;
+
+  double cell_degrees_;
+  std::map<ZoneId, geo::GeoZone> zones_;
+  std::map<CellKey, std::vector<ZoneId>> cells_;
+
+  CellKey cell_of(geo::GeoPoint p) const;
+};
+
+}  // namespace alidrone::core

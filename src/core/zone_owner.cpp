@@ -1,0 +1,47 @@
+#include "core/zone_owner.h"
+
+namespace alidrone::core {
+
+ZoneOwner::ZoneOwner(std::size_t key_bits, crypto::RandomSource& rng)
+    : keypair_(crypto::generate_rsa_keypair(key_bits, rng)) {}
+
+RegisterZoneRequest ZoneOwner::make_zone_request(const geo::GeoZone& zone,
+                                                 const std::string& description) const {
+  RegisterZoneRequest request;
+  request.zone = zone;
+  request.description = description;
+  request.owner_key_n = keypair_.pub.n.to_bytes();
+  request.owner_key_e = keypair_.pub.e.to_bytes();
+  request.proof_signature = crypto::rsa_sign(keypair_.priv, request.signed_payload(),
+                                             crypto::HashAlgorithm::kSha256);
+  return request;
+}
+
+crypto::Bytes ZoneOwner::sign_polygon(const std::vector<geo::GeoPoint>& vertices,
+                                      const std::string& description) const {
+  return crypto::rsa_sign(keypair_.priv, polygon_zone_payload(vertices, description),
+                          crypto::HashAlgorithm::kSha256);
+}
+
+AccusationRequest ZoneOwner::make_accusation(const ZoneId& zone_id,
+                                             const DroneId& drone_id,
+                                             double incident_time) const {
+  AccusationRequest request;
+  request.zone_id = zone_id;
+  request.drone_id = drone_id;
+  request.incident_time = incident_time;
+  request.owner_signature = crypto::rsa_sign(keypair_.priv, request.signed_payload(),
+                                             crypto::HashAlgorithm::kSha256);
+  return request;
+}
+
+ZoneId ZoneOwner::register_zone(net::MessageBus& bus, const geo::GeoZone& zone,
+                                const std::string& description) const {
+  const crypto::Bytes reply =
+      bus.request("auditor.register_zone", make_zone_request(zone, description).encode());
+  const auto response = RegisterZoneResponse::decode(reply);
+  if (!response || !response->ok) return "";
+  return response->zone_id;
+}
+
+}  // namespace alidrone::core

@@ -1,0 +1,42 @@
+// Zone Owner — the party who registers no-fly-zones over her property and
+// reports suspected violations (paper Section III-A).
+#pragma once
+
+#include <vector>
+
+#include "core/messages.h"
+#include "core/protocol_types.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "net/message_bus.h"
+
+namespace alidrone::core {
+
+class ZoneOwner {
+ public:
+  ZoneOwner(std::size_t key_bits, crypto::RandomSource& rng);
+
+  const crypto::RsaPublicKey& public_key() const { return keypair_.pub; }
+
+  /// Build a signed circular-zone registration (protocol step 1).
+  RegisterZoneRequest make_zone_request(const geo::GeoZone& zone,
+                                        const std::string& description) const;
+
+  /// Signature for a polygon-zone registration (Section VII-B2).
+  crypto::Bytes sign_polygon(const std::vector<geo::GeoPoint>& vertices,
+                             const std::string& description) const;
+
+  /// Build a signed accusation ("drone X was near my zone at time t").
+  AccusationRequest make_accusation(const ZoneId& zone_id, const DroneId& drone_id,
+                                    double incident_time) const;
+
+  /// Convenience: register a zone over the bus. Returns the issued id
+  /// ("" on rejection).
+  ZoneId register_zone(net::MessageBus& bus, const geo::GeoZone& zone,
+                       const std::string& description) const;
+
+ private:
+  crypto::RsaKeyPair keypair_;
+};
+
+}  // namespace alidrone::core

@@ -1,0 +1,34 @@
+// Byte-buffer helpers shared across the crypto library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alidrone::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding of a byte buffer.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parse a hex string (even length, upper or lower case).
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Bytes of a string, unchanged.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(std::span<const std::uint8_t> data) {
+  return std::string(data.begin(), data.end());
+}
+
+/// Constant-time equality (length leaks; contents do not).
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b);
+
+}  // namespace alidrone::crypto

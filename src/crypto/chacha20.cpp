@@ -1,0 +1,88 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace alidrone::crypto {
+
+namespace {
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> nonce,
+                   std::uint32_t initial_counter)
+    : counter_(initial_counter) {
+  if (key.size() != kKeySize) throw std::invalid_argument("ChaCha20: key must be 32 bytes");
+  if (nonce.size() != kNonceSize) {
+    throw std::invalid_argument("ChaCha20: nonce must be 12 bytes");
+  }
+  state_[0] = 0x61707865u;
+  state_[1] = 0x3320646eu;
+  state_[2] = 0x79622d32u;
+  state_[3] = 0x6b206574u;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + i * 4);
+  state_[12] = 0;  // per-block counter filled in block()
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + i * 4);
+}
+
+std::array<std::uint8_t, 64> ChaCha20::block(std::uint32_t counter) const {
+  std::array<std::uint32_t, 16> x = state_;
+  x[12] = counter;
+  std::array<std::uint32_t, 16> working = x;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + x[i];
+    out[i * 4] = static_cast<std::uint8_t>(v & 0xFF);
+    out[i * 4 + 1] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+    out[i * 4 + 2] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+    out[i * 4 + 3] = static_cast<std::uint8_t>((v >> 24) & 0xFF);
+  }
+  return out;
+}
+
+void ChaCha20::apply(std::span<std::uint8_t> data) {
+  for (std::uint8_t& byte : data) {
+    if (keystream_pos_ == 64) {
+      keystream_ = block(counter_++);
+      keystream_pos_ = 0;
+    }
+    byte ^= keystream_[keystream_pos_++];
+  }
+}
+
+Bytes ChaCha20::crypt(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> nonce,
+                      std::span<const std::uint8_t> data,
+                      std::uint32_t initial_counter) {
+  Bytes out(data.begin(), data.end());
+  ChaCha20 cipher(key, nonce, initial_counter);
+  cipher.apply(out);
+  return out;
+}
+
+}  // namespace alidrone::crypto

@@ -1,0 +1,46 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// Serves two roles in this repository:
+//  - one-time encryption of individual PoA samples in the privacy-
+//    preserving verification extension (paper Section VII-B3), and
+//  - the core of the deterministic DRBG used for reproducible key
+//    generation and simulation randomness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.h"
+
+namespace alidrone::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  ChaCha20(std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+           std::uint32_t initial_counter = 0);
+
+  /// XOR the keystream into `data` (encrypt == decrypt).
+  void apply(std::span<std::uint8_t> data);
+
+  /// One-shot convenience.
+  static Bytes crypt(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> nonce,
+                     std::span<const std::uint8_t> data,
+                     std::uint32_t initial_counter = 0);
+
+  /// Produce the raw 64-byte keystream block for block `counter`
+  /// (exposed for the DRBG and for RFC 8439 test vectors).
+  std::array<std::uint8_t, 64> block(std::uint32_t counter) const;
+
+ private:
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> keystream_;
+  std::size_t keystream_pos_ = 64;  // exhausted
+  std::uint32_t counter_;
+};
+
+}  // namespace alidrone::crypto

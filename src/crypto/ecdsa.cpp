@@ -1,0 +1,280 @@
+#include "crypto/ecdsa.h"
+
+#include <array>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace alidrone::crypto {
+
+namespace {
+
+// NIST P-256 domain parameters (FIPS 186-4, D.1.2.3).
+const BigInt& curve_p() {
+  static const BigInt value = BigInt::from_string(
+      "0xffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  return value;
+}
+const BigInt& curve_n() {
+  static const BigInt value = BigInt::from_string(
+      "0xffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  return value;
+}
+const BigInt& curve_b() {
+  static const BigInt value = BigInt::from_string(
+      "0x5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+  return value;
+}
+const BigInt& curve_gx() {
+  static const BigInt value = BigInt::from_string(
+      "0x6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+  return value;
+}
+const BigInt& curve_gy() {
+  static const BigInt value = BigInt::from_string(
+      "0x4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+  return value;
+}
+
+BigInt mod_p(const BigInt& v) { return v.mod(curve_p()); }
+
+/// Jacobian projective point: (X, Y, Z) represents (X/Z^2, Y/Z^3).
+struct Jacobian {
+  BigInt x;
+  BigInt y;
+  BigInt z;  // zero <=> point at infinity
+
+  bool infinity() const { return z.is_zero(); }
+};
+
+Jacobian to_jacobian(const EcPoint& point) {
+  if (point.infinity) return {BigInt(1), BigInt(1), BigInt(0)};
+  return {point.x, point.y, BigInt(1)};
+}
+
+EcPoint to_affine(const Jacobian& point) {
+  if (point.infinity()) return {BigInt(0), BigInt(0), true};
+  const BigInt z_inv = point.z.mod_inverse(curve_p());
+  const BigInt z_inv2 = mod_p(z_inv * z_inv);
+  const BigInt z_inv3 = mod_p(z_inv2 * z_inv);
+  return {mod_p(point.x * z_inv2), mod_p(point.y * z_inv3), false};
+}
+
+/// Point doubling, a = -3 specialization ("dbl-2001-b" style).
+Jacobian jacobian_double(const Jacobian& point) {
+  if (point.infinity() || point.y.is_zero()) return {BigInt(1), BigInt(1), BigInt(0)};
+
+  const BigInt z2 = mod_p(point.z * point.z);
+  // M = 3 (X - Z^2)(X + Z^2)   [uses a = -3]
+  const BigInt m = mod_p(BigInt(3) * (point.x - z2) * (point.x + z2));
+  const BigInt y2 = mod_p(point.y * point.y);
+  const BigInt s = mod_p(BigInt(4) * point.x * y2);  // S = 4 X Y^2
+  const BigInt x3 = mod_p(m * m - BigInt(2) * s);
+  const BigInt y3 = mod_p(m * (s - x3) - BigInt(8) * y2 * y2);
+  const BigInt z3 = mod_p(BigInt(2) * point.y * point.z);
+  return {x3, y3, z3};
+}
+
+/// General Jacobian addition ("add-2007-bl" style, unoptimized).
+Jacobian jacobian_add(const Jacobian& lhs, const Jacobian& rhs) {
+  if (lhs.infinity()) return rhs;
+  if (rhs.infinity()) return lhs;
+
+  const BigInt z1z1 = mod_p(lhs.z * lhs.z);
+  const BigInt z2z2 = mod_p(rhs.z * rhs.z);
+  const BigInt u1 = mod_p(lhs.x * z2z2);
+  const BigInt u2 = mod_p(rhs.x * z1z1);
+  const BigInt s1 = mod_p(lhs.y * rhs.z * z2z2);
+  const BigInt s2 = mod_p(rhs.y * lhs.z * z1z1);
+
+  if (u1 == u2) {
+    if (s1 == s2) return jacobian_double(lhs);
+    return {BigInt(1), BigInt(1), BigInt(0)};  // P + (-P) = infinity
+  }
+
+  const BigInt h = mod_p(u2 - u1);
+  const BigInt r = mod_p(s2 - s1);
+  const BigInt h2 = mod_p(h * h);
+  const BigInt h3 = mod_p(h2 * h);
+  const BigInt u1h2 = mod_p(u1 * h2);
+  const BigInt x3 = mod_p(r * r - h3 - BigInt(2) * u1h2);
+  const BigInt y3 = mod_p(r * (u1h2 - x3) - s1 * h3);
+  const BigInt z3 = mod_p(lhs.z * rhs.z * h);
+  return {x3, y3, z3};
+}
+
+Jacobian jacobian_mul(const BigInt& k, const Jacobian& point) {
+  if (k.is_zero() || point.infinity()) return {BigInt(1), BigInt(1), BigInt(0)};
+
+  // 4-bit fixed window.
+  std::array<Jacobian, 16> table;
+  table[0] = {BigInt(1), BigInt(1), BigInt(0)};
+  table[1] = point;
+  for (int i = 2; i < 16; ++i) table[i] = jacobian_add(table[i - 1], point);
+
+  Jacobian acc{BigInt(1), BigInt(1), BigInt(0)};
+  const std::size_t bits = k.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  for (std::size_t w = windows; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) acc = jacobian_double(acc);
+    int digit = 0;
+    for (int b = 3; b >= 0; --b) {
+      digit = (digit << 1) | (k.bit(w * 4 + static_cast<std::size_t>(b)) ? 1 : 0);
+    }
+    if (digit != 0) acc = jacobian_add(acc, table[static_cast<std::size_t>(digit)]);
+  }
+  return acc;
+}
+
+/// Hash-to-integer for P-256 with SHA-256: bit lengths match, so this is
+/// a straight big-endian interpretation (RFC 6979 bits2int).
+BigInt bits2int(std::span<const std::uint8_t> digest) {
+  return BigInt::from_bytes(digest);
+}
+
+Bytes int2octets(const BigInt& v) { return v.to_bytes(32); }
+
+/// RFC 6979 deterministic nonce for (private key, message digest).
+BigInt rfc6979_nonce(const BigInt& private_key, const Sha256::Digest& h1) {
+  const BigInt q = curve_n();
+  const Bytes x_octets = int2octets(private_key);
+  const Bytes h_octets = int2octets(bits2int(h1).mod(q));
+
+  Bytes v(32, 0x01);
+  Bytes k(32, 0x00);
+
+  const auto hmac_update = [&](std::uint8_t tag, bool include_material) {
+    HmacSha256 mac(k);
+    mac.update(v);
+    mac.update({&tag, 1});
+    if (include_material) {
+      mac.update(x_octets);
+      mac.update(h_octets);
+    }
+    const auto digest = mac.finalize();
+    k.assign(digest.begin(), digest.end());
+    const auto v_digest = HmacSha256::mac(k, v);
+    v.assign(v_digest.begin(), v_digest.end());
+  };
+
+  hmac_update(0x00, true);
+  hmac_update(0x01, true);
+
+  for (;;) {
+    const auto t = HmacSha256::mac(k, v);
+    v.assign(t.begin(), t.end());
+    const BigInt candidate = bits2int(v);
+    if (!candidate.is_zero() && candidate < q) return candidate;
+    hmac_update(0x00, false);
+  }
+}
+
+}  // namespace
+
+const BigInt& P256::p() { return curve_p(); }
+const BigInt& P256::n() { return curve_n(); }
+const BigInt& P256::b() { return curve_b(); }
+
+EcPoint P256::generator() { return {curve_gx(), curve_gy(), false}; }
+
+bool P256::on_curve(const EcPoint& point) {
+  if (point.infinity) return true;
+  if (point.x.is_negative() || point.x >= curve_p()) return false;
+  if (point.y.is_negative() || point.y >= curve_p()) return false;
+  const BigInt lhs = mod_p(point.y * point.y);
+  const BigInt rhs = mod_p(point.x * point.x * point.x - BigInt(3) * point.x + curve_b());
+  return lhs == rhs;
+}
+
+EcPoint P256::add(const EcPoint& lhs, const EcPoint& rhs) {
+  return to_affine(jacobian_add(to_jacobian(lhs), to_jacobian(rhs)));
+}
+
+EcPoint P256::negate(const EcPoint& point) {
+  if (point.infinity) return point;
+  return {point.x, mod_p(-point.y), false};
+}
+
+EcPoint P256::mul(const BigInt& k, const EcPoint& point) {
+  if (k.is_negative()) return mul(-k, negate(point));
+  return to_affine(jacobian_mul(k, to_jacobian(point)));
+}
+
+Bytes P256::encode(const EcPoint& point) {
+  if (point.infinity) return {0x00};
+  Bytes out{0x04};
+  const Bytes x = point.x.to_bytes(32);
+  const Bytes y = point.y.to_bytes(32);
+  out.insert(out.end(), x.begin(), x.end());
+  out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
+std::optional<EcPoint> P256::decode(std::span<const std::uint8_t> data) {
+  if (data.size() == 1 && data[0] == 0x00) return EcPoint{BigInt(0), BigInt(0), true};
+  if (data.size() != 65 || data[0] != 0x04) return std::nullopt;
+  EcPoint point;
+  point.x = BigInt::from_bytes(data.subspan(1, 32));
+  point.y = BigInt::from_bytes(data.subspan(33, 32));
+  if (!on_curve(point)) return std::nullopt;
+  return point;
+}
+
+Bytes EcdsaSignature::to_bytes() const {
+  Bytes out = r.to_bytes(32);
+  const Bytes s_bytes = s.to_bytes(32);
+  out.insert(out.end(), s_bytes.begin(), s_bytes.end());
+  return out;
+}
+
+std::optional<EcdsaSignature> EcdsaSignature::from_bytes(
+    std::span<const std::uint8_t> data) {
+  if (data.size() != 64) return std::nullopt;
+  return EcdsaSignature{BigInt::from_bytes(data.subspan(0, 32)),
+                        BigInt::from_bytes(data.subspan(32, 32))};
+}
+
+EcdsaKeyPair ecdsa_generate(RandomSource& rng) {
+  const BigInt d = rng.random_range(BigInt(1), curve_n() - BigInt(1));
+  return {d, P256::mul(d, P256::generator())};
+}
+
+EcdsaSignature ecdsa_sign(const BigInt& private_key,
+                          std::span<const std::uint8_t> message) {
+  const BigInt q = curve_n();
+  const Sha256::Digest h1 = Sha256::hash(message);
+  const BigInt e = bits2int(h1).mod(q);
+
+  BigInt k = rfc6979_nonce(private_key, h1);
+  for (;;) {
+    const EcPoint kg = P256::mul(k, P256::generator());
+    const BigInt r = kg.x.mod(q);
+    if (!r.is_zero()) {
+      const BigInt s = (k.mod_inverse(q) * (e + r * private_key)).mod(q);
+      if (!s.is_zero()) return {r, s};
+    }
+    // Vanishing r or s is astronomically unlikely; re-derive by hashing
+    // the nonce (stays deterministic).
+    k = bits2int(Sha256::hash(k.to_bytes(32))).mod(q - BigInt(1)) + BigInt(1);
+  }
+}
+
+bool ecdsa_verify(const EcPoint& public_key, std::span<const std::uint8_t> message,
+                  const EcdsaSignature& signature) {
+  const BigInt& q = curve_n();
+  if (signature.r < BigInt(1) || signature.r >= q) return false;
+  if (signature.s < BigInt(1) || signature.s >= q) return false;
+  if (public_key.infinity || !P256::on_curve(public_key)) return false;
+
+  const BigInt e = bits2int(Sha256::hash(message)).mod(q);
+  const BigInt w = signature.s.mod_inverse(q);
+  const BigInt u1 = (e * w).mod(q);
+  const BigInt u2 = (signature.r * w).mod(q);
+
+  const EcPoint point =
+      P256::add(P256::mul(u1, P256::generator()), P256::mul(u2, public_key));
+  if (point.infinity) return false;
+  return point.x.mod(q) == signature.r;
+}
+
+}  // namespace alidrone::crypto

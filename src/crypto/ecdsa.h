@@ -1,0 +1,81 @@
+// ECDSA over NIST P-256 (secp256r1), with RFC 6979 deterministic nonces.
+//
+// The paper closes its benchmark section with: "more efficient signature
+// schemes are required to support higher GPS sampling rate" (Section
+// VI-B). ECDSA is the natural candidate — a P-256 signature costs one
+// 256-bit scalar multiplication instead of a 1024/2048-bit RSA private
+// exponentiation — and bench_signing_alternatives quantifies the gap.
+//
+// Implementation notes:
+//  - Jacobian projective coordinates (one field inversion per scalar
+//    multiplication), 4-bit fixed-window scalar multiplication;
+//  - deterministic nonces per RFC 6979 with HMAC-SHA256, so a broken or
+//    rigged RNG on the drone can never leak the key through repeated k;
+//  - signatures are the 64-byte big-endian (r, s) concatenation.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "crypto/bigint.h"
+#include "crypto/bytes.h"
+#include "crypto/random.h"
+
+namespace alidrone::crypto {
+
+/// An affine point on P-256 (or the point at infinity).
+struct EcPoint {
+  BigInt x;
+  BigInt y;
+  bool infinity = false;
+
+  bool operator==(const EcPoint& o) const {
+    if (infinity || o.infinity) return infinity == o.infinity;
+    return x == o.x && y == o.y;
+  }
+};
+
+/// The NIST P-256 curve: y^2 = x^3 - 3x + b over GF(p).
+class P256 {
+ public:
+  static const BigInt& p();  ///< field prime
+  static const BigInt& n();  ///< group order
+  static const BigInt& b();  ///< curve constant
+  static EcPoint generator();
+
+  static bool on_curve(const EcPoint& point);
+  static EcPoint add(const EcPoint& lhs, const EcPoint& rhs);
+  static EcPoint negate(const EcPoint& point);
+  /// Scalar multiplication k * point, k >= 0.
+  static EcPoint mul(const BigInt& k, const EcPoint& point);
+
+  /// Serialize as the uncompressed SEC1 form 0x04 || X || Y (65 bytes);
+  /// the point at infinity encodes as the single byte 0x00.
+  static Bytes encode(const EcPoint& point);
+  static std::optional<EcPoint> decode(std::span<const std::uint8_t> data);
+};
+
+struct EcdsaSignature {
+  BigInt r;
+  BigInt s;
+
+  Bytes to_bytes() const;  ///< 64 bytes: r || s, big-endian
+  static std::optional<EcdsaSignature> from_bytes(std::span<const std::uint8_t>);
+};
+
+struct EcdsaKeyPair {
+  BigInt private_key;  ///< in [1, n-1]
+  EcPoint public_key;  ///< private_key * G
+};
+
+EcdsaKeyPair ecdsa_generate(RandomSource& rng);
+
+/// Sign SHA-256(message) with an RFC 6979 deterministic nonce.
+EcdsaSignature ecdsa_sign(const BigInt& private_key,
+                          std::span<const std::uint8_t> message);
+
+/// Strict verification; false on any malformed input (never throws).
+bool ecdsa_verify(const EcPoint& public_key, std::span<const std::uint8_t> message,
+                  const EcdsaSignature& signature);
+
+}  // namespace alidrone::crypto

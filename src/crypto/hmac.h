@@ -1,0 +1,70 @@
+// HMAC (RFC 2104) over any of the library's hash classes.
+//
+// Used by the symmetric-key signing extension (paper Section VII-A1a):
+// a drone TEE and the Auditor can establish an ephemeral session key and
+// authenticate GPS samples with HMAC instead of per-sample RSA signatures.
+#pragma once
+
+#include <span>
+
+#include "crypto/bytes.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace alidrone::crypto {
+
+/// Generic HMAC over a FIPS-180-style hash H (Sha1 or Sha256).
+template <typename H>
+class Hmac {
+ public:
+  static constexpr std::size_t kDigestSize = H::kDigestSize;
+  using Digest = typename H::Digest;
+
+  explicit Hmac(std::span<const std::uint8_t> key) {
+    Bytes k(key.begin(), key.end());
+    if (k.size() > H::kBlockSize) {
+      const Digest d = H::hash(k);
+      k.assign(d.begin(), d.end());
+    }
+    k.resize(H::kBlockSize, 0);
+    ipad_ = k;
+    opad_ = k;
+    for (std::size_t i = 0; i < H::kBlockSize; ++i) {
+      ipad_[i] ^= 0x36;
+      opad_[i] ^= 0x5c;
+    }
+    reset();
+  }
+
+  void reset() {
+    inner_.reset();
+    inner_.update(ipad_);
+  }
+
+  void update(std::span<const std::uint8_t> data) { inner_.update(data); }
+
+  Digest finalize() {
+    const Digest inner_digest = inner_.finalize();
+    H outer;
+    outer.update(opad_);
+    outer.update(inner_digest);
+    return outer.finalize();
+  }
+
+  static Digest mac(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> data) {
+    Hmac h(key);
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  Bytes ipad_;
+  Bytes opad_;
+  H inner_;
+};
+
+using HmacSha1 = Hmac<Sha1>;
+using HmacSha256 = Hmac<Sha256>;
+
+}  // namespace alidrone::crypto

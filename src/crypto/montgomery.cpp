@@ -1,0 +1,112 @@
+#include "crypto/montgomery.h"
+
+#include <stdexcept>
+
+namespace alidrone::crypto {
+
+namespace {
+
+/// Inverse of odd x modulo 2^32 via Newton-Hensel lifting.
+std::uint32_t inverse_mod_2_32(std::uint32_t x) {
+  std::uint32_t inv = x;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - x * inv;  // doubles the number of correct bits
+  }
+  return inv;
+}
+
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(const BigInt& modulus) : m_(modulus) {
+  if (m_.is_negative() || m_.is_even() || m_ < BigInt(3)) {
+    throw std::invalid_argument("MontgomeryContext: modulus must be odd and >= 3");
+  }
+  k_ = m_.limbs_.size();
+  m_prime_ = ~inverse_mod_2_32(m_.limbs_[0]) + 1;  // -m^-1 mod 2^32
+
+  // R = 2^(32k): R mod m and R^2 mod m via shifting (setup-only division).
+  const BigInt r = BigInt(1) << (32 * k_);
+  one_mont_ = r.mod(m_);
+  r2_ = (one_mont_ * one_mont_).mod(m_);
+}
+
+std::vector<std::uint32_t> MontgomeryContext::redc(std::vector<std::uint32_t> t) const {
+  t.resize(2 * k_ + 1, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint32_t u = t[i] * m_prime_;  // mod 2^32 implicitly
+    // t += u * m << (32 i)
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t sum =
+          static_cast<std::uint64_t>(t[i + j]) +
+          static_cast<std::uint64_t>(u) * m_.limbs_[j] + carry;
+      t[i + j] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFu);
+      carry = sum >> 32;
+    }
+    std::size_t idx = i + k_;
+    while (carry != 0) {
+      const std::uint64_t sum = static_cast<std::uint64_t>(t[idx]) + carry;
+      t[idx] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFu);
+      carry = sum >> 32;
+      ++idx;
+    }
+  }
+
+  // result = t >> 32k
+  std::vector<std::uint32_t> out(t.begin() + static_cast<std::ptrdiff_t>(k_),
+                                 t.end());
+  while (!out.empty() && out.back() == 0) out.pop_back();
+
+  BigInt result;
+  result.limbs_ = std::move(out);
+  if (result.compare_magnitude(m_) >= 0) result = result - m_;
+  return std::move(result.limbs_);
+}
+
+BigInt MontgomeryContext::to_mont(const BigInt& a) const {
+  return mul(a.mod(m_), r2_);
+}
+
+BigInt MontgomeryContext::from_mont(const BigInt& a) const {
+  BigInt result;
+  result.limbs_ = redc(a.limbs_);
+  return result;
+}
+
+BigInt MontgomeryContext::mul(const BigInt& a, const BigInt& b) const {
+  const BigInt product = a * b;
+  BigInt result;
+  result.limbs_ = redc(product.limbs_);
+  return result;
+}
+
+BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exponent) const {
+  if (exponent.is_negative()) {
+    throw std::domain_error("MontgomeryContext::pow: negative exponent");
+  }
+  if (exponent.is_zero()) return BigInt(1).mod(m_);
+
+  const BigInt base_m = to_mont(base);
+
+  // 4-bit fixed window over Montgomery-domain values.
+  std::vector<BigInt> table(16);
+  table[0] = one_mont_;
+  table[1] = base_m;
+  for (int i = 2; i < 16; ++i) table[i] = mul(table[i - 1], base_m);
+
+  BigInt acc = one_mont_;
+  const std::size_t bits = exponent.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  for (std::size_t w = windows; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) acc = mul(acc, acc);
+    int digit = 0;
+    for (int b = 3; b >= 0; --b) {
+      digit = (digit << 1) |
+              (exponent.bit(w * 4 + static_cast<std::size_t>(b)) ? 1 : 0);
+    }
+    if (digit != 0) acc = mul(acc, table[static_cast<std::size_t>(digit)]);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace alidrone::crypto

@@ -1,0 +1,92 @@
+#include "crypto/prime.h"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+namespace alidrone::crypto {
+
+namespace {
+
+/// Primes below 2^16, computed once (Eratosthenes).
+const std::vector<std::uint32_t>& small_primes() {
+  static const std::vector<std::uint32_t> primes = [] {
+    constexpr std::size_t kLimit = 1 << 16;
+    std::vector<bool> sieve(kLimit, true);
+    sieve[0] = sieve[1] = false;
+    for (std::size_t i = 2; i * i < kLimit; ++i) {
+      if (!sieve[i]) continue;
+      for (std::size_t j = i * i; j < kLimit; j += i) sieve[j] = false;
+    }
+    std::vector<std::uint32_t> out;
+    for (std::size_t i = 2; i < kLimit; ++i) {
+      if (sieve[i]) out.push_back(static_cast<std::uint32_t>(i));
+    }
+    return out;
+  }();
+  return primes;
+}
+
+}  // namespace
+
+bool passes_trial_division(const BigInt& n) {
+  for (const std::uint32_t p : small_primes()) {
+    if (n.mod_u32(p) == 0) {
+      // n is divisible by p: prime only if n == p itself.
+      return n == BigInt(static_cast<std::int64_t>(p));
+    }
+  }
+  return true;
+}
+
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  if (n == BigInt(2) || n == BigInt(3)) return true;
+  if (n.is_even()) return false;
+  if (!passes_trial_division(n)) return false;
+
+  // Write n - 1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  const BigInt two(2);
+  for (int round = 0; round < rounds; ++round) {
+    const BigInt a = rng.random_range(two, n - two);
+    BigInt x = a.mod_pow(d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = (x * x).mod(n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(std::size_t bits, RandomSource& rng, int mr_rounds) {
+  if (bits < 8) throw std::invalid_argument("generate_prime: need at least 8 bits");
+  for (;;) {
+    BigInt candidate = rng.random_bits(bits);
+    if (candidate.is_even()) candidate += BigInt(1);
+    // Walk odd numbers from the candidate; cheap trial division first.
+    for (int step = 0; step < 512; ++step) {
+      if (candidate.bit_length() != bits) break;  // walked past 2^bits
+      if (passes_trial_division(candidate) &&
+          is_probable_prime(candidate, rng, mr_rounds)) {
+        return candidate;
+      }
+      candidate += BigInt(2);
+    }
+  }
+}
+
+}  // namespace alidrone::crypto

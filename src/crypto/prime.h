@@ -1,0 +1,23 @@
+// Probabilistic primality testing and prime generation for RSA keygen.
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/bigint.h"
+#include "crypto/random.h"
+
+namespace alidrone::crypto {
+
+/// Miller-Rabin with `rounds` random bases (error probability <= 4^-rounds
+/// for composites). Handles small values and even numbers exactly.
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds = 32);
+
+/// Quick composite filter: trial division by primes below 2^16.
+/// Returns false when a small factor exists (and n is not that prime).
+bool passes_trial_division(const BigInt& n);
+
+/// Uniformly random probable prime with exactly `bits` bits. Candidates
+/// are drawn with the top bit set (so p*q has full length) and forced odd.
+BigInt generate_prime(std::size_t bits, RandomSource& rng, int mr_rounds = 32);
+
+}  // namespace alidrone::crypto

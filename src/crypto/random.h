@@ -1,0 +1,63 @@
+// Random byte generation.
+//
+// SecureRandom draws from the OS entropy pool (/dev/urandom).
+// DeterministicRandom is a ChaCha20-based DRBG seeded explicitly — used
+// for reproducible key generation in tests/benchmarks and for simulation
+// noise. Both implement the RandomSource interface so RSA key generation
+// can be driven by either.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "crypto/bigint.h"
+#include "crypto/bytes.h"
+
+namespace alidrone::crypto {
+
+/// Abstract source of random bytes (Core Guidelines C.121: pure interface).
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  Bytes bytes(std::size_t n);
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound); bound > 0 (rejection sampling, no modulo bias).
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double uniform_double();
+  /// Uniformly random integer with exactly `bits` bits (top bit set).
+  BigInt random_bits(std::size_t bits);
+  /// Uniformly random integer in [min, max], inclusive; min <= max.
+  BigInt random_range(const BigInt& min, const BigInt& max);
+};
+
+/// OS-entropy randomness (reads /dev/urandom).
+class SecureRandom final : public RandomSource {
+ public:
+  void fill(std::span<std::uint8_t> out) override;
+};
+
+/// Deterministic ChaCha20-based DRBG; identical seeds yield identical
+/// streams across platforms.
+class DeterministicRandom final : public RandomSource {
+ public:
+  explicit DeterministicRandom(std::uint64_t seed);
+  explicit DeterministicRandom(std::string_view seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  Bytes key_;
+  Bytes nonce_;
+  std::uint64_t block_counter_ = 0;
+  Bytes pool_;
+  std::size_t pool_pos_ = 0;
+
+  void refill();
+};
+
+}  // namespace alidrone::crypto

@@ -1,0 +1,245 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+#include "crypto/prime.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace alidrone::crypto {
+
+namespace {
+
+// DER-encoded DigestInfo prefixes (RFC 8017, section 9.2 notes).
+constexpr std::uint8_t kSha1Prefix[] = {0x30, 0x21, 0x30, 0x09, 0x06,
+                                        0x05, 0x2b, 0x0e, 0x03, 0x02,
+                                        0x1a, 0x05, 0x00, 0x04, 0x14};
+constexpr std::uint8_t kSha256Prefix[] = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09,
+                                          0x60, 0x86, 0x48, 0x01, 0x65, 0x03,
+                                          0x04, 0x02, 0x01, 0x05, 0x00, 0x04,
+                                          0x20};
+
+Bytes digest_info(std::span<const std::uint8_t> message, HashAlgorithm hash) {
+  Bytes out;
+  switch (hash) {
+    case HashAlgorithm::kSha1: {
+      const Sha1::Digest d = Sha1::hash(message);
+      out.assign(std::begin(kSha1Prefix), std::end(kSha1Prefix));
+      out.insert(out.end(), d.begin(), d.end());
+      break;
+    }
+    case HashAlgorithm::kSha256: {
+      const Sha256::Digest d = Sha256::hash(message);
+      out.assign(std::begin(kSha256Prefix), std::end(kSha256Prefix));
+      out.insert(out.end(), d.begin(), d.end());
+      break;
+    }
+  }
+  return out;
+}
+
+/// EMSA-PKCS1-v1_5 encoding: 0x00 0x01 FF..FF 0x00 DigestInfo.
+Bytes emsa_pkcs1_encode(std::span<const std::uint8_t> message, HashAlgorithm hash,
+                        std::size_t em_len) {
+  const Bytes t = digest_info(message, hash);
+  if (em_len < t.size() + 11) {
+    throw std::length_error("RSA modulus too small for this digest");
+  }
+  Bytes em(em_len, 0xFF);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - t.size() - 1] = 0x00;
+  std::copy(t.begin(), t.end(), em.end() - static_cast<std::ptrdiff_t>(t.size()));
+  return em;
+}
+
+}  // namespace
+
+std::string to_string(HashAlgorithm h) {
+  switch (h) {
+    case HashAlgorithm::kSha1:
+      return "SHA-1";
+    case HashAlgorithm::kSha256:
+      return "SHA-256";
+  }
+  return "unknown";
+}
+
+Bytes RsaPublicKey::fingerprint() const {
+  Sha256 h;
+  const Bytes nb = n.to_bytes();
+  const Bytes eb = e.to_bytes();
+  h.update(nb);
+  h.update(eb);
+  const Sha256::Digest d = h.finalize();
+  return Bytes(d.begin(), d.end());
+}
+
+RsaKeyPair generate_rsa_keypair(std::size_t modulus_bits, RandomSource& rng) {
+  if (modulus_bits < 256 || modulus_bits % 2 != 0) {
+    throw std::invalid_argument("generate_rsa_keypair: modulus must be even and >= 256 bits");
+  }
+  const BigInt e(65537);
+  const std::size_t half = modulus_bits / 2;
+
+  for (;;) {
+    const BigInt p = generate_prime(half, rng);
+    BigInt q = generate_prime(half, rng);
+    if (p == q) continue;
+
+    const BigInt n = p * q;
+    if (n.bit_length() != modulus_bits) continue;
+
+    const BigInt p1 = p - BigInt(1);
+    const BigInt q1 = q - BigInt(1);
+    const BigInt phi = p1 * q1;
+    if (BigInt::gcd(e, phi) != BigInt(1)) continue;
+
+    RsaKeyPair kp;
+    kp.priv.n = n;
+    kp.priv.e = e;
+    kp.priv.d = e.mod_inverse(phi);
+    // Order p > q so q_inv = q^-1 mod p is the standard CRT coefficient.
+    if (p > q) {
+      kp.priv.p = p;
+      kp.priv.q = q;
+    } else {
+      kp.priv.p = q;
+      kp.priv.q = p;
+    }
+    kp.priv.d_p = kp.priv.d % (kp.priv.p - BigInt(1));
+    kp.priv.d_q = kp.priv.d % (kp.priv.q - BigInt(1));
+    kp.priv.q_inv = kp.priv.q.mod_inverse(kp.priv.p);
+    kp.pub = kp.priv.public_key();
+    return kp;
+  }
+}
+
+BigInt rsa_private_op(const RsaPrivateKey& key, const BigInt& m) {
+  if (m >= key.n || m.is_negative()) {
+    throw std::domain_error("rsa_private_op: message representative out of range");
+  }
+  if (!key.has_crt()) return m.mod_pow(key.d, key.n);
+
+  // Garner's CRT recombination.
+  const BigInt m1 = m.mod_pow(key.d_p, key.p);
+  const BigInt m2 = m.mod_pow(key.d_q, key.q);
+  const BigInt h = (key.q_inv * (m1 - m2)).mod(key.p);
+  return m2 + key.q * h;
+}
+
+BigInt rsa_private_op_blinded(const RsaPrivateKey& key, const BigInt& m,
+                              RandomSource& rng) {
+  if (m >= key.n || m.is_negative()) {
+    throw std::domain_error("rsa_private_op_blinded: message out of range");
+  }
+  // Draw r coprime to n (overwhelmingly likely on the first try; a common
+  // factor with n would factor the key, so retrying is safe and rare).
+  BigInt r;
+  BigInt r_inv;
+  for (;;) {
+    r = rng.random_range(BigInt(2), key.n - BigInt(2));
+    if (BigInt::gcd(r, key.n) != BigInt(1)) continue;
+    r_inv = r.mod_inverse(key.n);
+    break;
+  }
+  const BigInt blinded = (m * r.mod_pow(key.e, key.n)).mod(key.n);
+  const BigInt signed_blinded = rsa_private_op(key, blinded);
+  return (signed_blinded * r_inv).mod(key.n);
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> message,
+               HashAlgorithm hash) {
+  const std::size_t k = key.modulus_bytes();
+  const Bytes em = emsa_pkcs1_encode(message, hash, k);
+  const BigInt s = rsa_private_op(key, BigInt::from_bytes(em));
+  return s.to_bytes(k);
+}
+
+Bytes rsa_sign_blinded(const RsaPrivateKey& key,
+                       std::span<const std::uint8_t> message, HashAlgorithm hash,
+                       RandomSource& rng) {
+  const std::size_t k = key.modulus_bytes();
+  const Bytes em = emsa_pkcs1_encode(message, hash, k);
+  const BigInt s = rsa_private_op_blinded(key, BigInt::from_bytes(em), rng);
+  return s.to_bytes(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature, HashAlgorithm hash) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+
+  const BigInt s = BigInt::from_bytes(signature);
+  if (s >= key.n) return false;
+
+  const BigInt m = s.mod_pow(key.e, key.n);
+  Bytes em;
+  try {
+    em = m.to_bytes(k);
+  } catch (const std::length_error&) {
+    return false;
+  }
+  Bytes expected;
+  try {
+    expected = emsa_pkcs1_encode(message, hash, k);
+  } catch (const std::length_error&) {
+    return false;
+  }
+  return constant_time_equal(em, expected);
+}
+
+Bytes rsa_encrypt(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+                  RandomSource& rng) {
+  const std::size_t k = key.modulus_bytes();
+  if (message.size() + 11 > k) {
+    throw std::length_error("rsa_encrypt: message too long for modulus");
+  }
+  // EME-PKCS1-v1_5: 0x00 0x02 PS 0x00 M, PS = nonzero random bytes.
+  Bytes em(k, 0);
+  em[1] = 0x02;
+  const std::size_t ps_len = k - message.size() - 3;
+  for (std::size_t i = 0; i < ps_len; ++i) {
+    std::uint8_t b = 0;
+    while (b == 0) {
+      rng.fill({&b, 1});
+    }
+    em[2 + i] = b;
+  }
+  em[2 + ps_len] = 0x00;
+  std::copy(message.begin(), message.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(2 + ps_len + 1));
+
+  const BigInt c = BigInt::from_bytes(em).mod_pow(key.e, key.n);
+  return c.to_bytes(k);
+}
+
+std::optional<Bytes> rsa_decrypt(const RsaPrivateKey& key,
+                                 std::span<const std::uint8_t> ciphertext) {
+  const std::size_t k = key.modulus_bytes();
+  if (ciphertext.size() != k || k < 11) return std::nullopt;
+
+  const BigInt c = BigInt::from_bytes(ciphertext);
+  if (c >= key.n) return std::nullopt;
+
+  Bytes em;
+  try {
+    em = rsa_private_op(key, c).to_bytes(k);
+  } catch (const std::length_error&) {
+    return std::nullopt;
+  }
+  if (em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
+
+  // Find the 0x00 separator after at least 8 padding bytes.
+  std::size_t sep = 0;
+  for (std::size_t i = 2; i < em.size(); ++i) {
+    if (em[i] == 0x00) {
+      sep = i;
+      break;
+    }
+  }
+  if (sep < 10) return std::nullopt;  // fewer than 8 PS bytes or no separator
+  return Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep + 1), em.end());
+}
+
+}  // namespace alidrone::crypto

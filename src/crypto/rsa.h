@@ -1,0 +1,107 @@
+// RSA: key generation, RSASSA-PKCS1-v1_5 signatures (SHA-1 / SHA-256) and
+// RSAES-PKCS1-v1_5 encryption — the same algorithms the AliDrone prototype
+// uses inside OP-TEE (TEE_ALG_RSASSA_PKCS1_V1_5_SHA1, RSAES_PKCS1_v1_5).
+//
+// Private-key operations use the Chinese Remainder Theorem when CRT
+// parameters are present. Signature verification is strict: the decoded
+// encoding must match the expected EMSA-PKCS1-v1_5 block byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "crypto/bigint.h"
+#include "crypto/bytes.h"
+#include "crypto/random.h"
+
+namespace alidrone::crypto {
+
+/// Hash used inside RSASSA-PKCS1-v1_5.
+enum class HashAlgorithm {
+  kSha1,    ///< paper's TEE_ALG_RSASSA_PKCS1_V1_5_SHA1
+  kSha256,  ///< modern default
+};
+
+std::string to_string(HashAlgorithm h);
+
+/// Public half: (n, e). Sufficient to verify signatures and encrypt.
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  std::size_t modulus_bits() const { return n.bit_length(); }
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  bool operator==(const RsaPublicKey&) const = default;
+
+  /// Stable fingerprint (SHA-256 of n || e), e.g. for registries/logs.
+  Bytes fingerprint() const;
+};
+
+/// Private half, with CRT acceleration parameters.
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;
+  // CRT parameters (empty BigInts when unavailable).
+  BigInt p;
+  BigInt q;
+  BigInt d_p;    ///< d mod (p-1)
+  BigInt d_q;    ///< d mod (q-1)
+  BigInt q_inv;  ///< q^-1 mod p
+
+  bool has_crt() const { return !p.is_zero() && !q.is_zero(); }
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  RsaPublicKey public_key() const { return {n, e}; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generate an RSA key pair with the given modulus size (e = 65537).
+/// Use a DeterministicRandom for reproducible keys in tests.
+RsaKeyPair generate_rsa_keypair(std::size_t modulus_bits, RandomSource& rng);
+
+/// RSASSA-PKCS1-v1_5 signature over `message` (the message is hashed with
+/// `hash` internally). Output length equals the modulus length.
+Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> message,
+               HashAlgorithm hash);
+
+/// Same signature, computed through the blinded private-key operation
+/// (timing side-channel countermeasure; see rsa_private_op_blinded).
+Bytes rsa_sign_blinded(const RsaPrivateKey& key,
+                       std::span<const std::uint8_t> message, HashAlgorithm hash,
+                       RandomSource& rng);
+
+/// Strict RSASSA-PKCS1-v1_5 verification; false on any mismatch (never throws
+/// for malformed signatures — a hostile input must not crash the Auditor).
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature, HashAlgorithm hash);
+
+/// RSAES-PKCS1-v1_5 encryption. Message must be at most k - 11 bytes where
+/// k is the modulus length; throws std::length_error otherwise.
+Bytes rsa_encrypt(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+                  RandomSource& rng);
+
+/// RSAES-PKCS1-v1_5 decryption; std::nullopt on padding failure.
+std::optional<Bytes> rsa_decrypt(const RsaPrivateKey& key,
+                                 std::span<const std::uint8_t> ciphertext);
+
+/// Raw RSA private-key operation m^d mod n (CRT-accelerated when available).
+/// Exposed for benchmarks; protocol code uses the padded forms above.
+BigInt rsa_private_op(const RsaPrivateKey& key, const BigInt& m);
+
+/// Blinded private-key operation (Kocher's timing-attack countermeasure):
+/// computes m^d mod n as r^-1 * (m * r^e)^d mod n for a fresh random r, so
+/// the exponentiation input is uncorrelated with the message. The drone
+/// TEE signs attacker-influenced data (GPS bytes an adversary may shape
+/// via the UART), which is exactly the setting blinding defends.
+BigInt rsa_private_op_blinded(const RsaPrivateKey& key, const BigInt& m,
+                              RandomSource& rng);
+
+}  // namespace alidrone::crypto

@@ -1,0 +1,39 @@
+// SHA-1 (FIPS 180-4). Used by the paper's TEE_ALG_RSASSA_PKCS1_V1_5_SHA1
+// signature scheme. SHA-1 is cryptographically broken for collision
+// resistance; it is implemented here for fidelity to the prototype, and
+// SHA-256 is offered (and preferred) alongside it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.h"
+
+namespace alidrone::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1();
+
+  void update(std::span<const std::uint8_t> data);
+  Digest finalize();  ///< One-shot: object must be reset() before reuse.
+  void reset();
+
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace alidrone::crypto

@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4). The preferred digest for AliDrone signatures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "crypto/bytes.h"
+
+namespace alidrone::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  Digest finalize();
+  void reset();
+
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace alidrone::crypto

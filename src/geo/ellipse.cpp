@@ -1,0 +1,100 @@
+#include "geo/ellipse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace alidrone::geo {
+
+TravelEllipse::TravelEllipse(Vec2 f1, Vec2 f2, double focal_sum)
+    : f1_(f1),
+      f2_(f2),
+      focal_sum_(std::max(0.0, focal_sum)),
+      interfocal_distance_(distance(f1, f2)) {}
+
+TravelEllipse TravelEllipse::from_samples(Vec2 p1, double t1, Vec2 p2, double t2,
+                                          double vmax) {
+  return TravelEllipse(p1, p2, vmax * (t2 - t1));
+}
+
+double TravelEllipse::focal_distance_sum(Vec2 p) const {
+  return distance(p, f1_) + distance(p, f2_);
+}
+
+bool TravelEllipse::focal_test_disjoint(const Circle& z) const {
+  const double d1 = z.boundary_distance(f1_);
+  const double d2 = z.boundary_distance(f2_);
+  // A focus inside the zone can never be disjoint.
+  if (d1 < 0.0 || d2 < 0.0) return false;
+  return d1 + d2 >= focal_sum_;
+}
+
+double TravelEllipse::min_focal_sum_over_disk(const Circle& z) const {
+  // The focal-distance sum g(p) = |p-f1| + |p-f2| is convex with global
+  // minimum value |f1-f2| attained on the segment [f1, f2]. Over a convex
+  // disk, the minimum is either that global minimum (segment meets the
+  // disk) or lies on the disk boundary.
+  if (segment_intersects_circle(f1_, f2_, z)) return interfocal_distance_;
+
+  const auto boundary_point = [&](double theta) {
+    return Vec2{z.center.x + z.radius * std::cos(theta),
+                z.center.y + z.radius * std::sin(theta)};
+  };
+  const auto g = [&](double theta) { return focal_distance_sum(boundary_point(theta)); };
+
+  // Coarse scan to bracket the minimum, then golden-section refinement.
+  constexpr int kScan = 128;
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  double best_theta = 0.0;
+  double best_val = g(0.0);
+  for (int i = 1; i < kScan; ++i) {
+    const double theta = kTwoPi * static_cast<double>(i) / kScan;
+    const double v = g(theta);
+    if (v < best_val) {
+      best_val = v;
+      best_theta = theta;
+    }
+  }
+
+  double lo = best_theta - kTwoPi / kScan;
+  double hi = best_theta + kTwoPi / kScan;
+  constexpr double kGolden = 0.618033988749894848;
+  double x1 = hi - kGolden * (hi - lo);
+  double x2 = lo + kGolden * (hi - lo);
+  double g1 = g(x1);
+  double g2 = g(x2);
+  for (int it = 0; it < 80 && (hi - lo) > 1e-12; ++it) {
+    if (g1 < g2) {
+      hi = x2;
+      x2 = x1;
+      g2 = g1;
+      x1 = hi - kGolden * (hi - lo);
+      g1 = g(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      g1 = g2;
+      x2 = lo + kGolden * (hi - lo);
+      g2 = g(x2);
+    }
+  }
+  return std::min({best_val, g1, g2});
+}
+
+bool TravelEllipse::exactly_disjoint(const Circle& z) const {
+  if (!feasible()) return true;  // empty region intersects nothing
+  return min_focal_sum_over_disk(z) > focal_sum_;
+}
+
+double TravelEllipse::semi_major() const {
+  return feasible() ? focal_sum_ / 2.0 : 0.0;
+}
+
+double TravelEllipse::semi_minor() const {
+  if (!feasible()) return 0.0;
+  const double a = focal_sum_ / 2.0;
+  const double c = interfocal_distance_ / 2.0;
+  return std::sqrt(std::max(0.0, a * a - c * c));
+}
+
+}  // namespace alidrone::geo

@@ -1,0 +1,79 @@
+// Possible-traveling-range ellipse (paper Section IV-C1).
+//
+// Given two GPS samples S1 = (p1, t1), S2 = (p2, t2) and a maximum speed
+// v_max, the drone's location at any intermediate time lies inside the
+// ellipse with foci p1, p2 and focal-sum v_max * (t2 - t1):
+//
+//   E(S1, S2) = { p : |p - p1| + |p - p2| <= v_max * (t2 - t1) }
+//
+// A sample pair proves alibi with respect to an NFZ disk z iff E does not
+// intersect z. AliDrone's protocol (eq. 1/2 and Algorithm 1) uses the
+// *focal-distance* criterion
+//
+//   D1 + D2 >= v_max * (t2 - t1),   Di = dist(pi, center) - radius,
+//
+// which is a conservative (sufficient) condition for disjointness: for any
+// point q of the disk, |q - pi| >= Di + radius - radius = Di... more
+// precisely |q - pi| >= |pi - c| - r = Di, so the focal sum of any disk
+// point is at least D1 + D2. This header provides both the paper's focal
+// test (the canonical protocol predicate) and an exact geometric
+// intersection test used in tests/ablations to quantify the conservatism.
+#pragma once
+
+#include "geo/circle.h"
+#include "geo/vec2.h"
+
+namespace alidrone::geo {
+
+/// The possible-traveling-range ellipse between two timestamped positions.
+class TravelEllipse {
+ public:
+  /// `focal_sum` = v_max * (t2 - t1); must be >= 0. If focal_sum is less
+  /// than the inter-focus distance the "ellipse" is empty (the two samples
+  /// are themselves infeasible at v_max — e.g. forged data).
+  TravelEllipse(Vec2 f1, Vec2 f2, double focal_sum);
+
+  /// Convenience: build from positions, timestamps and a speed limit.
+  static TravelEllipse from_samples(Vec2 p1, double t1, Vec2 p2, double t2,
+                                    double vmax);
+
+  Vec2 focus1() const { return f1_; }
+  Vec2 focus2() const { return f2_; }
+  double focal_sum() const { return focal_sum_; }
+
+  /// True if the two end samples are physically consistent with v_max,
+  /// i.e. the ellipse is non-empty.
+  bool feasible() const { return focal_sum_ >= interfocal_distance_; }
+
+  /// Sum of distances from `p` to the two foci.
+  double focal_distance_sum(Vec2 p) const;
+
+  /// True if `p` lies inside or on the ellipse.
+  bool contains(Vec2 p) const { return focal_distance_sum(p) <= focal_sum_; }
+
+  /// The paper's conservative disjointness test (eq. 2): true when
+  /// D1 + D2 >= focal_sum, with Di the distance from focus i to the circle
+  /// boundary. If this returns true the ellipse provably does not reach
+  /// into the NFZ. A false result does NOT always mean intersection.
+  bool focal_test_disjoint(const Circle& z) const;
+
+  /// Exact test: true iff the ellipse region and the disk share no point.
+  /// Computed by minimizing the focal-distance sum over the disk (golden
+  /// section over the circle boundary plus center/containment checks).
+  bool exactly_disjoint(const Circle& z) const;
+
+  /// Minimum of the focal-distance sum over the closed disk `z`.
+  double min_focal_sum_over_disk(const Circle& z) const;
+
+  /// Semi-major / semi-minor axes (0 if infeasible).
+  double semi_major() const;
+  double semi_minor() const;
+
+ private:
+  Vec2 f1_;
+  Vec2 f2_;
+  double focal_sum_;
+  double interfocal_distance_;
+};
+
+}  // namespace alidrone::geo

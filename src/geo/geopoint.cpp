@@ -1,0 +1,68 @@
+#include "geo/geopoint.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace alidrone::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+}  // namespace
+
+double haversine_distance(GeoPoint a, GeoPoint b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double initial_bearing_deg(GeoPoint a, GeoPoint b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x =
+      std::cos(lat1) * std::sin(lat2) - std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double bearing = std::atan2(y, x) * kRadToDeg;
+  if (bearing < 0.0) bearing += 360.0;
+  return bearing;
+}
+
+GeoPoint destination_point(GeoPoint origin, double bearing_deg, double distance_m) {
+  const double lat1 = origin.lat_deg * kDegToRad;
+  const double lon1 = origin.lon_deg * kDegToRad;
+  const double brg = bearing_deg * kDegToRad;
+  const double ang = distance_m / kEarthRadiusMeters;
+
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(ang) +
+                                std::cos(lat1) * std::sin(ang) * std::cos(brg));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(brg) * std::sin(ang) * std::cos(lat1),
+                        std::cos(ang) - std::sin(lat1) * std::sin(lat2));
+  return {lat2 * kRadToDeg, lon2 * kRadToDeg};
+}
+
+LocalFrame::LocalFrame(GeoPoint origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lon_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(origin.lat_deg * kDegToRad);
+}
+
+Vec2 LocalFrame::to_local(GeoPoint p) const {
+  return {(p.lon_deg - origin_.lon_deg) * meters_per_deg_lon_,
+          (p.lat_deg - origin_.lat_deg) * meters_per_deg_lat_};
+}
+
+GeoPoint LocalFrame::to_geo(Vec2 v) const {
+  return {origin_.lat_deg + v.y / meters_per_deg_lat_,
+          origin_.lon_deg + v.x / meters_per_deg_lon_};
+}
+
+}  // namespace alidrone::geo

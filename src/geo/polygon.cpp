@@ -1,0 +1,123 @@
+#include "geo/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace alidrone::geo {
+
+bool Polygon::contains(Vec2 p) const {
+  const std::size_t n = vertices_.size();
+  if (n < 3) return false;
+
+  bool inside = false;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2 a = vertices_[j];
+    const Vec2 b = vertices_[i];
+    // Boundary: point on segment counts as inside.
+    if (point_segment_distance(p, a, b) < 1e-12) return true;
+    const bool crosses = (b.y > p.y) != (a.y > p.y);
+    if (crosses) {
+      const double x_at = b.x + (p.y - b.y) * (a.x - b.x) / (a.y - b.y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::signed_area() const {
+  const std::size_t n = vertices_.size();
+  if (n < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    acc += vertices_[j].cross(vertices_[i]);
+  }
+  return acc / 2.0;
+}
+
+Vec2 Polygon::centroid() const {
+  const std::size_t n = vertices_.size();
+  if (n == 0) return {};
+  if (n < 3 || std::abs(signed_area()) < 1e-12) {
+    Vec2 sum{};
+    for (const Vec2 v : vertices_) sum += v;
+    return sum / static_cast<double>(n);
+  }
+  double a = 0.0;
+  Vec2 c{};
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const double w = vertices_[j].cross(vertices_[i]);
+    a += w;
+    c += (vertices_[j] + vertices_[i]) * w;
+  }
+  return c / (3.0 * a);
+}
+
+Circle circle_from(Vec2 a) { return {a, 0.0}; }
+
+Circle circle_from(Vec2 a, Vec2 b) {
+  const Vec2 center = (a + b) * 0.5;
+  return {center, distance(a, b) / 2.0};
+}
+
+Circle circle_from(Vec2 a, Vec2 b, Vec2 c) {
+  // Circumcircle via perpendicular bisector intersection.
+  const double d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+  if (std::abs(d) < 1e-14) {
+    // Degenerate (collinear): fall back to the widest diameter circle.
+    Circle best = circle_from(a, b);
+    for (const Circle cand : {circle_from(a, c), circle_from(b, c)}) {
+      if (cand.radius > best.radius) best = cand;
+    }
+    return best;
+  }
+  const double a2 = a.norm2();
+  const double b2 = b.norm2();
+  const double c2 = c.norm2();
+  const Vec2 center{
+      (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+      (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d};
+  return {center, distance(center, a)};
+}
+
+namespace {
+
+constexpr double kEncloseEps = 1e-7;
+
+bool encloses(const Circle& c, Vec2 p) {
+  return distance(p, c.center) <= c.radius + kEncloseEps;
+}
+
+// Welzl's move-to-front algorithm, iterative over boundary-set size to keep
+// stack depth constant.
+Circle welzl(std::vector<Vec2>& pts) {
+  Circle c{};
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i == 0 || !encloses(c, pts[i])) {
+      c = circle_from(pts[i]);
+      for (std::size_t j = 0; j < i; ++j) {
+        if (!encloses(c, pts[j])) {
+          c = circle_from(pts[i], pts[j]);
+          for (std::size_t k = 0; k < j; ++k) {
+            if (!encloses(c, pts[k])) {
+              c = circle_from(pts[i], pts[j], pts[k]);
+            }
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Circle smallest_enclosing_circle(std::span<const Vec2> points) {
+  if (points.empty()) return {};
+  std::vector<Vec2> pts(points.begin(), points.end());
+  std::mt19937 rng(0xA11D70E5u);  // fixed seed: deterministic results
+  std::shuffle(pts.begin(), pts.end(), rng);
+  return welzl(pts);
+}
+
+}  // namespace alidrone::geo

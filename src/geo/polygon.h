@@ -1,0 +1,50 @@
+// Polygons and the smallest enclosing circle (paper Section VII-B2).
+//
+// The arbitrary-NFZ extension lets a Zone Owner register a polygonal zone;
+// at registration the Auditor replaces it by the smallest circle enclosing
+// all vertices (the "smallest circle problem", solvable in linear time —
+// Megiddo 1983; we implement Welzl's randomized algorithm, expected linear).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/circle.h"
+#include "geo/vec2.h"
+
+namespace alidrone::geo {
+
+/// A simple polygon given by its vertices in order (either orientation).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {}
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  bool empty() const { return vertices_.empty(); }
+  std::size_t size() const { return vertices_.size(); }
+
+  /// Even-odd rule point containment (boundary counts as inside).
+  bool contains(Vec2 p) const;
+
+  /// Signed area (positive for counter-clockwise vertex order).
+  double signed_area() const;
+
+  Vec2 centroid() const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+/// Smallest circle enclosing all points (Welzl's algorithm, expected O(n)).
+/// Returns a zero-radius circle at the point for n == 1 and a
+/// default-constructed circle for n == 0. Deterministic: the internal
+/// shuffle uses a fixed seed so results are reproducible.
+Circle smallest_enclosing_circle(std::span<const Vec2> points);
+
+/// Circle through 1, 2 (diameter) or 3 (circumcircle) boundary points.
+Circle circle_from(Vec2 a);
+Circle circle_from(Vec2 a, Vec2 b);
+Circle circle_from(Vec2 a, Vec2 b, Vec2 c);
+
+}  // namespace alidrone::geo

@@ -1,0 +1,31 @@
+// Unit constants and conversions used throughout AliDrone.
+//
+// The paper mixes imperial units (FAA regulations: 100 mph speed cap,
+// 5 mile airport no-fly radius, distances in feet) with metric GPS
+// computations. All internal geometry is carried out in SI units
+// (meters, seconds, m/s); these helpers convert at the boundaries.
+#pragma once
+
+namespace alidrone::geo {
+
+inline constexpr double kMetersPerMile = 1609.344;
+inline constexpr double kMetersPerFoot = 0.3048;
+inline constexpr double kMetersPerNauticalMile = 1852.0;
+inline constexpr double kKnotsToMetersPerSecond = kMetersPerNauticalMile / 3600.0;
+
+/// FAA Part 107 speed limit for small UAS: 100 mph (paper, Section IV-C1).
+inline constexpr double kFaaMaxSpeedMph = 100.0;
+
+constexpr double mph_to_mps(double mph) { return mph * kMetersPerMile / 3600.0; }
+constexpr double mps_to_mph(double mps) { return mps * 3600.0 / kMetersPerMile; }
+constexpr double miles_to_meters(double mi) { return mi * kMetersPerMile; }
+constexpr double meters_to_miles(double m) { return m / kMetersPerMile; }
+constexpr double feet_to_meters(double ft) { return ft * kMetersPerFoot; }
+constexpr double meters_to_feet(double m) { return m / kMetersPerFoot; }
+constexpr double knots_to_mps(double kn) { return kn * kKnotsToMetersPerSecond; }
+constexpr double mps_to_knots(double mps) { return mps / kKnotsToMetersPerSecond; }
+
+/// v_max used by the Proof-of-Alibi travel-range computation (100 mph in m/s).
+inline constexpr double kFaaMaxSpeedMps = kFaaMaxSpeedMph * kMetersPerMile / 3600.0;
+
+}  // namespace alidrone::geo

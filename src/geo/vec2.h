@@ -1,0 +1,65 @@
+// Minimal 2D vector math for planar (local ENU) geometry.
+#pragma once
+
+#include <cmath>
+
+namespace alidrone::geo {
+
+/// A point or displacement in a local planar frame, in meters.
+/// x = East, y = North when produced by LocalFrame.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3D cross product; sign gives turn direction.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm2() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Counter-clockwise perpendicular.
+  constexpr Vec2 perp() const { return {-y, x}; }
+  /// Angle from +x axis in radians, range (-pi, pi].
+  double angle() const { return std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// 3D counterpart used by the altitude extension (Section VII-B1).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  constexpr double norm2() const { return x * x + y * y + z * z; }
+};
+
+constexpr Vec3 operator*(double s, Vec3 v) { return v * s; }
+
+inline double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
+
+}  // namespace alidrone::geo

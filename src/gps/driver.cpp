@@ -1,0 +1,59 @@
+#include "gps/driver.h"
+
+#include "geo/units.h"
+#include "nmea/gga.h"
+#include "nmea/rmc.h"
+#include "nmea/vtg.h"
+
+namespace alidrone::gps {
+
+void GpsDriver::feed(std::string_view sentence) {
+  if (const auto rmc = nmea::parse_rmc(sentence)) {
+    GpsFix fix;
+    fix.position = rmc->position;
+    fix.unix_time = rmc->unix_time();
+    fix.speed_mps = geo::knots_to_mps(rmc->speed_knots);
+    fix.course_deg = rmc->course_deg;
+    fix.valid = rmc->valid;
+    // Keep the last known altitude (RMC does not carry one).
+    if (latest_) fix.altitude_m = latest_->altitude_m;
+    latest_ = fix;
+    ++sequence_;
+    ++accepted_;
+    return;
+  }
+  if (const auto gga = nmea::parse_gga(sentence)) {
+    // GGA refreshes altitude but is not a full fix on its own (no date);
+    // merge into the current fix when one exists.
+    if (latest_) latest_->altitude_m = gga->altitude_m;
+    ++accepted_;
+    return;
+  }
+  if (const auto vtg = nmea::parse_vtg(sentence)) {
+    // VTG refreshes speed/course between RMC fixes.
+    if (latest_) {
+      latest_->speed_mps = geo::knots_to_mps(vtg->speed_knots);
+      latest_->course_deg = vtg->course_true_deg;
+    }
+    ++accepted_;
+    return;
+  }
+  ++rejected_;
+}
+
+void GpsDriver::feed_bytes(std::string_view bytes) {
+  for (const char c : bytes) {
+    if (c == '\n') {
+      if (!pending_.empty()) {
+        feed(pending_);
+        pending_.clear();
+      }
+    } else {
+      pending_.push_back(c);
+    }
+  }
+}
+
+std::optional<GpsFix> GpsDriver::get_gps() const { return latest_; }
+
+}  // namespace alidrone::gps

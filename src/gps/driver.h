@@ -1,0 +1,47 @@
+// GPS Driver — the paper's secure-world kernel component (Section V-B).
+//
+// In the prototype this maps the GPIO RX port into memory, scans for
+// $GPRMC sentences and parses them with Libnmea. Here it consumes the byte
+// stream produced by GpsReceiverSim, maintains the latest parsed fix, and
+// exposes GetGPS() to the GPS Sampler TA. A monotonically increasing
+// sequence number lets callers detect fresh measurements (the fixed-rate
+// sampler's "wait until the first measurement update" semantics).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gps/fix.h"
+
+namespace alidrone::gps {
+
+class GpsDriver {
+ public:
+  /// Feed one framed NMEA sentence (or any line of bytes; invalid input is
+  /// counted and dropped, never fatal — a driver must survive line noise).
+  void feed(std::string_view sentence);
+
+  /// Feed a raw byte stream; sentences are split on line boundaries.
+  void feed_bytes(std::string_view bytes);
+
+  /// The paper's GetGPS(): latest parsed fix, or nullopt before first fix.
+  std::optional<GpsFix> get_gps() const;
+
+  /// Sequence number of the latest fix; increments on every accepted
+  /// $GPRMC. 0 means no fix yet.
+  std::uint64_t sequence() const { return sequence_; }
+
+  std::uint64_t accepted_sentences() const { return accepted_; }
+  std::uint64_t rejected_sentences() const { return rejected_; }
+
+ private:
+  std::optional<GpsFix> latest_;
+  std::string pending_;  // partial line from feed_bytes
+  std::uint64_t sequence_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace alidrone::gps

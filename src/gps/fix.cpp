@@ -1,0 +1,34 @@
+#include "gps/fix.h"
+
+#include <cmath>
+
+namespace alidrone::gps {
+
+CivilTime civil_from_unix(double unix_time) {
+  const double day_seconds_d = std::floor(unix_time / 86400.0);
+  const long days = static_cast<long>(day_seconds_d);
+  double tod = unix_time - day_seconds_d * 86400.0;
+
+  // Howard Hinnant's civil_from_days.
+  const long z = days + 719468;
+  const long era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned long doe = static_cast<unsigned long>(z - era * 146097);
+  const unsigned long yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const long y = static_cast<long>(yoe) + era * 400;
+  const unsigned long doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned long mp = (5 * doy + 2) / 153;
+  const unsigned long d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned long m = mp + (mp < 10 ? 3 : -9);
+
+  CivilTime out;
+  out.year = static_cast<int>(y + (m <= 2));
+  out.month = static_cast<int>(m);
+  out.day = static_cast<int>(d);
+  out.hour = static_cast<int>(tod / 3600.0);
+  tod -= out.hour * 3600.0;
+  out.minute = static_cast<int>(tod / 60.0);
+  out.second = tod - out.minute * 60.0;
+  return out;
+}
+
+}  // namespace alidrone::gps

@@ -1,0 +1,36 @@
+// A parsed GPS fix, the unit of data flowing from receiver to sampler.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/geopoint.h"
+
+namespace alidrone::gps {
+
+/// One GPS measurement. `unix_time` is seconds since the Unix epoch (UTC);
+/// the paper's samples S = (lat, lon, t) are exactly (position, unix_time).
+struct GpsFix {
+  geo::GeoPoint position;
+  double altitude_m = 0.0;
+  double unix_time = 0.0;
+  double speed_mps = 0.0;
+  double course_deg = 0.0;
+  bool valid = true;
+
+  bool operator==(const GpsFix&) const = default;
+};
+
+/// Converts a Unix timestamp to calendar day + seconds-of-day (UTC),
+/// the representation NMEA sentences carry.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;
+  int day = 1;
+  int hour = 0;
+  int minute = 0;
+  double second = 0.0;
+};
+
+CivilTime civil_from_unix(double unix_time);
+
+}  // namespace alidrone::gps

@@ -1,0 +1,106 @@
+#include "gps/receiver_sim.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "geo/units.h"
+#include "nmea/gga.h"
+#include "nmea/rmc.h"
+#include "nmea/vtg.h"
+
+namespace alidrone::gps {
+
+GpsReceiverSim::GpsReceiverSim(Config config, PositionSource source)
+    : config_(config), source_(std::move(source)), rng_(config.seed) {
+  if (config_.update_rate_hz < 1.0 || config_.update_rate_hz > 5.0) {
+    throw std::invalid_argument("GpsReceiverSim: update rate must be in [1, 5] Hz");
+  }
+  if (!source_) throw std::invalid_argument("GpsReceiverSim: null position source");
+}
+
+double GpsReceiverSim::gaussian() {
+  // Box-Muller from the deterministic stream.
+  const double u1 = std::max(rng_.uniform_double(), 1e-12);
+  const double u2 = rng_.uniform_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::string GpsReceiverSim::make_rmc(const GpsFix& fix) const {
+  const CivilTime ct = civil_from_unix(fix.unix_time);
+  nmea::RmcSentence rmc;
+  rmc.time = {ct.hour, ct.minute, ct.second};
+  rmc.valid = fix.valid;
+  rmc.position = fix.position;
+  rmc.speed_knots = geo::mps_to_knots(fix.speed_mps);
+  rmc.course_deg = fix.course_deg;
+  rmc.date = {ct.day, ct.month, ct.year};
+  return nmea::emit_rmc(rmc);
+}
+
+std::string GpsReceiverSim::make_gga(const GpsFix& fix) const {
+  const CivilTime ct = civil_from_unix(fix.unix_time);
+  nmea::GgaSentence gga;
+  gga.time = {ct.hour, ct.minute, ct.second};
+  gga.position = fix.position;
+  gga.quality = nmea::FixQuality::kGpsFix;
+  gga.satellites = 9;
+  gga.hdop = 0.9;
+  gga.altitude_m = fix.altitude_m;
+  return nmea::emit_gga(gga);
+}
+
+std::string GpsReceiverSim::make_vtg(const GpsFix& fix) const {
+  nmea::VtgSentence vtg;
+  // Normalize to [0, 360) and keep the emitted %.1f rendering below 360.
+  double course = std::fmod(fix.course_deg, 360.0);
+  if (course < 0.0) course += 360.0;
+  if (course >= 359.95) course = 0.0;
+  vtg.course_true_deg = course;
+  vtg.speed_knots = geo::mps_to_knots(fix.speed_mps);
+  vtg.speed_kmh = fix.speed_mps * 3.6;
+  return nmea::emit_vtg(vtg);
+}
+
+std::vector<std::string> GpsReceiverSim::advance_to(double unix_time) {
+  std::vector<std::string> sentences;
+  const double period = update_period();
+  // Tolerance scaled for unix-epoch magnitudes (ulp at 1.5e9 is ~2.4e-7).
+  while (next_update_time() <= unix_time + 1e-6) {
+    const double t = next_update_time();
+    ++tick_;
+
+    if (config_.miss_probability > 0.0 &&
+        rng_.uniform_double() < config_.miss_probability) {
+      ++missed_;
+      continue;  // hardware skipped this measurement
+    }
+    bool scheduled_miss = false;
+    for (const double miss_t : config_.scheduled_miss_times) {
+      if (std::abs(t - miss_t) <= period / 2.0) {
+        scheduled_miss = true;
+        break;
+      }
+    }
+    if (scheduled_miss) {
+      ++missed_;
+      continue;
+    }
+
+    GpsFix fix = source_(t);
+    fix.unix_time = t;
+    if (config_.noise_std_m > 0.0) {
+      // Perturb in a local frame so the noise magnitude is in meters.
+      const geo::LocalFrame frame(fix.position);
+      const geo::Vec2 jitter{gaussian() * config_.noise_std_m,
+                             gaussian() * config_.noise_std_m};
+      fix.position = frame.to_geo(jitter);
+    }
+    sentences.push_back(make_rmc(fix));
+    if (config_.emit_gga) sentences.push_back(make_gga(fix));
+    if (config_.emit_vtg) sentences.push_back(make_vtg(fix));
+  }
+  return sentences;
+}
+
+}  // namespace alidrone::gps

@@ -1,0 +1,72 @@
+// Simulated GPS receiver (substitution for the Adafruit Ultimate GPS).
+//
+// Emits framed $GPRMC (+ optional $GPGGA) NMEA sentences at a configurable
+// update rate in [1 Hz, 5 Hz], the range the paper's hardware supports.
+// Positions come from a caller-supplied PositionSource (a flight route, a
+// replayed trace, ...). Fault injection reproduces the missed-update
+// behaviour observed in the paper's residential field study, where the
+// receiver skipped an update and the effective rate dropped from 5 Hz to
+// 2.5 Hz at the worst possible moment.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crypto/random.h"
+#include "gps/fix.h"
+
+namespace alidrone::gps {
+
+/// Maps an absolute time to the true vehicle state at that time.
+using PositionSource = std::function<GpsFix(double unix_time)>;
+
+class GpsReceiverSim {
+ public:
+  struct Config {
+    double update_rate_hz = 5.0;     ///< hardware range: [1, 5] Hz
+    double miss_probability = 0.0;   ///< chance an update is silently skipped
+    double noise_std_m = 0.0;        ///< per-axis Gaussian position noise
+    double start_time = 0.0;         ///< unix time of the first update
+    bool emit_gga = false;           ///< also emit $GPGGA (altitude)
+    bool emit_vtg = false;           ///< also emit $GPVTG (course/speed)
+    std::uint64_t seed = 1;          ///< drives misses and noise
+    /// Deterministic fault injection: updates scheduled within half a
+    /// period of any of these instants are skipped (reproduces the paper's
+    /// residential missed-update event at the 25 ft closest approach).
+    std::vector<double> scheduled_miss_times;
+  };
+
+  GpsReceiverSim(Config config, PositionSource source);
+
+  /// Advance the receiver clock to `unix_time`, returning every NMEA
+  /// sentence emitted by updates scheduled in (previous_time, unix_time].
+  std::vector<std::string> advance_to(double unix_time);
+
+  /// Time of the next scheduled measurement update.
+  double next_update_time() const {
+    return config_.start_time + static_cast<double>(tick_) * update_period();
+  }
+
+  double update_period() const { return 1.0 / config_.update_rate_hz; }
+  const Config& config() const { return config_; }
+
+  /// Number of updates skipped by fault injection so far.
+  int missed_updates() const { return missed_; }
+
+ private:
+  Config config_;
+  PositionSource source_;
+  crypto::DeterministicRandom rng_;
+  // Update instants are start_time + tick * period, computed from the
+  // integer tick so no floating-point error accumulates over long runs.
+  std::uint64_t tick_ = 0;
+  int missed_ = 0;
+
+  double gaussian();
+  std::string make_rmc(const GpsFix& fix) const;
+  std::string make_gga(const GpsFix& fix) const;
+  std::string make_vtg(const GpsFix& fix) const;
+};
+
+}  // namespace alidrone::gps

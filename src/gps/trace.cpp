@@ -1,0 +1,102 @@
+#include "gps/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace alidrone::gps {
+
+GpsTrace::GpsTrace(std::vector<GpsFix> fixes) : fixes_(std::move(fixes)) {
+  std::stable_sort(fixes_.begin(), fixes_.end(),
+                   [](const GpsFix& a, const GpsFix& b) { return a.unix_time < b.unix_time; });
+}
+
+void GpsTrace::append(const GpsFix& fix) {
+  if (!fixes_.empty() && fix.unix_time < fixes_.back().unix_time) {
+    throw std::invalid_argument("GpsTrace::append: timestamps must be non-decreasing");
+  }
+  fixes_.push_back(fix);
+}
+
+double GpsTrace::start_time() const { return fixes_.empty() ? 0.0 : fixes_.front().unix_time; }
+double GpsTrace::end_time() const { return fixes_.empty() ? 0.0 : fixes_.back().unix_time; }
+double GpsTrace::duration() const { return end_time() - start_time(); }
+
+double GpsTrace::path_length_m() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < fixes_.size(); ++i) {
+    total += geo::haversine_distance(fixes_[i - 1].position, fixes_[i].position);
+  }
+  return total;
+}
+
+GpsFix GpsTrace::at(double unix_time) const {
+  if (fixes_.empty()) throw std::logic_error("GpsTrace::at: empty trace");
+  if (unix_time <= fixes_.front().unix_time) return fixes_.front();
+  if (unix_time >= fixes_.back().unix_time) return fixes_.back();
+
+  const auto it = std::lower_bound(
+      fixes_.begin(), fixes_.end(), unix_time,
+      [](const GpsFix& f, double t) { return f.unix_time < t; });
+  const GpsFix& hi = *it;
+  const GpsFix& lo = *(it - 1);
+  const double dt = hi.unix_time - lo.unix_time;
+  if (dt <= 0.0) return lo;
+  const double w = (unix_time - lo.unix_time) / dt;
+
+  GpsFix out = lo;
+  out.unix_time = unix_time;
+  out.position.lat_deg = lo.position.lat_deg + w * (hi.position.lat_deg - lo.position.lat_deg);
+  out.position.lon_deg = lo.position.lon_deg + w * (hi.position.lon_deg - lo.position.lon_deg);
+  out.altitude_m = lo.altitude_m + w * (hi.altitude_m - lo.altitude_m);
+  out.speed_mps = lo.speed_mps + w * (hi.speed_mps - lo.speed_mps);
+  out.course_deg = hi.course_deg;
+  return out;
+}
+
+PositionSource GpsTrace::as_position_source() const {
+  // Copy the fixes so the source outlives this object safely.
+  auto fixes = fixes_;
+  return [trace = GpsTrace(std::move(fixes))](double t) { return trace.at(t); };
+}
+
+void GpsTrace::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("GpsTrace::save_csv: cannot open " + path);
+  out << "unix_time,lat_deg,lon_deg,alt_m,speed_mps,course_deg\n";
+  out.precision(12);
+  for (const GpsFix& f : fixes_) {
+    out << f.unix_time << ',' << f.position.lat_deg << ',' << f.position.lon_deg
+        << ',' << f.altitude_m << ',' << f.speed_mps << ',' << f.course_deg << '\n';
+  }
+  if (!out) throw std::runtime_error("GpsTrace::save_csv: write failed for " + path);
+}
+
+GpsTrace GpsTrace::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("GpsTrace::load_csv: cannot open " + path);
+
+  GpsTrace trace;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      first = false;
+      if (line.rfind("unix_time", 0) == 0) continue;  // header
+    }
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    GpsFix f;
+    char comma;
+    if (!(ss >> f.unix_time >> comma >> f.position.lat_deg >> comma >>
+          f.position.lon_deg >> comma >> f.altitude_m >> comma >> f.speed_mps >>
+          comma >> f.course_deg)) {
+      throw std::runtime_error("GpsTrace::load_csv: malformed row: " + line);
+    }
+    trace.append(f);
+  }
+  return trace;
+}
+
+}  // namespace alidrone::gps

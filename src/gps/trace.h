@@ -1,0 +1,51 @@
+// GPS trace recording and replay.
+//
+// The paper's field studies record full GPS traces while driving, then
+// replay them into the GPS Sampler (Section VI-A1). GpsTrace is that
+// artifact: an ordered list of fixes with CSV persistence and a
+// PositionSource adapter that linearly interpolates between fixes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gps/fix.h"
+#include "gps/receiver_sim.h"
+
+namespace alidrone::gps {
+
+class GpsTrace {
+ public:
+  GpsTrace() = default;
+  explicit GpsTrace(std::vector<GpsFix> fixes);
+
+  void append(const GpsFix& fix);
+
+  const std::vector<GpsFix>& fixes() const { return fixes_; }
+  bool empty() const { return fixes_.empty(); }
+  std::size_t size() const { return fixes_.size(); }
+
+  double start_time() const;
+  double end_time() const;
+  double duration() const;
+
+  /// Total path length in meters (sum of haversine legs).
+  double path_length_m() const;
+
+  /// State at `unix_time`, clamped to the trace ends, with linear
+  /// interpolation between fixes. Throws std::logic_error when empty.
+  GpsFix at(double unix_time) const;
+
+  /// Adapter usable as GpsReceiverSim's PositionSource.
+  PositionSource as_position_source() const;
+
+  /// CSV round-trip: "unix_time,lat,lon,alt,speed_mps,course_deg" rows
+  /// with a header line. Throws std::runtime_error on I/O failure.
+  void save_csv(const std::string& path) const;
+  static GpsTrace load_csv(const std::string& path);
+
+ private:
+  std::vector<GpsFix> fixes_;  // kept sorted by unix_time
+};
+
+}  // namespace alidrone::gps

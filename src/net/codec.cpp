@@ -1,0 +1,75 @@
+#include "net/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace alidrone::net {
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::bytes(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void Writer::str(std::string_view s) {
+  bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+std::optional<std::uint8_t> Reader::u8() {
+  if (remaining() < 1) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint32_t> Reader::u32() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::u64() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::int64_t> Reader::i64() {
+  const auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<double> Reader::f64() {
+  const auto v = u64();
+  if (!v) return std::nullopt;
+  return std::bit_cast<double>(*v);
+}
+
+std::optional<crypto::Bytes> Reader::bytes() {
+  const auto len = u32();
+  if (!len || remaining() < *len) return std::nullopt;
+  crypto::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+std::optional<std::string> Reader::str() {
+  const auto b = bytes();
+  if (!b) return std::nullopt;
+  return std::string(b->begin(), b->end());
+}
+
+}  // namespace alidrone::net

@@ -1,0 +1,57 @@
+// Binary message codec: a small, deterministic writer/reader pair used for
+// every protocol message between the drone client and the AliDrone server.
+//
+// Encoding: little-endian fixed-width integers, IEEE-754 doubles by bit
+// pattern, and length-prefixed byte strings. Readers are strict: reading
+// past the end or trailing garbage are errors (a hostile peer must not be
+// able to smuggle data past the parser).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "crypto/bytes.h"
+
+namespace alidrone::net {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void bytes(std::span<const std::uint8_t> data);  ///< length-prefixed
+  void str(std::string_view s);
+
+  const crypto::Bytes& data() const& { return out_; }
+  crypto::Bytes take() && { return std::move(out_); }
+
+ private:
+  crypto::Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int64_t> i64();
+  std::optional<double> f64();
+  std::optional<crypto::Bytes> bytes();
+  std::optional<std::string> str();
+
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace alidrone::net

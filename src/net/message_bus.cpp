@@ -1,0 +1,39 @@
+#include "net/message_bus.h"
+
+namespace alidrone::net {
+
+void MessageBus::register_endpoint(const std::string& name, Handler handler) {
+  endpoints_[name] = std::move(handler);
+}
+
+void MessageBus::set_faults(const FaultConfig& config) {
+  faults_ = config;
+  rng_ = crypto::DeterministicRandom(config.seed);
+}
+
+crypto::Bytes MessageBus::request(const std::string& endpoint,
+                                  const crypto::Bytes& payload) {
+  const auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) {
+    throw std::out_of_range("MessageBus: unknown endpoint '" + endpoint + "'");
+  }
+  ++sent_;
+  bytes_ += payload.size();
+
+  if (faults_.drop_probability > 0.0 &&
+      rng_.uniform_double() < faults_.drop_probability) {
+    ++dropped_;
+    throw TimeoutError(endpoint);
+  }
+
+  crypto::Bytes response = it->second(payload);
+  if (faults_.duplicate_probability > 0.0 &&
+      rng_.uniform_double() < faults_.duplicate_probability) {
+    ++duplicated_;
+    it->second(payload);  // the duplicate's response is lost in transit
+  }
+  bytes_ += response.size();
+  return response;
+}
+
+}  // namespace alidrone::net

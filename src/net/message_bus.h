@@ -1,0 +1,66 @@
+// In-process request/response transport between protocol parties.
+//
+// The paper's drone client talks to the AliDrone server over a network;
+// here both run in one process, connected by a MessageBus that preserves
+// the distributed-system failure modes that matter for the protocol:
+// requests can be dropped (timeout) or duplicated (retry storms), and all
+// payloads cross the bus as serialized bytes — no object sharing between
+// parties, exactly like a socket.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/random.h"
+
+namespace alidrone::net {
+
+/// Raised at the caller when a request is dropped (models a timeout).
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& endpoint)
+      : std::runtime_error("request to '" + endpoint + "' timed out") {}
+};
+
+class MessageBus {
+ public:
+  using Handler = std::function<crypto::Bytes(const crypto::Bytes&)>;
+
+  /// Register a named endpoint; replaces any previous handler.
+  void register_endpoint(const std::string& name, Handler handler);
+
+  /// Send a request and wait for the response. Throws TimeoutError when
+  /// fault injection drops the message, std::out_of_range for unknown
+  /// endpoints. With duplication enabled, the handler may be invoked twice
+  /// (the caller sees the first response) — handlers must be idempotent or
+  /// defend with nonces, which is exactly what the protocol's zone query
+  /// nonce is for.
+  crypto::Bytes request(const std::string& endpoint, const crypto::Bytes& payload);
+
+  struct FaultConfig {
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+    std::uint64_t seed = 1;
+  };
+  void set_faults(const FaultConfig& config);
+
+  std::uint64_t requests_sent() const { return sent_; }
+  std::uint64_t requests_dropped() const { return dropped_; }
+  std::uint64_t requests_duplicated() const { return duplicated_; }
+  std::uint64_t bytes_transferred() const { return bytes_; }
+
+ private:
+  std::map<std::string, Handler> endpoints_;
+  FaultConfig faults_;
+  crypto::DeterministicRandom rng_{1};
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace alidrone::net

@@ -1,0 +1,101 @@
+#include "nmea/gga.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "nmea/sentence.h"
+
+namespace alidrone::nmea {
+
+namespace {
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<UtcTime> parse_time(const std::string& s) {
+  if (s.size() < 6) return std::nullopt;
+  const auto digit = [&](std::size_t i) -> int {
+    return s[i] >= '0' && s[i] <= '9' ? s[i] - '0' : -1;
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (digit(i) < 0) return std::nullopt;
+  }
+  const int hh = digit(0) * 10 + digit(1);
+  const int mm = digit(2) * 10 + digit(3);
+  const auto ss = parse_double(s.substr(4));
+  if (!ss || hh > 23 || mm > 59 || *ss >= 61.0) return std::nullopt;
+  return UtcTime{hh, mm, *ss};
+}
+
+}  // namespace
+
+std::optional<GgaSentence> parse_gga(std::string_view framed_sentence) {
+  const UnframeResult unframed = unframe(framed_sentence);
+  if (!unframed.ok) return std::nullopt;
+  if (sentence_type(unframed.body) != "GPGGA") return std::nullopt;
+
+  const std::vector<std::string> f = split_fields(unframed.body);
+  if (f.size() < 12) return std::nullopt;
+
+  GgaSentence gga;
+  const auto time = parse_time(f[1]);
+  if (!time) return std::nullopt;
+  gga.time = *time;
+
+  const auto lat_raw = parse_double(f[2]);
+  const auto lon_raw = parse_double(f[4]);
+  if (!lat_raw || !lon_raw) return std::nullopt;
+  if (f[3] != "N" && f[3] != "S") return std::nullopt;
+  if (f[5] != "E" && f[5] != "W") return std::nullopt;
+  gga.position.lat_deg = nmea_to_degrees(*lat_raw) * (f[3] == "S" ? -1.0 : 1.0);
+  gga.position.lon_deg = nmea_to_degrees(*lon_raw) * (f[5] == "W" ? -1.0 : 1.0);
+
+  if (f[6].size() != 1 || f[6][0] < '0' || f[6][0] > '2') return std::nullopt;
+  gga.quality = static_cast<FixQuality>(f[6][0] - '0');
+
+  if (!f[7].empty()) {
+    int sats = 0;
+    const auto [ptr, ec] = std::from_chars(f[7].data(), f[7].data() + f[7].size(), sats);
+    if (ec != std::errc() || ptr != f[7].data() + f[7].size()) return std::nullopt;
+    gga.satellites = sats;
+  }
+  if (!f[8].empty()) {
+    const auto hdop = parse_double(f[8]);
+    if (!hdop) return std::nullopt;
+    gga.hdop = *hdop;
+  }
+  if (!f[9].empty()) {
+    const auto alt = parse_double(f[9]);
+    if (!alt) return std::nullopt;
+    gga.altitude_m = *alt;
+  }
+  if (!f[11].empty()) {
+    const auto sep = parse_double(f[11]);
+    if (!sep) return std::nullopt;
+    gga.geoid_separation_m = *sep;
+  }
+  return gga;
+}
+
+std::string emit_gga(const GgaSentence& gga) {
+  char body[160];
+  std::snprintf(body, sizeof(body),
+                "GPGGA,%02d%02d%06.3f,%09.4f,%c,%010.4f,%c,%d,%02d,%.1f,%.1f,"
+                "M,%.1f,M,,",
+                gga.time.hour, gga.time.minute, gga.time.second,
+                degrees_to_nmea(gga.position.lat_deg),
+                gga.position.lat_deg >= 0.0 ? 'N' : 'S',
+                degrees_to_nmea(gga.position.lon_deg),
+                gga.position.lon_deg >= 0.0 ? 'E' : 'W',
+                static_cast<int>(gga.quality), gga.satellites, gga.hdop,
+                gga.altitude_m, gga.geoid_separation_m);
+  return frame(body);
+}
+
+}  // namespace alidrone::nmea

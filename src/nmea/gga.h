@@ -1,0 +1,38 @@
+// $GPGGA — Global Positioning System Fix Data.
+//
+// Carries the altitude field the paper's 3D extension (Section VII-B1)
+// needs; the 2D protocol uses $GPRMC only.
+//
+//   $GPGGA,hhmmss.sss,ddmm.mmmm,N,dddmm.mmmm,W,q,ss,h.h,aaa.a,M,g.g,M,,*CS
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geo/geopoint.h"
+#include "nmea/rmc.h"
+
+namespace alidrone::nmea {
+
+/// GPS fix quality (field 6 of GGA).
+enum class FixQuality : int {
+  kInvalid = 0,
+  kGpsFix = 1,
+  kDgpsFix = 2,
+};
+
+struct GgaSentence {
+  UtcTime time;
+  geo::GeoPoint position;
+  FixQuality quality = FixQuality::kInvalid;
+  int satellites = 0;
+  double hdop = 0.0;
+  double altitude_m = 0.0;  ///< antenna altitude above mean sea level
+  double geoid_separation_m = 0.0;
+};
+
+std::optional<GgaSentence> parse_gga(std::string_view framed_sentence);
+std::string emit_gga(const GgaSentence& gga);
+
+}  // namespace alidrone::nmea

@@ -1,0 +1,146 @@
+#include "nmea/rmc.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "nmea/sentence.h"
+
+namespace alidrone::nmea {
+
+namespace {
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<int> parse_2digits(std::string_view s) {
+  if (s.size() != 2 || s[0] < '0' || s[0] > '9' || s[1] < '0' || s[1] > '9') {
+    return std::nullopt;
+  }
+  return (s[0] - '0') * 10 + (s[1] - '0');
+}
+
+std::optional<UtcTime> parse_time(const std::string& s) {
+  // hhmmss[.sss]
+  if (s.size() < 6) return std::nullopt;
+  const auto hh = parse_2digits(std::string_view(s).substr(0, 2));
+  const auto mm = parse_2digits(std::string_view(s).substr(2, 2));
+  const auto ss = parse_double(s.substr(4));
+  if (!hh || !mm || !ss) return std::nullopt;
+  if (*hh > 23 || *mm > 59 || *ss >= 61.0) return std::nullopt;
+  return UtcTime{*hh, *mm, *ss};
+}
+
+std::optional<UtcDate> parse_date(const std::string& s) {
+  if (s.size() != 6) return std::nullopt;
+  const auto dd = parse_2digits(std::string_view(s).substr(0, 2));
+  const auto mo = parse_2digits(std::string_view(s).substr(2, 2));
+  const auto yy = parse_2digits(std::string_view(s).substr(4, 2));
+  if (!dd || !mo || !yy) return std::nullopt;
+  if (*dd < 1 || *dd > 31 || *mo < 1 || *mo > 12) return std::nullopt;
+  return UtcDate{*dd, *mo, 2000 + *yy};
+}
+
+}  // namespace
+
+double degrees_to_nmea(double degrees) {
+  const double abs_deg = std::abs(degrees);
+  const double whole = std::floor(abs_deg);
+  const double minutes = (abs_deg - whole) * 60.0;
+  return whole * 100.0 + minutes;
+}
+
+double nmea_to_degrees(double ddmm) {
+  const double whole = std::floor(ddmm / 100.0);
+  const double minutes = ddmm - whole * 100.0;
+  return whole + minutes / 60.0;
+}
+
+double RmcSentence::unix_time() const {
+  // Days since epoch via civil-date arithmetic (Howard Hinnant's algorithm).
+  int y = date.year;
+  const int m = date.month;
+  const int d = date.day;
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  const long days = static_cast<long>(era) * 146097 + static_cast<long>(doe) - 719468;
+  return static_cast<double>(days) * 86400.0 + time.seconds_of_day();
+}
+
+std::optional<RmcSentence> parse_rmc(std::string_view framed_sentence) {
+  const UnframeResult unframed = unframe(framed_sentence);
+  if (!unframed.ok) return std::nullopt;
+  if (sentence_type(unframed.body) != "GPRMC") return std::nullopt;
+
+  const std::vector<std::string> f = split_fields(unframed.body);
+  // GPRMC, time, status, lat, N/S, lon, E/W, speed, course, date, [magvar,
+  // magvar E/W, mode]
+  if (f.size() < 10) return std::nullopt;
+
+  RmcSentence rmc;
+  const auto time = parse_time(f[1]);
+  if (!time) return std::nullopt;
+  rmc.time = *time;
+
+  if (f[2] == "A") {
+    rmc.valid = true;
+  } else if (f[2] == "V") {
+    rmc.valid = false;
+  } else {
+    return std::nullopt;
+  }
+
+  const auto lat_raw = parse_double(f[3]);
+  const auto lon_raw = parse_double(f[5]);
+  if (!lat_raw || !lon_raw) return std::nullopt;
+  if (f[4] != "N" && f[4] != "S") return std::nullopt;
+  if (f[6] != "E" && f[6] != "W") return std::nullopt;
+  rmc.position.lat_deg = nmea_to_degrees(*lat_raw) * (f[4] == "S" ? -1.0 : 1.0);
+  rmc.position.lon_deg = nmea_to_degrees(*lon_raw) * (f[6] == "W" ? -1.0 : 1.0);
+  if (std::abs(rmc.position.lat_deg) > 90.0 || std::abs(rmc.position.lon_deg) > 180.0) {
+    return std::nullopt;
+  }
+
+  // Speed and course may legitimately be empty when stationary.
+  if (!f[7].empty()) {
+    const auto speed = parse_double(f[7]);
+    if (!speed) return std::nullopt;
+    rmc.speed_knots = *speed;
+  }
+  if (!f[8].empty()) {
+    const auto course = parse_double(f[8]);
+    if (!course) return std::nullopt;
+    rmc.course_deg = *course;
+  }
+
+  const auto date = parse_date(f[9]);
+  if (!date) return std::nullopt;
+  rmc.date = *date;
+  return rmc;
+}
+
+std::string emit_rmc(const RmcSentence& rmc) {
+  char body[128];
+  const double lat_nmea = degrees_to_nmea(rmc.position.lat_deg);
+  const double lon_nmea = degrees_to_nmea(rmc.position.lon_deg);
+  std::snprintf(body, sizeof(body),
+                "GPRMC,%02d%02d%06.3f,%c,%09.4f,%c,%010.4f,%c,%05.1f,%05.1f,"
+                "%02d%02d%02d,,,A",
+                rmc.time.hour, rmc.time.minute, rmc.time.second,
+                rmc.valid ? 'A' : 'V', lat_nmea,
+                rmc.position.lat_deg >= 0.0 ? 'N' : 'S', lon_nmea,
+                rmc.position.lon_deg >= 0.0 ? 'E' : 'W', rmc.speed_knots,
+                rmc.course_deg, rmc.date.day, rmc.date.month,
+                rmc.date.year % 100);
+  return frame(body);
+}
+
+}  // namespace alidrone::nmea

@@ -1,0 +1,60 @@
+// $GPRMC — Recommended Minimum Navigation Information.
+//
+// The AliDrone GPS driver parses exactly this sentence (paper Section V-B):
+// it carries latitude, longitude, speed, course, UTC time and date. This
+// module provides both parsing (for the driver) and emission (for the GPS
+// receiver simulator).
+//
+//   $GPRMC,hhmmss.sss,A,ddmm.mmmm,N,dddmm.mmmm,W,sss.s,ccc.c,ddmmyy,,,A*CS
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geo/geopoint.h"
+
+namespace alidrone::nmea {
+
+struct UtcTime {
+  int hour = 0;
+  int minute = 0;
+  double second = 0.0;
+
+  double seconds_of_day() const { return hour * 3600.0 + minute * 60.0 + second; }
+  bool operator==(const UtcTime&) const = default;
+};
+
+struct UtcDate {
+  int day = 1;
+  int month = 1;
+  int year = 2018;  ///< full year (sentence carries two digits, 20xx assumed)
+
+  bool operator==(const UtcDate&) const = default;
+};
+
+/// Parsed $GPRMC payload.
+struct RmcSentence {
+  UtcTime time;
+  bool valid = false;  ///< status field: 'A' (active) vs 'V' (void)
+  geo::GeoPoint position;
+  double speed_knots = 0.0;
+  double course_deg = 0.0;
+  UtcDate date;
+
+  /// Seconds since the Unix epoch for this time+date (UTC, no leap seconds).
+  double unix_time() const;
+};
+
+/// Parse a framed $GPRMC sentence (checksum validated). Returns nullopt on
+/// any framing, checksum, type, or field error.
+std::optional<RmcSentence> parse_rmc(std::string_view framed_sentence);
+
+/// Emit a framed $GPRMC sentence with checksum.
+std::string emit_rmc(const RmcSentence& rmc);
+
+/// Degrees to the NMEA "ddmm.mmmm" convention and back.
+double degrees_to_nmea(double degrees);
+double nmea_to_degrees(double ddmm);
+
+}  // namespace alidrone::nmea

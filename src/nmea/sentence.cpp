@@ -1,0 +1,69 @@
+#include "nmea/sentence.h"
+
+namespace alidrone::nmea {
+
+std::uint8_t checksum(std::string_view body) {
+  std::uint8_t cs = 0;
+  for (const char c : body) cs ^= static_cast<std::uint8_t>(c);
+  return cs;
+}
+
+std::string frame(std::string_view body) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  const std::uint8_t cs = checksum(body);
+  std::string out;
+  out.reserve(body.size() + 6);
+  out.push_back('$');
+  out.append(body);
+  out.push_back('*');
+  out.push_back(kHex[cs >> 4]);
+  out.push_back(kHex[cs & 0x0F]);
+  out.append("\r\n");
+  return out;
+}
+
+namespace {
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+}  // namespace
+
+UnframeResult unframe(std::string_view sentence) {
+  // Strip trailing CR/LF.
+  while (!sentence.empty() && (sentence.back() == '\r' || sentence.back() == '\n')) {
+    sentence.remove_suffix(1);
+  }
+  if (sentence.size() < 4 || sentence.front() != '$') return {};
+  const std::size_t star = sentence.rfind('*');
+  if (star == std::string_view::npos || star + 3 != sentence.size()) return {};
+
+  const int hi = hex_value(sentence[star + 1]);
+  const int lo = hex_value(sentence[star + 2]);
+  if (hi < 0 || lo < 0) return {};
+
+  const std::string_view body = sentence.substr(1, star - 1);
+  if (checksum(body) != static_cast<std::uint8_t>((hi << 4) | lo)) return {};
+  return {true, std::string(body)};
+}
+
+std::vector<std::string> split_fields(std::string_view body) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= body.size(); ++i) {
+    if (i == body.size() || body[i] == ',') {
+      fields.emplace_back(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string sentence_type(std::string_view body) {
+  const std::size_t comma = body.find(',');
+  return std::string(body.substr(0, comma));
+}
+
+}  // namespace alidrone::nmea

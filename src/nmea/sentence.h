@@ -1,0 +1,32 @@
+// NMEA 0183 sentence framing: "$<body>*<checksum>\r\n" where the checksum
+// is the XOR of all body bytes, rendered as two uppercase hex digits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alidrone::nmea {
+
+/// XOR checksum over the sentence body (the characters between '$' and '*').
+std::uint8_t checksum(std::string_view body);
+
+/// Wrap a body into a full framed sentence "$body*CS\r\n".
+std::string frame(std::string_view body);
+
+/// Unwrap and validate a framed sentence. Accepts with or without trailing
+/// CR/LF. Returns the body, or an empty optional-like empty string + false.
+struct UnframeResult {
+  bool ok = false;
+  std::string body;
+};
+UnframeResult unframe(std::string_view sentence);
+
+/// Split a sentence body on commas. Empty fields are preserved.
+std::vector<std::string> split_fields(std::string_view body);
+
+/// Sentence type tag, e.g. "GPRMC" for "$GPRMC,...". Empty when absent.
+std::string sentence_type(std::string_view body);
+
+}  // namespace alidrone::nmea

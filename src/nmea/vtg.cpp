@@ -1,0 +1,64 @@
+#include "nmea/vtg.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "nmea/sentence.h"
+
+namespace alidrone::nmea {
+
+namespace {
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<VtgSentence> parse_vtg(std::string_view framed_sentence) {
+  const UnframeResult unframed = unframe(framed_sentence);
+  if (!unframed.ok) return std::nullopt;
+  if (sentence_type(unframed.body) != "GPVTG") return std::nullopt;
+
+  const std::vector<std::string> f = split_fields(unframed.body);
+  // GPVTG, course_true, T, course_mag, M, speed_kn, N, speed_kmh, K[, mode]
+  if (f.size() < 9) return std::nullopt;
+  if (f[2] != "T" || f[4] != "M" || f[6] != "N" || f[8] != "K") return std::nullopt;
+
+  VtgSentence vtg;
+  const auto course = parse_double(f[1]);
+  if (!course || *course < 0.0 || *course >= 360.0) return std::nullopt;
+  vtg.course_true_deg = *course;
+
+  if (!f[3].empty()) {
+    const auto magnetic = parse_double(f[3]);
+    if (!magnetic) return std::nullopt;
+    vtg.course_magnetic_deg = *magnetic;
+  }
+
+  const auto knots = parse_double(f[5]);
+  const auto kmh = parse_double(f[7]);
+  if (!knots || !kmh || *knots < 0.0 || *kmh < 0.0) return std::nullopt;
+  vtg.speed_knots = *knots;
+  vtg.speed_kmh = *kmh;
+  return vtg;
+}
+
+std::string emit_vtg(const VtgSentence& vtg) {
+  char body[96];
+  if (vtg.course_magnetic_deg) {
+    std::snprintf(body, sizeof(body), "GPVTG,%05.1f,T,%05.1f,M,%05.1f,N,%05.1f,K,A",
+                  vtg.course_true_deg, *vtg.course_magnetic_deg, vtg.speed_knots,
+                  vtg.speed_kmh);
+  } else {
+    std::snprintf(body, sizeof(body), "GPVTG,%05.1f,T,,M,%05.1f,N,%05.1f,K,A",
+                  vtg.course_true_deg, vtg.speed_knots, vtg.speed_kmh);
+  }
+  return frame(body);
+}
+
+}  // namespace alidrone::nmea

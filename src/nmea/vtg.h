@@ -1,0 +1,26 @@
+// $GPVTG — Track Made Good and Ground Speed.
+//
+// Real receivers emit VTG alongside RMC/GGA; the driver uses it to refresh
+// speed/course between RMC fixes and must tolerate it in the stream.
+//
+//   $GPVTG,ttt.t,T,mmm.m,M,sss.s,N,kkk.k,K,A*CS
+//   (true course, magnetic course, speed in knots, speed in km/h, mode)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace alidrone::nmea {
+
+struct VtgSentence {
+  double course_true_deg = 0.0;
+  std::optional<double> course_magnetic_deg;
+  double speed_knots = 0.0;
+  double speed_kmh = 0.0;
+};
+
+std::optional<VtgSentence> parse_vtg(std::string_view framed_sentence);
+std::string emit_vtg(const VtgSentence& vtg);
+
+}  // namespace alidrone::nmea

@@ -1,0 +1,60 @@
+#include "resource/cost_model.h"
+
+namespace alidrone::resource {
+
+double CostProfile::cost(Op op) const {
+  switch (op) {
+    case Op::kWorldSwitch:
+      return world_switch;
+    case Op::kGpsReadParse:
+      return gps_read_parse;
+    case Op::kRsaSign1024:
+      return rsa_sign_1024;
+    case Op::kRsaSign2048:
+      return rsa_sign_2048;
+    case Op::kRsaEncrypt1024:
+      return rsa_encrypt_1024;
+    case Op::kRsaEncrypt2048:
+      return rsa_encrypt_2048;
+    case Op::kHmacSign:
+      return hmac_sign;
+    case Op::kEcdsaSign:
+      return ecdsa_sign;
+    case Op::kPersistSample:
+      return persist_sample;
+    case Op::kEllipseCheck:
+      return ellipse_check;
+  }
+  return 0.0;
+}
+
+CostProfile CostProfile::raspberry_pi3() {
+  CostProfile p;
+  // Calibrated so a full authenticated sample costs 43.4 ms (1024-bit) /
+  // 218.8 ms (2048-bit) of one 1.2 GHz core — the values implied by
+  // Table II at 2 Hz fixed-rate sampling.
+  p.world_switch = 0.0008;      // SMC + context switch, x2 per sample
+  p.gps_read_parse = 0.0008;    // UART buffer read + $GPRMC parse
+  p.rsa_sign_1024 = 0.0380;     // private-key op dominates
+  p.rsa_sign_2048 = 0.2120;     // ~6-8x the 1024-bit cost (cubic scaling)
+  p.rsa_encrypt_1024 = 0.0020;  // public-key op (e = 65537)
+  p.rsa_encrypt_2048 = 0.0036;
+  p.hmac_sign = 0.00012;        // HMAC-SHA256 of a ~60-byte tuple
+  p.ecdsa_sign = 0.0032;        // P-256 scalar mult on the Pi's NEON-less core
+  p.persist_sample = 0.0010;    // append to SD-card-backed storage
+  p.ellipse_check = 0.00003;    // a few distance computations
+  return p;
+}
+
+double CostProfile::per_sample_cost(std::size_t key_bits) const {
+  const double sign = key_bits >= 2048 ? rsa_sign_2048 : rsa_sign_1024;
+  const double encrypt = key_bits >= 2048 ? rsa_encrypt_2048 : rsa_encrypt_1024;
+  return 2.0 * world_switch + gps_read_parse + sign + encrypt + persist_sample;
+}
+
+MemoryAccountant MemoryAccountant::alidrone_client() {
+  // 3.27 MB resident: TA text/data + driver buffers + daemon heap.
+  return MemoryAccountant(static_cast<std::size_t>(3.27 * 1024.0 * 1024.0));
+}
+
+}  // namespace alidrone::resource

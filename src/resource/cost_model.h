@@ -1,0 +1,147 @@
+// Raspberry Pi 3 cost model (paper Section VI-B substitution).
+//
+// The paper measures AliDrone's CPU utilization with `top` on a Raspberry
+// Pi 3 Model B (1.2 GHz quad-core ARMv8, 1 GB RAM) and derives power from
+// the Kaup et al. model:  P(u) = 1.5778 W + 0.181 * u W,  u in [0, 1].
+//
+// This repository runs on different hardware, so Table II is regenerated
+// through an explicit cost model: every protocol operation charges a
+// calibrated amount of single-core busy time to a CpuAccountant, and the
+// utilization/power/memory figures are computed exactly the way the paper
+// computes them. The calibration constants come from inverting Table II:
+// a 1024-bit sample (sign + encrypt + 2 world switches + read + persist)
+// costs ~43.4 ms of one core (2.17 % of 4 cores at 2 Hz) and a 2048-bit
+// sample ~218.8 ms (10.94 % at 2 Hz).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alidrone::resource {
+
+/// Operations the protocol charges for.
+enum class Op {
+  kWorldSwitch,     ///< one SMC secure<->normal transition (one direction)
+  kGpsReadParse,    ///< read UART buffer + NMEA parse in the driver
+  kRsaSign1024,     ///< RSASSA-PKCS1-v1_5 sign, 1024-bit key (in TEE)
+  kRsaSign2048,     ///< RSASSA-PKCS1-v1_5 sign, 2048-bit key (in TEE)
+  kRsaEncrypt1024,  ///< RSAES-PKCS1-v1_5 encrypt (public op, normal world)
+  kRsaEncrypt2048,
+  kHmacSign,        ///< symmetric-mode per-sample MAC (Section VII-A1a)
+  kEcdsaSign,       ///< P-256 signature (the "more efficient scheme" of Section VI-B)
+  kPersistSample,   ///< write ciphertext + signature to local storage
+  kEllipseCheck,    ///< one adaptive-sampling distance/feasibility test
+};
+
+/// Per-operation busy time of one Pi 3 core, in seconds.
+struct CostProfile {
+  double world_switch = 0.0;
+  double gps_read_parse = 0.0;
+  double rsa_sign_1024 = 0.0;
+  double rsa_sign_2048 = 0.0;
+  double rsa_encrypt_1024 = 0.0;
+  double rsa_encrypt_2048 = 0.0;
+  double hmac_sign = 0.0;
+  double ecdsa_sign = 0.0;
+  double persist_sample = 0.0;
+  double ellipse_check = 0.0;
+
+  double cost(Op op) const;
+
+  /// Calibration for the paper's platform (see file comment).
+  static CostProfile raspberry_pi3();
+
+  /// Total charge of one authenticated sample (GetGPSAuth + encrypt +
+  /// persist) for the given key size.
+  double per_sample_cost(std::size_t key_bits) const;
+};
+
+/// Integrates busy time against wall-clock time, like `top` averaged over
+/// a run. The Pi has four cores and AliDrone is single-threaded, so the
+/// "system utilization" the paper reports is busy/(wall*4), range [0, 25%].
+class CpuAccountant {
+ public:
+  explicit CpuAccountant(int cores = 4) : cores_(cores) {}
+
+  void charge(double busy_seconds) { busy_ += busy_seconds; }
+  void charge(Op op, const CostProfile& profile) { busy_ += profile.cost(op); }
+  void advance_wall(double seconds) { wall_ += seconds; }
+
+  double busy_seconds() const { return busy_; }
+  double wall_seconds() const { return wall_; }
+  int cores() const { return cores_; }
+
+  /// Fraction of ONE core that was busy, in [0, 1] when sustainable.
+  double core_utilization() const { return wall_ > 0.0 ? busy_ / wall_ : 0.0; }
+
+  /// Percentage of the whole CPU (all cores), as `top` reports system-wide:
+  /// [0, 100/cores] for a single-threaded process.
+  double system_utilization_percent() const {
+    return 100.0 * core_utilization() / cores_;
+  }
+
+  /// A single-threaded sampler cannot spend more than one core-second per
+  /// second: demanded busy time above wall time means the configured
+  /// sampling rate is not sustainable (Table II's "-" entries).
+  bool sustainable() const { return busy_ <= wall_ + 1e-9; }
+
+  void reset() { busy_ = wall_ = 0.0; }
+
+ private:
+  int cores_;
+  double busy_ = 0.0;
+  double wall_ = 0.0;
+};
+
+/// Kaup et al. power model for the Raspberry Pi (paper eq. 4).
+struct PowerModel {
+  double idle_watts = 1.5778;
+  double slope_watts = 0.181;
+
+  /// `utilization` is the whole-system CPU fraction in [0, 1]
+  /// (i.e. Table II's CPU% divided by 100).
+  double power_watts(double utilization) const {
+    return idle_watts + slope_watts * utilization;
+  }
+};
+
+/// Radio energy model for the real-time-auditing tradeoff the paper
+/// declines for battery reasons (Section IV-B step 4). Wi-Fi-class
+/// figures: a transmission costs a fixed wake/association overhead plus
+/// a per-byte marginal energy.
+struct RadioModel {
+  double per_transmission_j = 0.030;  ///< radio wake + header overhead
+  double per_byte_j = 2.0e-6;         ///< marginal energy per payload byte
+
+  double transmit_energy_j(std::size_t payload_bytes) const {
+    return per_transmission_j + per_byte_j * static_cast<double>(payload_bytes);
+  }
+};
+
+/// Tracks resident memory of the AliDrone client the way the paper reports
+/// it: a fixed resident set for the TA + driver, plus the growing PoA
+/// buffer awaiting upload.
+class MemoryAccountant {
+ public:
+  static constexpr std::size_t kPi3TotalBytes = 1024ull * 1024 * 1024;  // 1 GB
+
+  explicit MemoryAccountant(std::size_t baseline_bytes) : baseline_(baseline_bytes) {}
+
+  void allocate(std::size_t bytes) { dynamic_ += bytes; }
+  void release(std::size_t bytes) { dynamic_ -= bytes > dynamic_ ? dynamic_ : bytes; }
+
+  std::size_t resident_bytes() const { return baseline_ + dynamic_; }
+  double resident_mb() const { return static_cast<double>(resident_bytes()) / (1024.0 * 1024.0); }
+  double percent_of_pi3() const {
+    return 100.0 * static_cast<double>(resident_bytes()) / kPi3TotalBytes;
+  }
+
+  /// The paper's measured AliDrone resident set: 3.27 MB (0.3 % of 1 GB).
+  static MemoryAccountant alidrone_client();
+
+ private:
+  std::size_t baseline_;
+  std::size_t dynamic_ = 0;
+};
+
+}  // namespace alidrone::resource

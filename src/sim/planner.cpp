@@ -1,0 +1,158 @@
+#include "sim/planner.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <queue>
+
+namespace alidrone::sim {
+
+namespace {
+
+bool segment_clear(geo::Vec2 a, geo::Vec2 b, const std::vector<geo::Circle>& zones,
+                   double shrink_eps) {
+  for (const geo::Circle& z : zones) {
+    // Shrink by a hair so boundary nodes (which sit exactly on inflated
+    // circles) can connect.
+    const geo::Circle tight{z.center, z.radius - shrink_eps};
+    if (tight.radius > 0.0 && geo::segment_intersects_circle(a, b, tight)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double segment_poa_samples(geo::Vec2 a, geo::Vec2 b,
+                           const std::vector<geo::Circle>& zones,
+                           const PlannerConfig& config) {
+  if (zones.empty()) return 0.0;
+  const double length = geo::distance(a, b);
+  if (length <= 0.0) return 0.0;
+
+  // Integrate the required rate along the segment (trapezoid-free fixed
+  // step; 5 m resolution is far finer than zone scales).
+  const int steps = std::max(2, static_cast<int>(length / 5.0));
+  double samples = 0.0;
+  const double dt = length / steps / config.cruise_speed_mps;
+  for (int i = 0; i <= steps; ++i) {
+    const geo::Vec2 p = a + (b - a) * (static_cast<double>(i) / steps);
+    double nearest = std::numeric_limits<double>::infinity();
+    for (const geo::Circle& z : zones) {
+      nearest = std::min(nearest, z.boundary_distance(p));
+    }
+    if (nearest <= 0.0) {
+      samples += config.gps_rate_hz * dt;  // inside: max-rate best effort
+      continue;
+    }
+    const double rate =
+        std::min(config.vmax_mps / (2.0 * nearest), config.gps_rate_hz);
+    samples += rate * dt;
+  }
+  return samples;
+}
+
+bool path_is_collision_free(const std::vector<geo::Vec2>& path,
+                            const std::vector<geo::Circle>& zones) {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    for (const geo::Circle& z : zones) {
+      if (geo::segment_intersects_circle(path[i - 1], path[i], z)) return false;
+    }
+  }
+  return true;
+}
+
+PlanResult plan_route(geo::Vec2 start, geo::Vec2 goal,
+                      const std::vector<geo::Circle>& zones,
+                      const PlannerConfig& config) {
+  std::vector<geo::Circle> inflated;
+  inflated.reserve(zones.size());
+  for (const geo::Circle& z : zones) {
+    inflated.push_back({z.center, z.radius + config.clearance_m});
+  }
+  for (const geo::Circle& z : inflated) {
+    if (z.contains(start) || z.contains(goal)) return {};
+  }
+
+  // Node set: start, goal, and ring samples around each inflated zone.
+  // The ring sits at radius R/cos(pi/m) so the chord between adjacent
+  // samples stays tangent to (never dips inside) the inflated circle —
+  // straight chords between ring nodes are then usable as path segments,
+  // which is what lets the graph route *around* a zone.
+  std::vector<geo::Vec2> nodes{start, goal};
+  const double ring_factor =
+      1.0 / std::cos(std::numbers::pi / config.samples_per_zone) + 1e-9;
+  for (const geo::Circle& z : inflated) {
+    const double ring_radius = z.radius * ring_factor;
+    for (int k = 0; k < config.samples_per_zone; ++k) {
+      const double a = 2.0 * std::numbers::pi * k / config.samples_per_zone;
+      const geo::Vec2 p{z.center.x + ring_radius * std::cos(a),
+                        z.center.y + ring_radius * std::sin(a)};
+      // Skip samples that land inside another inflated zone.
+      bool free = true;
+      for (const geo::Circle& other : inflated) {
+        if (&other != &z && other.contains(p)) {
+          free = false;
+          break;
+        }
+      }
+      if (free) nodes.push_back(p);
+    }
+  }
+
+  const std::size_t n = nodes.size();
+  constexpr double kEps = 1e-6;
+
+  // Dijkstra over the implicit visibility graph (edges tested lazily).
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> prev(n, n);
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[0] = 0.0;
+  pq.emplace(0.0, 0);
+
+  std::vector<bool> done(n, false);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    if (u == 1) break;  // goal settled
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (done[v]) continue;
+      double w = geo::distance(nodes[u], nodes[v]);
+      if (config.poa_sample_weight > 0.0) {
+        // Cheap admissible pre-check first: the PoA term only adds cost.
+        if (d + w >= dist[v]) continue;
+        w += config.poa_sample_weight *
+             segment_poa_samples(nodes[u], nodes[v], zones, config);
+      }
+      if (d + w >= dist[v]) continue;  // cannot improve; skip clearance test
+      if (!segment_clear(nodes[u], nodes[v], inflated, kEps)) continue;
+      dist[v] = d + w;
+      prev[v] = u;
+      pq.emplace(dist[v], v);
+    }
+  }
+
+  if (!std::isfinite(dist[1])) return {};
+
+  PlanResult result;
+  result.found = true;
+  std::vector<geo::Vec2> reversed;
+  for (std::size_t at = 1; at != n; at = prev[at]) {
+    reversed.push_back(nodes[at]);
+    if (at == 0) break;
+  }
+  result.path.assign(reversed.rbegin(), reversed.rend());
+  for (std::size_t i = 1; i < result.path.size(); ++i) {
+    result.length_m += geo::distance(result.path[i - 1], result.path[i]);
+    result.expected_poa_samples +=
+        segment_poa_samples(result.path[i - 1], result.path[i], zones, config);
+  }
+  return result;
+}
+
+}  // namespace alidrone::sim

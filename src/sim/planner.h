@@ -1,0 +1,67 @@
+// NFZ-aware route planning (paper Section IV-B, step 2-3: the drone uses
+// the Auditor's zone list "to compute a viable route to its destination").
+//
+// Plans a shortest collision-free polyline around circular no-fly-zones
+// using an approximate visibility graph: nodes are the start, the goal and
+// discretized points on each inflated zone boundary; edges connect every
+// node pair whose straight segment clears all zones; Dijkstra extracts the
+// shortest path. With enough boundary samples the result converges to the
+// true tangent-graph optimum.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/circle.h"
+#include "geo/units.h"
+#include "geo/vec2.h"
+
+namespace alidrone::sim {
+
+struct PlannerConfig {
+  /// Safety margin added to every zone radius, meters. Keeping a margin
+  /// also keeps the adaptive sampler's required rate bounded.
+  double clearance_m = 15.0;
+  /// Boundary discretization per zone; higher = closer to optimal.
+  int samples_per_zone = 24;
+
+  /// PoA-aware routing (paper Section VIII-D: routing "can be used to
+  /// optimize the Proof-of-Alibi"). Edge cost becomes
+  ///   length + poa_sample_weight * expected_poa_samples(edge),
+  /// so a positive weight buys clearance from zones with extra distance,
+  /// reducing TEE signatures (energy) along the flight. 0 = pure shortest
+  /// path.
+  double poa_sample_weight = 0.0;
+  double cruise_speed_mps = 10.0;    ///< used to convert rate to samples
+  double vmax_mps = geo::kFaaMaxSpeedMps;  ///< the alibi speed bound
+  double gps_rate_hz = 5.0;          ///< sampling rate ceiling
+};
+
+struct PlanResult {
+  bool found = false;
+  std::vector<geo::Vec2> path;  ///< start .. goal, collision-free
+  double length_m = 0.0;
+  /// Expected number of PoA samples Algorithm 1 records along the path
+  /// (estimated by the same integral the preflight analyzer uses).
+  double expected_poa_samples = 0.0;
+};
+
+/// Expected PoA samples recorded while flying segment [a, b] at
+/// `cruise_speed` past `zones`: the integral of the required sampling
+/// rate min(v_max / 2d, R) over travel time.
+double segment_poa_samples(geo::Vec2 a, geo::Vec2 b,
+                           const std::vector<geo::Circle>& zones,
+                           const PlannerConfig& config);
+
+/// Plan from `start` to `goal` avoiding all `zones` (inflated by the
+/// clearance). Fails (found == false) when start/goal are inside an
+/// inflated zone or no connected path exists.
+PlanResult plan_route(geo::Vec2 start, geo::Vec2 goal,
+                      const std::vector<geo::Circle>& zones,
+                      const PlannerConfig& config = {});
+
+/// True if the polyline stays clear of every zone (no inflation).
+bool path_is_collision_free(const std::vector<geo::Vec2>& path,
+                            const std::vector<geo::Circle>& zones);
+
+}  // namespace alidrone::sim

@@ -1,0 +1,90 @@
+#include "sim/route.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace alidrone::sim {
+
+Route::Route(geo::LocalFrame frame, std::vector<Waypoint> waypoints,
+             double start_time, double max_speed_mps)
+    : frame_(frame), waypoints_(std::move(waypoints)), start_time_(start_time) {
+  if (waypoints_.size() < 2) {
+    throw std::invalid_argument("Route: need at least two waypoints");
+  }
+  leg_start_times_.reserve(waypoints_.size());
+  leg_start_times_.push_back(start_time);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    Waypoint& wp = waypoints_[i];
+    if (wp.speed_mps <= 0.0) {
+      throw std::invalid_argument("Route: leg speeds must be positive");
+    }
+    wp.speed_mps = std::min(wp.speed_mps, max_speed_mps);
+    const double leg = geo::distance(waypoints_[i - 1].position, wp.position);
+    length_ += leg;
+    leg_start_times_.push_back(leg_start_times_.back() + leg / wp.speed_mps);
+  }
+  duration_ = leg_start_times_.back() - start_time;
+}
+
+geo::Vec2 Route::local_position_at(double unix_time) const {
+  if (unix_time <= start_time_) return waypoints_.front().position;
+  if (unix_time >= end_time()) return waypoints_.back().position;
+
+  const auto it = std::upper_bound(leg_start_times_.begin(), leg_start_times_.end(),
+                                   unix_time);
+  const std::size_t leg = static_cast<std::size_t>(it - leg_start_times_.begin());
+  // leg >= 1 because unix_time > start_time_.
+  const double t0 = leg_start_times_[leg - 1];
+  const double t1 = leg_start_times_[leg];
+  const double w = t1 > t0 ? (unix_time - t0) / (t1 - t0) : 1.0;
+  const geo::Vec2 a = waypoints_[leg - 1].position;
+  const geo::Vec2 b = waypoints_[leg].position;
+  return a + (b - a) * w;
+}
+
+gps::GpsFix Route::state_at(double unix_time) const {
+  const double t = std::clamp(unix_time, start_time_, end_time());
+
+  gps::GpsFix fix;
+  fix.unix_time = unix_time;
+  fix.position = frame_.to_geo(local_position_at(t));
+  fix.altitude_m = altitude_at(t);
+  fix.valid = true;
+
+  // Speed and course from the active leg (zero past the ends).
+  if (unix_time < start_time_ || unix_time > end_time()) {
+    fix.speed_mps = 0.0;
+    return fix;
+  }
+  const auto it = std::upper_bound(leg_start_times_.begin(), leg_start_times_.end(), t);
+  std::size_t leg = static_cast<std::size_t>(it - leg_start_times_.begin());
+  leg = std::clamp<std::size_t>(leg, 1, waypoints_.size() - 1);
+  fix.speed_mps = waypoints_[leg].speed_mps;
+  const geo::Vec2 dir = waypoints_[leg].position - waypoints_[leg - 1].position;
+  // Course: degrees clockwise from north.
+  double course = 90.0 - dir.angle() * 180.0 / std::numbers::pi;
+  if (course < 0.0) course += 360.0;
+  fix.course_deg = course;
+  return fix;
+}
+
+double Route::altitude_at(double unix_time) const {
+  const double t = std::clamp(unix_time, start_time_, end_time());
+  if (t <= start_time_) return waypoints_.front().altitude_m;
+  const auto it = std::upper_bound(leg_start_times_.begin(), leg_start_times_.end(), t);
+  std::size_t leg = static_cast<std::size_t>(it - leg_start_times_.begin());
+  leg = std::clamp<std::size_t>(leg, 1, waypoints_.size() - 1);
+  const double t0 = leg_start_times_[leg - 1];
+  const double t1 = leg_start_times_[leg];
+  const double w = t1 > t0 ? (t - t0) / (t1 - t0) : 1.0;
+  return waypoints_[leg - 1].altitude_m +
+         w * (waypoints_[leg].altitude_m - waypoints_[leg - 1].altitude_m);
+}
+
+gps::PositionSource Route::as_position_source() const {
+  return [route = *this](double t) { return route.state_at(t); };
+}
+
+}  // namespace alidrone::sim

@@ -1,0 +1,62 @@
+// Routes and kinematics for simulated flights/drives.
+//
+// A Route is a polyline of waypoints in a local planar frame with a speed
+// per leg. state_at(t) yields the exact position, speed and course at any
+// time — the ground truth the GPS receiver simulator samples. Speeds are
+// clamped to a configurable maximum (the FAA 100 mph cap by default) so
+// synthetic routes are always v_max-feasible, like a real drone's.
+#pragma once
+
+#include <vector>
+
+#include "geo/geopoint.h"
+#include "geo/units.h"
+#include "geo/vec2.h"
+#include "gps/fix.h"
+#include "gps/receiver_sim.h"
+
+namespace alidrone::sim {
+
+struct Waypoint {
+  geo::Vec2 position;      ///< local frame, meters
+  double speed_mps = 10.0; ///< speed while traveling the leg *ending* here
+  double altitude_m = 0.0; ///< AGL altitude at this waypoint (3D extension)
+};
+
+class Route {
+ public:
+  /// `frame` anchors the local coordinates; `start_time` is the unix time
+  /// at the first waypoint. Throws std::invalid_argument for < 2 waypoints
+  /// or non-positive speeds.
+  Route(geo::LocalFrame frame, std::vector<Waypoint> waypoints,
+        double start_time, double max_speed_mps = geo::kFaaMaxSpeedMps);
+
+  double start_time() const { return start_time_; }
+  double end_time() const { return start_time_ + duration_; }
+  double duration() const { return duration_; }
+  double length_m() const { return length_; }
+  const geo::LocalFrame& frame() const { return frame_; }
+  const std::vector<Waypoint>& waypoints() const { return waypoints_; }
+
+  /// Ground-truth state at time t (clamped to the route's time span).
+  gps::GpsFix state_at(double unix_time) const;
+
+  /// Local-frame position at time t.
+  geo::Vec2 local_position_at(double unix_time) const;
+
+  /// Interpolated altitude at time t (clamped to the route's time span).
+  double altitude_at(double unix_time) const;
+
+  /// Adapter for GpsReceiverSim.
+  gps::PositionSource as_position_source() const;
+
+ private:
+  geo::LocalFrame frame_;
+  std::vector<Waypoint> waypoints_;
+  double start_time_;
+  std::vector<double> leg_start_times_;  // arrival time at each waypoint
+  double duration_ = 0.0;
+  double length_ = 0.0;
+};
+
+}  // namespace alidrone::sim

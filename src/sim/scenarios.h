@@ -1,0 +1,37 @@
+// The paper's two field-study scenarios, rebuilt synthetically
+// (Section VI-A; substitution for the authors' car-recorded GPS traces).
+//
+// Airport (Fig. 6): one NFZ of 5-mile radius centered on an airport. The
+// trace starts ~30 ft outside the boundary and recedes ~3 miles over ~12
+// minutes.
+//
+// Residential (Fig. 7/8): a ~1 mile drive past 94 house NFZs of 20 ft
+// radius. Nearest-NFZ distance starts in the 50-100 ft band and tightens
+// to 20-70 ft in the dense stretch, with a closest approach of ~21 ft —
+// the profile Fig. 8(a) reports.
+#pragma once
+
+#include <vector>
+
+#include "geo/zone.h"
+#include "sim/route.h"
+
+namespace alidrone::sim {
+
+struct Scenario {
+  std::string name;
+  Route route;
+  std::vector<geo::GeoZone> zones;
+  geo::LocalFrame frame;
+
+  /// Zones projected into the scenario's local frame.
+  std::vector<geo::Circle> local_zones() const;
+};
+
+/// Fig. 6 setting. `start_time` is the unix time at the start of the drive.
+Scenario make_airport_scenario(double start_time = 1528400000.0);
+
+/// Fig. 7/8 setting.
+Scenario make_residential_scenario(double start_time = 1528400000.0);
+
+}  // namespace alidrone::sim

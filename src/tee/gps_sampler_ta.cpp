@@ -1,0 +1,168 @@
+#include "tee/gps_sampler_ta.h"
+
+#include "crypto/hmac.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::tee {
+
+GpsSamplerTA::GpsSamplerTA(const KeyVault& vault, const gps::GpsDriver& driver,
+                           SecureStorage& storage, crypto::RandomSource& rng,
+                           Config config)
+    : vault_(vault),
+      driver_(driver),
+      storage_(storage),
+      rng_(rng),
+      config_(config),
+      plausibility_(config.plausibility) {}
+
+void GpsSamplerTA::set_cost_meter(resource::CpuAccountant* cpu,
+                                  resource::CostProfile profile) {
+  cpu_ = cpu;
+  cost_profile_ = profile;
+}
+
+void GpsSamplerTA::charge(resource::Op op) const {
+  if (cpu_ != nullptr) cpu_->charge(op, cost_profile_);
+}
+
+std::string GpsSamplerTA::batch_key(SessionId session) const {
+  return "poa.batch." + std::to_string(session);
+}
+
+bool GpsSamplerTA::environment_trusted(const gps::GpsFix& fix) {
+  if (!config_.enable_plausibility_check) return true;
+  return plausibility_.observe(fix);
+}
+
+void GpsSamplerTA::on_session_close(SessionId session) {
+  storage_.erase(batch_key(session));
+  sessions_.erase(session);
+}
+
+InvokeResult GpsSamplerTA::invoke(SessionId session, std::uint32_t command,
+                                  std::span<const crypto::Bytes> params) {
+  switch (static_cast<SamplerCommand>(command)) {
+    case SamplerCommand::kGetGpsAuth:
+      return get_gps_auth();
+    case SamplerCommand::kGetPublicKey:
+      return get_public_key();
+    case SamplerCommand::kEstablishHmacKey:
+      return establish_hmac_key(session, params);
+    case SamplerCommand::kGetGpsHmac:
+      return get_gps_hmac(session);
+    case SamplerCommand::kBatchBegin:
+      return batch_begin(session);
+    case SamplerCommand::kBatchAppend:
+      return batch_append(session);
+    case SamplerCommand::kBatchFinalize:
+      return batch_finalize(session);
+  }
+  return {TeeStatus::kBadCommand, {}};
+}
+
+InvokeResult GpsSamplerTA::get_gps_auth() {
+  const auto fix = driver_.get_gps();
+  if (!fix || !fix->valid) return {TeeStatus::kNotReady, {}};
+  if (!environment_trusted(*fix)) return {TeeStatus::kAccessDenied, {}};
+
+  charge(resource::Op::kGpsReadParse);
+  const crypto::Bytes sample = encode_sample(*fix);
+  charge(vault_.key_bits() >= 2048 ? resource::Op::kRsaSign2048
+                                   : resource::Op::kRsaSign1024);
+  // Blinded: the signed bytes are attacker-influenced (UART-fed GPS data).
+  crypto::Bytes signature = vault_.sign_blinded(sample, config_.hash, rng_);
+  return {TeeStatus::kSuccess, {sample, std::move(signature)}};
+}
+
+InvokeResult GpsSamplerTA::get_public_key() const {
+  const crypto::RsaPublicKey& pub = vault_.verification_key();
+  return {TeeStatus::kSuccess, {pub.n.to_bytes(), pub.e.to_bytes()}};
+}
+
+InvokeResult GpsSamplerTA::establish_hmac_key(SessionId session,
+                                              std::span<const crypto::Bytes> params) {
+  if (params.size() != 2 || params[0].empty() || params[1].empty()) {
+    return {TeeStatus::kBadParameters, {}};
+  }
+  crypto::RsaPublicKey auditor_key;
+  auditor_key.n = crypto::BigInt::from_bytes(params[0]);
+  auditor_key.e = crypto::BigInt::from_bytes(params[1]);
+  if (auditor_key.n.bit_length() < 512) return {TeeStatus::kBadParameters, {}};
+
+  // Fresh session key, encrypted so only the Auditor can read it, and
+  // signed with T- so the Auditor knows it came from this TEE.
+  SessionState& st = state(session);
+  st.hmac_key = rng_.bytes(32);
+  crypto::Bytes encrypted;
+  try {
+    encrypted = crypto::rsa_encrypt(auditor_key, st.hmac_key, rng_);
+  } catch (const std::length_error&) {
+    st.hmac_key.clear();
+    return {TeeStatus::kBadParameters, {}};
+  }
+  charge(vault_.key_bits() >= 2048 ? resource::Op::kRsaSign2048
+                                   : resource::Op::kRsaSign1024);
+  crypto::Bytes signature = vault_.sign(encrypted, config_.hash);
+  return {TeeStatus::kSuccess, {encrypted, std::move(signature)}};
+}
+
+InvokeResult GpsSamplerTA::get_gps_hmac(SessionId session) {
+  SessionState& st = state(session);
+  if (st.hmac_key.empty()) return {TeeStatus::kNotReady, {}};
+  const auto fix = driver_.get_gps();
+  if (!fix || !fix->valid) return {TeeStatus::kNotReady, {}};
+  if (!environment_trusted(*fix)) return {TeeStatus::kAccessDenied, {}};
+
+  charge(resource::Op::kGpsReadParse);
+  const crypto::Bytes sample = encode_sample(*fix);
+  charge(resource::Op::kHmacSign);
+  const auto tag = crypto::HmacSha256::mac(st.hmac_key, sample);
+  return {TeeStatus::kSuccess, {sample, crypto::Bytes(tag.begin(), tag.end())}};
+}
+
+InvokeResult GpsSamplerTA::batch_begin(SessionId session) {
+  SessionState& st = state(session);
+  storage_.erase(batch_key(session));
+  if (!storage_.put(batch_key(session), {})) return {TeeStatus::kOutOfResources, {}};
+  st.batch_active = true;
+  st.batch_count = 0;
+  return {TeeStatus::kSuccess, {}};
+}
+
+InvokeResult GpsSamplerTA::batch_append(SessionId session) {
+  SessionState& st = state(session);
+  if (!st.batch_active) return {TeeStatus::kNotReady, {}};
+  if (st.batch_count >= config_.batch_capacity_samples) {
+    return {TeeStatus::kOutOfResources, {}};
+  }
+  const auto fix = driver_.get_gps();
+  if (!fix || !fix->valid) return {TeeStatus::kNotReady, {}};
+  if (!environment_trusted(*fix)) return {TeeStatus::kAccessDenied, {}};
+
+  charge(resource::Op::kGpsReadParse);
+  const crypto::Bytes sample = encode_sample(*fix);
+  crypto::Bytes batch = storage_.get(batch_key(session)).value_or(crypto::Bytes{});
+  batch.insert(batch.end(), sample.begin(), sample.end());
+  if (!storage_.put(batch_key(session), std::move(batch))) {
+    return {TeeStatus::kOutOfResources, {}};
+  }
+  ++st.batch_count;
+  return {TeeStatus::kSuccess, {sample}};
+}
+
+InvokeResult GpsSamplerTA::batch_finalize(SessionId session) {
+  SessionState& st = state(session);
+  if (!st.batch_active) return {TeeStatus::kNotReady, {}};
+  const auto batch = storage_.get(batch_key(session));
+  if (!batch || batch->empty()) return {TeeStatus::kNotReady, {}};
+
+  charge(vault_.key_bits() >= 2048 ? resource::Op::kRsaSign2048
+                                   : resource::Op::kRsaSign1024);
+  crypto::Bytes signature = vault_.sign_blinded(*batch, config_.hash, rng_);
+  st.batch_active = false;
+  st.batch_count = 0;
+  storage_.erase(batch_key(session));
+  return {TeeStatus::kSuccess, {*batch, std::move(signature)}};
+}
+
+}  // namespace alidrone::tee

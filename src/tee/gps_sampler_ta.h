@@ -1,0 +1,111 @@
+// GPS Sampler — the Trusted Application at the heart of AliDrone
+// (paper Sections IV-C2 and V-B).
+//
+// Runs in the secure world. On GetGPSAuth it reads the latest fix from the
+// (secure-world) GPS driver, encodes it canonically and signs it with the
+// TEE sign key T-. The private key never crosses the world boundary: the
+// normal-world Adapter only ever sees (sample, signature) pairs.
+//
+// Beyond the paper's baseline command, this TA also implements the
+// Section VII-A1 extensions:
+//  - symmetric mode: an ephemeral HMAC session key established under the
+//    Auditor's public encryption key, then per-sample MACs instead of RSA;
+//  - batch mode: samples cached in secure storage, one signature over the
+//    whole trace at flight end.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "crypto/random.h"
+#include "gps/driver.h"
+#include "resource/cost_model.h"
+#include "tee/key_vault.h"
+#include "tee/plausibility.h"
+#include "tee/secure_storage.h"
+#include "tee/trusted_app.h"
+
+namespace alidrone::tee {
+
+/// Command identifiers for GpsSamplerTA::invoke.
+enum class SamplerCommand : std::uint32_t {
+  kGetGpsAuth = 1,        ///< out: [sample, rsa_signature]
+  kGetPublicKey = 2,      ///< out: [modulus_n, exponent_e]
+  kEstablishHmacKey = 3,  ///< in: [auditor_n, auditor_e]; out: [enc_key, signature]
+  kGetGpsHmac = 4,        ///< out: [sample, hmac_tag]
+  kBatchBegin = 5,        ///< start caching samples in secure storage
+  kBatchAppend = 6,       ///< out: [sample]; cached, not signed
+  kBatchFinalize = 7,     ///< out: [all_samples, one_signature]
+};
+
+/// GpsSamplerTA configuration (defined at namespace scope so it can be a
+/// defaulted constructor argument).
+struct SamplerConfig {
+  crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1;  // paper default
+  std::size_t batch_capacity_samples = 16384;
+  /// Section VII-A2: refuse to sign fixes from a suspicious environment
+  /// (impossible jumps/speeds, reversed clocks).
+  bool enable_plausibility_check = false;
+  PlausibilityConfig plausibility{};
+};
+
+class GpsSamplerTA final : public TrustedApp {
+ public:
+  using Config = SamplerConfig;
+
+  /// All dependencies live in the secure world; the TA borrows them.
+  GpsSamplerTA(const KeyVault& vault, const gps::GpsDriver& driver,
+               SecureStorage& storage, crypto::RandomSource& rng,
+               Config config = {});
+
+  Uuid uuid() const override { return Uuid::from_name("alidrone.gps_sampler"); }
+  std::string name() const override { return "GPS Sampler"; }
+
+  InvokeResult invoke(SessionId session, std::uint32_t command,
+                      std::span<const crypto::Bytes> params) override;
+  void on_session_close(SessionId session) override;
+
+  /// Wire compute-cost accounting (may be null).
+  void set_cost_meter(resource::CpuAccountant* cpu, resource::CostProfile profile);
+
+ private:
+  const KeyVault& vault_;
+  const gps::GpsDriver& driver_;
+  SecureStorage& storage_;
+  crypto::RandomSource& rng_;
+  Config config_;
+
+  /// Per-session client state, isolated as in OP-TEE: one client's HMAC
+  /// key or batch buffer is invisible to another's session.
+  struct SessionState {
+    crypto::Bytes hmac_key;  // empty until established
+    bool batch_active = false;
+    std::size_t batch_count = 0;
+  };
+  std::map<SessionId, SessionState> sessions_;
+
+  // The physical environment is shared: one plausibility monitor.
+  PlausibilityMonitor plausibility_;
+
+  SessionState& state(SessionId session) { return sessions_[session]; }
+  std::string batch_key(SessionId session) const;
+
+  /// Returns false (and the caller must refuse service) when the
+  /// plausibility monitor distrusts the environment.
+  bool environment_trusted(const gps::GpsFix& fix);
+
+  resource::CpuAccountant* cpu_ = nullptr;
+  resource::CostProfile cost_profile_{};
+
+  void charge(resource::Op op) const;
+  InvokeResult get_gps_auth();
+  InvokeResult get_public_key() const;
+  InvokeResult establish_hmac_key(SessionId session,
+                                  std::span<const crypto::Bytes> params);
+  InvokeResult get_gps_hmac(SessionId session);
+  InvokeResult batch_begin(SessionId session);
+  InvokeResult batch_append(SessionId session);
+  InvokeResult batch_finalize(SessionId session);
+};
+
+}  // namespace alidrone::tee

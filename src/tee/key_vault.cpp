@@ -1,0 +1,28 @@
+#include "tee/key_vault.h"
+
+namespace alidrone::tee {
+
+KeyVault::KeyVault(crypto::RsaKeyPair kp)
+    : priv_(std::move(kp.priv)), pub_(std::move(kp.pub)) {}
+
+KeyVault KeyVault::manufacture(std::size_t key_bits, crypto::RandomSource& rng) {
+  return KeyVault(crypto::generate_rsa_keypair(key_bits, rng));
+}
+
+crypto::Bytes KeyVault::sign(std::span<const std::uint8_t> message,
+                             crypto::HashAlgorithm hash) const {
+  return crypto::rsa_sign(priv_, message, hash);
+}
+
+crypto::Bytes KeyVault::sign_blinded(std::span<const std::uint8_t> message,
+                                     crypto::HashAlgorithm hash,
+                                     crypto::RandomSource& rng) const {
+  return crypto::rsa_sign_blinded(priv_, message, hash, rng);
+}
+
+std::optional<crypto::Bytes> KeyVault::decrypt(
+    std::span<const std::uint8_t> ciphertext) const {
+  return crypto::rsa_decrypt(priv_, ciphertext);
+}
+
+}  // namespace alidrone::tee

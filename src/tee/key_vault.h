@@ -1,0 +1,55 @@
+// KeyVault — the TEE sign key T = (T+, T-) of Table I.
+//
+// The paper requires the keypair to be generated at manufacturing time
+// with the private half accessible only inside the TEE. KeyVault owns the
+// private key; its signing entry point is deliberately NOT exported from
+// the secure world — only the GPS Sampler TA (which lives inside
+// SecureWorld) can reach it, and the only normal-world path to that TA is
+// SecureMonitor::invoke. The public verification key T+ is freely
+// exportable (it is handed to the Auditor at drone registration).
+#pragma once
+
+#include <span>
+
+#include "crypto/rsa.h"
+
+namespace alidrone::tee {
+
+class KeyVault {
+ public:
+  /// "Manufacturing": generate the device keypair inside the vault.
+  static KeyVault manufacture(std::size_t key_bits, crypto::RandomSource& rng);
+
+  /// T+ — safe to export.
+  const crypto::RsaPublicKey& verification_key() const { return pub_; }
+
+  std::size_t key_bits() const { return pub_.modulus_bits(); }
+
+  /// Sign with T-. Only reachable from secure-world components.
+  crypto::Bytes sign(std::span<const std::uint8_t> message,
+                     crypto::HashAlgorithm hash) const;
+
+  /// Sign with Kocher blinding — the TEE signs attacker-influenced bytes
+  /// (GPS data an adversary can shape through the UART), so the private
+  /// exponentiation must not leak timing correlated with the message.
+  crypto::Bytes sign_blinded(std::span<const std::uint8_t> message,
+                             crypto::HashAlgorithm hash,
+                             crypto::RandomSource& rng) const;
+
+  /// Decrypt a message encrypted under T+ (used by the symmetric-key
+  /// session establishment in the Section VII-A1a extension).
+  std::optional<crypto::Bytes> decrypt(std::span<const std::uint8_t> ciphertext) const;
+
+  KeyVault(const KeyVault&) = delete;  // the private key must not be copied out
+  KeyVault& operator=(const KeyVault&) = delete;
+  KeyVault(KeyVault&&) = default;
+  KeyVault& operator=(KeyVault&&) = default;
+
+ private:
+  explicit KeyVault(crypto::RsaKeyPair kp);
+
+  crypto::RsaPrivateKey priv_;
+  crypto::RsaPublicKey pub_;
+};
+
+}  // namespace alidrone::tee

@@ -1,0 +1,50 @@
+#include "tee/plausibility.h"
+
+#include "geo/geopoint.h"
+
+namespace alidrone::tee {
+
+PlausibilityMonitor::PlausibilityMonitor(PlausibilityConfig config)
+    : config_(config) {
+  // A fresh monitor trusts its environment until evidence says otherwise.
+  clean_streak_ = config_.quarantine_length;
+}
+
+void PlausibilityMonitor::reset() {
+  has_last_ = false;
+  clean_streak_ = config_.quarantine_length;
+  anomalies_ = 0;
+  last_reason_.clear();
+}
+
+bool PlausibilityMonitor::flag(const std::string& reason) {
+  ++anomalies_;
+  clean_streak_ = 0;
+  last_reason_ = reason;
+  return false;
+}
+
+bool PlausibilityMonitor::observe(const gps::GpsFix& fix) {
+  bool ok = true;
+  if (fix.speed_mps > config_.max_speed_mps) {
+    ok = flag("reported speed exceeds physical limit");
+  } else if (has_last_ && fix.unix_time < last_.unix_time - 1e-6) {
+    ok = flag("timestamp went backwards");
+  } else if (has_last_ && fix.unix_time > last_.unix_time + 1e-6) {
+    const double dt = fix.unix_time - last_.unix_time;
+    const double dist = geo::haversine_distance(last_.position, fix.position);
+    if (dist > config_.max_speed_mps * dt + 1.0) {
+      ok = flag("position jump implies impossible speed");
+    }
+  }
+
+  has_last_ = true;
+  last_ = fix;
+
+  if (ok && clean_streak_ < config_.quarantine_length) {
+    ++clean_streak_;  // serving quarantine
+  }
+  return ok && !suspicious();
+}
+
+}  // namespace alidrone::tee

@@ -1,0 +1,57 @@
+// GPS plausibility monitor (paper Section VII-A2).
+//
+// The paper proposes embedding a spoofing detector into the secure world:
+// "if the hardware is running in a suspicious environment, the GPS
+// Sampler can decline to provide authenticity services." This monitor
+// implements the physical-consistency half of that idea: it watches the
+// stream of fixes the driver produces and flags
+//   - timestamps that go backwards,
+//   - position jumps that imply speeds above the physical limit,
+//   - reported ground speeds above the physical limit.
+// After an anomaly the monitor stays suspicious until a run of
+// consecutive clean observations passes (quarantine), so a spoofer cannot
+// alternate good and bad fixes to slip signed samples through.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gps/fix.h"
+
+namespace alidrone::tee {
+
+struct PlausibilityConfig {
+  /// Physical speed ceiling with margin; anything implying more is spoofed
+  /// or broken. Default: 2x the FAA cap (drones legally top out at 100 mph
+  /// but GPS noise and interpolation deserve headroom).
+  double max_speed_mps = 89.4;
+  /// Clean observations required to exit the suspicious state.
+  int quarantine_length = 10;
+};
+
+class PlausibilityMonitor {
+ public:
+  explicit PlausibilityMonitor(PlausibilityConfig config = {});
+
+  /// Feed the next fix; returns true when the fix (and the current state)
+  /// is trustworthy enough to sign.
+  bool observe(const gps::GpsFix& fix);
+
+  bool suspicious() const { return clean_streak_ < config_.quarantine_length; }
+  std::uint64_t anomalies() const { return anomalies_; }
+  const std::string& last_reason() const { return last_reason_; }
+
+  void reset();
+
+ private:
+  PlausibilityConfig config_;
+  bool has_last_ = false;
+  gps::GpsFix last_{};
+  int clean_streak_ = 0;
+  std::uint64_t anomalies_ = 0;
+  std::string last_reason_;
+
+  bool flag(const std::string& reason);
+};
+
+}  // namespace alidrone::tee

@@ -1,0 +1,62 @@
+#include "tee/sample_codec.h"
+
+#include <cmath>
+
+namespace alidrone::tee {
+
+namespace {
+
+void put_i64(crypto::Bytes& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((u >> (8 * i)) & 0xFF));
+  }
+}
+
+std::int64_t get_i64(std::span<const std::uint8_t> data, std::size_t offset) {
+  std::uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) u = (u << 8) | data[offset + static_cast<std::size_t>(i)];
+  return static_cast<std::int64_t>(u);
+}
+
+std::int64_t scale(double v, double factor) {
+  return static_cast<std::int64_t>(std::llround(v * factor));
+}
+
+}  // namespace
+
+crypto::Bytes encode_sample(const gps::GpsFix& fix) {
+  crypto::Bytes out;
+  out.reserve(kEncodedSampleSize);
+  put_i64(out, scale(fix.position.lat_deg, 1e9));
+  put_i64(out, scale(fix.position.lon_deg, 1e9));
+  put_i64(out, scale(fix.altitude_m, 1e3));
+  put_i64(out, scale(fix.unix_time, 1e6));
+  return out;
+}
+
+std::optional<gps::GpsFix> decode_sample(std::span<const std::uint8_t> data) {
+  if (data.size() != kEncodedSampleSize) return std::nullopt;
+
+  const std::int64_t lat_e9 = get_i64(data, 0);
+  const std::int64_t lon_e9 = get_i64(data, 8);
+  const std::int64_t alt_mm = get_i64(data, 16);
+  const std::int64_t time_us = get_i64(data, 24);
+
+  // Physical plausibility doubles as overflow protection: inside these
+  // bounds every value is far below 2^53, so the int64 <-> double round
+  // trip is exact and signatures re-verify bit-for-bit.
+  if (lat_e9 < -90'000'000'000LL || lat_e9 > 90'000'000'000LL) return std::nullopt;
+  if (lon_e9 < -180'000'000'000LL || lon_e9 > 180'000'000'000LL) return std::nullopt;
+  if (alt_mm < -100'000'000LL || alt_mm > 100'000'000LL) return std::nullopt;  // +-100 km
+  if (time_us < 0 || time_us > 4'102'444'800'000'000LL) return std::nullopt;  // <= year 2100
+
+  gps::GpsFix fix;
+  fix.position.lat_deg = static_cast<double>(lat_e9) / 1e9;
+  fix.position.lon_deg = static_cast<double>(lon_e9) / 1e9;
+  fix.altitude_m = static_cast<double>(alt_mm) / 1e3;
+  fix.unix_time = static_cast<double>(time_us) / 1e6;
+  return fix;
+}
+
+}  // namespace alidrone::tee

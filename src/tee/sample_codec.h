@@ -1,0 +1,31 @@
+// Canonical wire encoding of a GPS sample — the exact bytes the TEE signs.
+//
+// Signature verification at the Auditor must reproduce the signed bytes
+// bit-for-bit, so samples cross the protocol as fixed-point integers:
+//   int64 latitude  in nanodegrees   (exact for |lat| <= 90)
+//   int64 longitude in nanodegrees
+//   int64 altitude  in millimeters
+//   int64 timestamp in microseconds since the Unix epoch
+// all big-endian, 32 bytes total. Nanodegree resolution (~0.1 mm at the
+// equator) is far below GPS accuracy, and every value round-trips exactly
+// through double <-> int64 at these magnitudes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/bytes.h"
+#include "gps/fix.h"
+
+namespace alidrone::tee {
+
+inline constexpr std::size_t kEncodedSampleSize = 32;
+
+/// Encode a fix into the canonical 32-byte representation.
+crypto::Bytes encode_sample(const gps::GpsFix& fix);
+
+/// Decode; nullopt when the buffer is not exactly 32 bytes.
+std::optional<gps::GpsFix> decode_sample(std::span<const std::uint8_t> data);
+
+}  // namespace alidrone::tee

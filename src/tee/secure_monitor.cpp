@@ -1,0 +1,111 @@
+#include "tee/secure_monitor.h"
+
+namespace alidrone::tee {
+
+SecureWorld::SecureWorld(KeyVault vault)
+    : vault_(std::move(vault)),
+      rng_(std::make_unique<crypto::SecureRandom>()) {}
+
+void SecureWorld::register_ta(std::unique_ptr<TrustedApp> ta) {
+  const Uuid id = ta->uuid();
+  tas_[id] = std::move(ta);
+}
+
+InvokeResult SecureWorld::dispatch(const Uuid& uuid, SessionId session,
+                                   std::uint32_t command,
+                                   std::span<const crypto::Bytes> params) {
+  const auto it = tas_.find(uuid);
+  if (it == tas_.end()) return {TeeStatus::kNotFound, {}};
+  return it->second->invoke(session, command, params);
+}
+
+TrustedApp* SecureWorld::find_ta(const Uuid& uuid) {
+  const auto it = tas_.find(uuid);
+  return it == tas_.end() ? nullptr : it->second.get();
+}
+
+void SecureMonitor::charge_switch_pair() {
+  switches_ += 2;  // SMC entry + return
+  if (cpu_ != nullptr) {
+    cpu_->charge(resource::Op::kWorldSwitch, cost_profile_);
+    cpu_->charge(resource::Op::kWorldSwitch, cost_profile_);
+  }
+}
+
+InvokeResult SecureMonitor::invoke(const Uuid& uuid, std::uint32_t command,
+                                   std::span<const crypto::Bytes> params) {
+  ++invocations_;
+  charge_switch_pair();
+  return world_.dispatch(uuid, kDefaultSession, command, params);
+}
+
+SessionId SecureMonitor::open_session(const Uuid& uuid) {
+  charge_switch_pair();
+  TrustedApp* ta = world_.find_ta(uuid);
+  if (ta == nullptr) return 0;
+  const SessionId id = next_session_++;
+  sessions_[id] = uuid;
+  ta->on_session_open(id);
+  return id;
+}
+
+InvokeResult SecureMonitor::invoke(SessionId session, std::uint32_t command,
+                                   std::span<const crypto::Bytes> params) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return {TeeStatus::kAccessDenied, {}};
+  ++invocations_;
+  charge_switch_pair();
+  return world_.dispatch(it->second, session, command, params);
+}
+
+bool SecureMonitor::close_session(SessionId session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return false;
+  charge_switch_pair();
+  if (TrustedApp* ta = world_.find_ta(it->second)) ta->on_session_close(session);
+  sessions_.erase(it);
+  return true;
+}
+
+void SecureMonitor::set_cost_meter(resource::CpuAccountant* cpu,
+                                   resource::CostProfile profile) {
+  cpu_ = cpu;
+  cost_profile_ = profile;
+}
+
+namespace {
+std::unique_ptr<SecureWorld> make_world(const DroneTee::Config& config) {
+  crypto::DeterministicRandom manufacturing_rng(config.manufacturing_seed);
+  return std::make_unique<SecureWorld>(
+      KeyVault::manufacture(config.key_bits, manufacturing_rng));
+}
+}  // namespace
+
+DroneTee::DroneTee(Config config)
+    : world_(make_world(config)), monitor_(*world_) {
+  GpsSamplerTA::Config sampler_config;
+  sampler_config.hash = config.hash;
+  sampler_config.enable_plausibility_check = config.enable_plausibility_check;
+  auto sampler = std::make_unique<GpsSamplerTA>(
+      world_->vault(), world_->gps_driver(), world_->storage(), world_->rng(),
+      sampler_config);
+  sampler_ = sampler.get();
+  sampler_uuid_ = sampler->uuid();
+  world_->register_ta(std::move(sampler));
+}
+
+void DroneTee::feed_gps(std::string_view nmea_bytes) {
+  world_->gps_driver().feed_bytes(nmea_bytes);
+}
+
+const crypto::RsaPublicKey& DroneTee::verification_key() const {
+  return world_->vault().verification_key();
+}
+
+void DroneTee::set_cost_meter(resource::CpuAccountant* cpu,
+                              resource::CostProfile profile) {
+  monitor_.set_cost_meter(cpu, profile);
+  sampler_->set_cost_meter(cpu, profile);
+}
+
+}  // namespace alidrone::tee

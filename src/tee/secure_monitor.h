@@ -1,0 +1,130 @@
+// SecureWorld and SecureMonitor — the TrustZone split (paper Fig. 4).
+//
+// SecureWorld owns everything the normal world must not touch: the key
+// vault (T-), the GPS driver (mapped GPIO), secure storage and the
+// registered Trusted Applications. SecureMonitor is the single gateway —
+// the software model of the Secure Monitor Call (SMC): every invocation
+// crosses the world boundary twice (entry and exit), which the monitor
+// counts and charges to the CPU cost model.
+//
+// DroneTee is the convenience facade that wires a complete AliDrone
+// client TEE: manufactured key vault, GPS driver fed from the (hardware)
+// UART, GPS Sampler TA.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string_view>
+
+#include "crypto/random.h"
+#include "gps/driver.h"
+#include "resource/cost_model.h"
+#include "tee/gps_sampler_ta.h"
+#include "tee/key_vault.h"
+#include "tee/secure_storage.h"
+#include "tee/trusted_app.h"
+
+namespace alidrone::tee {
+
+class SecureWorld {
+ public:
+  explicit SecureWorld(KeyVault vault);
+
+  void register_ta(std::unique_ptr<TrustedApp> ta);
+
+  const KeyVault& vault() const { return vault_; }
+  SecureStorage& storage() { return storage_; }
+  gps::GpsDriver& gps_driver() { return gps_driver_; }
+  const gps::GpsDriver& gps_driver() const { return gps_driver_; }
+  crypto::RandomSource& rng() { return *rng_; }
+
+  /// Dispatch to a registered TA. Called by the SecureMonitor only.
+  InvokeResult dispatch(const Uuid& uuid, SessionId session, std::uint32_t command,
+                        std::span<const crypto::Bytes> params);
+
+  bool has_ta(const Uuid& uuid) const { return tas_.contains(uuid); }
+  TrustedApp* find_ta(const Uuid& uuid);
+
+ private:
+  KeyVault vault_;
+  SecureStorage storage_;
+  gps::GpsDriver gps_driver_;
+  std::unique_ptr<crypto::RandomSource> rng_;
+  std::map<Uuid, std::unique_ptr<TrustedApp>> tas_;
+};
+
+/// The normal world's only path into the secure world.
+class SecureMonitor {
+ public:
+  explicit SecureMonitor(SecureWorld& world) : world_(world) {}
+
+  /// One SMC round trip on the default session: normal -> secure -> normal.
+  InvokeResult invoke(const Uuid& uuid, std::uint32_t command,
+                      std::span<const crypto::Bytes> params = {});
+
+  // --- GlobalPlatform-style sessions (TEEC_OpenSession & friends) ---
+  // Per-session TA state (HMAC keys, batch buffers) is isolated between
+  // clients; closing a session releases it.
+
+  /// Returns 0 on failure (unknown TA); valid ids are >= 1.
+  SessionId open_session(const Uuid& uuid);
+  InvokeResult invoke(SessionId session, std::uint32_t command,
+                      std::span<const crypto::Bytes> params = {});
+  bool close_session(SessionId session);
+  std::size_t open_session_count() const { return sessions_.size(); }
+
+  std::uint64_t world_switches() const { return switches_; }
+  std::uint64_t invocations() const { return invocations_; }
+
+  /// Charge each world switch to a CPU accountant (may be null to stop).
+  void set_cost_meter(resource::CpuAccountant* cpu, resource::CostProfile profile);
+
+ private:
+  SecureWorld& world_;
+  std::uint64_t switches_ = 0;
+  std::uint64_t invocations_ = 0;
+  SessionId next_session_ = 1;
+  std::map<SessionId, Uuid> sessions_;
+  resource::CpuAccountant* cpu_ = nullptr;
+  resource::CostProfile cost_profile_{};
+
+  void charge_switch_pair();
+};
+
+/// DroneTee configuration (namespace scope so it can default-construct as
+/// a defaulted constructor argument).
+struct DroneTeeConfig {
+  std::size_t key_bits = 1024;  // the paper benchmarks 1024 and 2048
+  crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1;
+  std::string manufacturing_seed = "alidrone-device-0001";
+  /// Section VII-A2: secure-world GPS plausibility checks.
+  bool enable_plausibility_check = false;
+};
+
+/// A fully wired AliDrone client TEE.
+class DroneTee {
+ public:
+  using Config = DroneTeeConfig;
+
+  explicit DroneTee(Config config = {});
+
+  /// The hardware UART wire from the GPS receiver into the secure world.
+  void feed_gps(std::string_view nmea_bytes);
+
+  /// T+, as read by the operator when the device is merchandised.
+  const crypto::RsaPublicKey& verification_key() const;
+
+  SecureMonitor& monitor() { return monitor_; }
+  const Uuid& sampler_uuid() const { return sampler_uuid_; }
+
+  /// Point the TEE's cost accounting at a CPU meter (sampler + monitor).
+  void set_cost_meter(resource::CpuAccountant* cpu, resource::CostProfile profile);
+
+ private:
+  std::unique_ptr<SecureWorld> world_;
+  SecureMonitor monitor_;
+  Uuid sampler_uuid_;
+  GpsSamplerTA* sampler_ = nullptr;  // owned by world_
+};
+
+}  // namespace alidrone::tee

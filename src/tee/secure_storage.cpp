@@ -1,0 +1,39 @@
+#include "tee/secure_storage.h"
+
+namespace alidrone::tee {
+
+bool SecureStorage::put(const std::string& key, crypto::Bytes value) {
+  std::size_t new_used = used_ + value.size();
+  const auto it = objects_.find(key);
+  if (it != objects_.end()) new_used -= it->second.size();
+  if (new_used > capacity_) return false;
+
+  if (it != objects_.end()) {
+    it->second = std::move(value);
+  } else {
+    objects_.emplace(key, std::move(value));
+  }
+  used_ = new_used;
+  return true;
+}
+
+std::optional<crypto::Bytes> SecureStorage::get(const std::string& key) const {
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SecureStorage::erase(const std::string& key) {
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return false;
+  used_ -= it->second.size();
+  objects_.erase(it);
+  return true;
+}
+
+void SecureStorage::clear() {
+  objects_.clear();
+  used_ = 0;
+}
+
+}  // namespace alidrone::tee

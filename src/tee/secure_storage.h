@@ -1,0 +1,41 @@
+// Secure storage — OP-TEE's trusted storage service, simplified.
+//
+// A key/value object store reachable only from secure-world components.
+// The batch-signing extension caches GPS samples here until the flight
+// ends (Section VII-A1b).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/bytes.h"
+
+namespace alidrone::tee {
+
+class SecureStorage {
+ public:
+  /// Storage capacity in bytes (secure RAM is a scarce resource on real
+  /// TEEs; OP-TEE's default shared memory is a few MB).
+  explicit SecureStorage(std::size_t capacity_bytes = 4 * 1024 * 1024)
+      : capacity_(capacity_bytes) {}
+
+  /// Returns false when the write would exceed capacity.
+  bool put(const std::string& key, crypto::Bytes value);
+
+  std::optional<crypto::Bytes> get(const std::string& key) const;
+  bool erase(const std::string& key);
+  void clear();
+
+  std::size_t used_bytes() const { return used_; }
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t object_count() const { return objects_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::map<std::string, crypto::Bytes> objects_;
+};
+
+}  // namespace alidrone::tee

@@ -1,0 +1,46 @@
+#include "tee/trusted_app.h"
+
+#include <cstdio>
+
+#include "crypto/sha256.h"
+
+namespace alidrone::tee {
+
+Uuid Uuid::from_name(std::string_view name) {
+  const crypto::Sha256::Digest d = crypto::Sha256::hash(name);
+  Uuid u;
+  std::copy(d.begin(), d.begin() + 16, u.bytes.begin());
+  return u;
+}
+
+std::string Uuid::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf),
+                "%02x%02x%02x%02x-%02x%02x-%02x%02x-%02x%02x-%02x%02x%02x%02x%02x%02x",
+                bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5],
+                bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11],
+                bytes[12], bytes[13], bytes[14], bytes[15]);
+  return buf;
+}
+
+std::string to_string(TeeStatus s) {
+  switch (s) {
+    case TeeStatus::kSuccess:
+      return "success";
+    case TeeStatus::kBadCommand:
+      return "bad command";
+    case TeeStatus::kBadParameters:
+      return "bad parameters";
+    case TeeStatus::kAccessDenied:
+      return "access denied";
+    case TeeStatus::kNotFound:
+      return "not found";
+    case TeeStatus::kNotReady:
+      return "not ready";
+    case TeeStatus::kOutOfResources:
+      return "out of resources";
+  }
+  return "unknown";
+}
+
+}  // namespace alidrone::tee

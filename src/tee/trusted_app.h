@@ -1,0 +1,74 @@
+// Trusted Application model (paper Section II-C).
+//
+// Mirrors the GlobalPlatform TEE structure OP-TEE implements: every TA has
+// a UUID, is invoked by (command id, parameter buffers) and returns a
+// status plus output buffers. Normal-world code can only interact with a
+// TA through the SecureMonitor — there is no other public path to the
+// objects living in the secure world.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+
+namespace alidrone::tee {
+
+/// TA identity, formatted like OP-TEE UUIDs.
+struct Uuid {
+  std::array<std::uint8_t, 16> bytes{};
+
+  auto operator<=>(const Uuid&) const = default;
+
+  /// Deterministic UUID from a human-readable name (SHA-256 truncation).
+  static Uuid from_name(std::string_view name);
+  std::string to_string() const;
+};
+
+enum class TeeStatus : std::uint32_t {
+  kSuccess = 0,
+  kBadCommand,
+  kBadParameters,
+  kAccessDenied,
+  kNotFound,
+  kNotReady,       ///< e.g. no GPS fix available yet
+  kOutOfResources,
+};
+
+std::string to_string(TeeStatus s);
+
+struct InvokeResult {
+  TeeStatus status = TeeStatus::kSuccess;
+  std::vector<crypto::Bytes> outputs;
+
+  bool ok() const { return status == TeeStatus::kSuccess; }
+};
+
+/// Client session handle, as in the GlobalPlatform TEE Client API.
+/// Session 0 is the implicit "default session" used by session-less
+/// SecureMonitor::invoke calls.
+using SessionId = std::uint64_t;
+inline constexpr SessionId kDefaultSession = 0;
+
+/// Interface every Trusted Application implements.
+class TrustedApp {
+ public:
+  virtual ~TrustedApp() = default;
+
+  virtual Uuid uuid() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Handle one command invocation from the normal world within a
+  /// session. Session-less monitors pass kDefaultSession.
+  virtual InvokeResult invoke(SessionId session, std::uint32_t command,
+                              std::span<const crypto::Bytes> params) = 0;
+
+  /// Session lifecycle notifications (default: stateless TA, ignore).
+  virtual void on_session_open(SessionId) {}
+  virtual void on_session_close(SessionId) {}
+};
+
+}  // namespace alidrone::tee

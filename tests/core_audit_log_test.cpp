@@ -1,0 +1,149 @@
+// Audit log: event recording through the Auditor, filtered queries, and
+// file-sink replay.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "core/zone_owner.h"
+#include "geo/units.h"
+#include "sim/scenarios.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kTestKeyBits = 512;
+
+TEST(AuditEvent, LineRoundTrip) {
+  AuditEvent event;
+  event.time = kT0 + 12.5;
+  event.type = AuditEventType::kPoaVerdict;
+  event.subject = "drone-3";
+  event.outcome_ok = true;
+  event.detail = "sufficient alibi";
+
+  const auto parsed = AuditEvent::from_line(event.to_line());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->time, event.time);
+  EXPECT_EQ(parsed->type, event.type);
+  EXPECT_EQ(parsed->subject, "drone-3");
+  EXPECT_TRUE(parsed->outcome_ok);
+  EXPECT_EQ(parsed->detail, "sufficient alibi");
+}
+
+TEST(AuditEvent, EscapesDelimitersAndNewlines) {
+  AuditEvent event;
+  event.type = AuditEventType::kAccusation;
+  event.subject = "zone|weird\\name";
+  event.detail = "line1\nline2 | with pipe";
+  const std::string line = event.to_line();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const auto parsed = AuditEvent::from_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->subject, event.subject);
+  EXPECT_EQ(parsed->detail, event.detail);
+}
+
+TEST(AuditEvent, RejectsMalformedLines) {
+  EXPECT_FALSE(AuditEvent::from_line("").has_value());
+  EXPECT_FALSE(AuditEvent::from_line("1|2|3").has_value());
+  EXPECT_FALSE(AuditEvent::from_line("abc|poa-verdict|s|1|d").has_value());
+  EXPECT_FALSE(AuditEvent::from_line("1.0|nope|s|1|d").has_value());
+  EXPECT_FALSE(AuditEvent::from_line("1.0|poa-verdict|s|2|d").has_value());
+}
+
+TEST(AuditLog, FilteredQueries) {
+  AuditLog log;
+  log.record({10.0, AuditEventType::kDroneRegistered, "drone-1", "", true});
+  log.record({20.0, AuditEventType::kPoaVerdict, "drone-1", "ok", true});
+  log.record({30.0, AuditEventType::kPoaVerdict, "drone-2", "bad", false});
+  log.record({40.0, AuditEventType::kAccusation, "drone-1", "no alibi", false});
+
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.by_type(AuditEventType::kPoaVerdict).size(), 2u);
+  EXPECT_EQ(log.by_subject("drone-1").size(), 3u);
+  EXPECT_EQ(log.in_window(15.0, 35.0).size(), 2u);
+}
+
+TEST(AuditLog, FileSinkReplays) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("alidrone_audit_" + std::to_string(::getpid()) + ".log");
+  std::filesystem::remove(path);
+  {
+    AuditLog log(path);
+    log.record({1.0, AuditEventType::kZoneRegistered, "zone-1", "house", true});
+    log.record({2.0, AuditEventType::kZoneQuery, "drone-1", "5 zones", true});
+  }
+  {
+    // Corrupt line in the middle must be skipped, not fatal.
+    std::ofstream append(path, std::ios::app);
+    append << "garbage line\n";
+  }
+
+  std::size_t corrupt = 0;
+  const AuditLog replayed = AuditLog::replay(path, &corrupt);
+  EXPECT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(corrupt, 1u);
+  EXPECT_EQ(replayed.events()[1].detail, "5 zones");
+  std::filesystem::remove(path);
+}
+
+TEST(AuditLog, AuditorRecordsFullProtocolRun) {
+  crypto::DeterministicRandom auditor_rng("audit-auditor");
+  crypto::DeterministicRandom owner_rng("audit-owner");
+  crypto::DeterministicRandom operator_rng("audit-operator");
+
+  Auditor auditor(kTestKeyBits, auditor_rng);
+  const auto log = std::make_shared<AuditLog>();
+  auditor.attach_audit_log(log);
+  net::MessageBus bus;
+  auditor.bind(bus);
+
+  ZoneOwner owner(kTestKeyBits, owner_rng);
+  tee::DroneTee::Config config;
+  config.key_bits = kTestKeyBits;
+  config.manufacturing_seed = "audit-device";
+  tee::DroneTee tee(config);
+  DroneClient client(tee, kTestKeyBits, operator_rng);
+
+  ASSERT_TRUE(client.register_with_auditor(bus));
+  const sim::Scenario scenario = sim::make_airport_scenario(kT0);
+  const ZoneId zone_id = owner.register_zone(bus, scenario.zones[0], "airport");
+  client.query_zones(bus, {{39.9, -88.4}, {40.2, -88.1}});
+
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = scenario.route.start_time();
+  gps::GpsReceiverSim receiver(rc, scenario.route.as_position_source());
+  AdaptiveSampler policy(scenario.frame, scenario.local_zones(),
+                         geo::kFaaMaxSpeedMps, 5.0);
+  FlightConfig flight;
+  flight.end_time = scenario.route.start_time() + 60.0;
+  flight.frame = scenario.frame;
+  flight.local_zones = scenario.local_zones();
+  const ProofOfAlibi poa = client.fly(receiver, policy, flight);
+  client.submit_poa(bus, poa);
+
+  auditor.handle_accusation(owner.make_accusation(zone_id, client.id(), kT0 + 30.0));
+
+  // One event of each type, in order.
+  ASSERT_EQ(log->size(), 5u);
+  EXPECT_EQ(log->events()[0].type, AuditEventType::kDroneRegistered);
+  EXPECT_EQ(log->events()[1].type, AuditEventType::kZoneRegistered);
+  EXPECT_EQ(log->events()[2].type, AuditEventType::kZoneQuery);
+  EXPECT_EQ(log->events()[3].type, AuditEventType::kPoaVerdict);
+  EXPECT_TRUE(log->events()[3].outcome_ok);  // compliant flight
+  EXPECT_EQ(log->events()[4].type, AuditEventType::kAccusation);
+  EXPECT_TRUE(log->events()[4].outcome_ok);  // alibi held
+  // Registration, query, verdict and accusation all reference the drone.
+  EXPECT_EQ(log->by_subject(client.id()).size(), 4u);
+}
+
+}  // namespace
+}  // namespace alidrone::core

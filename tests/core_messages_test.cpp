@@ -1,0 +1,173 @@
+// Encode/decode round trips for every protocol message, including edge
+// values (empty strings, negative coordinates, zero-length buffers).
+#include <gtest/gtest.h>
+
+#include "core/messages.h"
+#include "crypto/random.h"
+
+namespace alidrone::core {
+namespace {
+
+TEST(Messages, RegisterDroneRoundTrip) {
+  RegisterDroneRequest request;
+  request.operator_key_n = {0x01, 0x02, 0x03};
+  request.operator_key_e = {0x01, 0x00, 0x01};
+  request.tee_key_n = {0xFF};
+  request.tee_key_e = {};
+
+  const auto decoded = RegisterDroneRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->operator_key_n, request.operator_key_n);
+  EXPECT_EQ(decoded->tee_key_e, request.tee_key_e);
+  EXPECT_EQ(decoded->operator_key().e, crypto::BigInt(65537));
+
+  RegisterDroneResponse response{true, "drone-42"};
+  const auto decoded_response = RegisterDroneResponse::decode(response.encode());
+  ASSERT_TRUE(decoded_response.has_value());
+  EXPECT_TRUE(decoded_response->ok);
+  EXPECT_EQ(decoded_response->drone_id, "drone-42");
+}
+
+TEST(Messages, RegisterZoneRoundTripWithNegativeCoordinates) {
+  RegisterZoneRequest request;
+  request.zone = {{-33.8688, -151.2093}, 123.456};
+  request.description = "southern hemisphere lot";
+  request.owner_key_n = {0xAA, 0xBB};
+  request.owner_key_e = {0x03};
+  request.proof_signature = {0x10, 0x20, 0x30};
+
+  const auto decoded = RegisterZoneRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_DOUBLE_EQ(decoded->zone.center.lat_deg, -33.8688);
+  EXPECT_DOUBLE_EQ(decoded->zone.center.lon_deg, -151.2093);
+  EXPECT_DOUBLE_EQ(decoded->zone.radius_m, 123.456);
+  EXPECT_EQ(decoded->description, request.description);
+  // The signed payload is identical for the original and the decoded copy.
+  EXPECT_EQ(decoded->signed_payload(), request.signed_payload());
+}
+
+TEST(Messages, ZoneQueryRoundTrip) {
+  ZoneQueryRequest request;
+  request.drone_id = "drone-1";
+  request.rect = {{40.0, -89.0}, {41.0, -88.0}};
+  request.nonce = crypto::Bytes(16, 0x5A);
+  request.nonce_signature = crypto::Bytes(64, 0xC3);
+
+  const auto decoded = ZoneQueryRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->drone_id, "drone-1");
+  EXPECT_DOUBLE_EQ(decoded->rect.corner2.lat_deg, 41.0);
+  EXPECT_EQ(decoded->nonce, request.nonce);
+}
+
+TEST(Messages, ZoneQueryResponseRoundTripEmptyAndFull) {
+  ZoneQueryResponse empty{true, "", {}};
+  const auto decoded_empty = ZoneQueryResponse::decode(empty.encode());
+  ASSERT_TRUE(decoded_empty.has_value());
+  EXPECT_TRUE(decoded_empty->ok);
+  EXPECT_TRUE(decoded_empty->zones.empty());
+
+  ZoneQueryResponse full;
+  full.ok = true;
+  for (int i = 0; i < 20; ++i) {
+    full.zones.push_back(
+        {"zone-" + std::to_string(i), {{40.0 + i, -88.0 - i}, i * 10.0}});
+  }
+  const auto decoded = ZoneQueryResponse::decode(full.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->zones.size(), 20u);
+  EXPECT_EQ(decoded->zones[7].id, "zone-7");
+  EXPECT_DOUBLE_EQ(decoded->zones[7].zone.radius_m, 70.0);
+
+  ZoneQueryResponse error{false, "replayed nonce", {}};
+  const auto decoded_error = ZoneQueryResponse::decode(error.encode());
+  ASSERT_TRUE(decoded_error.has_value());
+  EXPECT_FALSE(decoded_error->ok);
+  EXPECT_EQ(decoded_error->error, "replayed nonce");
+}
+
+TEST(Messages, PoaVerdictRoundTrip) {
+  PoaVerdict verdict{true, false, 17, "insufficient alibi"};
+  const auto decoded = PoaVerdict::decode(verdict.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->accepted);
+  EXPECT_FALSE(decoded->compliant);
+  EXPECT_EQ(decoded->violation_count, 17u);
+  EXPECT_EQ(decoded->detail, "insufficient alibi");
+}
+
+TEST(Messages, AccusationRoundTrip) {
+  AccusationRequest request;
+  request.zone_id = "zone-9";
+  request.drone_id = "drone-3";
+  request.incident_time = 1528400123.456;
+  request.owner_signature = crypto::Bytes(64, 0x77);
+
+  const auto decoded = AccusationRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->zone_id, "zone-9");
+  EXPECT_DOUBLE_EQ(decoded->incident_time, 1528400123.456);
+  EXPECT_EQ(decoded->signed_payload(), request.signed_payload());
+
+  AccusationResponse response{true, true, "alibi holds"};
+  const auto decoded_response = AccusationResponse::decode(response.encode());
+  ASSERT_TRUE(decoded_response.has_value());
+  EXPECT_TRUE(decoded_response->alibi_holds);
+}
+
+TEST(Messages, DecodersRejectTruncation) {
+  RegisterZoneRequest zone;
+  zone.zone = {{40.0, -88.0}, 10.0};
+  zone.owner_key_n = {1};
+  zone.owner_key_e = {1};
+  const crypto::Bytes full = zone.encode();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const crypto::Bytes truncated(full.begin(),
+                                  full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(RegisterZoneRequest::decode(truncated).has_value()) << cut;
+  }
+}
+
+TEST(Messages, DecodersRejectTrailingBytes) {
+  ZoneQueryRequest query;
+  query.drone_id = "d";
+  query.nonce = {1, 2};
+  query.nonce_signature = {3};
+  crypto::Bytes bytes = query.encode();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(ZoneQueryRequest::decode(bytes).has_value());
+
+  PoaVerdict verdict;
+  bytes = verdict.encode();
+  bytes.push_back(0xFF);
+  EXPECT_FALSE(PoaVerdict::decode(bytes).has_value());
+}
+
+TEST(Messages, PolygonPayloadDeterministic) {
+  const std::vector<geo::GeoPoint> vertices{
+      {40.0, -88.0}, {40.1, -88.0}, {40.05, -88.1}};
+  EXPECT_EQ(polygon_zone_payload(vertices, "lot"),
+            polygon_zone_payload(vertices, "lot"));
+  EXPECT_NE(polygon_zone_payload(vertices, "lot"),
+            polygon_zone_payload(vertices, "other"));
+  std::vector<geo::GeoPoint> reordered{vertices[1], vertices[0], vertices[2]};
+  EXPECT_NE(polygon_zone_payload(vertices, "lot"),
+            polygon_zone_payload(reordered, "lot"));
+}
+
+TEST(Messages, QueryRectContainsIsOrientationAgnostic) {
+  // Corners may come in any order.
+  const QueryRect a{{40.0, -89.0}, {41.0, -88.0}};
+  const QueryRect b{{41.0, -88.0}, {40.0, -89.0}};
+  const geo::GeoPoint inside{40.5, -88.5};
+  const geo::GeoPoint outside{41.5, -88.5};
+  EXPECT_TRUE(a.contains(inside));
+  EXPECT_TRUE(b.contains(inside));
+  EXPECT_FALSE(a.contains(outside));
+  EXPECT_FALSE(b.contains(outside));
+  // Boundary is inclusive.
+  EXPECT_TRUE(a.contains({40.0, -88.0}));
+}
+
+}  // namespace
+}  // namespace alidrone::core

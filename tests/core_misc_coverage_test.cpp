@@ -1,0 +1,175 @@
+// Edge-case coverage for paths the main suites do not reach: client nonce
+// freshness, TA resource limits, bus-level submission corner cases.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "core/zone_owner.h"
+#include "geo/units.h"
+#include "gps/receiver_sim.h"
+#include "tee/gps_sampler_ta.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kTestKeyBits = 512;
+
+tee::DroneTee::Config tee_config(const char* seed) {
+  tee::DroneTee::Config config;
+  config.key_bits = kTestKeyBits;
+  config.manufacturing_seed = seed;
+  return config;
+}
+
+TEST(DroneClientMisc, ZoneQueryNoncesAreFresh) {
+  tee::DroneTee tee(tee_config("nonce-device"));
+  crypto::DeterministicRandom rng("nonce-operator");
+  DroneClient client(tee, kTestKeyBits, rng);
+
+  std::set<crypto::Bytes> nonces;
+  const QueryRect rect{{40.0, -89.0}, {41.0, -88.0}};
+  for (int i = 0; i < 50; ++i) {
+    const ZoneQueryRequest request = client.make_zone_query(rect);
+    EXPECT_EQ(request.nonce.size(), 16u);
+    EXPECT_TRUE(nonces.insert(request.nonce).second) << "duplicate nonce at " << i;
+  }
+}
+
+TEST(SamplerTaMisc, BatchCapacityLimitEnforced) {
+  tee::DroneTee tee(tee_config("capacity-device"));
+
+  // Feed one fix so appends have data.
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = kT0;
+  gps::GpsReceiverSim sim(rc, [](double t) {
+    gps::GpsFix f;
+    f.position = {40.0, -88.0};
+    f.unix_time = t;
+    return f;
+  });
+  for (const std::string& s : sim.advance_to(kT0)) tee.feed_gps(s);
+
+  // The default DroneTee uses a 16384-sample batch capacity; the secure
+  // storage (4 MB) also bounds it. Exercise the storage-capacity path by
+  // filling storage-adjacent sessions... simplest honest check: append up
+  // to a few thousand and confirm the TA keeps accepting, then verify the
+  // capacity error surfaces at the configured limit via a small custom TA.
+  tee::SecureStorage small_storage(3 * tee::kEncodedSampleSize);
+  crypto::DeterministicRandom vault_rng("capacity-vault");
+  const tee::KeyVault vault = tee::KeyVault::manufacture(512, vault_rng);
+  gps::GpsDriver driver;
+  for (const std::string& s : sim.advance_to(kT0 + 1.0)) driver.feed(s);
+  crypto::SecureRandom ta_rng;
+  tee::GpsSamplerTA ta(vault, driver, small_storage, ta_rng);
+
+  ASSERT_TRUE(ta.invoke(tee::kDefaultSession,
+                        static_cast<std::uint32_t>(tee::SamplerCommand::kBatchBegin), {})
+                  .ok());
+  // 3 samples fit; the 4th overflows the 96-byte secure storage.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ta.invoke(tee::kDefaultSession,
+                          static_cast<std::uint32_t>(tee::SamplerCommand::kBatchAppend),
+                          {})
+                    .ok())
+        << i;
+  }
+  EXPECT_EQ(ta.invoke(tee::kDefaultSession,
+                      static_cast<std::uint32_t>(tee::SamplerCommand::kBatchAppend), {})
+                .status,
+            tee::TeeStatus::kOutOfResources);
+}
+
+TEST(AuditorMisc, SubmitEndpointHandlesEmptyPoaBytes) {
+  crypto::DeterministicRandom rng("misc-auditor");
+  Auditor auditor(kTestKeyBits, rng);
+  net::MessageBus bus;
+  auditor.bind(bus);
+
+  const crypto::Bytes reply =
+      bus.request("auditor.submit_poa", SubmitPoaRequest{{}}.encode());
+  const auto verdict = PoaVerdict::decode(reply);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(verdict->accepted);
+}
+
+TEST(AuditorMisc, HmacPoaWithWrongAuditorKeyUnreadable) {
+  // A drone establishes its session key against auditor A, then submits
+  // the PoA to auditor B: B cannot unwrap the key and must reject.
+  crypto::DeterministicRandom rng_a("auditor-A");
+  crypto::DeterministicRandom rng_b("auditor-B");
+  Auditor auditor_a(kTestKeyBits, rng_a);
+  Auditor auditor_b(kTestKeyBits, rng_b);
+
+  tee::DroneTee tee(tee_config("wrong-auditor-device"));
+  crypto::DeterministicRandom operator_rng("wrong-auditor-operator");
+  DroneClient client(tee, kTestKeyBits, operator_rng);
+  net::MessageBus bus_a;
+  auditor_a.bind(bus_a);
+  net::MessageBus bus_b;
+  auditor_b.bind(bus_b);
+  ASSERT_TRUE(client.register_with_auditor(bus_a));
+
+  // Register the same drone at B too (same TEE key allowed: separate DBs).
+  ASSERT_TRUE(client.register_with_auditor(bus_b));
+
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = kT0;
+  gps::GpsReceiverSim receiver(rc, [](double t) {
+    gps::GpsFix f;
+    f.position = {40.0, -88.0};
+    f.unix_time = t;
+    return f;
+  });
+  AdaptiveSampler policy(geo::LocalFrame({40.0, -88.0}), {}, geo::kFaaMaxSpeedMps,
+                         5.0);
+  FlightConfig config;
+  config.end_time = kT0 + 5.0;
+  config.auth_mode = AuthMode::kHmacSession;
+  config.auditor_encryption_key = auditor_a.encryption_key();  // keyed to A
+  const ProofOfAlibi poa = client.fly(receiver, policy, config);
+
+  EXPECT_TRUE(auditor_a.verify_poa(poa, kT0 + 100).accepted);
+  const PoaVerdict wrong = auditor_b.verify_poa(poa, kT0 + 100);
+  EXPECT_FALSE(wrong.accepted);
+  EXPECT_EQ(wrong.detail, "session key unreadable");
+}
+
+TEST(AuditorMisc, VerdictDetailNamesFirstBadSample) {
+  crypto::DeterministicRandom rng("detail-auditor");
+  Auditor auditor(kTestKeyBits, rng);
+  tee::DroneTee tee(tee_config("detail-device"));
+  crypto::DeterministicRandom operator_rng("detail-operator");
+  DroneClient client(tee, kTestKeyBits, operator_rng);
+  net::MessageBus bus;
+  auditor.bind(bus);
+  ASSERT_TRUE(client.register_with_auditor(bus));
+
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = kT0;
+  gps::GpsReceiverSim receiver(rc, [](double t) {
+    gps::GpsFix f;
+    f.position = {40.0, -88.0};
+    f.unix_time = t;
+    return f;
+  });
+  FixedRateSampler policy(5.0, kT0);
+  FlightConfig config;
+  config.end_time = kT0 + 3.0;
+  ProofOfAlibi poa = client.fly(receiver, policy, config);
+  ASSERT_GE(poa.samples.size(), 3u);
+  poa.samples[2].signature[0] ^= 1;
+
+  const PoaVerdict verdict = auditor.verify_poa(poa, kT0 + 100);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.detail, "sample 2 signature invalid");
+}
+
+}  // namespace
+}  // namespace alidrone::core

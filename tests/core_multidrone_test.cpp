@@ -1,0 +1,156 @@
+// Multi-drone integration: one Auditor serving a fleet — identity
+// isolation, per-drone verdicts and accusation routing when several
+// drones share the same airspace and the same zone database.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "core/zone_owner.h"
+#include "geo/units.h"
+#include "sim/scenarios.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kTestKeyBits = 512;
+
+struct Fleet {
+  crypto::DeterministicRandom auditor_rng{std::string_view("fleet-auditor")};
+  crypto::DeterministicRandom owner_rng{std::string_view("fleet-owner")};
+  net::MessageBus bus;
+  Auditor auditor{kTestKeyBits, auditor_rng};
+  ZoneOwner owner{kTestKeyBits, owner_rng};
+  sim::Scenario scenario{sim::make_residential_scenario(kT0)};
+
+  struct Member {
+    std::unique_ptr<tee::DroneTee> tee;
+    std::unique_ptr<DroneClient> client;
+    std::unique_ptr<crypto::DeterministicRandom> rng;
+  };
+  std::vector<Member> drones;
+
+  Fleet() {
+    auditor.bind(bus);
+    for (const geo::GeoZone& z : scenario.zones) owner.register_zone(bus, z, "house");
+    for (int i = 0; i < 3; ++i) {
+      Member m;
+      tee::DroneTee::Config config;
+      config.key_bits = kTestKeyBits;
+      config.manufacturing_seed = "fleet-device-" + std::to_string(i);
+      m.tee = std::make_unique<tee::DroneTee>(config);
+      m.rng = std::make_unique<crypto::DeterministicRandom>(
+          "fleet-operator-" + std::to_string(i));
+      m.client = std::make_unique<DroneClient>(*m.tee, kTestKeyBits, *m.rng);
+      EXPECT_TRUE(m.client->register_with_auditor(bus));
+      drones.push_back(std::move(m));
+    }
+  }
+
+  /// Fly drone `i` over the residential route, offset in time so flights
+  /// do not coincide.
+  ProofOfAlibi fly(std::size_t i, bool through_zone = false) {
+    const double offset = static_cast<double>(i) * 1000.0;
+    const sim::Scenario shifted = sim::make_residential_scenario(kT0 + offset);
+
+    gps::GpsReceiverSim::Config rc;
+    rc.update_rate_hz = 5.0;
+    rc.start_time = shifted.route.start_time();
+
+    gps::PositionSource source = shifted.route.as_position_source();
+    if (through_zone) {
+      // A rogue detour: cut straight through house #10's zone.
+      const geo::GeoZone target = shifted.zones[10];
+      source = [base = shifted.route.as_position_source(), target,
+                start = shifted.route.start_time()](double t) {
+        gps::GpsFix f = base(t);
+        if (t - start > 40.0 && t - start < 45.0) f.position = target.center;
+        return f;
+      };
+    }
+    gps::GpsReceiverSim receiver(rc, std::move(source));
+    AdaptiveSampler policy(shifted.frame, shifted.local_zones(),
+                           geo::kFaaMaxSpeedMps, 5.0);
+    FlightConfig config;
+    config.end_time = shifted.route.end_time();
+    config.frame = shifted.frame;
+    config.local_zones = shifted.local_zones();
+    return drones[i].client->fly(receiver, policy, config);
+  }
+};
+
+TEST(Fleet, DistinctIdentitiesIssued) {
+  Fleet fleet;
+  EXPECT_EQ(fleet.auditor.drone_count(), 3u);
+  EXPECT_EQ(fleet.drones[0].client->id(), "drone-1");
+  EXPECT_EQ(fleet.drones[1].client->id(), "drone-2");
+  EXPECT_EQ(fleet.drones[2].client->id(), "drone-3");
+}
+
+TEST(Fleet, PerDroneVerdictsIndependent) {
+  Fleet fleet;
+  const ProofOfAlibi clean0 = fleet.fly(0);
+  const ProofOfAlibi rogue1 = fleet.fly(1, /*through_zone=*/true);
+  const ProofOfAlibi clean2 = fleet.fly(2);
+
+  const PoaVerdict v0 = fleet.auditor.verify_poa(clean0, kT0 + 500);
+  const PoaVerdict v1 = fleet.auditor.verify_poa(rogue1, kT0 + 1500);
+  const PoaVerdict v2 = fleet.auditor.verify_poa(clean2, kT0 + 2500);
+
+  EXPECT_TRUE(v0.accepted && v0.compliant) << v0.detail;
+  EXPECT_TRUE(v1.accepted);   // honest TEE signed the rogue detour too
+  EXPECT_FALSE(v1.compliant); // ...which is exactly what convicts it
+  EXPECT_TRUE(v2.accepted && v2.compliant) << v2.detail;
+  EXPECT_EQ(fleet.auditor.retained_poa_count(), 3u);
+}
+
+TEST(Fleet, CrossDroneSignaturesNeverValidate) {
+  Fleet fleet;
+  ProofOfAlibi poa = fleet.fly(0);
+  // Present drone 0's flight as drone 1's.
+  poa.drone_id = fleet.drones[1].client->id();
+  EXPECT_FALSE(fleet.auditor.verify_poa(poa, kT0 + 500).accepted);
+}
+
+TEST(Fleet, AccusationTargetsTheRightDrone) {
+  Fleet fleet;
+  fleet.auditor.verify_poa(fleet.fly(0), kT0 + 500);                       // clean
+  fleet.auditor.verify_poa(fleet.fly(1, /*through_zone=*/true), kT0 + 1500);  // rogue
+
+  // The owner saw *a* drone at house #10 during drone 1's flight window.
+  const double incident = kT0 + 1000.0 + 42.0;
+  const AccusationRequest vs_rogue =
+      fleet.owner.make_accusation("zone-11", fleet.drones[1].client->id(), incident);
+  const AccusationResponse rogue_answer = fleet.auditor.handle_accusation(vs_rogue);
+  EXPECT_TRUE(rogue_answer.ok);
+  EXPECT_FALSE(rogue_answer.alibi_holds);  // drone 1 cannot prove alibi
+
+  // Drone 0 was not even flying at that time: no covering PoA either,
+  // but for its own flight window its PoA clears it.
+  const AccusationRequest vs_clean_in_window =
+      fleet.owner.make_accusation("zone-11", fleet.drones[0].client->id(), kT0 + 42.0);
+  const AccusationResponse clean_answer =
+      fleet.auditor.handle_accusation(vs_clean_in_window);
+  EXPECT_TRUE(clean_answer.ok);
+  EXPECT_TRUE(clean_answer.alibi_holds) << clean_answer.detail;
+}
+
+TEST(Fleet, ZoneQueriesIsolatedPerDroneNonces) {
+  Fleet fleet;
+  const QueryRect rect{{40.10, -88.23}, {40.13, -88.20}};
+  // Each drone queries with its own nonce; one drone's nonce cannot be
+  // replayed by another (the signature binds it to D-).
+  const ZoneQueryRequest q0 = fleet.drones[0].client->make_zone_query(rect);
+  EXPECT_TRUE(fleet.auditor.query_zones(q0).ok);
+
+  ZoneQueryRequest stolen = q0;
+  stolen.drone_id = fleet.drones[1].client->id();
+  const ZoneQueryResponse response = fleet.auditor.query_zones(stolen);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "bad nonce signature");
+}
+
+}  // namespace
+}  // namespace alidrone::core

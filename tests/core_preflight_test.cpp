@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flight.h"
+#include "core/preflight.h"
+#include "core/sampler.h"
+#include "core/sufficiency.h"
+#include "geo/units.h"
+#include "sim/scenarios.h"
+#include "tee/secure_monitor.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+const geo::GeoPoint kAnchor{40.1100, -88.2200};
+
+TEST(MaxSampleInterval, TangencyFormula) {
+  EXPECT_DOUBLE_EQ(max_sample_interval_s(100.0, 100.0, 50.0), 4.0);
+  EXPECT_DOUBLE_EQ(max_sample_interval_s(0.0, 100.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(max_sample_interval_s(-5.0, 100.0, 50.0), 0.0);
+  // Asymmetric distances simply add.
+  EXPECT_DOUBLE_EQ(max_sample_interval_s(30.0, 70.0, geo::kFaaMaxSpeedMps),
+                   100.0 / geo::kFaaMaxSpeedMps);
+}
+
+TEST(Preflight, NoZonesIsTriviallyFeasible) {
+  const geo::LocalFrame frame(kAnchor);
+  const sim::Route route(frame, {{{0, 0}, 10.0}, {{1000, 0}, 10.0}}, kT0);
+  const PreflightReport report = analyze_route(route, {});
+  EXPECT_TRUE(report.feasible());
+  EXPECT_TRUE(std::isinf(report.min_clearance_m));
+  EXPECT_DOUBLE_EQ(report.required_peak_rate_hz, 0.0);
+  EXPECT_EQ(report.estimated_samples, 1u);  // the anchoring S_0
+}
+
+TEST(Preflight, RouteThroughZoneIsInfeasible) {
+  const geo::LocalFrame frame(kAnchor);
+  const sim::Route route(frame, {{{0, 0}, 10.0}, {{1000, 0}, 10.0}}, kT0);
+  const std::vector<geo::Circle> zones{{{500, 0}, 30.0}};  // on the path
+  const PreflightReport report = analyze_route(route, zones);
+  EXPECT_FALSE(report.route_avoids_zones);
+  EXPECT_FALSE(report.feasible());
+  EXPECT_LT(report.min_clearance_m, 0.0);
+}
+
+TEST(Preflight, PeakRateMatchesClosestApproachFormula) {
+  const geo::LocalFrame frame(kAnchor);
+  const sim::Route route(frame, {{{0, 0}, 10.0}, {{1000, 0}, 10.0}}, kT0);
+  const double offset = 50.0;
+  const std::vector<geo::Circle> zones{{{500, offset}, 10.0}};
+  const PreflightReport report = analyze_route(route, zones);
+
+  // Closest approach: 50 - 10 = 40 m; peak rate = vmax / (2 * 40).
+  EXPECT_NEAR(report.min_clearance_m, 40.0, 0.1);
+  EXPECT_NEAR(report.required_peak_rate_hz, geo::kFaaMaxSpeedMps / 80.0, 0.02);
+  EXPECT_TRUE(report.gps_rate_sufficient);  // ~0.56 Hz << 5 Hz
+  EXPECT_TRUE(report.feasible());
+}
+
+TEST(Preflight, TightPassExceedsGpsRate) {
+  const geo::LocalFrame frame(kAnchor);
+  const sim::Route route(frame, {{{0, 0}, 10.0}, {{1000, 0}, 10.0}}, kT0);
+  // 12 m offset, 10 m radius: clearance 2 m -> required ~11 Hz > 5 Hz.
+  const std::vector<geo::Circle> zones{{{500, 12.0}, 10.0}};
+  const PreflightReport report = analyze_route(route, zones);
+  EXPECT_TRUE(report.route_avoids_zones);
+  EXPECT_FALSE(report.gps_rate_sufficient);
+  EXPECT_FALSE(report.feasible());
+}
+
+TEST(Preflight, LongKeyCannotKeepUpWhereShortKeyCan) {
+  const geo::LocalFrame frame(kAnchor);
+  const sim::Route route(frame, {{{0, 0}, 10.0}, {{1000, 0}, 10.0}}, kT0);
+  // Clearance ~4.7 m: required rate ~4.75 Hz — inside the 5 Hz GPS but
+  // above the 2048-bit signing ceiling of 1/0.219 s ~ 4.57 Hz.
+  const std::vector<geo::Circle> zones{{{500, 14.7}, 10.0}};
+
+  PreflightConfig short_key;
+  short_key.tee_key_bits = 1024;  // 43 ms/sample -> 23 Hz ceiling
+  EXPECT_TRUE(analyze_route(route, zones, short_key).tee_can_keep_up);
+
+  PreflightConfig long_key;
+  long_key.tee_key_bits = 2048;  // 219 ms/sample -> 4.6 Hz ceiling
+  const PreflightReport report = analyze_route(route, zones, long_key);
+  EXPECT_TRUE(report.gps_rate_sufficient);
+  EXPECT_FALSE(report.tee_can_keep_up);  // Table II's "-" cells, predicted
+  EXPECT_FALSE(report.feasible());
+}
+
+// The estimate must track reality: fly the scenarios and compare the
+// predicted sample count with what Algorithm 1 actually records.
+class PreflightVsFlight : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PreflightVsFlight, EstimateWithinFactorOfActual) {
+  const sim::Scenario scenario = std::string(GetParam()) == "airport"
+                                     ? sim::make_airport_scenario(kT0)
+                                     : sim::make_residential_scenario(kT0);
+
+  const PreflightReport report =
+      analyze_route(scenario.route, scenario.local_zones());
+  EXPECT_TRUE(report.route_avoids_zones);
+
+  tee::DroneTee::Config tee_config;
+  tee_config.key_bits = 512;
+  tee_config.manufacturing_seed = "preflight-device";
+  tee::DroneTee tee(tee_config);
+
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = scenario.route.start_time();
+  gps::GpsReceiverSim receiver(rc, scenario.route.as_position_source());
+  AdaptiveSampler policy(scenario.frame, scenario.local_zones(),
+                         geo::kFaaMaxSpeedMps, 5.0);
+  FlightConfig config;
+  config.end_time = scenario.route.end_time();
+  config.frame = scenario.frame;
+  config.local_zones = scenario.local_zones();
+  const FlightResult result = run_flight(tee, receiver, policy, config);
+
+  const double actual = static_cast<double>(result.poa_samples.size());
+  const double estimated = static_cast<double>(report.estimated_samples);
+  EXPECT_GT(estimated, actual * 0.3) << GetParam();
+  EXPECT_LT(estimated, actual * 3.0 + 10.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, PreflightVsFlight,
+                         ::testing::Values("airport", "residential"));
+
+}  // namespace
+}  // namespace alidrone::core

@@ -1,0 +1,186 @@
+// Offline PoA thinning: the minimal-witness extraction that mirrors
+// adaptive sampling on the verification side.
+#include <gtest/gtest.h>
+
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "core/flight.h"
+#include "core/sampler.h"
+#include "core/thinning.h"
+#include "core/zone_owner.h"
+#include "geo/units.h"
+#include "sim/scenarios.h"
+#include "tee/secure_monitor.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+const geo::GeoPoint kAnchor{40.1100, -88.2200};
+
+gps::GpsFix make_fix(double east_m, double north_m, double t) {
+  const geo::LocalFrame frame(kAnchor);
+  gps::GpsFix f;
+  f.position = frame.to_geo({east_m, north_m});
+  f.unix_time = t;
+  return f;
+}
+
+TEST(Thinning, EmptyAndSingleSample) {
+  EXPECT_TRUE(thin_samples({}, {}, geo::kFaaMaxSpeedMps).kept_indices.empty());
+  const auto single =
+      thin_samples({make_fix(0, 0, kT0)}, {}, geo::kFaaMaxSpeedMps);
+  EXPECT_EQ(single.kept_indices, (std::vector<std::size_t>{0}));
+}
+
+TEST(Thinning, NoZonesKeepsOnlyEndpoints) {
+  std::vector<gps::GpsFix> samples;
+  for (int i = 0; i < 50; ++i) samples.push_back(make_fix(i * 2.0, 0, kT0 + i * 0.2));
+  const ThinningResult result = thin_samples(samples, {}, geo::kFaaMaxSpeedMps);
+  EXPECT_EQ(result.kept_indices, (std::vector<std::size_t>{0, 49}));
+  EXPECT_TRUE(result.output_sufficient);
+}
+
+TEST(Thinning, KeptSubsetStaysSufficientNearZone) {
+  const geo::LocalFrame frame(kAnchor);
+  const geo::GeoZone zone{frame.to_geo({500, 40}), 6.1};
+  // A dense 5 Hz trace driving past the zone.
+  std::vector<gps::GpsFix> samples;
+  for (int i = 0; i <= 500; ++i) {
+    samples.push_back(make_fix(i * 2.0, 0, kT0 + i * 0.2));
+  }
+  const ThinningResult result = thin_samples(samples, {zone}, geo::kFaaMaxSpeedMps);
+  EXPECT_TRUE(result.input_sufficient);
+  EXPECT_TRUE(result.output_sufficient);
+  EXPECT_LT(result.kept_indices.size(), samples.size() / 4);
+  // Endpoints preserved.
+  EXPECT_EQ(result.kept_indices.front(), 0u);
+  EXPECT_EQ(result.kept_indices.back(), samples.size() - 1);
+  // Kept indices strictly increasing.
+  for (std::size_t i = 1; i < result.kept_indices.size(); ++i) {
+    EXPECT_LT(result.kept_indices[i - 1], result.kept_indices[i]);
+  }
+}
+
+TEST(Thinning, InsufficientTraceKeepsTheEvidence) {
+  const geo::LocalFrame frame(kAnchor);
+  const geo::GeoZone zone{frame.to_geo({50, 10}), 6.1};
+  // A huge gap right next to the zone: insufficient pair.
+  const std::vector<gps::GpsFix> samples{
+      make_fix(0, 0, kT0), make_fix(50, 0, kT0 + 1.0),
+      make_fix(50, 0, kT0 + 30.0),  // 29 s hole at 4 m from the zone
+      make_fix(100, 0, kT0 + 31.0)};
+  const ThinningResult result = thin_samples(samples, {zone}, geo::kFaaMaxSpeedMps);
+  EXPECT_FALSE(result.input_sufficient);
+  EXPECT_FALSE(result.output_sufficient);  // the violation survives thinning
+}
+
+TEST(Thinning, FixedRatePoaShrinksTowardAdaptiveSize) {
+  // Fly the residential scenario twice: 5 Hz fixed and adaptive. Thinning
+  // the fixed-rate PoA should land near (or below) the adaptive count —
+  // they run the same argmax, online vs offline.
+  const sim::Scenario scenario = sim::make_residential_scenario(kT0);
+
+  const auto fly = [&](bool adaptive) {
+    tee::DroneTee::Config config;
+    config.key_bits = 512;
+    config.manufacturing_seed = "thinning-device";
+    tee::DroneTee tee(config);
+    gps::GpsReceiverSim::Config rc;
+    rc.update_rate_hz = 5.0;
+    rc.start_time = scenario.route.start_time();
+    gps::GpsReceiverSim receiver(rc, scenario.route.as_position_source());
+    std::unique_ptr<SamplingPolicy> policy;
+    if (adaptive) {
+      policy = std::make_unique<AdaptiveSampler>(
+          scenario.frame, scenario.local_zones(), geo::kFaaMaxSpeedMps, 5.0);
+    } else {
+      policy = std::make_unique<FixedRateSampler>(5.0, rc.start_time);
+    }
+    FlightConfig flight;
+    flight.end_time = scenario.route.end_time();
+    flight.frame = scenario.frame;
+    flight.local_zones = scenario.local_zones();
+    ProofOfAlibi poa;
+    poa.drone_id = "drone-1";
+    poa.samples = run_flight(tee, receiver, *policy, flight).poa_samples;
+    return poa;
+  };
+
+  const ProofOfAlibi fixed = fly(false);
+  const ProofOfAlibi adaptive = fly(true);
+
+  const ProofOfAlibi thinned = thin_poa(fixed, scenario.zones, geo::kFaaMaxSpeedMps);
+  EXPECT_LT(thinned.samples.size(), fixed.samples.size() / 2);
+  EXPECT_LE(thinned.samples.size(), adaptive.samples.size() + 20);
+
+  // Thinned PoA remains fully verifiable: same signed bytes, subset only.
+  std::vector<gps::GpsFix> fixes;
+  for (const SignedSample& s : thinned.samples) {
+    const auto f = s.fix();
+    ASSERT_TRUE(f.has_value());
+    fixes.push_back(*f);
+  }
+  EXPECT_TRUE(
+      check_sufficiency(fixes, scenario.zones, geo::kFaaMaxSpeedMps).sufficient);
+}
+
+TEST(Thinning, AuditorRetainsThinnedPoaWhenConfigured) {
+  ProtocolParams params;
+  params.thin_before_retention = true;
+  crypto::DeterministicRandom auditor_rng("thin-auditor");
+  Auditor auditor(512, auditor_rng, params);
+
+  const sim::Scenario scenario = sim::make_residential_scenario(kT0);
+  crypto::DeterministicRandom owner_rng("thin-owner");
+  ZoneOwner owner(512, owner_rng);
+  net::MessageBus bus;
+  auditor.bind(bus);
+  for (const geo::GeoZone& z : scenario.zones) owner.register_zone(bus, z, "house");
+
+  tee::DroneTee::Config config;
+  config.key_bits = 512;
+  config.manufacturing_seed = "thin-retention-device";
+  tee::DroneTee tee(config);
+  crypto::DeterministicRandom operator_rng("thin-operator");
+  DroneClient client(tee, 512, operator_rng);
+  ASSERT_TRUE(client.register_with_auditor(bus));
+
+  // 5 Hz fixed-rate flight: heavily redundant.
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = scenario.route.start_time();
+  gps::GpsReceiverSim receiver(rc, scenario.route.as_position_source());
+  FixedRateSampler policy(5.0, rc.start_time);
+  FlightConfig flight;
+  flight.end_time = scenario.route.end_time();
+  flight.frame = scenario.frame;
+  flight.local_zones = scenario.local_zones();
+  const ProofOfAlibi poa = client.fly(receiver, policy, flight);
+
+  const PoaVerdict verdict = auditor.verify_poa(poa, kT0 + 500);
+  ASSERT_TRUE(verdict.accepted && verdict.compliant) << verdict.detail;
+
+  // The retained (thinned) PoA still answers an accusation.
+  const AccusationRequest accusation =
+      owner.make_accusation("zone-11", client.id(), kT0 + 60.0);
+  const AccusationResponse response = auditor.handle_accusation(accusation);
+  EXPECT_TRUE(response.ok);
+  EXPECT_TRUE(response.alibi_holds) << response.detail;
+}
+
+TEST(Thinning, NonThinnableModesReturnedUnchanged) {
+  ProofOfAlibi hmac;
+  hmac.mode = AuthMode::kHmacSession;
+  hmac.samples = {{crypto::Bytes(32, 1), crypto::Bytes(32, 2)}};
+  EXPECT_EQ(thin_poa(hmac, {}, geo::kFaaMaxSpeedMps).samples.size(), 1u);
+
+  ProofOfAlibi encrypted;
+  encrypted.mode = AuthMode::kRsaPerSample;
+  encrypted.encrypted = true;
+  encrypted.samples = {{crypto::Bytes(64, 1), crypto::Bytes(64, 2)}};
+  EXPECT_EQ(thin_poa(encrypted, {}, geo::kFaaMaxSpeedMps).samples.size(), 1u);
+}
+
+}  // namespace
+}  // namespace alidrone::core

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/zone_index.h"
+#include "crypto/random.h"
+
+namespace alidrone::core {
+namespace {
+
+TEST(ZoneIndex, InsertFindErase) {
+  ZoneIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  index.insert("z1", {{40.0, -88.0}, 50.0});
+  EXPECT_EQ(index.size(), 1u);
+  ASSERT_NE(index.find("z1"), nullptr);
+  EXPECT_DOUBLE_EQ(index.find("z1")->radius_m, 50.0);
+  EXPECT_EQ(index.find("z2"), nullptr);
+
+  EXPECT_TRUE(index.erase("z1"));
+  EXPECT_FALSE(index.erase("z1"));
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(ZoneIndex, InsertReplacesExistingId) {
+  ZoneIndex index;
+  index.insert("z1", {{40.0, -88.0}, 50.0});
+  index.insert("z1", {{41.0, -89.0}, 70.0});  // moves to a different cell
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_DOUBLE_EQ(index.find("z1")->radius_m, 70.0);
+  // The old cell must not still report it.
+  const auto hits = index.query_rect({{39.9, -88.1}, {40.1, -87.9}});
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(ZoneIndex, RejectsBadCellSize) {
+  EXPECT_THROW(ZoneIndex(0.0), std::invalid_argument);
+  EXPECT_THROW(ZoneIndex(-1.0), std::invalid_argument);
+}
+
+TEST(ZoneIndex, QueryRectMatchesLinearScan) {
+  crypto::DeterministicRandom rng("zone-index");
+  ZoneIndex index;
+  std::vector<std::pair<ZoneId, geo::GeoZone>> zones;
+  for (int i = 0; i < 500; ++i) {
+    const geo::GeoZone z{{39.0 + 2.0 * rng.uniform_double(),
+                          -89.0 + 2.0 * rng.uniform_double()},
+                         10.0 + 40.0 * rng.uniform_double()};
+    const ZoneId id = "zone-" + std::to_string(i);
+    zones.emplace_back(id, z);
+    index.insert(id, z);
+  }
+
+  for (int q = 0; q < 30; ++q) {
+    const QueryRect rect{{39.0 + 2.0 * rng.uniform_double(),
+                          -89.0 + 2.0 * rng.uniform_double()},
+                         {39.0 + 2.0 * rng.uniform_double(),
+                          -89.0 + 2.0 * rng.uniform_double()}};
+    std::vector<ZoneId> expected;
+    for (const auto& [id, z] : zones) {
+      if (rect.contains(z.center)) expected.push_back(id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(index.query_rect(rect), expected) << "query " << q;
+  }
+}
+
+TEST(ZoneIndex, QueryRectBoundaryInclusive) {
+  ZoneIndex index;
+  index.insert("z", {{40.0, -88.0}, 10.0});
+  EXPECT_EQ(index.query_rect({{40.0, -88.0}, {41.0, -87.0}}).size(), 1u);
+  EXPECT_EQ(index.query_rect({{39.0, -89.0}, {40.0, -88.0}}).size(), 1u);
+}
+
+TEST(ZoneIndex, NearestEmptyIsNullopt) {
+  ZoneIndex index;
+  EXPECT_FALSE(index.nearest({40.0, -88.0}).has_value());
+}
+
+TEST(ZoneIndex, NearestMatchesLinearScan) {
+  crypto::DeterministicRandom rng("zone-nearest");
+  ZoneIndex index;
+  std::vector<std::pair<ZoneId, geo::GeoZone>> zones;
+  for (int i = 0; i < 300; ++i) {
+    const geo::GeoZone z{{40.0 + 0.5 * rng.uniform_double(),
+                          -88.5 + 0.5 * rng.uniform_double()},
+                         5.0 + 20.0 * rng.uniform_double()};
+    const ZoneId id = "zone-" + std::to_string(i);
+    zones.emplace_back(id, z);
+    index.insert(id, z);
+  }
+
+  for (int q = 0; q < 20; ++q) {
+    const geo::GeoPoint p{40.0 + 0.5 * rng.uniform_double(),
+                          -88.5 + 0.5 * rng.uniform_double()};
+    double best = 1e18;
+    for (const auto& [id, z] : zones) {
+      best = std::min(best, geo::haversine_distance(p, z.center) - z.radius_m);
+    }
+    const auto nearest = index.nearest(p);
+    ASSERT_TRUE(nearest.has_value());
+    EXPECT_NEAR(nearest->boundary_distance_m, best, 1e-6) << "query " << q;
+  }
+}
+
+TEST(ZoneIndex, NearestFindsFarawayZone) {
+  // One zone several cells away: the ring expansion must reach it.
+  ZoneIndex index(0.05);
+  index.insert("far", {{41.0, -88.0}, 100.0});
+  const auto nearest = index.nearest({40.0, -88.0});
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(nearest->id, "far");
+  EXPECT_NEAR(nearest->boundary_distance_m, 111195.0 - 100.0, 200.0);
+}
+
+}  // namespace
+}  // namespace alidrone::core

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "crypto/chacha20.h"
+#include "crypto/random.h"
+
+namespace alidrone::crypto {
+namespace {
+
+// RFC 8439 section 2.3.2: ChaCha20 block function test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  Bytes key(32);
+  for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const Bytes nonce = from_hex("000000090000004a00000000");
+  const ChaCha20 cipher(key, nonce);
+  const auto block = cipher.block(1);
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(block.data(), 16)),
+            "10f1e7e4d13b5915500fdd1fa32071c4");
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(block.data() + 48, 16)),
+            "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 section 2.4.2: encryption test vector.
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  Bytes key(32);
+  for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const Bytes ct = ChaCha20::crypt(key, nonce, to_bytes(plaintext), 1);
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(ct.data(), 32)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+  EXPECT_EQ(ct.size(), plaintext.size());
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  const Bytes key(32, 0x42);
+  const Bytes nonce(12, 0x07);
+  const Bytes msg = to_bytes("PoA sample: lat=40.1164 lon=-88.2434 t=123.4");
+  const Bytes ct = ChaCha20::crypt(key, nonce, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(ChaCha20::crypt(key, nonce, ct), msg);
+}
+
+TEST(ChaCha20, DifferentNoncesProduceDifferentStreams) {
+  const Bytes key(32, 0x42);
+  Bytes n1(12, 0);
+  Bytes n2(12, 0);
+  n2[11] = 1;
+  const Bytes msg(64, 0);
+  EXPECT_NE(ChaCha20::crypt(key, n1, msg), ChaCha20::crypt(key, n2, msg));
+}
+
+TEST(ChaCha20, RejectsBadKeyAndNonceSizes) {
+  const Bytes short_key(16, 0);
+  const Bytes key(32, 0);
+  const Bytes nonce(12, 0);
+  const Bytes short_nonce(8, 0);
+  EXPECT_THROW(ChaCha20(short_key, nonce), std::invalid_argument);
+  EXPECT_THROW(ChaCha20(key, short_nonce), std::invalid_argument);
+}
+
+TEST(ChaCha20, StreamingMatchesOneShotAcrossBlockBoundaries) {
+  const Bytes key(32, 0x11);
+  const Bytes nonce(12, 0x22);
+  Bytes msg(200);
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<std::uint8_t>(i);
+
+  const Bytes one_shot = ChaCha20::crypt(key, nonce, msg);
+
+  Bytes streamed = msg;
+  ChaCha20 cipher(key, nonce);
+  cipher.apply(std::span<std::uint8_t>(streamed.data(), 13));
+  cipher.apply(std::span<std::uint8_t>(streamed.data() + 13, 100));
+  cipher.apply(std::span<std::uint8_t>(streamed.data() + 113, 87));
+  EXPECT_EQ(streamed, one_shot);
+}
+
+TEST(DeterministicRandom, SameSeedSameStream) {
+  DeterministicRandom a(12345);
+  DeterministicRandom b(12345);
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+}
+
+TEST(DeterministicRandom, DifferentSeedsDifferentStreams) {
+  DeterministicRandom a(1);
+  DeterministicRandom b(2);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(DeterministicRandom, StringSeed) {
+  DeterministicRandom a("alidrone-test");
+  DeterministicRandom b("alidrone-test");
+  DeterministicRandom c("other");
+  EXPECT_EQ(a.bytes(16), b.bytes(16));
+  EXPECT_NE(a.bytes(16), c.bytes(16));
+}
+
+TEST(RandomSource, UniformRespectsBound) {
+  DeterministicRandom rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(RandomSource, UniformHitsAllResidues) {
+  DeterministicRandom rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomSource, UniformDoubleInUnitInterval) {
+  DeterministicRandom rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomSource, RandomBitsHasExactBitLength) {
+  DeterministicRandom rng(5);
+  for (const std::size_t bits : {8u, 9u, 32u, 33u, 256u, 1024u}) {
+    EXPECT_EQ(rng.random_bits(bits).bit_length(), bits);
+  }
+  EXPECT_TRUE(rng.random_bits(0).is_zero());
+}
+
+TEST(RandomSource, RandomRangeInclusive) {
+  DeterministicRandom rng(8);
+  const BigInt lo(100);
+  const BigInt hi(110);
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) {
+    const BigInt v = rng.random_range(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    seen.insert(v.to_decimal_string());
+  }
+  EXPECT_EQ(seen.size(), 11u);  // all values reachable
+  EXPECT_THROW(rng.random_range(hi, lo), std::invalid_argument);
+}
+
+TEST(SecureRandom, ProducesNonConstantOutput) {
+  SecureRandom rng;
+  const Bytes a = rng.bytes(32);
+  const Bytes b = rng.bytes(32);
+  EXPECT_NE(a, b);  // 2^-256 false-failure probability
+}
+
+}  // namespace
+}  // namespace alidrone::crypto

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ecdsa.h"
+
+namespace alidrone::crypto {
+namespace {
+
+TEST(P256, GeneratorOnCurveAndHasOrderN) {
+  const EcPoint g = P256::generator();
+  EXPECT_TRUE(P256::on_curve(g));
+  // n * G = infinity; (n-1) * G = -G.
+  EXPECT_TRUE(P256::mul(P256::n(), g).infinity);
+  const EcPoint minus_g = P256::mul(P256::n() - BigInt(1), g);
+  EXPECT_EQ(minus_g, P256::negate(g));
+}
+
+TEST(P256, GroupLaws) {
+  const EcPoint g = P256::generator();
+  const EcPoint g2 = P256::mul(BigInt(2), g);
+  const EcPoint g3 = P256::mul(BigInt(3), g);
+  EXPECT_TRUE(P256::on_curve(g2));
+  EXPECT_TRUE(P256::on_curve(g3));
+  // 2G + G == 3G; G + 2G == 3G (commutativity through distinct paths).
+  EXPECT_EQ(P256::add(g2, g), g3);
+  EXPECT_EQ(P256::add(g, g2), g3);
+  // P + (-P) = infinity; P + infinity = P.
+  EXPECT_TRUE(P256::add(g, P256::negate(g)).infinity);
+  const EcPoint inf{BigInt(0), BigInt(0), true};
+  EXPECT_EQ(P256::add(g, inf), g);
+  EXPECT_EQ(P256::add(inf, g), g);
+}
+
+TEST(P256, ScalarMulDistributes) {
+  const EcPoint g = P256::generator();
+  DeterministicRandom rng("p256-distribute");
+  const BigInt a = rng.random_range(BigInt(1), P256::n() - BigInt(1));
+  const BigInt b = rng.random_range(BigInt(1), P256::n() - BigInt(1));
+  // (a + b) G == aG + bG
+  const EcPoint lhs = P256::mul((a + b).mod(P256::n()), g);
+  const EcPoint rhs = P256::add(P256::mul(a, g), P256::mul(b, g));
+  EXPECT_EQ(lhs, rhs);
+  // a(bG) == b(aG)
+  EXPECT_EQ(P256::mul(a, P256::mul(b, g)), P256::mul(b, P256::mul(a, g)));
+}
+
+TEST(P256, KnownMultiple) {
+  // 2G for P-256 (published test value).
+  const EcPoint g2 = P256::mul(BigInt(2), P256::generator());
+  EXPECT_EQ(g2.x, BigInt::from_string(
+                      "0x7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978"));
+  EXPECT_EQ(g2.y, BigInt::from_string(
+                      "0x07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1"));
+}
+
+TEST(P256, EncodeDecodeRoundTrip) {
+  const EcPoint g = P256::generator();
+  const Bytes encoded = P256::encode(g);
+  EXPECT_EQ(encoded.size(), 65u);
+  EXPECT_EQ(encoded[0], 0x04);
+  const auto decoded = P256::decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, g);
+
+  // Infinity encodes as a single zero byte.
+  const EcPoint inf{BigInt(0), BigInt(0), true};
+  const auto inf_decoded = P256::decode(P256::encode(inf));
+  ASSERT_TRUE(inf_decoded.has_value());
+  EXPECT_TRUE(inf_decoded->infinity);
+
+  // Off-curve points are rejected.
+  Bytes tampered = encoded;
+  tampered[40] ^= 0x01;
+  EXPECT_FALSE(P256::decode(tampered).has_value());
+  EXPECT_FALSE(P256::decode(Bytes(64, 0x04)).has_value());
+}
+
+TEST(Ecdsa, Rfc6979KnownAnswerSampleMessage) {
+  // RFC 6979, appendix A.2.5 (P-256 + SHA-256, message "sample").
+  const BigInt x = BigInt::from_string(
+      "0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721");
+  const EcdsaSignature sig = ecdsa_sign(x, to_bytes("sample"));
+  EXPECT_EQ(sig.r, BigInt::from_string(
+                       "0xEFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716"));
+  EXPECT_EQ(sig.s, BigInt::from_string(
+                       "0xF7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8"));
+
+  // The corresponding public key verifies it.
+  const EcPoint pub = P256::mul(x, P256::generator());
+  EXPECT_EQ(pub.x, BigInt::from_string(
+                       "0x60FED4BA255A9D31C961EB74C6356D68C049B8923B61FA6CE669622E60F29FB6"));
+  EXPECT_TRUE(ecdsa_verify(pub, to_bytes("sample"), sig));
+}
+
+TEST(Ecdsa, Rfc6979KnownAnswerTestMessage) {
+  // RFC 6979, appendix A.2.5 (message "test").
+  const BigInt x = BigInt::from_string(
+      "0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721");
+  const EcdsaSignature sig = ecdsa_sign(x, to_bytes("test"));
+  EXPECT_EQ(sig.r, BigInt::from_string(
+                       "0xF1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367"));
+  EXPECT_EQ(sig.s, BigInt::from_string(
+                       "0x019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083"));
+}
+
+TEST(Ecdsa, SignVerifyRoundTripRandomKeys) {
+  DeterministicRandom rng("ecdsa-roundtrip");
+  for (int i = 0; i < 3; ++i) {
+    const EcdsaKeyPair kp = ecdsa_generate(rng);
+    EXPECT_TRUE(P256::on_curve(kp.public_key));
+
+    const Bytes msg = rng.bytes(40 + i * 17);
+    const EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+    EXPECT_TRUE(ecdsa_verify(kp.public_key, msg, sig));
+
+    // Tampered message / signature / wrong key all fail.
+    Bytes other = msg;
+    other[0] ^= 1;
+    EXPECT_FALSE(ecdsa_verify(kp.public_key, other, sig));
+
+    EcdsaSignature bad = sig;
+    bad.s = (bad.s + BigInt(1)).mod(P256::n());
+    EXPECT_FALSE(ecdsa_verify(kp.public_key, msg, bad));
+
+    const EcdsaKeyPair other_kp = ecdsa_generate(rng);
+    EXPECT_FALSE(ecdsa_verify(other_kp.public_key, msg, sig));
+  }
+}
+
+TEST(Ecdsa, DeterministicSignaturesRepeat) {
+  DeterministicRandom rng("ecdsa-deterministic");
+  const EcdsaKeyPair kp = ecdsa_generate(rng);
+  const Bytes msg = to_bytes("GPS sample 40.1164,-88.2434");
+  const EcdsaSignature a = ecdsa_sign(kp.private_key, msg);
+  const EcdsaSignature b = ecdsa_sign(kp.private_key, msg);
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.s, b.s);
+  // Different messages use different nonces -> different r.
+  const EcdsaSignature c = ecdsa_sign(kp.private_key, to_bytes("other"));
+  EXPECT_NE(a.r, c.r);
+}
+
+TEST(Ecdsa, SignatureBytesRoundTrip) {
+  DeterministicRandom rng("ecdsa-bytes");
+  const EcdsaKeyPair kp = ecdsa_generate(rng);
+  const Bytes msg = to_bytes("alibi");
+  const EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+
+  const Bytes wire = sig.to_bytes();
+  EXPECT_EQ(wire.size(), 64u);
+  const auto parsed = EcdsaSignature::from_bytes(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(ecdsa_verify(kp.public_key, msg, *parsed));
+
+  EXPECT_FALSE(EcdsaSignature::from_bytes(Bytes(63, 0)).has_value());
+  EXPECT_FALSE(EcdsaSignature::from_bytes(Bytes(65, 0)).has_value());
+}
+
+TEST(Ecdsa, RejectsDegenerateSignatures) {
+  DeterministicRandom rng("ecdsa-degenerate");
+  const EcdsaKeyPair kp = ecdsa_generate(rng);
+  const Bytes msg = to_bytes("alibi");
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, msg, {BigInt(0), BigInt(1)}));
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, msg, {BigInt(1), BigInt(0)}));
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, msg, {P256::n(), BigInt(1)}));
+  const EcPoint inf{BigInt(0), BigInt(0), true};
+  EXPECT_FALSE(ecdsa_verify(inf, msg, {BigInt(1), BigInt(1)}));
+}
+
+}  // namespace
+}  // namespace alidrone::crypto

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace alidrone::crypto {
+namespace {
+
+template <typename Digest>
+std::string hex(const Digest& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(hex(Sha1::hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hex(Sha1::hash("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha1::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const Bytes chunk(1000, static_cast<std::uint8_t>('a'));
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha1 h;
+  for (const char c : msg) {
+    const auto b = static_cast<std::uint8_t>(c);
+    h.update({&b, 1});
+  }
+  EXPECT_EQ(hex(h.finalize()), hex(Sha1::hash(msg)));
+}
+
+TEST(Sha1, ResetRestoresInitialState) {
+  Sha1 h;
+  h.update(to_bytes("garbage"));
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(hex(h.finalize()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(10000, static_cast<std::uint8_t>('a'));
+  for (int i = 0; i < 100; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte message: padding spills into a second block.
+  const std::string msg(64, 'x');
+  Sha256 a;
+  a.update(to_bytes(msg));
+  Sha256 b;
+  b.update(to_bytes(msg.substr(0, 31)));
+  b.update(to_bytes(msg.substr(31)));
+  EXPECT_EQ(hex(a.finalize()), hex(b.finalize()));
+}
+
+// RFC 2202 (HMAC-SHA1) and RFC 4231 (HMAC-SHA256) test cases.
+
+TEST(HmacSha1, Rfc2202Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex(HmacSha1::mac(key, to_bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  EXPECT_EQ(hex(HmacSha1::mac(to_bytes("Jefe"),
+                              to_bytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex(HmacSha256::mac(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(hex(HmacSha256::mac(to_bytes("Jefe"),
+                                to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3BinaryData) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex(HmacSha256::mac(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  // Key longer than the block size: must be hashed first.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hex(HmacSha256::mac(
+                key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDifferentMacs) {
+  const Bytes k1(32, 0x01);
+  const Bytes k2(32, 0x02);
+  const Bytes msg = to_bytes("sample GPS tuple");
+  EXPECT_NE(hex(HmacSha256::mac(k1, msg)), hex(HmacSha256::mac(k2, msg)));
+}
+
+TEST(Hmac, SingleBitFlipChangesMac) {
+  const Bytes key(32, 0x55);
+  Bytes msg = to_bytes("40.1164,-88.2434,1528395000.0");
+  const auto mac1 = HmacSha256::mac(key, msg);
+  msg[5] ^= 0x01;
+  const auto mac2 = HmacSha256::mac(key, msg);
+  EXPECT_NE(hex(mac1), hex(mac2));
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data{0x00, 0x7f, 0x80, 0xff, 0x12};
+  EXPECT_EQ(to_hex(data), "007f80ff12");
+  EXPECT_EQ(from_hex("007f80ff12"), data);
+  EXPECT_EQ(from_hex("007F80FF12"), data);
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3};
+  const Bytes c{1, 2, 4};
+  const Bytes d{1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+}
+
+}  // namespace
+}  // namespace alidrone::crypto

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/geopoint.h"
+#include "geo/units.h"
+
+namespace alidrone::geo {
+namespace {
+
+TEST(Units, RoundTripConversions) {
+  EXPECT_DOUBLE_EQ(mph_to_mps(mps_to_mph(10.0)), 10.0);
+  EXPECT_DOUBLE_EQ(miles_to_meters(1.0), 1609.344);
+  EXPECT_DOUBLE_EQ(feet_to_meters(1.0), 0.3048);
+  EXPECT_NEAR(knots_to_mps(1.0), 0.514444, 1e-6);
+}
+
+TEST(Units, FaaMaxSpeed) {
+  // 100 mph in m/s, the paper's v_max.
+  EXPECT_NEAR(kFaaMaxSpeedMps, 44.704, 1e-9);
+}
+
+TEST(Haversine, ZeroDistanceForSamePoint) {
+  const GeoPoint p{40.0, -88.0};
+  EXPECT_DOUBLE_EQ(haversine_distance(p, p), 0.0);
+}
+
+TEST(Haversine, KnownCityPair) {
+  // Champaign, IL to Chicago, IL: roughly 200 km.
+  const GeoPoint champaign{40.1164, -88.2434};
+  const GeoPoint chicago{41.8781, -87.6298};
+  const double d = haversine_distance(champaign, chicago);
+  EXPECT_NEAR(d, 201000.0, 5000.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{40.7958, -73.9187};  // Fig. 2's first zone coordinate
+  const GeoPoint b{40.7094, -74.0130};  // Fig. 2's second zone coordinate
+  EXPECT_DOUBLE_EQ(haversine_distance(a, b), haversine_distance(b, a));
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  const GeoPoint a{40.0, -88.0};
+  const GeoPoint b{41.0, -88.0};
+  EXPECT_NEAR(haversine_distance(a, b), 111195.0, 100.0);
+}
+
+TEST(Bearing, CardinalDirections) {
+  const GeoPoint origin{40.0, -88.0};
+  EXPECT_NEAR(initial_bearing_deg(origin, {41.0, -88.0}), 0.0, 0.01);    // north
+  EXPECT_NEAR(initial_bearing_deg(origin, {39.0, -88.0}), 180.0, 0.01);  // south
+  EXPECT_NEAR(initial_bearing_deg(origin, {40.0, -87.0}), 90.0, 0.5);    // east
+  EXPECT_NEAR(initial_bearing_deg(origin, {40.0, -89.0}), 270.0, 0.5);   // west
+}
+
+TEST(DestinationPoint, InvertsDistanceAndBearing) {
+  const GeoPoint origin{40.1164, -88.2434};
+  const double bearing = 63.0;
+  const double dist = 5000.0;
+  const GeoPoint dest = destination_point(origin, bearing, dist);
+  EXPECT_NEAR(haversine_distance(origin, dest), dist, 0.01);
+  EXPECT_NEAR(initial_bearing_deg(origin, dest), bearing, 0.01);
+}
+
+TEST(LocalFrame, OriginMapsToZero) {
+  const LocalFrame frame({40.0, -88.0});
+  const Vec2 v = frame.to_local({40.0, -88.0});
+  EXPECT_DOUBLE_EQ(v.x, 0.0);
+  EXPECT_DOUBLE_EQ(v.y, 0.0);
+}
+
+TEST(LocalFrame, RoundTripIsExact) {
+  const LocalFrame frame({40.1164, -88.2434});
+  const GeoPoint p{40.1301, -88.2201};
+  const GeoPoint back = frame.to_geo(frame.to_local(p));
+  EXPECT_NEAR(back.lat_deg, p.lat_deg, 1e-12);
+  EXPECT_NEAR(back.lon_deg, p.lon_deg, 1e-12);
+}
+
+TEST(LocalFrame, DistancesMatchHaversineNearOrigin) {
+  const LocalFrame frame({40.1164, -88.2434});
+  const GeoPoint a{40.1200, -88.2400};
+  const GeoPoint b{40.1250, -88.2300};
+  const double planar = distance(frame.to_local(a), frame.to_local(b));
+  const double geodesic = haversine_distance(a, b);
+  // Sub-meter agreement within a few km of the anchor.
+  EXPECT_NEAR(planar, geodesic, 0.5);
+}
+
+TEST(LocalFrame, NorthIsPositiveYEastIsPositiveX) {
+  const LocalFrame frame({40.0, -88.0});
+  EXPECT_GT(frame.to_local({40.01, -88.0}).y, 0.0);
+  EXPECT_GT(frame.to_local({40.0, -87.99}).x, 0.0);
+}
+
+// Property sweep: destination_point followed by haversine recovers the
+// distance across many bearings and ranges.
+class GeodesyRoundTrip : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GeodesyRoundTrip, DistancePreserved) {
+  const auto [bearing, dist] = GetParam();
+  const GeoPoint origin{40.1164, -88.2434};
+  const GeoPoint dest = destination_point(origin, bearing, dist);
+  EXPECT_NEAR(haversine_distance(origin, dest), dist, dist * 1e-9 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BearingsAndRanges, GeodesyRoundTrip,
+    ::testing::Combine(::testing::Values(0.0, 45.0, 90.0, 135.0, 225.0, 315.0),
+                       ::testing::Values(10.0, 500.0, 8046.72, 100000.0)));
+
+}  // namespace
+}  // namespace alidrone::geo

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "crypto/random.h"
+#include "geo/polygon.h"
+
+namespace alidrone::geo {
+namespace {
+
+TEST(Polygon, ContainsCentroidOfConvexPolygon) {
+  const Polygon square({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_TRUE(square.contains({5, 5}));
+  EXPECT_FALSE(square.contains({15, 5}));
+  EXPECT_FALSE(square.contains({-1, -1}));
+}
+
+TEST(Polygon, BoundaryCountsAsInside) {
+  const Polygon square({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_TRUE(square.contains({0, 5}));
+  EXPECT_TRUE(square.contains({10, 10}));
+}
+
+TEST(Polygon, SignedAreaOrientation) {
+  const Polygon ccw({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  const Polygon cw({{0, 0}, {0, 10}, {10, 10}, {10, 0}});
+  EXPECT_DOUBLE_EQ(ccw.signed_area(), 100.0);
+  EXPECT_DOUBLE_EQ(cw.signed_area(), -100.0);
+}
+
+TEST(Polygon, CentroidOfSquare) {
+  const Polygon square({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  const Vec2 c = square.centroid();
+  EXPECT_DOUBLE_EQ(c.x, 5.0);
+  EXPECT_DOUBLE_EQ(c.y, 5.0);
+}
+
+TEST(Polygon, ConcavePolygonContainment) {
+  // L-shape: the notch at top-right is outside.
+  const Polygon ell({{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}});
+  EXPECT_TRUE(ell.contains({2, 8}));
+  EXPECT_TRUE(ell.contains({8, 2}));
+  EXPECT_FALSE(ell.contains({8, 8}));
+}
+
+TEST(CircleFrom, TwoPointsDiameter) {
+  const Circle c = circle_from({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(c.center.x, 5.0);
+  EXPECT_DOUBLE_EQ(c.center.y, 0.0);
+  EXPECT_DOUBLE_EQ(c.radius, 5.0);
+}
+
+TEST(CircleFrom, ThreePointCircumcircle) {
+  // Right triangle: circumcenter at hypotenuse midpoint.
+  const Circle c = circle_from({0, 0}, {6, 0}, {0, 8});
+  EXPECT_NEAR(c.center.x, 3.0, 1e-12);
+  EXPECT_NEAR(c.center.y, 4.0, 1e-12);
+  EXPECT_NEAR(c.radius, 5.0, 1e-12);
+}
+
+TEST(CircleFrom, CollinearPointsFallBack) {
+  const Circle c = circle_from({0, 0}, {5, 0}, {10, 0});
+  EXPECT_NEAR(c.radius, 5.0, 1e-9);
+  EXPECT_TRUE(c.contains({0, 0}));
+  EXPECT_TRUE(c.contains({10, 0}));
+}
+
+TEST(SmallestEnclosingCircle, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(smallest_enclosing_circle({}).radius, 0.0);
+  const Vec2 p{3, 4};
+  const Circle c = smallest_enclosing_circle({&p, 1});
+  EXPECT_EQ(c.center, p);
+  EXPECT_DOUBLE_EQ(c.radius, 0.0);
+}
+
+TEST(SmallestEnclosingCircle, TwoPoints) {
+  const std::vector<Vec2> pts{{0, 0}, {8, 6}};
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 5.0, 1e-9);
+  EXPECT_NEAR(c.center.x, 4.0, 1e-9);
+  EXPECT_NEAR(c.center.y, 3.0, 1e-9);
+}
+
+TEST(SmallestEnclosingCircle, SquareUsesDiagonal) {
+  const std::vector<Vec2> pts{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, std::sqrt(50.0), 1e-9);
+  EXPECT_NEAR(c.center.x, 5.0, 1e-9);
+  EXPECT_NEAR(c.center.y, 5.0, 1e-9);
+}
+
+TEST(SmallestEnclosingCircle, InteriorPointsDoNotGrowCircle) {
+  std::vector<Vec2> pts{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  const Circle base = smallest_enclosing_circle(pts);
+  pts.push_back({5, 5});
+  pts.push_back({2, 7});
+  pts.push_back({9, 1});
+  const Circle grown = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(grown.radius, base.radius, 1e-9);
+}
+
+// Property sweep: for random point clouds the result encloses every point,
+// and shrinking the radius by epsilon excludes at least one point
+// (minimality witness).
+class WelzlProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelzlProperty, EnclosesAllAndIsMinimal) {
+  crypto::DeterministicRandom rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 3 + static_cast<int>(rng.uniform(200));
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform_double() * 1000.0 - 500.0,
+                   rng.uniform_double() * 1000.0 - 500.0});
+  }
+  const Circle c = smallest_enclosing_circle(pts);
+  double max_dist = 0.0;
+  for (const Vec2 p : pts) {
+    const double d = distance(p, c.center);
+    EXPECT_LE(d, c.radius + 1e-6);
+    max_dist = std::max(max_dist, d);
+  }
+  // Some point must sit (numerically) on the boundary, else c is not minimal.
+  EXPECT_NEAR(max_dist, c.radius, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelzlProperty, ::testing::Range(1, 21));
+
+// The paper's registration flow: polygon NFZ -> smallest enclosing circle
+// covers every vertex (Section VII-B2).
+TEST(SmallestEnclosingCircle, CoversRegularPolygonWithCircumradius) {
+  std::vector<Vec2> pts;
+  const double r = 75.0;
+  for (int k = 0; k < 12; ++k) {
+    const double a = 2.0 * std::numbers::pi * k / 12.0;
+    pts.push_back({100.0 + r * std::cos(a), -40.0 + r * std::sin(a)});
+  }
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, r, 1e-9);
+  EXPECT_NEAR(c.center.x, 100.0, 1e-9);
+  EXPECT_NEAR(c.center.y, -40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace alidrone::geo

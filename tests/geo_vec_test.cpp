@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geo/circle.h"
+#include "geo/vec2.h"
+
+namespace alidrone::geo {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{3, 4};
+  const Vec2 b{-1, 2};
+  EXPECT_EQ(a + b, (Vec2{2, 6}));
+  EXPECT_EQ(a - b, (Vec2{4, 2}));
+  EXPECT_EQ(a * 2.0, (Vec2{6, 8}));
+  EXPECT_EQ(2.0 * a, (Vec2{6, 8}));
+  EXPECT_EQ(a / 2.0, (Vec2{1.5, 2}));
+  EXPECT_EQ(-a, (Vec2{-3, -4}));
+
+  Vec2 c = a;
+  c += b;
+  EXPECT_EQ(c, (Vec2{2, 6}));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Vec2, NormAndDot) {
+  const Vec2 a{3, 4};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.dot({1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(a.cross({1, 0}), -4.0);  // clockwise turn
+  EXPECT_DOUBLE_EQ((Vec2{1, 0}).cross({0, 1}), 1.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).normalized().norm(), 1.0);
+  EXPECT_EQ(Vec2{}.normalized(), (Vec2{0, 0}));
+}
+
+TEST(Vec2, PerpAndAngle) {
+  const Vec2 east{1, 0};
+  EXPECT_EQ(east.perp(), (Vec2{0, 1}));  // CCW
+  EXPECT_DOUBLE_EQ(east.angle(), 0.0);
+  EXPECT_DOUBLE_EQ((Vec2{0, 1}).angle(), std::numbers::pi / 2.0);
+  EXPECT_DOUBLE_EQ((Vec2{-1, 0}).angle(), std::numbers::pi);
+}
+
+TEST(Vec3, ArithmeticAndNorm) {
+  const Vec3 a{1, 2, 2};
+  EXPECT_DOUBLE_EQ(a.norm(), 3.0);
+  EXPECT_DOUBLE_EQ(a.dot({2, 0, 1}), 4.0);
+  EXPECT_EQ((a + Vec3{1, 1, 1}), (Vec3{2, 3, 3}));
+  EXPECT_EQ((a - Vec3{1, 1, 1}), (Vec3{0, 1, 1}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 4}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 4}));
+  EXPECT_DOUBLE_EQ(distance(a, Vec3{1, 2, 2}), 0.0);
+}
+
+TEST(PointSegmentDistance, AllRegimes) {
+  // Projection inside the segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 3}, {0, 0}, {10, 0}), 3.0);
+  // Projection beyond the ends clamps to endpoints.
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3, 4}, {0, 0}, {10, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({13, 4}, {0, 0}, {10, 0}), 5.0);
+  // Degenerate segment (a == b).
+  EXPECT_DOUBLE_EQ(point_segment_distance({3, 4}, {0, 0}, {0, 0}), 5.0);
+  // Point on the segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 0}, {0, 0}, {10, 0}), 0.0);
+}
+
+TEST(SegmentCircle, IntersectionRegimes) {
+  const Circle z{{5, 0}, 2.0};
+  EXPECT_TRUE(segment_intersects_circle({0, 0}, {10, 0}, z));   // through
+  EXPECT_TRUE(segment_intersects_circle({0, 2}, {10, 2}, z));   // tangent
+  EXPECT_FALSE(segment_intersects_circle({0, 3}, {10, 3}, z));  // above
+  EXPECT_FALSE(segment_intersects_circle({0, 0}, {1, 0}, z));   // short of it
+  EXPECT_TRUE(segment_intersects_circle({5, 0}, {5, 1}, z));    // inside
+}
+
+TEST(Circle, ContainsAndBoundaryDistance) {
+  const Circle z{{0, 0}, 10.0};
+  EXPECT_TRUE(z.contains({6, 8}));       // on the boundary
+  EXPECT_TRUE(z.contains({3, 4}));
+  EXPECT_FALSE(z.contains({8, 8}));
+  EXPECT_DOUBLE_EQ(z.boundary_distance({6, 8}), 0.0);
+  EXPECT_DOUBLE_EQ(z.boundary_distance({30, 40}), 40.0);
+  EXPECT_DOUBLE_EQ(z.boundary_distance({3, 4}), -5.0);  // inside: negative
+}
+
+}  // namespace
+}  // namespace alidrone::geo

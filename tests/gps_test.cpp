@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gps/driver.h"
+#include "gps/fix.h"
+#include "gps/receiver_sim.h"
+#include "gps/trace.h"
+#include "geo/units.h"
+#include "nmea/vtg.h"
+
+namespace alidrone::gps {
+namespace {
+
+constexpr double kT0 = 1528395200.0;  // 2018-06-07 18:13:20 UTC
+
+GpsFix fix_at(geo::GeoPoint p, double t, double speed = 10.0) {
+  GpsFix f;
+  f.position = p;
+  f.unix_time = t;
+  f.speed_mps = speed;
+  return f;
+}
+
+PositionSource stationary(geo::GeoPoint p) {
+  return [p](double t) { return fix_at(p, t, 0.0); };
+}
+
+TEST(CivilTime, EpochAndKnownDate) {
+  const CivilTime epoch = civil_from_unix(0.0);
+  EXPECT_EQ(epoch.year, 1970);
+  EXPECT_EQ(epoch.month, 1);
+  EXPECT_EQ(epoch.day, 1);
+  EXPECT_EQ(epoch.hour, 0);
+
+  const CivilTime t = civil_from_unix(kT0);
+  EXPECT_EQ(t.year, 2018);
+  EXPECT_EQ(t.month, 6);
+  EXPECT_EQ(t.day, 7);
+  EXPECT_EQ(t.hour, 18);
+  EXPECT_EQ(t.minute, 13);
+  EXPECT_NEAR(t.second, 20.0, 1e-9);
+}
+
+TEST(ReceiverSim, EmitsAtConfiguredRate) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 5.0;
+  config.start_time = kT0;
+  GpsReceiverSim sim(config, stationary({40.0, -88.0}));
+
+  const auto sentences = sim.advance_to(kT0 + 2.0);
+  EXPECT_EQ(sentences.size(), 11u);  // t0, t0+0.2, ..., t0+2.0 inclusive
+  for (const std::string& s : sentences) {
+    EXPECT_EQ(s.substr(0, 6), "$GPRMC");
+  }
+}
+
+TEST(ReceiverSim, RejectsOutOfRangeRate) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 10.0;
+  EXPECT_THROW(GpsReceiverSim(config, stationary({0, 0})), std::invalid_argument);
+  config.update_rate_hz = 0.5;
+  EXPECT_THROW(GpsReceiverSim(config, stationary({0, 0})), std::invalid_argument);
+}
+
+TEST(ReceiverSim, SentencesParseBackToSourcePositions) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 1.0;
+  config.start_time = kT0;
+  GpsReceiverSim sim(config, stationary({40.1164, -88.2434}));
+
+  GpsDriver driver;
+  for (const std::string& s : sim.advance_to(kT0 + 5.0)) driver.feed(s);
+
+  const auto fix = driver.get_gps();
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->position.lat_deg, 40.1164, 1e-5);
+  EXPECT_NEAR(fix->position.lon_deg, -88.2434, 1e-5);
+  EXPECT_NEAR(fix->unix_time, kT0 + 5.0, 1e-3);
+  EXPECT_EQ(driver.sequence(), 6u);
+}
+
+TEST(ReceiverSim, ScheduledMissSkipsExactlyOneUpdate) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 5.0;
+  config.start_time = kT0;
+  config.scheduled_miss_times = {kT0 + 1.0};
+  GpsReceiverSim sim(config, stationary({40.0, -88.0}));
+
+  const auto sentences = sim.advance_to(kT0 + 2.0);
+  EXPECT_EQ(sentences.size(), 10u);  // 11 scheduled - 1 missed
+  EXPECT_EQ(sim.missed_updates(), 1);
+}
+
+TEST(ReceiverSim, RandomMissesAreDeterministicPerSeed) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 5.0;
+  config.start_time = kT0;
+  config.miss_probability = 0.2;
+  config.seed = 42;
+
+  GpsReceiverSim a(config, stationary({40.0, -88.0}));
+  GpsReceiverSim b(config, stationary({40.0, -88.0}));
+  EXPECT_EQ(a.advance_to(kT0 + 30.0).size(), b.advance_to(kT0 + 30.0).size());
+  EXPECT_EQ(a.missed_updates(), b.missed_updates());
+  EXPECT_GT(a.missed_updates(), 0);
+}
+
+TEST(ReceiverSim, NoiseStaysBounded) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 5.0;
+  config.start_time = kT0;
+  config.noise_std_m = 2.0;
+  GpsReceiverSim sim(config, stationary({40.0, -88.0}));
+
+  GpsDriver driver;
+  double max_offset = 0.0;
+  const geo::LocalFrame frame({40.0, -88.0});
+  for (const std::string& s : sim.advance_to(kT0 + 60.0)) {
+    driver.feed(s);
+    const auto fix = driver.get_gps();
+    ASSERT_TRUE(fix.has_value());
+    max_offset = std::max(max_offset, frame.to_local(fix->position).norm());
+  }
+  EXPECT_GT(max_offset, 0.1);   // noise present
+  EXPECT_LT(max_offset, 20.0);  // but within ~10 sigma
+}
+
+TEST(ReceiverSim, GgaEmissionCarriesAltitude) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 1.0;
+  config.start_time = kT0;
+  config.emit_gga = true;
+  GpsReceiverSim sim(config, [](double t) {
+    GpsFix f = fix_at({40.0, -88.0}, t);
+    f.altitude_m = 120.5;
+    return f;
+  });
+
+  GpsDriver driver;
+  for (const std::string& s : sim.advance_to(kT0 + 1.0)) driver.feed(s);
+  const auto fix = driver.get_gps();
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->altitude_m, 120.5, 0.1);
+}
+
+TEST(ReceiverSim, VtgEmissionParses) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 1.0;
+  config.start_time = kT0;
+  config.emit_vtg = true;
+  GpsReceiverSim sim(config, [](double t) {
+    GpsFix f = fix_at({40.0, -88.0}, t, 12.0);
+    f.course_deg = 359.99;  // wraps to 0.0 in the emitted sentence
+    return f;
+  });
+
+  const auto sentences = sim.advance_to(kT0);
+  ASSERT_EQ(sentences.size(), 2u);  // RMC + VTG
+  const auto vtg = alidrone::nmea::parse_vtg(sentences[1]);
+  ASSERT_TRUE(vtg.has_value());
+  EXPECT_NEAR(vtg->course_true_deg, 0.0, 1e-9);
+  EXPECT_NEAR(geo::knots_to_mps(vtg->speed_knots), 12.0, 0.05);
+}
+
+TEST(Driver, VtgRefreshesSpeedAndCourse) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 1.0;
+  config.start_time = kT0;
+  GpsReceiverSim sim(config, stationary({40.0, -88.0}));
+  GpsDriver driver;
+  for (const std::string& s : sim.advance_to(kT0)) driver.feed(s);
+  ASSERT_TRUE(driver.get_gps().has_value());
+  const std::uint64_t seq = driver.sequence();
+
+  alidrone::nmea::VtgSentence vtg;
+  vtg.course_true_deg = 123.0;
+  vtg.speed_knots = 20.0;
+  vtg.speed_kmh = 37.0;
+  driver.feed(alidrone::nmea::emit_vtg(vtg));
+
+  const auto fix = driver.get_gps();
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->course_deg, 123.0, 1e-9);
+  EXPECT_NEAR(fix->speed_mps, geo::knots_to_mps(20.0), 1e-9);
+  // A VTG is not a new position fix: the sequence must not advance.
+  EXPECT_EQ(driver.sequence(), seq);
+}
+
+TEST(Driver, CountsRejectedSentences) {
+  GpsDriver driver;
+  driver.feed("garbage line");
+  driver.feed("$GPRMC,badframe*00");
+  EXPECT_EQ(driver.rejected_sentences(), 2u);
+  EXPECT_EQ(driver.accepted_sentences(), 0u);
+  EXPECT_FALSE(driver.get_gps().has_value());
+}
+
+TEST(Driver, FeedBytesSplitsOnNewlines) {
+  GpsReceiverSim::Config config;
+  config.update_rate_hz = 1.0;
+  config.start_time = kT0;
+  GpsReceiverSim sim(config, stationary({40.0, -88.0}));
+
+  std::string stream;
+  for (const std::string& s : sim.advance_to(kT0 + 3.0)) stream += s;
+
+  GpsDriver driver;
+  // Feed in awkward chunks to exercise the partial-line buffer.
+  for (std::size_t i = 0; i < stream.size(); i += 7) {
+    driver.feed_bytes(stream.substr(i, 7));
+  }
+  EXPECT_EQ(driver.sequence(), 4u);
+}
+
+TEST(Trace, AppendEnforcesTimeOrder) {
+  GpsTrace trace;
+  trace.append(fix_at({40.0, -88.0}, kT0));
+  trace.append(fix_at({40.001, -88.0}, kT0 + 1.0));
+  EXPECT_THROW(trace.append(fix_at({40.0, -88.0}, kT0 - 1.0)), std::invalid_argument);
+}
+
+TEST(Trace, InterpolatesLinearly) {
+  GpsTrace trace;
+  trace.append(fix_at({40.0, -88.0}, kT0));
+  trace.append(fix_at({40.01, -88.0}, kT0 + 10.0));
+
+  const GpsFix mid = trace.at(kT0 + 5.0);
+  EXPECT_NEAR(mid.position.lat_deg, 40.005, 1e-9);
+  EXPECT_DOUBLE_EQ(mid.unix_time, kT0 + 5.0);
+
+  // Clamping at the ends.
+  EXPECT_DOUBLE_EQ(trace.at(kT0 - 100.0).position.lat_deg, 40.0);
+  EXPECT_DOUBLE_EQ(trace.at(kT0 + 100.0).position.lat_deg, 40.01);
+}
+
+TEST(Trace, PathLengthMatchesGeodesy) {
+  GpsTrace trace;
+  trace.append(fix_at({40.0, -88.0}, kT0));
+  trace.append(fix_at({40.01, -88.0}, kT0 + 10.0));
+  // One hundredth of a degree of latitude is ~1112 m.
+  EXPECT_NEAR(trace.path_length_m(), 1112.0, 1.0);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  GpsTrace trace;
+  for (int i = 0; i < 20; ++i) {
+    GpsFix f = fix_at({40.0 + i * 1e-4, -88.0 - i * 2e-4}, kT0 + i * 0.5, 9.5);
+    f.altitude_m = 100.0 + i;
+    f.course_deg = 123.4;
+    trace.append(f);
+  }
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "alidrone_trace_test.csv").string();
+  trace.save_csv(path);
+  const GpsTrace loaded = GpsTrace::load_csv(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(loaded.fixes()[i].position.lat_deg, trace.fixes()[i].position.lat_deg, 1e-10);
+    EXPECT_NEAR(loaded.fixes()[i].unix_time, trace.fixes()[i].unix_time, 1e-6);
+    EXPECT_NEAR(loaded.fixes()[i].altitude_m, trace.fixes()[i].altitude_m, 1e-9);
+  }
+}
+
+TEST(Trace, LoadRejectsMalformedCsv) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "alidrone_bad_trace.csv").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("unix_time,lat_deg,lon_deg,alt_m,speed_mps,course_deg\n", f);
+    std::fputs("not,a,valid,row,at,all\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(GpsTrace::load_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(GpsTrace::load_csv("/nonexistent/file.csv"), std::runtime_error);
+}
+
+TEST(Trace, AsPositionSourceMatchesAt) {
+  GpsTrace trace;
+  trace.append(fix_at({40.0, -88.0}, kT0));
+  trace.append(fix_at({40.002, -88.001}, kT0 + 4.0));
+  const PositionSource source = trace.as_position_source();
+  const GpsFix a = source(kT0 + 1.7);
+  const GpsFix b = trace.at(kT0 + 1.7);
+  EXPECT_DOUBLE_EQ(a.position.lat_deg, b.position.lat_deg);
+  EXPECT_DOUBLE_EQ(a.position.lon_deg, b.position.lon_deg);
+}
+
+}  // namespace
+}  // namespace alidrone::gps

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "nmea/gga.h"
+#include "nmea/rmc.h"
+#include "nmea/sentence.h"
+#include "nmea/vtg.h"
+
+namespace alidrone::nmea {
+namespace {
+
+TEST(Sentence, ChecksumXorOfBody) {
+  // Classic example: "$GPGGA,...*47" style check over a known body.
+  EXPECT_EQ(checksum("GPRMC"), ('G' ^ 'P' ^ 'R' ^ 'M' ^ 'C'));
+  EXPECT_EQ(checksum(""), 0);
+}
+
+TEST(Sentence, FrameProducesDollarStarHexCrlf) {
+  const std::string framed = frame("GPRMC,123519,A");
+  EXPECT_EQ(framed.front(), '$');
+  EXPECT_EQ(framed.substr(framed.size() - 2), "\r\n");
+  const auto star = framed.find('*');
+  ASSERT_NE(star, std::string::npos);
+  EXPECT_EQ(framed.size() - star, 5u);  // *XX\r\n
+}
+
+TEST(Sentence, UnframeRoundTrip) {
+  const std::string framed = frame("GPRMC,081836,A,3751.65,S,14507.36,E");
+  const UnframeResult result = unframe(framed);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.body, "GPRMC,081836,A,3751.65,S,14507.36,E");
+}
+
+TEST(Sentence, UnframeRejectsBadChecksum) {
+  std::string framed = frame("GPRMC,081836,A");
+  framed[5] = 'X';  // corrupt the body, keep the checksum
+  EXPECT_FALSE(unframe(framed).ok);
+}
+
+TEST(Sentence, UnframeRejectsMalformedFrames) {
+  EXPECT_FALSE(unframe("").ok);
+  EXPECT_FALSE(unframe("GPRMC,1*00").ok);        // no '$'
+  EXPECT_FALSE(unframe("$GPRMC,1").ok);          // no '*'
+  EXPECT_FALSE(unframe("$GPRMC,1*0").ok);        // short checksum
+  EXPECT_FALSE(unframe("$GPRMC,1*GG").ok);       // non-hex checksum
+}
+
+TEST(Sentence, UnframeAcceptsWithoutCrlf) {
+  std::string framed = frame("GPGGA,1,2,3");
+  framed.resize(framed.size() - 2);  // strip CRLF
+  EXPECT_TRUE(unframe(framed).ok);
+}
+
+TEST(Sentence, SplitFieldsPreservesEmpties) {
+  const auto f = split_fields("GPRMC,,A,,");
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_EQ(f[0], "GPRMC");
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[2], "A");
+  EXPECT_EQ(f[4], "");
+}
+
+TEST(DegreesNmea, RoundTrip) {
+  for (const double deg : {0.0, 40.1164, 88.2434, 179.9999, 0.5}) {
+    EXPECT_NEAR(nmea_to_degrees(degrees_to_nmea(deg)), deg, 1e-9) << deg;
+  }
+  // 48 degrees 07.038 minutes == 4807.038 in NMEA convention.
+  EXPECT_NEAR(nmea_to_degrees(4807.038), 48.0 + 7.038 / 60.0, 1e-12);
+}
+
+TEST(Rmc, ParseCanonicalSentence) {
+  // Adapted from the NMEA 0183 reference sentence.
+  const std::string s = frame(
+      "GPRMC,123519.000,A,4807.0380,N,01131.0000,E,022.4,084.4,230394,,,A");
+  const auto rmc = parse_rmc(s);
+  ASSERT_TRUE(rmc.has_value());
+  EXPECT_TRUE(rmc->valid);
+  EXPECT_EQ(rmc->time.hour, 12);
+  EXPECT_EQ(rmc->time.minute, 35);
+  EXPECT_DOUBLE_EQ(rmc->time.second, 19.0);
+  EXPECT_NEAR(rmc->position.lat_deg, 48.1173, 1e-4);
+  EXPECT_NEAR(rmc->position.lon_deg, 11.5167, 1e-4);
+  EXPECT_DOUBLE_EQ(rmc->speed_knots, 22.4);
+  EXPECT_DOUBLE_EQ(rmc->course_deg, 84.4);
+  EXPECT_EQ(rmc->date.day, 23);
+  EXPECT_EQ(rmc->date.month, 3);
+  EXPECT_EQ(rmc->date.year, 2094);  // two-digit year, 20xx convention
+}
+
+TEST(Rmc, SouthAndWestAreNegative) {
+  const std::string s =
+      frame("GPRMC,000000.000,A,4007.0000,S,08814.0000,W,000.0,000.0,010118,,,A");
+  const auto rmc = parse_rmc(s);
+  ASSERT_TRUE(rmc.has_value());
+  EXPECT_LT(rmc->position.lat_deg, 0.0);
+  EXPECT_LT(rmc->position.lon_deg, 0.0);
+}
+
+TEST(Rmc, VoidStatusParsesAsInvalid) {
+  const std::string s =
+      frame("GPRMC,000000.000,V,4007.0000,N,08814.0000,W,000.0,000.0,010118,,,A");
+  const auto rmc = parse_rmc(s);
+  ASSERT_TRUE(rmc.has_value());
+  EXPECT_FALSE(rmc->valid);
+}
+
+TEST(Rmc, RejectsGarbageFields) {
+  EXPECT_FALSE(parse_rmc(frame("GPRMC,badtime,A,4007.0,N,08814.0,W,0,0,010118")).has_value());
+  EXPECT_FALSE(parse_rmc(frame("GPRMC,000000,X,4007.0,N,08814.0,W,0,0,010118")).has_value());
+  EXPECT_FALSE(parse_rmc(frame("GPRMC,000000,A,????,N,08814.0,W,0,0,010118")).has_value());
+  EXPECT_FALSE(parse_rmc(frame("GPRMC,000000,A,4007.0,Q,08814.0,W,0,0,010118")).has_value());
+  EXPECT_FALSE(parse_rmc(frame("GPRMC,000000,A,4007.0,N,08814.0,W,0,0,990199")).has_value());
+  EXPECT_FALSE(parse_rmc(frame("GPGGA,000000,A")).has_value());  // wrong type
+  EXPECT_FALSE(parse_rmc("not a sentence").has_value());
+}
+
+TEST(Rmc, RejectsOutOfRangeCoordinates) {
+  // 99 degrees latitude is impossible.
+  EXPECT_FALSE(
+      parse_rmc(frame("GPRMC,000000,A,9907.0,N,08814.0,W,0,0,010118")).has_value());
+}
+
+TEST(Rmc, EmitParseRoundTrip) {
+  RmcSentence rmc;
+  rmc.time = {14, 25, 36.500};
+  rmc.valid = true;
+  rmc.position = {40.1164, -88.2434};
+  rmc.speed_knots = 12.3;
+  rmc.course_deg = 275.0;
+  rmc.date = {7, 7, 2026};
+
+  const auto parsed = parse_rmc(emit_rmc(rmc));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time.hour, 14);
+  EXPECT_EQ(parsed->time.minute, 25);
+  EXPECT_NEAR(parsed->time.second, 36.5, 1e-3);
+  EXPECT_NEAR(parsed->position.lat_deg, 40.1164, 1e-5);
+  EXPECT_NEAR(parsed->position.lon_deg, -88.2434, 1e-5);
+  EXPECT_NEAR(parsed->speed_knots, 12.3, 0.05);
+  EXPECT_EQ(parsed->date.day, 7);
+  EXPECT_EQ(parsed->date.year, 2026);
+}
+
+TEST(Rmc, UnixTimeKnownEpochValues) {
+  RmcSentence rmc;
+  rmc.date = {1, 1, 1970};
+  rmc.time = {0, 0, 0.0};
+  EXPECT_DOUBLE_EQ(rmc.unix_time(), 0.0);
+
+  rmc.date = {2, 1, 1970};
+  EXPECT_DOUBLE_EQ(rmc.unix_time(), 86400.0);
+
+  // 2018-06-07 18:13:20 UTC == 1528395200.
+  rmc.date = {7, 6, 2018};
+  rmc.time = {18, 13, 20.0};
+  EXPECT_DOUBLE_EQ(rmc.unix_time(), 1528395200.0);
+}
+
+TEST(Gga, ParseCanonicalSentence) {
+  const std::string s =
+      frame("GPGGA,123519.000,4807.0380,N,01131.0000,E,1,08,0.9,545.4,M,46.9,M,,");
+  const auto gga = parse_gga(s);
+  ASSERT_TRUE(gga.has_value());
+  EXPECT_EQ(gga->quality, FixQuality::kGpsFix);
+  EXPECT_EQ(gga->satellites, 8);
+  EXPECT_DOUBLE_EQ(gga->hdop, 0.9);
+  EXPECT_DOUBLE_EQ(gga->altitude_m, 545.4);
+  EXPECT_DOUBLE_EQ(gga->geoid_separation_m, 46.9);
+  EXPECT_NEAR(gga->position.lat_deg, 48.1173, 1e-4);
+}
+
+TEST(Gga, EmitParseRoundTrip) {
+  GgaSentence gga;
+  gga.time = {9, 30, 15.250};
+  gga.position = {40.0393, -88.2781};
+  gga.quality = FixQuality::kGpsFix;
+  gga.satellites = 9;
+  gga.hdop = 1.1;
+  gga.altitude_m = 228.6;
+  gga.geoid_separation_m = -33.5;
+
+  const auto parsed = parse_gga(emit_gga(gga));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NEAR(parsed->position.lat_deg, 40.0393, 1e-5);
+  EXPECT_NEAR(parsed->position.lon_deg, -88.2781, 1e-5);
+  EXPECT_NEAR(parsed->altitude_m, 228.6, 1e-6);
+  EXPECT_EQ(parsed->satellites, 9);
+}
+
+TEST(Vtg, ParseCanonicalSentence) {
+  const std::string s = frame("GPVTG,054.7,T,034.4,M,005.5,N,010.2,K,A");
+  const auto vtg = parse_vtg(s);
+  ASSERT_TRUE(vtg.has_value());
+  EXPECT_DOUBLE_EQ(vtg->course_true_deg, 54.7);
+  ASSERT_TRUE(vtg->course_magnetic_deg.has_value());
+  EXPECT_DOUBLE_EQ(*vtg->course_magnetic_deg, 34.4);
+  EXPECT_DOUBLE_EQ(vtg->speed_knots, 5.5);
+  EXPECT_DOUBLE_EQ(vtg->speed_kmh, 10.2);
+}
+
+TEST(Vtg, EmptyMagneticCourseAllowed) {
+  const auto vtg = parse_vtg(frame("GPVTG,120.0,T,,M,012.0,N,022.2,K,A"));
+  ASSERT_TRUE(vtg.has_value());
+  EXPECT_FALSE(vtg->course_magnetic_deg.has_value());
+}
+
+TEST(Vtg, EmitParseRoundTrip) {
+  VtgSentence vtg;
+  vtg.course_true_deg = 275.5;
+  vtg.speed_knots = 19.4;
+  vtg.speed_kmh = 35.9;
+  const auto parsed = parse_vtg(emit_vtg(vtg));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NEAR(parsed->course_true_deg, 275.5, 1e-9);
+  EXPECT_NEAR(parsed->speed_knots, 19.4, 1e-9);
+  EXPECT_FALSE(parsed->course_magnetic_deg.has_value());
+
+  vtg.course_magnetic_deg = 272.1;
+  const auto parsed2 = parse_vtg(emit_vtg(vtg));
+  ASSERT_TRUE(parsed2.has_value());
+  EXPECT_NEAR(*parsed2->course_magnetic_deg, 272.1, 1e-9);
+}
+
+TEST(Vtg, RejectsMalformed) {
+  EXPECT_FALSE(parse_vtg(frame("GPRMC,1,2,3")).has_value());
+  EXPECT_FALSE(parse_vtg(frame("GPVTG,361.0,T,,M,005.5,N,010.2,K,A")).has_value());
+  EXPECT_FALSE(parse_vtg(frame("GPVTG,054.7,X,,M,005.5,N,010.2,K,A")).has_value());
+  EXPECT_FALSE(parse_vtg(frame("GPVTG,054.7,T,,M,-1.0,N,010.2,K,A")).has_value());
+  EXPECT_FALSE(parse_vtg(frame("GPVTG,054.7,T,,M")).has_value());
+}
+
+TEST(Gga, RejectsWrongTypeAndBadQuality) {
+  EXPECT_FALSE(parse_gga(frame("GPRMC,000000,A")).has_value());
+  EXPECT_FALSE(
+      parse_gga(frame("GPGGA,123519,4807.038,N,01131.000,E,9,08,0.9,545.4,M,46.9,M,,"))
+          .has_value());
+}
+
+}  // namespace
+}  // namespace alidrone::nmea

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "net/codec.h"
+#include "net/message_bus.h"
+#include "resource/cost_model.h"
+
+namespace alidrone {
+namespace {
+
+using resource::CostProfile;
+using resource::CpuAccountant;
+using resource::MemoryAccountant;
+using resource::Op;
+using resource::PowerModel;
+
+TEST(CostProfile, Pi3CalibrationMatchesTable2Inversion) {
+  const CostProfile p = CostProfile::raspberry_pi3();
+  // Per-sample costs implied by Table II at 2 Hz: ~43.4 ms (1024) and
+  // ~219 ms (2048) of one core.
+  EXPECT_NEAR(p.per_sample_cost(1024), 0.0434, 0.002);
+  EXPECT_NEAR(p.per_sample_cost(2048), 0.2190, 0.005);
+  // 2048-bit signing must make 5 Hz unsustainable on one core.
+  EXPECT_GT(5.0 * p.per_sample_cost(2048), 1.0);
+  EXPECT_LT(5.0 * p.per_sample_cost(1024), 1.0);
+}
+
+TEST(CostProfile, CostSwitchCoversAllOps) {
+  const CostProfile p = CostProfile::raspberry_pi3();
+  for (const Op op : {Op::kWorldSwitch, Op::kGpsReadParse, Op::kRsaSign1024,
+                      Op::kRsaSign2048, Op::kRsaEncrypt1024, Op::kRsaEncrypt2048,
+                      Op::kHmacSign, Op::kPersistSample, Op::kEllipseCheck}) {
+    EXPECT_GT(p.cost(op), 0.0);
+  }
+  EXPECT_GT(p.cost(Op::kRsaSign2048), p.cost(Op::kRsaSign1024));
+  EXPECT_GT(p.cost(Op::kRsaSign1024), p.cost(Op::kHmacSign));
+}
+
+TEST(CpuAccountant, UtilizationArithmetic) {
+  CpuAccountant cpu(4);
+  cpu.advance_wall(10.0);
+  cpu.charge(1.0);
+  EXPECT_DOUBLE_EQ(cpu.core_utilization(), 0.1);
+  EXPECT_DOUBLE_EQ(cpu.system_utilization_percent(), 2.5);  // of 4 cores
+  EXPECT_TRUE(cpu.sustainable());
+
+  cpu.charge(20.0);  // more busy time than wall time: unsustainable
+  EXPECT_FALSE(cpu.sustainable());
+
+  cpu.reset();
+  EXPECT_DOUBLE_EQ(cpu.busy_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.core_utilization(), 0.0);
+}
+
+TEST(CpuAccountant, ChargeByOpUsesProfile) {
+  const CostProfile p = CostProfile::raspberry_pi3();
+  CpuAccountant cpu(4);
+  cpu.charge(Op::kRsaSign1024, p);
+  EXPECT_DOUBLE_EQ(cpu.busy_seconds(), p.rsa_sign_1024);
+}
+
+TEST(PowerModel, KaupEquationFour) {
+  const PowerModel power;
+  // Idle: P(0) = 1.5778 W.
+  EXPECT_DOUBLE_EQ(power.power_watts(0.0), 1.5778);
+  // Full load: P(1) = 1.7588 W.
+  EXPECT_NEAR(power.power_watts(1.0), 1.7588, 1e-9);
+  // Table II's 5 Hz/1024-bit row: 5.59% utilization -> 1.5879 W.
+  EXPECT_NEAR(power.power_watts(0.0559), 1.5879, 1e-4);
+}
+
+TEST(MemoryAccountant, PaperResidentSet) {
+  const MemoryAccountant mem = MemoryAccountant::alidrone_client();
+  EXPECT_NEAR(mem.resident_mb(), 3.27, 0.01);
+  // 3.27 MB of 1 GB is ~0.3% (Table II's memory row).
+  EXPECT_NEAR(mem.percent_of_pi3(), 0.32, 0.05);
+}
+
+TEST(MemoryAccountant, AllocateReleaseBalance) {
+  MemoryAccountant mem(1000);
+  mem.allocate(500);
+  EXPECT_EQ(mem.resident_bytes(), 1500u);
+  mem.release(200);
+  EXPECT_EQ(mem.resident_bytes(), 1300u);
+  mem.release(10000);  // over-release clamps at the baseline
+  EXPECT_EQ(mem.resident_bytes(), 1000u);
+}
+
+TEST(Codec, PrimitivesRoundTrip) {
+  net::Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(-88.2434);
+  w.str("alibi");
+  w.bytes(crypto::Bytes{1, 2, 3});
+
+  const crypto::Bytes data = std::move(w).take();
+  net::Reader r(data);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), -88.2434);
+  EXPECT_EQ(r.str(), "alibi");
+  EXPECT_EQ(r.bytes(), (crypto::Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, ReaderRejectsTruncation) {
+  net::Writer w;
+  w.u64(7);
+  crypto::Bytes data = std::move(w).take();
+  data.pop_back();
+  net::Reader r(data);
+  EXPECT_FALSE(r.u64().has_value());
+}
+
+TEST(Codec, BytesLengthPrefixBoundsChecked) {
+  net::Writer w;
+  w.u32(1000);  // claims 1000 bytes follow
+  const crypto::Bytes data = std::move(w).take();
+  net::Reader r(data);
+  EXPECT_FALSE(r.bytes().has_value());
+}
+
+TEST(MessageBus, RequestResponseRoundTrip) {
+  net::MessageBus bus;
+  bus.register_endpoint("echo", [](const crypto::Bytes& in) {
+    crypto::Bytes out = in;
+    out.push_back(0xFF);
+    return out;
+  });
+  const crypto::Bytes reply = bus.request("echo", {1, 2});
+  EXPECT_EQ(reply, (crypto::Bytes{1, 2, 0xFF}));
+  EXPECT_EQ(bus.requests_sent(), 1u);
+  EXPECT_GT(bus.bytes_transferred(), 0u);
+}
+
+TEST(MessageBus, UnknownEndpointThrows) {
+  net::MessageBus bus;
+  EXPECT_THROW(bus.request("nope", {}), std::out_of_range);
+}
+
+TEST(MessageBus, DropFaultRaisesTimeout) {
+  net::MessageBus bus;
+  int calls = 0;
+  bus.register_endpoint("svc", [&](const crypto::Bytes&) {
+    ++calls;
+    return crypto::Bytes{};
+  });
+  bus.set_faults({1.0, 0.0, 7});  // drop everything
+  EXPECT_THROW(bus.request("svc", {}), net::TimeoutError);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(bus.requests_dropped(), 1u);
+}
+
+TEST(MessageBus, DuplicateFaultInvokesHandlerTwice) {
+  net::MessageBus bus;
+  int calls = 0;
+  bus.register_endpoint("svc", [&](const crypto::Bytes&) {
+    ++calls;
+    return crypto::Bytes{9};
+  });
+  bus.set_faults({0.0, 1.0, 7});  // duplicate everything
+  const crypto::Bytes reply = bus.request("svc", {});
+  EXPECT_EQ(reply, crypto::Bytes{9});
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(bus.requests_duplicated(), 1u);
+}
+
+TEST(MessageBus, PartialDropRateRoughlyHonored) {
+  net::MessageBus bus;
+  bus.register_endpoint("svc", [](const crypto::Bytes&) { return crypto::Bytes{}; });
+  bus.set_faults({0.3, 0.0, 11});
+  int dropped = 0;
+  for (int i = 0; i < 1000; ++i) {
+    try {
+      bus.request("svc", {});
+    } catch (const net::TimeoutError&) {
+      ++dropped;
+    }
+  }
+  EXPECT_GT(dropped, 200);
+  EXPECT_LT(dropped, 400);
+}
+
+}  // namespace
+}  // namespace alidrone

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "geo/units.h"
+#include "sim/planner.h"
+#include "sim/route.h"
+#include "sim/scenarios.h"
+
+namespace alidrone::sim {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+
+Route straight_route(double speed = 10.0) {
+  const geo::LocalFrame frame({40.0, -88.0});
+  return Route(frame, {{{0, 0}, speed}, {{1000, 0}, speed}}, kT0);
+}
+
+TEST(Route, RequiresTwoWaypointsAndPositiveSpeed) {
+  const geo::LocalFrame frame({40.0, -88.0});
+  EXPECT_THROW(Route(frame, {{{0, 0}, 10.0}}, kT0), std::invalid_argument);
+  EXPECT_THROW(Route(frame, {{{0, 0}, 10.0}, {{1, 0}, 0.0}}, kT0),
+               std::invalid_argument);
+}
+
+TEST(Route, LengthAndDurationArithmetic) {
+  const Route r = straight_route(10.0);
+  EXPECT_DOUBLE_EQ(r.length_m(), 1000.0);
+  EXPECT_DOUBLE_EQ(r.duration(), 100.0);
+  EXPECT_DOUBLE_EQ(r.end_time(), kT0 + 100.0);
+}
+
+TEST(Route, InterpolatesAlongLeg) {
+  const Route r = straight_route(10.0);
+  EXPECT_NEAR(r.local_position_at(kT0 + 50.0).x, 500.0, 1e-9);
+  EXPECT_NEAR(r.local_position_at(kT0 + 50.0).y, 0.0, 1e-9);
+  // Clamped outside the time span.
+  EXPECT_DOUBLE_EQ(r.local_position_at(kT0 - 10.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(r.local_position_at(kT0 + 1000.0).x, 1000.0);
+}
+
+TEST(Route, StateCarriesSpeedAndCourse) {
+  const Route r = straight_route(10.0);
+  const gps::GpsFix mid = r.state_at(kT0 + 50.0);
+  EXPECT_DOUBLE_EQ(mid.speed_mps, 10.0);
+  EXPECT_NEAR(mid.course_deg, 90.0, 1e-9);  // heading east
+
+  const gps::GpsFix before = r.state_at(kT0 - 5.0);
+  EXPECT_DOUBLE_EQ(before.speed_mps, 0.0);
+}
+
+TEST(Route, CourseNorthIsZero) {
+  const geo::LocalFrame frame({40.0, -88.0});
+  const Route r(frame, {{{0, 0}, 5.0}, {{0, 100}, 5.0}}, kT0);
+  EXPECT_NEAR(r.state_at(kT0 + 1.0).course_deg, 0.0, 1e-9);
+}
+
+TEST(Route, SpeedsClampedToVmax) {
+  const geo::LocalFrame frame({40.0, -88.0});
+  const Route r(frame, {{{0, 0}, 10.0}, {{1000, 0}, 500.0}}, kT0);
+  EXPECT_DOUBLE_EQ(r.state_at(kT0 + 1.0).speed_mps, geo::kFaaMaxSpeedMps);
+}
+
+TEST(Route, GroundTruthNeverExceedsVmaxBetweenSamples) {
+  // The invariant that makes every honest PoA feasible: sampled positions
+  // of a Route can never imply a speed above v_max.
+  const Scenario s = make_residential_scenario(kT0);
+  double prev_t = s.route.start_time();
+  geo::Vec2 prev = s.route.local_position_at(prev_t);
+  for (double t = prev_t + 0.2; t <= s.route.end_time(); t += 0.2) {
+    const geo::Vec2 cur = s.route.local_position_at(t);
+    EXPECT_LE(geo::distance(prev, cur), geo::kFaaMaxSpeedMps * (t - prev_t) + 1e-9);
+    prev = cur;
+    prev_t = t;
+  }
+}
+
+TEST(AirportScenario, MatchesPaperGeometry) {
+  const Scenario s = make_airport_scenario(kT0);
+  ASSERT_EQ(s.zones.size(), 1u);
+  EXPECT_NEAR(s.zones[0].radius_m, geo::miles_to_meters(5.0), 1e-6);
+
+  // Starts ~30 ft outside the boundary.
+  const geo::Circle zone = s.local_zones()[0];
+  const geo::Vec2 start = s.route.local_position_at(s.route.start_time());
+  EXPECT_NEAR(zone.boundary_distance(start), geo::feet_to_meters(30.0), 0.5);
+
+  // Drives away ~3 miles in ~12 minutes.
+  EXPECT_NEAR(s.route.length_m(), geo::miles_to_meters(3.0), 50.0);
+  EXPECT_NEAR(s.route.duration(), 720.0, 120.0);
+
+  // Monotonically receding from the zone (within small wiggle).
+  double prev = zone.boundary_distance(start);
+  for (double t = s.route.start_time(); t <= s.route.end_time(); t += 30.0) {
+    const double d = zone.boundary_distance(s.route.local_position_at(t));
+    EXPECT_GE(d, prev - 30.0);
+    prev = std::max(prev, d);
+  }
+}
+
+TEST(ResidentialScenario, MatchesPaperGeometry) {
+  const Scenario s = make_residential_scenario(kT0);
+  EXPECT_EQ(s.zones.size(), 94u);  // the paper identifies 94 NFZs
+  for (const geo::GeoZone& z : s.zones) {
+    EXPECT_NEAR(z.radius_m, geo::feet_to_meters(20.0), 1e-9);
+  }
+  // ~1 mile drive.
+  EXPECT_NEAR(s.route.length_m(), geo::miles_to_meters(1.0), 80.0);
+  // Fig. 8's time axis runs to ~150 s.
+  EXPECT_NEAR(s.route.duration(), 155.0, 25.0);
+}
+
+TEST(ResidentialScenario, NearestDistanceProfileMatchesFig8a) {
+  const Scenario s = make_residential_scenario(kT0);
+  const auto zones = s.local_zones();
+
+  double min_dist = 1e18;
+  for (double t = s.route.start_time(); t <= s.route.end_time(); t += 0.2) {
+    const geo::Vec2 p = s.route.local_position_at(t);
+    double nearest = 1e18;
+    for (const geo::Circle& z : zones) {
+      nearest = std::min(nearest, z.boundary_distance(p));
+    }
+    min_dist = std::min(min_dist, nearest);
+    // The vehicle itself never enters an NFZ.
+    EXPECT_GT(nearest, 0.0);
+  }
+  // Closest approach ~21 ft (paper Fig. 8a).
+  EXPECT_NEAR(geo::meters_to_feet(min_dist), 21.0, 3.0);
+}
+
+TEST(Planner, TrivialWhenNoZones) {
+  const PlanResult r = plan_route({0, 0}, {100, 0}, {});
+  ASSERT_TRUE(r.found);
+  EXPECT_NEAR(r.length_m, 100.0, 1e-9);
+  EXPECT_EQ(r.path.size(), 2u);
+}
+
+TEST(Planner, RoutesAroundSingleZone) {
+  const std::vector<geo::Circle> zones{{{50, 0}, 20.0}};
+  const PlanResult r = plan_route({0, 0}, {100, 0}, zones);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(path_is_collision_free(r.path, zones));
+  EXPECT_GT(r.length_m, 100.0);        // detour costs distance
+  EXPECT_LT(r.length_m, 160.0);        // but not absurdly much
+}
+
+TEST(Planner, FailsWhenEndpointInsideZone) {
+  const std::vector<geo::Circle> zones{{{0, 0}, 30.0}};
+  EXPECT_FALSE(plan_route({0, 0}, {100, 0}, zones).found);
+  EXPECT_FALSE(plan_route({100, 0}, {0, 0}, zones).found);
+}
+
+TEST(Planner, FailsWhenGoalFullyEnclosed) {
+  // A ring of overlapping zones around the goal.
+  std::vector<geo::Circle> zones;
+  for (int k = 0; k < 12; ++k) {
+    const double a = 2.0 * 3.14159265358979 * k / 12.0;
+    zones.push_back({{200.0 + 60.0 * std::cos(a), 60.0 * std::sin(a)}, 20.0});
+  }
+  const PlanResult r = plan_route({0, 0}, {200, 0}, zones, {5.0, 16});
+  EXPECT_FALSE(r.found);
+}
+
+TEST(Planner, ThreadsThroughZoneField) {
+  // Staggered field of zones between start and goal.
+  std::vector<geo::Circle> zones;
+  for (int i = 0; i < 5; ++i) {
+    zones.push_back({{100.0 + i * 80.0, (i % 2 == 0) ? 40.0 : -40.0}, 25.0});
+  }
+  const PlanResult r = plan_route({0, 0}, {600, 0}, zones);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(path_is_collision_free(r.path, zones));
+  // Clearance margin respected (inflated radius 25 + 15).
+  for (const geo::Vec2 p : r.path) {
+    for (const geo::Circle& z : zones) {
+      EXPECT_GE(geo::distance(p, z.center), z.radius + 15.0 - 1e-6);
+    }
+  }
+}
+
+TEST(Planner, SegmentPoaSamplesBasics) {
+  const PlannerConfig config;
+  // No zones -> no samples needed.
+  EXPECT_DOUBLE_EQ(segment_poa_samples({0, 0}, {100, 0}, {}, config), 0.0);
+  // Far from the zone -> very few; hugging the zone -> many.
+  const std::vector<geo::Circle> zones{{{50, 30}, 10.0}};
+  const double close = segment_poa_samples({0, 0}, {100, 0}, zones, config);
+  const double far = segment_poa_samples({0, 2000}, {100, 2000}, zones, config);
+  EXPECT_GT(close, far);
+  EXPECT_GT(close, 1.0);
+  EXPECT_LT(far, 0.2);
+  // A segment through the zone charges the max rate.
+  const double through = segment_poa_samples({0, 30}, {100, 30}, zones, config);
+  EXPECT_GT(through, close);
+}
+
+TEST(Planner, PoaAwareRoutingTradesLengthForFewerSamples) {
+  // Corridor with a zone near the straight line: with weight 0 the path
+  // shaves the inflated circle; with a heavy weight it swings wide.
+  const std::vector<geo::Circle> zones{{{300, 0}, 40.0}};
+
+  PlannerConfig shortest;
+  shortest.poa_sample_weight = 0.0;
+  const PlanResult base = plan_route({0, 0}, {600, 0}, zones, shortest);
+  ASSERT_TRUE(base.found);
+
+  PlannerConfig poa_aware = shortest;
+  poa_aware.poa_sample_weight = 40.0;  // meters of detour per sample saved
+  const PlanResult wide = plan_route({0, 0}, {600, 0}, zones, poa_aware);
+  ASSERT_TRUE(wide.found);
+
+  EXPECT_TRUE(path_is_collision_free(wide.path, zones));
+  EXPECT_GE(wide.length_m, base.length_m);                        // longer...
+  EXPECT_LT(wide.expected_poa_samples, base.expected_poa_samples); // ...cheaper proof
+  // And the weighted objective actually improved.
+  EXPECT_LE(wide.length_m + 40.0 * wide.expected_poa_samples,
+            base.length_m + 40.0 * base.expected_poa_samples + 1e-6);
+}
+
+TEST(Planner, HigherSamplingGetsCloserToOptimal) {
+  const std::vector<geo::Circle> zones{{{50, 0}, 20.0}};
+  const PlanResult coarse = plan_route({0, 0}, {100, 0}, zones, {10.0, 8});
+  const PlanResult fine = plan_route({0, 0}, {100, 0}, zones, {10.0, 64});
+  ASSERT_TRUE(coarse.found);
+  ASSERT_TRUE(fine.found);
+  EXPECT_LE(fine.length_m, coarse.length_m + 1e-9);
+}
+
+}  // namespace
+}  // namespace alidrone::sim

@@ -1,0 +1,200 @@
+// Section VII-A2: the secure-world GPS plausibility monitor and its
+// integration with the GPS Sampler TA (decline-to-sign semantics).
+#include <gtest/gtest.h>
+
+#include "gps/receiver_sim.h"
+#include "tee/gps_sampler_ta.h"
+#include "tee/plausibility.h"
+#include "tee/secure_monitor.h"
+
+namespace alidrone::tee {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+
+gps::GpsFix fix_at(geo::GeoPoint p, double t, double speed = 10.0) {
+  gps::GpsFix f;
+  f.position = p;
+  f.unix_time = t;
+  f.speed_mps = speed;
+  return f;
+}
+
+TEST(PlausibilityMonitor, AcceptsPhysicalMotion) {
+  PlausibilityMonitor monitor;
+  const geo::LocalFrame frame({40.0, -88.0});
+  for (int i = 0; i < 50; ++i) {
+    // 10 m/s east, 5 Hz updates.
+    const gps::GpsFix f = fix_at(frame.to_geo({i * 2.0, 0}), kT0 + i * 0.2);
+    EXPECT_TRUE(monitor.observe(f)) << i;
+  }
+  EXPECT_EQ(monitor.anomalies(), 0u);
+  EXPECT_FALSE(monitor.suspicious());
+}
+
+TEST(PlausibilityMonitor, FlagsTeleportation) {
+  PlausibilityMonitor monitor;
+  const geo::LocalFrame frame({40.0, -88.0});
+  EXPECT_TRUE(monitor.observe(fix_at(frame.to_geo({0, 0}), kT0)));
+  // 5 km in 0.2 s: 25 km/s.
+  EXPECT_FALSE(monitor.observe(fix_at(frame.to_geo({5000, 0}), kT0 + 0.2)));
+  EXPECT_TRUE(monitor.suspicious());
+  EXPECT_EQ(monitor.anomalies(), 1u);
+  EXPECT_NE(monitor.last_reason().find("position jump"), std::string::npos);
+}
+
+TEST(PlausibilityMonitor, FlagsTimeReversal) {
+  PlausibilityMonitor monitor;
+  const geo::LocalFrame frame({40.0, -88.0});
+  EXPECT_TRUE(monitor.observe(fix_at(frame.to_geo({0, 0}), kT0)));
+  EXPECT_FALSE(monitor.observe(fix_at(frame.to_geo({1, 0}), kT0 - 5.0)));
+  EXPECT_NE(monitor.last_reason().find("backwards"), std::string::npos);
+}
+
+TEST(PlausibilityMonitor, FlagsAbsurdReportedSpeed) {
+  PlausibilityMonitor monitor;
+  EXPECT_FALSE(monitor.observe(fix_at({40.0, -88.0}, kT0, 500.0)));
+  EXPECT_NE(monitor.last_reason().find("speed"), std::string::npos);
+}
+
+TEST(PlausibilityMonitor, QuarantineRequiresCleanStreak) {
+  PlausibilityConfig config;
+  config.quarantine_length = 5;
+  PlausibilityMonitor monitor(config);
+  const geo::LocalFrame frame({40.0, -88.0});
+
+  monitor.observe(fix_at(frame.to_geo({0, 0}), kT0));
+  monitor.observe(fix_at(frame.to_geo({9000, 0}), kT0 + 0.2));  // anomaly
+  EXPECT_TRUE(monitor.suspicious());
+
+  // Clean follow-ups: the monitor stays suspicious until 5 in a row pass.
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_FALSE(monitor.observe(
+        fix_at(frame.to_geo({9000.0 + i * 2.0, 0}), kT0 + 0.2 + i * 0.2)))
+        << i;
+  }
+  EXPECT_TRUE(monitor.observe(fix_at(frame.to_geo({9010.0, 0}), kT0 + 1.4)));
+  EXPECT_FALSE(monitor.suspicious());
+}
+
+TEST(PlausibilityMonitor, AnomalyDuringQuarantineRestartsIt) {
+  PlausibilityConfig config;
+  config.quarantine_length = 3;
+  PlausibilityMonitor monitor(config);
+  const geo::LocalFrame frame({40.0, -88.0});
+
+  monitor.observe(fix_at(frame.to_geo({0, 0}), kT0));
+  monitor.observe(fix_at(frame.to_geo({9000, 0}), kT0 + 0.2));  // anomaly 1
+  monitor.observe(fix_at(frame.to_geo({9002, 0}), kT0 + 0.4));  // clean
+  monitor.observe(fix_at(frame.to_geo({0, 0}), kT0 + 0.6));     // anomaly 2
+  EXPECT_EQ(monitor.anomalies(), 2u);
+  EXPECT_TRUE(monitor.suspicious());
+}
+
+TEST(PlausibilityMonitor, ResetClearsState) {
+  PlausibilityMonitor monitor;
+  monitor.observe(fix_at({40.0, -88.0}, kT0, 500.0));
+  EXPECT_TRUE(monitor.suspicious());
+  monitor.reset();
+  EXPECT_FALSE(monitor.suspicious());
+  EXPECT_EQ(monitor.anomalies(), 0u);
+}
+
+// ---- Integration: the TA declines to sign in a suspicious environment ----
+
+class PlausibilityTaFixture : public ::testing::Test {
+ protected:
+  PlausibilityTaFixture() : tee_(make_config()) {}
+
+  static DroneTee::Config make_config() {
+    DroneTee::Config config;
+    config.key_bits = 512;
+    config.manufacturing_seed = "plausibility-device";
+    config.enable_plausibility_check = true;
+    return config;
+  }
+
+  void feed_fix(geo::GeoPoint p, double t) {
+    gps::GpsReceiverSim::Config rc;
+    rc.update_rate_hz = 5.0;
+    rc.start_time = t;
+    gps::GpsReceiverSim sim(rc, [p](double tt) {
+      gps::GpsFix f;
+      f.position = p;
+      f.unix_time = tt;
+      f.speed_mps = 10.0;
+      return f;
+    });
+    for (const std::string& s : sim.advance_to(t)) tee_.feed_gps(s);
+  }
+
+  InvokeResult get_auth() {
+    return tee_.monitor().invoke(
+        tee_.sampler_uuid(),
+        static_cast<std::uint32_t>(SamplerCommand::kGetGpsAuth));
+  }
+
+  DroneTee tee_;
+};
+
+TEST_F(PlausibilityTaFixture, SignsNormalFixesButRefusesAfterTeleport) {
+  const geo::LocalFrame frame({40.0, -88.0});
+  feed_fix(frame.to_geo({0, 0}), kT0);
+  EXPECT_TRUE(get_auth().ok());
+
+  // The "spoofed UART" suddenly claims the drone is 50 km away.
+  feed_fix(frame.to_geo({50000, 0}), kT0 + 0.2);
+  EXPECT_EQ(get_auth().status, TeeStatus::kAccessDenied);
+
+  // Even plausible-looking follow-ups are refused during quarantine.
+  feed_fix(frame.to_geo({50002, 0}), kT0 + 0.4);
+  EXPECT_EQ(get_auth().status, TeeStatus::kAccessDenied);
+}
+
+TEST_F(PlausibilityTaFixture, RecoversAfterQuarantine) {
+  const geo::LocalFrame frame({40.0, -88.0});
+  feed_fix(frame.to_geo({0, 0}), kT0);
+  EXPECT_TRUE(get_auth().ok());
+  feed_fix(frame.to_geo({50000, 0}), kT0 + 0.2);
+  EXPECT_EQ(get_auth().status, TeeStatus::kAccessDenied);
+
+  // The tenth consecutive clean observation completes quarantine and is
+  // itself trusted again (default quarantine_length = 10).
+  for (int i = 1; i <= 10; ++i) {
+    feed_fix(frame.to_geo({50000.0 + i * 2.0, 0}), kT0 + 0.2 + i * 0.2);
+    const InvokeResult result = get_auth();
+    if (i <= 9) {
+      EXPECT_EQ(result.status, TeeStatus::kAccessDenied) << i;
+    } else {
+      EXPECT_TRUE(result.ok()) << i;
+    }
+  }
+}
+
+TEST(PlausibilityDisabled, DefaultTeeSignsEverything) {
+  DroneTee::Config config;
+  config.key_bits = 512;
+  config.manufacturing_seed = "no-plausibility-device";
+  DroneTee tee(config);  // checks disabled by default (paper's baseline)
+
+  const geo::LocalFrame frame({40.0, -88.0});
+  for (const double x : {0.0, 50000.0}) {
+    gps::GpsReceiverSim::Config rc;
+    rc.update_rate_hz = 5.0;
+    rc.start_time = kT0 + x / 1000.0;
+    gps::GpsReceiverSim sim(rc, [&frame, x](double tt) {
+      gps::GpsFix f;
+      f.position = frame.to_geo({x, 0});
+      f.unix_time = tt;
+      return f;
+    });
+    for (const std::string& s : sim.advance_to(rc.start_time)) tee.feed_gps(s);
+    EXPECT_TRUE(tee.monitor()
+                    .invoke(tee.sampler_uuid(),
+                            static_cast<std::uint32_t>(SamplerCommand::kGetGpsAuth))
+                    .ok());
+  }
+}
+
+}  // namespace
+}  // namespace alidrone::tee
