@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_ablation.dir/bench_adaptive_ablation.cpp.o"
+  "CMakeFiles/bench_adaptive_ablation.dir/bench_adaptive_ablation.cpp.o.d"
+  "bench_adaptive_ablation"
+  "bench_adaptive_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_airport.dir/bench_fig6_airport.cpp.o"
+  "CMakeFiles/bench_fig6_airport.dir/bench_fig6_airport.cpp.o.d"
+  "bench_fig6_airport"
+  "bench_fig6_airport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_airport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

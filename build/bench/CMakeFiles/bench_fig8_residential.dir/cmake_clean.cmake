@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_residential.dir/bench_fig8_residential.cpp.o"
+  "CMakeFiles/bench_fig8_residential.dir/bench_fig8_residential.cpp.o.d"
+  "bench_fig8_residential"
+  "bench_fig8_residential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_residential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

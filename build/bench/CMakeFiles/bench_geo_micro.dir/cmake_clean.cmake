@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geo_micro.dir/bench_geo_micro.cpp.o"
+  "CMakeFiles/bench_geo_micro.dir/bench_geo_micro.cpp.o.d"
+  "bench_geo_micro"
+  "bench_geo_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geo_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signing_alternatives.dir/bench_signing_alternatives.cpp.o"
+  "CMakeFiles/bench_signing_alternatives.dir/bench_signing_alternatives.cpp.o.d"
+  "bench_signing_alternatives"
+  "bench_signing_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signing_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

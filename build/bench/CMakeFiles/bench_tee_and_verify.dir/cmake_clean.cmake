@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tee_and_verify.dir/bench_tee_and_verify.cpp.o"
+  "CMakeFiles/bench_tee_and_verify.dir/bench_tee_and_verify.cpp.o.d"
+  "bench_tee_and_verify"
+  "bench_tee_and_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tee_and_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

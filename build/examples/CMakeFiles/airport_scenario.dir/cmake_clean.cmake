@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airport_scenario.dir/airport_scenario.cpp.o"
+  "CMakeFiles/airport_scenario.dir/airport_scenario.cpp.o.d"
+  "airport_scenario"
+  "airport_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airport_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alidrone_cli.dir/alidrone_cli.cpp.o"
+  "CMakeFiles/alidrone_cli.dir/alidrone_cli.cpp.o.d"
+  "alidrone_cli"
+  "alidrone_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alidrone_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_mission.dir/delivery_mission.cpp.o"
+  "CMakeFiles/delivery_mission.dir/delivery_mission.cpp.o.d"
+  "delivery_mission"
+  "delivery_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

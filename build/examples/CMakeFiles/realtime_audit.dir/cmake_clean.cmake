@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_audit.dir/realtime_audit.cpp.o"
+  "CMakeFiles/realtime_audit.dir/realtime_audit.cpp.o.d"
+  "realtime_audit"
+  "realtime_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residential_scenario.dir/residential_scenario.cpp.o"
+  "CMakeFiles/residential_scenario.dir/residential_scenario.cpp.o.d"
+  "residential_scenario"
+  "residential_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residential_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_planner_demo.dir/route_planner_demo.cpp.o"
+  "CMakeFiles/route_planner_demo.dir/route_planner_demo.cpp.o.d"
+  "route_planner_demo"
+  "route_planner_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_planner_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

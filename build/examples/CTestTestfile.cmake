@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_airport_scenario "/root/repo/build/examples/airport_scenario")
+set_tests_properties(example_airport_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_residential_scenario "/root/repo/build/examples/residential_scenario")
+set_tests_properties(example_residential_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_attack_demo "/root/repo/build/examples/attack_demo")
+set_tests_properties(example_attack_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_privacy_audit "/root/repo/build/examples/privacy_audit")
+set_tests_properties(example_privacy_audit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_route_planner_demo "/root/repo/build/examples/route_planner_demo")
+set_tests_properties(example_route_planner_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_delivery_mission "/root/repo/build/examples/delivery_mission")
+set_tests_properties(example_delivery_mission PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_realtime_audit "/root/repo/build/examples/realtime_audit")
+set_tests_properties(example_realtime_audit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_simulate "/root/repo/build/examples/alidrone_cli" "simulate" "--scenario" "airport" "--out" "/root/repo/build/examples/smoke.poa")
+set_tests_properties(example_cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_verify "/root/repo/build/examples/alidrone_cli" "verify" "--scenario" "airport" "--poa" "/root/repo/build/examples/smoke.poa")
+set_tests_properties(example_cli_verify PROPERTIES  DEPENDS "example_cli_simulate" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

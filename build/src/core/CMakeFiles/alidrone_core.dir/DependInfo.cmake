@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attacks.cpp" "src/core/CMakeFiles/alidrone_core.dir/attacks.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/attacks.cpp.o.d"
+  "/root/repo/src/core/audit_log.cpp" "src/core/CMakeFiles/alidrone_core.dir/audit_log.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/audit_log.cpp.o.d"
+  "/root/repo/src/core/auditor.cpp" "src/core/CMakeFiles/alidrone_core.dir/auditor.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/auditor.cpp.o.d"
+  "/root/repo/src/core/drone_client.cpp" "src/core/CMakeFiles/alidrone_core.dir/drone_client.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/drone_client.cpp.o.d"
+  "/root/repo/src/core/flight.cpp" "src/core/CMakeFiles/alidrone_core.dir/flight.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/flight.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/alidrone_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/poa.cpp" "src/core/CMakeFiles/alidrone_core.dir/poa.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/poa.cpp.o.d"
+  "/root/repo/src/core/poa_store.cpp" "src/core/CMakeFiles/alidrone_core.dir/poa_store.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/poa_store.cpp.o.d"
+  "/root/repo/src/core/preflight.cpp" "src/core/CMakeFiles/alidrone_core.dir/preflight.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/preflight.cpp.o.d"
+  "/root/repo/src/core/privacy.cpp" "src/core/CMakeFiles/alidrone_core.dir/privacy.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/privacy.cpp.o.d"
+  "/root/repo/src/core/registry_store.cpp" "src/core/CMakeFiles/alidrone_core.dir/registry_store.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/registry_store.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/alidrone_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/alidrone_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/sufficiency.cpp" "src/core/CMakeFiles/alidrone_core.dir/sufficiency.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/sufficiency.cpp.o.d"
+  "/root/repo/src/core/thinning.cpp" "src/core/CMakeFiles/alidrone_core.dir/thinning.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/thinning.cpp.o.d"
+  "/root/repo/src/core/zone_index.cpp" "src/core/CMakeFiles/alidrone_core.dir/zone_index.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/zone_index.cpp.o.d"
+  "/root/repo/src/core/zone_owner.cpp" "src/core/CMakeFiles/alidrone_core.dir/zone_owner.cpp.o" "gcc" "src/core/CMakeFiles/alidrone_core.dir/zone_owner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/alidrone_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/alidrone_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gps/CMakeFiles/alidrone_gps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/alidrone_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/alidrone_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alidrone_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/alidrone_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmea/CMakeFiles/alidrone_nmea.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

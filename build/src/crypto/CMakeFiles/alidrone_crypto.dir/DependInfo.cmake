@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/bytes.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/bytes.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/bytes.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/ecdsa.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/montgomery.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/montgomery.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/montgomery.cpp.o.d"
+  "/root/repo/src/crypto/prime.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/prime.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/prime.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/random.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/random.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/alidrone_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/alidrone_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

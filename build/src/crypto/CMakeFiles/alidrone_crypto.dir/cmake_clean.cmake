@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alidrone_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/alidrone_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/alidrone_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/alidrone_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/alidrone_crypto.dir/montgomery.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/montgomery.cpp.o.d"
+  "CMakeFiles/alidrone_crypto.dir/prime.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/prime.cpp.o.d"
+  "CMakeFiles/alidrone_crypto.dir/random.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/random.cpp.o.d"
+  "CMakeFiles/alidrone_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/alidrone_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/alidrone_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/alidrone_crypto.dir/sha256.cpp.o.d"
+  "libalidrone_crypto.a"
+  "libalidrone_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alidrone_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/ellipse.cpp" "src/geo/CMakeFiles/alidrone_geo.dir/ellipse.cpp.o" "gcc" "src/geo/CMakeFiles/alidrone_geo.dir/ellipse.cpp.o.d"
+  "/root/repo/src/geo/ellipsoid.cpp" "src/geo/CMakeFiles/alidrone_geo.dir/ellipsoid.cpp.o" "gcc" "src/geo/CMakeFiles/alidrone_geo.dir/ellipsoid.cpp.o.d"
+  "/root/repo/src/geo/geopoint.cpp" "src/geo/CMakeFiles/alidrone_geo.dir/geopoint.cpp.o" "gcc" "src/geo/CMakeFiles/alidrone_geo.dir/geopoint.cpp.o.d"
+  "/root/repo/src/geo/polygon.cpp" "src/geo/CMakeFiles/alidrone_geo.dir/polygon.cpp.o" "gcc" "src/geo/CMakeFiles/alidrone_geo.dir/polygon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

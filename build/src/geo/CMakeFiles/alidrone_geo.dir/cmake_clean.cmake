@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alidrone_geo.dir/ellipse.cpp.o"
+  "CMakeFiles/alidrone_geo.dir/ellipse.cpp.o.d"
+  "CMakeFiles/alidrone_geo.dir/ellipsoid.cpp.o"
+  "CMakeFiles/alidrone_geo.dir/ellipsoid.cpp.o.d"
+  "CMakeFiles/alidrone_geo.dir/geopoint.cpp.o"
+  "CMakeFiles/alidrone_geo.dir/geopoint.cpp.o.d"
+  "CMakeFiles/alidrone_geo.dir/polygon.cpp.o"
+  "CMakeFiles/alidrone_geo.dir/polygon.cpp.o.d"
+  "libalidrone_geo.a"
+  "libalidrone_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alidrone_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

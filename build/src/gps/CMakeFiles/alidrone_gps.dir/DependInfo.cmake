@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gps/driver.cpp" "src/gps/CMakeFiles/alidrone_gps.dir/driver.cpp.o" "gcc" "src/gps/CMakeFiles/alidrone_gps.dir/driver.cpp.o.d"
+  "/root/repo/src/gps/fix.cpp" "src/gps/CMakeFiles/alidrone_gps.dir/fix.cpp.o" "gcc" "src/gps/CMakeFiles/alidrone_gps.dir/fix.cpp.o.d"
+  "/root/repo/src/gps/receiver_sim.cpp" "src/gps/CMakeFiles/alidrone_gps.dir/receiver_sim.cpp.o" "gcc" "src/gps/CMakeFiles/alidrone_gps.dir/receiver_sim.cpp.o.d"
+  "/root/repo/src/gps/trace.cpp" "src/gps/CMakeFiles/alidrone_gps.dir/trace.cpp.o" "gcc" "src/gps/CMakeFiles/alidrone_gps.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/alidrone_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmea/CMakeFiles/alidrone_nmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/alidrone_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

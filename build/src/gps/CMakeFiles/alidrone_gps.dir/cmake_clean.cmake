@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alidrone_gps.dir/driver.cpp.o"
+  "CMakeFiles/alidrone_gps.dir/driver.cpp.o.d"
+  "CMakeFiles/alidrone_gps.dir/fix.cpp.o"
+  "CMakeFiles/alidrone_gps.dir/fix.cpp.o.d"
+  "CMakeFiles/alidrone_gps.dir/receiver_sim.cpp.o"
+  "CMakeFiles/alidrone_gps.dir/receiver_sim.cpp.o.d"
+  "CMakeFiles/alidrone_gps.dir/trace.cpp.o"
+  "CMakeFiles/alidrone_gps.dir/trace.cpp.o.d"
+  "libalidrone_gps.a"
+  "libalidrone_gps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alidrone_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

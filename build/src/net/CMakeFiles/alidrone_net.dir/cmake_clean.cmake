@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alidrone_net.dir/codec.cpp.o"
+  "CMakeFiles/alidrone_net.dir/codec.cpp.o.d"
+  "CMakeFiles/alidrone_net.dir/message_bus.cpp.o"
+  "CMakeFiles/alidrone_net.dir/message_bus.cpp.o.d"
+  "libalidrone_net.a"
+  "libalidrone_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alidrone_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nmea/gga.cpp" "src/nmea/CMakeFiles/alidrone_nmea.dir/gga.cpp.o" "gcc" "src/nmea/CMakeFiles/alidrone_nmea.dir/gga.cpp.o.d"
+  "/root/repo/src/nmea/rmc.cpp" "src/nmea/CMakeFiles/alidrone_nmea.dir/rmc.cpp.o" "gcc" "src/nmea/CMakeFiles/alidrone_nmea.dir/rmc.cpp.o.d"
+  "/root/repo/src/nmea/sentence.cpp" "src/nmea/CMakeFiles/alidrone_nmea.dir/sentence.cpp.o" "gcc" "src/nmea/CMakeFiles/alidrone_nmea.dir/sentence.cpp.o.d"
+  "/root/repo/src/nmea/vtg.cpp" "src/nmea/CMakeFiles/alidrone_nmea.dir/vtg.cpp.o" "gcc" "src/nmea/CMakeFiles/alidrone_nmea.dir/vtg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/alidrone_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alidrone_nmea.dir/gga.cpp.o"
+  "CMakeFiles/alidrone_nmea.dir/gga.cpp.o.d"
+  "CMakeFiles/alidrone_nmea.dir/rmc.cpp.o"
+  "CMakeFiles/alidrone_nmea.dir/rmc.cpp.o.d"
+  "CMakeFiles/alidrone_nmea.dir/sentence.cpp.o"
+  "CMakeFiles/alidrone_nmea.dir/sentence.cpp.o.d"
+  "CMakeFiles/alidrone_nmea.dir/vtg.cpp.o"
+  "CMakeFiles/alidrone_nmea.dir/vtg.cpp.o.d"
+  "libalidrone_nmea.a"
+  "libalidrone_nmea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alidrone_nmea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for alidrone_nmea.
+# This may be replaced when dependencies are built.

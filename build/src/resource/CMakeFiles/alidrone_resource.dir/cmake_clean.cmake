@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alidrone_resource.dir/cost_model.cpp.o"
+  "CMakeFiles/alidrone_resource.dir/cost_model.cpp.o.d"
+  "libalidrone_resource.a"
+  "libalidrone_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alidrone_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

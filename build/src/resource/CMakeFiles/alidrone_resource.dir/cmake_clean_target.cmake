@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalidrone_resource.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alidrone_sim.dir/planner.cpp.o"
+  "CMakeFiles/alidrone_sim.dir/planner.cpp.o.d"
+  "CMakeFiles/alidrone_sim.dir/route.cpp.o"
+  "CMakeFiles/alidrone_sim.dir/route.cpp.o.d"
+  "CMakeFiles/alidrone_sim.dir/scenarios.cpp.o"
+  "CMakeFiles/alidrone_sim.dir/scenarios.cpp.o.d"
+  "libalidrone_sim.a"
+  "libalidrone_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alidrone_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/gps_sampler_ta.cpp" "src/tee/CMakeFiles/alidrone_tee.dir/gps_sampler_ta.cpp.o" "gcc" "src/tee/CMakeFiles/alidrone_tee.dir/gps_sampler_ta.cpp.o.d"
+  "/root/repo/src/tee/key_vault.cpp" "src/tee/CMakeFiles/alidrone_tee.dir/key_vault.cpp.o" "gcc" "src/tee/CMakeFiles/alidrone_tee.dir/key_vault.cpp.o.d"
+  "/root/repo/src/tee/plausibility.cpp" "src/tee/CMakeFiles/alidrone_tee.dir/plausibility.cpp.o" "gcc" "src/tee/CMakeFiles/alidrone_tee.dir/plausibility.cpp.o.d"
+  "/root/repo/src/tee/sample_codec.cpp" "src/tee/CMakeFiles/alidrone_tee.dir/sample_codec.cpp.o" "gcc" "src/tee/CMakeFiles/alidrone_tee.dir/sample_codec.cpp.o.d"
+  "/root/repo/src/tee/secure_monitor.cpp" "src/tee/CMakeFiles/alidrone_tee.dir/secure_monitor.cpp.o" "gcc" "src/tee/CMakeFiles/alidrone_tee.dir/secure_monitor.cpp.o.d"
+  "/root/repo/src/tee/secure_storage.cpp" "src/tee/CMakeFiles/alidrone_tee.dir/secure_storage.cpp.o" "gcc" "src/tee/CMakeFiles/alidrone_tee.dir/secure_storage.cpp.o.d"
+  "/root/repo/src/tee/trusted_app.cpp" "src/tee/CMakeFiles/alidrone_tee.dir/trusted_app.cpp.o" "gcc" "src/tee/CMakeFiles/alidrone_tee.dir/trusted_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/alidrone_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gps/CMakeFiles/alidrone_gps.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/alidrone_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmea/CMakeFiles/alidrone_nmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/alidrone_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alidrone_tee.dir/gps_sampler_ta.cpp.o"
+  "CMakeFiles/alidrone_tee.dir/gps_sampler_ta.cpp.o.d"
+  "CMakeFiles/alidrone_tee.dir/key_vault.cpp.o"
+  "CMakeFiles/alidrone_tee.dir/key_vault.cpp.o.d"
+  "CMakeFiles/alidrone_tee.dir/plausibility.cpp.o"
+  "CMakeFiles/alidrone_tee.dir/plausibility.cpp.o.d"
+  "CMakeFiles/alidrone_tee.dir/sample_codec.cpp.o"
+  "CMakeFiles/alidrone_tee.dir/sample_codec.cpp.o.d"
+  "CMakeFiles/alidrone_tee.dir/secure_monitor.cpp.o"
+  "CMakeFiles/alidrone_tee.dir/secure_monitor.cpp.o.d"
+  "CMakeFiles/alidrone_tee.dir/secure_storage.cpp.o"
+  "CMakeFiles/alidrone_tee.dir/secure_storage.cpp.o.d"
+  "CMakeFiles/alidrone_tee.dir/trusted_app.cpp.o"
+  "CMakeFiles/alidrone_tee.dir/trusted_app.cpp.o.d"
+  "libalidrone_tee.a"
+  "libalidrone_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alidrone_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_attacks_test.dir/core_attacks_test.cpp.o"
+  "CMakeFiles/core_attacks_test.dir/core_attacks_test.cpp.o.d"
+  "core_attacks_test"
+  "core_attacks_test.pdb"
+  "core_attacks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_attacks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

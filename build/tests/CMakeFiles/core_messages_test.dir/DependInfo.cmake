@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_messages_test.cpp" "tests/CMakeFiles/core_messages_test.dir/core_messages_test.cpp.o" "gcc" "tests/CMakeFiles/core_messages_test.dir/core_messages_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/alidrone_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alidrone_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/alidrone_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/gps/CMakeFiles/alidrone_gps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/alidrone_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmea/CMakeFiles/alidrone_nmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/alidrone_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/alidrone_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/alidrone_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

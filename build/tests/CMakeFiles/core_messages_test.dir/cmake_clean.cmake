@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_messages_test.dir/core_messages_test.cpp.o"
+  "CMakeFiles/core_messages_test.dir/core_messages_test.cpp.o.d"
+  "core_messages_test"
+  "core_messages_test.pdb"
+  "core_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

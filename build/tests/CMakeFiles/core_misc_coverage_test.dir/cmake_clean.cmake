@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_misc_coverage_test.dir/core_misc_coverage_test.cpp.o"
+  "CMakeFiles/core_misc_coverage_test.dir/core_misc_coverage_test.cpp.o.d"
+  "core_misc_coverage_test"
+  "core_misc_coverage_test.pdb"
+  "core_misc_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_misc_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

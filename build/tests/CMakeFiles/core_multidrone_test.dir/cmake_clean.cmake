@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multidrone_test.dir/core_multidrone_test.cpp.o"
+  "CMakeFiles/core_multidrone_test.dir/core_multidrone_test.cpp.o.d"
+  "core_multidrone_test"
+  "core_multidrone_test.pdb"
+  "core_multidrone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multidrone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_privacy_test.dir/core_privacy_test.cpp.o"
+  "CMakeFiles/core_privacy_test.dir/core_privacy_test.cpp.o.d"
+  "core_privacy_test"
+  "core_privacy_test.pdb"
+  "core_privacy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_privacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_thinning_test.dir/core_thinning_test.cpp.o"
+  "CMakeFiles/core_thinning_test.dir/core_thinning_test.cpp.o.d"
+  "core_thinning_test"
+  "core_thinning_test.pdb"
+  "core_thinning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_thinning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_zone_index_test.dir/core_zone_index_test.cpp.o"
+  "CMakeFiles/core_zone_index_test.dir/core_zone_index_test.cpp.o.d"
+  "core_zone_index_test"
+  "core_zone_index_test.pdb"
+  "core_zone_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_zone_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_montgomery_test.dir/crypto_montgomery_test.cpp.o"
+  "CMakeFiles/crypto_montgomery_test.dir/crypto_montgomery_test.cpp.o.d"
+  "crypto_montgomery_test"
+  "crypto_montgomery_test.pdb"
+  "crypto_montgomery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_montgomery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

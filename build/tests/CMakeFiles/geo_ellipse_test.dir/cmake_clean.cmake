@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_ellipse_test.dir/geo_ellipse_test.cpp.o"
+  "CMakeFiles/geo_ellipse_test.dir/geo_ellipse_test.cpp.o.d"
+  "geo_ellipse_test"
+  "geo_ellipse_test.pdb"
+  "geo_ellipse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_ellipse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

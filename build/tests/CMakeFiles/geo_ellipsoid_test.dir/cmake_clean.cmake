@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_ellipsoid_test.dir/geo_ellipsoid_test.cpp.o"
+  "CMakeFiles/geo_ellipsoid_test.dir/geo_ellipsoid_test.cpp.o.d"
+  "geo_ellipsoid_test"
+  "geo_ellipsoid_test.pdb"
+  "geo_ellipsoid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_ellipsoid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

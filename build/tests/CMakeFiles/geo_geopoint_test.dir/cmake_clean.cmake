@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_geopoint_test.dir/geo_geopoint_test.cpp.o"
+  "CMakeFiles/geo_geopoint_test.dir/geo_geopoint_test.cpp.o.d"
+  "geo_geopoint_test"
+  "geo_geopoint_test.pdb"
+  "geo_geopoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_geopoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

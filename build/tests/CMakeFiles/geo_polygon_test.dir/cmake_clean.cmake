@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_polygon_test.dir/geo_polygon_test.cpp.o"
+  "CMakeFiles/geo_polygon_test.dir/geo_polygon_test.cpp.o.d"
+  "geo_polygon_test"
+  "geo_polygon_test.pdb"
+  "geo_polygon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_polygon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_vec_test.dir/geo_vec_test.cpp.o"
+  "CMakeFiles/geo_vec_test.dir/geo_vec_test.cpp.o.d"
+  "geo_vec_test"
+  "geo_vec_test.pdb"
+  "geo_vec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps_test.dir/gps_test.cpp.o"
+  "CMakeFiles/gps_test.dir/gps_test.cpp.o.d"
+  "gps_test"
+  "gps_test.pdb"
+  "gps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

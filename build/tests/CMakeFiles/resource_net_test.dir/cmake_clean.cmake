@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_net_test.dir/resource_net_test.cpp.o"
+  "CMakeFiles/resource_net_test.dir/resource_net_test.cpp.o.d"
+  "resource_net_test"
+  "resource_net_test.pdb"
+  "resource_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

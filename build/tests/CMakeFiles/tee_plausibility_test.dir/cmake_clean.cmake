@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tee_plausibility_test.dir/tee_plausibility_test.cpp.o"
+  "CMakeFiles/tee_plausibility_test.dir/tee_plausibility_test.cpp.o.d"
+  "tee_plausibility_test"
+  "tee_plausibility_test.pdb"
+  "tee_plausibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tee_plausibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
