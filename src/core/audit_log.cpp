@@ -101,6 +101,7 @@ AuditLog::AuditLog(const std::filesystem::path& path) {
 }
 
 void AuditLog::record(AuditEvent event) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (sink_) {
     *sink_ << event.to_line() << '\n';
     sink_->flush();
@@ -108,7 +109,13 @@ void AuditLog::record(AuditEvent event) {
   events_.push_back(std::move(event));
 }
 
+std::size_t AuditLog::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
 std::vector<AuditEvent> AuditLog::by_type(AuditEventType type) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<AuditEvent> out;
   for (const AuditEvent& e : events_) {
     if (e.type == type) out.push_back(e);
@@ -117,6 +124,7 @@ std::vector<AuditEvent> AuditLog::by_type(AuditEventType type) const {
 }
 
 std::vector<AuditEvent> AuditLog::by_subject(const std::string& subject) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<AuditEvent> out;
   for (const AuditEvent& e : events_) {
     if (e.subject == subject) out.push_back(e);
@@ -125,6 +133,7 @@ std::vector<AuditEvent> AuditLog::by_subject(const std::string& subject) const {
 }
 
 std::vector<AuditEvent> AuditLog::in_window(double from_time, double to_time) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<AuditEvent> out;
   for (const AuditEvent& e : events_) {
     if (e.time >= from_time && e.time <= to_time) out.push_back(e);

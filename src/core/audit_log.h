@@ -4,13 +4,20 @@
 // accusations are legal events that regulators (and accused operators)
 // will want replayed. AuditLog records them append-only in memory with an
 // optional line-oriented file sink, and supports filtered queries.
+//
+// Thread safety: record() and the filtered queries are mutually
+// synchronized, so endpoints may log from several threads. events()
+// returns an unsynchronized reference — only read it while no recorder
+// is running. Moving an AuditLog also requires quiescence.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace alidrone::core {
@@ -44,10 +51,23 @@ class AuditLog {
   /// Also append each event to `path` (line per event, flushed).
   explicit AuditLog(const std::filesystem::path& path);
 
+  // Movable (the mutex is not moved; both logs must be quiescent).
+  AuditLog(AuditLog&& other) noexcept
+      : events_(std::move(other.events_)), sink_(std::move(other.sink_)) {}
+  AuditLog& operator=(AuditLog&& other) noexcept {
+    events_ = std::move(other.events_);
+    sink_ = std::move(other.sink_);
+    return *this;
+  }
+
+  /// Safe to call from multiple threads; each event is appended (and
+  /// flushed to the sink) atomically with respect to other recorders.
   void record(AuditEvent event);
 
+  /// Unsynchronized view for single-threaded callers; do not hold this
+  /// reference across concurrent record() calls.
   const std::vector<AuditEvent>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
+  std::size_t size() const;
 
   std::vector<AuditEvent> by_type(AuditEventType type) const;
   std::vector<AuditEvent> by_subject(const std::string& subject) const;
@@ -59,6 +79,7 @@ class AuditLog {
                          std::size_t* corrupt_lines = nullptr);
 
  private:
+  mutable std::mutex mu_;
   std::vector<AuditEvent> events_;
   std::optional<std::ofstream> sink_;
 };

@@ -6,6 +6,7 @@
 
 #include "crypto/hmac.h"
 #include "net/codec.h"
+#include "runtime/parallel_for.h"
 #include "tee/sample_codec.h"
 
 namespace alidrone::core {
@@ -254,23 +255,24 @@ std::string Auditor::authenticate_samples(const ProofOfAlibi& poa,
   return "";
 }
 
-PoaVerdict Auditor::verify_poa(const ProofOfAlibi& poa, double submission_time) {
-  PoaVerdict verdict;
+Auditor::PoaEvaluation Auditor::evaluate_poa(const ProofOfAlibi& poa) const {
+  PoaEvaluation evaluation;
+  PoaVerdict& verdict = evaluation.verdict;
   const auto drone_it = drones_.find(poa.drone_id);
   if (drone_it == drones_.end()) {
     verdict.detail = "unknown drone";
-    return verdict;
+    return evaluation;
   }
   if (poa.samples.empty()) {
     verdict.detail = "empty PoA";
-    return verdict;
+    return evaluation;
   }
 
   std::vector<gps::GpsFix> samples;
   const std::string failure = authenticate_samples(poa, drone_it->second, samples);
   if (!failure.empty()) {
     verdict.detail = failure;
-    return verdict;
+    return evaluation;
   }
   verdict.accepted = true;
 
@@ -281,7 +283,7 @@ PoaVerdict Auditor::verify_poa(const ProofOfAlibi& poa, double submission_time) 
   if (!planar.well_formed) {
     verdict.accepted = false;
     verdict.detail = "samples not time-ordered";
-    return verdict;
+    return evaluation;
   }
   const auto cylinders = cylinder_zone_shapes();
   SufficiencyReport volumetric;
@@ -296,29 +298,71 @@ PoaVerdict Auditor::verify_poa(const ProofOfAlibi& poa, double submission_time) 
                                                        volumetric.violations.size());
   verdict.detail = verdict.compliant ? "sufficient alibi" : "insufficient alibi";
 
-  // Retain for later accusations (Section IV-C2) — in memory and, when a
-  // store is attached, durably on disk. Optionally thinned first: the
+  // Prepare retention (Section IV-C2). Optionally thinned first: the
   // minimal sufficient witness answers accusations just as well.
-  ProofOfAlibi to_retain = poa;
-  std::vector<gps::GpsFix> retained_samples = std::move(samples);
+  evaluation.retain = true;
+  evaluation.to_retain = poa;
+  evaluation.retained_samples = std::move(samples);
   if (params_.thin_before_retention) {
-    to_retain = thin_poa(poa, all_zone_shapes(), params_.vmax_mps);
-    if (to_retain.samples.size() < poa.samples.size()) {
-      retained_samples.clear();
-      for (const SignedSample& s : to_retain.samples) {
-        if (const auto f = s.fix()) retained_samples.push_back(*f);
+    evaluation.to_retain = thin_poa(poa, all_zone_shapes(), params_.vmax_mps);
+    if (evaluation.to_retain.samples.size() < poa.samples.size()) {
+      evaluation.retained_samples.clear();
+      for (const SignedSample& s : evaluation.to_retain.samples) {
+        if (const auto f = s.fix()) evaluation.retained_samples.push_back(*f);
       }
     }
   }
-  if (store_ != nullptr) store_->save(poa.drone_id, submission_time, to_retain);
+  return evaluation;
+}
+
+PoaVerdict Auditor::commit_evaluation(const DroneId& drone_id,
+                                      PoaEvaluation evaluation,
+                                      double submission_time) {
+  if (!evaluation.retain) return std::move(evaluation.verdict);
+
+  // Retain for later accusations — in memory and, when a store is
+  // attached, durably on disk.
+  if (store_ != nullptr) {
+    store_->save(drone_id, submission_time, evaluation.to_retain);
+  }
   RetainedPoa retained;
   retained.submission_time = submission_time;
-  retained.poa = std::move(to_retain);
-  retained.samples = std::move(retained_samples);
-  retained_[poa.drone_id].push_back(std::move(retained));
-  audit(submission_time, AuditEventType::kPoaVerdict, poa.drone_id,
-        verdict.compliant, verdict.detail);
-  return verdict;
+  retained.poa = std::move(evaluation.to_retain);
+  retained.samples = std::move(evaluation.retained_samples);
+  retained_[drone_id].push_back(std::move(retained));
+  audit(submission_time, AuditEventType::kPoaVerdict, drone_id,
+        evaluation.verdict.compliant, evaluation.verdict.detail);
+  return std::move(evaluation.verdict);
+}
+
+PoaVerdict Auditor::verify_poa(const ProofOfAlibi& poa, double submission_time) {
+  return commit_evaluation(poa.drone_id, evaluate_poa(poa), submission_time);
+}
+
+std::vector<PoaVerdict> Auditor::verify_poa_batch(
+    std::span<const ProofOfAlibi> poas, double submission_time,
+    runtime::ThreadPool* pool) {
+  std::vector<PoaVerdict> verdicts(poas.size());
+  if (pool == nullptr || pool->size() <= 1 || poas.size() <= 1) {
+    for (std::size_t i = 0; i < poas.size(); ++i) {
+      verdicts[i] = verify_poa(poas[i], submission_time);
+    }
+    return verdicts;
+  }
+
+  // Phase 1 — parallel, read-only: every registry/keypair access in
+  // evaluate_poa is const and no mutator runs until the barrier below.
+  std::vector<PoaEvaluation> evaluations(poas.size());
+  runtime::parallel_for(*pool, 0, poas.size(),
+                        [&](std::size_t i) { evaluations[i] = evaluate_poa(poas[i]); });
+
+  // Phase 2 — serial, in submission order: retention order and audit-log
+  // contents match the verify_poa loop byte for byte.
+  for (std::size_t i = 0; i < poas.size(); ++i) {
+    verdicts[i] = commit_evaluation(poas[i].drone_id, std::move(evaluations[i]),
+                                    submission_time);
+  }
+  return verdicts;
 }
 
 PoaVerdict Auditor::verify_poa_bytes(std::span<const std::uint8_t> poa_bytes,

@@ -26,6 +26,7 @@
 #include "crypto/rsa.h"
 #include "geo/polygon.h"
 #include "net/message_bus.h"
+#include "runtime/thread_pool.h"
 
 namespace alidrone::core {
 
@@ -65,6 +66,17 @@ class Auditor {
   PoaVerdict verify_poa(const ProofOfAlibi& poa, double submission_time);
   PoaVerdict verify_poa_bytes(std::span<const std::uint8_t> poa_bytes,
                               double submission_time);
+
+  /// Batched verification. With a pool, the per-proof evaluation work
+  /// (signature checks, decryption, sufficiency) fans out across the
+  /// workers; all state mutation (retention, audit events) then happens
+  /// serially in submission order. Verdicts, retained PoAs and audit-log
+  /// contents are byte-identical to calling verify_poa in a loop,
+  /// regardless of thread count. Pass nullptr (or a 1-thread pool) for
+  /// the serial path.
+  std::vector<PoaVerdict> verify_poa_batch(std::span<const ProofOfAlibi> poas,
+                                           double submission_time,
+                                           runtime::ThreadPool* pool = nullptr);
 
   // ---- Accusations ----
   AccusationResponse handle_accusation(const AccusationRequest& request);
@@ -122,6 +134,25 @@ class Auditor {
   void persist_registry() const;
   void audit(double time, AuditEventType type, const std::string& subject,
              bool ok, const std::string& detail) const;
+
+  /// Result of the side-effect-free half of PoA verification.
+  struct PoaEvaluation {
+    PoaVerdict verdict;
+    bool retain = false;  ///< reached the retention point (accepted + ordered)
+    ProofOfAlibi to_retain;
+    std::vector<gps::GpsFix> retained_samples;
+  };
+
+  /// Pure verification: signatures, decryption, sufficiency, thinning.
+  /// Reads registries and the Auditor keypair but mutates nothing, so
+  /// calls may run concurrently as long as no mutator runs alongside.
+  PoaEvaluation evaluate_poa(const ProofOfAlibi& poa) const;
+
+  /// Apply an evaluation's side effects (retention, store write, audit
+  /// event) and return its verdict. Must run on one thread at a time;
+  /// batch commits run in submission order for deterministic logs.
+  PoaVerdict commit_evaluation(const DroneId& drone_id, PoaEvaluation evaluation,
+                               double submission_time);
 
   /// Evaluate one retained flight against an accusation; nullopt when the
   /// incident is outside the flight window.

@@ -524,9 +524,12 @@ BigInt BigInt::mod_pow(const BigInt& exponent, const BigInt& m) const {
   if (m == BigInt(1)) return BigInt();
 
   // Large odd moduli (every RSA/prime modulus): Montgomery REDC replaces
-  // the division-based reduction below.
+  // the division-based reduction below. Contexts come from the process-
+  // wide LRU cache, so the R^2 setup division is paid once per modulus —
+  // the Auditor verifies millions of signatures against the same handful
+  // of public keys.
   if (m.is_odd() && m.bit_length() >= 128) {
-    return MontgomeryContext(m).pow(*this, exponent);
+    return MontgomeryContextCache::global().get(m)->pow(*this, exponent);
   }
 
   const BigInt base = mod(m);

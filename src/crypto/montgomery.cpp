@@ -1,6 +1,7 @@
 #include "crypto/montgomery.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace alidrone::crypto {
 
@@ -30,7 +31,7 @@ MontgomeryContext::MontgomeryContext(const BigInt& modulus) : m_(modulus) {
   r2_ = (one_mont_ * one_mont_).mod(m_);
 }
 
-std::vector<std::uint32_t> MontgomeryContext::redc(std::vector<std::uint32_t> t) const {
+void MontgomeryContext::redc_in_place(std::vector<std::uint32_t>& t) const {
   t.resize(2 * k_ + 1, 0);
   for (std::size_t i = 0; i < k_; ++i) {
     const std::uint32_t u = t[i] * m_prime_;  // mod 2^32 implicitly
@@ -52,15 +53,47 @@ std::vector<std::uint32_t> MontgomeryContext::redc(std::vector<std::uint32_t> t)
     }
   }
 
-  // result = t >> 32k
-  std::vector<std::uint32_t> out(t.begin() + static_cast<std::ptrdiff_t>(k_),
-                                 t.end());
-  while (!out.empty() && out.back() == 0) out.pop_back();
+  // result = t >> 32k (a memmove within the buffer, not a fresh vector)
+  t.erase(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+  while (!t.empty() && t.back() == 0) t.pop_back();
 
-  BigInt result;
-  result.limbs_ = std::move(out);
-  if (result.compare_magnitude(m_) >= 0) result = result - m_;
-  return std::move(result.limbs_);
+  // Conditional final subtraction, also in place.
+  if (BigInt::cmp_mag(t, m_.limbs_) >= 0) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const std::int64_t mi =
+          i < m_.limbs_.size() ? static_cast<std::int64_t>(m_.limbs_[i]) : 0;
+      std::int64_t diff = static_cast<std::int64_t>(t[i]) - mi - borrow;
+      borrow = diff < 0 ? 1 : 0;
+      if (diff < 0) diff += std::int64_t{1} << 32;
+      t[i] = static_cast<std::uint32_t>(diff);
+    }
+    while (!t.empty() && t.back() == 0) t.pop_back();
+  }
+}
+
+void MontgomeryContext::mul_into(const BigInt& a, const BigInt& b, BigInt& out,
+                                 std::vector<std::uint32_t>& scratch) const {
+  // Schoolbook product into the reusable scratch buffer. Row i writes
+  // scratch[i + b_size] exactly once (nothing above i + b_size - 1 was
+  // written by earlier rows), so the final carry is an assignment.
+  const std::vector<std::uint32_t>& al = a.limbs_;
+  const std::vector<std::uint32_t>& bl = b.limbs_;
+  scratch.assign(al.size() + bl.size(), 0);
+  for (std::size_t i = 0; i < al.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = al[i];
+    for (std::size_t j = 0; j < bl.size(); ++j) {
+      const std::uint64_t cur = scratch[i + j] + ai * bl[j] + carry;
+      scratch[i + j] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    scratch[i + bl.size()] = static_cast<std::uint32_t>(carry);
+  }
+
+  redc_in_place(scratch);
+  out.negative_ = false;
+  out.limbs_.assign(scratch.begin(), scratch.end());  // reuses out's capacity
 }
 
 BigInt MontgomeryContext::to_mont(const BigInt& a) const {
@@ -68,16 +101,18 @@ BigInt MontgomeryContext::to_mont(const BigInt& a) const {
 }
 
 BigInt MontgomeryContext::from_mont(const BigInt& a) const {
+  std::vector<std::uint32_t> t = a.limbs_;
+  redc_in_place(t);
   BigInt result;
-  result.limbs_ = redc(a.limbs_);
+  result.limbs_ = std::move(t);
   return result;
 }
 
 BigInt MontgomeryContext::mul(const BigInt& a, const BigInt& b) const {
-  const BigInt product = a * b;
-  BigInt result;
-  result.limbs_ = redc(product.limbs_);
-  return result;
+  BigInt out;
+  std::vector<std::uint32_t> scratch;
+  mul_into(a, b, out, scratch);
+  return out;
 }
 
 BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exponent) const {
@@ -87,26 +122,121 @@ BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exponent) const 
   if (exponent.is_zero()) return BigInt(1).mod(m_);
 
   const BigInt base_m = to_mont(base);
+  const std::size_t bits = exponent.bit_length();
+
+  // Short exponents (RSA verification: e = 65537, 17 bits) take plain
+  // square-and-multiply: the 4-bit window's 14-entry table build would
+  // cost more products than the whole exponentiation.
+  if (bits <= 32) {
+    std::vector<std::uint32_t> scratch;
+    scratch.reserve(2 * k_ + 1);
+    BigInt acc = base_m;
+    BigInt tmp;
+    for (std::size_t j = bits - 1; j-- > 0;) {
+      mul_into(acc, acc, tmp, scratch);
+      std::swap(acc, tmp);
+      if (exponent.bit(j)) {
+        mul_into(acc, base_m, tmp, scratch);
+        std::swap(acc, tmp);
+      }
+    }
+    return from_mont(acc);
+  }
 
   // 4-bit fixed window over Montgomery-domain values.
   std::vector<BigInt> table(16);
   table[0] = one_mont_;
   table[1] = base_m;
-  for (int i = 2; i < 16; ++i) table[i] = mul(table[i - 1], base_m);
+  std::vector<std::uint32_t> scratch;
+  scratch.reserve(2 * k_ + 1);
+  for (int i = 2; i < 16; ++i) mul_into(table[i - 1], base_m, table[i], scratch);
 
   BigInt acc = one_mont_;
-  const std::size_t bits = exponent.bit_length();
+  BigInt tmp;
   const std::size_t windows = (bits + 3) / 4;
   for (std::size_t w = windows; w-- > 0;) {
-    for (int s = 0; s < 4; ++s) acc = mul(acc, acc);
+    for (int s = 0; s < 4; ++s) {
+      mul_into(acc, acc, tmp, scratch);
+      std::swap(acc, tmp);
+    }
     int digit = 0;
     for (int b = 3; b >= 0; --b) {
       digit = (digit << 1) |
               (exponent.bit(w * 4 + static_cast<std::size_t>(b)) ? 1 : 0);
     }
-    if (digit != 0) acc = mul(acc, table[static_cast<std::size_t>(digit)]);
+    if (digit != 0) {
+      mul_into(acc, table[static_cast<std::size_t>(digit)], tmp, scratch);
+      std::swap(acc, tmp);
+    }
   }
   return from_mont(acc);
+}
+
+MontgomeryContextCache::MontgomeryContextCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const MontgomeryContext> MontgomeryContextCache::get(
+    const BigInt& modulus) {
+  const Bytes key_bytes = modulus.to_bytes();
+  std::string key(key_bytes.begin(), key_bytes.end());
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // bump to front
+      return it->second.context;
+    }
+    ++misses_;
+  }
+
+  // Build outside the lock: R^2 setup is the expensive part and must not
+  // serialize concurrent verifiers on unrelated moduli.
+  auto context = std::make_shared<const MontgomeryContext>(modulus);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Another thread built it while we did; keep the cached copy.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.context;
+  }
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Entry{context, lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return context;
+}
+
+std::size_t MontgomeryContextCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t MontgomeryContextCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t MontgomeryContextCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void MontgomeryContextCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+MontgomeryContextCache& MontgomeryContextCache::global() {
+  static MontgomeryContextCache cache;
+  return cache;
 }
 
 }  // namespace alidrone::crypto

@@ -4,10 +4,18 @@
 // shift/add REDC steps, cutting RSA private-key operations by roughly
 // 2-4x. Valid for odd moduli only — always true for RSA moduli and for
 // the prime moduli used in Miller-Rabin. BigInt::mod_pow dispatches here
-// automatically for odd moduli of at least 128 bits.
+// automatically for odd moduli of at least 128 bits, through a process-
+// wide MontgomeryContextCache so repeated operations under the same
+// modulus (the Auditor re-verifying against a handful of public keys)
+// pay the R^2 setup division once instead of per call.
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/bigint.h"
@@ -15,7 +23,8 @@
 namespace alidrone::crypto {
 
 /// Precomputed context for a fixed odd modulus m. R = 2^(32k) where k is
-/// the limb count of m.
+/// the limb count of m. Immutable after construction, so one context can
+/// be shared freely across threads.
 class MontgomeryContext {
  public:
   /// Throws std::invalid_argument when m is even or < 3.
@@ -33,6 +42,9 @@ class MontgomeryContext {
   BigInt mul(const BigInt& a, const BigInt& b) const;
 
   /// base^exponent mod m (plain-domain base and result); 4-bit windows.
+  /// The inner loop reuses one scratch buffer across all ~1.25*bits
+  /// Montgomery products, so steady-state exponentiation allocates
+  /// nothing per product.
   BigInt pow(const BigInt& base, const BigInt& exponent) const;
 
  private:
@@ -42,8 +54,54 @@ class MontgomeryContext {
   BigInt r2_;              // R^2 mod m, for to_mont
   BigInt one_mont_;        // R mod m (1 in Montgomery form)
 
-  /// REDC over a raw double-width limb vector (size <= 2k).
-  std::vector<std::uint32_t> redc(std::vector<std::uint32_t> t) const;
+  /// REDC over a raw double-width limb vector, in place: t becomes the
+  /// reduced k-limb (or shorter) result with no intermediate allocation.
+  void redc_in_place(std::vector<std::uint32_t>& t) const;
+
+  /// out = REDC(a * b), with the double-width product built in `scratch`
+  /// (grown once, then reused call after call).
+  void mul_into(const BigInt& a, const BigInt& b, BigInt& out,
+                std::vector<std::uint32_t>& scratch) const;
+};
+
+/// Thread-safe, LRU-bounded cache of MontgomeryContext keyed by modulus
+/// bytes. Contexts are handed out as shared_ptr<const ...>, so a context
+/// stays valid for a caller even if the cache evicts it concurrently.
+/// Lookups take a mutex only around the map access; the expensive
+/// context construction happens outside the lock (two threads racing on
+/// the same cold modulus may both build it — one copy wins, both are
+/// correct).
+class MontgomeryContextCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit MontgomeryContextCache(std::size_t capacity = kDefaultCapacity);
+
+  /// The context for `modulus`, building and caching it on a miss.
+  /// Throws std::invalid_argument for even or < 3 moduli (never cached).
+  std::shared_ptr<const MontgomeryContext> get(const BigInt& modulus);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  void clear();
+
+  /// Process-wide cache used by BigInt::mod_pow.
+  static MontgomeryContextCache& global();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const MontgomeryContext> context;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<std::string> lru_;  // front = most recently used key
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace alidrone::crypto

@@ -1,5 +1,6 @@
 #include "crypto/random.h"
 
+#include <cassert>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -106,7 +107,26 @@ void DeterministicRandom::refill() {
   }
 }
 
+bool DeterministicRandom::claim_current_thread() {
+  if (owner_ == std::thread::id()) owner_ = std::this_thread::get_id();
+  return owner_ == std::this_thread::get_id();
+}
+
+DeterministicRandom DeterministicRandom::fork(std::uint64_t stream) const {
+  // Child seed = this stream's key material || the big-endian stream
+  // index; the string_view constructor hashes it into a fresh key.
+  Bytes material = key_;
+  for (int i = 0; i < 8; ++i) {
+    material.push_back(static_cast<std::uint8_t>((stream >> (56 - 8 * i)) & 0xFF));
+  }
+  return DeterministicRandom(std::string_view(
+      reinterpret_cast<const char*>(material.data()), material.size()));
+}
+
 void DeterministicRandom::fill(std::span<std::uint8_t> out) {
+  assert(claim_current_thread() &&
+         "DeterministicRandom is not thread-safe: fork() per-thread streams "
+         "instead of sharing one instance");
   std::size_t written = 0;
   while (written < out.size()) {
     if (pool_pos_ >= pool_.size()) refill();

@@ -5,11 +5,20 @@
 // for reproducible key generation in tests/benchmarks and for simulation
 // noise. Both implement the RandomSource interface so RSA key generation
 // can be driven by either.
+//
+// Thread safety: a RandomSource instance is NOT thread-safe. The DRBG
+// state (pool position, block counter, ratcheting key) is mutated on
+// every fill, so concurrent use from two threads corrupts the stream.
+// Confine each instance to one thread — DeterministicRandom asserts
+// this in debug builds — or derive an independent per-thread stream
+// with DeterministicRandom::fork() (the runtime::ThreadPool does this
+// for its workers, see ThreadPool::worker_rng()).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <thread>
 
 #include "crypto/bigint.h"
 #include "crypto/bytes.h"
@@ -17,6 +26,7 @@
 namespace alidrone::crypto {
 
 /// Abstract source of random bytes (Core Guidelines C.121: pure interface).
+/// Implementations are single-threaded; see the header comment.
 class RandomSource {
  public:
   virtual ~RandomSource() = default;
@@ -42,7 +52,10 @@ class SecureRandom final : public RandomSource {
 };
 
 /// Deterministic ChaCha20-based DRBG; identical seeds yield identical
-/// streams across platforms.
+/// streams across platforms. Not thread-safe: the first fill() claims
+/// the calling thread as owner and debug builds assert on any use from
+/// a different thread. Hand a stream to another thread only before its
+/// first fill, or fork() per-thread children instead.
 class DeterministicRandom final : public RandomSource {
  public:
   explicit DeterministicRandom(std::uint64_t seed);
@@ -50,14 +63,23 @@ class DeterministicRandom final : public RandomSource {
 
   void fill(std::span<std::uint8_t> out) override;
 
+  /// Derive an independent child stream keyed by (this stream's seed
+  /// material, `stream`). Forking does not consume or disturb this
+  /// stream's state: fork(i) yields the same child no matter how many
+  /// bytes were drawn in between, and distinct indices yield unrelated
+  /// streams — the per-worker RNG recipe for thread pools.
+  DeterministicRandom fork(std::uint64_t stream) const;
+
  private:
   Bytes key_;
   Bytes nonce_;
   std::uint64_t block_counter_ = 0;
   Bytes pool_;
   std::size_t pool_pos_ = 0;
+  std::thread::id owner_;  ///< claimed by the first fill(); checked in debug
 
   void refill();
+  bool claim_current_thread();
 };
 
 }  // namespace alidrone::crypto

@@ -1,0 +1,59 @@
+// Single-use countdown latch (the std::latch shape, kept local so the
+// runtime layer has one self-contained synchronization vocabulary and so
+// tests can exercise it directly under TSan).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+
+namespace alidrone::runtime {
+
+class Latch {
+ public:
+  explicit Latch(std::ptrdiff_t count) : count_(count) {
+    if (count < 0) throw std::invalid_argument("Latch: negative count");
+  }
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrement by n; wakes waiters when the count reaches zero. Throws
+  /// when the decrement would drive the count negative.
+  void count_down(std::ptrdiff_t n = 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (n < 0 || n > count_) {
+      throw std::invalid_argument("Latch::count_down: decrement exceeds count");
+    }
+    count_ -= n;
+    if (count_ == 0) {
+      lock.unlock();
+      cv_.notify_all();
+    }
+  }
+
+  /// True when the count has already reached zero (never blocks).
+  bool try_wait() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0;
+  }
+
+  /// Block until the count reaches zero.
+  void wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  void arrive_and_wait(std::ptrdiff_t n = 1) {
+    count_down(n);
+    wait();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::ptrdiff_t count_;
+};
+
+}  // namespace alidrone::runtime

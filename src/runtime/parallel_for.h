@@ -1,0 +1,65 @@
+// Blocking data-parallel loop over an index range.
+//
+// parallel_for(pool, begin, end, fn) partitions [begin, end) into
+// contiguous chunks (a few per worker, to absorb imbalance between
+// items) and runs fn(i) for every index exactly once. The call returns
+// only after every chunk has finished; if any fn invocation throws, the
+// first exception (in chunk order) is rethrown to the caller after all
+// chunks have completed, so no task is left running against destroyed
+// caller state.
+//
+// Must not be called from inside a pool worker: the caller blocks on
+// chunks that need a worker slot, so nesting can deadlock a fully
+// loaded pool.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace alidrone::runtime {
+
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Fn&& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (pool.size() <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // ~4 chunks per worker: big enough to amortize queue overhead, small
+  // enough that one slow item doesn't idle the other workers.
+  const std::size_t chunks = std::min(n, pool.size() * 4);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;  // first `extra` chunks get +1
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  std::size_t lo = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t hi = lo + base + (c < extra ? 1 : 0);
+    futures.push_back(pool.submit([&fn, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+    lo = hi;
+  }
+
+  // Wait for everything first, then rethrow: a future destroyed while
+  // its chunk still runs would leave fn executing past the rethrow.
+  for (const std::future<void>& f : futures) f.wait();
+  std::exception_ptr first;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace alidrone::runtime

@@ -1,0 +1,76 @@
+#include "runtime/thread_pool.h"
+
+#include <stdexcept>
+
+namespace alidrone::runtime {
+
+namespace {
+
+// Set for the lifetime of each worker's loop; off-pool threads keep the
+// defaults.
+thread_local int tl_worker_index = -1;
+thread_local crypto::DeterministicRandom* tl_worker_rng = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(Config config) : rng_seed_(std::move(config.rng_seed)) {
+  std::size_t n = config.threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::worker_index() { return tl_worker_index; }
+
+crypto::DeterministicRandom* ThreadPool::worker_rng() { return tl_worker_rng; }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  // Worker-private RNG stream; forking by index makes streams mutually
+  // independent and reproducible for a given pool seed.
+  crypto::DeterministicRandom rng =
+      crypto::DeterministicRandom(std::string_view(rng_seed_)).fork(index);
+  tl_worker_index = static_cast<int>(index);
+  tl_worker_rng = &rng;
+
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the caller's future
+  }
+
+  tl_worker_rng = nullptr;
+  tl_worker_index = -1;
+}
+
+}  // namespace alidrone::runtime

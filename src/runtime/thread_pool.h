@@ -1,0 +1,87 @@
+// Fixed-size worker pool for the Auditor's batched verification path.
+//
+// A ThreadPool owns N worker threads draining one FIFO task queue.
+// submit() wraps the callable in a std::packaged_task so exceptions
+// thrown inside a task surface on the caller's future rather than
+// terminating a worker. The destructor drains every task that was
+// already enqueued, then joins — work submitted before shutdown is
+// never silently dropped.
+//
+// Each worker carries its own DeterministicRandom stream (forked from
+// the pool seed by worker index), because RandomSource instances are
+// not thread-safe (see crypto/random.h). Task code that needs
+// randomness uses ThreadPool::worker_rng() instead of sharing one
+// generator across threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "crypto/random.h"
+
+namespace alidrone::runtime {
+
+class ThreadPool {
+ public:
+  struct Config {
+    /// Worker count; 0 means std::thread::hardware_concurrency().
+    std::size_t threads = 0;
+    /// Seed for the per-worker DeterministicRandom streams.
+    std::string rng_seed = "alidrone-thread-pool";
+  };
+
+  explicit ThreadPool(std::size_t threads = 0) : ThreadPool(Config{threads}) {}
+  explicit ThreadPool(Config config);
+
+  /// Drains all enqueued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a nullary callable; its return value (or exception) is
+  /// delivered through the returned future. Tasks submitted from one
+  /// thread start in FIFO order.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task]() mutable { (*task)(); });
+    return future;
+  }
+
+  /// Index of the calling thread within its owning pool, or -1 when the
+  /// caller is not a pool worker.
+  static int worker_index();
+
+  /// The calling worker's private DeterministicRandom stream (stream i is
+  /// pool_seed forked by worker index i), or nullptr when the caller is
+  /// not a pool worker. Never shared between threads, so safe without
+  /// locking.
+  static crypto::DeterministicRandom* worker_rng();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop(std::size_t index);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::string rng_seed_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace alidrone::runtime

@@ -1,0 +1,210 @@
+// Serial/parallel equivalence of Auditor::verify_poa_batch: verdicts,
+// retention and audit-log contents must be byte-identical no matter how
+// many threads evaluate the batch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/auditor.h"
+#include "core/messages.h"
+#include "core/poa.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "geo/geopoint.h"
+#include "runtime/thread_pool.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr double kSubmitTime = kT0 + 600.0;
+
+/// Identically keyed Auditor instances: DeterministicRandom makes key
+/// generation reproducible, so every auditor in a test sees the same
+/// keypair and produces the same ciphertext-independent verdicts.
+std::unique_ptr<Auditor> make_auditor() {
+  crypto::DeterministicRandom rng(std::string_view("parallel-auditor"));
+  return std::make_unique<Auditor>(512, rng);
+}
+
+struct Corpus {
+  crypto::RsaKeyPair tee_keys;
+  DroneId drone_id;
+  std::vector<ProofOfAlibi> poas;
+};
+
+crypto::Bytes encode_fix(double lat, double lon, double t) {
+  gps::GpsFix f;
+  f.position = geo::GeoPoint{lat, lon};
+  f.unix_time = t;
+  return tee::encode_sample(f);
+}
+
+/// Register one drone and build a 500-proof corpus: mostly valid proofs
+/// plus deliberately corrupted signatures, malformed samples, unknown
+/// drones, unordered timestamps and empty proofs sprinkled throughout.
+Corpus make_corpus(Auditor& auditor, std::size_t n_poas = 500) {
+  Corpus corpus;
+  crypto::DeterministicRandom key_rng(std::string_view("corpus-keys"));
+  corpus.tee_keys = crypto::generate_rsa_keypair(512, key_rng);
+  const crypto::RsaKeyPair operator_keys = crypto::generate_rsa_keypair(512, key_rng);
+
+  RegisterDroneRequest reg;
+  reg.operator_key_n = operator_keys.pub.n.to_bytes();
+  reg.operator_key_e = operator_keys.pub.e.to_bytes();
+  reg.tee_key_n = corpus.tee_keys.pub.n.to_bytes();
+  reg.tee_key_e = corpus.tee_keys.pub.e.to_bytes();
+  const RegisterDroneResponse response = auditor.register_drone(reg);
+  EXPECT_TRUE(response.ok);
+  corpus.drone_id = response.drone_id;
+
+  for (std::size_t p = 0; p < n_poas; ++p) {
+    ProofOfAlibi poa;
+    poa.drone_id = corpus.drone_id;
+    poa.mode = AuthMode::kRsaPerSample;
+    poa.hash = crypto::HashAlgorithm::kSha1;
+
+    const double base = kT0 + static_cast<double>(p);
+    const std::size_t n_samples = 2 + p % 3;
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      SignedSample sample;
+      sample.sample = encode_fix(40.0 + 0.0001 * static_cast<double>(p),
+                                 -88.0 + 0.0001 * static_cast<double>(s),
+                                 base + static_cast<double>(s));
+      sample.signature = crypto::rsa_sign(corpus.tee_keys.priv, sample.sample,
+                                          poa.hash);
+      poa.samples.push_back(std::move(sample));
+    }
+
+    // Deterministic defects so the batch exercises every rejection path.
+    switch (p % 10) {
+      case 3:  // corrupted signature
+        poa.samples[0].signature[4] ^= 0x5A;
+        break;
+      case 5:  // malformed (truncated) sample bytes
+        poa.samples.back().sample.pop_back();
+        break;
+      case 7:  // unknown drone
+        poa.drone_id = "drone-unregistered";
+        break;
+      case 9:  // not time-ordered: swap the signed samples
+        std::swap(poa.samples.front(), poa.samples.back());
+        break;
+      default:
+        break;
+    }
+    if (p == 250) poa.samples.clear();  // one empty PoA
+
+    corpus.poas.push_back(std::move(poa));
+  }
+  return corpus;
+}
+
+void expect_verdicts_identical(const std::vector<PoaVerdict>& a,
+                               const std::vector<PoaVerdict>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // encode() compares every field byte for byte.
+    EXPECT_EQ(a[i].encode(), b[i].encode()) << "verdict " << i << ": '"
+                                            << a[i].detail << "' vs '"
+                                            << b[i].detail << "'";
+  }
+}
+
+void expect_audit_logs_identical(const AuditLog& a, const AuditLog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].to_line(), b.events()[i].to_line())
+        << "audit event " << i;
+  }
+}
+
+TEST(AuditorParallel, BatchMatchesSerialLoop) {
+  auto serial = make_auditor();
+  auto batch = make_auditor();
+  const Corpus corpus = make_corpus(*serial);
+  make_corpus(*batch);
+
+  std::vector<PoaVerdict> loop_verdicts;
+  for (const ProofOfAlibi& poa : corpus.poas) {
+    loop_verdicts.push_back(serial->verify_poa(poa, kSubmitTime));
+  }
+  const std::vector<PoaVerdict> batch_verdicts =
+      batch->verify_poa_batch(corpus.poas, kSubmitTime, nullptr);
+
+  expect_verdicts_identical(loop_verdicts, batch_verdicts);
+  EXPECT_EQ(serial->retained_poa_count(), batch->retained_poa_count());
+}
+
+TEST(AuditorParallel, ParallelMatchesSerialOn500ProofCorpus) {
+  auto serial = make_auditor();
+  auto parallel = make_auditor();
+  const auto serial_log = std::make_shared<AuditLog>();
+  const auto parallel_log = std::make_shared<AuditLog>();
+  serial->attach_audit_log(serial_log);
+  parallel->attach_audit_log(parallel_log);
+
+  const Corpus corpus = make_corpus(*serial);
+  make_corpus(*parallel);
+
+  // Sanity: the corpus must exercise accept and reject paths.
+  const std::vector<PoaVerdict> serial_verdicts =
+      serial->verify_poa_batch(corpus.poas, kSubmitTime, nullptr);
+  std::size_t accepted = 0;
+  for (const PoaVerdict& v : serial_verdicts) accepted += v.accepted ? 1 : 0;
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LT(accepted, corpus.poas.size());
+
+  runtime::ThreadPool pool(4);
+  const std::vector<PoaVerdict> parallel_verdicts =
+      parallel->verify_poa_batch(corpus.poas, kSubmitTime, &pool);
+
+  expect_verdicts_identical(serial_verdicts, parallel_verdicts);
+  expect_audit_logs_identical(*serial_log, *parallel_log);
+  EXPECT_EQ(serial->retained_poa_count(), parallel->retained_poa_count());
+}
+
+TEST(AuditorParallel, DeterministicAcrossThreadCounts) {
+  auto two = make_auditor();
+  auto eight = make_auditor();
+  const Corpus corpus = make_corpus(*two);
+  make_corpus(*eight);
+
+  runtime::ThreadPool pool2(2);
+  runtime::ThreadPool pool8(8);
+  const std::vector<PoaVerdict> v2 =
+      two->verify_poa_batch(corpus.poas, kSubmitTime, &pool2);
+  const std::vector<PoaVerdict> v8 =
+      eight->verify_poa_batch(corpus.poas, kSubmitTime, &pool8);
+  expect_verdicts_identical(v2, v8);
+  EXPECT_EQ(two->retained_poa_count(), eight->retained_poa_count());
+}
+
+TEST(AuditorParallel, CorruptedSignaturesRejectedIdenticallyInParallel) {
+  auto serial = make_auditor();
+  auto parallel = make_auditor();
+  Corpus corpus = make_corpus(*serial, 120);
+  make_corpus(*parallel, 120);
+
+  // Corrupt EVERY proof's first signature: an all-reject corpus.
+  for (ProofOfAlibi& poa : corpus.poas) {
+    if (!poa.samples.empty() && !poa.samples[0].signature.empty()) {
+      poa.samples[0].signature[0] ^= 0xFF;
+    }
+  }
+
+  const std::vector<PoaVerdict> serial_verdicts =
+      serial->verify_poa_batch(corpus.poas, kSubmitTime, nullptr);
+  runtime::ThreadPool pool(4);
+  const std::vector<PoaVerdict> parallel_verdicts =
+      parallel->verify_poa_batch(corpus.poas, kSubmitTime, &pool);
+
+  expect_verdicts_identical(serial_verdicts, parallel_verdicts);
+  for (const PoaVerdict& v : serial_verdicts) EXPECT_FALSE(v.accepted);
+  EXPECT_EQ(parallel->retained_poa_count(), 0u);
+}
+
+}  // namespace
+}  // namespace alidrone::core

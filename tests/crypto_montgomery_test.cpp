@@ -111,5 +111,70 @@ TEST(Montgomery, RsaSignStillVerifiesThroughDispatch) {
   EXPECT_TRUE(rsa_verify(kp.pub, msg, sig, HashAlgorithm::kSha256));
 }
 
+TEST(MontgomeryCache, HitsReuseTheSameContext) {
+  MontgomeryContextCache cache(8);
+  const BigInt m = (BigInt(1) << 521) - BigInt(1);
+  const auto first = cache.get(m);
+  const auto second = cache.get(m);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first->modulus(), m);
+}
+
+TEST(MontgomeryCache, LruEvictsOldestModulus) {
+  MontgomeryContextCache cache(2);
+  const BigInt m1 = (BigInt(1) << 521) - BigInt(1);
+  const BigInt m2 = (BigInt(1) << 127) - BigInt(1);  // also a Mersenne prime
+  const BigInt m3 = (BigInt(1) << 255) - BigInt(19);
+  const auto c1 = cache.get(m1);
+  cache.get(m2);
+  cache.get(m1);  // bump m1 to most-recent
+  cache.get(m3);  // evicts m2, not m1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get(m1).get(), c1.get());  // still cached
+  const std::uint64_t misses_before = cache.misses();
+  cache.get(m2);  // must rebuild
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(MontgomeryCache, EvictedContextStaysUsableThroughSharedPtr) {
+  MontgomeryContextCache cache(1);
+  const BigInt m = (BigInt(1) << 521) - BigInt(1);
+  const auto ctx = cache.get(m);
+  cache.get((BigInt(1) << 127) - BigInt(1));  // evicts m
+  // The caller's shared_ptr keeps the evicted context alive and correct.
+  EXPECT_EQ(ctx->pow(BigInt(2), m - BigInt(1)), BigInt(1));
+}
+
+TEST(MontgomeryCache, CachedPowMatchesFreshContext) {
+  const BigInt m = (BigInt(1) << 255) - BigInt(19);
+  DeterministicRandom rng("cache-equivalence");
+  for (int i = 0; i < 8; ++i) {
+    const BigInt base = rng.random_range(BigInt(2), m - BigInt(1));
+    const BigInt exp = rng.random_bits(64);
+    const auto cached = MontgomeryContextCache::global().get(m);
+    EXPECT_EQ(cached->pow(base, exp), MontgomeryContext(m).pow(base, exp));
+    EXPECT_EQ(cached->pow(base, exp), base.mod_pow(exp, m));
+  }
+}
+
+TEST(MontgomeryCache, GlobalCacheServesRepeatVerifies) {
+  DeterministicRandom rng("cache-verify");
+  const RsaKeyPair kp = generate_rsa_keypair(512, rng);
+  const Bytes msg = to_bytes("cached verify");
+  const Bytes sig = rsa_sign(kp.priv, msg, HashAlgorithm::kSha256);
+
+  MontgomeryContextCache& cache = MontgomeryContextCache::global();
+  ASSERT_TRUE(rsa_verify(kp.pub, msg, sig, HashAlgorithm::kSha256));
+  const std::uint64_t misses_after_warmup = cache.misses();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(rsa_verify(kp.pub, msg, sig, HashAlgorithm::kSha256));
+  }
+  // Re-verifying under the same public key must not rebuild contexts.
+  EXPECT_EQ(cache.misses(), misses_after_warmup);
+}
+
 }  // namespace
 }  // namespace alidrone::crypto
