@@ -4,8 +4,10 @@
 // Algorithm 1 and the verifier run constantly.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "core/zone_index.h"
 #include "crypto/random.h"
 #include "geo/ellipse.h"
 #include "geo/ellipsoid.h"
@@ -81,6 +83,52 @@ void BM_Ellipsoid3dExactTest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Ellipsoid3dExactTest);
+
+/// ZoneIndex hot paths at B4UFLY-ish scale (hash-grid storage). Arg =
+/// registered zone count.
+core::ZoneIndex build_zone_index(std::size_t n_zones) {
+  crypto::DeterministicRandom rng(std::uint64_t{21});
+  core::ZoneIndex index;
+  index.reserve(n_zones);
+  for (std::size_t i = 0; i < n_zones; ++i) {
+    GeoZone z;
+    z.center = {35.0 + 10.0 * rng.uniform_double(),
+                -95.0 + 10.0 * rng.uniform_double()};
+    z.radius_m = 30.0 + 200.0 * rng.uniform_double();
+    index.insert("zone-" + std::to_string(i), z);
+  }
+  return index;
+}
+
+void BM_ZoneIndexInsert(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::ZoneIndex index = build_zone_index(n);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ZoneIndexInsert)->Arg(1000)->Arg(10000);
+
+void BM_ZoneIndexQueryRect(benchmark::State& state) {
+  const core::ZoneIndex index =
+      build_zone_index(static_cast<std::size_t>(state.range(0)));
+  const core::QueryRect rect{{40.0, -90.5}, {40.5, -90.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.query_rect(rect));
+  }
+}
+BENCHMARK(BM_ZoneIndexQueryRect)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ZoneIndexNearest(benchmark::State& state) {
+  const core::ZoneIndex index =
+      build_zone_index(static_cast<std::size_t>(state.range(0)));
+  const GeoPoint p{40.1164, -88.2434};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.nearest(p));
+  }
+}
+BENCHMARK(BM_ZoneIndexNearest)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_HaversineDistance(benchmark::State& state) {
   const GeoPoint a{40.1164, -88.2434};

@@ -5,11 +5,13 @@
 // Montgomery context cache by re-verifying under a cold cache
 // (R^2 setup rebuilt every operation) vs. the warm process-wide cache.
 // Same harness and JSON shape as the other google-benchmark micro
-// benches: pass --benchmark_format=json.
+// benches: pass --benchmark_format=json, or --json <path> for the flat
+// {bench, config, metric, value} perf-trajectory records (bench_util.h).
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench_util.h"
 #include "core/auditor.h"
 #include "core/messages.h"
 #include "core/poa.h"
@@ -145,4 +147,6 @@ BENCHMARK(BM_SampleVerifiesSerialCachedContext)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace alidrone
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return alidrone::bench::benchmark_main_with_json(argc, argv);
+}

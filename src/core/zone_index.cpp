@@ -18,8 +18,18 @@ ZoneIndex::CellKey ZoneIndex::cell_of(geo::GeoPoint p) const {
           static_cast<std::int32_t>(std::floor(p.lon_deg / cell_degrees_))};
 }
 
+void ZoneIndex::reserve(std::size_t zone_count) {
+  zones_.reserve(zone_count);
+  cells_.reserve(zone_count);  // upper bound: every zone in its own cell
+}
+
 void ZoneIndex::insert(const ZoneId& id, const geo::GeoZone& zone) {
   erase(id);  // replace semantics
+  // Grow in steps ahead of the load-factor trigger so a bulk load (the
+  // B4UFLY-scale registry import) rehashes O(log n) times, not per-insert.
+  if (zones_.size() + 1 > zones_.bucket_count() * zones_.max_load_factor()) {
+    reserve(zones_.empty() ? 64 : 2 * zones_.size());
+  }
   zones_[id] = zone;
   cells_[cell_of(zone.center)].push_back(id);
 }
@@ -97,7 +107,9 @@ std::optional<ZoneIndex::Nearest> ZoneIndex::nearest(geo::GeoPoint p) const {
         for (const ZoneId& id : it->second) {
           const geo::GeoZone& z = zones_.at(id);
           const double d = geo::haversine_distance(p, z.center) - z.radius_m;
-          if (d < best_dist) {
+          // Tie-break on id so the answer does not depend on hash-table
+          // iteration or insertion order.
+          if (d < best_dist || (d == best_dist && id < best.id)) {
             best_dist = d;
             best = {id, d};
           }

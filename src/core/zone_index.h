@@ -5,12 +5,19 @@
 // wide) a linear scan per query does not hold up. ZoneIndex buckets zone
 // centers into a uniform geodetic grid: rectangle queries touch only the
 // covered cells, and nearest-zone lookups expand ring by ring.
+//
+// Storage is hash-based (std::unordered_map for both the zone table and
+// the cell grid): the hot path is point lookups — cell probes in
+// query_rect/nearest and id lookups in find — where the red-black tree's
+// pointer chasing and comparisons lose to a single hash probe. Query
+// results are order-stable regardless of hash iteration order: query_rect
+// sorts its result and nearest breaks distance ties by zone id.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/protocol_types.h"
@@ -28,11 +35,16 @@ class ZoneIndex {
   bool erase(const ZoneId& id);
   std::size_t size() const { return zones_.size(); }
 
+  /// Pre-size the hash tables for an expected zone count (optional; insert
+  /// grows them on its own).
+  void reserve(std::size_t zone_count);
+
   /// Zones whose center lies inside the rectangle (matching the paper's
-  /// center-in-rectangle query semantics).
+  /// center-in-rectangle query semantics), sorted by id.
   std::vector<ZoneId> query_rect(const QueryRect& rect) const;
 
-  /// Zone whose boundary is nearest to `p`; nullopt when empty.
+  /// Zone whose boundary is nearest to `p`; nullopt when empty. Distance
+  /// ties resolve to the smallest zone id.
   struct Nearest {
     ZoneId id;
     double boundary_distance_m = 0.0;
@@ -44,9 +56,25 @@ class ZoneIndex {
  private:
   using CellKey = std::pair<std::int32_t, std::int32_t>;
 
+  struct CellKeyHash {
+    std::size_t operator()(const CellKey& key) const noexcept {
+      // Pack both 32-bit coordinates into one word and finish with a
+      // 64-bit mix (splitmix64): adjacent cells must not collide, and
+      // grid coordinates are small signed values that a naive XOR would
+      // cluster badly.
+      std::uint64_t x =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.first)) << 32) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.second));
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
   double cell_degrees_;
-  std::map<ZoneId, geo::GeoZone> zones_;
-  std::map<CellKey, std::vector<ZoneId>> cells_;
+  std::unordered_map<ZoneId, geo::GeoZone> zones_;
+  std::unordered_map<CellKey, std::vector<ZoneId>, CellKeyHash> cells_;
 
   CellKey cell_of(geo::GeoPoint p) const;
 };

@@ -172,6 +172,95 @@ BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exponent) const 
   return from_mont(acc);
 }
 
+int FixedExponentPlan::choose_window_bits(std::size_t exponent_bits) {
+  // Minimize (2^(w-1) table products) + (bits/(w+1) expected multiplies).
+  // The crossover points put RSA CRT exponents at 5 bits (1024-bit keys)
+  // and 6 bits (2048-bit and up).
+  if (exponent_bits < 24) return 1;
+  if (exponent_bits < 80) return 3;
+  if (exponent_bits < 256) return 4;
+  if (exponent_bits < 896) return 5;
+  return 6;
+}
+
+FixedExponentPlan::FixedExponentPlan(
+    std::shared_ptr<const MontgomeryContext> context, const BigInt& exponent)
+    : ctx_(std::move(context)), exponent_(exponent) {
+  if (ctx_ == nullptr) {
+    throw std::invalid_argument("FixedExponentPlan: null context");
+  }
+  if (exponent_.is_negative()) {
+    throw std::domain_error("FixedExponentPlan: negative exponent");
+  }
+
+  const std::size_t bits = exponent_.bit_length();
+  if (bits == 0) return;  // pow() handles the x^0 case directly
+
+  window_bits_ = choose_window_bits(bits);
+  table_.resize(std::size_t{1} << (window_bits_ - 1));
+
+  // Left-to-right sliding-window decomposition, done once. Each step is a
+  // run of squarings followed by one multiply with an odd window value
+  // (or none, for trailing zero bits). The first step's squarings act on
+  // an accumulator equal to 1, so pow() skips them and seeds the
+  // accumulator from the table instead.
+  std::size_t i = bits;  // scan position (1 past the next bit to consume)
+  std::uint32_t squares = 0;
+  while (i > 0) {
+    if (!exponent_.bit(i - 1)) {
+      ++squares;
+      --i;
+      continue;
+    }
+    // Window [i-1 .. j]: at most window_bits_ wide, ends on a set bit.
+    std::size_t j = i >= static_cast<std::size_t>(window_bits_)
+                        ? i - static_cast<std::size_t>(window_bits_)
+                        : 0;
+    while (!exponent_.bit(j)) ++j;
+    std::uint32_t digit = 0;
+    for (std::size_t b = i; b-- > j;) {
+      digit = (digit << 1) | (exponent_.bit(b) ? 1u : 0u);
+    }
+    const std::uint32_t width = static_cast<std::uint32_t>(i - j);
+    program_.push_back(
+        Step{squares + width, static_cast<std::int32_t>((digit - 1) / 2)});
+    squares = 0;
+    i = j;
+  }
+  if (squares > 0) program_.push_back(Step{squares, -1});
+}
+
+BigInt FixedExponentPlan::pow(const BigInt& base) {
+  const MontgomeryContext& ctx = *ctx_;
+  if (exponent_.is_zero()) return BigInt(1).mod(ctx.m_);
+
+  scratch_.reserve(2 * ctx.k_ + 1);
+  table_[0] = ctx.to_mont(base);
+  if (table_.size() > 1) {
+    ctx.mul_into(table_[0], table_[0], base_sq_, scratch_);
+    for (std::size_t t = 1; t < table_.size(); ++t) {
+      ctx.mul_into(table_[t - 1], base_sq_, table_[t], scratch_);
+    }
+  }
+
+  // Replay. The leading step seeds the accumulator (its squarings would
+  // only square 1), every later step is squares-then-optional-multiply.
+  acc_ = table_[static_cast<std::size_t>(program_.front().table_index)];
+  for (std::size_t s = 1; s < program_.size(); ++s) {
+    const Step& step = program_[s];
+    for (std::uint32_t q = 0; q < step.squares; ++q) {
+      ctx.mul_into(acc_, acc_, tmp_, scratch_);
+      std::swap(acc_, tmp_);
+    }
+    if (step.table_index >= 0) {
+      ctx.mul_into(acc_, table_[static_cast<std::size_t>(step.table_index)],
+                   tmp_, scratch_);
+      std::swap(acc_, tmp_);
+    }
+  }
+  return ctx.from_mont(acc_);
+}
+
 MontgomeryContextCache::MontgomeryContextCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 

@@ -54,6 +54,8 @@ class MontgomeryContext {
   BigInt r2_;              // R^2 mod m, for to_mont
   BigInt one_mont_;        // R mod m (1 in Montgomery form)
 
+  friend class FixedExponentPlan;  // reuses mul_into / one_mont_ / k_
+
   /// REDC over a raw double-width limb vector, in place: t becomes the
   /// reduced k-limb (or shorter) result with no intermediate allocation.
   void redc_in_place(std::vector<std::uint32_t>& t) const;
@@ -62,6 +64,64 @@ class MontgomeryContext {
   /// (grown once, then reused call after call).
   void mul_into(const BigInt& a, const BigInt& b, BigInt& out,
                 std::vector<std::uint32_t>& scratch) const;
+};
+
+/// Exponentiation plan for a *fixed* (exponent, modulus) pair — the
+/// drone-side signing hot path, where the same CRT exponents d_p and d_q
+/// are applied to a fresh base on every signature.
+///
+/// MontgomeryContext::pow re-derives everything per call: it scans the
+/// exponent bits, builds a full 16-entry 4-bit window table and allocates
+/// the accumulators. A plan hoists all exponent-dependent work to
+/// construction time:
+///   - the sliding-window program (square runs + odd-window multiplies)
+///     is decomposed once, so the per-call loop is a flat replay;
+///   - the window width is sized to the exponent (4/5/6 bits for RSA-size
+///     exponents — wider windows only pay off once the exponent is long
+///     enough to amortize the bigger odd-power table);
+///   - the odd-power table, accumulators and REDC scratch are owned by the
+///     plan and reused, so steady-state signing allocates almost nothing.
+/// Only the base-dependent odd-power table contents (2^(w-1) Montgomery
+/// products) are computed per call.
+///
+/// NOT thread-safe: pow() mutates the internal buffers. Confine a plan to
+/// one thread or guard it externally (KeyVault serializes its plan).
+class FixedExponentPlan {
+ public:
+  /// Plans `base^exponent mod context->modulus()`. The context is shared
+  /// (it is immutable); the exponent must be non-negative.
+  FixedExponentPlan(std::shared_ptr<const MontgomeryContext> context,
+                    const BigInt& exponent);
+
+  /// base^exponent mod m, byte-identical to MontgomeryContext::pow /
+  /// BigInt::mod_pow for the same inputs.
+  BigInt pow(const BigInt& base);
+
+  const BigInt& exponent() const { return exponent_; }
+  const MontgomeryContext& context() const { return *ctx_; }
+  int window_bits() const { return window_bits_; }
+
+ private:
+  /// One replay step: `squares` squarings, then (unless table_index < 0) a
+  /// multiply by the precomputed odd power table_[table_index].
+  struct Step {
+    std::uint32_t squares = 0;
+    std::int32_t table_index = -1;
+  };
+
+  static int choose_window_bits(std::size_t exponent_bits);
+
+  std::shared_ptr<const MontgomeryContext> ctx_;
+  BigInt exponent_;
+  int window_bits_ = 1;
+  std::vector<Step> program_;  // leading step first; its squares are skipped
+
+  // Per-call buffers, reused across pow() calls.
+  std::vector<BigInt> table_;  // odd powers base^1, base^3, ... (Montgomery form)
+  BigInt base_sq_;
+  BigInt acc_;
+  BigInt tmp_;
+  std::vector<std::uint32_t> scratch_;
 };
 
 /// Thread-safe, LRU-bounded cache of MontgomeryContext keyed by modulus

@@ -1,5 +1,6 @@
 #include "crypto/rsa.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/prime.h"
@@ -125,7 +126,17 @@ BigInt rsa_private_op(const RsaPrivateKey& key, const BigInt& m) {
   const BigInt m1 = m.mod_pow(key.d_p, key.p);
   const BigInt m2 = m.mod_pow(key.d_q, key.q);
   const BigInt h = (key.q_inv * (m1 - m2)).mod(key.p);
-  return m2 + key.q * h;
+  const BigInt s = m2 + key.q * h;
+
+  // Bellcore fault guard: a fault in either CRT half yields an s with
+  // gcd(s^e - m, n) = p or q — releasing it hands the attacker the
+  // factorization. Verifying with the public exponent costs a short
+  // (17-bit) exponentiation, ~2% of the private op; on mismatch fall back
+  // to the non-CRT path, which involves no recombination to fault.
+  if (s.mod_pow(key.e, key.n) != m) {
+    return m.mod_pow(key.d, key.n);
+  }
+  return s;
 }
 
 BigInt rsa_private_op_blinded(const RsaPrivateKey& key, const BigInt& m,
@@ -146,6 +157,92 @@ BigInt rsa_private_op_blinded(const RsaPrivateKey& key, const BigInt& m,
   const BigInt blinded = (m * r.mod_pow(key.e, key.n)).mod(key.n);
   const BigInt signed_blinded = rsa_private_op(key, blinded);
   return (signed_blinded * r_inv).mod(key.n);
+}
+
+RsaSigningPlan::RsaSigningPlan(const RsaPrivateKey& key,
+                               RsaSigningPlanConfig config)
+    : key_(key), config_(config) {
+  if (key_.n.is_zero() || key_.e.is_zero()) {
+    throw std::invalid_argument("RsaSigningPlan: key has no modulus/exponent");
+  }
+  ctx_n_ = MontgomeryContextCache::global().get(key_.n);
+  if (key_.has_crt()) {
+    plan_p_ = std::make_unique<FixedExponentPlan>(
+        MontgomeryContextCache::global().get(key_.p), key_.d_p);
+    plan_q_ = std::make_unique<FixedExponentPlan>(
+        MontgomeryContextCache::global().get(key_.q), key_.d_q);
+  } else {
+    plan_d_ = std::make_unique<FixedExponentPlan>(ctx_n_, key_.d);
+  }
+}
+
+BigInt RsaSigningPlan::private_op(const BigInt& m) {
+  if (m >= key_.n || m.is_negative()) {
+    throw std::domain_error("RsaSigningPlan: message representative out of range");
+  }
+  ++private_ops_;
+  if (plan_d_ != nullptr) return plan_d_->pow(m);
+
+  // Garner's CRT recombination over the two fixed-exponent plans (the
+  // plans reduce m mod p / mod q internally).
+  const BigInt m1 = plan_p_->pow(m);
+  const BigInt m2 = plan_q_->pow(m);
+  const BigInt h = (key_.q_inv * (m1 - m2)).mod(key_.p);
+  BigInt s = m2 + key_.q * h;
+
+  // Bellcore fault guard (see rsa_private_op): never release a faulted
+  // CRT recombination.
+  if (config_.crt_fault_check && ctx_n_->pow(s, key_.e) != m) {
+    ++crt_fault_fallbacks_;
+    s = m.mod_pow(key_.d, key_.n);
+  }
+  return s;
+}
+
+void RsaSigningPlan::refresh_blinding(RandomSource& rng) {
+  // Fresh pair: r coprime to n (see rsa_private_op_blinded), kept as
+  // blind = r^e and unblind = r^-1 — both in Montgomery form so the
+  // squaring refresh and the apply/remove steps are single REDC products.
+  for (;;) {
+    const BigInt r = rng.random_range(BigInt(2), key_.n - BigInt(2));
+    if (BigInt::gcd(r, key_.n) != BigInt(1)) continue;
+    unblind_mont_ = ctx_n_->to_mont(r.mod_inverse(key_.n));
+    blind_mont_ = ctx_n_->to_mont(ctx_n_->pow(r, key_.e));
+    break;
+  }
+  blinding_uses_ = 0;
+  ++blinding_refreshes_;
+}
+
+BigInt RsaSigningPlan::private_op_blinded(const BigInt& m, RandomSource& rng) {
+  if (m >= key_.n || m.is_negative()) {
+    throw std::domain_error("RsaSigningPlan: message representative out of range");
+  }
+  if (blind_mont_.is_zero() ||
+      blinding_uses_ >= std::max<std::uint64_t>(config_.blinding_refresh_interval, 1)) {
+    refresh_blinding(rng);
+  } else if (blinding_uses_ > 0) {
+    // Square both halves: (r^e)^2 = (r^2)^e and (r^-1)^2 = (r^2)^-1, so
+    // the pair stays consistent while the blinding factor changes — two
+    // Montgomery products instead of a mod_pow + extended-Euclid inverse.
+    blind_mont_ = ctx_n_->mul(blind_mont_, blind_mont_);
+    unblind_mont_ = ctx_n_->mul(unblind_mont_, unblind_mont_);
+  }
+  ++blinding_uses_;
+
+  // blinded = m * r^e mod n; sign; result = s_blinded * r^-1 mod n.
+  const BigInt blinded =
+      ctx_n_->from_mont(ctx_n_->mul(ctx_n_->to_mont(m), blind_mont_));
+  const BigInt signed_blinded = private_op(blinded);
+  return ctx_n_->from_mont(
+      ctx_n_->mul(ctx_n_->to_mont(signed_blinded), unblind_mont_));
+}
+
+Bytes RsaSigningPlan::sign(std::span<const std::uint8_t> message,
+                           HashAlgorithm hash, RandomSource& rng) {
+  const std::size_t k = key_.modulus_bytes();
+  const Bytes em = emsa_pkcs1_encode(message, hash, k);
+  return private_op_blinded(BigInt::from_bytes(em), rng).to_bytes(k);
 }
 
 Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> message,

@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 
 #include "crypto/bigint.h"
 #include "crypto/bytes.h"
+#include "crypto/montgomery.h"
 #include "crypto/random.h"
 
 namespace alidrone::crypto {
@@ -103,5 +105,81 @@ BigInt rsa_private_op(const RsaPrivateKey& key, const BigInt& m);
 /// via the UART), which is exactly the setting blinding defends.
 BigInt rsa_private_op_blinded(const RsaPrivateKey& key, const BigInt& m,
                               RandomSource& rng);
+
+/// RsaSigningPlan tuning knobs (namespace scope so the struct can be a
+/// defaulted constructor argument).
+struct RsaSigningPlanConfig {
+  /// A blinding pair serves this many private operations before a fresh
+  /// (r, r^-1) is drawn from the RNG; in between it is refreshed by
+  /// squaring (r <- r^2 mod n keeps the pair an (r^e, r^-1) pair while
+  /// decorrelating consecutive exponentiation inputs). Values <= 1 draw a
+  /// fresh pair for every operation.
+  std::uint64_t blinding_refresh_interval = 32;
+  /// Bellcore fault-attack guard: verify every CRT-recombined result with
+  /// the public exponent before releasing it, falling back to the non-CRT
+  /// exponentiation on mismatch.
+  bool crt_fault_check = true;
+};
+
+/// Precomputed per-key signing state — the drone-side fast path.
+///
+/// rsa_sign_blinded pays three avoidable costs on every signature:
+/// re-deriving the modular-exponentiation window state for d_p and d_q,
+/// a fresh blinding pair (one mod_pow(e, n) plus an extended-Euclid
+/// mod_inverse, the single most expensive non-exponentiation step), and
+/// per-call allocation churn. A plan amortizes all three:
+///   - two FixedExponentPlans (d_p mod p, d_q mod q) built once;
+///   - a cached blinding pair, refreshed by squaring and re-randomized
+///     from the RNG every `blinding_refresh_interval` operations;
+///   - a CRT fault guard (cheap public-exponent check) so a faulted
+///     recombination can never leak a signature that factors the key.
+/// Signatures are byte-identical to rsa_sign / rsa_sign_blinded output.
+///
+/// NOT thread-safe (mutable window/blinding state): confine to one thread
+/// or guard externally, as tee::KeyVault does.
+class RsaSigningPlan {
+ public:
+  explicit RsaSigningPlan(const RsaPrivateKey& key,
+                          RsaSigningPlanConfig config = {});
+
+  /// RSASSA-PKCS1-v1_5 signature, blinded, byte-identical to rsa_sign.
+  Bytes sign(std::span<const std::uint8_t> message, HashAlgorithm hash,
+             RandomSource& rng);
+
+  /// Planned m^d mod n (CRT when available), fault-guarded.
+  BigInt private_op(const BigInt& m);
+
+  /// Planned + blinded m^d mod n using the cached blinding pair.
+  BigInt private_op_blinded(const BigInt& m, RandomSource& rng);
+
+  const RsaPublicKey public_key() const { return {key_.n, key_.e}; }
+  std::size_t modulus_bytes() const { return key_.modulus_bytes(); }
+  const RsaSigningPlanConfig& config() const { return config_; }
+
+  // Introspection for tests/benches.
+  std::uint64_t private_ops() const { return private_ops_; }
+  std::uint64_t blinding_refreshes() const { return blinding_refreshes_; }
+  std::uint64_t crt_fault_fallbacks() const { return crt_fault_fallbacks_; }
+
+ private:
+  void refresh_blinding(RandomSource& rng);
+
+  RsaPrivateKey key_;
+  RsaSigningPlanConfig config_;
+  std::shared_ptr<const MontgomeryContext> ctx_n_;
+  // CRT plans, or a single d-plan for keys without CRT parameters.
+  std::unique_ptr<FixedExponentPlan> plan_p_;
+  std::unique_ptr<FixedExponentPlan> plan_q_;
+  std::unique_ptr<FixedExponentPlan> plan_d_;
+  // Blinding pair, kept in Montgomery form: blind_ = r^e mod n (applied to
+  // the input), unblind_ = r^-1 mod n (applied to the output). Empty until
+  // the first blinded operation.
+  BigInt blind_mont_;
+  BigInt unblind_mont_;
+  std::uint64_t blinding_uses_ = 0;  // operations served by the current pair
+  std::uint64_t private_ops_ = 0;
+  std::uint64_t blinding_refreshes_ = 0;
+  std::uint64_t crt_fault_fallbacks_ = 0;
+};
 
 }  // namespace alidrone::crypto

@@ -1,5 +1,7 @@
 #include "gps/driver.h"
 
+#include <algorithm>
+
 #include "geo/units.h"
 #include "nmea/gga.h"
 #include "nmea/rmc.h"
@@ -18,6 +20,11 @@ void GpsDriver::feed(std::string_view sentence) {
     // Keep the last known altitude (RMC does not carry one).
     if (latest_) fix.altitude_m = latest_->altitude_m;
     latest_ = fix;
+    if (pending_fixes_.size() >= kPendingCapacity) {
+      pending_fixes_.pop_front();
+      ++dropped_fixes_;
+    }
+    pending_fixes_.push_back(fix);
     ++sequence_;
     ++accepted_;
     return;
@@ -25,7 +32,12 @@ void GpsDriver::feed(std::string_view sentence) {
   if (const auto gga = nmea::parse_gga(sentence)) {
     // GGA refreshes altitude but is not a full fix on its own (no date);
     // merge into the current fix when one exists.
-    if (latest_) latest_->altitude_m = gga->altitude_m;
+    if (latest_) {
+      latest_->altitude_m = gga->altitude_m;
+      if (!pending_fixes_.empty()) {
+        pending_fixes_.back().altitude_m = gga->altitude_m;
+      }
+    }
     ++accepted_;
     return;
   }
@@ -34,11 +46,26 @@ void GpsDriver::feed(std::string_view sentence) {
     if (latest_) {
       latest_->speed_mps = geo::knots_to_mps(vtg->speed_knots);
       latest_->course_deg = vtg->course_true_deg;
+      if (!pending_fixes_.empty()) {
+        pending_fixes_.back().speed_mps = latest_->speed_mps;
+        pending_fixes_.back().course_deg = latest_->course_deg;
+      }
     }
     ++accepted_;
     return;
   }
   ++rejected_;
+}
+
+std::vector<GpsFix> GpsDriver::take_pending(std::size_t max_fixes) {
+  std::vector<GpsFix> out;
+  const std::size_t n = std::min(max_fixes, pending_fixes_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(pending_fixes_.front());
+    pending_fixes_.pop_front();
+  }
+  return out;
 }
 
 void GpsDriver::feed_bytes(std::string_view bytes) {

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "gps/fix.h"
 
@@ -19,6 +21,9 @@ namespace alidrone::gps {
 
 class GpsDriver {
  public:
+  /// Undelivered fixes kept for coalesced draining; at GPS rates (1-10 Hz)
+  /// this holds many seconds of backlog. Overflow drops the oldest fix.
+  static constexpr std::size_t kPendingCapacity = 64;
   /// Feed one framed NMEA sentence (or any line of bytes; invalid input is
   /// counted and dropped, never fatal — a driver must survive line noise).
   void feed(std::string_view sentence);
@@ -29,6 +34,17 @@ class GpsDriver {
   /// The paper's GetGPS(): latest parsed fix, or nullopt before first fix.
   std::optional<GpsFix> get_gps() const;
 
+  /// Drain up to `max_fixes` fixes accumulated since the last drain,
+  /// oldest first — the coalesced GetGPSAuth path signs a whole backlog
+  /// in one world switch instead of one switch pair per fix. GGA/VTG
+  /// merges (altitude, speed) that arrive before a fix is drained are
+  /// reflected in the drained copy, matching get_gps().
+  std::vector<GpsFix> take_pending(std::size_t max_fixes = kPendingCapacity);
+
+  std::size_t pending_fix_count() const { return pending_fixes_.size(); }
+  /// Fixes lost to pending-queue overflow (the latest fix is never lost).
+  std::uint64_t dropped_fixes() const { return dropped_fixes_; }
+
   /// Sequence number of the latest fix; increments on every accepted
   /// $GPRMC. 0 means no fix yet.
   std::uint64_t sequence() const { return sequence_; }
@@ -38,10 +54,12 @@ class GpsDriver {
 
  private:
   std::optional<GpsFix> latest_;
-  std::string pending_;  // partial line from feed_bytes
+  std::deque<GpsFix> pending_fixes_;  // bounded by kPendingCapacity
+  std::string pending_;               // partial line from feed_bytes
   std::uint64_t sequence_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t dropped_fixes_ = 0;
 };
 
 }  // namespace alidrone::gps

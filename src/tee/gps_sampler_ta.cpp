@@ -1,11 +1,14 @@
 #include "tee/gps_sampler_ta.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "crypto/hmac.h"
 #include "tee/sample_codec.h"
 
 namespace alidrone::tee {
 
-GpsSamplerTA::GpsSamplerTA(const KeyVault& vault, const gps::GpsDriver& driver,
+GpsSamplerTA::GpsSamplerTA(const KeyVault& vault, gps::GpsDriver& driver,
                            SecureStorage& storage, crypto::RandomSource& rng,
                            Config config)
     : vault_(vault),
@@ -23,6 +26,11 @@ void GpsSamplerTA::set_cost_meter(resource::CpuAccountant* cpu,
 
 void GpsSamplerTA::charge(resource::Op op) const {
   if (cpu_ != nullptr) cpu_->charge(op, cost_profile_);
+}
+
+void GpsSamplerTA::charge_sign() const {
+  charge(vault_.key_bits() >= 2048 ? resource::Op::kRsaSign2048
+                                   : resource::Op::kRsaSign1024);
 }
 
 std::string GpsSamplerTA::batch_key(SessionId session) const {
@@ -44,6 +52,8 @@ InvokeResult GpsSamplerTA::invoke(SessionId session, std::uint32_t command,
   switch (static_cast<SamplerCommand>(command)) {
     case SamplerCommand::kGetGpsAuth:
       return get_gps_auth();
+    case SamplerCommand::kGetGpsAuthCoalesced:
+      return get_gps_auth_coalesced(params);
     case SamplerCommand::kGetPublicKey:
       return get_public_key();
     case SamplerCommand::kEstablishHmacKey:
@@ -67,11 +77,49 @@ InvokeResult GpsSamplerTA::get_gps_auth() {
 
   charge(resource::Op::kGpsReadParse);
   const crypto::Bytes sample = encode_sample(*fix);
-  charge(vault_.key_bits() >= 2048 ? resource::Op::kRsaSign2048
-                                   : resource::Op::kRsaSign1024);
-  // Blinded: the signed bytes are attacker-influenced (UART-fed GPS data).
-  crypto::Bytes signature = vault_.sign_blinded(sample, config_.hash, rng_);
+  charge_sign();
+  // Blinded (the signed bytes are attacker-influenced, UART-fed GPS data),
+  // through the vault's cached signing plan.
+  crypto::Bytes signature = vault_.sign_fast(sample, config_.hash, rng_);
   return {TeeStatus::kSuccess, {sample, std::move(signature)}};
+}
+
+InvokeResult GpsSamplerTA::get_gps_auth_coalesced(
+    std::span<const crypto::Bytes> params) {
+  // Optional param 0: max samples to sign this invoke (4 bytes BE).
+  std::size_t limit = config_.max_coalesced_samples;
+  if (!params.empty()) {
+    if (params[0].size() != 4) return {TeeStatus::kBadParameters, {}};
+    const std::uint32_t requested = (std::uint32_t{params[0][0]} << 24) |
+                                    (std::uint32_t{params[0][1]} << 16) |
+                                    (std::uint32_t{params[0][2]} << 8) |
+                                    std::uint32_t{params[0][3]};
+    if (requested == 0) return {TeeStatus::kBadParameters, {}};
+    limit = std::min<std::size_t>(limit, requested);
+  }
+
+  const std::vector<gps::GpsFix> fixes = driver_.take_pending(limit);
+  if (fixes.empty()) return {TeeStatus::kNotReady, {}};
+
+  // All signing happens inside this single invoke: the monitor charged
+  // one world-switch pair on entry, so N samples amortize the SMC cost —
+  // only the per-sample read/parse and sign work below scales with N.
+  InvokeResult result{TeeStatus::kSuccess, {}};
+  result.outputs.reserve(2 * fixes.size());
+  for (const gps::GpsFix& fix : fixes) {
+    if (!fix.valid) continue;
+    // The plausibility monitor observes every fix (its jump/clock checks
+    // need the full stream); a distrusted environment aborts the batch.
+    if (!environment_trusted(fix)) return {TeeStatus::kAccessDenied, {}};
+    charge(resource::Op::kGpsReadParse);
+    crypto::Bytes sample = encode_sample(fix);
+    charge_sign();
+    crypto::Bytes signature = vault_.sign_fast(sample, config_.hash, rng_);
+    result.outputs.push_back(std::move(sample));
+    result.outputs.push_back(std::move(signature));
+  }
+  if (result.outputs.empty()) return {TeeStatus::kNotReady, {}};
+  return result;
 }
 
 InvokeResult GpsSamplerTA::get_public_key() const {
@@ -100,8 +148,7 @@ InvokeResult GpsSamplerTA::establish_hmac_key(SessionId session,
     st.hmac_key.clear();
     return {TeeStatus::kBadParameters, {}};
   }
-  charge(vault_.key_bits() >= 2048 ? resource::Op::kRsaSign2048
-                                   : resource::Op::kRsaSign1024);
+  charge_sign();
   crypto::Bytes signature = vault_.sign(encrypted, config_.hash);
   return {TeeStatus::kSuccess, {encrypted, std::move(signature)}};
 }
@@ -156,9 +203,8 @@ InvokeResult GpsSamplerTA::batch_finalize(SessionId session) {
   const auto batch = storage_.get(batch_key(session));
   if (!batch || batch->empty()) return {TeeStatus::kNotReady, {}};
 
-  charge(vault_.key_bits() >= 2048 ? resource::Op::kRsaSign2048
-                                   : resource::Op::kRsaSign1024);
-  crypto::Bytes signature = vault_.sign_blinded(*batch, config_.hash, rng_);
+  charge_sign();
+  crypto::Bytes signature = vault_.sign_fast(*batch, config_.hash, rng_);
   st.batch_active = false;
   st.batch_count = 0;
   storage_.erase(batch_key(session));

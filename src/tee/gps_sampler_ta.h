@@ -36,6 +36,12 @@ enum class SamplerCommand : std::uint32_t {
   kBatchBegin = 5,        ///< start caching samples in secure storage
   kBatchAppend = 6,       ///< out: [sample]; cached, not signed
   kBatchFinalize = 7,     ///< out: [all_samples, one_signature]
+  /// Coalesced GetGPSAuth: drain every GPS fix queued in the secure-world
+  /// driver since the last invoke and sign each one, all inside a single
+  /// world switch — the monitor charges one switch pair for N samples
+  /// instead of N pairs. in: optionally [max_samples, 4 bytes BE];
+  /// out: [sample_1, sig_1, sample_2, sig_2, ...], oldest first.
+  kGetGpsAuthCoalesced = 8,
 };
 
 /// GpsSamplerTA configuration (defined at namespace scope so it can be a
@@ -43,6 +49,9 @@ enum class SamplerCommand : std::uint32_t {
 struct SamplerConfig {
   crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1;  // paper default
   std::size_t batch_capacity_samples = 16384;
+  /// Upper bound on samples signed by one kGetGpsAuthCoalesced invoke
+  /// (bounds secure-world time per SMC; leftover fixes stay queued).
+  std::size_t max_coalesced_samples = 32;
   /// Section VII-A2: refuse to sign fixes from a suspicious environment
   /// (impossible jumps/speeds, reversed clocks).
   bool enable_plausibility_check = false;
@@ -54,7 +63,8 @@ class GpsSamplerTA final : public TrustedApp {
   using Config = SamplerConfig;
 
   /// All dependencies live in the secure world; the TA borrows them.
-  GpsSamplerTA(const KeyVault& vault, const gps::GpsDriver& driver,
+  /// The driver is mutable: the coalesced path drains its pending queue.
+  GpsSamplerTA(const KeyVault& vault, gps::GpsDriver& driver,
                SecureStorage& storage, crypto::RandomSource& rng,
                Config config = {});
 
@@ -70,7 +80,7 @@ class GpsSamplerTA final : public TrustedApp {
 
  private:
   const KeyVault& vault_;
-  const gps::GpsDriver& driver_;
+  gps::GpsDriver& driver_;
   SecureStorage& storage_;
   crypto::RandomSource& rng_;
   Config config_;
@@ -98,7 +108,9 @@ class GpsSamplerTA final : public TrustedApp {
   resource::CostProfile cost_profile_{};
 
   void charge(resource::Op op) const;
+  void charge_sign() const;
   InvokeResult get_gps_auth();
+  InvokeResult get_gps_auth_coalesced(std::span<const crypto::Bytes> params);
   InvokeResult get_public_key() const;
   InvokeResult establish_hmac_key(SessionId session,
                                   std::span<const crypto::Bytes> params);

@@ -3,7 +3,10 @@
 namespace alidrone::tee {
 
 KeyVault::KeyVault(crypto::RsaKeyPair kp)
-    : priv_(std::move(kp.priv)), pub_(std::move(kp.pub)) {}
+    : priv_(std::move(kp.priv)),
+      pub_(std::move(kp.pub)),
+      plan_mu_(std::make_unique<std::mutex>()),
+      plan_(std::make_unique<crypto::RsaSigningPlan>(priv_)) {}
 
 KeyVault KeyVault::manufacture(std::size_t key_bits, crypto::RandomSource& rng) {
   return KeyVault(crypto::generate_rsa_keypair(key_bits, rng));
@@ -18,6 +21,19 @@ crypto::Bytes KeyVault::sign_blinded(std::span<const std::uint8_t> message,
                                      crypto::HashAlgorithm hash,
                                      crypto::RandomSource& rng) const {
   return crypto::rsa_sign_blinded(priv_, message, hash, rng);
+}
+
+crypto::Bytes KeyVault::sign_fast(std::span<const std::uint8_t> message,
+                                  crypto::HashAlgorithm hash,
+                                  crypto::RandomSource& rng) const {
+  const std::lock_guard<std::mutex> lock(*plan_mu_);
+  return plan_->sign(message, hash, rng);
+}
+
+KeyVault::PlanStats KeyVault::plan_stats() const {
+  const std::lock_guard<std::mutex> lock(*plan_mu_);
+  return {plan_->private_ops(), plan_->blinding_refreshes(),
+          plan_->crt_fault_fallbacks()};
 }
 
 std::optional<crypto::Bytes> KeyVault::decrypt(

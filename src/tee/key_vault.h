@@ -7,8 +7,15 @@
 // SecureWorld) can reach it, and the only normal-world path to that TA is
 // SecureMonitor::invoke. The public verification key T+ is freely
 // exportable (it is handed to the Auditor at drone registration).
+//
+// The vault also owns the per-key RsaSigningPlan — window tables for the
+// CRT exponents and the reusable blinding pair. All of that precomputed
+// secret-derived state lives inside the secure world and never crosses
+// the boundary; normal-world code only ever sees finished signatures.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <span>
 
 #include "crypto/rsa.h"
@@ -36,6 +43,22 @@ class KeyVault {
                              crypto::HashAlgorithm hash,
                              crypto::RandomSource& rng) const;
 
+  /// Fast path: blinded signature through the vault's RsaSigningPlan
+  /// (cached CRT window plans + blinding-pair reuse + CRT fault guard).
+  /// Byte-identical to sign()/sign_blinded() output; serialized with an
+  /// internal mutex because the plan state is mutable.
+  crypto::Bytes sign_fast(std::span<const std::uint8_t> message,
+                          crypto::HashAlgorithm hash,
+                          crypto::RandomSource& rng) const;
+
+  /// Plan introspection for tests/benches (snapshot under the plan lock).
+  struct PlanStats {
+    std::uint64_t private_ops = 0;
+    std::uint64_t blinding_refreshes = 0;
+    std::uint64_t crt_fault_fallbacks = 0;
+  };
+  PlanStats plan_stats() const;
+
   /// Decrypt a message encrypted under T+ (used by the symmetric-key
   /// session establishment in the Section VII-A1a extension).
   std::optional<crypto::Bytes> decrypt(std::span<const std::uint8_t> ciphertext) const;
@@ -50,6 +73,10 @@ class KeyVault {
 
   crypto::RsaPrivateKey priv_;
   crypto::RsaPublicKey pub_;
+  // Plan state mutates on every signature, so sign_fast (const, like the
+  // other sign entry points) guards it; unique_ptrs keep the vault movable.
+  mutable std::unique_ptr<std::mutex> plan_mu_;
+  mutable std::unique_ptr<crypto::RsaSigningPlan> plan_;
 };
 
 }  // namespace alidrone::tee

@@ -1,0 +1,251 @@
+// Coalesced GetGPSAuth: N queued fixes signed inside ONE world switch.
+//
+// The per-invoke SMC pair is the fixed cost the coalesced command
+// amortizes — these tests pin the contract: one invoke drains the
+// driver's pending queue oldest-first, returns N verifying
+// (sample, signature) pairs, and the monitor/cost-model charge exactly
+// one switch pair regardless of N.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "gps/driver.h"
+#include "gps/receiver_sim.h"
+#include "resource/cost_model.h"
+#include "tee/gps_sampler_ta.h"
+#include "tee/sample_codec.h"
+#include "tee/secure_monitor.h"
+
+namespace alidrone::tee {
+namespace {
+
+constexpr double kT0 = 1528395200.0;
+
+class CoalescedFixture : public ::testing::Test {
+ protected:
+  CoalescedFixture() : tee_(make_config()) {}
+
+  static DroneTee::Config make_config() {
+    DroneTee::Config config;
+    config.key_bits = 512;
+    config.manufacturing_seed = "coalesced-test-device";
+    return config;
+  }
+
+  /// Feed one GPS epoch (one $GPRMC plus companions) at time t.
+  void feed_fix(geo::GeoPoint p, double t) {
+    gps::GpsReceiverSim::Config rc;
+    rc.update_rate_hz = 5.0;
+    rc.start_time = t;
+    gps::GpsReceiverSim sim(rc, [p](double tt) {
+      gps::GpsFix f;
+      f.position = p;
+      f.unix_time = tt;
+      return f;
+    });
+    for (const std::string& s : sim.advance_to(t)) tee_.feed_gps(s);
+  }
+
+  void feed_track(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      feed_fix({40.0 + 0.0001 * static_cast<double>(i), -88.0},
+               kT0 + static_cast<double>(i));
+    }
+  }
+
+  InvokeResult invoke_coalesced(std::span<const crypto::Bytes> params = {}) {
+    return tee_.monitor().invoke(
+        tee_.sampler_uuid(),
+        static_cast<std::uint32_t>(SamplerCommand::kGetGpsAuthCoalesced), params);
+  }
+
+  DroneTee tee_;
+};
+
+TEST_F(CoalescedFixture, EmptyQueueIsNotReady) {
+  EXPECT_EQ(invoke_coalesced().status, TeeStatus::kNotReady);
+}
+
+TEST_F(CoalescedFixture, DrainsWholeBacklogOldestFirstAllVerify) {
+  constexpr std::size_t kN = 7;
+  feed_track(kN);
+
+  const InvokeResult result = invoke_coalesced();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.outputs.size(), 2 * kN);
+
+  double prev_time = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto fix = decode_sample(result.outputs[2 * i]);
+    ASSERT_TRUE(fix.has_value()) << i;
+    EXPECT_GT(fix->unix_time, prev_time) << "not oldest-first at " << i;
+    prev_time = fix->unix_time;
+    EXPECT_TRUE(crypto::rsa_verify(tee_.verification_key(), result.outputs[2 * i],
+                                   result.outputs[2 * i + 1],
+                                   crypto::HashAlgorithm::kSha1))
+        << i;
+  }
+
+  // The queue was drained: a second invoke has nothing to sign.
+  EXPECT_EQ(invoke_coalesced().status, TeeStatus::kNotReady);
+}
+
+TEST_F(CoalescedFixture, CoalescedSignaturesMatchPerSamplePath) {
+  // Byte-identical to the one-at-a-time command: same codec, same key,
+  // same deterministic PKCS1-v1_5 signature.
+  feed_fix({40.1164, -88.2434}, kT0);
+  const InvokeResult single = tee_.monitor().invoke(
+      tee_.sampler_uuid(), static_cast<std::uint32_t>(SamplerCommand::kGetGpsAuth));
+  ASSERT_TRUE(single.ok());
+
+  const InvokeResult batch = invoke_coalesced();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.outputs.size(), 2u);
+  EXPECT_EQ(batch.outputs[0], single.outputs[0]);
+  EXPECT_EQ(batch.outputs[1], single.outputs[1]);
+}
+
+TEST_F(CoalescedFixture, OneWorldSwitchPairForTheWholeBatch) {
+  constexpr std::size_t kN = 12;
+  feed_track(kN);
+
+  const std::uint64_t before = tee_.monitor().world_switches();
+  const InvokeResult result = invoke_coalesced();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.outputs.size(), 2 * kN);
+  // Exactly one SMC entry + exit for all 12 signatures — the whole point.
+  EXPECT_EQ(tee_.monitor().world_switches(), before + 2);
+}
+
+TEST_F(CoalescedFixture, CostModelChargesOneSwitchPairPlusPerSampleWork) {
+  constexpr std::size_t kN = 5;
+  feed_track(kN);
+
+  resource::CpuAccountant cpu(4);
+  const resource::CostProfile profile = resource::CostProfile::raspberry_pi3();
+  tee_.set_cost_meter(&cpu, profile);
+
+  ASSERT_TRUE(invoke_coalesced().ok());
+  // One switch pair, then N * (read/parse + signature). The 512-bit test
+  // key maps to the 1024 cost bucket, as in the per-sample path.
+  EXPECT_NEAR(cpu.busy_seconds(),
+              2 * profile.world_switch +
+                  kN * (profile.gps_read_parse + profile.rsa_sign_1024),
+              1e-12);
+}
+
+TEST_F(CoalescedFixture, MaxSamplesParamBoundsTheBatchAndKeepsTheRest) {
+  feed_track(6);
+
+  const std::vector<crypto::Bytes> limit2{crypto::Bytes{0, 0, 0, 2}};
+  const InvokeResult first = invoke_coalesced(limit2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.outputs.size(), 4u);  // 2 pairs
+
+  // Leftover fixes stayed queued, still oldest-first.
+  const InvokeResult rest = invoke_coalesced();
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest.outputs.size(), 8u);  // remaining 4 pairs
+  const auto first_fix = decode_sample(first.outputs[0]);
+  const auto rest_fix = decode_sample(rest.outputs[0]);
+  ASSERT_TRUE(first_fix.has_value());
+  ASSERT_TRUE(rest_fix.has_value());
+  EXPECT_LT(first_fix->unix_time, rest_fix->unix_time);
+}
+
+TEST_F(CoalescedFixture, BadLimitParamRejected) {
+  feed_track(1);
+  const std::vector<crypto::Bytes> wrong_size{crypto::Bytes{0, 2}};
+  EXPECT_EQ(invoke_coalesced(wrong_size).status, TeeStatus::kBadParameters);
+  const std::vector<crypto::Bytes> zero{crypto::Bytes{0, 0, 0, 0}};
+  EXPECT_EQ(invoke_coalesced(zero).status, TeeStatus::kBadParameters);
+  // The queue is untouched by rejected invokes.
+  EXPECT_EQ(invoke_coalesced().outputs.size(), 2u);
+}
+
+TEST_F(CoalescedFixture, WorksThroughSessionsLikeAnyCommand) {
+  feed_track(3);
+  const SessionId s = tee_.monitor().open_session(tee_.sampler_uuid());
+  ASSERT_GE(s, 1u);
+  const InvokeResult result = tee_.monitor().invoke(
+      s, static_cast<std::uint32_t>(SamplerCommand::kGetGpsAuthCoalesced));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.outputs.size(), 6u);
+  EXPECT_TRUE(tee_.monitor().close_session(s));
+}
+
+// --- driver pending-queue mechanics --------------------------------------
+
+std::vector<std::string> epoch_sentences(geo::GeoPoint p, double t) {
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = t;
+  gps::GpsReceiverSim sim(rc, [p](double tt) {
+    gps::GpsFix f;
+    f.position = p;
+    f.unix_time = tt;
+    return f;
+  });
+  return sim.advance_to(t);
+}
+
+TEST(GpsDriverPending, AccumulatesAndDrainsOldestFirst) {
+  gps::GpsDriver driver;
+  for (int i = 0; i < 3; ++i) {
+    for (const std::string& s :
+         epoch_sentences({40.0, -88.0}, kT0 + static_cast<double>(i))) {
+      driver.feed(s);
+    }
+  }
+  EXPECT_EQ(driver.pending_fix_count(), 3u);
+
+  const std::vector<gps::GpsFix> first = driver.take_pending(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_LT(first[0].unix_time, first[1].unix_time);
+  EXPECT_EQ(driver.pending_fix_count(), 1u);
+
+  const std::vector<gps::GpsFix> rest = driver.take_pending();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_GT(rest[0].unix_time, first[1].unix_time);
+  EXPECT_EQ(driver.take_pending().size(), 0u);
+}
+
+TEST(GpsDriverPending, OverflowDropsOldestKeepsLatest) {
+  gps::GpsDriver driver;
+  const std::size_t overfill = gps::GpsDriver::kPendingCapacity + 5;
+  for (std::size_t i = 0; i < overfill; ++i) {
+    for (const std::string& s :
+         epoch_sentences({40.0, -88.0}, kT0 + static_cast<double>(i))) {
+      driver.feed(s);
+    }
+  }
+  EXPECT_EQ(driver.pending_fix_count(), gps::GpsDriver::kPendingCapacity);
+  EXPECT_EQ(driver.dropped_fixes(), 5u);
+
+  // The latest fix survives both in the queue tail and in get_gps().
+  const std::vector<gps::GpsFix> drained = driver.take_pending();
+  ASSERT_EQ(drained.size(), gps::GpsDriver::kPendingCapacity);
+  const double last_t = kT0 + static_cast<double>(overfill - 1);
+  EXPECT_NEAR(drained.back().unix_time, last_t, 1e-3);
+  ASSERT_TRUE(driver.get_gps().has_value());
+  EXPECT_NEAR(driver.get_gps()->unix_time, last_t, 1e-3);
+}
+
+TEST(GpsDriverPending, MergesReachPendingEntries) {
+  // GGA altitude arriving after the RMC must be reflected in the drained
+  // copy, matching get_gps() (the TA signs whatever the driver reports).
+  gps::GpsDriver driver;
+  for (const std::string& s : epoch_sentences({40.0, -88.0}, kT0)) {
+    driver.feed(s);
+  }
+  const auto latest = driver.get_gps();
+  ASSERT_TRUE(latest.has_value());
+  const std::vector<gps::GpsFix> drained = driver.take_pending();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].altitude_m, latest->altitude_m);
+  EXPECT_EQ(drained[0].speed_mps, latest->speed_mps);
+}
+
+}  // namespace
+}  // namespace alidrone::tee
