@@ -17,6 +17,8 @@ std::string to_string(AuditEventType type) {
       return "poa-verdict";
     case AuditEventType::kAccusation:
       return "accusation";
+    case AuditEventType::kGpsFixDropped:
+      return "gps-fix-dropped";
   }
   return "unknown";
 }
@@ -27,7 +29,7 @@ std::optional<AuditEventType> type_from_string(const std::string& s) {
   for (const auto type :
        {AuditEventType::kDroneRegistered, AuditEventType::kZoneRegistered,
         AuditEventType::kZoneQuery, AuditEventType::kPoaVerdict,
-        AuditEventType::kAccusation}) {
+        AuditEventType::kAccusation, AuditEventType::kGpsFixDropped}) {
     if (to_string(type) == s) return type;
   }
   return std::nullopt;

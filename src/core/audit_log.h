@@ -28,6 +28,9 @@ enum class AuditEventType : std::uint8_t {
   kZoneQuery,
   kPoaVerdict,
   kAccusation,
+  /// Drone-side: the secure-world GPS driver's bounded pending-fix queue
+  /// overflowed and lost its oldest fix (the latest fix is never lost).
+  kGpsFixDropped,
 };
 
 std::string to_string(AuditEventType type);

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "crypto/hmac.h"
+#include "crypto/sha256.h"
 #include "net/codec.h"
 #include "runtime/parallel_for.h"
 #include "tee/sample_codec.h"
@@ -27,6 +28,17 @@ bool Auditor::note_nonce(const crypto::Bytes& nonce) {
     nonce_order_.pop_front();
   }
   return true;
+}
+
+void Auditor::note_submission(const crypto::Bytes& digest,
+                              const crypto::Bytes& verdict) {
+  if (submit_cache_.emplace(digest, verdict).second) {
+    submit_cache_order_.push_back(digest);
+    while (submit_cache_order_.size() > params_.submit_dedup_cache_size) {
+      submit_cache_.erase(submit_cache_order_.front());
+      submit_cache_order_.pop_front();
+    }
+  }
 }
 
 void Auditor::attach_registry(std::shared_ptr<RegistryStore> registry) {
@@ -70,9 +82,17 @@ RegisterDroneResponse Auditor::register_drone(const RegisterDroneRequest& reques
   if (op_key.modulus_bits() < 512 || tee_key.modulus_bits() < 512) return {};
 
   // One identity per TEE key: re-registering the same hardware under a new
-  // operator key would let an attacker shed accusations.
+  // operator key would let an attacker shed accusations. The same pairing
+  // re-submitted is answered idempotently with the original id — a retry
+  // after a lost response must not look like a refusal.
   for (const auto& [id, record] : drones_) {
-    if (record.tee_key == tee_key) return {};
+    if (record.tee_key == tee_key) {
+      if (record.operator_key == op_key) {
+        ++duplicate_registrations_;
+        return {true, id};
+      }
+      return {};
+    }
   }
 
   DroneId id = "drone-" + std::to_string(next_drone_number_++);
@@ -485,10 +505,25 @@ void Auditor::bind(net::MessageBus& bus) {
       verdict.detail = "bad request";
       return verdict.encode();
     }
+    // Content-based dedup: retried and duplicated deliveries of the same
+    // proof bytes return the first verdict verbatim, with no second
+    // verification, retention or audit event — retry storms cannot
+    // double-count a flight.
+    const auto digest_arr = crypto::Sha256::hash(request->poa);
+    const crypto::Bytes digest(digest_arr.begin(), digest_arr.end());
+    if (const auto hit = submit_cache_.find(digest); hit != submit_cache_.end()) {
+      ++duplicate_submissions_;
+      return hit->second;
+    }
     // Submission time: latest sample time stands in for server wall clock.
     const auto poa = ProofOfAlibi::parse(request->poa);
     const double t = poa && poa->end_time() ? *poa->end_time() : 0.0;
-    return verify_poa_bytes(request->poa, t).encode();
+    const PoaVerdict verdict = verify_poa_bytes(request->poa, t);
+    crypto::Bytes encoded = verdict.encode();
+    // Only accepted proofs had side effects worth fencing; rejected ones
+    // re-verify idempotently and stay out of the bounded cache.
+    if (verdict.accepted) note_submission(digest, encoded);
+    return encoded;
   });
   bus.register_endpoint("auditor.accuse", [this](const crypto::Bytes& in) {
     const auto request = AccusationRequest::decode(in);

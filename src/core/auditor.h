@@ -102,6 +102,12 @@ class Auditor {
   std::size_t drone_count() const { return drones_.size(); }
   std::size_t zone_count() const { return zones_.size(); }
   std::size_t retained_poa_count() const;
+  /// Bus submissions answered from the proof-digest dedup cache (retry
+  /// storms, duplicated deliveries) without re-verification or retention.
+  std::uint64_t duplicate_poa_submissions() const { return duplicate_submissions_; }
+  /// register_drone calls answered idempotently (same TEE + operator key
+  /// re-submitted, e.g. a retry after a lost response).
+  std::uint64_t duplicate_registrations() const { return duplicate_registrations_; }
   const std::map<ZoneId, ZoneRecord>& zones() const { return zones_; }
   const ProtocolParams& params() const { return params_; }
 
@@ -120,6 +126,16 @@ class Auditor {
   // Replay defense for zone-query nonces (bounded FIFO + set).
   std::set<crypto::Bytes> seen_nonces_;
   std::deque<crypto::Bytes> nonce_order_;
+
+  // Replay defense for PoA submissions over the bus: proof digest ->
+  // encoded verdict of the first accepted delivery (bounded FIFO + map).
+  std::map<crypto::Bytes, crypto::Bytes> submit_cache_;
+  std::deque<crypto::Bytes> submit_cache_order_;
+  std::uint64_t duplicate_submissions_ = 0;
+  std::uint64_t duplicate_registrations_ = 0;
+
+  /// Remember an accepted submission's verdict for dedup.
+  void note_submission(const crypto::Bytes& digest, const crypto::Bytes& verdict);
 
   struct RetainedPoa {
     double submission_time = 0.0;

@@ -8,25 +8,40 @@ DroneClient::DroneClient(tee::DroneTee& tee, std::size_t operator_key_bits,
                          crypto::RandomSource& rng)
     : tee_(tee), keypair_(crypto::generate_rsa_keypair(operator_key_bits, rng)) {}
 
-bool DroneClient::register_with_auditor(net::MessageBus& bus) {
+std::optional<RegisterDroneRequest> DroneClient::make_register_request() {
   // Read T+ through the monitored TA interface, as the operator would at
   // merchandising time.
   const tee::InvokeResult key = tee_.monitor().invoke(
       tee_.sampler_uuid(),
       static_cast<std::uint32_t>(tee::SamplerCommand::kGetPublicKey));
-  if (!key.ok() || key.outputs.size() != 2) return false;
+  if (!key.ok() || key.outputs.size() != 2) return std::nullopt;
 
   RegisterDroneRequest request;
   request.operator_key_n = keypair_.pub.n.to_bytes();
   request.operator_key_e = keypair_.pub.e.to_bytes();
   request.tee_key_n = key.outputs[0];
   request.tee_key_e = key.outputs[1];
+  return request;
+}
 
-  const crypto::Bytes reply = bus.request("auditor.register_drone", request.encode());
+bool DroneClient::accept_register_reply(const crypto::Bytes& reply) {
   const auto response = RegisterDroneResponse::decode(reply);
   if (!response || !response->ok) return false;
   id_ = response->drone_id;
   return true;
+}
+
+bool DroneClient::register_with_auditor(net::MessageBus& bus) {
+  const auto request = make_register_request();
+  if (!request) return false;
+  return accept_register_reply(bus.request("auditor.register_drone", request->encode()));
+}
+
+bool DroneClient::register_with_auditor(resilience::ReliableChannel& channel) {
+  const auto request = make_register_request();
+  if (!request) return false;
+  const auto outcome = channel.request("auditor.register_drone", request->encode());
+  return outcome.ok && accept_register_reply(outcome.response);
 }
 
 ZoneQueryRequest DroneClient::make_zone_query(const QueryRect& rect) {
@@ -46,6 +61,27 @@ std::optional<std::vector<ZoneInfo>> DroneClient::query_zones(net::MessageBus& b
   const auto response = ZoneQueryResponse::decode(reply);
   if (!response || !response->ok) return std::nullopt;
   return response->zones;
+}
+
+std::optional<std::vector<ZoneInfo>> DroneClient::query_zones(
+    resilience::ReliableChannel& channel, const QueryRect& rect) {
+  // A zone query is read-only, so redelivery is harmless — but the
+  // Auditor remembers nonces, so a retry AFTER a lost response would be
+  // rejected as a replay. Each attempt therefore signs a fresh nonce
+  // (a new logical request), with the channel handling backoff between.
+  for (std::uint32_t attempt = 0; attempt < channel.config().retry.max_attempts;
+       ++attempt) {
+    const auto outcome =
+        channel.request("auditor.query_zones", make_zone_query(rect).encode());
+    if (outcome.circuit_open) return std::nullopt;
+    if (!outcome.ok) continue;
+    const auto response = ZoneQueryResponse::decode(outcome.response);
+    if (!response) continue;  // corrupted in transit: ask again
+    if (!response->ok && response->error == "replayed nonce") continue;
+    if (!response->ok) return std::nullopt;
+    return response->zones;
+  }
+  return std::nullopt;
 }
 
 ProofOfAlibi DroneClient::fly(gps::GpsReceiverSim& receiver, SamplingPolicy& policy,
@@ -69,6 +105,61 @@ std::optional<PoaVerdict> DroneClient::submit_poa(net::MessageBus& bus,
   SubmitPoaRequest request{poa.serialize()};
   const crypto::Bytes reply = bus.request("auditor.submit_poa", request.encode());
   return PoaVerdict::decode(reply);
+}
+
+std::optional<PoaVerdict> DroneClient::submit_poa(
+    resilience::ReliableChannel& channel, const ProofOfAlibi& poa) {
+  const std::size_t backlog = outbox_.size();
+  enqueue_poa(poa);
+  const std::vector<PoaVerdict> verdicts = drain_outbox(channel);
+  // The drain delivers oldest-first: this proof's verdict is the one
+  // after the backlog's, and only if everything before it also went out.
+  if (verdicts.size() > backlog) return verdicts[backlog];
+  return std::nullopt;
+}
+
+void DroneClient::enqueue_poa(const ProofOfAlibi& poa) {
+  outbox_.push_back(OutboxEntry{poa.serialize(), 0});
+  ++outbox_counters_.enqueued;
+}
+
+std::vector<PoaVerdict> DroneClient::drain_outbox(
+    resilience::ReliableChannel& channel) {
+  std::vector<PoaVerdict> verdicts;
+  std::deque<OutboxEntry> remaining;
+  bool stop = false;
+  while (!outbox_.empty()) {
+    OutboxEntry entry = std::move(outbox_.front());
+    outbox_.pop_front();
+    if (stop) {
+      remaining.push_back(std::move(entry));
+      continue;
+    }
+
+    const auto outcome = channel.request("auditor.submit_poa",
+                                         SubmitPoaRequest{entry.poa_bytes}.encode());
+    outbox_counters_.drain_attempts += outcome.attempts;
+    ++entry.attempts;
+
+    std::optional<PoaVerdict> verdict;
+    if (outcome.ok) {
+      verdict = PoaVerdict::decode(outcome.response);
+      if (!verdict) ++outbox_counters_.undecodable_responses;
+    }
+    if (verdict) {
+      ++outbox_counters_.delivered;
+      verdicts.push_back(std::move(*verdict));
+      continue;
+    }
+    // Not delivered (or the verdict was mangled in transit — the Auditor
+    // may already have verified it; content dedup makes the redelivery
+    // return the same verdict). Keep it for the next drain, and stop
+    // hammering a tripped endpoint.
+    remaining.push_back(std::move(entry));
+    if (outcome.circuit_open) stop = true;
+  }
+  outbox_ = std::move(remaining);
+  return verdicts;
 }
 
 }  // namespace alidrone::core

@@ -2,8 +2,17 @@
 // (step 0), signed zone queries (steps 2-3), flights with PoA generation,
 // and PoA submission (step 4). Wraps the TEE, the samplers and the flight
 // loop behind the workflow of Fig. 2.
+//
+// Every bus interaction also exists in a resilient flavour that goes
+// through a resilience::ReliableChannel (retries + circuit breaking), and
+// PoA submission additionally runs through a durable outbox: fly() output
+// is enqueued, a drain loop delivers it with retries across flights, and
+// the Auditor's content dedup makes redelivery after a lost response
+// harmless. A PoA generated under a flaky link is therefore *eventually*
+// verified exactly once.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 
@@ -14,6 +23,7 @@
 #include "crypto/random.h"
 #include "crypto/rsa.h"
 #include "net/message_bus.h"
+#include "resilience/reliable_channel.h"
 #include "tee/secure_monitor.h"
 
 namespace alidrone::core {
@@ -33,9 +43,19 @@ class DroneClient {
   /// the Auditor refuses. Reads T+ out of the TEE via GetPublicKey.
   bool register_with_auditor(net::MessageBus& bus);
 
+  /// Step 0 through a ReliableChannel: a dropped or lost reply becomes a
+  /// bounded retry instead of an unhandled TimeoutError; the Auditor's
+  /// idempotent registration returns the same id on redelivery.
+  bool register_with_auditor(resilience::ReliableChannel& channel);
+
   /// Steps 2-3: query NFZs in a rectangle with a fresh signed nonce.
   std::optional<std::vector<ZoneInfo>> query_zones(net::MessageBus& bus,
                                                    const QueryRect& rect);
+
+  /// Steps 2-3 with retries. Each retry re-signs a FRESH nonce — the
+  /// Auditor rejects replays, so the retried query must be a new one.
+  std::optional<std::vector<ZoneInfo>> query_zones(
+      resilience::ReliableChannel& channel, const QueryRect& rect);
 
   /// Build a signed zone-query request (exposed for tests/attacks).
   ZoneQueryRequest make_zone_query(const QueryRect& rect);
@@ -50,6 +70,35 @@ class DroneClient {
   std::optional<PoaVerdict> submit_poa(net::MessageBus& bus,
                                        const ProofOfAlibi& poa);
 
+  /// Step 4 via the outbox: enqueue, then drain through `channel`.
+  /// Returns the verdict when this drain delivered it; nullopt leaves the
+  /// proof queued for a later drain_outbox().
+  std::optional<PoaVerdict> submit_poa(resilience::ReliableChannel& channel,
+                                       const ProofOfAlibi& poa);
+
+  // ---- PoA outbox (store-and-forward) ----
+
+  struct OutboxCounters {
+    std::uint64_t enqueued = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t drain_attempts = 0;  ///< channel requests made by drains
+    std::uint64_t undecodable_responses = 0;  ///< corrupted verdicts discarded
+  };
+
+  /// Queue a PoA for submission. The proof is serialized once here, so
+  /// every later delivery attempt is byte-identical on the wire (that is
+  /// what the Auditor's content dedup keys on).
+  void enqueue_poa(const ProofOfAlibi& poa);
+
+  /// Try to deliver every queued proof, oldest first. Delivered proofs
+  /// leave the queue and their verdicts are returned (in queue order);
+  /// failures stay queued for the next drain. An open circuit stops the
+  /// drain early — the remaining backlog waits out the cool-down.
+  std::vector<PoaVerdict> drain_outbox(resilience::ReliableChannel& channel);
+
+  std::size_t outbox_size() const { return outbox_.size(); }
+  const OutboxCounters& outbox_counters() const { return outbox_counters_; }
+
   /// The result of the last fly() call (log, counters) for evaluation.
   const FlightResult& last_flight() const { return last_flight_; }
 
@@ -59,6 +108,16 @@ class DroneClient {
   DroneId id_;
   crypto::SecureRandom nonce_rng_;
   FlightResult last_flight_;
+
+  struct OutboxEntry {
+    crypto::Bytes poa_bytes;  ///< ProofOfAlibi::serialize(), frozen at enqueue
+    std::uint32_t attempts = 0;
+  };
+  std::deque<OutboxEntry> outbox_;
+  OutboxCounters outbox_counters_;
+
+  std::optional<RegisterDroneRequest> make_register_request();
+  bool accept_register_reply(const crypto::Bytes& reply);
 };
 
 }  // namespace alidrone::core

@@ -10,10 +10,24 @@ namespace alidrone::core {
 
 namespace {
 
+/// Extra invocations allowed per command to ride out transient (kBusy)
+/// world-switch failures. Bounded: a persistently busy secure world must
+/// surface as a tee_failure, not hang the flight loop.
+constexpr int kMaxTransientRetries = 3;
+
 tee::InvokeResult invoke_sampler(tee::DroneTee& tee, tee::SamplerCommand command,
-                                 std::span<const crypto::Bytes> params = {}) {
-  return tee.monitor().invoke(tee.sampler_uuid(),
-                              static_cast<std::uint32_t>(command), params);
+                                 std::span<const crypto::Bytes> params = {},
+                                 std::uint64_t* retries = nullptr) {
+  tee::InvokeResult result = tee.monitor().invoke(
+      tee.sampler_uuid(), static_cast<std::uint32_t>(command), params);
+  for (int attempt = 0;
+       result.status == tee::TeeStatus::kBusy && attempt < kMaxTransientRetries;
+       ++attempt) {
+    if (retries != nullptr) ++*retries;
+    result = tee.monitor().invoke(tee.sampler_uuid(),
+                                  static_cast<std::uint32_t>(command), params);
+  }
+  return result;
 }
 
 }  // namespace
@@ -23,6 +37,38 @@ FlightResult run_flight(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
   FlightResult result;
   gps::GpsDriver normal_world_driver;  // the Adapter's ReadGPS() source
   std::uint64_t last_seq = 0;
+
+  // Audit-trail the secure driver's evidence loss. Overflows are frequent
+  // on the per-sample path (it never drains the pending queue), so instead
+  // of one event per dropped fix the flight records the onset plus an
+  // end-of-flight summary. The listener borrows config.audit, so it is
+  // detached again on any exit.
+  struct DropListenerGuard {
+    tee::DroneTee& tee;
+    bool armed = false;
+    ~DropListenerGuard() {
+      if (armed) tee.set_gps_drop_listener(nullptr);
+    }
+  } drop_guard{tee};
+  const std::uint64_t dropped_at_start = tee.gps_fixes_dropped();
+  bool drop_onset_logged = false;
+  if (config.audit != nullptr) {
+    drop_guard.armed = true;
+    tee.set_gps_drop_listener(
+        [audit = config.audit, &drop_onset_logged](const gps::GpsFix& dropped,
+                                                   std::uint64_t total) {
+          if (drop_onset_logged) return;
+          drop_onset_logged = true;
+          AuditEvent event;
+          event.time = dropped.unix_time;
+          event.type = AuditEventType::kGpsFixDropped;
+          event.subject = "tee-gps-driver";
+          event.outcome_ok = false;
+          event.detail = "pending-fix queue overflow began; total dropped=" +
+                         std::to_string(total);
+          audit->record(std::move(event));
+        });
+  }
 
   crypto::SecureRandom encryption_rng;
   const double period = receiver.update_period();
@@ -42,8 +88,8 @@ FlightResult run_flight(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
     const std::vector<crypto::Bytes> params{
         config.auditor_encryption_key->n.to_bytes(),
         config.auditor_encryption_key->e.to_bytes()};
-    const tee::InvokeResult established =
-        invoke_sampler(tee, tee::SamplerCommand::kEstablishHmacKey, params);
+    const tee::InvokeResult established = invoke_sampler(
+        tee, tee::SamplerCommand::kEstablishHmacKey, params, &result.tee_retries);
     if (!established.ok() || established.outputs.size() != 2) {
       throw std::runtime_error("run_flight: HMAC session key establishment failed");
     }
@@ -51,7 +97,9 @@ FlightResult run_flight(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
     result.session_key_signature = established.outputs[1];
     sample_command = tee::SamplerCommand::kGetGpsHmac;
   } else if (config.auth_mode == AuthMode::kBatchSignature) {
-    if (!invoke_sampler(tee, tee::SamplerCommand::kBatchBegin).ok()) {
+    if (!invoke_sampler(tee, tee::SamplerCommand::kBatchBegin, {},
+                        &result.tee_retries)
+             .ok()) {
       throw std::runtime_error("run_flight: batch begin failed");
     }
     sample_command = tee::SamplerCommand::kBatchAppend;
@@ -86,7 +134,8 @@ FlightResult run_flight(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
 
     if (policy.should_authenticate(*fix)) {
       ++result.authentications;
-      const tee::InvokeResult auth = invoke_sampler(tee, sample_command);
+      const tee::InvokeResult auth =
+          invoke_sampler(tee, sample_command, {}, &result.tee_retries);
       const std::size_t expected_outputs =
           config.auth_mode == AuthMode::kBatchSignature ? 1u : 2u;
       if (auth.ok() && auth.outputs.size() == expected_outputs) {
@@ -125,12 +174,26 @@ FlightResult run_flight(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
 
   if (config.auth_mode == AuthMode::kBatchSignature &&
       !result.poa_samples.empty()) {
-    const tee::InvokeResult finalized =
-        invoke_sampler(tee, tee::SamplerCommand::kBatchFinalize);
+    const tee::InvokeResult finalized = invoke_sampler(
+        tee, tee::SamplerCommand::kBatchFinalize, {}, &result.tee_retries);
     if (finalized.ok() && finalized.outputs.size() == 2) {
       result.batch_signature = finalized.outputs[1];
     } else {
       ++result.tee_failures;
+    }
+  }
+
+  if (config.audit != nullptr) {
+    const std::uint64_t dropped = tee.gps_fixes_dropped() - dropped_at_start;
+    if (dropped > 0) {
+      AuditEvent event;
+      event.time = config.end_time;
+      event.type = AuditEventType::kGpsFixDropped;
+      event.subject = "tee-gps-driver";
+      event.outcome_ok = false;
+      event.detail =
+          "flight summary: " + std::to_string(dropped) + " fixes dropped";
+      config.audit->record(std::move(event));
     }
   }
   return result;

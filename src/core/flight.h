@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/audit_log.h"
 #include "core/poa.h"
 #include "core/sampler.h"
 #include "crypto/rsa.h"
@@ -37,6 +38,10 @@ struct FlightResult {
   std::uint64_t gps_updates = 0;
   std::uint64_t authentications = 0;
   std::uint64_t tee_failures = 0;    ///< GetGPSAuth returned non-success
+  /// Extra invocations spent recovering from transient (kBusy) world-
+  /// switch failures; a fault only lands in tee_failures once the bounded
+  /// retry budget is exhausted.
+  std::uint64_t tee_retries = 0;
   /// kHmacSession: the TEE's encrypted session key + signature over it.
   crypto::Bytes session_key_ciphertext;
   crypto::Bytes session_key_signature;
@@ -56,6 +61,10 @@ struct FlightConfig {
   /// Cost accounting (Table II); disabled when cpu is null.
   resource::CpuAccountant* cpu = nullptr;
   resource::CostProfile cost_profile{};
+  /// When set, drone-side incidents (secure GPS queue overflow dropping a
+  /// fix) are recorded here as kGpsFixDropped events. Borrowed for the
+  /// duration of the flight only.
+  AuditLog* audit = nullptr;
   std::vector<geo::Circle> local_zones;  ///< for the distance log
   geo::LocalFrame frame{geo::GeoPoint{0.0, 0.0}};
 };

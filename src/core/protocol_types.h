@@ -65,6 +65,10 @@ struct ProtocolParams {
   double poa_retention_seconds = 3.0 * 24 * 3600;
   /// Zone-query nonces seen within this window are rejected as replays.
   std::size_t nonce_cache_size = 4096;
+  /// Accepted PoA submissions remembered (by proof digest) for
+  /// content-based dedup of retried/duplicated bus deliveries: a retry
+  /// storm re-sends byte-identical proofs and must not double-retain.
+  std::size_t submit_dedup_cache_size = 4096;
   /// Thin plaintext per-sample PoAs to their minimal sufficient witness
   /// before retention (Section IV-C3's monotonicity, applied offline).
   bool thin_before_retention = false;

@@ -21,8 +21,10 @@ void GpsDriver::feed(std::string_view sentence) {
     if (latest_) fix.altitude_m = latest_->altitude_m;
     latest_ = fix;
     if (pending_fixes_.size() >= kPendingCapacity) {
+      const GpsFix dropped = pending_fixes_.front();
       pending_fixes_.pop_front();
       ++dropped_fixes_;
+      if (drop_listener_) drop_listener_(dropped, dropped_fixes_);
     }
     pending_fixes_.push_back(fix);
     ++sequence_;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -45,6 +46,16 @@ class GpsDriver {
   /// Fixes lost to pending-queue overflow (the latest fix is never lost).
   std::uint64_t dropped_fixes() const { return dropped_fixes_; }
 
+  /// Invoked on every pending-queue overflow with the dropped fix and the
+  /// running dropped_fixes() total — the hook audit trails hang off (a
+  /// dropped signed-sample candidate is an auditable loss of evidence).
+  /// Pass nullptr to clear.
+  using DropListener = std::function<void(const GpsFix& dropped,
+                                          std::uint64_t total_dropped)>;
+  void set_drop_listener(DropListener listener) {
+    drop_listener_ = std::move(listener);
+  }
+
   /// Sequence number of the latest fix; increments on every accepted
   /// $GPRMC. 0 means no fix yet.
   std::uint64_t sequence() const { return sequence_; }
@@ -60,6 +71,7 @@ class GpsDriver {
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t dropped_fixes_ = 0;
+  DropListener drop_listener_;
 };
 
 }  // namespace alidrone::gps

@@ -12,7 +12,10 @@
 namespace alidrone::gps {
 
 GpsReceiverSim::GpsReceiverSim(Config config, PositionSource source)
-    : config_(config), source_(std::move(source)), rng_(config.seed) {
+    : config_(config),
+      source_(std::move(source)),
+      rng_(config.seed),
+      corrupt_rng_(config.seed ^ 0x6e6d6561ULL /* "nmea" */) {
   if (config_.update_rate_hz < 1.0 || config_.update_rate_hz > 5.0) {
     throw std::invalid_argument("GpsReceiverSim: update rate must be in [1, 5] Hz");
   }
@@ -62,6 +65,23 @@ std::string GpsReceiverSim::make_vtg(const GpsFix& fix) const {
   return nmea::emit_vtg(vtg);
 }
 
+void GpsReceiverSim::maybe_corrupt(std::string& sentence) {
+  if (config_.corrupt_probability <= 0.0) return;
+  if (corrupt_rng_.uniform_double() >= config_.corrupt_probability) return;
+  // Flip one character strictly inside the payload ('$'..'*') to a
+  // different digit, so the transmitted checksum no longer matches.
+  const std::size_t star = sentence.find('*');
+  if (star == std::string::npos || star < 2) return;
+  const std::size_t index = 1 + static_cast<std::size_t>(
+                                    corrupt_rng_.uniform(star - 1));
+  char replacement = static_cast<char>('0' + corrupt_rng_.uniform(10));
+  if (replacement == sentence[index]) {
+    replacement = replacement == '9' ? '0' : static_cast<char>(replacement + 1);
+  }
+  sentence[index] = replacement;
+  ++corrupted_;
+}
+
 std::vector<std::string> GpsReceiverSim::advance_to(double unix_time) {
   std::vector<std::string> sentences;
   const double period = update_period();
@@ -97,6 +117,7 @@ std::vector<std::string> GpsReceiverSim::advance_to(double unix_time) {
       fix.position = frame.to_geo(jitter);
     }
     sentences.push_back(make_rmc(fix));
+    maybe_corrupt(sentences.back());  // hit the fix-bearing sentence
     if (config_.emit_gga) sentences.push_back(make_gga(fix));
     if (config_.emit_vtg) sentences.push_back(make_vtg(fix));
   }

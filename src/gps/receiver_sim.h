@@ -35,6 +35,11 @@ class GpsReceiverSim {
     /// period of any of these instants are skipped (reproduces the paper's
     /// residential missed-update event at the 25 ft closest approach).
     std::vector<double> scheduled_miss_times;
+    /// Chance that an emitted sentence leaves the UART with a flipped
+    /// payload character, so its checksum no longer matches and the driver
+    /// must reject it. Drawn from a stream independent of misses/noise:
+    /// enabling corruption does not perturb the emitted trajectory.
+    double corrupt_probability = 0.0;
   };
 
   GpsReceiverSim(Config config, PositionSource source);
@@ -54,16 +59,23 @@ class GpsReceiverSim {
   /// Number of updates skipped by fault injection so far.
   int missed_updates() const { return missed_; }
 
+  /// Number of sentences emitted with a deliberately broken checksum.
+  int corrupted_sentences() const { return corrupted_; }
+
  private:
   Config config_;
   PositionSource source_;
   crypto::DeterministicRandom rng_;
+  crypto::DeterministicRandom corrupt_rng_;
   // Update instants are start_time + tick * period, computed from the
   // integer tick so no floating-point error accumulates over long runs.
   std::uint64_t tick_ = 0;
   int missed_ = 0;
+  int corrupted_ = 0;
 
   double gaussian();
+  /// Maybe flip one payload character of `sentence` (checksum-breaking).
+  void maybe_corrupt(std::string& sentence);
   std::string make_rmc(const GpsFix& fix) const;
   std::string make_gga(const GpsFix& fix) const;
   std::string make_vtg(const GpsFix& fix) const;

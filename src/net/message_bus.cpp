@@ -2,6 +2,16 @@
 
 namespace alidrone::net {
 
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kResponseLoss: return "response-loss";
+    case FaultKind::kCorruptResponse: return "corrupt-response";
+    case FaultKind::kLatency: return "latency";
+  }
+  return "?";
+}
+
 void MessageBus::register_endpoint(const std::string& name, Handler handler) {
   endpoints_[name] = std::move(handler);
 }
@@ -9,6 +19,18 @@ void MessageBus::register_endpoint(const std::string& name, Handler handler) {
 void MessageBus::set_faults(const FaultConfig& config) {
   faults_ = config;
   rng_ = crypto::DeterministicRandom(config.seed);
+}
+
+void MessageBus::corrupt(crypto::Bytes& data) {
+  if (data.empty()) {
+    data.push_back(static_cast<std::uint8_t>(rng_.uniform(256)));
+    return;
+  }
+  const std::size_t flips = 1 + rng_.uniform(4);
+  for (std::size_t i = 0; i < flips; ++i) {
+    data[rng_.uniform(data.size())] ^=
+        static_cast<std::uint8_t>(1u << rng_.uniform(8));
+  }
 }
 
 crypto::Bytes MessageBus::request(const std::string& endpoint,
@@ -19,6 +41,34 @@ crypto::Bytes MessageBus::request(const std::string& endpoint,
   }
   ++sent_;
   bytes_ += payload.size();
+
+  // Scripted faults first (deterministic given seed + schedule + clock);
+  // request-side effects fire now, response-side effects are remembered
+  // and applied after the handler runs.
+  bool lose_response = false;
+  bool corrupt_response = false;
+  double latency = 0.0;
+  const double now = now_ ? now_() : 0.0;
+  for (const FaultWindow& window : faults_.schedule) {
+    if (!window.matches(endpoint, now)) continue;
+    if (window.probability < 1.0 && rng_.uniform_double() >= window.probability) {
+      continue;
+    }
+    switch (window.kind) {
+      case FaultKind::kOutage:
+        ++dropped_;
+        throw TimeoutError(endpoint);
+      case FaultKind::kResponseLoss:
+        lose_response = true;
+        break;
+      case FaultKind::kCorruptResponse:
+        corrupt_response = true;
+        break;
+      case FaultKind::kLatency:
+        latency += window.latency_s;
+        break;
+    }
+  }
 
   if (faults_.drop_probability > 0.0 &&
       rng_.uniform_double() < faults_.drop_probability) {
@@ -31,6 +81,21 @@ crypto::Bytes MessageBus::request(const std::string& endpoint,
       rng_.uniform_double() < faults_.duplicate_probability) {
     ++duplicated_;
     it->second(payload);  // the duplicate's response is lost in transit
+  }
+
+  if (latency > 0.0) {
+    latency_injected_s_ += latency;
+    if (latency_sink_) latency_sink_(latency);
+  }
+  if (lose_response) {
+    // The handler's side effects happened — only the caller is blind to
+    // them. Retries of this request MUST be deduplicated by the server.
+    ++responses_lost_;
+    throw TimeoutError(endpoint);
+  }
+  if (corrupt_response) {
+    ++responses_corrupted_;
+    corrupt(response);
   }
   bytes_ += response.size();
   return response;

@@ -3,9 +3,13 @@
 // The paper's drone client talks to the AliDrone server over a network;
 // here both run in one process, connected by a MessageBus that preserves
 // the distributed-system failure modes that matter for the protocol:
-// requests can be dropped (timeout) or duplicated (retry storms), and all
-// payloads cross the bus as serialized bytes — no object sharing between
-// parties, exactly like a socket.
+// requests can be dropped (timeout) or duplicated (retry storms), a
+// response can be lost after the handler ran or corrupted in transit, an
+// endpoint can suffer a scheduled outage window, and all payloads cross
+// the bus as serialized bytes — no object sharing between parties,
+// exactly like a socket. Faults are seeded and, for scheduled windows,
+// driven by an external time source, so every chaos scenario replays
+// bit-for-bit from (seed, schedule).
 #pragma once
 
 #include <cstdint>
@@ -13,17 +17,46 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "crypto/bytes.h"
 #include "crypto/random.h"
 
 namespace alidrone::net {
 
-/// Raised at the caller when a request is dropped (models a timeout).
+/// Raised at the caller when a request (or its response) is dropped
+/// (models a timeout).
 class TimeoutError : public std::runtime_error {
  public:
   explicit TimeoutError(const std::string& endpoint)
       : std::runtime_error("request to '" + endpoint + "' timed out") {}
+};
+
+/// What a scheduled fault window does to matching requests.
+enum class FaultKind : std::uint8_t {
+  kOutage,           ///< request never reaches the handler; caller times out
+  kResponseLoss,     ///< handler runs, its response is lost; caller times out
+  kCorruptResponse,  ///< handler runs, response bytes are flipped in transit
+  kLatency,          ///< response delayed; seconds charged to the latency sink
+};
+
+std::string to_string(FaultKind kind);
+
+/// One scripted fault: applies to `endpoint` (empty = every endpoint)
+/// for bus times in [start, end). `probability` < 1 makes the fault
+/// intermittent within the window (drawn from the bus's seeded stream).
+struct FaultWindow {
+  std::string endpoint;
+  double start = 0.0;
+  double end = 0.0;
+  FaultKind kind = FaultKind::kOutage;
+  double probability = 1.0;
+  double latency_s = 0.0;  ///< kLatency: delay charged per matching request
+
+  bool matches(const std::string& requested, double now) const {
+    return (endpoint.empty() || endpoint == requested) && now >= start &&
+           now < end;
+  }
 };
 
 class MessageBus {
@@ -34,33 +67,57 @@ class MessageBus {
   void register_endpoint(const std::string& name, Handler handler);
 
   /// Send a request and wait for the response. Throws TimeoutError when
-  /// fault injection drops the message, std::out_of_range for unknown
+  /// fault injection drops the message (or loses the response after the
+  /// handler already ran — the caller cannot tell the difference, exactly
+  /// the ambiguity retries must survive), std::out_of_range for unknown
   /// endpoints. With duplication enabled, the handler may be invoked twice
   /// (the caller sees the first response) — handlers must be idempotent or
-  /// defend with nonces, which is exactly what the protocol's zone query
-  /// nonce is for.
+  /// defend with nonces/content dedup, which is what the protocol's zone
+  /// query nonce and the Auditor's proof-digest cache are for.
   crypto::Bytes request(const std::string& endpoint, const crypto::Bytes& payload);
 
   struct FaultConfig {
     double drop_probability = 0.0;
     double duplicate_probability = 0.0;
     std::uint64_t seed = 1;
+    /// Scripted faults, evaluated in order against the bus time source.
+    std::vector<FaultWindow> schedule;
   };
   void set_faults(const FaultConfig& config);
+
+  /// Clock the fault schedule runs on (e.g. a resilience::SimClock).
+  /// Without one, bus time is 0 and only windows covering t=0 fire.
+  void set_time_source(std::function<double()> now) { now_ = std::move(now); }
+
+  /// Receives injected latency seconds (e.g. SimClock::advance), so the
+  /// caller's clock moves when a kLatency window charges a request.
+  void set_latency_sink(std::function<void(double)> sink) {
+    latency_sink_ = std::move(sink);
+  }
 
   std::uint64_t requests_sent() const { return sent_; }
   std::uint64_t requests_dropped() const { return dropped_; }
   std::uint64_t requests_duplicated() const { return duplicated_; }
+  std::uint64_t responses_lost() const { return responses_lost_; }
+  std::uint64_t responses_corrupted() const { return responses_corrupted_; }
+  double latency_injected_s() const { return latency_injected_s_; }
   std::uint64_t bytes_transferred() const { return bytes_; }
 
  private:
   std::map<std::string, Handler> endpoints_;
   FaultConfig faults_;
   crypto::DeterministicRandom rng_{1};
+  std::function<double()> now_;
+  std::function<void(double)> latency_sink_;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
+  std::uint64_t responses_lost_ = 0;
+  std::uint64_t responses_corrupted_ = 0;
+  double latency_injected_s_ = 0.0;
   std::uint64_t bytes_ = 0;
+
+  void corrupt(crypto::Bytes& data);
 };
 
 }  // namespace alidrone::net

@@ -1,0 +1,55 @@
+#include "resilience/circuit_breaker.h"
+
+namespace alidrone::resilience {
+
+void CircuitBreaker::trip(double now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  ++trips_;
+}
+
+bool CircuitBreaker::allow(double now) {
+  if (state_ == State::kOpen) {
+    if (now - opened_at_ < config_.cooldown_s) {
+      ++rejections_;
+      return false;
+    }
+    state_ = State::kHalfOpen;
+    half_open_successes_ = 0;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  if (state_ == State::kHalfOpen) {
+    if (++half_open_successes_ >= config_.close_after_successes) {
+      state_ = State::kClosed;
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::on_failure(double now) {
+  if (state_ == State::kHalfOpen) {
+    trip(now);  // the probe failed: back to a full cool-down
+    return;
+  }
+  if (state_ == State::kClosed && ++consecutive_failures_ >= config_.failure_threshold) {
+    trip(now);
+  }
+}
+
+std::string to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace alidrone::resilience

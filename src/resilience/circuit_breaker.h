@@ -1,0 +1,62 @@
+// Circuit breaker (closed / open / half-open) for one endpoint.
+//
+// During a sustained outage, blind retries only add load and burn the
+// caller's deadline budget. The breaker counts consecutive failures in
+// the closed state; at the trip threshold it opens and fails fast for a
+// cool-down period, then lets a limited number of probes through
+// (half-open). Probe successes close it again; a probe failure re-opens
+// it with a fresh cool-down. All transitions are driven by the caller's
+// clock, so behaviour is deterministic under SimClock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace alidrone::resilience {
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  struct Config {
+    /// Consecutive failures (closed state) before tripping open.
+    std::uint32_t failure_threshold = 5;
+    /// Seconds the breaker stays open before admitting probes.
+    double cooldown_s = 5.0;
+    /// Probe successes required in half-open before closing.
+    std::uint32_t close_after_successes = 1;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Config{}) {}
+  explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// May a request be sent at time `now`? Transitions open -> half-open
+  /// once the cool-down has elapsed. Returns false while open (fail fast).
+  bool allow(double now);
+
+  void on_success();
+  void on_failure(double now);
+
+  State state() const { return state_; }
+  /// Times the breaker transitioned closed/half-open -> open.
+  std::uint64_t trips() const { return trips_; }
+  /// Requests refused while open.
+  std::uint64_t rejections() const { return rejections_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  State state_ = State::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint32_t half_open_successes_ = 0;
+  double opened_at_ = 0.0;
+  std::uint64_t trips_ = 0;
+  std::uint64_t rejections_ = 0;
+
+  void trip(double now);
+};
+
+std::string to_string(CircuitBreaker::State state);
+
+}  // namespace alidrone::resilience

@@ -1,0 +1,97 @@
+#include "resilience/reliable_channel.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace alidrone::resilience {
+
+ReliableChannel::ReliableChannel(net::MessageBus& bus, SimClock& clock)
+    : ReliableChannel(bus, clock, Config{}) {}
+
+ReliableChannel::ReliableChannel(net::MessageBus& bus, SimClock& clock,
+                                 Config config)
+    : bus_(bus), clock_(clock), config_(config), jitter_rng_(config.seed) {
+  bus_.set_time_source([this] { return clock_.now(); });
+  bus_.set_latency_sink([this](double seconds) { clock_.advance(seconds); });
+}
+
+crypto::Bytes ReliableChannel::request_id(const std::string& endpoint,
+                                          const crypto::Bytes& payload) {
+  crypto::Sha256 hasher;
+  crypto::Bytes name(endpoint.begin(), endpoint.end());
+  name.push_back(0x00);  // unambiguous (endpoint, payload) boundary
+  hasher.update(name);
+  hasher.update(payload);
+  const auto digest = hasher.finalize();
+  return crypto::Bytes(digest.begin(), digest.begin() + 16);
+}
+
+const CircuitBreaker* ReliableChannel::breaker(const std::string& endpoint) const {
+  const auto it = breakers_.find(endpoint);
+  return it == breakers_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t ReliableChannel::breaker_trips() const {
+  std::uint64_t trips = 0;
+  for (const auto& [endpoint, breaker] : breakers_) trips += breaker.trips();
+  return trips;
+}
+
+ReliableChannel::Outcome ReliableChannel::request(const std::string& endpoint,
+                                                  const crypto::Bytes& payload) {
+  ++counters_.requests;
+  Outcome outcome;
+  auto breaker_it = breakers_.find(endpoint);
+  if (breaker_it == breakers_.end()) {
+    breaker_it = breakers_.emplace(endpoint, CircuitBreaker(config_.breaker)).first;
+  }
+  CircuitBreaker& breaker = breaker_it->second;
+
+  const double start = clock_.now();
+  const RetryPolicy& retry = config_.retry;
+  for (std::uint32_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    if (!breaker.allow(clock_.now())) {
+      // Fail fast: the endpoint is known-dead until the cool-down ends.
+      // Store-and-forward callers simply drain again later.
+      ++counters_.breaker_fast_fails;
+      ++counters_.failures;
+      outcome.circuit_open = true;
+      outcome.error = "circuit open for '" + endpoint + "'";
+      return outcome;
+    }
+
+    ++counters_.attempts;
+    if (attempt > 1) ++counters_.retries;
+    ++outcome.attempts;
+    try {
+      outcome.response = bus_.request(endpoint, payload);
+      breaker.on_success();
+      ++counters_.successes;
+      outcome.ok = true;
+      return outcome;
+    } catch (const net::TimeoutError&) {
+      breaker.on_failure(clock_.now());
+      outcome.error = "request to '" + endpoint + "' timed out";
+    } catch (const std::out_of_range& e) {
+      // Unknown endpoint: a wiring bug, not a transient fault — do not
+      // retry and do not charge the breaker.
+      ++counters_.failures;
+      outcome.error = e.what();
+      return outcome;
+    }
+
+    if (attempt == retry.max_attempts) break;  // budget spent
+    const double backoff = retry.backoff_after(attempt, jitter_rng_);
+    if (retry.deadline_s > 0.0 &&
+        clock_.now() + backoff - start > retry.deadline_s) {
+      outcome.error += " (deadline exceeded)";
+      break;
+    }
+    clock_.advance(backoff);  // the backoff sleep, on simulated time
+  }
+  ++counters_.failures;
+  return outcome;
+}
+
+}  // namespace alidrone::resilience

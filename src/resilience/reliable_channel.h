@@ -1,0 +1,93 @@
+// ReliableChannel — retrying, circuit-breaking wrapper around
+// net::MessageBus::request.
+//
+// One logical request = up to RetryPolicy::max_attempts bus attempts,
+// separated by capped exponential backoff "slept" on the scenario's
+// SimClock. Every endpoint gets its own CircuitBreaker so a dead Auditor
+// endpoint fails fast instead of burning the deadline budget, and every
+// logical request carries a deterministic idempotency id (a digest of
+// endpoint + payload) — retries of the same logical request are
+// byte-identical on the wire, which is what lets the server deduplicate
+// them by content.
+//
+// With no faults injected the channel is a strict pass-through: exactly
+// one bus attempt per logical request and zero clock advances — the
+// counters prove it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/random.h"
+#include "net/message_bus.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/retry_policy.h"
+#include "resilience/sim_clock.h"
+
+namespace alidrone::resilience {
+
+class ReliableChannel {
+ public:
+  struct Config {
+    RetryPolicy retry;
+    CircuitBreaker::Config breaker;
+    std::uint64_t seed = 1;  ///< drives backoff jitter
+  };
+
+  /// Result of one logical request.
+  struct Outcome {
+    bool ok = false;
+    crypto::Bytes response;
+    std::string error;           ///< "" on success
+    std::uint32_t attempts = 0;  ///< bus attempts actually made
+    bool circuit_open = false;   ///< failed fast on an open breaker
+  };
+
+  struct Counters {
+    std::uint64_t requests = 0;   ///< logical requests issued
+    std::uint64_t attempts = 0;   ///< bus attempts made
+    std::uint64_t retries = 0;    ///< attempts beyond each request's first
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;   ///< logical failures (exhausted/deadline/open)
+    std::uint64_t breaker_fast_fails = 0;  ///< requests refused by an open breaker
+  };
+
+  /// The bus and clock are borrowed and must outlive the channel. The
+  /// channel wires itself in as the bus's time source so fault-schedule
+  /// windows and breaker cool-downs share one timeline.
+  ReliableChannel(net::MessageBus& bus, SimClock& clock);
+  ReliableChannel(net::MessageBus& bus, SimClock& clock, Config config);
+
+  /// Send with retries. Never throws for transport faults — a dropped or
+  /// lost message becomes a retry, an exhausted budget becomes
+  /// Outcome{ok=false}.
+  Outcome request(const std::string& endpoint, const crypto::Bytes& payload);
+
+  /// Deterministic idempotency id: retries of the same logical request
+  /// share it, distinct requests (or endpoints) get fresh ones. This is
+  /// the digest servers use for content-based dedup.
+  static crypto::Bytes request_id(const std::string& endpoint,
+                                  const crypto::Bytes& payload);
+
+  const Counters& counters() const { return counters_; }
+  /// Sum of trips across all per-endpoint breakers.
+  std::uint64_t breaker_trips() const;
+  /// Breaker for an endpoint; nullptr before its first request.
+  const CircuitBreaker* breaker(const std::string& endpoint) const;
+
+  net::MessageBus& bus() { return bus_; }
+  SimClock& clock() { return clock_; }
+  const Config& config() const { return config_; }
+
+ private:
+  net::MessageBus& bus_;
+  SimClock& clock_;
+  Config config_;
+  crypto::DeterministicRandom jitter_rng_;
+  std::map<std::string, CircuitBreaker> breakers_;
+  Counters counters_;
+};
+
+}  // namespace alidrone::resilience

@@ -1,0 +1,21 @@
+#include "resilience/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alidrone::resilience {
+
+double RetryPolicy::backoff_after(std::uint32_t attempt,
+                                  crypto::RandomSource& rng) const {
+  const double jitter_draw = rng.uniform_double();  // always consume one
+  if (attempt == 0) attempt = 1;
+  double backoff = initial_backoff_s *
+                   std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  backoff = std::min(backoff, max_backoff_s);
+  if (jitter_fraction > 0.0) {
+    backoff *= 1.0 + jitter_fraction * (2.0 * jitter_draw - 1.0);
+  }
+  return std::max(backoff, 0.0);
+}
+
+}  // namespace alidrone::resilience

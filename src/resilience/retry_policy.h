@@ -1,0 +1,36 @@
+// Capped exponential backoff with seeded jitter and a per-request
+// deadline — the client half of making every drone <-> Auditor
+// interaction recoverable.
+//
+// Backoff for attempt k (1-based; attempt 1 is the initial try) is
+//   min(initial * multiplier^(k-1), max_backoff) * jitter
+// with jitter drawn uniformly from [1 - jitter_fraction, 1 + jitter_fraction]
+// out of a caller-supplied deterministic stream, so retry storms from many
+// drones decorrelate yet every test run reproduces exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/random.h"
+
+namespace alidrone::resilience {
+
+struct RetryPolicy {
+  /// Total tries including the first one; 1 disables retries.
+  std::uint32_t max_attempts = 5;
+  double initial_backoff_s = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 2.0;
+  /// Backoff is scaled by a factor uniform in [1-j, 1+j]; 0 disables.
+  double jitter_fraction = 0.1;
+  /// Budget for the whole request (first attempt through last retry),
+  /// measured on the scenario clock. <= 0 means no deadline.
+  double deadline_s = 30.0;
+
+  /// Backoff to sleep after a failed `attempt` (1-based) before the next
+  /// try. Draws one jitter sample from `rng` even when jitter_fraction is
+  /// 0 so the stream position is schedule-independent.
+  double backoff_after(std::uint32_t attempt, crypto::RandomSource& rng) const;
+};
+
+}  // namespace alidrone::resilience

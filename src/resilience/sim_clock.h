@@ -1,0 +1,43 @@
+// Deterministic simulated clock for the resilience layer.
+//
+// Retries, backoff sleeps, circuit-breaker cool-downs and fault-schedule
+// windows all need a notion of "now" — but wall clocks make tests flaky
+// and chaos runs irreproducible. SimClock is the single time authority a
+// scenario shares between the ReliableChannel (which "sleeps" by
+// advancing it) and the MessageBus fault schedule (which reads it through
+// a time source hook): the same seed and schedule always replay the same
+// interleaving of outages, backoffs and recoveries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace alidrone::resilience {
+
+class SimClock {
+ public:
+  explicit SimClock(double start_time = 0.0) : now_(start_time) {}
+
+  double now() const { return now_; }
+
+  /// Advance by `seconds` (negative deltas are ignored — time is
+  /// monotonic). Returns the new time.
+  double advance(double seconds) {
+    now_ += std::max(seconds, 0.0);
+    ++advances_;
+    return now_;
+  }
+
+  /// Jump forward to an absolute time (no-op when `time` is in the past).
+  void advance_to(double time) { now_ = std::max(now_, time); }
+
+  /// How many times the clock was advanced — backoff sleeps show up here,
+  /// so a zero-fault run proves itself sleep-free.
+  std::uint64_t advances() const { return advances_; }
+
+ private:
+  double now_;
+  std::uint64_t advances_ = 0;
+};
+
+}  // namespace alidrone::resilience

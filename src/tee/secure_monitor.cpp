@@ -32,10 +32,23 @@ void SecureMonitor::charge_switch_pair() {
   }
 }
 
+void SecureMonitor::set_faults(const FaultConfig& config) {
+  faults_ = config;
+  fault_rng_ = crypto::DeterministicRandom(config.seed);
+}
+
+bool SecureMonitor::inject_busy() {
+  if (faults_.busy_probability <= 0.0) return false;
+  if (fault_rng_.uniform_double() >= faults_.busy_probability) return false;
+  ++injected_busy_;
+  return true;
+}
+
 InvokeResult SecureMonitor::invoke(const Uuid& uuid, std::uint32_t command,
                                    std::span<const crypto::Bytes> params) {
   ++invocations_;
-  charge_switch_pair();
+  charge_switch_pair();  // a refused SMC still crossed the boundary twice
+  if (inject_busy()) return {TeeStatus::kBusy, {}};
   return world_.dispatch(uuid, kDefaultSession, command, params);
 }
 
@@ -55,6 +68,7 @@ InvokeResult SecureMonitor::invoke(SessionId session, std::uint32_t command,
   if (it == sessions_.end()) return {TeeStatus::kAccessDenied, {}};
   ++invocations_;
   charge_switch_pair();
+  if (inject_busy()) return {TeeStatus::kBusy, {}};
   return world_.dispatch(it->second, session, command, params);
 }
 
@@ -96,6 +110,14 @@ DroneTee::DroneTee(Config config)
 
 void DroneTee::feed_gps(std::string_view nmea_bytes) {
   world_->gps_driver().feed_bytes(nmea_bytes);
+}
+
+void DroneTee::set_gps_drop_listener(gps::GpsDriver::DropListener listener) {
+  world_->gps_driver().set_drop_listener(std::move(listener));
+}
+
+std::uint64_t DroneTee::gps_fixes_dropped() const {
+  return world_->gps_driver().dropped_fixes();
 }
 
 const crypto::RsaPublicKey& DroneTee::verification_key() const {

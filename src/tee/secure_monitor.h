@@ -76,6 +76,18 @@ class SecureMonitor {
   std::uint64_t world_switches() const { return switches_; }
   std::uint64_t invocations() const { return invocations_; }
 
+  /// Transient world-switch fault injection: with probability
+  /// `busy_probability`, an invocation burns its switch pair but returns
+  /// TeeStatus::kBusy without reaching the TA — the secure world was
+  /// busy. Deterministic from `seed`; callers recover with bounded
+  /// retries (see core::run_flight).
+  struct FaultConfig {
+    double busy_probability = 0.0;
+    std::uint64_t seed = 1;
+  };
+  void set_faults(const FaultConfig& config);
+  std::uint64_t injected_busy_faults() const { return injected_busy_; }
+
   /// Charge each world switch to a CPU accountant (may be null to stop).
   void set_cost_meter(resource::CpuAccountant* cpu, resource::CostProfile profile);
 
@@ -83,6 +95,12 @@ class SecureMonitor {
   SecureWorld& world_;
   std::uint64_t switches_ = 0;
   std::uint64_t invocations_ = 0;
+  FaultConfig faults_;
+  crypto::DeterministicRandom fault_rng_{1};
+  std::uint64_t injected_busy_ = 0;
+
+  /// True when this invocation should fail transiently.
+  bool inject_busy();
   SessionId next_session_ = 1;
   std::map<SessionId, Uuid> sessions_;
   resource::CpuAccountant* cpu_ = nullptr;
@@ -110,6 +128,13 @@ class DroneTee {
 
   /// The hardware UART wire from the GPS receiver into the secure world.
   void feed_gps(std::string_view nmea_bytes);
+
+  /// Observe secure-world GPS pending-queue overflows (evidence loss);
+  /// forwarded to the secure driver. Pass nullptr to clear.
+  void set_gps_drop_listener(gps::GpsDriver::DropListener listener);
+
+  /// Fixes the secure-world driver lost to pending-queue overflow.
+  std::uint64_t gps_fixes_dropped() const;
 
   /// T+, as read by the operator when the device is merchandised.
   const crypto::RsaPublicKey& verification_key() const;

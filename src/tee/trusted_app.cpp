@@ -39,6 +39,8 @@ std::string to_string(TeeStatus s) {
       return "not ready";
     case TeeStatus::kOutOfResources:
       return "out of resources";
+    case TeeStatus::kBusy:
+      return "busy";
   }
   return "unknown";
 }

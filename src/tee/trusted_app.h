@@ -36,6 +36,10 @@ enum class TeeStatus : std::uint32_t {
   kNotFound,
   kNotReady,       ///< e.g. no GPS fix available yet
   kOutOfResources,
+  /// Transient: the secure world could not service the SMC right now
+  /// (scheduler contention, interrupted world switch). Retrying the exact
+  /// invocation a bounded number of times is the prescribed response.
+  kBusy,
 };
 
 std::string to_string(TeeStatus s);

@@ -307,7 +307,10 @@ TEST_F(ProtocolFixture, PolygonZoneRejectsBadSignatureOrTooFewVertices) {
 
 TEST_F(ProtocolFixture, TransportDropSurfacesAsTimeout) {
   ASSERT_TRUE(client_.register_with_auditor(bus_));
-  bus_.set_faults({1.0, 0.0, 3});
+  net::MessageBus::FaultConfig faults;
+  faults.drop_probability = 1.0;
+  faults.seed = 3;
+  bus_.set_faults(faults);
   EXPECT_THROW(client_.query_zones(bus_, {{40.0, -89.0}, {41.0, -88.0}}),
                net::TimeoutError);
 }
@@ -315,7 +318,10 @@ TEST_F(ProtocolFixture, TransportDropSurfacesAsTimeout) {
 TEST_F(ProtocolFixture, DuplicatedRegistrationIsSafeViaTeeKeyCheck) {
   // The bus may duplicate a registration request; the TEE-key uniqueness
   // rule keeps the database consistent (one drone, first id wins).
-  bus_.set_faults({0.0, 1.0, 5});
+  net::MessageBus::FaultConfig faults;
+  faults.duplicate_probability = 1.0;
+  faults.seed = 5;
+  bus_.set_faults(faults);
   EXPECT_TRUE(client_.register_with_auditor(bus_));
   EXPECT_EQ(auditor_.drone_count(), 1u);
 }

@@ -112,8 +112,16 @@ TEST_F(RegistryFixture, AuditorRestartKeepsIdentitiesAndCounters) {
     restarted.bind(bus);
     crypto::DeterministicRandom operator_rng("registry-operator");
     DroneClient client(tee, kTestKeyBits, operator_rng);
-    // Same TEE cannot re-register under a new identity...
-    EXPECT_FALSE(client.register_with_auditor(bus));
+    // The same TEE + operator key re-registering is idempotent: it gets
+    // its original identity back, counted as a duplicate...
+    EXPECT_TRUE(client.register_with_auditor(bus));
+    EXPECT_EQ(client.id(), "drone-1");
+    EXPECT_EQ(restarted.duplicate_registrations(), 1u);
+
+    // ...but the same TEE under a different operator key is refused.
+    crypto::DeterministicRandom other_rng("registry-operator-2");
+    DroneClient impostor(tee, kTestKeyBits, other_rng);
+    EXPECT_FALSE(impostor.register_with_auditor(bus));
 
     // ...but a new zone gets the next counter, not a recycled id.
     EXPECT_EQ(owner.register_zone(bus, {{40.3, -88.4}, 15.0}, "c"), "zone-3");

@@ -150,7 +150,10 @@ TEST(StreamingUplink, DroppedPacketsAreQueuedAndRetransmitted) {
     received += *r.u32();
     return crypto::Bytes{};
   });
-  bus.set_faults({0.5, 0.0, 9});  // half the packets vanish
+  net::MessageBus::FaultConfig faults;
+  faults.drop_probability = 0.5;  // half the packets vanish
+  faults.seed = 9;
+  bus.set_faults(faults);
 
   StreamingUplink uplink(bus, "auditor.stream");
   for (int i = 0; i < 20; ++i) {

@@ -4,10 +4,16 @@
 // deterministic fuzz sweeps — seeds are fixed, failures reproduce.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <functional>
+
 #include "core/auditor.h"
 #include "core/messages.h"
 #include "core/poa.h"
+#include "core/sampler.h"
 #include "crypto/random.h"
+#include "geo/units.h"
+#include "gps/driver.h"
 #include "net/codec.h"
 #include "nmea/gga.h"
 #include "nmea/rmc.h"
@@ -202,6 +208,167 @@ TEST_P(FuzzSeed, CodecReaderTerminatesOnRandomBytes) {
     }
   }
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted-NMEA corpus through the GpsDriver -> sampler path. A real UART
+// delivers arbitrary byte chunks; the secure driver must reject every
+// damaged sentence (bad checksum, truncation, empty mandatory fields, line
+// noise) without ever fabricating a fix, and intact sentences must survive
+// no matter how the stream is chunked.
+
+/// An intact framed $GPRMC on a straight northbound track; each index moves
+/// 0.01 NMEA-minutes of latitude and one second of flight time.
+std::string intact_rmc(int i) {
+  char body[96];
+  std::snprintf(body, sizeof body,
+                "GPRMC,1235%02d.000,A,%09.4f,N,01131.0000,E,022.4,084.4,"
+                "230394,,,A",
+                i % 60, 4807.0380 + 0.01 * i);
+  return nmea::frame(body);
+}
+
+/// One damaged variant of `framed`. Every variant keeps its own "\r\n"
+/// terminator so corruption stays confined to a single line — the corpus
+/// counts rejections per sentence, and a swallowed terminator would merge
+/// two entries into one.
+std::string corrupt_nmea(const std::string& framed, DeterministicRandom& rng) {
+  switch (rng.uniform(4)) {
+    case 0: {  // checksum mismatch: flip one payload character
+      std::string bad = framed;
+      const std::size_t star = bad.find('*');
+      const std::size_t at = 1 + rng.uniform(star - 1);
+      bad[at] = (bad[at] == '9') ? '0' : static_cast<char>(bad[at] + 1);
+      return bad;
+    }
+    case 1: {  // truncated mid-sentence (dropped UART burst)
+      const std::size_t keep = 1 + rng.uniform(framed.size() - 3);
+      return framed.substr(0, keep) + "\r\n";
+    }
+    case 2: {  // correctly checksummed but mandatory fields missing/bad
+      static const char* const kMalformed[] = {
+          "GPRMC,,,,,,,,,,,",
+          "GPRMC,123519.000,A,,N,01131.0000,E,022.4,084.4,230394,,,A",
+          "GPRMC,123519.000,Q,4807.0380,N,01131.0000,E,022.4,084.4,230394,,,A",
+          "GPRMC,123519.000,A,4807.0380,N,01131.0000,E",
+      };
+      return nmea::frame(kMalformed[rng.uniform(4)]);
+    }
+    default: {  // pure line noise
+      std::string junk;
+      const std::size_t len = 1 + rng.uniform(40);
+      for (std::size_t i = 0; i < len; ++i) {
+        char c = static_cast<char>(rng.uniform(256));
+        if (c == '\n') c = 'x';
+        junk.push_back(c);
+      }
+      return junk + "\r\n";
+    }
+  }
+}
+
+struct NmeaCorpus {
+  std::string bytes;
+  int intact = 0;
+  int corrupted = 0;
+};
+
+NmeaCorpus build_corpus(DeterministicRandom& rng, int sentences) {
+  NmeaCorpus corpus;
+  for (int i = 0; i < sentences; ++i) {
+    corpus.bytes += intact_rmc(i);
+    ++corpus.intact;
+    const int bad = static_cast<int>(rng.uniform(3));
+    for (int j = 0; j < bad; ++j) {
+      corpus.bytes += corrupt_nmea(intact_rmc(i), rng);
+      ++corpus.corrupted;
+    }
+  }
+  return corpus;
+}
+
+/// Feed `bytes` to `driver` in seeded chunks of 1..`max_chunk` bytes,
+/// exercising sentence reassembly across arbitrary split frames.
+void feed_chunked(gps::GpsDriver& driver, const std::string& bytes,
+                  DeterministicRandom& rng, std::size_t max_chunk,
+                  const std::function<void()>& after_chunk = {}) {
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t n =
+        std::min(bytes.size() - pos, 1 + rng.uniform(max_chunk));
+    driver.feed_bytes(std::string_view(bytes).substr(pos, n));
+    pos += n;
+    if (after_chunk) after_chunk();
+  }
+}
+
+TEST_P(FuzzSeed, GpsDriverRejectsEveryCorruptedSentence) {
+  DeterministicRandom rng(static_cast<std::uint64_t>(GetParam()) * 211 + 19);
+  const NmeaCorpus corpus = build_corpus(rng, 40);
+
+  gps::GpsDriver driver;
+  feed_chunked(driver, corpus.bytes, rng, 16);
+
+  // Every intact sentence produced exactly one fresh fix; every corrupted
+  // one was counted and dropped, never parsed into a fix.
+  EXPECT_EQ(driver.sequence(), static_cast<std::uint64_t>(corpus.intact));
+  EXPECT_EQ(driver.accepted_sentences(),
+            static_cast<std::uint64_t>(corpus.intact));
+  EXPECT_EQ(driver.rejected_sentences(),
+            static_cast<std::uint64_t>(corpus.corrupted));
+
+  const auto fix = driver.get_gps();
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_TRUE(fix->valid);
+  // Latest fix is the last intact sentence, unperturbed by the corruption
+  // interleaved around it.
+  EXPECT_NEAR(fix->position.lat_deg, 48.0 + (7.0380 + 0.01 * 39) / 60.0, 1e-9);
+  EXPECT_NEAR(fix->position.lon_deg, 11.0 + 31.0 / 60.0, 1e-9);
+}
+
+TEST_P(FuzzSeed, ChunkedDeliveryMatchesWholeStreamDelivery) {
+  DeterministicRandom rng(static_cast<std::uint64_t>(GetParam()) * 233 + 7);
+  const NmeaCorpus corpus = build_corpus(rng, 30);
+
+  gps::GpsDriver whole;
+  whole.feed_bytes(corpus.bytes);
+
+  gps::GpsDriver chunked;  // byte-at-a-time worst case included
+  feed_chunked(chunked, corpus.bytes, rng, 1 + rng.uniform(5));
+
+  EXPECT_EQ(whole.sequence(), chunked.sequence());
+  EXPECT_EQ(whole.accepted_sentences(), chunked.accepted_sentences());
+  EXPECT_EQ(whole.rejected_sentences(), chunked.rejected_sentences());
+  ASSERT_TRUE(whole.get_gps() && chunked.get_gps());
+  EXPECT_EQ(whole.get_gps()->unix_time, chunked.get_gps()->unix_time);
+}
+
+TEST_P(FuzzSeed, CorruptedNmeaNeverReachesTheSampler) {
+  DeterministicRandom rng(static_cast<std::uint64_t>(GetParam()) * 257 + 3);
+  const NmeaCorpus corpus = build_corpus(rng, 40);
+
+  // The full normal-world path: driver reassembles the noisy byte stream,
+  // the adaptive sampler sees only parsed fixes.
+  const geo::LocalFrame frame(geo::GeoPoint{48.1173, 11.5167});
+  const std::vector<geo::Circle> zones{
+      {frame.to_local(geo::GeoPoint{48.1180, 11.5167}), 30.0}};
+  core::AdaptiveSampler policy(frame, zones, geo::kFaaMaxSpeedMps, 1.0);
+
+  gps::GpsDriver driver;
+  int decisions = 0;
+  feed_chunked(driver, corpus.bytes, rng, 16, [&] {
+    for (const gps::GpsFix& fix : driver.take_pending()) {
+      ++decisions;
+      // No fabricated fix: everything the sampler sees lies on the track
+      // the intact sentences describe.
+      EXPECT_TRUE(fix.valid);
+      EXPECT_NEAR(fix.position.lon_deg, 11.0 + 31.0 / 60.0, 1e-9);
+      EXPECT_GE(fix.position.lat_deg, 48.0 + 7.0380 / 60.0 - 1e-9);
+      if (policy.should_authenticate(fix)) policy.on_recorded(fix);
+    }
+  });
+  EXPECT_EQ(decisions, corpus.intact);
+  EXPECT_EQ(driver.dropped_fixes(), 0u);  // the loop drains every chunk
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(1, 9));

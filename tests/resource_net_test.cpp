@@ -149,7 +149,10 @@ TEST(MessageBus, DropFaultRaisesTimeout) {
     ++calls;
     return crypto::Bytes{};
   });
-  bus.set_faults({1.0, 0.0, 7});  // drop everything
+  net::MessageBus::FaultConfig faults;
+  faults.drop_probability = 1.0;  // drop everything
+  faults.seed = 7;
+  bus.set_faults(faults);
   EXPECT_THROW(bus.request("svc", {}), net::TimeoutError);
   EXPECT_EQ(calls, 0);
   EXPECT_EQ(bus.requests_dropped(), 1u);
@@ -162,7 +165,10 @@ TEST(MessageBus, DuplicateFaultInvokesHandlerTwice) {
     ++calls;
     return crypto::Bytes{9};
   });
-  bus.set_faults({0.0, 1.0, 7});  // duplicate everything
+  net::MessageBus::FaultConfig faults;
+  faults.duplicate_probability = 1.0;  // duplicate everything
+  faults.seed = 7;
+  bus.set_faults(faults);
   const crypto::Bytes reply = bus.request("svc", {});
   EXPECT_EQ(reply, crypto::Bytes{9});
   EXPECT_EQ(calls, 2);
@@ -172,7 +178,10 @@ TEST(MessageBus, DuplicateFaultInvokesHandlerTwice) {
 TEST(MessageBus, PartialDropRateRoughlyHonored) {
   net::MessageBus bus;
   bus.register_endpoint("svc", [](const crypto::Bytes&) { return crypto::Bytes{}; });
-  bus.set_faults({0.3, 0.0, 11});
+  net::MessageBus::FaultConfig faults;
+  faults.drop_probability = 0.3;
+  faults.seed = 11;
+  bus.set_faults(faults);
   int dropped = 0;
   for (int i = 0; i < 1000; ++i) {
     try {
