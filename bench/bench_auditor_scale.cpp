@@ -1,0 +1,306 @@
+// Fleet-scale Auditor ingestion bench (PR 4 tentpole).
+//
+// End-to-end proofs/sec for a fleet of drones submitting serialized
+// SubmitPoaRequest frames:
+//
+//   serial    one thread, unsharded Auditor (auditor_shards=1), the
+//             unbatched verify_poa_bytes path — the pre-PR shape.
+//   pipeline  N producer threads pushing into AuditorIngest (bounded
+//             queue -> batch -> parallel evaluate -> serial commit)
+//             against a sharded Auditor.
+//
+// Plus the decode-allocation ablation: heap allocations per message for
+// the owning decode (SubmitPoaRequest::decode + ProofOfAlibi::parse)
+// vs. the pooled zero-copy decode (decode_view + PoaView::parse_into
+// into reused scratch), counted by a global operator-new override.
+//
+// The pipeline's verdict bytes are compared against the serial path's
+// for every frame — the determinism claim, checked here too, not just in
+// the tests. Note: on a single-core container the pipeline shows little
+// or no speedup (there is nothing to fan out onto); the >=2x acceptance
+// number is for a multicore host.
+//
+// Usage: bench_auditor_scale [--drones N] [--proofs K] [--producers P]
+//                            [--json <path>]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/auditor.h"
+#include "core/ingest.h"
+#include "core/messages.h"
+#include "core/poa.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "geo/geopoint.h"
+#include "net/message_bus.h"
+#include "tee/sample_codec.h"
+
+// ---- allocation counter -------------------------------------------------
+// Counts every scalar/array new. Frees are uncounted (the metric is
+// allocations per decoded message, not live bytes).
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace alidrone {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+
+std::uint64_t allocs() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One registered fleet plus every drone's pre-encoded submission frames.
+struct FleetCorpus {
+  std::vector<core::RegisterDroneRequest> registrations;
+  std::vector<core::DroneId> drone_ids;       // as assigned by register order
+  std::vector<crypto::Bytes> frames;          // serialized SubmitPoaRequest
+  std::size_t samples_per_poa = 4;
+
+  FleetCorpus(std::size_t n_drones, std::size_t proofs_per_drone) {
+    crypto::DeterministicRandom key_rng(std::string_view("scale-bench-keys"));
+    std::vector<crypto::RsaKeyPair> tee_keys;
+    for (std::size_t d = 0; d < n_drones; ++d) {
+      tee_keys.push_back(crypto::generate_rsa_keypair(512, key_rng));
+      const crypto::RsaKeyPair op = crypto::generate_rsa_keypair(512, key_rng);
+      core::RegisterDroneRequest reg;
+      reg.operator_key_n = op.pub.n.to_bytes();
+      reg.operator_key_e = op.pub.e.to_bytes();
+      reg.tee_key_n = tee_keys.back().pub.n.to_bytes();
+      reg.tee_key_e = tee_keys.back().pub.e.to_bytes();
+      registrations.push_back(std::move(reg));
+    }
+
+    // Register against a throwaway Auditor only to learn the ids the real
+    // Auditors will assign (registration order fixes them).
+    crypto::DeterministicRandom rng(std::string_view("scale-bench-id-probe"));
+    core::Auditor probe(512, rng);
+    for (const auto& reg : registrations) {
+      drone_ids.push_back(probe.register_drone(reg).drone_id);
+    }
+
+    for (std::size_t d = 0; d < n_drones; ++d) {
+      for (std::size_t p = 0; p < proofs_per_drone; ++p) {
+        core::ProofOfAlibi poa;
+        poa.drone_id = drone_ids[d];
+        poa.mode = core::AuthMode::kRsaPerSample;
+        poa.hash = crypto::HashAlgorithm::kSha1;
+        for (std::size_t s = 0; s < samples_per_poa; ++s) {
+          gps::GpsFix fix;
+          fix.position =
+              geo::GeoPoint{40.0 + 0.001 * static_cast<double>(d),
+                            -88.0 + 0.001 * static_cast<double>(p)};
+          fix.unix_time = kT0 + static_cast<double>(
+                                    (d * proofs_per_drone + p) * samples_per_poa + s);
+          core::SignedSample sample;
+          sample.sample = tee::encode_sample(fix);
+          sample.signature =
+              crypto::rsa_sign(tee_keys[d].priv, sample.sample, poa.hash);
+          poa.samples.push_back(std::move(sample));
+        }
+        core::SubmitPoaRequest request;
+        request.poa = poa.serialize();
+        frames.push_back(request.encode());
+      }
+    }
+  }
+
+  /// Register the whole fleet in registration order (same ids everywhere).
+  void register_fleet(core::Auditor& auditor) const {
+    for (const auto& reg : registrations) auditor.register_drone(reg);
+  }
+};
+
+struct Options {
+  std::size_t drones = 16;
+  std::size_t proofs_per_drone = 8;
+  std::size_t producers = 8;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> std::size_t {
+      return i + 1 < argc ? static_cast<std::size_t>(std::atol(argv[++i])) : 0;
+    };
+    if (std::strcmp(argv[i], "--drones") == 0) opt.drones = next();
+    else if (std::strcmp(argv[i], "--proofs") == 0) opt.proofs_per_drone = next();
+    else if (std::strcmp(argv[i], "--producers") == 0) opt.producers = next();
+  }
+  if (opt.drones == 0) opt.drones = 1;
+  if (opt.proofs_per_drone == 0) opt.proofs_per_drone = 1;
+  if (opt.producers == 0) opt.producers = 1;
+  return opt;
+}
+
+int run(int argc, char** argv) {
+  const auto json_path = bench::take_json_flag(argc, argv);
+  const Options opt = parse_options(argc, argv);
+  const std::size_t n_frames = opt.drones * opt.proofs_per_drone;
+
+  std::printf("building corpus: %zu drones x %zu proofs (%zu frames)...\n",
+              opt.drones, opt.proofs_per_drone, n_frames);
+  FleetCorpus corpus(opt.drones, opt.proofs_per_drone);
+
+  // ---- decode allocations: owning vs. zero-copy view --------------------
+  bench::print_header("decode allocations per message");
+  double owning_allocs = 0.0;
+  {
+    const std::uint64_t before = allocs();
+    for (const crypto::Bytes& frame : corpus.frames) {
+      const auto request = core::SubmitPoaRequest::decode(frame);
+      if (!request) return std::fprintf(stderr, "owning decode failed\n"), 1;
+      const auto poa = core::ProofOfAlibi::parse(request->poa);
+      if (!poa) return std::fprintf(stderr, "owning parse failed\n"), 1;
+    }
+    owning_allocs = static_cast<double>(allocs() - before) /
+                    static_cast<double>(n_frames);
+  }
+  double view_allocs = 0.0;
+  {
+    core::PoaView view;
+    // Warm the reused scratch: the first parse sizes the sample vector.
+    core::PoaView::parse_into(*core::SubmitPoaRequest::decode_view(corpus.frames[0]),
+                              view);
+    const std::uint64_t before = allocs();
+    for (const crypto::Bytes& frame : corpus.frames) {
+      const auto bytes = core::SubmitPoaRequest::decode_view(frame);
+      if (!bytes || !core::PoaView::parse_into(*bytes, view)) {
+        return std::fprintf(stderr, "view decode failed\n"), 1;
+      }
+    }
+    view_allocs = static_cast<double>(allocs() - before) /
+                  static_cast<double>(n_frames);
+  }
+  const double alloc_ratio =
+      view_allocs > 0.0 ? owning_allocs / view_allocs : owning_allocs;
+  std::printf("  owning decode: %8.2f allocs/message\n", owning_allocs);
+  std::printf("  view decode:   %8.2f allocs/message\n", view_allocs);
+  std::printf("  ratio:         %8.2fx fewer\n", alloc_ratio);
+
+  // ---- serial baseline: 1 thread, 1 shard, unbatched ---------------------
+  bench::print_header("serial baseline (1 thread, auditor_shards=1)");
+  core::ProtocolParams serial_params;
+  serial_params.auditor_shards = 1;
+  crypto::DeterministicRandom serial_rng{std::string_view("scale-bench-serial")};
+  core::Auditor serial_auditor(512, serial_rng, serial_params);
+  corpus.register_fleet(serial_auditor);
+  std::vector<crypto::Bytes> serial_verdicts(n_frames);
+  const double serial_start = now_s();
+  for (std::size_t i = 0; i < n_frames; ++i) {
+    core::PoaView view;
+    const auto bytes = core::SubmitPoaRequest::decode_view(corpus.frames[i]);
+    core::PoaView::parse_into(*bytes, view);
+    const double t = view.end_time().value_or(0.0);
+    serial_verdicts[i] = serial_auditor.verify_poa_bytes(*bytes, t).encode();
+  }
+  const double serial_elapsed = now_s() - serial_start;
+  const double serial_pps = static_cast<double>(n_frames) / serial_elapsed;
+  std::printf("  %zu proofs in %.3fs -> %.1f proofs/sec\n", n_frames,
+              serial_elapsed, serial_pps);
+
+  // ---- pipeline: P producers -> AuditorIngest ----------------------------
+  bench::print_header("ingest pipeline (producers -> batch -> parallel verify)");
+  core::ProtocolParams sharded_params;
+  sharded_params.auditor_shards = 16;
+  crypto::DeterministicRandom sharded_rng{std::string_view("scale-bench-sharded")};
+  core::Auditor sharded_auditor(512, sharded_rng, sharded_params);
+  corpus.register_fleet(sharded_auditor);
+  core::AuditorIngest::Config ingest_config;
+  ingest_config.queue_capacity = 1024;
+  ingest_config.max_batch = 32;
+  ingest_config.verify_threads = 8;
+  core::AuditorIngest ingest(sharded_auditor, ingest_config);
+
+  std::vector<crypto::Bytes> pipeline_verdicts(n_frames);
+  const double pipeline_start = now_s();
+  {
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < opt.producers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = p; i < n_frames; i += opt.producers) {
+          crypto::Bytes reply = ingest.submit(corpus.frames[i]);
+          while (net::is_retry_later(reply)) {
+            std::this_thread::yield();
+            reply = ingest.submit(corpus.frames[i]);
+          }
+          pipeline_verdicts[i] = std::move(reply);
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  }
+  const double pipeline_elapsed = now_s() - pipeline_start;
+  const double pipeline_pps = static_cast<double>(n_frames) / pipeline_elapsed;
+  const auto counters = ingest.counters();
+  std::printf("  %zu proofs in %.3fs -> %.1f proofs/sec\n", n_frames,
+              pipeline_elapsed, pipeline_pps);
+  std::printf("  batches=%llu max_batch=%llu retry_later=%llu duplicates=%llu\n",
+              static_cast<unsigned long long>(counters.batches),
+              static_cast<unsigned long long>(counters.max_batch_seen),
+              static_cast<unsigned long long>(counters.retry_later),
+              static_cast<unsigned long long>(counters.duplicates));
+
+  const double speedup = pipeline_pps / serial_pps;
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < n_frames; ++i) {
+    if (serial_verdicts[i] != pipeline_verdicts[i]) ++mismatches;
+  }
+  bench::print_rule();
+  std::printf("speedup: %.2fx   verdict mismatches: %zu/%zu\n", speedup,
+              mismatches, n_frames);
+
+  if (json_path) {
+    bench::JsonRecordWriter writer(*json_path);
+    const std::string cfg = std::to_string(opt.drones) + "drones_x" +
+                            std::to_string(opt.proofs_per_drone) + "proofs";
+    writer.write("auditor_scale", cfg + "/decode_owning", "allocs_per_message",
+                 owning_allocs);
+    writer.write("auditor_scale", cfg + "/decode_view", "allocs_per_message",
+                 view_allocs);
+    writer.write("auditor_scale", cfg, "decode_alloc_ratio", alloc_ratio);
+    writer.write("auditor_scale", cfg + "/serial_shards1", "proofs_per_sec",
+                 serial_pps);
+    writer.write("auditor_scale",
+                 cfg + "/pipeline_shards16_threads8_producers" +
+                     std::to_string(opt.producers),
+                 "proofs_per_sec", pipeline_pps);
+    writer.write("auditor_scale", cfg, "pipeline_speedup", speedup);
+    writer.write("auditor_scale", cfg, "verdict_mismatches",
+                 static_cast<double>(mismatches));
+    if (!writer.ok()) return 1;
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace alidrone
+
+int main(int argc, char** argv) { return alidrone::run(argc, argv); }

@@ -4,6 +4,8 @@
 // Algorithm 1 and the verifier run constantly.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <string>
 #include <vector>
 
@@ -142,4 +144,6 @@ BENCHMARK(BM_HaversineDistance);
 }  // namespace
 }  // namespace alidrone::geo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return alidrone::bench::benchmark_main_with_json(argc, argv);
+}

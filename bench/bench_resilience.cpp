@@ -4,6 +4,8 @@
 // per-request idempotency ids and breaker checks that make the layer safe.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <string>
 
 #include "crypto/bytes.h"
@@ -110,4 +112,6 @@ BENCHMARK(BM_CircuitBreakerHotPath);
 }  // namespace
 }  // namespace alidrone::resilience
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return alidrone::bench::benchmark_main_with_json(argc, argv);
+}

@@ -3,6 +3,8 @@
 // out. Uses google-benchmark for the hot paths.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/auditor.h"
 #include "core/drone_client.h"
 #include "core/sampler.h"
@@ -200,4 +202,6 @@ BENCHMARK(BM_PlannerVisibilityGraph)->Arg(2)->Arg(8)->Arg(16)
 }  // namespace
 }  // namespace alidrone
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return alidrone::bench::benchmark_main_with_json(argc, argv);
+}

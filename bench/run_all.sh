@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# Run every bench with --json and merge the records into one
+# BENCH_results.json array — the cross-PR perf-trajectory file.
+#
+# Usage: bench/run_all.sh [output.json]
+#   BUILD_DIR            build tree holding bench/ binaries (default: build)
+#   BENCHMARK_MIN_TIME   per-benchmark min time for the google-benchmark
+#                        micro benches (default: 0.01 — smoke-level; unset
+#                        it to BENCHMARK_MIN_TIME="" for full runs)
+#
+# Exit status is non-zero if any bench fails its own shape checks, so CI
+# can use this as a perf smoke test without parsing any numbers. The merge
+# is plain sed/grep on the writers' fixed one-record-per-line format — no
+# jq or python in the loop.
+set -u
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_results.json}
+MIN_TIME=${BENCHMARK_MIN_TIME-0.01}
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "run_all.sh: no $BUILD_DIR/bench — build first (BUILD_DIR=...)" >&2
+  exit 2
+fi
+
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+: > "$tmp_dir/records"
+fail=0
+
+run_bench() {
+  name=$1
+  shift
+  bin="$BUILD_DIR/bench/$name"
+  json="$tmp_dir/$name.json"
+  echo "== $name =="
+  if ! "$bin" "$@" --json "$json"; then
+    echo "run_all.sh: FAIL $name" >&2
+    fail=1
+  fi
+  # One record per line, trailing commas stripped; re-joined at the end.
+  if [ -f "$json" ]; then
+    grep '^  {' "$json" | sed 's/,$//' >>"$tmp_dir/records"
+  fi
+}
+
+# Figure/table regeneration harnesses (shape-checked exit codes).
+run_bench bench_fig6_airport
+run_bench bench_fig8_residential
+run_bench bench_table2_overhead
+run_bench bench_signing_alternatives
+run_bench bench_adaptive_ablation
+
+# Fleet-scale ingestion (exit code checks serial/pipeline verdict parity).
+run_bench bench_auditor_scale --drones 8 --proofs 4
+
+# google-benchmark micro benches.
+micro_args=""
+if [ -n "$MIN_TIME" ]; then
+  micro_args="--benchmark_min_time=$MIN_TIME"
+fi
+for name in bench_crypto_micro bench_geo_micro bench_tee_and_verify \
+    bench_verify_throughput bench_sign_throughput bench_resilience; do
+  # shellcheck disable=SC2086
+  run_bench "$name" $micro_args
+done
+
+{
+  echo '['
+  sed '$!s/$/,/' "$tmp_dir/records" | sed 's/^  //;s/^/  /'
+  echo ']'
+} >"$OUT"
+
+count=$(grep -c '{' "$OUT" || true)
+echo "== wrote $count records to $OUT (fail=$fail) =="
+exit "$fail"

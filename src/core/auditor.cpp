@@ -17,12 +17,63 @@ constexpr std::size_t kMinNonceBytes = 16;
 }
 
 Auditor::Auditor(std::size_t key_bits, crypto::RandomSource& rng, ProtocolParams params)
-    : keypair_(crypto::generate_rsa_keypair(key_bits, rng)), params_(params) {}
+    : keypair_(crypto::generate_rsa_keypair(key_bits, rng)), params_(params) {
+  const std::size_t shard_count = std::max<std::size_t>(1, params_.auditor_shards);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<StateShard>());
+  }
+  zone_shapes_ = std::make_shared<const ZoneShapes>();
+}
 
-bool Auditor::note_nonce(const crypto::Bytes& nonce) {
-  if (seen_nonces_.contains(nonce)) return false;
-  seen_nonces_.insert(nonce);
-  nonce_order_.push_back(nonce);
+std::size_t Auditor::shard_index(std::string_view drone_id) const {
+  // FNV-1a over the id, then a splitmix64 finalizer so ids differing only
+  // in the last character still spread across stripes.
+  std::uint64_t x = 0xcbf29ce484222325ull;
+  for (const char c : drone_id) {
+    x ^= static_cast<unsigned char>(c);
+    x *= 0x100000001b3ull;
+  }
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>((x ^ (x >> 31)) % shards_.size());
+}
+
+std::shared_ptr<const DroneRecord> Auditor::find_drone(
+    std::string_view drone_id) const {
+  const StateShard& shard = shard_for(drone_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.drones.find(drone_id);
+  return it == shard.drones.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const Auditor::ZoneShapes> Auditor::zone_shapes() const {
+  std::shared_lock<std::shared_mutex> lock(zones_mu_);
+  return zone_shapes_;
+}
+
+void Auditor::rebuild_zone_shapes_locked() {
+  auto shapes = std::make_shared<ZoneShapes>();
+  shapes->all.reserve(zones_.size());
+  for (const auto& [id, record] : zones_) {
+    shapes->all.push_back(record.zone);
+    if (record.ceiling_m) {
+      shapes->cylinders.push_back(
+          {record.zone.center, record.zone.radius_m, *record.ceiling_m});
+    } else {
+      shapes->planar.push_back(record.zone);
+    }
+  }
+  zone_shapes_ = std::move(shapes);
+}
+
+bool Auditor::note_nonce(std::span<const std::uint8_t> nonce) {
+  crypto::Bytes owned(nonce.begin(), nonce.end());
+  std::lock_guard<std::mutex> lock(nonce_mu_);
+  if (seen_nonces_.contains(owned)) return false;
+  nonce_order_.push_back(owned);
+  seen_nonces_.insert(std::move(owned));
   while (nonce_order_.size() > params_.nonce_cache_size) {
     seen_nonces_.erase(nonce_order_.front());
     nonce_order_.pop_front();
@@ -30,8 +81,17 @@ bool Auditor::note_nonce(const crypto::Bytes& nonce) {
   return true;
 }
 
+std::optional<crypto::Bytes> Auditor::lookup_submission(const crypto::Bytes& digest) {
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  const auto it = submit_cache_.find(digest);
+  if (it == submit_cache_.end()) return std::nullopt;
+  duplicate_submissions_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
 void Auditor::note_submission(const crypto::Bytes& digest,
                               const crypto::Bytes& verdict) {
+  std::lock_guard<std::mutex> lock(submit_mu_);
   if (submit_cache_.emplace(digest, verdict).second) {
     submit_cache_order_.push_back(digest);
     while (submit_cache_order_.size() > params_.submit_dedup_cache_size) {
@@ -45,12 +105,25 @@ void Auditor::attach_registry(std::shared_ptr<RegistryStore> registry) {
   registry_ = std::move(registry);
   if (registry_ == nullptr) return;
   if (const auto snapshot = registry_->load()) {
-    drones_ = snapshot->drones;
-    zones_ = snapshot->zones;
+    std::lock_guard<std::mutex> reg_lock(registration_mu_);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->drones.clear();
+    }
+    for (const auto& [id, record] : snapshot->drones) {
+      StateShard& shard = shard_for(id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.drones[id] = std::make_shared<const DroneRecord>(record);
+    }
+    {
+      std::unique_lock<std::shared_mutex> lock(zones_mu_);
+      zones_ = snapshot->zones;
+      zone_index_ = ZoneIndex();
+      for (const auto& [id, record] : zones_) zone_index_.insert(id, record.zone);
+      rebuild_zone_shapes_locked();
+    }
     next_drone_number_ = snapshot->next_drone_number;
     next_zone_number_ = snapshot->next_zone_number;
-    zone_index_ = ZoneIndex();
-    for (const auto& [id, record] : zones_) zone_index_.insert(id, record.zone);
   }
 }
 
@@ -69,8 +142,14 @@ void Auditor::audit(double time, AuditEventType type, const std::string& subject
 void Auditor::persist_registry() const {
   if (registry_ == nullptr) return;
   RegistryStore::Snapshot snapshot;
-  snapshot.drones = drones_;
-  snapshot.zones = zones_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, record] : shard->drones) snapshot.drones[id] = *record;
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(zones_mu_);
+    snapshot.zones = zones_;
+  }
   snapshot.next_drone_number = next_drone_number_;
   snapshot.next_zone_number = next_zone_number_;
   registry_->save(snapshot);
@@ -81,22 +160,33 @@ RegisterDroneResponse Auditor::register_drone(const RegisterDroneRequest& reques
   const crypto::RsaPublicKey tee_key = request.tee_key();
   if (op_key.modulus_bits() < 512 || tee_key.modulus_bits() < 512) return {};
 
+  std::lock_guard<std::mutex> reg_lock(registration_mu_);
+
   // One identity per TEE key: re-registering the same hardware under a new
   // operator key would let an attacker shed accusations. The same pairing
   // re-submitted is answered idempotently with the original id — a retry
-  // after a lost response must not look like a refusal.
-  for (const auto& [id, record] : drones_) {
-    if (record.tee_key == tee_key) {
-      if (record.operator_key == op_key) {
-        ++duplicate_registrations_;
-        return {true, id};
+  // after a lost response must not look like a refusal. (At most one
+  // record per TEE key exists, so scan order across shards is irrelevant.)
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, record] : shard->drones) {
+      if (record->tee_key == tee_key) {
+        if (record->operator_key == op_key) {
+          duplicate_registrations_.fetch_add(1, std::memory_order_relaxed);
+          return {true, id};
+        }
+        return {};
       }
-      return {};
     }
   }
 
   DroneId id = "drone-" + std::to_string(next_drone_number_++);
-  drones_[id] = DroneRecord{id, op_key, tee_key};
+  {
+    StateShard& shard = shard_for(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.drones[id] =
+        std::make_shared<const DroneRecord>(DroneRecord{id, op_key, tee_key});
+  }
   persist_registry();
   audit(0.0, AuditEventType::kDroneRegistered, id, true, "D+ and T+ on file");
   return {true, std::move(id)};
@@ -119,9 +209,14 @@ RegisterZoneResponse Auditor::register_zone(const RegisterZoneRequest& request) 
     return {};
   }
 
+  std::lock_guard<std::mutex> reg_lock(registration_mu_);
   ZoneId id = "zone-" + std::to_string(next_zone_number_++);
-  zones_[id] = ZoneRecord{id, request.zone, owner_key, request.description, {}};
-  zone_index_.insert(id, request.zone);
+  {
+    std::unique_lock<std::shared_mutex> lock(zones_mu_);
+    zones_[id] = ZoneRecord{id, request.zone, owner_key, request.description, {}};
+    zone_index_.insert(id, request.zone);
+    rebuild_zone_shapes_locked();
+  }
   persist_registry();
   audit(0.0, AuditEventType::kZoneRegistered, id, true, request.description);
   return {true, std::move(id)};
@@ -132,7 +227,12 @@ RegisterZoneResponse Auditor::register_zone_3d(const RegisterZoneRequest& reques
   if (ceiling_m <= 0.0) return {};
   RegisterZoneResponse response = register_zone(request);
   if (response.ok) {
-    zones_[response.zone_id].ceiling_m = ceiling_m;
+    std::lock_guard<std::mutex> reg_lock(registration_mu_);
+    {
+      std::unique_lock<std::shared_mutex> lock(zones_mu_);
+      zones_[response.zone_id].ceiling_m = ceiling_m;
+      rebuild_zone_shapes_locked();
+    }
     persist_registry();  // re-snapshot with the ceiling included
   }
   return response;
@@ -159,61 +259,52 @@ RegisterZoneResponse Auditor::register_polygon_zone(
   for (const geo::GeoPoint& v : vertices) pts.push_back(frame.to_local(v));
   const geo::Circle cover = geo::smallest_enclosing_circle(pts);
 
+  std::lock_guard<std::mutex> reg_lock(registration_mu_);
   ZoneId id = "zone-" + std::to_string(next_zone_number_++);
   const geo::GeoZone covering{frame.to_geo(cover.center), cover.radius};
-  zones_[id] = ZoneRecord{id, covering, owner_key, description, {}};
-  zone_index_.insert(id, covering);
+  {
+    std::unique_lock<std::shared_mutex> lock(zones_mu_);
+    zones_[id] = ZoneRecord{id, covering, owner_key, description, {}};
+    zone_index_.insert(id, covering);
+    rebuild_zone_shapes_locked();
+  }
   persist_registry();
   return {true, std::move(id)};
 }
 
 ZoneQueryResponse Auditor::query_zones(const ZoneQueryRequest& request) {
-  const auto it = drones_.find(request.drone_id);
-  if (it == drones_.end()) return {false, "unknown drone", {}};
-  if (request.nonce.size() < kMinNonceBytes) return {false, "nonce too short", {}};
+  return query_zones_impl(request.drone_id, request.rect, request.nonce,
+                          request.nonce_signature);
+}
 
-  if (!crypto::rsa_verify(it->second.operator_key, request.nonce,
-                          request.nonce_signature, crypto::HashAlgorithm::kSha256)) {
+ZoneQueryResponse Auditor::query_zones_impl(
+    std::string_view drone_id, const QueryRect& rect,
+    std::span<const std::uint8_t> nonce,
+    std::span<const std::uint8_t> nonce_signature) {
+  const auto drone = find_drone(drone_id);
+  if (drone == nullptr) return {false, "unknown drone", {}};
+  if (nonce.size() < kMinNonceBytes) return {false, "nonce too short", {}};
+
+  if (!crypto::rsa_verify(drone->operator_key, nonce, nonce_signature,
+                          crypto::HashAlgorithm::kSha256)) {
     return {false, "bad nonce signature", {}};
   }
-  if (!note_nonce(request.nonce)) return {false, "replayed nonce", {}};
+  if (!note_nonce(nonce)) return {false, "replayed nonce", {}};
 
   ZoneQueryResponse response;
   response.ok = true;
-  for (const ZoneId& id : zone_index_.query_rect(request.rect)) {
-    response.zones.push_back({id, zones_.at(id).zone});
+  {
+    std::shared_lock<std::shared_mutex> lock(zones_mu_);
+    for (const ZoneId& id : zone_index_.query_rect(rect)) {
+      response.zones.push_back({id, zones_.at(id).zone});
+    }
   }
-  audit(0.0, AuditEventType::kZoneQuery, request.drone_id, true,
+  audit(0.0, AuditEventType::kZoneQuery, std::string(drone_id), true,
         std::to_string(response.zones.size()) + " zones returned");
   return response;
 }
 
-std::vector<geo::GeoZone> Auditor::all_zone_shapes() const {
-  std::vector<geo::GeoZone> out;
-  out.reserve(zones_.size());
-  for (const auto& [id, record] : zones_) out.push_back(record.zone);
-  return out;
-}
-
-std::vector<geo::GeoZone> Auditor::planar_zone_shapes() const {
-  std::vector<geo::GeoZone> out;
-  for (const auto& [id, record] : zones_) {
-    if (!record.ceiling_m) out.push_back(record.zone);
-  }
-  return out;
-}
-
-std::vector<geo::GeoZone3> Auditor::cylinder_zone_shapes() const {
-  std::vector<geo::GeoZone3> out;
-  for (const auto& [id, record] : zones_) {
-    if (record.ceiling_m) {
-      out.push_back({record.zone.center, record.zone.radius_m, *record.ceiling_m});
-    }
-  }
-  return out;
-}
-
-std::string Auditor::authenticate_samples(const ProofOfAlibi& poa,
+std::string Auditor::authenticate_samples(const PoaView& poa,
                                           const DroneRecord& drone,
                                           std::vector<gps::GpsFix>& out_samples) const {
   // Mode-specific key material checks first.
@@ -233,13 +324,17 @@ std::string Auditor::authenticate_samples(const ProofOfAlibi& poa,
   out_samples.reserve(poa.samples.size());
 
   for (std::size_t i = 0; i < poa.samples.size(); ++i) {
-    const SignedSample& s = poa.samples[i];
+    const SignedSampleView& s = poa.samples[i];
 
-    crypto::Bytes plain = s.sample;
+    // Plaintext canonical bytes: borrowed straight from the frame unless
+    // the PoA is encrypted, in which case the decryption owns them.
+    crypto::Bytes decrypted_storage;
+    std::span<const std::uint8_t> plain = s.sample;
     if (poa.encrypted) {
-      const auto decrypted = crypto::rsa_decrypt(keypair_.priv, s.sample);
+      auto decrypted = crypto::rsa_decrypt(keypair_.priv, s.sample);
       if (!decrypted) return "sample " + std::to_string(i) + " undecryptable";
-      plain = *decrypted;
+      decrypted_storage = std::move(*decrypted);
+      plain = decrypted_storage;
     }
     const auto fix = tee::decode_sample(plain);
     if (!fix) return "sample " + std::to_string(i) + " malformed";
@@ -275,11 +370,11 @@ std::string Auditor::authenticate_samples(const ProofOfAlibi& poa,
   return "";
 }
 
-Auditor::PoaEvaluation Auditor::evaluate_poa(const ProofOfAlibi& poa) const {
+Auditor::PoaEvaluation Auditor::evaluate_poa(const PoaView& poa) const {
   PoaEvaluation evaluation;
   PoaVerdict& verdict = evaluation.verdict;
-  const auto drone_it = drones_.find(poa.drone_id);
-  if (drone_it == drones_.end()) {
+  const auto drone = find_drone(poa.drone_id);
+  if (drone == nullptr) {
     verdict.detail = "unknown drone";
     return evaluation;
   }
@@ -289,7 +384,7 @@ Auditor::PoaEvaluation Auditor::evaluate_poa(const ProofOfAlibi& poa) const {
   }
 
   std::vector<gps::GpsFix> samples;
-  const std::string failure = authenticate_samples(poa, drone_it->second, samples);
+  const std::string failure = authenticate_samples(poa, *drone, samples);
   if (!failure.empty()) {
     verdict.detail = failure;
     return evaluation;
@@ -297,20 +392,21 @@ Auditor::PoaEvaluation Auditor::evaluate_poa(const ProofOfAlibi& poa) const {
   verdict.accepted = true;
 
   // Planar zones use the paper's eq. (1); cylinder zones (the Section
-  // VII-B1 extension) use the altitude-aware ellipsoid check.
+  // VII-B1 extension) use the altitude-aware ellipsoid check. Both read
+  // the immutable shapes snapshot — no allocation, no zone lock.
+  const auto shapes = zone_shapes();
   const SufficiencyReport planar =
-      check_sufficiency(samples, planar_zone_shapes(), params_.vmax_mps);
+      check_sufficiency(samples, shapes->planar, params_.vmax_mps);
   if (!planar.well_formed) {
     verdict.accepted = false;
     verdict.detail = "samples not time-ordered";
     return evaluation;
   }
-  const auto cylinders = cylinder_zone_shapes();
   SufficiencyReport volumetric;
   volumetric.well_formed = true;
   volumetric.sufficient = true;
-  if (!cylinders.empty()) {
-    volumetric = check_sufficiency_3d(samples, cylinders, params_.vmax_mps);
+  if (!shapes->cylinders.empty()) {
+    volumetric = check_sufficiency_3d(samples, shapes->cylinders, params_.vmax_mps);
   }
 
   verdict.compliant = planar.sufficient && volumetric.sufficient;
@@ -318,24 +414,27 @@ Auditor::PoaEvaluation Auditor::evaluate_poa(const ProofOfAlibi& poa) const {
                                                        volumetric.violations.size());
   verdict.detail = verdict.compliant ? "sufficient alibi" : "insufficient alibi";
 
-  // Prepare retention (Section IV-C2). Optionally thinned first: the
-  // minimal sufficient witness answers accusations just as well.
+  // Prepare retention (Section IV-C2): only now pay for an owning copy of
+  // the proof. Optionally thinned first: the minimal sufficient witness
+  // answers accusations just as well.
   evaluation.retain = true;
-  evaluation.to_retain = poa;
+  evaluation.to_retain = poa.materialize();
   evaluation.retained_samples = std::move(samples);
   if (params_.thin_before_retention) {
-    evaluation.to_retain = thin_poa(poa, all_zone_shapes(), params_.vmax_mps);
-    if (evaluation.to_retain.samples.size() < poa.samples.size()) {
+    ProofOfAlibi thinned =
+        thin_poa(evaluation.to_retain, shapes->all, params_.vmax_mps);
+    if (thinned.samples.size() < evaluation.to_retain.samples.size()) {
       evaluation.retained_samples.clear();
-      for (const SignedSample& s : evaluation.to_retain.samples) {
+      for (const SignedSample& s : thinned.samples) {
         if (const auto f = s.fix()) evaluation.retained_samples.push_back(*f);
       }
     }
+    evaluation.to_retain = std::move(thinned);
   }
   return evaluation;
 }
 
-PoaVerdict Auditor::commit_evaluation(const DroneId& drone_id,
+PoaVerdict Auditor::commit_evaluation(std::string_view drone_id,
                                       PoaEvaluation evaluation,
                                       double submission_time) {
   if (!evaluation.retain) return std::move(evaluation.verdict);
@@ -343,20 +442,31 @@ PoaVerdict Auditor::commit_evaluation(const DroneId& drone_id,
   // Retain for later accusations — in memory and, when a store is
   // attached, durably on disk.
   if (store_ != nullptr) {
-    store_->save(drone_id, submission_time, evaluation.to_retain);
+    store_->save(evaluation.to_retain.drone_id, submission_time,
+                 evaluation.to_retain);
   }
   RetainedPoa retained;
   retained.submission_time = submission_time;
   retained.poa = std::move(evaluation.to_retain);
   retained.samples = std::move(evaluation.retained_samples);
-  retained_[drone_id].push_back(std::move(retained));
-  audit(submission_time, AuditEventType::kPoaVerdict, drone_id,
+  {
+    StateShard& shard = shard_for(drone_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.retained.find(drone_id);
+    if (it == shard.retained.end()) {
+      it = shard.retained.emplace(DroneId(drone_id), std::vector<RetainedPoa>{})
+               .first;
+    }
+    it->second.push_back(std::move(retained));
+  }
+  audit(submission_time, AuditEventType::kPoaVerdict, std::string(drone_id),
         evaluation.verdict.compliant, evaluation.verdict.detail);
   return std::move(evaluation.verdict);
 }
 
 PoaVerdict Auditor::verify_poa(const ProofOfAlibi& poa, double submission_time) {
-  return commit_evaluation(poa.drone_id, evaluate_poa(poa), submission_time);
+  return commit_evaluation(poa.drone_id, evaluate_poa(PoaView::of(poa)),
+                           submission_time);
 }
 
 std::vector<PoaVerdict> Auditor::verify_poa_batch(
@@ -370,11 +480,12 @@ std::vector<PoaVerdict> Auditor::verify_poa_batch(
     return verdicts;
   }
 
-  // Phase 1 — parallel, read-only: every registry/keypair access in
-  // evaluate_poa is const and no mutator runs until the barrier below.
+  // Phase 1 — parallel, read-only: evaluate_poa reads per-drone records
+  // under brief shard locks and zone geometry via the shapes snapshot.
   std::vector<PoaEvaluation> evaluations(poas.size());
-  runtime::parallel_for(*pool, 0, poas.size(),
-                        [&](std::size_t i) { evaluations[i] = evaluate_poa(poas[i]); });
+  runtime::parallel_for(*pool, 0, poas.size(), [&](std::size_t i) {
+    evaluations[i] = evaluate_poa(PoaView::of(poas[i]));
+  });
 
   // Phase 2 — serial, in submission order: retention order and audit-log
   // contents match the verify_poa loop byte for byte.
@@ -387,22 +498,28 @@ std::vector<PoaVerdict> Auditor::verify_poa_batch(
 
 PoaVerdict Auditor::verify_poa_bytes(std::span<const std::uint8_t> poa_bytes,
                                      double submission_time) {
-  const auto poa = ProofOfAlibi::parse(poa_bytes);
-  if (!poa) {
+  PoaView view;
+  if (!PoaView::parse_into(poa_bytes, view)) {
     PoaVerdict verdict;
     verdict.detail = "unparseable PoA";
     return verdict;
   }
-  return verify_poa(*poa, submission_time);
+  return commit_evaluation(view.drone_id, evaluate_poa(view), submission_time);
 }
 
 AccusationResponse Auditor::handle_accusation(const AccusationRequest& request) {
-  const auto zone_it = zones_.find(request.zone_id);
-  if (zone_it == zones_.end()) return {false, false, "unknown zone"};
-  if (!drones_.contains(request.drone_id)) return {false, false, "unknown drone"};
+  std::optional<ZoneRecord> zone;
+  {
+    std::shared_lock<std::shared_mutex> lock(zones_mu_);
+    const auto zone_it = zones_.find(request.zone_id);
+    if (zone_it != zones_.end()) zone = zone_it->second;
+  }
+  if (!zone) return {false, false, "unknown zone"};
+  const auto drone = find_drone(request.drone_id);
+  if (drone == nullptr) return {false, false, "unknown drone"};
 
   // Only the Zone Owner can accuse for her zone.
-  if (!crypto::rsa_verify(zone_it->second.owner_key, request.signed_payload(),
+  if (!crypto::rsa_verify(zone->owner_key, request.signed_payload(),
                           request.owner_signature, crypto::HashAlgorithm::kSha256)) {
     return {false, false, "bad owner signature"};
   }
@@ -416,12 +533,16 @@ AccusationResponse Auditor::handle_accusation(const AccusationRequest& request) 
   // The burden of proof rests on the operator: find a retained PoA whose
   // flight window covers the incident and whose samples around the
   // incident time prove non-entrance to this zone.
-  const auto retained_it = retained_.find(request.drone_id);
-  if (retained_it != retained_.end()) {
-    for (const RetainedPoa& r : retained_it->second) {
-      if (const auto response =
-              adjudicate(r.samples, zone_it->second, request.incident_time)) {
-        return finish(*response);
+  {
+    StateShard& shard = shard_for(request.drone_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto retained_it = shard.retained.find(request.drone_id);
+    if (retained_it != shard.retained.end()) {
+      for (const RetainedPoa& r : retained_it->second) {
+        if (const auto response =
+                adjudicate(r.samples, *zone, request.incident_time)) {
+          return finish(*response);
+        }
       }
     }
   }
@@ -431,16 +552,14 @@ AccusationResponse Auditor::handle_accusation(const AccusationRequest& request) 
   // the samples still carry their TEE signatures, so re-checking is cheap
   // insurance against tampered storage.
   if (store_ != nullptr) {
-    const auto drone_it = drones_.find(request.drone_id);
     for (const PoaStore::StoredPoa& stored :
          store_->load_for_drone(request.drone_id)) {
       std::vector<gps::GpsFix> samples;
-      if (drone_it == drones_.end() ||
-          !authenticate_samples(stored.poa, drone_it->second, samples).empty()) {
+      if (!authenticate_samples(PoaView::of(stored.poa), *drone, samples).empty()) {
         continue;
       }
       if (const auto response =
-              adjudicate(samples, zone_it->second, request.incident_time)) {
+              adjudicate(samples, *zone, request.incident_time)) {
         return finish(*response);
       }
     }
@@ -467,19 +586,39 @@ std::optional<AccusationResponse> Auditor::adjudicate(
 }
 
 void Auditor::expire_poas(double now) {
-  for (auto& [id, list] : retained_) {
-    std::erase_if(list, [&](const RetainedPoa& r) {
-      return now - r.submission_time > params_.poa_retention_seconds;
-    });
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, list] : shard->retained) {
+      std::erase_if(list, [&](const RetainedPoa& r) {
+        return now - r.submission_time > params_.poa_retention_seconds;
+      });
+    }
   }
   if (store_ != nullptr) {
     store_->expire_before(now - params_.poa_retention_seconds);
   }
 }
 
+std::size_t Auditor::drone_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->drones.size();
+  }
+  return n;
+}
+
+std::size_t Auditor::zone_count() const {
+  std::shared_lock<std::shared_mutex> lock(zones_mu_);
+  return zones_.size();
+}
+
 std::size_t Auditor::retained_poa_count() const {
   std::size_t n = 0;
-  for (const auto& [id, list] : retained_) n += list.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, list] : shard->retained) n += list.size();
+  }
   return n;
 }
 
@@ -493,14 +632,18 @@ void Auditor::bind(net::MessageBus& bus) {
     return (request ? register_zone(*request) : RegisterZoneResponse{}).encode();
   });
   bus.register_endpoint("auditor.query_zones", [this](const crypto::Bytes& in) {
-    const auto request = ZoneQueryRequest::decode(in);
-    return (request ? query_zones(*request)
+    // Borrowing decode: id, nonce and signature stay views into the
+    // request frame; only an accepted nonce is copied (into the replay
+    // cache).
+    const auto request = ZoneQueryRequestView::decode(in);
+    return (request ? query_zones_impl(request->drone_id, request->rect,
+                                       request->nonce, request->nonce_signature)
                     : ZoneQueryResponse{false, "bad request", {}})
         .encode();
   });
   bus.register_endpoint("auditor.submit_poa", [this](const crypto::Bytes& in) {
-    const auto request = SubmitPoaRequest::decode(in);
-    if (!request) {
+    const auto poa_bytes = SubmitPoaRequest::decode_view(in);
+    if (!poa_bytes) {
       PoaVerdict verdict;
       verdict.detail = "bad request";
       return verdict.encode();
@@ -509,16 +652,20 @@ void Auditor::bind(net::MessageBus& bus) {
     // proof bytes return the first verdict verbatim, with no second
     // verification, retention or audit event — retry storms cannot
     // double-count a flight.
-    const auto digest_arr = crypto::Sha256::hash(request->poa);
+    const auto digest_arr = crypto::Sha256::hash(*poa_bytes);
     const crypto::Bytes digest(digest_arr.begin(), digest_arr.end());
-    if (const auto hit = submit_cache_.find(digest); hit != submit_cache_.end()) {
-      ++duplicate_submissions_;
-      return hit->second;
+    if (auto hit = lookup_submission(digest)) return *hit;
+    // Zero-copy verification straight out of the request frame; an owning
+    // proof is materialized only if the verdict reaches retention.
+    PoaView view;
+    PoaVerdict verdict;
+    if (!PoaView::parse_into(*poa_bytes, view)) {
+      verdict.detail = "unparseable PoA";
+    } else {
+      // Submission time: latest sample time stands in for server wall clock.
+      const double t = view.end_time().value_or(0.0);
+      verdict = commit_evaluation(view.drone_id, evaluate_poa(view), t);
     }
-    // Submission time: latest sample time stands in for server wall clock.
-    const auto poa = ProofOfAlibi::parse(request->poa);
-    const double t = poa && poa->end_time() ? *poa->end_time() : 0.0;
-    const PoaVerdict verdict = verify_poa_bytes(request->poa, t);
     crypto::Bytes encoded = verdict.encode();
     // Only accepted proofs had side effects worth fencing; rejected ones
     // re-verify idempotently and stay out of the bounded cache.

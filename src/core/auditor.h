@@ -5,14 +5,32 @@
 // and eq.-(1) sufficiency) and retains verified PoAs so later accusations
 // from Zone Owners can be adjudicated. All functionality is available as
 // a direct API and as serialized endpoints on a net::MessageBus.
+//
+// Fleet-scale concurrency model: per-drone state (registration records,
+// retained PoAs) is split across N lock-striped shards keyed by a hash of
+// the drone id, so unrelated drones never contend; zone state is a single
+// read-mostly table under a shared_mutex with an immutable shapes
+// snapshot that hot verification borrows via shared_ptr. Shard layout
+// only decides which mutex guards which drone — commit order is decided
+// by the caller (serial in bind(), admission order in AuditorIngest), so
+// verdicts and audit logs are byte-identical to the serial path for any
+// shard or thread count, mirroring verify_poa_batch's evaluate-parallel/
+// commit-serial discipline.
+//
+// Lock order (outer to inner): registration_mu_ -> zones_mu_ -> shard.mu.
+// The nonce and submit-dedup caches use their own leaf mutexes and are
+// deliberately global, not sharded: both are bounded FIFOs whose eviction
+// order must not depend on the shard count.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
-#include <set>
-#include <vector>
-
 #include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <vector>
 
 #include "core/audit_log.h"
 #include "core/messages.h"
@@ -29,6 +47,8 @@
 #include "runtime/thread_pool.h"
 
 namespace alidrone::core {
+
+class AuditorIngest;
 
 class Auditor {
  public:
@@ -99,15 +119,21 @@ class Auditor {
   void attach_audit_log(std::shared_ptr<AuditLog> log) { audit_ = std::move(log); }
 
   // ---- Introspection ----
-  std::size_t drone_count() const { return drones_.size(); }
-  std::size_t zone_count() const { return zones_.size(); }
+  std::size_t drone_count() const;
+  std::size_t zone_count() const;
   std::size_t retained_poa_count() const;
   /// Bus submissions answered from the proof-digest dedup cache (retry
   /// storms, duplicated deliveries) without re-verification or retention.
-  std::uint64_t duplicate_poa_submissions() const { return duplicate_submissions_; }
+  std::uint64_t duplicate_poa_submissions() const {
+    return duplicate_submissions_.load(std::memory_order_relaxed);
+  }
   /// register_drone calls answered idempotently (same TEE + operator key
   /// re-submitted, e.g. a retry after a lost response).
-  std::uint64_t duplicate_registrations() const { return duplicate_registrations_; }
+  std::uint64_t duplicate_registrations() const {
+    return duplicate_registrations_.load(std::memory_order_relaxed);
+  }
+  /// Zone table, for inspection. Not synchronized against concurrent zone
+  /// registration — callers take it while no mutator runs.
   const std::map<ZoneId, ZoneRecord>& zones() const { return zones_; }
   const ProtocolParams& params() const { return params_; }
 
@@ -115,38 +141,83 @@ class Auditor {
   void bind(net::MessageBus& bus);
 
  private:
+  friend class AuditorIngest;
+
   crypto::RsaKeyPair keypair_;
   ProtocolParams params_;
-  std::map<DroneId, DroneRecord> drones_;
-  std::map<ZoneId, ZoneRecord> zones_;
-  ZoneIndex zone_index_;  // spatial index over zones_ for queries
-  int next_drone_number_ = 1;
-  int next_zone_number_ = 1;
-
-  // Replay defense for zone-query nonces (bounded FIFO + set).
-  std::set<crypto::Bytes> seen_nonces_;
-  std::deque<crypto::Bytes> nonce_order_;
-
-  // Replay defense for PoA submissions over the bus: proof digest ->
-  // encoded verdict of the first accepted delivery (bounded FIFO + map).
-  std::map<crypto::Bytes, crypto::Bytes> submit_cache_;
-  std::deque<crypto::Bytes> submit_cache_order_;
-  std::uint64_t duplicate_submissions_ = 0;
-  std::uint64_t duplicate_registrations_ = 0;
-
-  /// Remember an accepted submission's verdict for dedup.
-  void note_submission(const crypto::Bytes& digest, const crypto::Bytes& verdict);
 
   struct RetainedPoa {
     double submission_time = 0.0;
     ProofOfAlibi poa;
     std::vector<gps::GpsFix> samples;  ///< decoded, decrypted
   };
-  std::map<DroneId, std::vector<RetainedPoa>> retained_;
+
+  /// One lock stripe of per-drone state. A drone's registration record
+  /// and its retained PoAs live in the shard its id hashes to. Records
+  /// are immutable once registered and handed out as shared_ptr<const>,
+  /// so verification never holds a shard lock while doing RSA math.
+  struct StateShard {
+    mutable std::mutex mu;
+    std::map<DroneId, std::shared_ptr<const DroneRecord>, std::less<>> drones;
+    std::map<DroneId, std::vector<RetainedPoa>, std::less<>> retained;
+  };
+  std::vector<std::unique_ptr<StateShard>> shards_;
+
+  std::size_t shard_index(std::string_view drone_id) const;
+  StateShard& shard_for(std::string_view drone_id) const {
+    return *shards_[shard_index(drone_id)];
+  }
+  /// nullptr when unknown. The record outlives the shard lock.
+  std::shared_ptr<const DroneRecord> find_drone(std::string_view drone_id) const;
+
+  // Zone state: read-mostly, global (zones are shared by every drone).
+  mutable std::shared_mutex zones_mu_;
+  std::map<ZoneId, ZoneRecord> zones_;
+  ZoneIndex zone_index_;  // spatial index over zones_ for queries
+
+  /// Immutable snapshot of the registered zone geometry, rebuilt by zone
+  /// mutators; hot verification borrows it with one shared_ptr copy
+  /// instead of rebuilding three vectors per proof.
+  struct ZoneShapes {
+    std::vector<geo::GeoZone> all;
+    std::vector<geo::GeoZone> planar;     ///< unbounded zones, eq. (1)
+    std::vector<geo::GeoZone3> cylinders; ///< Section VII-B1 ceilings
+  };
+  std::shared_ptr<const ZoneShapes> zone_shapes_;
+  std::shared_ptr<const ZoneShapes> zone_shapes() const;
+  /// Caller holds zones_mu_ exclusively.
+  void rebuild_zone_shapes_locked();
+
+  // Registration order (id counters, TEE-key uniqueness scan, registry
+  // persistence) is serialized; queries and verification never take this.
+  mutable std::mutex registration_mu_;
+  int next_drone_number_ = 1;
+  int next_zone_number_ = 1;
+
+  // Replay defense for zone-query nonces (bounded FIFO + set).
+  std::mutex nonce_mu_;
+  std::set<crypto::Bytes> seen_nonces_;
+  std::deque<crypto::Bytes> nonce_order_;
+
+  // Replay defense for PoA submissions over the bus: proof digest ->
+  // encoded verdict of the first accepted delivery (bounded FIFO + map).
+  mutable std::mutex submit_mu_;
+  std::map<crypto::Bytes, crypto::Bytes> submit_cache_;
+  std::deque<crypto::Bytes> submit_cache_order_;
+  std::atomic<std::uint64_t> duplicate_submissions_{0};
+  std::atomic<std::uint64_t> duplicate_registrations_{0};
+
+  /// Cached verdict for a previously accepted submission digest; counts a
+  /// duplicate on hit.
+  std::optional<crypto::Bytes> lookup_submission(const crypto::Bytes& digest);
+  /// Remember an accepted submission's verdict for dedup.
+  void note_submission(const crypto::Bytes& digest, const crypto::Bytes& verdict);
+
   std::shared_ptr<PoaStore> store_;             // optional durable retention
   std::shared_ptr<RegistryStore> registry_;     // optional durable identities
   std::shared_ptr<AuditLog> audit_;             // optional event log
 
+  /// Caller holds registration_mu_ (serializes snapshot contents).
   void persist_registry() const;
   void audit(double time, AuditEventType type, const std::string& subject,
              bool ok, const std::string& detail) const;
@@ -160,15 +231,23 @@ class Auditor {
   };
 
   /// Pure verification: signatures, decryption, sufficiency, thinning.
-  /// Reads registries and the Auditor keypair but mutates nothing, so
-  /// calls may run concurrently as long as no mutator runs alongside.
-  PoaEvaluation evaluate_poa(const ProofOfAlibi& poa) const;
+  /// Reads registries and the Auditor keypair but mutates nothing
+  /// (per-drone records via shard locks, zone geometry via the shapes
+  /// snapshot), so calls may run concurrently with each other and with
+  /// other evaluations. The view borrows the caller's frame; an owning
+  /// ProofOfAlibi is materialized only on the retain path.
+  PoaEvaluation evaluate_poa(const PoaView& poa) const;
 
   /// Apply an evaluation's side effects (retention, store write, audit
-  /// event) and return its verdict. Must run on one thread at a time;
-  /// batch commits run in submission order for deterministic logs.
-  PoaVerdict commit_evaluation(const DroneId& drone_id, PoaEvaluation evaluation,
+  /// event) and return its verdict. Callers serialize commits and order
+  /// them by submission for deterministic logs.
+  PoaVerdict commit_evaluation(std::string_view drone_id, PoaEvaluation evaluation,
                                double submission_time);
+
+  ZoneQueryResponse query_zones_impl(std::string_view drone_id,
+                                     const QueryRect& rect,
+                                     std::span<const std::uint8_t> nonce,
+                                     std::span<const std::uint8_t> nonce_signature);
 
   /// Evaluate one retained flight against an accusation; nullopt when the
   /// incident is outside the flight window.
@@ -176,14 +255,11 @@ class Auditor {
       const std::vector<gps::GpsFix>& samples, const ZoneRecord& zone,
       double incident_time) const;
 
-  bool note_nonce(const crypto::Bytes& nonce);
-  std::vector<geo::GeoZone> all_zone_shapes() const;
-  std::vector<geo::GeoZone> planar_zone_shapes() const;
-  std::vector<geo::GeoZone3> cylinder_zone_shapes() const;
+  bool note_nonce(std::span<const std::uint8_t> nonce);
 
   /// Decrypt + authenticate the samples of a PoA; on success fills
   /// `out_samples` with decoded fixes. Returns a failure detail or "".
-  std::string authenticate_samples(const ProofOfAlibi& poa,
+  std::string authenticate_samples(const PoaView& poa,
                                    const DroneRecord& drone,
                                    std::vector<gps::GpsFix>& out_samples) const;
 };

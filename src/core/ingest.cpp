@@ -1,0 +1,189 @@
+#include "core/ingest.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/sha256.h"
+#include "runtime/parallel_for.h"
+
+namespace alidrone::core {
+
+AuditorIngest::AuditorIngest(Auditor& auditor)
+    : AuditorIngest(auditor, Config{}) {}
+
+AuditorIngest::AuditorIngest(Auditor& auditor, Config config)
+    : auditor_(auditor),
+      config_(config),
+      queue_(std::max<std::size_t>(1, config.queue_capacity)) {
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  if (config_.verify_threads > 0) {
+    verify_pool_ = std::make_unique<runtime::ThreadPool>(
+        runtime::ThreadPool::Config{config_.verify_threads, "alidrone-ingest"});
+  }
+  views_.resize(config_.max_batch);
+  ingest_thread_ = std::thread([this] { ingest_loop(); });
+}
+
+AuditorIngest::~AuditorIngest() { stop(); }
+
+void AuditorIngest::stop() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+  queue_.close();  // pop() drains admitted items first — no broken promises
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+}
+
+void AuditorIngest::pause() {
+  std::lock_guard<std::mutex> lock(pause_mu_);
+  paused_ = true;
+}
+
+void AuditorIngest::resume() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+crypto::Bytes AuditorIngest::submit(std::span<const std::uint8_t> request_frame) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto poa_bytes = SubmitPoaRequest::decode_view(request_frame);
+  if (!poa_bytes) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    PoaVerdict verdict;
+    verdict.detail = "bad request";
+    return verdict.encode();
+  }
+
+  const auto digest_arr = crypto::Sha256::hash(*poa_bytes);
+  crypto::Bytes digest(digest_arr.begin(), digest_arr.end());
+  if (auto hit = auditor_.lookup_submission(digest)) {
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+    return *hit;
+  }
+
+  Item item;
+  item.frame = pool_.acquire();
+  item.frame.assign(poa_bytes->begin(), poa_bytes->end());
+  item.digest = std::move(digest);
+  auto future = item.reply.get_future();
+
+  if (!queue_.try_push(std::move(item))) {
+    // try_push never consumes on failure: hand the frame back and answer
+    // with explicit backpressure instead of buffering without bound.
+    pool_.release(std::move(item.frame));
+    retry_later_.fetch_add(1, std::memory_order_relaxed);
+    return net::retry_later_reply();
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return future.get();
+}
+
+void AuditorIngest::ingest_loop() {
+  std::vector<Item> batch;
+  batch.reserve(config_.max_batch);
+  while (true) {
+    auto first = queue_.pop();  // blocks; nullopt once closed and drained
+    if (!first) break;
+    // The pause gate sits between pop and process: pausing freezes the
+    // pipeline with the popped item held here, so tests can fill the
+    // queue to capacity deterministically. stop() lifts the gate and the
+    // held item still commits — no promise is ever dropped.
+    {
+      std::unique_lock<std::mutex> lock(pause_mu_);
+      if (paused_ && !stopped_) gate_waits_.fetch_add(1, std::memory_order_relaxed);
+      pause_cv_.wait(lock, [&] { return !paused_ || stopped_; });
+    }
+    batch.clear();
+    batch.push_back(std::move(*first));
+    while (batch.size() < config_.max_batch) {
+      auto next = queue_.try_pop();
+      if (!next) break;
+      batch.push_back(std::move(*next));
+    }
+    process_batch(batch);
+  }
+}
+
+void AuditorIngest::process_batch(std::vector<Item>& batch) {
+  const std::size_t n = batch.size();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t prev = max_batch_seen_.load(std::memory_order_relaxed);
+  while (prev < n &&
+         !max_batch_seen_.compare_exchange_weak(prev, n, std::memory_order_relaxed)) {
+  }
+
+  // Parse zero-copy into the reused scratch views (ingest thread only —
+  // sample vectors keep their capacity from batch to batch).
+  if (views_.size() < n) views_.resize(n);
+  std::vector<char> parsed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    parsed[i] = PoaView::parse_into(batch[i].frame, views_[i]) ? 1 : 0;
+  }
+
+  // Evaluate — pure reads, so the whole batch can fan out.
+  std::vector<Auditor::PoaEvaluation> evaluations(n);
+  const auto evaluate = [&](std::size_t i) {
+    if (parsed[i]) evaluations[i] = auditor_.evaluate_poa(views_[i]);
+  };
+  if (verify_pool_ != nullptr && n > 1) {
+    runtime::parallel_for(*verify_pool_, 0, n, evaluate);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) evaluate(i);
+  }
+
+  // Commit serially in admission order. The digest re-check makes same-
+  // batch duplicates exactly-once: the second copy gets the first's
+  // verdict verbatim with no second retention or audit event.
+  for (std::size_t i = 0; i < n; ++i) {
+    Item& item = batch[i];
+    crypto::Bytes encoded;
+    if (!parsed[i]) {
+      PoaVerdict verdict;
+      verdict.detail = "unparseable PoA";
+      encoded = verdict.encode();
+    } else if (auto hit = auditor_.lookup_submission(item.digest)) {
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
+      encoded = *hit;
+    } else {
+      // Submission time: latest sample time stands in for server wall
+      // clock, matching the unbatched endpoint.
+      const double t = views_[i].end_time().value_or(0.0);
+      const PoaVerdict verdict = auditor_.commit_evaluation(
+          views_[i].drone_id, std::move(evaluations[i]), t);
+      encoded = verdict.encode();
+      if (verdict.accepted) auditor_.note_submission(item.digest, encoded);
+      committed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    item.reply.set_value(std::move(encoded));
+    pool_.release(std::move(item.frame));
+  }
+}
+
+void AuditorIngest::bind(net::MessageBus& bus) {
+  bus.register_endpoint("auditor.submit_poa",
+                        [this](const crypto::Bytes& in) { return submit(in); });
+}
+
+AuditorIngest::Counters AuditorIngest::counters() const {
+  Counters c;
+  c.submitted = submitted_.load(std::memory_order_relaxed);
+  c.admitted = admitted_.load(std::memory_order_relaxed);
+  c.retry_later = retry_later_.load(std::memory_order_relaxed);
+  c.duplicates = duplicates_.load(std::memory_order_relaxed);
+  c.malformed = malformed_.load(std::memory_order_relaxed);
+  c.batches = batches_.load(std::memory_order_relaxed);
+  c.committed = committed_.load(std::memory_order_relaxed);
+  c.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  c.gate_waits = gate_waits_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace alidrone::core

@@ -1,0 +1,138 @@
+// AuditorIngest — batched, backpressured PoA admission for fleet traffic.
+//
+// Many drones submit proofs concurrently; one Auditor must verify them at
+// near-hardware speed without giving up the serial path's determinism.
+// The pipeline in front of Auditor::verify does four things:
+//
+//   admit    producer threads decode (zero-copy), dedup against the
+//            Auditor's content-digest cache, copy the proof into a pooled
+//            frame and push it onto a bounded MPMC queue. A full queue is
+//            answered with net::retry_later_reply() — explicit
+//            backpressure ReliableChannel retries without charging its
+//            circuit breaker — instead of unbounded buffering.
+//   batch    one ingest thread drains up to max_batch queued submissions.
+//   verify   the batch is parsed into reused PoaView scratch and
+//            evaluated in parallel on an internal ThreadPool (pure reads:
+//            shard locks + zone snapshot; see Auditor::evaluate_poa).
+//   commit   side effects (retention, dedup cache, audit events) are
+//            applied serially in admission order — the queue is FIFO, so
+//            commit order equals arrival order and verdicts/audit logs
+//            are byte-identical to the unbatched serial path for any
+//            shard, thread or batch size.
+//
+// Exactly-once: the digest is re-checked at commit time, so two copies of
+// the same proof admitted into one batch still produce one retention and
+// one audit event (the second gets the first's cached verdict).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/auditor.h"
+#include "crypto/bytes.h"
+#include "net/buffer_pool.h"
+#include "net/message_bus.h"
+#include "runtime/mpmc_queue.h"
+#include "runtime/thread_pool.h"
+
+namespace alidrone::core {
+
+class AuditorIngest {
+ public:
+  struct Config {
+    /// Admission queue bound; pushes beyond it get kRetryLater.
+    std::size_t queue_capacity = 256;
+    /// Max submissions verified per batch.
+    std::size_t max_batch = 32;
+    /// Verifier threads for parallel evaluation; 0 = evaluate on the
+    /// ingest thread (serial).
+    std::size_t verify_threads = 0;
+  };
+
+  explicit AuditorIngest(Auditor& auditor);
+  AuditorIngest(Auditor& auditor, Config config);
+  ~AuditorIngest();
+
+  AuditorIngest(const AuditorIngest&) = delete;
+  AuditorIngest& operator=(const AuditorIngest&) = delete;
+
+  /// Submit one serialized SubmitPoaRequest frame; blocks until the
+  /// pipeline commits the verdict (or answers from the dedup cache /
+  /// rejects with retry-later). Safe from any number of threads.
+  crypto::Bytes submit(std::span<const std::uint8_t> request_frame);
+
+  /// Re-register "auditor.submit_poa" to run through the pipeline (call
+  /// after Auditor::bind, which installs the unbatched handler).
+  void bind(net::MessageBus& bus);
+
+  /// Stop admitting, drain everything already queued, join the ingest
+  /// thread. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Test hook: hold the ingest thread before its next batch, so tests
+  /// can fill the queue deterministically and observe backpressure.
+  void pause();
+  void resume();
+
+  struct Counters {
+    std::uint64_t submitted = 0;      ///< submit() calls
+    std::uint64_t admitted = 0;       ///< entered the queue
+    std::uint64_t retry_later = 0;    ///< rejected with kRetryLater
+    std::uint64_t duplicates = 0;     ///< answered from the dedup cache
+    std::uint64_t malformed = 0;      ///< undecodable request frames
+    std::uint64_t batches = 0;        ///< batches processed
+    std::uint64_t committed = 0;      ///< verdicts committed
+    std::uint64_t max_batch_seen = 0; ///< largest batch drained
+    /// Times the ingest thread parked at the pause gate with an item in
+    /// hand — lets tests wait until a paused pipeline has provably
+    /// drained one item out of the queue before filling it.
+    std::uint64_t gate_waits = 0;
+  };
+  Counters counters() const;
+
+  net::BufferPool::Stats pool_stats() const { return pool_.stats(); }
+
+ private:
+  struct Item {
+    crypto::Bytes frame;    ///< pooled; holds the PoA bytes
+    crypto::Bytes digest;   ///< SHA-256 of the PoA bytes
+    std::promise<crypto::Bytes> reply;
+  };
+
+  void ingest_loop();
+  void process_batch(std::vector<Item>& batch);
+
+  Auditor& auditor_;
+  Config config_;
+  net::BufferPool pool_;
+  std::unique_ptr<runtime::ThreadPool> verify_pool_;
+  runtime::MpmcQueue<Item> queue_;
+
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+  bool stopped_ = false;
+
+  // Scratch reused across batches (ingest thread only).
+  std::vector<PoaView> views_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> retry_later_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> max_batch_seen_{0};
+  std::atomic<std::uint64_t> gate_waits_{0};
+
+  std::thread ingest_thread_;
+};
+
+}  // namespace alidrone::core

@@ -5,9 +5,16 @@
 namespace alidrone::core {
 
 namespace {
+
 crypto::RsaPublicKey key_from(const crypto::Bytes& n, const crypto::Bytes& e) {
   return {crypto::BigInt::from_bytes(n), crypto::BigInt::from_bytes(e)};
 }
+
+// Shorthand for the 4-byte-length-prefixed field size.
+constexpr std::size_t field(std::size_t payload_len) {
+  return net::Writer::field_size(payload_len);
+}
+
 }  // namespace
 
 crypto::Bytes polygon_zone_payload(const std::vector<geo::GeoPoint>& vertices,
@@ -24,8 +31,14 @@ crypto::Bytes polygon_zone_payload(const std::vector<geo::GeoPoint>& vertices,
 
 // ---- RegisterDrone ----
 
+std::size_t RegisterDroneRequest::encoded_size_hint() const {
+  return field(operator_key_n.size()) + field(operator_key_e.size()) +
+         field(tee_key_n.size()) + field(tee_key_e.size());
+}
+
 crypto::Bytes RegisterDroneRequest::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.bytes(operator_key_n);
   w.bytes(operator_key_e);
   w.bytes(tee_key_n);
@@ -57,8 +70,13 @@ crypto::RsaPublicKey RegisterDroneRequest::tee_key() const {
   return key_from(tee_key_n, tee_key_e);
 }
 
+std::size_t RegisterDroneResponse::encoded_size_hint() const {
+  return 1 + field(drone_id.size());
+}
+
 crypto::Bytes RegisterDroneResponse::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.u8(ok ? 1 : 0);
   w.str(drone_id);
   return std::move(w).take();
@@ -87,8 +105,14 @@ crypto::Bytes RegisterZoneRequest::signed_payload() const {
   return std::move(w).take();
 }
 
+std::size_t RegisterZoneRequest::encoded_size_hint() const {
+  return 3 * 8 + field(description.size()) + field(owner_key_n.size()) +
+         field(owner_key_e.size()) + field(proof_signature.size());
+}
+
 crypto::Bytes RegisterZoneRequest::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.f64(zone.center.lat_deg);
   w.f64(zone.center.lon_deg);
   w.f64(zone.radius_m);
@@ -121,8 +145,13 @@ std::optional<RegisterZoneRequest> RegisterZoneRequest::decode(
   return m;
 }
 
+std::size_t RegisterZoneResponse::encoded_size_hint() const {
+  return 1 + field(zone_id.size());
+}
+
 crypto::Bytes RegisterZoneResponse::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.u8(ok ? 1 : 0);
   w.str(zone_id);
   return std::move(w).take();
@@ -142,8 +171,14 @@ std::optional<RegisterZoneResponse> RegisterZoneResponse::decode(
 
 // ---- ZoneQuery ----
 
+std::size_t ZoneQueryRequest::encoded_size_hint() const {
+  return field(drone_id.size()) + 4 * 8 + field(nonce.size()) +
+         field(nonce_signature.size());
+}
+
 crypto::Bytes ZoneQueryRequest::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.str(drone_id);
   w.f64(rect.corner1.lat_deg);
   w.f64(rect.corner1.lon_deg);
@@ -175,8 +210,36 @@ std::optional<ZoneQueryRequest> ZoneQueryRequest::decode(
   return m;
 }
 
+std::optional<ZoneQueryRequestView> ZoneQueryRequestView::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  ZoneQueryRequestView m;
+  auto id = r.str_view();
+  auto lat1 = r.f64();
+  auto lon1 = r.f64();
+  auto lat2 = r.f64();
+  auto lon2 = r.f64();
+  auto nonce = r.bytes_view();
+  auto sig = r.bytes_view();
+  if (!id || !lat1 || !lon1 || !lat2 || !lon2 || !nonce || !sig || !r.at_end()) {
+    return std::nullopt;
+  }
+  m.drone_id = *id;
+  m.rect = {{*lat1, *lon1}, {*lat2, *lon2}};
+  m.nonce = *nonce;
+  m.nonce_signature = *sig;
+  return m;
+}
+
+std::size_t ZoneQueryResponse::encoded_size_hint() const {
+  std::size_t size = 1 + field(error.size()) + 4;
+  for (const ZoneInfo& z : zones) size += field(z.id.size()) + 3 * 8;
+  return size;
+}
+
 crypto::Bytes ZoneQueryResponse::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.u8(ok ? 1 : 0);
   w.str(error);
   w.u32(static_cast<std::uint32_t>(zones.size()));
@@ -216,22 +279,39 @@ std::optional<ZoneQueryResponse> ZoneQueryResponse::decode(
 
 // ---- SubmitPoA ----
 
+std::size_t SubmitPoaRequest::encoded_size_hint() const {
+  return field(poa.size());
+}
+
 crypto::Bytes SubmitPoaRequest::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.bytes(poa);
   return std::move(w).take();
 }
 
 std::optional<SubmitPoaRequest> SubmitPoaRequest::decode(
     std::span<const std::uint8_t> data) {
+  auto view = decode_view(data);
+  if (!view) return std::nullopt;
+  return SubmitPoaRequest{crypto::Bytes(view->begin(), view->end())};
+}
+
+std::optional<std::span<const std::uint8_t>> SubmitPoaRequest::decode_view(
+    std::span<const std::uint8_t> data) {
   net::Reader r(data);
-  auto poa = r.bytes();
+  auto poa = r.bytes_view();
   if (!poa || !r.at_end()) return std::nullopt;
-  return SubmitPoaRequest{std::move(*poa)};
+  return poa;
+}
+
+std::size_t PoaVerdict::encoded_size_hint() const {
+  return 2 + 4 + field(detail.size());
 }
 
 crypto::Bytes PoaVerdict::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.u8(accepted ? 1 : 0);
   w.u8(compliant ? 1 : 0);
   w.u32(violation_count);
@@ -266,8 +346,14 @@ crypto::Bytes AccusationRequest::signed_payload() const {
   return std::move(w).take();
 }
 
+std::size_t AccusationRequest::encoded_size_hint() const {
+  return field(zone_id.size()) + field(drone_id.size()) + 8 +
+         field(owner_signature.size());
+}
+
 crypto::Bytes AccusationRequest::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.str(zone_id);
   w.str(drone_id);
   w.f64(incident_time);
@@ -291,8 +377,13 @@ std::optional<AccusationRequest> AccusationRequest::decode(
   return m;
 }
 
+std::size_t AccusationResponse::encoded_size_hint() const {
+  return 2 + field(detail.size());
+}
+
 crypto::Bytes AccusationResponse::encode() const {
   net::Writer w;
+  w.reserve(encoded_size_hint());
   w.u8(ok ? 1 : 0);
   w.u8(alibi_holds ? 1 : 0);
   w.str(detail);

@@ -2,10 +2,18 @@
 // (protocol steps 0-4, Section IV-B). Every message has a strict binary
 // encode/decode pair over net::Writer/Reader; decode returns nullopt on
 // any malformation.
+//
+// Each struct also exposes `encoded_size_hint()` — the exact byte count
+// encode() will produce — so encode() can reserve() the whole buffer up
+// front (one allocation per message, none when the Writer's buffer comes
+// from a BufferPool). The server's hot submission/query endpoints have
+// additional `*_view` decoders that borrow the request frame instead of
+// copying payloads.
 #pragma once
 
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/protocol_types.h"
@@ -25,6 +33,7 @@ struct RegisterDroneRequest {
   crypto::Bytes tee_key_n;
   crypto::Bytes tee_key_e;
 
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<RegisterDroneRequest> decode(std::span<const std::uint8_t>);
 
@@ -36,6 +45,7 @@ struct RegisterDroneResponse {
   bool ok = false;
   DroneId drone_id;
 
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<RegisterDroneResponse> decode(std::span<const std::uint8_t>);
 };
@@ -52,6 +62,7 @@ struct RegisterZoneRequest {
   /// The exact bytes the ownership proof signs.
   crypto::Bytes signed_payload() const;
 
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<RegisterZoneRequest> decode(std::span<const std::uint8_t>);
 };
@@ -60,6 +71,7 @@ struct RegisterZoneResponse {
   bool ok = false;
   ZoneId zone_id;
 
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<RegisterZoneResponse> decode(std::span<const std::uint8_t>);
 };
@@ -73,8 +85,22 @@ struct ZoneQueryRequest {
   crypto::Bytes nonce;
   crypto::Bytes nonce_signature;
 
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<ZoneQueryRequest> decode(std::span<const std::uint8_t>);
+};
+
+/// Borrowing decode of a ZoneQueryRequest: id/nonce/signature are views
+/// into the request frame (the Auditor verifies the nonce signature and
+/// answers without copying them; only the nonce is copied, into the
+/// replay cache, after it is accepted).
+struct ZoneQueryRequestView {
+  std::string_view drone_id;
+  QueryRect rect;
+  std::span<const std::uint8_t> nonce;
+  std::span<const std::uint8_t> nonce_signature;
+
+  static std::optional<ZoneQueryRequestView> decode(std::span<const std::uint8_t>);
 };
 
 struct ZoneInfo {
@@ -87,6 +113,7 @@ struct ZoneQueryResponse {
   std::string error;
   std::vector<ZoneInfo> zones;
 
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<ZoneQueryResponse> decode(std::span<const std::uint8_t>);
 };
@@ -95,8 +122,13 @@ struct ZoneQueryResponse {
 struct SubmitPoaRequest {
   crypto::Bytes poa;  ///< ProofOfAlibi::serialize()
 
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<SubmitPoaRequest> decode(std::span<const std::uint8_t>);
+  /// Borrowing decode: the PoA bytes as a view into the request frame
+  /// (the ingestion path parses a PoaView straight out of it).
+  static std::optional<std::span<const std::uint8_t>> decode_view(
+      std::span<const std::uint8_t>);
 };
 
 /// The Auditor's verdict on a submitted PoA.
@@ -106,6 +138,7 @@ struct PoaVerdict {
   std::uint32_t violation_count = 0;
   std::string detail;
 
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<PoaVerdict> decode(std::span<const std::uint8_t>);
 };
@@ -118,6 +151,7 @@ struct AccusationRequest {
   crypto::Bytes owner_signature;  ///< over (zone_id, drone_id, time)
 
   crypto::Bytes signed_payload() const;
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<AccusationRequest> decode(std::span<const std::uint8_t>);
 };
@@ -127,6 +161,7 @@ struct AccusationResponse {
   bool alibi_holds = false;  ///< stored PoA proves non-entrance
   std::string detail;
 
+  std::size_t encoded_size_hint() const;
   crypto::Bytes encode() const;
   static std::optional<AccusationResponse> decode(std::span<const std::uint8_t>);
 };

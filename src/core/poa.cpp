@@ -35,8 +35,23 @@ std::optional<double> ProofOfAlibi::end_time() const {
   return f->unix_time;
 }
 
+std::size_t ProofOfAlibi::encoded_size() const {
+  std::size_t size = net::Writer::field_size(drone_id.size())  // drone_id
+                     + 3                                       // mode, hash, encrypted
+                     + 4;                                      // sample count
+  for (const SignedSample& s : samples) {
+    size += net::Writer::field_size(s.sample.size()) +
+            net::Writer::field_size(s.signature.size());
+  }
+  size += net::Writer::field_size(batch_signature.size()) +
+          net::Writer::field_size(session_key_ciphertext.size()) +
+          net::Writer::field_size(session_key_signature.size());
+  return size;
+}
+
 crypto::Bytes ProofOfAlibi::serialize() const {
   net::Writer w;
+  w.reserve(encoded_size());
   w.str(drone_id);
   w.u8(static_cast<std::uint8_t>(mode));
   w.u8(hash == crypto::HashAlgorithm::kSha256 ? 1 : 0);
@@ -53,45 +68,103 @@ crypto::Bytes ProofOfAlibi::serialize() const {
 }
 
 std::optional<ProofOfAlibi> ProofOfAlibi::parse(std::span<const std::uint8_t> data) {
-  net::Reader r(data);
-  ProofOfAlibi poa;
+  PoaView view;
+  if (!PoaView::parse_into(data, view)) return std::nullopt;
+  return view.materialize();
+}
 
-  const auto id = r.str();
+std::optional<gps::GpsFix> SignedSampleView::fix() const {
+  return tee::decode_sample(sample);
+}
+
+bool PoaView::parse_into(std::span<const std::uint8_t> data, PoaView& out) {
+  net::Reader r(data);
+  out.samples.clear();  // capacity retained across batches
+
+  const auto id = r.str_view();
   const auto mode = r.u8();
   const auto hash = r.u8();
   const auto encrypted = r.u8();
   const auto count = r.u32();
-  if (!id || !mode || !hash || !encrypted || !count) return std::nullopt;
-  if (*mode > static_cast<std::uint8_t>(AuthMode::kBatchSignature)) return std::nullopt;
-  if (*hash > 1 || *encrypted > 1) return std::nullopt;
+  if (!id || !mode || !hash || !encrypted || !count) return false;
+  if (*mode > static_cast<std::uint8_t>(AuthMode::kBatchSignature)) return false;
+  if (*hash > 1 || *encrypted > 1) return false;
 
-  poa.drone_id = *id;
-  poa.mode = static_cast<AuthMode>(*mode);
-  poa.hash = *hash == 1 ? crypto::HashAlgorithm::kSha256 : crypto::HashAlgorithm::kSha1;
-  poa.encrypted = *encrypted == 1;
+  out.drone_id = *id;
+  out.mode = static_cast<AuthMode>(*mode);
+  out.hash = *hash == 1 ? crypto::HashAlgorithm::kSha256 : crypto::HashAlgorithm::kSha1;
+  out.encrypted = *encrypted == 1;
 
   // Bound the claimed count by the bytes actually present (every sample
   // costs at least two 4-byte length prefixes) before reserving — a
   // hostile count must not drive allocation.
-  if (*count > r.remaining() / 8) return std::nullopt;
-  poa.samples.reserve(*count);
+  if (*count > r.remaining() / 8) return false;
+  out.samples.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {
-    auto sample = r.bytes();
-    auto signature = r.bytes();
-    if (!sample || !signature) return std::nullopt;
-    poa.samples.push_back({std::move(*sample), std::move(*signature)});
+    auto sample = r.bytes_view();
+    auto signature = r.bytes_view();
+    if (!sample || !signature) return false;
+    out.samples.push_back({*sample, *signature});
   }
 
-  auto batch_sig = r.bytes();
-  auto key_ct = r.bytes();
-  auto key_sig = r.bytes();
-  if (!batch_sig || !key_ct || !key_sig) return std::nullopt;
-  poa.batch_signature = std::move(*batch_sig);
-  poa.session_key_ciphertext = std::move(*key_ct);
-  poa.session_key_signature = std::move(*key_sig);
+  auto batch_sig = r.bytes_view();
+  auto key_ct = r.bytes_view();
+  auto key_sig = r.bytes_view();
+  if (!batch_sig || !key_ct || !key_sig) return false;
+  out.batch_signature = *batch_sig;
+  out.session_key_ciphertext = *key_ct;
+  out.session_key_signature = *key_sig;
 
-  if (!r.at_end()) return std::nullopt;  // trailing garbage
+  return r.at_end();  // trailing garbage is an error
+}
+
+PoaView PoaView::of(const ProofOfAlibi& poa) {
+  PoaView view;
+  view.drone_id = poa.drone_id;
+  view.mode = poa.mode;
+  view.hash = poa.hash;
+  view.encrypted = poa.encrypted;
+  view.samples.reserve(poa.samples.size());
+  for (const SignedSample& s : poa.samples) {
+    view.samples.push_back({s.sample, s.signature});
+  }
+  view.batch_signature = poa.batch_signature;
+  view.session_key_ciphertext = poa.session_key_ciphertext;
+  view.session_key_signature = poa.session_key_signature;
+  return view;
+}
+
+ProofOfAlibi PoaView::materialize() const {
+  ProofOfAlibi poa;
+  poa.drone_id = DroneId(drone_id);
+  poa.mode = mode;
+  poa.hash = hash;
+  poa.encrypted = encrypted;
+  poa.samples.reserve(samples.size());
+  for (const SignedSampleView& s : samples) {
+    poa.samples.push_back({crypto::Bytes(s.sample.begin(), s.sample.end()),
+                           crypto::Bytes(s.signature.begin(), s.signature.end())});
+  }
+  poa.batch_signature.assign(batch_signature.begin(), batch_signature.end());
+  poa.session_key_ciphertext.assign(session_key_ciphertext.begin(),
+                                    session_key_ciphertext.end());
+  poa.session_key_signature.assign(session_key_signature.begin(),
+                                   session_key_signature.end());
   return poa;
+}
+
+std::optional<double> PoaView::start_time() const {
+  if (samples.empty()) return std::nullopt;
+  const auto f = samples.front().fix();
+  if (!f) return std::nullopt;
+  return f->unix_time;
+}
+
+std::optional<double> PoaView::end_time() const {
+  if (samples.empty()) return std::nullopt;
+  const auto f = samples.back().fix();
+  if (!f) return std::nullopt;
+  return f->unix_time;
 }
 
 }  // namespace alidrone::core

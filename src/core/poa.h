@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/protocol_types.h"
@@ -64,7 +65,48 @@ struct ProofOfAlibi {
   std::optional<double> end_time() const;
 
   crypto::Bytes serialize() const;
+  /// Size of serialize()'s output, for Writer::reserve.
+  std::size_t encoded_size() const;
   static std::optional<ProofOfAlibi> parse(std::span<const std::uint8_t> data);
+};
+
+/// Zero-copy counterpart of SignedSample: spans into the wire frame.
+struct SignedSampleView {
+  std::span<const std::uint8_t> sample;
+  std::span<const std::uint8_t> signature;
+
+  std::optional<gps::GpsFix> fix() const;
+};
+
+/// Non-owning parse of a serialized PoA. Every field borrows the frame,
+/// so the whole hot verification path (decode → authenticate → geometry)
+/// runs without per-proof heap allocation; materialize() builds an owning
+/// ProofOfAlibi only when the Auditor decides to retain the proof.
+/// Identical strictness to ProofOfAlibi::parse (same rejects, same
+/// no-trailing-garbage contract) — ProofOfAlibi::parse is implemented as
+/// parse_into + materialize, so they cannot drift.
+struct PoaView {
+  std::string_view drone_id;
+  AuthMode mode = AuthMode::kRsaPerSample;
+  crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1;
+  bool encrypted = false;
+  std::vector<SignedSampleView> samples;
+  std::span<const std::uint8_t> batch_signature;
+  std::span<const std::uint8_t> session_key_ciphertext;
+  std::span<const std::uint8_t> session_key_signature;
+
+  /// Parses `data` into `out`, reusing out.samples' capacity (the pipeline
+  /// keeps scratch PoaViews alive across batches for this reason).
+  static bool parse_into(std::span<const std::uint8_t> data, PoaView& out);
+
+  /// Borrow an already-owning proof (no copies; `poa` must outlive the view).
+  static PoaView of(const ProofOfAlibi& poa);
+
+  /// Deep copy into an owning ProofOfAlibi (the retain path).
+  ProofOfAlibi materialize() const;
+
+  std::optional<double> start_time() const;
+  std::optional<double> end_time() const;
 };
 
 }  // namespace alidrone::core

@@ -21,30 +21,84 @@ PoaStore::PoaStore(std::filesystem::path directory)
   } else {
     std::filesystem::create_directories(directory_);
   }
-  // Continue sequence numbers after any existing files.
+  // One scan: continue sequence numbers after any existing files and
+  // build the per-drone index. Unreadable files stay out of the index
+  // (they are never loaded or expired, exactly as before).
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
-    if (entry.path().extension() == kExtension) ++next_sequence_;
+    if (entry.path().extension() != kExtension) continue;
+    next_sequence_.fetch_add(1, std::memory_order_relaxed);
+    if (const auto stored = read_file(entry.path())) {
+      IndexShard& shard = index_[index_shard_of(stored->drone_id)];
+      shard.entries[stored->drone_id].push_back(
+          {entry.path().filename().string(), stored->submission_time});
+    }
   }
+  // Deterministic order within each drone regardless of scan order.
+  for (IndexShard& shard : index_) {
+    for (auto& [id, list] : shard.entries) {
+      std::sort(list.begin(), list.end(),
+                [](const IndexEntry& a, const IndexEntry& b) {
+                  return a.submission_time != b.submission_time
+                             ? a.submission_time < b.submission_time
+                             : a.filename < b.filename;
+                });
+    }
+  }
+}
+
+std::size_t PoaStore::index_shard_of(std::string_view drone_id) const {
+  std::uint64_t x = 0xcbf29ce484222325ull;
+  for (const char c : drone_id) {
+    x ^= static_cast<unsigned char>(c);
+    x *= 0x100000001b3ull;
+  }
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>((x ^ (x >> 31)) % kIndexShards);
 }
 
 std::filesystem::path PoaStore::save(const DroneId& drone_id,
                                      double submission_time,
                                      const ProofOfAlibi& poa) {
+  const crypto::Bytes poa_bytes = poa.serialize();
   net::Writer w;
+  w.reserve(4 + net::Writer::field_size(drone_id.size()) + 8 +
+            net::Writer::field_size(poa_bytes.size()));
   w.u32(kMagic);
   w.str(drone_id);
   w.f64(submission_time);
-  w.bytes(poa.serialize());
+  w.bytes(poa_bytes);
 
   // Filename avoids trusting the drone id's characters.
-  const std::filesystem::path path =
-      directory_ / ("poa-" + std::to_string(next_sequence_++) + kExtension);
+  const std::string filename =
+      "poa-" +
+      std::to_string(next_sequence_.fetch_add(1, std::memory_order_relaxed)) +
+      kExtension;
+  const std::filesystem::path path = directory_ / filename;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("PoaStore: cannot write " + path.string());
   const crypto::Bytes& data = w.data();
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size()));
   if (!out) throw std::runtime_error("PoaStore: short write to " + path.string());
+
+  {
+    IndexShard& shard = index_[index_shard_of(drone_id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& list = shard.entries[drone_id];
+    IndexEntry entry{filename, submission_time};
+    // Keep the per-drone list sorted by (time, filename); submissions
+    // normally arrive in time order, so this is an append.
+    const auto pos = std::upper_bound(
+        list.begin(), list.end(), entry,
+        [](const IndexEntry& a, const IndexEntry& b) {
+          return a.submission_time != b.submission_time
+                     ? a.submission_time < b.submission_time
+                     : a.filename < b.filename;
+        });
+    list.insert(pos, std::move(entry));
+  }
   return path;
 }
 
@@ -52,7 +106,7 @@ std::optional<PoaStore::StoredPoa> PoaStore::read_file(
     const std::filesystem::path& path) const {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    ++corrupt_;
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   crypto::Bytes data((std::istreambuf_iterator<char>(in)),
@@ -62,15 +116,15 @@ std::optional<PoaStore::StoredPoa> PoaStore::read_file(
   const auto magic = r.u32();
   const auto drone_id = r.str();
   const auto time = r.f64();
-  const auto poa_bytes = r.bytes();
+  const auto poa_bytes = r.bytes_view();
   if (!magic || *magic != kMagic || !drone_id || !time || !poa_bytes ||
       !r.at_end()) {
-    ++corrupt_;
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   const auto poa = ProofOfAlibi::parse(*poa_bytes);
   if (!poa) {
-    ++corrupt_;
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   return StoredPoa{*drone_id, *time, *poa};
@@ -90,19 +144,36 @@ std::vector<PoaStore::StoredPoa> PoaStore::load_all() const {
 
 std::vector<PoaStore::StoredPoa> PoaStore::load_for_drone(
     const DroneId& drone_id) const {
-  std::vector<StoredPoa> all = load_all();
-  std::erase_if(all, [&](const StoredPoa& s) { return s.drone_id != drone_id; });
-  return all;
+  // Copy the (small) entry list under the lock, then do file I/O outside.
+  std::vector<IndexEntry> entries;
+  {
+    const IndexShard& shard = index_[index_shard_of(drone_id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(drone_id);
+    if (it != shard.entries.end()) entries = it->second;
+  }
+  std::vector<StoredPoa> out;
+  out.reserve(entries.size());
+  for (const IndexEntry& entry : entries) {
+    if (auto stored = read_file(directory_ / entry.filename)) {
+      out.push_back(std::move(*stored));
+    }
+  }
+  return out;  // index order is already (time, filename)
 }
 
 std::size_t PoaStore::expire_before(double cutoff_time) {
   std::size_t deleted = 0;
-  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
-    if (entry.path().extension() != kExtension) continue;
-    const auto stored = read_file(entry.path());
-    if (stored && stored->submission_time < cutoff_time) {
-      std::filesystem::remove(entry.path());
-      ++deleted;
+  for (IndexShard& shard : index_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      auto& list = it->second;
+      std::erase_if(list, [&](const IndexEntry& entry) {
+        if (entry.submission_time >= cutoff_time) return false;
+        if (std::filesystem::remove(directory_ / entry.filename)) ++deleted;
+        return true;
+      });
+      it = list.empty() ? shard.entries.erase(it) : std::next(it);
     }
   }
   return deleted;

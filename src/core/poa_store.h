@@ -5,11 +5,25 @@
 // persists serialized PoAs to a directory — one file per submission with
 // a small header — so retention survives Auditor restarts, and expires
 // files past the retention window.
+//
+// The hot lookup paths (load_for_drone, expire_before) are served by an
+// in-memory per-drone index — lock-striped by a drone-id hash — built
+// from one directory scan at construction and kept current by save() and
+// expire_before(); they no longer re-read the whole directory per call.
+// load_all() and count() still scan, preserving their "see everything,
+// count corrupt files" semantics for files dropped into the directory
+// from outside; such externally-added files are invisible to the indexed
+// paths until the store is reopened.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <filesystem>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/poa.h"
@@ -20,7 +34,8 @@ namespace alidrone::core {
 class PoaStore {
  public:
   /// Creates the directory if needed; throws std::runtime_error when the
-  /// path exists but is not a directory.
+  /// path exists but is not a directory. Scans the directory once to
+  /// build the per-drone index.
   explicit PoaStore(std::filesystem::path directory);
 
   struct StoredPoa {
@@ -36,21 +51,37 @@ class PoaStore {
   /// Load every stored PoA (corrupt files are skipped and counted).
   std::vector<StoredPoa> load_all() const;
 
-  /// Stored PoAs for one drone, sorted by submission time.
+  /// Stored PoAs for one drone, sorted by submission time. Served from
+  /// the per-drone index — only this drone's files are read.
   std::vector<StoredPoa> load_for_drone(const DroneId& drone_id) const;
 
   /// Delete submissions older than `cutoff_time`; returns #deleted.
+  /// Walks the index, not the directory.
   std::size_t expire_before(double cutoff_time);
 
   std::size_t count() const;
-  std::size_t corrupt_files_seen() const { return corrupt_; }
+  std::size_t corrupt_files_seen() const {
+    return corrupt_.load(std::memory_order_relaxed);
+  }
   const std::filesystem::path& directory() const { return directory_; }
 
  private:
-  std::filesystem::path directory_;
-  std::uint64_t next_sequence_ = 0;
-  mutable std::size_t corrupt_ = 0;
+  struct IndexEntry {
+    std::string filename;
+    double submission_time = 0.0;
+  };
+  struct IndexShard {
+    mutable std::mutex mu;
+    std::map<DroneId, std::vector<IndexEntry>, std::less<>> entries;
+  };
+  static constexpr std::size_t kIndexShards = 8;
 
+  std::filesystem::path directory_;
+  std::array<IndexShard, kIndexShards> index_;
+  std::atomic<std::uint64_t> next_sequence_{0};
+  mutable std::atomic<std::size_t> corrupt_{0};
+
+  std::size_t index_shard_of(std::string_view drone_id) const;
   std::optional<StoredPoa> read_file(const std::filesystem::path& path) const;
 };
 

@@ -72,6 +72,10 @@ struct ProtocolParams {
   /// Thin plaintext per-sample PoAs to their minimal sufficient witness
   /// before retention (Section IV-C3's monotonicity, applied offline).
   bool thin_before_retention = false;
+  /// Lock stripes for the Auditor's per-drone state (registration records,
+  /// retained PoAs). Affects contention only — verdicts and audit logs are
+  /// byte-identical for any value. Must be >= 1.
+  std::size_t auditor_shards = 8;
 };
 
 }  // namespace alidrone::core

@@ -51,6 +51,7 @@ void RegistryStore::save(const Snapshot& snapshot) const {
   }
 
   const std::filesystem::path tmp = file_.string() + ".tmp";
+  std::lock_guard<std::mutex> lock(mu_);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("RegistryStore: cannot write " + tmp.string());
@@ -63,6 +64,7 @@ void RegistryStore::save(const Snapshot& snapshot) const {
 }
 
 std::optional<RegistryStore::Snapshot> RegistryStore::load() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ifstream in(file_, std::ios::binary);
   if (!in) return std::nullopt;
   const crypto::Bytes data((std::istreambuf_iterator<char>(in)),

@@ -8,6 +8,7 @@
 
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "core/protocol_types.h"
@@ -26,6 +27,7 @@ class RegistryStore {
   };
 
   /// Atomically replace the on-disk snapshot (write temp + rename).
+  /// Thread-safe: concurrent saves/loads are serialized internally.
   void save(const Snapshot& snapshot) const;
 
   /// nullopt when the file does not exist or is corrupt.
@@ -35,6 +37,7 @@ class RegistryStore {
 
  private:
   std::filesystem::path file_;
+  mutable std::mutex mu_;  // serializes the temp-write + rename vs readers
 };
 
 }  // namespace alidrone::core

@@ -1,0 +1,35 @@
+#include "net/buffer_pool.h"
+
+#include <utility>
+
+namespace alidrone::net {
+
+crypto::Bytes BufferPool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  if (free_.empty()) return {};
+  ++stats_.reuses;
+  crypto::Bytes out = std::move(free_.back());
+  free_.pop_back();
+  return out;
+}
+
+void BufferPool::release(crypto::Bytes&& buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.releases;
+  if (free_.size() >= max_pooled_) {
+    ++stats_.discards;
+    return;  // `buffer` is freed here, bounding resident capacity.
+  }
+  buffer.clear();  // keeps capacity
+  free_.push_back(std::move(buffer));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.pooled = free_.size();
+  return s;
+}
+
+}  // namespace alidrone::net

@@ -1,0 +1,51 @@
+// Reusable byte-buffer pool for the message codec.
+//
+// The Auditor's ingestion path encodes and copies one frame per message;
+// at fleet scale that is thousands of short-lived heap allocations per
+// second whose sizes repeat almost exactly. BufferPool keeps released
+// buffers (capacity intact, contents cleared) on a bounded free list so
+// steady-state frame traffic recycles capacity instead of allocating.
+// Thread-safe: producers on many threads acquire, the pipeline releases.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "crypto/bytes.h"
+
+namespace alidrone::net {
+
+class BufferPool {
+ public:
+  /// At most `max_pooled` buffers are kept; extra releases are discarded
+  /// (freed), which bounds the pool's resident capacity.
+  explicit BufferPool(std::size_t max_pooled = 64) : max_pooled_(max_pooled) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// An empty buffer — pooled (previous capacity retained) when one is
+  /// available, freshly constructed otherwise.
+  crypto::Bytes acquire();
+
+  /// Return a buffer to the pool. Contents are cleared; capacity is kept.
+  void release(crypto::Bytes&& buffer);
+
+  struct Stats {
+    std::uint64_t acquires = 0;  ///< total acquire() calls
+    std::uint64_t reuses = 0;    ///< acquires served from the free list
+    std::uint64_t releases = 0;  ///< total release() calls
+    std::uint64_t discards = 0;  ///< releases dropped because the pool was full
+    std::size_t pooled = 0;      ///< buffers currently on the free list
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<crypto::Bytes> free_;
+  std::size_t max_pooled_;
+  Stats stats_;
+};
+
+}  // namespace alidrone::net

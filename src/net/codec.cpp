@@ -2,8 +2,22 @@
 
 #include <bit>
 #include <cstring>
+#include <utility>
+
+#include "net/buffer_pool.h"
 
 namespace alidrone::net {
+
+Writer::Writer(BufferPool& pool) : out_(pool.acquire()), pool_(&pool) {}
+
+Writer::~Writer() {
+  if (pool_ != nullptr && !taken_) pool_->release(std::move(out_));
+}
+
+crypto::Bytes Writer::take() && {
+  taken_ = true;
+  return std::move(out_);
+}
 
 void Writer::u32(std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
@@ -57,19 +71,30 @@ std::optional<double> Reader::f64() {
   return std::bit_cast<double>(*v);
 }
 
-std::optional<crypto::Bytes> Reader::bytes() {
+std::optional<std::span<const std::uint8_t>> Reader::bytes_view() {
   const auto len = u32();
   if (!len || remaining() < *len) return std::nullopt;
-  crypto::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                    data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  auto view = data_.subspan(pos_, *len);
   pos_ += *len;
-  return out;
+  return view;
+}
+
+std::optional<crypto::Bytes> Reader::bytes() {
+  const auto view = bytes_view();
+  if (!view) return std::nullopt;
+  return crypto::Bytes(view->begin(), view->end());
+}
+
+std::optional<std::string_view> Reader::str_view() {
+  const auto view = bytes_view();
+  if (!view) return std::nullopt;
+  return std::string_view(reinterpret_cast<const char*>(view->data()), view->size());
 }
 
 std::optional<std::string> Reader::str() {
-  const auto b = bytes();
-  if (!b) return std::nullopt;
-  return std::string(b->begin(), b->end());
+  const auto v = str_view();
+  if (!v) return std::nullopt;
+  return std::string(*v);
 }
 
 }  // namespace alidrone::net

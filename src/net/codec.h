@@ -5,6 +5,18 @@
 // pattern, and length-prefixed byte strings. Readers are strict: reading
 // past the end or trailing garbage are errors (a hostile peer must not be
 // able to smuggle data past the parser).
+//
+// Two allocation disciplines coexist:
+//   - owning accessors (`bytes()`, `str()`) copy out of the frame — the
+//     safe default for cold paths and anything that outlives the frame;
+//   - borrowing accessors (`bytes_view()`, `str_view()`) return spans into
+//     the frame with identical strictness — the Auditor's ingestion path
+//     decodes thousands of messages per second and must not pay a heap
+//     allocation per field. Views die with the frame.
+// Writers can `reserve()` the exact encoded size up front (see the
+// `encoded_size_hint()` methods on the message structs) and can borrow
+// their backing buffer from a BufferPool so steady-state encoding reuses
+// capacity instead of allocating.
 #pragma once
 
 #include <cstdint>
@@ -17,8 +29,26 @@
 
 namespace alidrone::net {
 
+class BufferPool;
+
 class Writer {
  public:
+  Writer() = default;
+  /// Checks the backing buffer out of `pool` (capacity retained from its
+  /// previous use). The destructor returns it unless take() was called —
+  /// the taker then owns the buffer and may release() it back.
+  explicit Writer(BufferPool& pool);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Pre-size the buffer for `total_bytes` of output so a whole message
+  /// encodes without reallocation (size it with encoded_size_hint()).
+  void reserve(std::size_t total_bytes) { out_.reserve(total_bytes); }
+  std::size_t size() const { return out_.size(); }
+  std::size_t capacity() const { return out_.capacity(); }
+
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
@@ -28,10 +58,17 @@ class Writer {
   void str(std::string_view s);
 
   const crypto::Bytes& data() const& { return out_; }
-  crypto::Bytes take() && { return std::move(out_); }
+  crypto::Bytes take() &&;
+
+  /// Encoded size of one length-prefixed byte/string field.
+  static constexpr std::size_t field_size(std::size_t payload_len) {
+    return 4 + payload_len;
+  }
 
  private:
   crypto::Bytes out_;
+  BufferPool* pool_ = nullptr;
+  bool taken_ = false;
 };
 
 class Reader {
@@ -45,6 +82,12 @@ class Reader {
   std::optional<double> f64();
   std::optional<crypto::Bytes> bytes();
   std::optional<std::string> str();
+
+  /// Zero-copy variants of bytes()/str(): the same length-prefix format
+  /// and strictness, but the result borrows the frame — valid only while
+  /// the frame outlives the view and is not mutated.
+  std::optional<std::span<const std::uint8_t>> bytes_view();
+  std::optional<std::string_view> str_view();
 
   bool at_end() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }

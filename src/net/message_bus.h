@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -23,6 +24,16 @@
 #include "crypto/random.h"
 
 namespace alidrone::net {
+
+/// Backpressure sentinel: an overloaded endpoint returns this instead of a
+/// real response to tell the caller "valid request, no capacity — retry
+/// later". The first byte (0xB5) can never open a legitimate protocol
+/// message (all of them start with a status byte of 0 or 1 or a u32
+/// length whose low byte is small), so callers can distinguish it without
+/// a length prefix. ReliableChannel treats it as retryable without
+/// charging the circuit breaker (the server is alive, just busy).
+const crypto::Bytes& retry_later_reply();
+bool is_retry_later(std::span<const std::uint8_t> response);
 
 /// Raised at the caller when a request (or its response) is dropped
 /// (models a timeout).

@@ -66,10 +66,20 @@ ReliableChannel::Outcome ReliableChannel::request(const std::string& endpoint,
     ++outcome.attempts;
     try {
       outcome.response = bus_.request(endpoint, payload);
-      breaker.on_success();
-      ++counters_.successes;
-      outcome.ok = true;
-      return outcome;
+      if (net::is_retry_later(outcome.response)) {
+        // Explicit backpressure: the server is alive but at capacity, so
+        // the reply counts for the breaker (no trip) while the logical
+        // request backs off and retries like any transient fault.
+        ++counters_.retry_later_replies;
+        breaker.on_success();
+        outcome.response.clear();
+        outcome.error = "'" + endpoint + "' is busy (retry later)";
+      } else {
+        breaker.on_success();
+        ++counters_.successes;
+        outcome.ok = true;
+        return outcome;
+      }
     } catch (const net::TimeoutError&) {
       breaker.on_failure(clock_.now());
       outcome.error = "request to '" + endpoint + "' timed out";

@@ -52,6 +52,10 @@ class ReliableChannel {
     std::uint64_t successes = 0;
     std::uint64_t failures = 0;   ///< logical failures (exhausted/deadline/open)
     std::uint64_t breaker_fast_fails = 0;  ///< requests refused by an open breaker
+    /// kRetryLater backpressure replies received. Each one is retried with
+    /// backoff but never charged to the circuit breaker: the server
+    /// answered, it just had no capacity.
+    std::uint64_t retry_later_replies = 0;
   };
 
   /// The bus and clock are borrowed and must outlive the channel. The

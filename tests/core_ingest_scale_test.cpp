@@ -1,0 +1,388 @@
+// Multi-drone ingestion pipeline (labelled `scale` in ctest; also run
+// under ALIDRONE_SANITIZE=thread).
+//
+// The tentpole claim under test: for ANY shard count, verifier thread
+// count or batch size, the AuditorIngest pipeline produces verdicts and
+// audit logs byte-identical to the serial, unsharded path — plus the
+// backpressure (kRetryLater) and exactly-once (content-digest dedup)
+// semantics around it, including end-to-end through ReliableChannel
+// under chaos-style fault schedules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/ingest.h"
+#include "core/messages.h"
+#include "core/poa.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "geo/geopoint.h"
+#include "net/message_bus.h"
+#include "resilience/reliable_channel.h"
+#include "resilience/sim_clock.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+
+struct Fleet {
+  std::vector<RegisterDroneRequest> registrations;
+  std::vector<DroneId> drone_ids;
+  std::vector<crypto::Bytes> frames;  // serialized SubmitPoaRequest, unique
+};
+
+crypto::Bytes encode_fix(double lat, double lon, double t) {
+  gps::GpsFix fix;
+  fix.position = geo::GeoPoint{lat, lon};
+  fix.unix_time = t;
+  return tee::encode_sample(fix);
+}
+
+/// A small fleet with a mixed corpus: valid proofs plus deterministic
+/// defects (bad signature, unknown drone, unordered samples) so the
+/// pipeline's verdict stream exercises accept AND reject paths.
+/// `valid_only` restricts to accepted proofs (the chaos test needs every
+/// redelivery to hit the dedup cache, which only caches accepted ones).
+Fleet make_fleet(std::size_t n_drones, std::size_t proofs_per_drone,
+                 bool valid_only = false) {
+  Fleet fleet;
+  crypto::DeterministicRandom key_rng(std::string_view("ingest-fleet-keys"));
+  std::vector<crypto::RsaKeyPair> tee_keys;
+  for (std::size_t d = 0; d < n_drones; ++d) {
+    tee_keys.push_back(crypto::generate_rsa_keypair(512, key_rng));
+    const crypto::RsaKeyPair op = crypto::generate_rsa_keypair(512, key_rng);
+    RegisterDroneRequest reg;
+    reg.operator_key_n = op.pub.n.to_bytes();
+    reg.operator_key_e = op.pub.e.to_bytes();
+    reg.tee_key_n = tee_keys.back().pub.n.to_bytes();
+    reg.tee_key_e = tee_keys.back().pub.e.to_bytes();
+    fleet.registrations.push_back(std::move(reg));
+  }
+
+  {  // learn the ids registration order will assign
+    crypto::DeterministicRandom rng(std::string_view("ingest-fleet-probe"));
+    Auditor probe(512, rng);
+    for (const auto& reg : fleet.registrations) {
+      fleet.drone_ids.push_back(probe.register_drone(reg).drone_id);
+    }
+  }
+
+  for (std::size_t d = 0; d < n_drones; ++d) {
+    for (std::size_t p = 0; p < proofs_per_drone; ++p) {
+      ProofOfAlibi poa;
+      poa.drone_id = fleet.drone_ids[d];
+      poa.mode = AuthMode::kRsaPerSample;
+      poa.hash = crypto::HashAlgorithm::kSha1;
+      const double base =
+          kT0 + static_cast<double>((d * proofs_per_drone + p) * 16);
+      for (std::size_t s = 0; s < 3; ++s) {
+        SignedSample sample;
+        sample.sample = encode_fix(40.0 + 0.001 * static_cast<double>(d),
+                                   -88.0 + 0.001 * static_cast<double>(p),
+                                   base + static_cast<double>(s));
+        sample.signature =
+            crypto::rsa_sign(tee_keys[d].priv, sample.sample, poa.hash);
+        poa.samples.push_back(std::move(sample));
+      }
+      if (!valid_only) {
+        switch ((d * proofs_per_drone + p) % 7) {
+          case 2: poa.samples[0].signature[3] ^= 0x5A; break;    // bad sig
+          case 4: poa.drone_id = "drone-unregistered"; break;    // unknown
+          case 6: std::swap(poa.samples.front(), poa.samples.back()); break;
+          default: break;
+        }
+      }
+      SubmitPoaRequest request;
+      request.poa = poa.serialize();
+      fleet.frames.push_back(request.encode());
+    }
+  }
+  return fleet;
+}
+
+struct TestAuditor {
+  crypto::DeterministicRandom rng;
+  Auditor auditor;
+  std::shared_ptr<AuditLog> log = std::make_shared<AuditLog>();
+
+  TestAuditor(const Fleet& fleet, std::size_t shards)
+      : rng(std::string_view("ingest-test-auditor")),
+        auditor(512, rng,
+                [shards] {
+                  ProtocolParams p;
+                  p.auditor_shards = shards;
+                  return p;
+                }()) {
+    auditor.attach_audit_log(log);
+    for (const auto& reg : fleet.registrations) auditor.register_drone(reg);
+  }
+};
+
+/// The unbatched reference: decode + verify_poa_bytes in submission
+/// order, with the same end-of-proof submission time the pipeline uses.
+std::vector<crypto::Bytes> serial_verdicts(Auditor& auditor,
+                                           const Fleet& fleet) {
+  std::vector<crypto::Bytes> verdicts;
+  for (const crypto::Bytes& frame : fleet.frames) {
+    const auto poa_bytes = SubmitPoaRequest::decode_view(frame);
+    PoaView view;
+    PoaView::parse_into(*poa_bytes, view);
+    const double t = view.end_time().value_or(0.0);
+    verdicts.push_back(auditor.verify_poa_bytes(*poa_bytes, t).encode());
+  }
+  return verdicts;
+}
+
+void expect_logs_identical(const AuditLog& a, const AuditLog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].to_line(), b.events()[i].to_line())
+        << "audit event " << i;
+  }
+}
+
+TEST(IngestScale, PipelineMatchesSerialForAnyShardAndThreadCount) {
+  const Fleet fleet = make_fleet(6, 5);
+  TestAuditor reference(fleet, 1);
+  const std::vector<crypto::Bytes> expected =
+      serial_verdicts(reference.auditor, fleet);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+      TestAuditor sharded(fleet, shards);
+      AuditorIngest::Config config;
+      config.queue_capacity = 8;
+      config.max_batch = 4;
+      config.verify_threads = threads;
+      AuditorIngest ingest(sharded.auditor, config);
+
+      // Single producer: admission order == submission order, so the
+      // audit log must be byte-identical, not just equivalent.
+      std::vector<crypto::Bytes> got;
+      for (const crypto::Bytes& frame : fleet.frames) {
+        got.push_back(ingest.submit(frame));
+      }
+      ingest.stop();
+
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i])
+            << "shards=" << shards << " threads=" << threads << " frame " << i;
+      }
+      expect_logs_identical(*reference.log, *sharded.log);
+      EXPECT_EQ(sharded.auditor.retained_poa_count(),
+                reference.auditor.retained_poa_count());
+    }
+  }
+}
+
+TEST(IngestScale, ConcurrentProducersMatchSerialVerdicts) {
+  const Fleet fleet = make_fleet(8, 4);
+  TestAuditor reference(fleet, 1);
+  const std::vector<crypto::Bytes> expected =
+      serial_verdicts(reference.auditor, fleet);
+
+  TestAuditor sharded(fleet, 8);
+  AuditorIngest::Config config;
+  config.queue_capacity = 64;
+  config.max_batch = 8;
+  config.verify_threads = 4;
+  AuditorIngest ingest(sharded.auditor, config);
+
+  constexpr std::size_t kProducers = 4;
+  std::vector<crypto::Bytes> got(fleet.frames.size());
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = p; i < fleet.frames.size(); i += kProducers) {
+        crypto::Bytes reply = ingest.submit(fleet.frames[i]);
+        while (net::is_retry_later(reply)) {
+          std::this_thread::yield();
+          reply = ingest.submit(fleet.frames[i]);
+        }
+        got[i] = std::move(reply);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  ingest.stop();
+
+  // Interleaving is nondeterministic, but every per-frame verdict is
+  // order-independent (unique frames, pure evaluation), so each must be
+  // byte-identical to the serial path's.
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "frame " << i;
+  }
+  EXPECT_EQ(sharded.auditor.retained_poa_count(),
+            reference.auditor.retained_poa_count());
+
+  // The audit log's ORDER follows admission order; its contents must be
+  // the same multiset of events as the serial run.
+  ASSERT_EQ(sharded.log->size(), reference.log->size());
+  std::multiset<std::string> a, b;
+  for (const auto& e : reference.log->events()) a.insert(e.to_line());
+  for (const auto& e : sharded.log->events()) b.insert(e.to_line());
+  EXPECT_EQ(a, b);
+}
+
+TEST(IngestScale, SameBatchDuplicatesCommitExactlyOnce) {
+  const Fleet fleet = make_fleet(1, 1, /*valid_only=*/true);
+  TestAuditor sharded(fleet, 4);
+  AuditorIngest::Config config;
+  config.queue_capacity = 4;
+  config.max_batch = 4;
+  AuditorIngest ingest(sharded.auditor, config);
+
+  // Pause, then land two copies of the same frame in one batch: the
+  // first is popped and held at the gate, the second queues behind it
+  // (its digest is not cached yet — nothing has committed).
+  ingest.pause();
+  std::thread first([&] { ingest.submit(fleet.frames[0]); });
+  while (ingest.counters().gate_waits == 0) std::this_thread::yield();
+  std::thread second([&] { ingest.submit(fleet.frames[0]); });
+  while (ingest.counters().admitted < 2) std::this_thread::yield();
+  ingest.resume();
+  first.join();
+  second.join();
+  ingest.stop();
+
+  const auto counters = ingest.counters();
+  EXPECT_EQ(counters.committed, 1u);   // exactly-once
+  EXPECT_EQ(counters.duplicates, 1u);  // the second copy hit the commit-time re-check
+  EXPECT_EQ(sharded.auditor.retained_poa_count(), 1u);
+
+  // A later resubmission is answered straight from the cache.
+  const crypto::Bytes again = ingest.submit(fleet.frames[0]);
+  EXPECT_FALSE(net::is_retry_later(again));
+  EXPECT_EQ(ingest.counters().committed, 1u);
+}
+
+TEST(IngestScale, FullQueueAnswersRetryLater) {
+  const Fleet fleet = make_fleet(1, 5, /*valid_only=*/true);
+  TestAuditor sharded(fleet, 4);
+  AuditorIngest::Config config;
+  config.queue_capacity = 2;
+  config.max_batch = 4;
+  AuditorIngest ingest(sharded.auditor, config);
+
+  // Freeze the pipeline with one frame held at the gate, two more
+  // filling the queue — admission capacity is now provably exhausted.
+  ingest.pause();
+  std::vector<std::thread> blocked;
+  blocked.emplace_back([&] { ingest.submit(fleet.frames[0]); });
+  while (ingest.counters().gate_waits == 0) std::this_thread::yield();
+  blocked.emplace_back([&] { ingest.submit(fleet.frames[1]); });
+  blocked.emplace_back([&] { ingest.submit(fleet.frames[2]); });
+  while (ingest.counters().admitted < 3) std::this_thread::yield();
+
+  // The next submission cannot queue: explicit backpressure, no blocking.
+  const crypto::Bytes reply = ingest.submit(fleet.frames[3]);
+  EXPECT_TRUE(net::is_retry_later(reply));
+  EXPECT_EQ(ingest.counters().retry_later, 1u);
+
+  ingest.resume();
+  for (std::thread& t : blocked) t.join();
+  ingest.stop();
+
+  // The rejected frame was never admitted or committed...
+  EXPECT_EQ(ingest.counters().committed, 3u);
+  EXPECT_EQ(sharded.auditor.retained_poa_count(), 3u);
+}
+
+// End-to-end through ReliableChannel: kRetryLater is retried with backoff
+// and never charged to the circuit breaker.
+TEST(IngestScale, ReliableChannelRetriesRetryLater) {
+  net::MessageBus bus;
+  resilience::SimClock clock;
+  resilience::ReliableChannel channel(bus, clock);
+
+  // An endpoint that refuses twice, then serves.
+  int calls = 0;
+  bus.register_endpoint("auditor.submit_poa", [&](const crypto::Bytes&) {
+    return ++calls <= 2 ? net::retry_later_reply() : crypto::Bytes{1, 2, 3};
+  });
+
+  const auto outcome = channel.request("auditor.submit_poa", crypto::Bytes{9});
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.response, (crypto::Bytes{1, 2, 3}));
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(channel.counters().retry_later_replies, 2u);
+  EXPECT_EQ(channel.breaker_trips(), 0u);  // backpressure is not a fault
+
+  // A server that never recovers exhausts the budget as a clean failure.
+  bus.register_endpoint("auditor.submit_poa", [&](const crypto::Bytes&) {
+    return net::retry_later_reply();
+  });
+  const auto exhausted = channel.request("auditor.submit_poa", crypto::Bytes{9});
+  EXPECT_FALSE(exhausted.ok);
+  EXPECT_FALSE(exhausted.circuit_open);
+  EXPECT_NE(exhausted.error.find("busy"), std::string::npos);
+  EXPECT_EQ(channel.breaker_trips(), 0u);
+}
+
+// Chaos-style schedule: response loss + latency windows on the submit
+// endpoint. Every proof must still be verified exactly once and the
+// verdict/audit-log stream must be byte-identical to the fault-free
+// serial baseline (redeliveries are absorbed by the digest cache).
+TEST(IngestScale, ChaosScheduleKeepsVerdictsAndLogByteIdentical) {
+  const Fleet fleet = make_fleet(4, 4, /*valid_only=*/true);
+  TestAuditor reference(fleet, 1);
+  const std::vector<crypto::Bytes> expected =
+      serial_verdicts(reference.auditor, fleet);
+
+  TestAuditor sharded(fleet, 8);
+  AuditorIngest::Config config;
+  config.queue_capacity = 32;
+  config.max_batch = 8;
+  config.verify_threads = 2;
+  AuditorIngest ingest(sharded.auditor, config);
+
+  net::MessageBus bus;
+  resilience::SimClock clock;
+  resilience::ReliableChannel channel(bus, clock);
+  ingest.bind(bus);
+
+  net::MessageBus::FaultConfig faults;
+  faults.seed = 1337;
+  net::FaultWindow loss;
+  loss.endpoint = "auditor.submit_poa";
+  loss.start = 0.0;
+  loss.end = 1e9;
+  loss.kind = net::FaultKind::kResponseLoss;
+  loss.probability = 0.3;
+  faults.schedule.push_back(loss);
+  net::FaultWindow latency;
+  latency.endpoint = "auditor.submit_poa";
+  latency.start = 0.0;
+  latency.end = 1e9;
+  latency.kind = net::FaultKind::kLatency;
+  latency.probability = 0.5;
+  latency.latency_s = 0.05;
+  faults.schedule.push_back(latency);
+  bus.set_faults(faults);
+
+  for (std::size_t i = 0; i < fleet.frames.size(); ++i) {
+    const auto outcome = channel.request("auditor.submit_poa", fleet.frames[i]);
+    ASSERT_TRUE(outcome.ok) << "frame " << i << ": " << outcome.error;
+    EXPECT_EQ(outcome.response, expected[i]) << "frame " << i;
+  }
+  ingest.stop();
+
+  EXPECT_GT(channel.counters().retries, 0u);  // the schedule actually bit
+  EXPECT_EQ(sharded.auditor.retained_poa_count(),
+            reference.auditor.retained_poa_count());
+  expect_logs_identical(*reference.log, *sharded.log);
+}
+
+}  // namespace
+}  // namespace alidrone::core

@@ -1,0 +1,139 @@
+// PoaStore's in-memory per-drone index vs the directory on disk: after
+// any sequence of saves and expiries, load_for_drone (index-served) must
+// agree exactly with a fresh PoaStore that rebuilds its index by
+// scanning the same directory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/poa_store.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "geo/geopoint.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+
+class PoaStoreIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("alidrone-poa-index-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ProofOfAlibi make_poa(const DroneId& drone_id, double t) {
+    ProofOfAlibi poa;
+    poa.drone_id = drone_id;
+    poa.mode = AuthMode::kRsaPerSample;
+    poa.hash = crypto::HashAlgorithm::kSha1;
+    gps::GpsFix fix;
+    fix.position = geo::GeoPoint{40.0, -88.0};
+    fix.unix_time = t;
+    SignedSample sample;
+    sample.sample = tee::encode_sample(fix);
+    sample.signature = crypto::rsa_sign(keys_.priv, sample.sample, poa.hash);
+    poa.samples.push_back(std::move(sample));
+    return poa;
+  }
+
+  /// load_for_drone from `store` must match a fresh store that re-scans
+  /// the directory (same proofs, same order).
+  void expect_index_matches_rescan(const PoaStore& store,
+                                   const std::vector<DroneId>& drones) {
+    const PoaStore fresh(store.directory());
+    for (const DroneId& id : drones) {
+      const auto indexed = store.load_for_drone(id);
+      const auto scanned = fresh.load_for_drone(id);
+      ASSERT_EQ(indexed.size(), scanned.size()) << "drone " << id;
+      for (std::size_t i = 0; i < indexed.size(); ++i) {
+        EXPECT_EQ(indexed[i].submission_time, scanned[i].submission_time);
+        EXPECT_EQ(indexed[i].poa.serialize(), scanned[i].poa.serialize());
+      }
+    }
+  }
+
+  std::filesystem::path dir_;
+  crypto::DeterministicRandom key_rng_{std::string_view("poa-index-keys")};
+  crypto::RsaKeyPair keys_ = crypto::generate_rsa_keypair(512, key_rng_);
+};
+
+TEST_F(PoaStoreIndexTest, IndexAgreesWithDirectoryScanAfterExpiry) {
+  const std::vector<DroneId> drones{"drone-1", "drone-2", "drone-3"};
+  PoaStore store(dir_);
+  for (int i = 0; i < 12; ++i) {
+    const DroneId& id = drones[static_cast<std::size_t>(i) % drones.size()];
+    const double t = kT0 + 100.0 * i;
+    store.save(id, t, make_poa(id, t));
+  }
+  expect_index_matches_rescan(store, drones);
+
+  // Expire the first half; files and index entries must both go.
+  const std::size_t deleted = store.expire_before(kT0 + 100.0 * 6);
+  EXPECT_EQ(deleted, 6u);
+  EXPECT_EQ(store.count(), 6u);  // directory scan agrees on the total
+  expect_index_matches_rescan(store, drones);
+
+  // Expire everything.
+  EXPECT_EQ(store.expire_before(kT0 + 1e9), 6u);
+  EXPECT_EQ(store.count(), 0u);
+  expect_index_matches_rescan(store, drones);
+  for (const DroneId& id : drones) {
+    EXPECT_TRUE(store.load_for_drone(id).empty());
+  }
+}
+
+TEST_F(PoaStoreIndexTest, SavesAfterExpiryLandInTheIndex) {
+  PoaStore store(dir_);
+  store.save("drone-1", kT0, make_poa("drone-1", kT0));
+  ASSERT_EQ(store.expire_before(kT0 + 1.0), 1u);
+
+  // New saves after a full expiry must be indexed (the per-drone key was
+  // erased, so this exercises re-creation).
+  store.save("drone-1", kT0 + 10.0, make_poa("drone-1", kT0 + 10.0));
+  const auto loaded = store.load_for_drone("drone-1");
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].submission_time, kT0 + 10.0);
+  expect_index_matches_rescan(store, {"drone-1"});
+}
+
+TEST_F(PoaStoreIndexTest, LoadForDroneIsSortedBySubmissionTime) {
+  PoaStore store(dir_);
+  // Save out of time order; the index keeps the per-drone list sorted.
+  for (const double t : {kT0 + 300.0, kT0 + 100.0, kT0 + 200.0}) {
+    store.save("drone-9", t, make_poa("drone-9", t));
+  }
+  const auto loaded = store.load_for_drone("drone-9");
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_LT(loaded[0].submission_time, loaded[1].submission_time);
+  EXPECT_LT(loaded[1].submission_time, loaded[2].submission_time);
+  expect_index_matches_rescan(store, {"drone-9"});
+}
+
+TEST_F(PoaStoreIndexTest, ReopenedStoreIndexesExistingFiles) {
+  {
+    PoaStore store(dir_);
+    store.save("drone-a", kT0, make_poa("drone-a", kT0));
+    store.save("drone-b", kT0 + 1.0, make_poa("drone-b", kT0 + 1.0));
+  }
+  PoaStore reopened(dir_);
+  EXPECT_EQ(reopened.load_for_drone("drone-a").size(), 1u);
+  EXPECT_EQ(reopened.load_for_drone("drone-b").size(), 1u);
+  // Sequence numbers continue: a new save must not clobber old files.
+  reopened.save("drone-a", kT0 + 2.0, make_poa("drone-a", kT0 + 2.0));
+  EXPECT_EQ(reopened.count(), 3u);
+  EXPECT_EQ(reopened.load_for_drone("drone-a").size(), 2u);
+}
+
+}  // namespace
+}  // namespace alidrone::core
