@@ -57,6 +57,8 @@ int main(int argc, char** argv) {
   using sim::Route;
 
   const auto json_path = take_json_flag(argc, argv);
+  const MetricsDump metrics_dump(take_metrics_flag(argc, argv),
+                                 "bench_adaptive_ablation");
   print_header("Adaptive-sampling ablation: samples vs zone distance");
   std::printf("  (1 km drive at 10 m/s past one 20 ft zone; GPS 5 Hz, v_max 100 mph)\n");
   std::printf("  %-18s %10s %12s\n", "lateral offset", "#samples", "#violations");

@@ -162,6 +162,8 @@ Options parse_options(int argc, char** argv) {
 
 int run(int argc, char** argv) {
   const auto json_path = bench::take_json_flag(argc, argv);
+  const bench::MetricsDump metrics_dump(bench::take_metrics_flag(argc, argv),
+                                        "bench_auditor_scale");
   const Options opt = parse_options(argc, argv);
   const std::size_t n_frames = opt.drones * opt.proofs_per_drone;
 

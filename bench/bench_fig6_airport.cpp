@@ -57,6 +57,8 @@ int main(int argc, char** argv) {
   using namespace alidrone::bench;
 
   const auto json_path = take_json_flag(argc, argv);
+  const MetricsDump metrics_dump(take_metrics_flag(argc, argv),
+                                 "bench_fig6_airport");
   const sim::Scenario scenario = sim::make_airport_scenario(kStartTime);
 
   print_header("Figure 6: airport scenario (NFZ radius 5 mi, receding drive)");

@@ -87,6 +87,8 @@ int main(int argc, char** argv) {
   using namespace alidrone::bench;
 
   const auto json_path = take_json_flag(argc, argv);
+  const MetricsDump metrics_dump(take_metrics_flag(argc, argv),
+                                 "bench_fig8_residential");
   const sim::Scenario scenario = sim::make_residential_scenario(kStartTime);
   const auto zones = scenario.local_zones();
 

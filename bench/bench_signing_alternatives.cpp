@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
   using namespace alidrone::bench;
 
   const auto json_path = take_json_flag(argc, argv);
+  const MetricsDump metrics_dump(take_metrics_flag(argc, argv),
+                                 "bench_signing_alternatives");
   print_header("Section VII-A1 ablation: per-sample authentication schemes");
 
   constexpr int kIterations = 200;

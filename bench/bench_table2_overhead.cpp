@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "resilience/sim_clock.h"
 
 namespace alidrone::bench {
 namespace {
@@ -36,8 +37,13 @@ struct Row {
 /// five minutes, no NFZ logic.
 Row fixed_rate_row(const CostProfile& profile, double rate_hz, std::size_t key_bits) {
   constexpr double kDuration = 300.0;  // the paper's 5-minute runs
+  // Wall time comes from the shared obs::Clock authority (a SimClock
+  // here), the same way the resilience layer keeps time.
+  resilience::SimClock clock;
   CpuAccountant cpu(4);
-  cpu.advance_wall(kDuration);
+  cpu.bind_clock(&clock);
+  clock.advance(kDuration);
+  cpu.sync_wall();
   const double samples = rate_hz * kDuration;
   cpu.charge(samples * profile.per_sample_cost(key_bits));
 
@@ -110,6 +116,8 @@ int main(int argc, char** argv) {
   using namespace alidrone::bench;
 
   const auto json_path = take_json_flag(argc, argv);
+  const MetricsDump metrics_dump(take_metrics_flag(argc, argv),
+                                 "bench_table2_overhead");
   const CostProfile profile = CostProfile::raspberry_pi3();
   const sim::Scenario airport = sim::make_airport_scenario(kStartTime);
   const sim::Scenario residential = sim::make_residential_scenario(kStartTime);

@@ -14,11 +14,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/flight.h"
 #include "core/sampler.h"
 #include "geo/units.h"
+#include "obs/metrics.h"
 #include "sim/scenarios.h"
 #include "tee/secure_monitor.h"
 
@@ -52,17 +54,20 @@ class JsonRecordWriter {
   bool first_ = true;
 };
 
-/// Extract `--json <path>` / `--json=<path>` from argv (compacting it) so
-/// remaining flags can go to the bench's own parser.
-inline std::optional<std::string> take_json_flag(int& argc, char** argv) {
+/// Extract `--<name> <value>` / `--<name>=<value>` from argv (compacting
+/// it) so remaining flags can go to the bench's own parser.
+inline std::optional<std::string> take_path_flag(int& argc, char** argv,
+                                                 const std::string& name) {
+  const std::string bare = "--" + name;
+  const std::string eq = bare + "=";
   std::optional<std::string> path;
   int w = 1;
   for (int r = 1; r < argc; ++r) {
     const std::string arg = argv[r];
-    if (arg == "--json" && r + 1 < argc) {
+    if (arg == bare && r + 1 < argc) {
       path = argv[++r];
-    } else if (arg.rfind("--json=", 0) == 0) {
-      path = arg.substr(7);
+    } else if (arg.rfind(eq, 0) == 0) {
+      path = arg.substr(eq.size());
     } else {
       argv[w++] = argv[r];
     }
@@ -70,6 +75,45 @@ inline std::optional<std::string> take_json_flag(int& argc, char** argv) {
   argc = w;
   return path;
 }
+
+/// Extract `--json <path>` / `--json=<path>` from argv (compacting it).
+inline std::optional<std::string> take_json_flag(int& argc, char** argv) {
+  return take_path_flag(argc, argv, "json");
+}
+
+/// Extract `--metrics <path>` / `--metrics=<path>`: where to dump the
+/// process-wide obs::MetricsRegistry snapshot after the bench ran.
+inline std::optional<std::string> take_metrics_flag(int& argc, char** argv) {
+  return take_path_flag(argc, argv, "metrics");
+}
+
+/// Writes the global metrics-registry snapshot to `path` on destruction,
+/// as `{bench, "metrics", <metric name>, value}` records — the same
+/// JsonRecordWriter shape run_all.sh merges into BENCH_metrics.json.
+/// Constructed with nullopt it does nothing, so a bench main can hold one
+/// unconditionally:
+///   MetricsDump dump(take_metrics_flag(argc, argv), "bench_fig6_airport");
+class MetricsDump {
+ public:
+  MetricsDump(std::optional<std::string> path, std::string bench)
+      : path_(std::move(path)), bench_(std::move(bench)) {}
+
+  MetricsDump(const MetricsDump&) = delete;
+  MetricsDump& operator=(const MetricsDump&) = delete;
+
+  ~MetricsDump() {
+    if (!path_) return;
+    JsonRecordWriter writer(*path_);
+    for (const obs::MetricRecord& record :
+         obs::MetricsRegistry::global().snapshot()) {
+      writer.write(bench_, "metrics", record.name, record.value);
+    }
+  }
+
+ private:
+  std::optional<std::string> path_;
+  std::string bench_;
+};
 
 inline constexpr double kStartTime = 1528400000.0;
 
@@ -173,9 +217,16 @@ class JsonRecordReporter : public benchmark::BenchmarkReporter {
   benchmark::ConsoleReporter console_;
 };
 
-/// Drop-in BENCHMARK_MAIN() replacement with `--json <path>` support.
+/// Drop-in BENCHMARK_MAIN() replacement with `--json <path>` and
+/// `--metrics <path>` support. The metrics dump (labelled with argv[0]'s
+/// basename) is written after every benchmark ran.
 inline int benchmark_main_with_json(int argc, char** argv) {
   const std::optional<std::string> json_path = take_json_flag(argc, argv);
+  const std::optional<std::string> metrics_path = take_metrics_flag(argc, argv);
+  std::string bench_name = argc > 0 ? argv[0] : "bench";
+  const std::size_t sep = bench_name.find_last_of('/');
+  if (sep != std::string::npos) bench_name = bench_name.substr(sep + 1);
+  const MetricsDump metrics_dump(metrics_path, bench_name);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (json_path) {

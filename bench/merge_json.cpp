@@ -1,0 +1,152 @@
+// merge_json — strict merger for per-bench JsonRecordWriter files.
+//
+// run_all.sh used to splice per-bench record files together with
+// grep/sed, which silently dropped anything that didn't look like a
+// record and produced a corrupt merged array when a writer's format
+// drifted. This tool is the replacement: it parses every input against
+// the exact shape JsonRecordWriter emits — `[`, one
+// `{"bench": ..., "config": ..., "metric": ..., "value": N}` record per
+// line, `]` — and re-emits all records through JsonRecordWriter itself,
+// so the merged file and the per-bench files share one writer code path.
+// Any unrecognized line is a loud error naming the file and line number,
+// and the tool exits non-zero without writing partial output.
+//
+// Usage: merge_json <output.json> <input.json> [input.json ...]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+struct Record {
+  std::string bench;
+  std::string config;
+  std::string metric;
+  double value = 0.0;
+};
+
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : line_(line) {}
+
+  bool literal(const std::string& expected) {
+    if (line_.compare(pos_, expected.size(), expected) != 0) return false;
+    pos_ += expected.size();
+    return true;
+  }
+
+  /// A quoted string with no escapes (JsonRecordWriter never emits any).
+  bool quoted(std::string& out) {
+    if (pos_ >= line_.size() || line_[pos_] != '"') return false;
+    const std::size_t end = line_.find('"', pos_ + 1);
+    if (end == std::string::npos) return false;
+    out = line_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+    return true;
+  }
+
+  bool number(double& out) {
+    std::size_t used = 0;
+    try {
+      out = std::stod(line_.substr(pos_), &used);
+    } catch (...) {
+      return false;
+    }
+    pos_ += used;
+    return true;
+  }
+
+  bool at_end() const { return pos_ == line_.size(); }
+
+ private:
+  const std::string& line_;
+  std::size_t pos_ = 0;
+};
+
+bool parse_record(std::string line, Record& out) {
+  // Strip indentation and the record separator; everything else is exact.
+  while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+    line.erase(line.begin());
+  }
+  if (!line.empty() && line.back() == ',') line.pop_back();
+  LineParser p(line);
+  return p.literal("{\"bench\": ") && p.quoted(out.bench) &&
+         p.literal(", \"config\": ") && p.quoted(out.config) &&
+         p.literal(", \"metric\": ") && p.quoted(out.metric) &&
+         p.literal(", \"value\": ") && p.number(out.value) &&
+         p.literal("}") && p.at_end();
+}
+
+bool is_blank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+int fail(const std::string& path, std::size_t line_no, const std::string& line) {
+  std::fprintf(stderr, "merge_json: %s:%zu: unrecognized line: %s\n",
+               path.c_str(), line_no, line.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: merge_json <output.json> <input.json> [...]\n");
+    return 2;
+  }
+
+  std::vector<Record> records;
+  for (int i = 2; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "merge_json: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    bool saw_open = false;
+    bool saw_close = false;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (is_blank(line)) continue;
+      if (saw_close) return fail(path, line_no, line);
+      if (!saw_open) {
+        if (line != "[") return fail(path, line_no, line);
+        saw_open = true;
+        continue;
+      }
+      if (line == "]") {
+        saw_close = true;
+        continue;
+      }
+      Record record;
+      if (!parse_record(line, record)) return fail(path, line_no, line);
+      records.push_back(std::move(record));
+    }
+    if (!saw_open || !saw_close) {
+      std::fprintf(stderr, "merge_json: %s: not a complete record array\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+
+  alidrone::bench::JsonRecordWriter writer(argv[1]);
+  for (const Record& record : records) {
+    writer.write(record.bench, record.config, record.metric, record.value);
+  }
+  if (!writer.ok()) {
+    std::fprintf(stderr, "merge_json: failed writing %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("merge_json: wrote %zu records to %s\n", records.size(), argv[1]);
+  return 0;
+}

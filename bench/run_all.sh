@@ -1,46 +1,59 @@
 #!/usr/bin/env sh
-# Run every bench with --json and merge the records into one
-# BENCH_results.json array — the cross-PR perf-trajectory file.
+# Run every bench with --json/--metrics and merge the records into
+#   BENCH_results.json  — the cross-PR perf-trajectory file, and
+#   BENCH_metrics.json  — the obs::MetricsRegistry snapshot of each bench
+#                         process (one "metric" record per registry entry).
 #
-# Usage: bench/run_all.sh [output.json]
+# Usage: bench/run_all.sh [results.json] [metrics.json]
 #   BUILD_DIR            build tree holding bench/ binaries (default: build)
 #   BENCHMARK_MIN_TIME   per-benchmark min time for the google-benchmark
 #                        micro benches (default: 0.01 — smoke-level; unset
 #                        it to BENCHMARK_MIN_TIME="" for full runs)
 #
 # Exit status is non-zero if any bench fails its own shape checks, so CI
-# can use this as a perf smoke test without parsing any numbers. The merge
-# is plain sed/grep on the writers' fixed one-record-per-line format — no
-# jq or python in the loop.
+# can use this as a perf smoke test without parsing any numbers. Merging
+# is done by the strict `merge_json` tool built next to the benches: it
+# parses the writers' fixed one-record-per-line format and fails loudly on
+# any line it does not recognize, instead of silently dropping it the way
+# the old grep/sed pipeline did.
 set -u
 
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_results.json}
+METRICS_OUT=${2:-BENCH_metrics.json}
 MIN_TIME=${BENCHMARK_MIN_TIME-0.01}
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "run_all.sh: no $BUILD_DIR/bench — build first (BUILD_DIR=...)" >&2
   exit 2
 fi
+if [ ! -x "$BUILD_DIR/bench/merge_json" ]; then
+  echo "run_all.sh: no $BUILD_DIR/bench/merge_json — rebuild the bench tree" >&2
+  exit 2
+fi
 
 tmp_dir=$(mktemp -d)
 trap 'rm -rf "$tmp_dir"' EXIT
-: > "$tmp_dir/records"
 fail=0
+json_files=""
+metrics_files=""
 
 run_bench() {
   name=$1
   shift
   bin="$BUILD_DIR/bench/$name"
   json="$tmp_dir/$name.json"
+  metrics="$tmp_dir/$name.metrics.json"
   echo "== $name =="
-  if ! "$bin" "$@" --json "$json"; then
+  if ! "$bin" "$@" --json "$json" --metrics "$metrics"; then
     echo "run_all.sh: FAIL $name" >&2
     fail=1
   fi
-  # One record per line, trailing commas stripped; re-joined at the end.
   if [ -f "$json" ]; then
-    grep '^  {' "$json" | sed 's/,$//' >>"$tmp_dir/records"
+    json_files="$json_files $json"
+  fi
+  if [ -f "$metrics" ]; then
+    metrics_files="$metrics_files $metrics"
   fi
 }
 
@@ -65,12 +78,17 @@ for name in bench_crypto_micro bench_geo_micro bench_tee_and_verify \
   run_bench "$name" $micro_args
 done
 
-{
-  echo '['
-  sed '$!s/$/,/' "$tmp_dir/records" | sed 's/^  //;s/^/  /'
-  echo ']'
-} >"$OUT"
+# Strict merges: any malformed record line aborts with a file:line error.
+# shellcheck disable=SC2086
+if ! "$BUILD_DIR/bench/merge_json" "$OUT" $json_files; then
+  echo "run_all.sh: merge of bench records failed" >&2
+  exit 1
+fi
+# shellcheck disable=SC2086
+if ! "$BUILD_DIR/bench/merge_json" "$METRICS_OUT" $metrics_files; then
+  echo "run_all.sh: merge of metrics snapshots failed" >&2
+  exit 1
+fi
 
-count=$(grep -c '{' "$OUT" || true)
-echo "== wrote $count records to $OUT (fail=$fail) =="
+echo "== results: $OUT  metrics: $METRICS_OUT (fail=$fail) =="
 exit "$fail"

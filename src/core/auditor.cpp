@@ -24,6 +24,12 @@ Auditor::Auditor(std::size_t key_bits, crypto::RandomSource& rng, ProtocolParams
     shards_.push_back(std::make_unique<StateShard>());
   }
   zone_shapes_ = std::make_shared<const ZoneShapes>();
+  obs::MetricsRegistry& reg = params_.metrics != nullptr
+                                  ? *params_.metrics
+                                  : obs::MetricsRegistry::global();
+  const std::string scope = reg.instance_scope("core.auditor");
+  duplicate_submissions_ = &reg.counter(scope + ".duplicate_poa_submissions");
+  duplicate_registrations_ = &reg.counter(scope + ".duplicate_registrations");
 }
 
 std::size_t Auditor::shard_index(std::string_view drone_id) const {
@@ -85,7 +91,7 @@ std::optional<crypto::Bytes> Auditor::lookup_submission(const crypto::Bytes& dig
   std::lock_guard<std::mutex> lock(submit_mu_);
   const auto it = submit_cache_.find(digest);
   if (it == submit_cache_.end()) return std::nullopt;
-  duplicate_submissions_.fetch_add(1, std::memory_order_relaxed);
+  duplicate_submissions_->increment();
   return it->second;
 }
 
@@ -172,7 +178,7 @@ RegisterDroneResponse Auditor::register_drone(const RegisterDroneRequest& reques
     for (const auto& [id, record] : shard->drones) {
       if (record->tee_key == tee_key) {
         if (record->operator_key == op_key) {
-          duplicate_registrations_.fetch_add(1, std::memory_order_relaxed);
+          duplicate_registrations_->increment();
           return {true, id};
         }
         return {};

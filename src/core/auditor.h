@@ -44,6 +44,7 @@
 #include "crypto/rsa.h"
 #include "geo/polygon.h"
 #include "net/message_bus.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 
 namespace alidrone::core {
@@ -125,12 +126,12 @@ class Auditor {
   /// Bus submissions answered from the proof-digest dedup cache (retry
   /// storms, duplicated deliveries) without re-verification or retention.
   std::uint64_t duplicate_poa_submissions() const {
-    return duplicate_submissions_.load(std::memory_order_relaxed);
+    return duplicate_submissions_->value();
   }
   /// register_drone calls answered idempotently (same TEE + operator key
   /// re-submitted, e.g. a retry after a lost response).
   std::uint64_t duplicate_registrations() const {
-    return duplicate_registrations_.load(std::memory_order_relaxed);
+    return duplicate_registrations_->value();
   }
   /// Zone table, for inspection. Not synchronized against concurrent zone
   /// registration — callers take it while no mutator runs.
@@ -204,8 +205,10 @@ class Auditor {
   mutable std::mutex submit_mu_;
   std::map<crypto::Bytes, crypto::Bytes> submit_cache_;
   std::deque<crypto::Bytes> submit_cache_order_;
-  std::atomic<std::uint64_t> duplicate_submissions_{0};
-  std::atomic<std::uint64_t> duplicate_registrations_{0};
+  // Registry-backed counters (instance scope "core.auditor" in
+  // params_.metrics, or the process-wide registry when unset).
+  obs::Counter* duplicate_submissions_;
+  obs::Counter* duplicate_registrations_;
 
   /// Cached verdict for a previously accepted submission digest; counts a
   /// duplicate on hit.

@@ -5,8 +5,26 @@
 namespace alidrone::core {
 
 DroneClient::DroneClient(tee::DroneTee& tee, std::size_t operator_key_bits,
-                         crypto::RandomSource& rng)
-    : tee_(tee), keypair_(crypto::generate_rsa_keypair(operator_key_bits, rng)) {}
+                         crypto::RandomSource& rng,
+                         obs::MetricsRegistry* registry)
+    : tee_(tee), keypair_(crypto::generate_rsa_keypair(operator_key_bits, rng)) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::global();
+  const std::string scope = reg.instance_scope("core.drone_client");
+  enqueued_ = &reg.counter(scope + ".outbox_enqueued");
+  delivered_ = &reg.counter(scope + ".outbox_delivered");
+  drain_attempts_ = &reg.counter(scope + ".outbox_drain_attempts");
+  undecodable_responses_ = &reg.counter(scope + ".outbox_undecodable_responses");
+}
+
+DroneClient::OutboxCounters DroneClient::outbox_counters() const {
+  OutboxCounters c;
+  c.enqueued = enqueued_->value();
+  c.delivered = delivered_->value();
+  c.drain_attempts = drain_attempts_->value();
+  c.undecodable_responses = undecodable_responses_->value();
+  return c;
+}
 
 std::optional<RegisterDroneRequest> DroneClient::make_register_request() {
   // Read T+ through the monitored TA interface, as the operator would at
@@ -120,7 +138,7 @@ std::optional<PoaVerdict> DroneClient::submit_poa(
 
 void DroneClient::enqueue_poa(const ProofOfAlibi& poa) {
   outbox_.push_back(OutboxEntry{poa.serialize(), 0});
-  ++outbox_counters_.enqueued;
+  enqueued_->increment();
 }
 
 std::vector<PoaVerdict> DroneClient::drain_outbox(
@@ -138,16 +156,16 @@ std::vector<PoaVerdict> DroneClient::drain_outbox(
 
     const auto outcome = channel.request("auditor.submit_poa",
                                          SubmitPoaRequest{entry.poa_bytes}.encode());
-    outbox_counters_.drain_attempts += outcome.attempts;
+    drain_attempts_->add(outcome.attempts);
     ++entry.attempts;
 
     std::optional<PoaVerdict> verdict;
     if (outcome.ok) {
       verdict = PoaVerdict::decode(outcome.response);
-      if (!verdict) ++outbox_counters_.undecodable_responses;
+      if (!verdict) undecodable_responses_->increment();
     }
     if (verdict) {
-      ++outbox_counters_.delivered;
+      delivered_->increment();
       verdicts.push_back(std::move(*verdict));
       continue;
     }

@@ -23,6 +23,7 @@
 #include "crypto/random.h"
 #include "crypto/rsa.h"
 #include "net/message_bus.h"
+#include "obs/metrics.h"
 #include "resilience/reliable_channel.h"
 #include "tee/secure_monitor.h"
 
@@ -31,9 +32,12 @@ namespace alidrone::core {
 class DroneClient {
  public:
   /// `tee` is the drone's trusted hardware (borrowed); the operator key D
-  /// is generated here from `rng`.
+  /// is generated here from `rng`. Outbox counters register under an
+  /// instance scope of "core.drone_client" in `registry` (the
+  /// process-wide registry when null).
   DroneClient(tee::DroneTee& tee, std::size_t operator_key_bits,
-              crypto::RandomSource& rng);
+              crypto::RandomSource& rng,
+              obs::MetricsRegistry* registry = nullptr);
 
   const crypto::RsaPublicKey& operator_key() const { return keypair_.pub; }
   const DroneId& id() const { return id_; }
@@ -97,7 +101,8 @@ class DroneClient {
   std::vector<PoaVerdict> drain_outbox(resilience::ReliableChannel& channel);
 
   std::size_t outbox_size() const { return outbox_.size(); }
-  const OutboxCounters& outbox_counters() const { return outbox_counters_; }
+  /// Point-in-time view over the client's registry counters.
+  OutboxCounters outbox_counters() const;
 
   /// The result of the last fly() call (log, counters) for evaluation.
   const FlightResult& last_flight() const { return last_flight_; }
@@ -114,7 +119,11 @@ class DroneClient {
     std::uint32_t attempts = 0;
   };
   std::deque<OutboxEntry> outbox_;
-  OutboxCounters outbox_counters_;
+  // Registry-backed outbox counters.
+  obs::Counter* enqueued_;
+  obs::Counter* delivered_;
+  obs::Counter* drain_attempts_;
+  obs::Counter* undecodable_responses_;
 
   std::optional<RegisterDroneRequest> make_register_request();
   bool accept_register_reply(const crypto::Bytes& reply);

@@ -8,12 +8,20 @@
 
 namespace alidrone::core {
 
+namespace {
+obs::MetricsRegistry& registry_for(const Auditor& auditor) {
+  return auditor.params().metrics != nullptr ? *auditor.params().metrics
+                                             : obs::MetricsRegistry::global();
+}
+}  // namespace
+
 AuditorIngest::AuditorIngest(Auditor& auditor)
     : AuditorIngest(auditor, Config{}) {}
 
 AuditorIngest::AuditorIngest(Auditor& auditor, Config config)
     : auditor_(auditor),
       config_(config),
+      pool_(64, &registry_for(auditor)),
       queue_(std::max<std::size_t>(1, config.queue_capacity)) {
   config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
   if (config_.verify_threads > 0) {
@@ -21,6 +29,17 @@ AuditorIngest::AuditorIngest(Auditor& auditor, Config config)
         runtime::ThreadPool::Config{config_.verify_threads, "alidrone-ingest"});
   }
   views_.resize(config_.max_batch);
+  obs::MetricsRegistry& reg = registry_for(auditor);
+  const std::string scope = reg.instance_scope("core.ingest");
+  submitted_ = &reg.counter(scope + ".submitted");
+  admitted_ = &reg.counter(scope + ".admitted");
+  retry_later_ = &reg.counter(scope + ".retry_later");
+  duplicates_ = &reg.counter(scope + ".duplicates");
+  malformed_ = &reg.counter(scope + ".malformed");
+  batches_ = &reg.counter(scope + ".batches");
+  committed_ = &reg.counter(scope + ".committed");
+  max_batch_seen_ = &reg.gauge(scope + ".max_batch_seen");
+  gate_waits_ = &reg.counter(scope + ".gate_waits");
   ingest_thread_ = std::thread([this] { ingest_loop(); });
 }
 
@@ -52,11 +71,11 @@ void AuditorIngest::resume() {
 }
 
 crypto::Bytes AuditorIngest::submit(std::span<const std::uint8_t> request_frame) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_->increment();
 
   const auto poa_bytes = SubmitPoaRequest::decode_view(request_frame);
   if (!poa_bytes) {
-    malformed_.fetch_add(1, std::memory_order_relaxed);
+    malformed_->increment();
     PoaVerdict verdict;
     verdict.detail = "bad request";
     return verdict.encode();
@@ -65,7 +84,7 @@ crypto::Bytes AuditorIngest::submit(std::span<const std::uint8_t> request_frame)
   const auto digest_arr = crypto::Sha256::hash(*poa_bytes);
   crypto::Bytes digest(digest_arr.begin(), digest_arr.end());
   if (auto hit = auditor_.lookup_submission(digest)) {
-    duplicates_.fetch_add(1, std::memory_order_relaxed);
+    duplicates_->increment();
     return *hit;
   }
 
@@ -79,10 +98,10 @@ crypto::Bytes AuditorIngest::submit(std::span<const std::uint8_t> request_frame)
     // try_push never consumes on failure: hand the frame back and answer
     // with explicit backpressure instead of buffering without bound.
     pool_.release(std::move(item.frame));
-    retry_later_.fetch_add(1, std::memory_order_relaxed);
+    retry_later_->increment();
     return net::retry_later_reply();
   }
-  admitted_.fetch_add(1, std::memory_order_relaxed);
+  admitted_->increment();
   return future.get();
 }
 
@@ -98,7 +117,7 @@ void AuditorIngest::ingest_loop() {
     // held item still commits — no promise is ever dropped.
     {
       std::unique_lock<std::mutex> lock(pause_mu_);
-      if (paused_ && !stopped_) gate_waits_.fetch_add(1, std::memory_order_relaxed);
+      if (paused_ && !stopped_) gate_waits_->increment();
       pause_cv_.wait(lock, [&] { return !paused_ || stopped_; });
     }
     batch.clear();
@@ -114,11 +133,8 @@ void AuditorIngest::ingest_loop() {
 
 void AuditorIngest::process_batch(std::vector<Item>& batch) {
   const std::size_t n = batch.size();
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  std::uint64_t prev = max_batch_seen_.load(std::memory_order_relaxed);
-  while (prev < n &&
-         !max_batch_seen_.compare_exchange_weak(prev, n, std::memory_order_relaxed)) {
-  }
+  batches_->increment();
+  max_batch_seen_->set_max(static_cast<double>(n));
 
   // Parse zero-copy into the reused scratch views (ingest thread only —
   // sample vectors keep their capacity from batch to batch).
@@ -129,6 +145,10 @@ void AuditorIngest::process_batch(std::vector<Item>& batch) {
   }
 
   // Evaluate — pure reads, so the whole batch can fan out.
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(obs::TraceKind::kIngestEvaluate, 0.0, n,
+                             batches_->value(), "batch-evaluate");
+  }
   std::vector<Auditor::PoaEvaluation> evaluations(n);
   const auto evaluate = [&](std::size_t i) {
     if (parsed[i]) evaluations[i] = auditor_.evaluate_poa(views_[i]);
@@ -137,6 +157,10 @@ void AuditorIngest::process_batch(std::vector<Item>& batch) {
     runtime::parallel_for(*verify_pool_, 0, n, evaluate);
   } else {
     for (std::size_t i = 0; i < n; ++i) evaluate(i);
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(obs::TraceKind::kIngestCommit, 0.0, n,
+                             batches_->value(), "batch-commit");
   }
 
   // Commit serially in admission order. The digest re-check makes same-
@@ -150,7 +174,7 @@ void AuditorIngest::process_batch(std::vector<Item>& batch) {
       verdict.detail = "unparseable PoA";
       encoded = verdict.encode();
     } else if (auto hit = auditor_.lookup_submission(item.digest)) {
-      duplicates_.fetch_add(1, std::memory_order_relaxed);
+      duplicates_->increment();
       encoded = *hit;
     } else {
       // Submission time: latest sample time stands in for server wall
@@ -160,7 +184,7 @@ void AuditorIngest::process_batch(std::vector<Item>& batch) {
           views_[i].drone_id, std::move(evaluations[i]), t);
       encoded = verdict.encode();
       if (verdict.accepted) auditor_.note_submission(item.digest, encoded);
-      committed_.fetch_add(1, std::memory_order_relaxed);
+      committed_->increment();
     }
     item.reply.set_value(std::move(encoded));
     pool_.release(std::move(item.frame));
@@ -174,15 +198,15 @@ void AuditorIngest::bind(net::MessageBus& bus) {
 
 AuditorIngest::Counters AuditorIngest::counters() const {
   Counters c;
-  c.submitted = submitted_.load(std::memory_order_relaxed);
-  c.admitted = admitted_.load(std::memory_order_relaxed);
-  c.retry_later = retry_later_.load(std::memory_order_relaxed);
-  c.duplicates = duplicates_.load(std::memory_order_relaxed);
-  c.malformed = malformed_.load(std::memory_order_relaxed);
-  c.batches = batches_.load(std::memory_order_relaxed);
-  c.committed = committed_.load(std::memory_order_relaxed);
-  c.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
-  c.gate_waits = gate_waits_.load(std::memory_order_relaxed);
+  c.submitted = submitted_->value();
+  c.admitted = admitted_->value();
+  c.retry_later = retry_later_->value();
+  c.duplicates = duplicates_->value();
+  c.malformed = malformed_->value();
+  c.batches = batches_->value();
+  c.committed = committed_->value();
+  c.max_batch_seen = static_cast<std::uint64_t>(max_batch_seen_->value());
+  c.gate_waits = gate_waits_->value();
   return c;
 }
 

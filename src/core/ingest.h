@@ -38,6 +38,8 @@
 #include "crypto/bytes.h"
 #include "net/buffer_pool.h"
 #include "net/message_bus.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "runtime/mpmc_queue.h"
 #include "runtime/thread_pool.h"
 
@@ -53,6 +55,8 @@ class AuditorIngest {
     /// Verifier threads for parallel evaluation; 0 = evaluate on the
     /// ingest thread (serial).
     std::size_t verify_threads = 0;
+    /// Trace batch evaluate/commit phases (null disables tracing).
+    obs::FlightRecorder* recorder = nullptr;
   };
 
   explicit AuditorIngest(Auditor& auditor);
@@ -94,6 +98,9 @@ class AuditorIngest {
     /// drained one item out of the queue before filling it.
     std::uint64_t gate_waits = 0;
   };
+  /// Point-in-time view over the pipeline's registry counters (instance
+  /// scope "core.ingest" in the Auditor's ProtocolParams::metrics
+  /// registry, or the process-wide registry when unset).
   Counters counters() const;
 
   net::BufferPool::Stats pool_stats() const { return pool_.stats(); }
@@ -122,15 +129,16 @@ class AuditorIngest {
   // Scratch reused across batches (ingest thread only).
   std::vector<PoaView> views_;
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> admitted_{0};
-  std::atomic<std::uint64_t> retry_later_{0};
-  std::atomic<std::uint64_t> duplicates_{0};
-  std::atomic<std::uint64_t> malformed_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> committed_{0};
-  std::atomic<std::uint64_t> max_batch_seen_{0};
-  std::atomic<std::uint64_t> gate_waits_{0};
+  // Registry-backed counters (the one source of truth for the pipeline).
+  obs::Counter* submitted_;
+  obs::Counter* admitted_;
+  obs::Counter* retry_later_;
+  obs::Counter* duplicates_;
+  obs::Counter* malformed_;
+  obs::Counter* batches_;
+  obs::Counter* committed_;
+  obs::Gauge* max_batch_seen_;
+  obs::Counter* gate_waits_;
 
   std::thread ingest_thread_;
 };

@@ -16,6 +16,10 @@
 #include "geo/units.h"
 #include "geo/zone.h"
 
+namespace alidrone::obs {
+class MetricsRegistry;
+}  // namespace alidrone::obs
+
 namespace alidrone::core {
 
 using DroneId = std::string;
@@ -76,6 +80,11 @@ struct ProtocolParams {
   /// retained PoAs). Affects contention only — verdicts and audit logs are
   /// byte-identical for any value. Must be >= 1.
   std::size_t auditor_shards = 8;
+  /// Registry the Auditor (and its ingestion pipeline) publishes counters
+  /// to. Null means the process-wide obs::MetricsRegistry::global().
+  /// Deterministic scenarios that compare snapshots byte-for-byte pass a
+  /// scenario-local registry here.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace alidrone::core

@@ -6,8 +6,29 @@
 #include "nmea/gga.h"
 #include "nmea/rmc.h"
 #include "nmea/vtg.h"
+#include "obs/metrics.h"
 
 namespace alidrone::gps {
+
+namespace {
+// Process-wide aggregates across every driver instance; per-instance
+// tallies live on the driver itself.
+obs::Counter& accepted_total() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("gps.driver.sentences_accepted");
+  return counter;
+}
+obs::Counter& rejected_total() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("gps.driver.sentences_rejected");
+  return counter;
+}
+obs::Counter& dropped_total() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("gps.driver.fixes_dropped");
+  return counter;
+}
+}  // namespace
 
 void GpsDriver::feed(std::string_view sentence) {
   if (const auto rmc = nmea::parse_rmc(sentence)) {
@@ -24,11 +45,18 @@ void GpsDriver::feed(std::string_view sentence) {
       const GpsFix dropped = pending_fixes_.front();
       pending_fixes_.pop_front();
       ++dropped_fixes_;
+      dropped_total().increment();
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::TraceKind::kGpsFixDropped, dropped.unix_time,
+                          dropped_fixes_, pending_fixes_.size(),
+                          "gps-overflow");
+      }
       if (drop_listener_) drop_listener_(dropped, dropped_fixes_);
     }
     pending_fixes_.push_back(fix);
     ++sequence_;
     ++accepted_;
+    accepted_total().increment();
     return;
   }
   if (const auto gga = nmea::parse_gga(sentence)) {
@@ -41,6 +69,7 @@ void GpsDriver::feed(std::string_view sentence) {
       }
     }
     ++accepted_;
+    accepted_total().increment();
     return;
   }
   if (const auto vtg = nmea::parse_vtg(sentence)) {
@@ -54,9 +83,11 @@ void GpsDriver::feed(std::string_view sentence) {
       }
     }
     ++accepted_;
+    accepted_total().increment();
     return;
   }
   ++rejected_;
+  rejected_total().increment();
 }
 
 std::vector<GpsFix> GpsDriver::take_pending(std::size_t max_fixes) {

@@ -6,6 +6,12 @@
 // exposes GetGPS() to the GPS Sampler TA. A monotonically increasing
 // sequence number lets callers detect fresh measurements (the fixed-rate
 // sampler's "wait until the first measurement update" semantics).
+//
+// Per-instance tallies stay local (tests assert them per driver); every
+// driver also feeds the process-wide aggregate counters
+// gps.driver.sentences_accepted / .sentences_rejected / .fixes_dropped in
+// the global obs::MetricsRegistry, so evidence loss shows up in metrics
+// snapshots and not only in the audit log.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "gps/fix.h"
+#include "obs/flight_recorder.h"
 
 namespace alidrone::gps {
 
@@ -56,6 +63,9 @@ class GpsDriver {
     drop_listener_ = std::move(listener);
   }
 
+  /// Trace pending-queue overflows as kGpsFixDropped events (null stops).
+  void set_trace(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   /// Sequence number of the latest fix; increments on every accepted
   /// $GPRMC. 0 means no fix yet.
   std::uint64_t sequence() const { return sequence_; }
@@ -72,6 +82,7 @@ class GpsDriver {
   std::uint64_t rejected_ = 0;
   std::uint64_t dropped_fixes_ = 0;
   DropListener drop_listener_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace alidrone::gps

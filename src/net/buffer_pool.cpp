@@ -4,21 +4,32 @@
 
 namespace alidrone::net {
 
+BufferPool::BufferPool(std::size_t max_pooled, obs::MetricsRegistry* registry)
+    : max_pooled_(max_pooled) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::global();
+  const std::string scope = reg.instance_scope("net.buffer_pool");
+  acquires_ = &reg.counter(scope + ".acquires");
+  reuses_ = &reg.counter(scope + ".reuses");
+  releases_ = &reg.counter(scope + ".releases");
+  discards_ = &reg.counter(scope + ".discards");
+}
+
 crypto::Bytes BufferPool::acquire() {
+  acquires_->increment();
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.acquires;
   if (free_.empty()) return {};
-  ++stats_.reuses;
+  reuses_->increment();
   crypto::Bytes out = std::move(free_.back());
   free_.pop_back();
   return out;
 }
 
 void BufferPool::release(crypto::Bytes&& buffer) {
+  releases_->increment();
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.releases;
   if (free_.size() >= max_pooled_) {
-    ++stats_.discards;
+    discards_->increment();
     return;  // `buffer` is freed here, bounding resident capacity.
   }
   buffer.clear();  // keeps capacity
@@ -26,8 +37,12 @@ void BufferPool::release(crypto::Bytes&& buffer) {
 }
 
 BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.acquires = acquires_->value();
+  s.reuses = reuses_->value();
+  s.releases = releases_->value();
+  s.discards = discards_->value();
   std::lock_guard<std::mutex> lock(mu_);
-  Stats s = stats_;
   s.pooled = free_.size();
   return s;
 }

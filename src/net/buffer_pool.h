@@ -6,6 +6,9 @@
 // buffers (capacity intact, contents cleared) on a bounded free list so
 // steady-state frame traffic recycles capacity instead of allocating.
 // Thread-safe: producers on many threads acquire, the pipeline releases.
+//
+// Counters live in an obs::MetricsRegistry (one instance scope per pool);
+// Stats is a point-in-time view over those registry handles.
 #pragma once
 
 #include <cstdint>
@@ -13,14 +16,18 @@
 #include <vector>
 
 #include "crypto/bytes.h"
+#include "obs/metrics.h"
 
 namespace alidrone::net {
 
 class BufferPool {
  public:
   /// At most `max_pooled` buffers are kept; extra releases are discarded
-  /// (freed), which bounds the pool's resident capacity.
-  explicit BufferPool(std::size_t max_pooled = 64) : max_pooled_(max_pooled) {}
+  /// (freed), which bounds the pool's resident capacity. Counters register
+  /// under an instance scope of "net.buffer_pool" in `registry` (the
+  /// process-wide registry when null).
+  explicit BufferPool(std::size_t max_pooled = 64,
+                      obs::MetricsRegistry* registry = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -45,7 +52,11 @@ class BufferPool {
   mutable std::mutex mu_;
   std::vector<crypto::Bytes> free_;
   std::size_t max_pooled_;
-  Stats stats_;
+  // Registry-backed counters (the one source of truth for this pool).
+  obs::Counter* acquires_;
+  obs::Counter* reuses_;
+  obs::Counter* releases_;
+  obs::Counter* discards_;
 };
 
 }  // namespace alidrone::net

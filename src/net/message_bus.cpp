@@ -25,6 +25,19 @@ std::string to_string(FaultKind kind) {
   return "?";
 }
 
+MessageBus::MessageBus(obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::global();
+  const std::string scope = reg.instance_scope("net.bus");
+  sent_ = &reg.counter(scope + ".requests_sent");
+  dropped_ = &reg.counter(scope + ".requests_dropped");
+  duplicated_ = &reg.counter(scope + ".requests_duplicated");
+  responses_lost_ = &reg.counter(scope + ".responses_lost");
+  responses_corrupted_ = &reg.counter(scope + ".responses_corrupted");
+  latency_injected_s_ = &reg.gauge(scope + ".latency_injected_s");
+  bytes_ = &reg.counter(scope + ".bytes_transferred");
+}
+
 void MessageBus::register_endpoint(const std::string& name, Handler handler) {
   endpoints_[name] = std::move(handler);
 }
@@ -46,14 +59,22 @@ void MessageBus::corrupt(crypto::Bytes& data) {
   }
 }
 
+void MessageBus::trace_fault(FaultKind kind, double now,
+                             const std::string& endpoint) {
+  if (recorder_ == nullptr) return;
+  recorder_->record(obs::TraceKind::kBusFault, now,
+                    static_cast<std::uint64_t>(kind), 0,
+                    to_string(kind) + ":" + endpoint);
+}
+
 crypto::Bytes MessageBus::request(const std::string& endpoint,
                                   const crypto::Bytes& payload) {
   const auto it = endpoints_.find(endpoint);
   if (it == endpoints_.end()) {
     throw std::out_of_range("MessageBus: unknown endpoint '" + endpoint + "'");
   }
-  ++sent_;
-  bytes_ += payload.size();
+  sent_->increment();
+  bytes_->add(payload.size());
 
   // Scripted faults first (deterministic given seed + schedule + clock);
   // request-side effects fire now, response-side effects are remembered
@@ -61,15 +82,20 @@ crypto::Bytes MessageBus::request(const std::string& endpoint,
   bool lose_response = false;
   bool corrupt_response = false;
   double latency = 0.0;
-  const double now = now_ ? now_() : 0.0;
+  const double now = bus_time();
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::TraceKind::kBusRequest, now, payload.size(), 0,
+                      endpoint);
+  }
   for (const FaultWindow& window : faults_.schedule) {
     if (!window.matches(endpoint, now)) continue;
     if (window.probability < 1.0 && rng_.uniform_double() >= window.probability) {
       continue;
     }
+    trace_fault(window.kind, now, endpoint);
     switch (window.kind) {
       case FaultKind::kOutage:
-        ++dropped_;
+        dropped_->increment();
         throw TimeoutError(endpoint);
       case FaultKind::kResponseLoss:
         lose_response = true;
@@ -85,32 +111,33 @@ crypto::Bytes MessageBus::request(const std::string& endpoint,
 
   if (faults_.drop_probability > 0.0 &&
       rng_.uniform_double() < faults_.drop_probability) {
-    ++dropped_;
+    dropped_->increment();
+    trace_fault(FaultKind::kOutage, now, endpoint);
     throw TimeoutError(endpoint);
   }
 
   crypto::Bytes response = it->second(payload);
   if (faults_.duplicate_probability > 0.0 &&
       rng_.uniform_double() < faults_.duplicate_probability) {
-    ++duplicated_;
+    duplicated_->increment();
     it->second(payload);  // the duplicate's response is lost in transit
   }
 
   if (latency > 0.0) {
-    latency_injected_s_ += latency;
-    if (latency_sink_) latency_sink_(latency);
+    latency_injected_s_->add(latency);
+    if (clock_ != nullptr) clock_->advance(latency);
   }
   if (lose_response) {
     // The handler's side effects happened — only the caller is blind to
     // them. Retries of this request MUST be deduplicated by the server.
-    ++responses_lost_;
+    responses_lost_->increment();
     throw TimeoutError(endpoint);
   }
   if (corrupt_response) {
-    ++responses_corrupted_;
+    responses_corrupted_->increment();
     corrupt(response);
   }
-  bytes_ += response.size();
+  bytes_->add(response.size());
   return response;
 }
 

@@ -8,8 +8,12 @@
 // endpoint can suffer a scheduled outage window, and all payloads cross
 // the bus as serialized bytes — no object sharing between parties,
 // exactly like a socket. Faults are seeded and, for scheduled windows,
-// driven by an external time source, so every chaos scenario replays
+// driven by the scenario's obs::Clock, so every chaos scenario replays
 // bit-for-bit from (seed, schedule).
+//
+// Observability: transport counters live in an obs::MetricsRegistry
+// (instance scope "net.bus"); with a FlightRecorder attached, every
+// request and every injected fault leaves a trace event.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,9 @@
 
 #include "crypto/bytes.h"
 #include "crypto/random.h"
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 
 namespace alidrone::net {
 
@@ -48,7 +55,7 @@ enum class FaultKind : std::uint8_t {
   kOutage,           ///< request never reaches the handler; caller times out
   kResponseLoss,     ///< handler runs, its response is lost; caller times out
   kCorruptResponse,  ///< handler runs, response bytes are flipped in transit
-  kLatency,          ///< response delayed; seconds charged to the latency sink
+  kLatency,          ///< response delayed; seconds advanced on the bus clock
 };
 
 std::string to_string(FaultKind kind);
@@ -74,6 +81,10 @@ class MessageBus {
  public:
   using Handler = std::function<crypto::Bytes(const crypto::Bytes&)>;
 
+  /// Counters register under an instance scope of "net.bus" in `registry`
+  /// (the process-wide registry when null).
+  explicit MessageBus(obs::MetricsRegistry* registry = nullptr);
+
   /// Register a named endpoint; replaces any previous handler.
   void register_endpoint(const std::string& name, Handler handler);
 
@@ -91,43 +102,48 @@ class MessageBus {
     double drop_probability = 0.0;
     double duplicate_probability = 0.0;
     std::uint64_t seed = 1;
-    /// Scripted faults, evaluated in order against the bus time source.
+    /// Scripted faults, evaluated in order against the bus clock.
     std::vector<FaultWindow> schedule;
   };
   void set_faults(const FaultConfig& config);
 
-  /// Clock the fault schedule runs on (e.g. a resilience::SimClock).
-  /// Without one, bus time is 0 and only windows covering t=0 fire.
-  void set_time_source(std::function<double()> now) { now_ = std::move(now); }
+  /// The time authority the fault schedule runs on — the scenario's
+  /// resilience::SimClock in every test and bench. Injected kLatency
+  /// seconds advance this clock directly, so the caller's backoff
+  /// deadlines and the fault windows share one timeline. Without a clock,
+  /// bus time is 0 and only windows covering t=0 fire.
+  void set_clock(obs::VirtualClock* clock) { clock_ = clock; }
 
-  /// Receives injected latency seconds (e.g. SimClock::advance), so the
-  /// caller's clock moves when a kLatency window charges a request.
-  void set_latency_sink(std::function<void(double)> sink) {
-    latency_sink_ = std::move(sink);
+  /// Trace every request and injected fault into `recorder` (null stops).
+  void set_trace(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
+  std::uint64_t requests_sent() const { return sent_->value(); }
+  std::uint64_t requests_dropped() const { return dropped_->value(); }
+  std::uint64_t requests_duplicated() const { return duplicated_->value(); }
+  std::uint64_t responses_lost() const { return responses_lost_->value(); }
+  std::uint64_t responses_corrupted() const {
+    return responses_corrupted_->value();
   }
-
-  std::uint64_t requests_sent() const { return sent_; }
-  std::uint64_t requests_dropped() const { return dropped_; }
-  std::uint64_t requests_duplicated() const { return duplicated_; }
-  std::uint64_t responses_lost() const { return responses_lost_; }
-  std::uint64_t responses_corrupted() const { return responses_corrupted_; }
-  double latency_injected_s() const { return latency_injected_s_; }
-  std::uint64_t bytes_transferred() const { return bytes_; }
+  double latency_injected_s() const { return latency_injected_s_->value(); }
+  std::uint64_t bytes_transferred() const { return bytes_->value(); }
 
  private:
   std::map<std::string, Handler> endpoints_;
   FaultConfig faults_;
   crypto::DeterministicRandom rng_{1};
-  std::function<double()> now_;
-  std::function<void(double)> latency_sink_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t duplicated_ = 0;
-  std::uint64_t responses_lost_ = 0;
-  std::uint64_t responses_corrupted_ = 0;
-  double latency_injected_s_ = 0.0;
-  std::uint64_t bytes_ = 0;
+  obs::VirtualClock* clock_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  // Registry-backed transport counters.
+  obs::Counter* sent_;
+  obs::Counter* dropped_;
+  obs::Counter* duplicated_;
+  obs::Counter* responses_lost_;
+  obs::Counter* responses_corrupted_;
+  obs::Gauge* latency_injected_s_;
+  obs::Counter* bytes_;
 
+  double bus_time() const { return clock_ != nullptr ? clock_->now() : 0.0; }
+  void trace_fault(FaultKind kind, double now, const std::string& endpoint);
   void corrupt(crypto::Bytes& data);
 };
 

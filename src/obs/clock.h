@@ -1,0 +1,37 @@
+// obs::Clock — the single time-authority interface.
+//
+// Before this layer existed the repo carried three independent notions of
+// time: resilience::SimClock, the MessageBus `set_time_source` std::function
+// hook, and the CpuAccountant's manually integrated wall seconds. Three
+// timelines drift; a fault window scheduled on one and a breaker cool-down
+// timed on another can disagree about "now" in ways no test reproduces.
+// Clock is the one interface every consumer reads; VirtualClock is the
+// driveable flavour a simulation advances. resilience::SimClock implements
+// VirtualClock, so a scenario's bus fault schedule, circuit-breaker
+// cool-downs and CPU wall-time integration all share one timeline.
+#pragma once
+
+namespace alidrone::obs {
+
+/// Read-only time authority. Implementations must be monotonic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in seconds. The epoch is the implementation's (unix time
+  /// for trace-driven clocks, 0 for simulation clocks) — consumers only
+  /// ever compare or subtract values from the same clock.
+  virtual double now() const = 0;
+};
+
+/// A clock that can be driven forward — simulated time. Consumers that
+/// inject delay (e.g. a latency fault window) advance the authority
+/// directly instead of calling back through an ad-hoc sink hook.
+class VirtualClock : public Clock {
+ public:
+  /// Advance by `seconds` (implementations ignore negative deltas — time
+  /// is monotonic). Returns the new time.
+  virtual double advance(double seconds) = 0;
+};
+
+}  // namespace alidrone::obs

@@ -1,0 +1,116 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace alidrone::obs {
+
+namespace {
+
+/// splitmix64 — the same cheap bijective mixer DeterministicRandom seeds
+/// with; good avalanche, so ids from adjacent seqs share no structure.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kWorldSwitch: return "world-switch";
+    case TraceKind::kBusRequest: return "bus-request";
+    case TraceKind::kBusFault: return "bus-fault";
+    case TraceKind::kChannelRetry: return "channel-retry";
+    case TraceKind::kBreakerTransition: return "breaker-transition";
+    case TraceKind::kIngestEvaluate: return "ingest-evaluate";
+    case TraceKind::kIngestCommit: return "ingest-commit";
+    case TraceKind::kGpsFixDropped: return "gps-fix-dropped";
+    case TraceKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_line() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "#%llu id=%016llx %-18s t=%.6f a=%llu b=%llu %s",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(id), to_string(kind), time,
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b), tag.c_str());
+  return buf;
+}
+
+FlightRecorder::FlightRecorder(std::uint64_t seed, std::size_t capacity)
+    : seed_(seed), slots_(std::max<std::size_t>(capacity, 8)) {}
+
+std::uint64_t FlightRecorder::event_id(std::uint64_t seed, std::uint64_t seq) {
+  return splitmix64(seed ^ splitmix64(seq + 1));
+}
+
+void FlightRecorder::record(TraceKind kind, double time, std::uint64_t a,
+                            std::uint64_t b, std::string_view tag) noexcept {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % slots_.size()];
+
+  slot.stamp.store(2 * seq + 1, std::memory_order_release);
+  slot.kind.store(static_cast<std::uint64_t>(kind), std::memory_order_relaxed);
+  slot.time.store(time, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  char packed[kTagBytes] = {};
+  if (!tag.empty()) {
+    std::memcpy(packed, tag.data(), std::min(tag.size(), kTagBytes - 1));
+  }
+  for (std::size_t w = 0; w < slot.tag.size(); ++w) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, packed + 8 * w, 8);
+    slot.tag[w].store(word, std::memory_order_relaxed);
+  }
+  slot.stamp.store(2 * seq + 2, std::memory_order_release);
+}
+
+std::vector<TraceEvent> FlightRecorder::events() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t start =
+      head > slots_.size() ? head - slots_.size() : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(head - start));
+  for (std::uint64_t seq = start; seq < head; ++seq) {
+    const Slot& slot = slots_[seq % slots_.size()];
+    if (slot.stamp.load(std::memory_order_acquire) != 2 * seq + 2) continue;
+
+    TraceEvent event;
+    event.seq = seq;
+    event.id = event_id(seed_, seq);
+    event.kind = static_cast<TraceKind>(
+        slot.kind.load(std::memory_order_relaxed));
+    event.time = slot.time.load(std::memory_order_relaxed);
+    event.a = slot.a.load(std::memory_order_relaxed);
+    event.b = slot.b.load(std::memory_order_relaxed);
+    char packed[kTagBytes];
+    for (std::size_t w = 0; w < slot.tag.size(); ++w) {
+      const std::uint64_t word = slot.tag[w].load(std::memory_order_relaxed);
+      std::memcpy(packed + 8 * w, &word, 8);
+    }
+    packed[kTagBytes - 1] = '\0';
+
+    // Re-check: a writer may have lapped us mid-read; drop the torn slot.
+    if (slot.stamp.load(std::memory_order_acquire) != 2 * seq + 2) continue;
+    event.tag = packed;
+    out.push_back(std::move(event));
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out) const {
+  const std::vector<TraceEvent> all = events();
+  out << "=== FlightRecorder dump: seed=" << seed_ << " recorded="
+      << recorded() << " shown=" << all.size() << " ===\n";
+  for (const TraceEvent& event : all) out << event.to_line() << "\n";
+}
+
+}  // namespace alidrone::obs

@@ -1,0 +1,109 @@
+// obs::FlightRecorder — a bounded, lock-free ring of structured trace
+// events: the system's black box.
+//
+// When a chaos or scale run fails, a verdict mismatch alone says nothing
+// about *why* — the causal story lives in the sequence of world switches,
+// bus faults, retries, breaker transitions and ingest batches that led up
+// to it. Components record those moments here (a handful of relaxed
+// atomic stores each; recording is safe from any thread and never
+// allocates), and a failing test dumps the ring so the mismatch arrives
+// with its trace.
+//
+// Event ids are derived deterministically from the recorder's seed and the
+// event's sequence number, so two replays of the same seeded scenario
+// produce byte-identical event streams — ids can be diffed across runs,
+// and a divergence pinpoints the first event where two replays split.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alidrone::obs {
+
+enum class TraceKind : std::uint8_t {
+  kWorldSwitch = 1,    ///< SMC pair; a = total switches, b = cost charge (ns)
+  kBusRequest,         ///< bus request issued; tag = endpoint
+  kBusFault,           ///< injected fault fired; tag = fault kind
+  kChannelRetry,       ///< ReliableChannel re-attempt; tag = endpoint
+  kBreakerTransition,  ///< breaker state change; tag = "closed->open" etc.
+  kIngestEvaluate,     ///< ingest batch entering evaluation; a = batch size
+  kIngestCommit,       ///< ingest batch committed; a = batch size
+  kGpsFixDropped,      ///< pending-queue overflow; a = total dropped
+  kCustom,             ///< free-form (tests, tools)
+};
+
+const char* to_string(TraceKind kind);
+
+/// One committed trace event, decoded out of the ring.
+struct TraceEvent {
+  std::uint64_t seq = 0;   ///< global record order (0-based)
+  std::uint64_t id = 0;    ///< deterministic: f(recorder seed, seq)
+  TraceKind kind = TraceKind::kCustom;
+  double time = 0.0;       ///< producer's clock (scenario time where known)
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string tag;         ///< short label, truncated to kTagBytes - 1
+
+  std::string to_line() const;
+};
+
+class FlightRecorder {
+ public:
+  /// Longest tag preserved per event (remainder is truncated, not dropped).
+  static constexpr std::size_t kTagBytes = 24;
+
+  /// `seed` should be the scenario seed: it keys the deterministic event
+  /// ids. `capacity` bounds memory; older events are overwritten.
+  explicit FlightRecorder(std::uint64_t seed, std::size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Lock-free and wait-free apart from the stripe of atomic stores; safe
+  /// from any thread, never allocates, never throws.
+  void record(TraceKind kind, double time, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::string_view tag = {}) noexcept;
+
+  /// The committed events still in the ring, oldest first. Events being
+  /// overwritten concurrently are skipped, never returned torn.
+  std::vector<TraceEvent> events() const;
+
+  /// Human-readable dump (one event per line) — what a failing chaos or
+  /// scale test prints.
+  void dump(std::ostream& out) const;
+
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t seed() const { return seed_; }
+
+  /// The id function, exposed so tests can predict the stream.
+  static std::uint64_t event_id(std::uint64_t seed, std::uint64_t seq);
+
+ private:
+  // Seqlock-per-slot, all-atomic payload: stamp goes 2*seq+1 (writing) ->
+  // 2*seq+2 (committed); readers accept a slot only when the stamp reads
+  // committed-for-that-seq both before and after the payload loads. Every
+  // field is an atomic so concurrent overwrite is a benign data-free race
+  // (a torn slot fails the stamp re-check and is skipped).
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};
+    std::atomic<std::uint64_t> kind{0};
+    std::atomic<double> time{0.0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::array<std::atomic<std::uint64_t>, kTagBytes / 8> tag{};
+  };
+
+  std::uint64_t seed_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace alidrone::obs

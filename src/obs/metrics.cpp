@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace alidrone::obs {
+
+namespace detail {
+
+std::size_t thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterStripes;
+  return index;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Shortest round-trip decimal for a double — deterministic bytes for
+/// deterministic values, readable for humans.
+std::string format_double(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, end) : std::string("0");
+}
+
+std::string format_value(const MetricRecord& record) {
+  if (record.integral) {
+    return std::to_string(static_cast<std::uint64_t>(record.value));
+  }
+  return format_double(record.value);
+}
+
+char sanitize_char(char c) {
+  const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+  return ok ? c : '_';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    bounds_ = {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0};
+  }
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ = std::vector<detail::PaddedAtomicU64>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].v.fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string MetricsRegistry::instance_scope(const std::string& prefix) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = instance_counts_[prefix]++;
+  return prefix + "#" + std::to_string(n);
+}
+
+std::vector<MetricRecord> MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRecord> records;
+  records.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    records.push_back(
+        {name, "counter", static_cast<double>(counter->value()), true});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    records.push_back({name, "gauge", gauge->value(), false});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram->bounds().size(); ++i) {
+      cumulative += histogram->bucket(i);
+      records.push_back({name + ".le_" + format_double(histogram->bounds()[i]),
+                         "histogram", static_cast<double>(cumulative), true});
+    }
+    cumulative += histogram->bucket(histogram->bounds().size());
+    records.push_back({name + ".le_inf", "histogram",
+                       static_cast<double>(cumulative), true});
+    records.push_back({name + ".sum", "histogram", histogram->sum(), false});
+    records.push_back({name + ".count", "histogram",
+                       static_cast<double>(histogram->count()), true});
+  }
+  std::sort(records.begin(), records.end(),
+            [](const MetricRecord& a, const MetricRecord& b) {
+              return a.name < b.name;
+            });
+  return records;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "[";
+  bool first = true;
+  for (const MetricRecord& record : snapshot()) {
+    out << (first ? "\n" : ",\n") << "  {\"name\": \"" << record.name
+        << "\", \"type\": \"" << record.type << "\", \"value\": "
+        << format_value(record) << "}";
+    first = false;
+  }
+  out << "\n]\n";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  for (const MetricRecord& record : snapshot()) {
+    std::string name = record.name;
+    std::transform(name.begin(), name.end(), name.begin(), sanitize_char);
+    out << "# TYPE " << name << " " << record.type << "\n"
+        << name << " " << format_value(record) << "\n";
+  }
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream out;
+  write_prometheus(out);
+  return out.str();
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace alidrone::obs

@@ -1,0 +1,174 @@
+// obs::MetricsRegistry — one process-wide home for every counter, gauge
+// and histogram in the system.
+//
+// AliDrone is judged by what its counters say: Table II is a cost-charge
+// readout, Fig. 6/8 are sampling-counter curves, and the chaos/scale
+// harnesses prove exactly-once delivery by comparing counter totals. This
+// registry replaces the six per-subsystem `Stats` structs that grew up
+// around those proofs with named handles in one table: components obtain
+// their handles once at construction and bump them on the hot path with
+// relaxed, cache-line-padded, per-thread-striped atomics; the pre-existing
+// `Stats` accessors survive as thin views that read the same handles, so
+// there is exactly one source of truth.
+//
+// snapshot() produces stable-ordered records (lexicographic by metric
+// name), and the JSON / Prometheus-text exports are deterministic byte
+// streams for deterministic runs — which is what lets the scale tests
+// assert byte-identical snapshots across thread counts.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alidrone::obs {
+
+/// Stripes per counter. Eight 64-byte lines absorb the write contention of
+/// the ingest pipeline's producer threads; value() sums them.
+inline constexpr std::size_t kCounterStripes = 8;
+
+namespace detail {
+/// One cache line per stripe so two threads bumping the same counter never
+/// ping-pong a line between cores.
+struct alignas(64) PaddedAtomicU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Stable per-thread stripe index (round-robin over thread creation).
+std::size_t thread_stripe() noexcept;
+}  // namespace detail
+
+/// Monotonically increasing event count. All operations are relaxed: the
+/// hot path pays one uncontended atomic add, never a fence or a lock.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    stripes_[detail::thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& stripe : stripes_) {
+      total += stripe.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedAtomicU64, kCounterStripes> stripes_;
+};
+
+/// A settable/accumulating double (busy seconds, injected latency, ...).
+/// Single atomic cell: gauges are written from one thread or rarely.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Raise to `v` if larger (high-water marks like max_batch_seen).
+  void set_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bound bucket histogram (cumulative on export, Prometheus-style).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  /// Events in bucket i (v <= bounds()[i]; the last bucket is +inf).
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].v.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper edges; implicit +inf last
+  std::vector<detail::PaddedAtomicU64> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One named metric flattened for export. Histograms expand into one
+/// record per cumulative bucket plus `.sum` and `.count`.
+struct MetricRecord {
+  std::string name;
+  const char* type;  ///< "counter" | "gauge" | "histogram"
+  double value = 0.0;
+  bool integral = false;  ///< print without a decimal point
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Look up or create. Handles are stable for the registry's lifetime —
+  /// components cache the reference and never touch the lock again. Two
+  /// callers asking for the same name share one metric.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first creation (ascending upper edges;
+  /// empty picks a generic latency-ish default).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  /// Per-instance naming: "net.buffer_pool" -> "net.buffer_pool#0",
+  /// "net.buffer_pool#1", ... in construction order, so a deterministic
+  /// scenario names its instances deterministically and snapshots compare
+  /// byte-for-byte across runs.
+  std::string instance_scope(const std::string& prefix);
+
+  /// All metrics, lexicographically ordered by name (stable across runs
+  /// and thread counts for deterministic workloads).
+  std::vector<MetricRecord> snapshot() const;
+
+  /// `[{"name": ..., "type": ..., "value": ...}, ...]` — counters and
+  /// histogram buckets print as integers so deterministic runs export
+  /// deterministic bytes.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+  /// Prometheus text exposition (names sanitized to [a-zA-Z0-9_:]).
+  void write_prometheus(std::ostream& out) const;
+  std::string to_prometheus() const;
+
+  std::size_t metric_count() const;
+
+  /// The process-wide registry — the default home for every component
+  /// that is not handed an explicit one.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;  // registration + snapshot only; never hot
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::size_t> instance_counts_;
+};
+
+}  // namespace alidrone::obs

@@ -1,9 +1,26 @@
 #include "resilience/circuit_breaker.h"
 
+#include <utility>
+
 namespace alidrone::resilience {
 
+void CircuitBreaker::bind_trace(obs::FlightRecorder* recorder,
+                                std::string label) {
+  recorder_ = recorder;
+  trace_label_ = std::move(label);
+}
+
+void CircuitBreaker::transition(State next, double now) {
+  if (recorder_ != nullptr && next != state_) {
+    recorder_->record(obs::TraceKind::kBreakerTransition, now,
+                      static_cast<std::uint64_t>(state_),
+                      static_cast<std::uint64_t>(next), trace_label_);
+  }
+  state_ = next;
+}
+
 void CircuitBreaker::trip(double now) {
-  state_ = State::kOpen;
+  transition(State::kOpen, now);
   opened_at_ = now;
   consecutive_failures_ = 0;
   half_open_successes_ = 0;
@@ -16,7 +33,7 @@ bool CircuitBreaker::allow(double now) {
       ++rejections_;
       return false;
     }
-    state_ = State::kHalfOpen;
+    transition(State::kHalfOpen, now);
     half_open_successes_ = 0;
   }
   return true;
@@ -25,7 +42,7 @@ bool CircuitBreaker::allow(double now) {
 void CircuitBreaker::on_success() {
   if (state_ == State::kHalfOpen) {
     if (++half_open_successes_ >= config_.close_after_successes) {
-      state_ = State::kClosed;
+      transition(State::kClosed, clock_now());
       consecutive_failures_ = 0;
     }
     return;

@@ -5,12 +5,17 @@
 // the closed state; at the trip threshold it opens and fails fast for a
 // cool-down period, then lets a limited number of probes through
 // (half-open). Probe successes close it again; a probe failure re-opens
-// it with a fresh cool-down. All transitions are driven by the caller's
-// clock, so behaviour is deterministic under SimClock.
+// it with a fresh cool-down. Transitions are driven either by explicit
+// `now` arguments or by a bound obs::Clock — under SimClock both are
+// deterministic. With a FlightRecorder bound, every state transition
+// leaves a kBreakerTransition trace event.
 #pragma once
 
 #include <cstdint>
 #include <string>
+
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
 
 namespace alidrone::resilience {
 
@@ -30,12 +35,24 @@ class CircuitBreaker {
   CircuitBreaker() : CircuitBreaker(Config{}) {}
   explicit CircuitBreaker(Config config) : config_(config) {}
 
+  /// Bind the time authority so the argument-less allow()/on_failure()
+  /// overloads read "now" from the scenario clock instead of requiring
+  /// every caller to thread it through.
+  void bind_clock(const obs::Clock* clock) { clock_ = clock; }
+
+  /// Trace state transitions into `recorder`, labelled `label` (usually
+  /// the endpoint name). Null stops tracing.
+  void bind_trace(obs::FlightRecorder* recorder, std::string label);
+
   /// May a request be sent at time `now`? Transitions open -> half-open
   /// once the cool-down has elapsed. Returns false while open (fail fast).
   bool allow(double now);
+  /// Same, reading "now" from the bound clock (0 when unbound).
+  bool allow() { return allow(clock_now()); }
 
   void on_success();
   void on_failure(double now);
+  void on_failure() { on_failure(clock_now()); }
 
   State state() const { return state_; }
   /// Times the breaker transitioned closed/half-open -> open.
@@ -53,7 +70,12 @@ class CircuitBreaker {
   double opened_at_ = 0.0;
   std::uint64_t trips_ = 0;
   std::uint64_t rejections_ = 0;
+  const obs::Clock* clock_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::string trace_label_;
 
+  double clock_now() const { return clock_ != nullptr ? clock_->now() : 0.0; }
+  void transition(State next, double now);
   void trip(double now);
 };
 

@@ -12,8 +12,19 @@ ReliableChannel::ReliableChannel(net::MessageBus& bus, SimClock& clock)
 ReliableChannel::ReliableChannel(net::MessageBus& bus, SimClock& clock,
                                  Config config)
     : bus_(bus), clock_(clock), config_(config), jitter_rng_(config.seed) {
-  bus_.set_time_source([this] { return clock_.now(); });
-  bus_.set_latency_sink([this](double seconds) { clock_.advance(seconds); });
+  bus_.set_clock(&clock_);
+  if (config_.trace != nullptr) bus_.set_trace(config_.trace);
+  obs::MetricsRegistry& reg = config_.metrics != nullptr
+                                  ? *config_.metrics
+                                  : obs::MetricsRegistry::global();
+  const std::string scope = reg.instance_scope("resilience.channel");
+  requests_ = &reg.counter(scope + ".requests");
+  attempts_ = &reg.counter(scope + ".attempts");
+  retries_ = &reg.counter(scope + ".retries");
+  successes_ = &reg.counter(scope + ".successes");
+  failures_ = &reg.counter(scope + ".failures");
+  breaker_fast_fails_ = &reg.counter(scope + ".breaker_fast_fails");
+  retry_later_replies_ = &reg.counter(scope + ".retry_later_replies");
 }
 
 crypto::Bytes ReliableChannel::request_id(const std::string& endpoint,
@@ -38,31 +49,51 @@ std::uint64_t ReliableChannel::breaker_trips() const {
   return trips;
 }
 
+ReliableChannel::Counters ReliableChannel::counters() const {
+  Counters c;
+  c.requests = requests_->value();
+  c.attempts = attempts_->value();
+  c.retries = retries_->value();
+  c.successes = successes_->value();
+  c.failures = failures_->value();
+  c.breaker_fast_fails = breaker_fast_fails_->value();
+  c.retry_later_replies = retry_later_replies_->value();
+  return c;
+}
+
 ReliableChannel::Outcome ReliableChannel::request(const std::string& endpoint,
                                                   const crypto::Bytes& payload) {
-  ++counters_.requests;
+  requests_->increment();
   Outcome outcome;
   auto breaker_it = breakers_.find(endpoint);
   if (breaker_it == breakers_.end()) {
     breaker_it = breakers_.emplace(endpoint, CircuitBreaker(config_.breaker)).first;
+    breaker_it->second.bind_clock(&clock_);
+    breaker_it->second.bind_trace(config_.trace, endpoint);
   }
   CircuitBreaker& breaker = breaker_it->second;
 
   const double start = clock_.now();
   const RetryPolicy& retry = config_.retry;
   for (std::uint32_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
-    if (!breaker.allow(clock_.now())) {
+    if (!breaker.allow()) {
       // Fail fast: the endpoint is known-dead until the cool-down ends.
       // Store-and-forward callers simply drain again later.
-      ++counters_.breaker_fast_fails;
-      ++counters_.failures;
+      breaker_fast_fails_->increment();
+      failures_->increment();
       outcome.circuit_open = true;
       outcome.error = "circuit open for '" + endpoint + "'";
       return outcome;
     }
 
-    ++counters_.attempts;
-    if (attempt > 1) ++counters_.retries;
+    attempts_->increment();
+    if (attempt > 1) {
+      retries_->increment();
+      if (config_.trace != nullptr) {
+        config_.trace->record(obs::TraceKind::kChannelRetry, clock_.now(),
+                              attempt, 0, endpoint);
+      }
+    }
     ++outcome.attempts;
     try {
       outcome.response = bus_.request(endpoint, payload);
@@ -70,23 +101,23 @@ ReliableChannel::Outcome ReliableChannel::request(const std::string& endpoint,
         // Explicit backpressure: the server is alive but at capacity, so
         // the reply counts for the breaker (no trip) while the logical
         // request backs off and retries like any transient fault.
-        ++counters_.retry_later_replies;
+        retry_later_replies_->increment();
         breaker.on_success();
         outcome.response.clear();
         outcome.error = "'" + endpoint + "' is busy (retry later)";
       } else {
         breaker.on_success();
-        ++counters_.successes;
+        successes_->increment();
         outcome.ok = true;
         return outcome;
       }
     } catch (const net::TimeoutError&) {
-      breaker.on_failure(clock_.now());
+      breaker.on_failure();
       outcome.error = "request to '" + endpoint + "' timed out";
     } catch (const std::out_of_range& e) {
       // Unknown endpoint: a wiring bug, not a transient fault — do not
       // retry and do not charge the breaker.
-      ++counters_.failures;
+      failures_->increment();
       outcome.error = e.what();
       return outcome;
     }
@@ -100,7 +131,7 @@ ReliableChannel::Outcome ReliableChannel::request(const std::string& endpoint,
     }
     clock_.advance(backoff);  // the backoff sleep, on simulated time
   }
-  ++counters_.failures;
+  failures_->increment();
   return outcome;
 }
 

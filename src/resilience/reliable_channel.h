@@ -12,7 +12,8 @@
 //
 // With no faults injected the channel is a strict pass-through: exactly
 // one bus attempt per logical request and zero clock advances — the
-// counters prove it.
+// counters prove it. Counters live in an obs::MetricsRegistry (instance
+// scope "resilience.channel"); Counters is a point-in-time view.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +23,8 @@
 #include "crypto/bytes.h"
 #include "crypto/random.h"
 #include "net/message_bus.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "resilience/circuit_breaker.h"
 #include "resilience/retry_policy.h"
 #include "resilience/sim_clock.h"
@@ -34,6 +37,10 @@ class ReliableChannel {
     RetryPolicy retry;
     CircuitBreaker::Config breaker;
     std::uint64_t seed = 1;  ///< drives backoff jitter
+    /// Registry for the channel's counters (process-wide when null).
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Trace retries and breaker transitions (also handed to the bus).
+    obs::FlightRecorder* trace = nullptr;
   };
 
   /// Result of one logical request.
@@ -59,8 +66,9 @@ class ReliableChannel {
   };
 
   /// The bus and clock are borrowed and must outlive the channel. The
-  /// channel wires itself in as the bus's time source so fault-schedule
-  /// windows and breaker cool-downs share one timeline.
+  /// channel wires the clock in as the bus's time authority so
+  /// fault-schedule windows, injected latency and breaker cool-downs
+  /// share one timeline.
   ReliableChannel(net::MessageBus& bus, SimClock& clock);
   ReliableChannel(net::MessageBus& bus, SimClock& clock, Config config);
 
@@ -75,7 +83,8 @@ class ReliableChannel {
   static crypto::Bytes request_id(const std::string& endpoint,
                                   const crypto::Bytes& payload);
 
-  const Counters& counters() const { return counters_; }
+  /// Point-in-time snapshot of the channel's registry counters.
+  Counters counters() const;
   /// Sum of trips across all per-endpoint breakers.
   std::uint64_t breaker_trips() const;
   /// Breaker for an endpoint; nullptr before its first request.
@@ -91,7 +100,14 @@ class ReliableChannel {
   Config config_;
   crypto::DeterministicRandom jitter_rng_;
   std::map<std::string, CircuitBreaker> breakers_;
-  Counters counters_;
+  // Registry-backed counters (the one source of truth for this channel).
+  obs::Counter* requests_;
+  obs::Counter* attempts_;
+  obs::Counter* retries_;
+  obs::Counter* successes_;
+  obs::Counter* failures_;
+  obs::Counter* breaker_fast_fails_;
+  obs::Counter* retry_later_replies_;
 };
 
 }  // namespace alidrone::resilience

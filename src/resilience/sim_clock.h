@@ -2,27 +2,30 @@
 //
 // Retries, backoff sleeps, circuit-breaker cool-downs and fault-schedule
 // windows all need a notion of "now" — but wall clocks make tests flaky
-// and chaos runs irreproducible. SimClock is the single time authority a
-// scenario shares between the ReliableChannel (which "sleeps" by
-// advancing it) and the MessageBus fault schedule (which reads it through
-// a time source hook): the same seed and schedule always replay the same
-// interleaving of outages, backoffs and recoveries.
+// and chaos runs irreproducible. SimClock is the concrete
+// obs::VirtualClock a scenario shares between the ReliableChannel (which
+// "sleeps" by advancing it), the MessageBus fault schedule (which reads
+// and advances it through obs::VirtualClock), and the CpuAccountant's
+// wall-time integration: the same seed and schedule always replay the
+// same interleaving of outages, backoffs and recoveries.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/clock.h"
+
 namespace alidrone::resilience {
 
-class SimClock {
+class SimClock final : public obs::VirtualClock {
  public:
   explicit SimClock(double start_time = 0.0) : now_(start_time) {}
 
-  double now() const { return now_; }
+  double now() const override { return now_; }
 
   /// Advance by `seconds` (negative deltas are ignored — time is
   /// monotonic). Returns the new time.
-  double advance(double seconds) {
+  double advance(double seconds) override {
     now_ += std::max(seconds, 0.0);
     ++advances_;
     return now_;

@@ -16,6 +16,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace alidrone::resource {
 
@@ -59,20 +63,56 @@ struct CostProfile {
 /// Integrates busy time against wall-clock time, like `top` averaged over
 /// a run. The Pi has four cores and AliDrone is single-threaded, so the
 /// "system utilization" the paper reports is busy/(wall*4), range [0, 25%].
+///
+/// Both integrals live in an obs::MetricsRegistry (instance scope
+/// "resource.cpu") so every cost charge is visible in a metrics snapshot.
+/// Wall time advances either manually (the flight loop owns its timeline)
+/// or from a bound obs::Clock via sync_wall() — the same SimClock the
+/// resilience layer runs on, so busy/wall ratios and fault windows share
+/// one time authority.
 class CpuAccountant {
  public:
-  explicit CpuAccountant(int cores = 4) : cores_(cores) {}
+  explicit CpuAccountant(int cores = 4,
+                         obs::MetricsRegistry* registry = nullptr)
+      : cores_(cores) {
+    obs::MetricsRegistry& reg =
+        registry != nullptr ? *registry : obs::MetricsRegistry::global();
+    const std::string scope = reg.instance_scope("resource.cpu");
+    busy_ = &reg.gauge(scope + ".busy_seconds");
+    wall_ = &reg.gauge(scope + ".wall_seconds");
+  }
 
-  void charge(double busy_seconds) { busy_ += busy_seconds; }
-  void charge(Op op, const CostProfile& profile) { busy_ += profile.cost(op); }
-  void advance_wall(double seconds) { wall_ += seconds; }
+  void charge(double busy_seconds) { busy_->add(busy_seconds); }
+  void charge(Op op, const CostProfile& profile) { busy_->add(profile.cost(op)); }
+  void advance_wall(double seconds) { wall_->add(seconds); }
 
-  double busy_seconds() const { return busy_; }
-  double wall_seconds() const { return wall_; }
+  /// Bind the scenario's time authority; sync_wall() then integrates wall
+  /// time from it. Elapsed time starts counting at the bind.
+  void bind_clock(const obs::Clock* clock) {
+    clock_ = clock;
+    last_sync_ = clock != nullptr ? clock->now() : 0.0;
+  }
+
+  /// Advance wall time by however far the bound clock moved since the
+  /// last sync (no-op when unbound). Composes with manual advance_wall.
+  void sync_wall() {
+    if (clock_ == nullptr) return;
+    const double now = clock_->now();
+    if (now > last_sync_) {
+      wall_->add(now - last_sync_);
+      last_sync_ = now;
+    }
+  }
+
+  double busy_seconds() const { return busy_->value(); }
+  double wall_seconds() const { return wall_->value(); }
   int cores() const { return cores_; }
 
   /// Fraction of ONE core that was busy, in [0, 1] when sustainable.
-  double core_utilization() const { return wall_ > 0.0 ? busy_ / wall_ : 0.0; }
+  double core_utilization() const {
+    const double wall = wall_->value();
+    return wall > 0.0 ? busy_->value() / wall : 0.0;
+  }
 
   /// Percentage of the whole CPU (all cores), as `top` reports system-wide:
   /// [0, 100/cores] for a single-threaded process.
@@ -83,14 +123,20 @@ class CpuAccountant {
   /// A single-threaded sampler cannot spend more than one core-second per
   /// second: demanded busy time above wall time means the configured
   /// sampling rate is not sustainable (Table II's "-" entries).
-  bool sustainable() const { return busy_ <= wall_ + 1e-9; }
+  bool sustainable() const { return busy_->value() <= wall_->value() + 1e-9; }
 
-  void reset() { busy_ = wall_ = 0.0; }
+  void reset() {
+    busy_->set(0.0);
+    wall_->set(0.0);
+    if (clock_ != nullptr) last_sync_ = clock_->now();
+  }
 
  private:
   int cores_;
-  double busy_ = 0.0;
-  double wall_ = 0.0;
+  obs::Gauge* busy_;
+  obs::Gauge* wall_;
+  const obs::Clock* clock_ = nullptr;
+  double last_sync_ = 0.0;
 };
 
 /// Kaup et al. power model for the Raspberry Pi (paper eq. 4).

@@ -19,13 +19,17 @@
 #include <span>
 
 #include "crypto/rsa.h"
+#include "obs/metrics.h"
 
 namespace alidrone::tee {
 
 class KeyVault {
  public:
-  /// "Manufacturing": generate the device keypair inside the vault.
-  static KeyVault manufacture(std::size_t key_bits, crypto::RandomSource& rng);
+  /// "Manufacturing": generate the device keypair inside the vault. Plan
+  /// counters register under an instance scope of "tee.key_vault" in
+  /// `registry` (the process-wide registry when null).
+  static KeyVault manufacture(std::size_t key_bits, crypto::RandomSource& rng,
+                              obs::MetricsRegistry* registry = nullptr);
 
   /// T+ — safe to export.
   const crypto::RsaPublicKey& verification_key() const { return pub_; }
@@ -51,7 +55,8 @@ class KeyVault {
                           crypto::HashAlgorithm hash,
                           crypto::RandomSource& rng) const;
 
-  /// Plan introspection for tests/benches (snapshot under the plan lock).
+  /// Plan introspection for tests/benches — a point-in-time view over the
+  /// vault's registry counters (sign_fast publishes plan deltas there).
   struct PlanStats {
     std::uint64_t private_ops = 0;
     std::uint64_t blinding_refreshes = 0;
@@ -69,7 +74,7 @@ class KeyVault {
   KeyVault& operator=(KeyVault&&) = default;
 
  private:
-  explicit KeyVault(crypto::RsaKeyPair kp);
+  KeyVault(crypto::RsaKeyPair kp, obs::MetricsRegistry* registry);
 
   crypto::RsaPrivateKey priv_;
   crypto::RsaPublicKey pub_;
@@ -77,6 +82,10 @@ class KeyVault {
   // other sign entry points) guards it; unique_ptrs keep the vault movable.
   mutable std::unique_ptr<std::mutex> plan_mu_;
   mutable std::unique_ptr<crypto::RsaSigningPlan> plan_;
+  // Registry-backed plan counters (what plan_stats() reads).
+  obs::Counter* private_ops_;
+  obs::Counter* blinding_refreshes_;
+  obs::Counter* crt_fault_fallbacks_;
 };
 
 }  // namespace alidrone::tee

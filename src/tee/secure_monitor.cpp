@@ -24,11 +24,30 @@ TrustedApp* SecureWorld::find_ta(const Uuid& uuid) {
   return it == tas_.end() ? nullptr : it->second.get();
 }
 
+SecureMonitor::SecureMonitor(SecureWorld& world, obs::MetricsRegistry* registry)
+    : world_(world) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::global();
+  const std::string scope = reg.instance_scope("tee.monitor");
+  switches_ = &reg.counter(scope + ".world_switches");
+  invocations_ = &reg.counter(scope + ".invocations");
+  injected_busy_ = &reg.counter(scope + ".busy_faults_injected");
+}
+
 void SecureMonitor::charge_switch_pair() {
-  switches_ += 2;  // SMC entry + return
+  switches_->add(2);  // SMC entry + return
+  double pair_cost = 0.0;
   if (cpu_ != nullptr) {
     cpu_->charge(resource::Op::kWorldSwitch, cost_profile_);
     cpu_->charge(resource::Op::kWorldSwitch, cost_profile_);
+    pair_cost = 2.0 * cost_profile_.world_switch;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::TraceKind::kWorldSwitch,
+                      clock_ != nullptr ? clock_->now() : 0.0,
+                      /*a=*/2,
+                      /*b=*/static_cast<std::uint64_t>(pair_cost * 1e9),
+                      "smc-pair");
   }
 }
 
@@ -40,13 +59,13 @@ void SecureMonitor::set_faults(const FaultConfig& config) {
 bool SecureMonitor::inject_busy() {
   if (faults_.busy_probability <= 0.0) return false;
   if (fault_rng_.uniform_double() >= faults_.busy_probability) return false;
-  ++injected_busy_;
+  injected_busy_->increment();
   return true;
 }
 
 InvokeResult SecureMonitor::invoke(const Uuid& uuid, std::uint32_t command,
                                    std::span<const crypto::Bytes> params) {
-  ++invocations_;
+  invocations_->increment();
   charge_switch_pair();  // a refused SMC still crossed the boundary twice
   if (inject_busy()) return {TeeStatus::kBusy, {}};
   return world_.dispatch(uuid, kDefaultSession, command, params);
@@ -66,7 +85,7 @@ InvokeResult SecureMonitor::invoke(SessionId session, std::uint32_t command,
                                    std::span<const crypto::Bytes> params) {
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) return {TeeStatus::kAccessDenied, {}};
-  ++invocations_;
+  invocations_->increment();
   charge_switch_pair();
   if (inject_busy()) return {TeeStatus::kBusy, {}};
   return world_.dispatch(it->second, session, command, params);
@@ -91,12 +110,16 @@ namespace {
 std::unique_ptr<SecureWorld> make_world(const DroneTee::Config& config) {
   crypto::DeterministicRandom manufacturing_rng(config.manufacturing_seed);
   return std::make_unique<SecureWorld>(
-      KeyVault::manufacture(config.key_bits, manufacturing_rng));
+      KeyVault::manufacture(config.key_bits, manufacturing_rng, config.metrics));
 }
 }  // namespace
 
 DroneTee::DroneTee(Config config)
-    : world_(make_world(config)), monitor_(*world_) {
+    : world_(make_world(config)), monitor_(*world_, config.metrics) {
+  if (config.recorder != nullptr) {
+    monitor_.set_trace(config.recorder);
+    world_->gps_driver().set_trace(config.recorder);
+  }
   GpsSamplerTA::Config sampler_config;
   sampler_config.hash = config.hash;
   sampler_config.enable_plausibility_check = config.enable_plausibility_check;

@@ -18,6 +18,9 @@
 
 #include "crypto/random.h"
 #include "gps/driver.h"
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "resource/cost_model.h"
 #include "tee/gps_sampler_ta.h"
 #include "tee/key_vault.h"
@@ -53,10 +56,13 @@ class SecureWorld {
   std::map<Uuid, std::unique_ptr<TrustedApp>> tas_;
 };
 
-/// The normal world's only path into the secure world.
+/// The normal world's only path into the secure world. Counters register
+/// under an instance scope of "tee.monitor" in `registry` (the
+/// process-wide registry when null).
 class SecureMonitor {
  public:
-  explicit SecureMonitor(SecureWorld& world) : world_(world) {}
+  explicit SecureMonitor(SecureWorld& world,
+                         obs::MetricsRegistry* registry = nullptr);
 
   /// One SMC round trip on the default session: normal -> secure -> normal.
   InvokeResult invoke(const Uuid& uuid, std::uint32_t command,
@@ -73,8 +79,8 @@ class SecureMonitor {
   bool close_session(SessionId session);
   std::size_t open_session_count() const { return sessions_.size(); }
 
-  std::uint64_t world_switches() const { return switches_; }
-  std::uint64_t invocations() const { return invocations_; }
+  std::uint64_t world_switches() const { return switches_->value(); }
+  std::uint64_t invocations() const { return invocations_->value(); }
 
   /// Transient world-switch fault injection: with probability
   /// `busy_probability`, an invocation burns its switch pair but returns
@@ -86,18 +92,25 @@ class SecureMonitor {
     std::uint64_t seed = 1;
   };
   void set_faults(const FaultConfig& config);
-  std::uint64_t injected_busy_faults() const { return injected_busy_; }
+  std::uint64_t injected_busy_faults() const { return injected_busy_->value(); }
 
   /// Charge each world switch to a CPU accountant (may be null to stop).
   void set_cost_meter(resource::CpuAccountant* cpu, resource::CostProfile profile);
 
+  /// Trace each SMC switch pair (with its cost charge) as a kWorldSwitch
+  /// event (null stops tracing).
+  void set_trace(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+  /// Time authority stamped onto trace events (0 when unbound).
+  void bind_clock(const obs::Clock* clock) { clock_ = clock; }
+
  private:
   SecureWorld& world_;
-  std::uint64_t switches_ = 0;
-  std::uint64_t invocations_ = 0;
   FaultConfig faults_;
   crypto::DeterministicRandom fault_rng_{1};
-  std::uint64_t injected_busy_ = 0;
+  // Registry-backed counters.
+  obs::Counter* switches_;
+  obs::Counter* invocations_;
+  obs::Counter* injected_busy_;
 
   /// True when this invocation should fail transiently.
   bool inject_busy();
@@ -105,6 +118,8 @@ class SecureMonitor {
   std::map<SessionId, Uuid> sessions_;
   resource::CpuAccountant* cpu_ = nullptr;
   resource::CostProfile cost_profile_{};
+  obs::FlightRecorder* recorder_ = nullptr;
+  const obs::Clock* clock_ = nullptr;
 
   void charge_switch_pair();
 };
@@ -117,6 +132,11 @@ struct DroneTeeConfig {
   std::string manufacturing_seed = "alidrone-device-0001";
   /// Section VII-A2: secure-world GPS plausibility checks.
   bool enable_plausibility_check = false;
+  /// Registry for the vault's and monitor's counters (process-wide when
+  /// null).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Trace world switches and GPS fix drops (null disables tracing).
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// A fully wired AliDrone client TEE.

@@ -14,6 +14,7 @@
 //      bus requests, no backoff sleeps, no breaker activity).
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "core/drone_client.h"
 #include "core/zone_owner.h"
 #include "geo/units.h"
+#include "obs/flight_recorder.h"
 #include "resilience/reliable_channel.h"
 #include "sim/route.h"
 
@@ -120,8 +122,12 @@ struct RunResult {
   bool queried = false;
 };
 
-/// One fully deterministic protocol run under (schedule, seed).
-RunResult run_scenario(Schedule schedule, std::uint64_t seed) {
+/// One fully deterministic protocol run under (schedule, seed). When a
+/// recorder is passed, the channel traces bus requests, injected faults,
+/// retries and breaker transitions into it — the black box a failing
+/// invariant dumps.
+RunResult run_scenario(Schedule schedule, std::uint64_t seed,
+                       obs::FlightRecorder* recorder = nullptr) {
   RunResult result;
 
   crypto::DeterministicRandom auditor_rng("chaos-auditor");
@@ -158,6 +164,7 @@ RunResult run_scenario(Schedule schedule, std::uint64_t seed) {
   channel_config.breaker.failure_threshold = 3;
   channel_config.breaker.cooldown_s = 10.0;
   channel_config.seed = seed;
+  channel_config.trace = recorder;
   resilience::ReliableChannel channel(bus, clock, channel_config);
 
   // The flight corridor: a straight 600 m line; zones 400 m off to the
@@ -275,7 +282,8 @@ class ChaosFixture
 
 TEST_P(ChaosFixture, EveryPoaVerifiedExactlyOnceWithBaselineVerdicts) {
   const auto [schedule, seed] = GetParam();
-  const RunResult run = run_scenario(schedule, seed);
+  obs::FlightRecorder recorder(seed);
+  const RunResult run = run_scenario(schedule, seed, &recorder);
 
   ASSERT_TRUE(run.registered);
   EXPECT_TRUE(run.queried);
@@ -327,6 +335,12 @@ TEST_P(ChaosFixture, EveryPoaVerifiedExactlyOnceWithBaselineVerdicts) {
       EXPECT_GT(run.tee_retries, 0u);
       EXPECT_EQ(run.tee_failures, 0u);  // bounded retry absorbed every kBusy
       break;
+  }
+
+  if (::testing::Test::HasFailure()) {
+    std::cerr << "--- flight recorder dump (" << to_string(schedule) << " seed "
+              << seed << ") ---\n";
+    recorder.dump(std::cerr);
   }
 }
 

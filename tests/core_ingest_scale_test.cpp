@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <iostream>
 #include <memory>
 #include <set>
 #include <string>
@@ -26,6 +27,8 @@
 #include "crypto/rsa.h"
 #include "geo/geopoint.h"
 #include "net/message_bus.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "resilience/reliable_channel.h"
 #include "resilience/sim_clock.h"
 #include "tee/sample_codec.h"
@@ -115,12 +118,14 @@ struct TestAuditor {
   Auditor auditor;
   std::shared_ptr<AuditLog> log = std::make_shared<AuditLog>();
 
-  TestAuditor(const Fleet& fleet, std::size_t shards)
+  TestAuditor(const Fleet& fleet, std::size_t shards,
+              obs::MetricsRegistry* metrics = nullptr)
       : rng(std::string_view("ingest-test-auditor")),
         auditor(512, rng,
-                [shards] {
+                [shards, metrics] {
                   ProtocolParams p;
                   p.auditor_shards = shards;
+                  p.metrics = metrics;
                   return p;
                 }()) {
     auditor.attach_audit_log(log);
@@ -235,6 +240,51 @@ TEST(IngestScale, ConcurrentProducersMatchSerialVerdicts) {
   EXPECT_EQ(a, b);
 }
 
+// The observability acceptance bar: a deterministic scenario exports a
+// byte-identical metrics snapshot no matter how many verifier threads the
+// pipeline fans evaluation out to. Every frame lands in one multi-frame
+// batch (via the pause gate), so verify_threads > 0 genuinely runs the
+// parallel path.
+TEST(IngestScale, RegistrySnapshotsByteIdenticalAcrossThreadCounts) {
+  const Fleet fleet = make_fleet(4, 4);  // mixed corpus: reject paths too
+  std::string baseline;
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    obs::MetricsRegistry registry;
+    TestAuditor sharded(fleet, 4, &registry);
+    AuditorIngest::Config config;
+    config.queue_capacity = fleet.frames.size() + 8;
+    config.max_batch = fleet.frames.size();
+    config.verify_threads = threads;
+    AuditorIngest ingest(sharded.auditor, config);
+
+    // Freeze the gate with the first frame held, queue the rest behind
+    // it, then release: the whole fleet evaluates as a single batch.
+    ingest.pause();
+    std::vector<std::thread> producers;
+    producers.emplace_back([&] { ingest.submit(fleet.frames[0]); });
+    while (ingest.counters().gate_waits == 0) std::this_thread::yield();
+    for (std::size_t i = 1; i < fleet.frames.size(); ++i) {
+      producers.emplace_back([&, i] { ingest.submit(fleet.frames[i]); });
+    }
+    while (ingest.counters().admitted < fleet.frames.size()) {
+      std::this_thread::yield();
+    }
+    ingest.resume();
+    for (std::thread& t : producers) t.join();
+    ingest.stop();
+
+    EXPECT_EQ(ingest.counters().batches, 1u);
+    EXPECT_EQ(ingest.counters().max_batch_seen, fleet.frames.size());
+
+    const std::string snapshot = registry.to_json();
+    if (baseline.empty()) {
+      baseline = snapshot;
+    } else {
+      EXPECT_EQ(snapshot, baseline) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(IngestScale, SameBatchDuplicatesCommitExactlyOnce) {
   const Fleet fleet = make_fleet(1, 1, /*valid_only=*/true);
   TestAuditor sharded(fleet, 4);
@@ -340,16 +390,23 @@ TEST(IngestScale, ChaosScheduleKeepsVerdictsAndLogByteIdentical) {
   const std::vector<crypto::Bytes> expected =
       serial_verdicts(reference.auditor, fleet);
 
+  // The black box: bus faults, channel retries, breaker transitions and
+  // ingest batches all land in one recorder, dumped if the test fails.
+  obs::FlightRecorder recorder(1337);
+
   TestAuditor sharded(fleet, 8);
   AuditorIngest::Config config;
   config.queue_capacity = 32;
   config.max_batch = 8;
   config.verify_threads = 2;
+  config.recorder = &recorder;
   AuditorIngest ingest(sharded.auditor, config);
 
   net::MessageBus bus;
   resilience::SimClock clock;
-  resilience::ReliableChannel channel(bus, clock);
+  resilience::ReliableChannel::Config channel_config;
+  channel_config.trace = &recorder;
+  resilience::ReliableChannel channel(bus, clock, channel_config);
   ingest.bind(bus);
 
   net::MessageBus::FaultConfig faults;
@@ -379,9 +436,15 @@ TEST(IngestScale, ChaosScheduleKeepsVerdictsAndLogByteIdentical) {
   ingest.stop();
 
   EXPECT_GT(channel.counters().retries, 0u);  // the schedule actually bit
+  EXPECT_GT(recorder.recorded(), 0u);         // ... and was traced
   EXPECT_EQ(sharded.auditor.retained_poa_count(),
             reference.auditor.retained_poa_count());
   expect_logs_identical(*reference.log, *sharded.log);
+
+  if (::testing::Test::HasFailure()) {
+    std::cerr << "--- flight recorder dump (seed 1337) ---\n";
+    recorder.dump(std::cerr);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,192 @@
+// obs::MetricsRegistry — handle semantics, deterministic snapshots, and
+// thread safety of the counter/gauge hot paths (run under TSan via the
+// `tsan` ctest label).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace alidrone::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterHandlesAreSharedByName) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("core.test.events");
+  Counter& b = reg.counter("core.test.events");
+  EXPECT_EQ(&a, &b);
+
+  a.increment();
+  b.add(4);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(reg.metric_count(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeSetAddAndHighWaterMark) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("resource.test.busy_seconds");
+  g.set(1.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+
+  g.set_max(1.0);  // below current: no effect
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.set_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulativeOnExport) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("net.test.latency", {0.001, 0.01, 0.1});
+  h.observe(0.0005);
+  h.observe(0.005);
+  h.observe(0.05);
+  h.observe(5.0);  // +inf bucket
+
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0005 + 0.005 + 0.05 + 5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);  // overflow
+}
+
+TEST(MetricsRegistry, InstanceScopesNumberInConstructionOrder) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.instance_scope("net.buffer_pool"), "net.buffer_pool#0");
+  EXPECT_EQ(reg.instance_scope("net.buffer_pool"), "net.buffer_pool#1");
+  EXPECT_EQ(reg.instance_scope("tee.monitor"), "tee.monitor#0");
+  EXPECT_EQ(reg.instance_scope("net.buffer_pool"), "net.buffer_pool#2");
+}
+
+TEST(MetricsRegistry, SnapshotIsLexicographicallyOrdered) {
+  MetricsRegistry reg;
+  reg.counter("z.last").increment();
+  reg.gauge("a.first").set(1.0);
+  reg.counter("m.middle").add(2);
+
+  const std::vector<MetricRecord> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.first");
+  EXPECT_EQ(snap[1].name, "m.middle");
+  EXPECT_EQ(snap[2].name, "z.last");
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+}
+
+// The property the scale test leans on: the same logical operations yield
+// byte-identical JSON exports, regardless of registration interleaving.
+TEST(MetricsRegistry, JsonExportIsDeterministicAcrossRegistrationOrder) {
+  const auto populate = [](MetricsRegistry& reg, bool reversed) {
+    if (reversed) {
+      reg.gauge("resource.cpu#0.busy_seconds").set(0.25);
+      reg.counter("core.ingest#0.admitted").add(17);
+      reg.counter("core.auditor#0.duplicate_poa_submissions").add(3);
+    } else {
+      reg.counter("core.auditor#0.duplicate_poa_submissions").add(3);
+      reg.counter("core.ingest#0.admitted").add(17);
+      reg.gauge("resource.cpu#0.busy_seconds").set(0.25);
+    }
+  };
+  MetricsRegistry forward;
+  MetricsRegistry backward;
+  populate(forward, false);
+  populate(backward, true);
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+  EXPECT_EQ(forward.to_prometheus(), backward.to_prometheus());
+}
+
+TEST(MetricsRegistry, JsonCountersPrintAsIntegers) {
+  MetricsRegistry reg;
+  reg.counter("core.test.n").add(1234567);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"value\": 1234567"), std::string::npos) << json;
+  EXPECT_EQ(json.find("1.23457e"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistry, PrometheusSanitizesNames) {
+  MetricsRegistry reg;
+  reg.counter("net.bus#0.requests_sent").increment();
+  const std::string text = reg.to_prometheus();
+  // The '#' and '.' in the registry name are not legal in a Prometheus
+  // metric name; only `# TYPE`/`# HELP` comment lines may keep a '#'.
+  EXPECT_NE(text.find("net_bus_0_requests_sent"), std::string::npos) << text;
+  EXPECT_EQ(text.find("net.bus#0"), std::string::npos) << text;
+}
+
+// TSan target: many writers hammering shared counters while a reader
+// snapshots concurrently. The striped relaxed atomics must neither race
+// nor lose increments.
+TEST(MetricsRegistry, ConcurrentIncrementAndSnapshot) {
+  MetricsRegistry reg;
+  Counter& hits = reg.counter("stress.hits");
+  Gauge& level = reg.gauge("stress.level");
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&hits, &level] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        hits.increment();
+        level.set_max(static_cast<double>(i));
+      }
+    });
+  }
+  // A concurrent reader: registrations and snapshots share the registry
+  // lock while the counter writes stay lock-free.
+  threads.emplace_back([&reg] {
+    for (int i = 0; i < 50; ++i) {
+      const auto snap = reg.snapshot();
+      EXPECT_GE(snap.size(), 2u);
+      (void)reg.to_json();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(hits.value(), kWriters * kPerWriter);
+  EXPECT_DOUBLE_EQ(level.value(), static_cast<double>(kPerWriter - 1));
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationYieldsOneHandlePerName) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      Counter& c = reg.counter("race.single");
+      c.increment();
+      seen[static_cast<std::size_t>(t)] = &c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[0], seen[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_EQ(reg.counter("race.single").value(),
+            static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(MetricsRegistry, GlobalRegistryIsAStableSingleton) {
+  MetricsRegistry& a = MetricsRegistry::global();
+  MetricsRegistry& b = MetricsRegistry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, WriteJsonMatchesToJson) {
+  MetricsRegistry reg;
+  reg.counter("x.y").add(9);
+  std::ostringstream out;
+  reg.write_json(out);
+  EXPECT_EQ(out.str(), reg.to_json());
+}
+
+}  // namespace
+}  // namespace alidrone::obs

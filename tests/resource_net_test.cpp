@@ -2,6 +2,7 @@
 
 #include "net/codec.h"
 #include "net/message_bus.h"
+#include "resilience/sim_clock.h"
 #include "resource/cost_model.h"
 
 namespace alidrone {
@@ -56,6 +57,36 @@ TEST(CpuAccountant, ChargeByOpUsesProfile) {
   CpuAccountant cpu(4);
   cpu.charge(Op::kRsaSign1024, p);
   EXPECT_DOUBLE_EQ(cpu.busy_seconds(), p.rsa_sign_1024);
+}
+
+TEST(CpuAccountant, WallTimeFollowsBoundClock) {
+  resilience::SimClock clock;
+  clock.advance(5.0);  // binding starts the integration at the clock's now
+  CpuAccountant cpu(4);
+  cpu.bind_clock(&clock);
+  EXPECT_DOUBLE_EQ(cpu.wall_seconds(), 0.0);
+
+  clock.advance(10.0);
+  cpu.sync_wall();
+  EXPECT_DOUBLE_EQ(cpu.wall_seconds(), 10.0);
+
+  // sync_wall is idempotent until the clock moves again.
+  cpu.sync_wall();
+  EXPECT_DOUBLE_EQ(cpu.wall_seconds(), 10.0);
+
+  clock.advance(2.5);
+  cpu.sync_wall();
+  EXPECT_DOUBLE_EQ(cpu.wall_seconds(), 12.5);
+
+  cpu.charge(1.25);
+  EXPECT_DOUBLE_EQ(cpu.core_utilization(), 0.1);
+
+  // reset() re-anchors the integration at the clock's current time.
+  cpu.reset();
+  EXPECT_DOUBLE_EQ(cpu.wall_seconds(), 0.0);
+  clock.advance(4.0);
+  cpu.sync_wall();
+  EXPECT_DOUBLE_EQ(cpu.wall_seconds(), 4.0);
 }
 
 TEST(PowerModel, KaupEquationFour) {
