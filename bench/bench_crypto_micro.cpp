@@ -159,6 +159,32 @@ void BM_EcdsaKeygen(benchmark::State& state) {
 }
 BENCHMARK(BM_EcdsaKeygen)->Unit(benchmark::kMicrosecond);
 
+// Satellite of the 64-bit bignum PR: the surviving BigInt call sites now
+// accumulate in place (operator+= / -= reuse this->limbs_ capacity)
+// instead of routing through the full-copy operator+ / operator-. The
+// pair below is the before/after: same running sum, copy vs in-place.
+void BM_BigIntAccumulateCopy(benchmark::State& state) {
+  DeterministicRandom rng("bench-bigint-accum");
+  const BigInt step = rng.random_bits(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    BigInt sum;
+    for (int i = 0; i < 64; ++i) sum = sum + step;  // copy per add
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BigIntAccumulateCopy)->Arg(1024)->Arg(4096);
+
+void BM_BigIntAccumulateInPlace(benchmark::State& state) {
+  DeterministicRandom rng("bench-bigint-accum");
+  const BigInt step = rng.random_bits(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    BigInt sum;
+    for (int i = 0; i < 64; ++i) sum += step;  // capacity reused
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BigIntAccumulateInPlace)->Arg(1024)->Arg(4096);
+
 void BM_MillerRabin(benchmark::State& state) {
   DeterministicRandom rng("bench-mr");
   const BigInt prime = generate_prime(static_cast<std::size_t>(state.range(0)), rng);

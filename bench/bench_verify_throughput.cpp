@@ -7,20 +7,50 @@
 // Same harness and JSON shape as the other google-benchmark micro
 // benches: pass --benchmark_format=json, or --json <path> for the flat
 // {bench, config, metric, value} perf-trajectory records (bench_util.h).
+// The process also runs a mandatory zero-allocation guard before the
+// benchmarks: a warm RsaVerifyEngine must complete its steady-state
+// verify loop with ZERO heap allocations (the CI perf-smoke job fails on
+// the nonzero exit). The counting-operator-new idiom matches
+// bench_auditor_scale.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/auditor.h"
 #include "core/messages.h"
 #include "core/poa.h"
+#include "crypto/batch_verify.h"
 #include "crypto/montgomery.h"
 #include "crypto/random.h"
 #include "crypto/rsa.h"
 #include "geo/geopoint.h"
 #include "runtime/thread_pool.h"
 #include "tee/sample_codec.h"
+
+// ---- allocation counter -------------------------------------------------
+// Counts every scalar/array new. Frees are uncounted (the metric is
+// allocations per verify, not live bytes).
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace alidrone {
 namespace {
@@ -144,9 +174,89 @@ void BM_SampleVerifiesSerialCachedContext(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleVerifiesSerialCachedContext)->Unit(benchmark::kMillisecond);
 
+/// The allocation-free per-key engine, reused across the whole corpus —
+/// the verify inner loop the Auditor actually runs.
+void BM_SampleVerifiesEngine(benchmark::State& state) {
+  VerifyCorpus& c = corpus();
+  crypto::RsaVerifyEngine engine(c.tee_keys.pub);
+  for (auto _ : state) {
+    for (const core::ProofOfAlibi& poa : c.poas) {
+      for (const core::SignedSample& s : poa.samples) {
+        benchmark::DoNotOptimize(
+            engine.verify(s.sample, s.signature, crypto::HashAlgorithm::kSha1));
+      }
+    }
+  }
+  set_counters(state, c);
+}
+BENCHMARK(BM_SampleVerifiesEngine)->Unit(benchmark::kMillisecond);
+
+/// Batched small-exponents verification over the corpus. Args: items per
+/// flush, challenge width (0 = plain product test).
+void BM_SampleVerifiesBatched(benchmark::State& state) {
+  VerifyCorpus& c = corpus();
+  crypto::BatchVerifyConfig config;
+  config.max_batch = static_cast<std::size_t>(state.range(0));
+  config.check_bits = static_cast<std::size_t>(state.range(1));
+  crypto::BatchRsaVerifier bv(c.tee_keys.pub, config);
+  for (auto _ : state) {
+    // One stream across the whole corpus (one drone, one key) so K really
+    // reaches max_batch rather than the per-PoA sample count.
+    std::size_t tag = 0;
+    for (const core::ProofOfAlibi& poa : c.poas) {
+      for (const core::SignedSample& s : poa.samples) {
+        if (!bv.enqueue(tag++, s.sample, s.signature,
+                        crypto::HashAlgorithm::kSha1)) {
+          std::abort();  // corpus is all-valid
+        }
+        if (bv.full()) benchmark::DoNotOptimize(bv.flush());
+      }
+    }
+    benchmark::DoNotOptimize(bv.flush());
+  }
+  set_counters(state, c);
+  state.counters["fallbacks"] = static_cast<double>(bv.fallbacks());
+}
+BENCHMARK(BM_SampleVerifiesBatched)
+    ->Args({8, 16})->Args({32, 16})->Args({8, 0})->Args({32, 0})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
+
+/// Mandatory pre-benchmark guard: a warm engine's steady-state verify
+/// loop must not allocate. Returns false (process exits 1) on any heap
+/// traffic — the regression CI is watching for.
+bool run_verify_alloc_guard() {
+  VerifyCorpus& c = corpus();
+  crypto::RsaVerifyEngine engine(c.tee_keys.pub);
+  const core::ProofOfAlibi& poa = c.poas.front();
+  for (const core::SignedSample& s : poa.samples) {  // warm-up
+    if (!engine.verify(s.sample, s.signature, crypto::HashAlgorithm::kSha1)) {
+      std::fprintf(stderr, "alloc-guard: warm-up verify failed\n");
+      return false;
+    }
+  }
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  std::size_t verifies = 0;
+  for (int round = 0; round < 64; ++round) {
+    for (const core::SignedSample& s : poa.samples) {
+      if (!engine.verify(s.sample, s.signature, crypto::HashAlgorithm::kSha1)) {
+        std::fprintf(stderr, "alloc-guard: verify failed\n");
+        return false;
+      }
+      ++verifies;
+    }
+  }
+  const std::uint64_t delta =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+  std::fprintf(stderr, "alloc-guard: %zu verifies, %llu heap allocations\n",
+               verifies, static_cast<unsigned long long>(delta));
+  return delta == 0;
+}
+
 }  // namespace alidrone
 
 int main(int argc, char** argv) {
+  if (!alidrone::run_verify_alloc_guard()) return 1;
   return alidrone::bench::benchmark_main_with_json(argc, argv);
 }

@@ -1,0 +1,210 @@
+#include "crypto/batch_verify.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/bytes.h"
+
+namespace alidrone::crypto {
+
+using Limb = limb64::Limb;
+
+bool RsaVerifyEngine::supports(const RsaPublicKey& key) {
+  return !key.n.is_negative() && key.n.is_odd() && key.n.bit_length() >= 128 &&
+         key.n.limb64_count() <= limb64::kMaxProtocolLimbs &&
+         !key.e.is_negative() && !key.e.is_zero() && key.e.bit_length() <= 64;
+}
+
+RsaVerifyEngine::RsaVerifyEngine(const RsaPublicKey& key) {
+  if (!supports(key)) {
+    throw std::invalid_argument("RsaVerifyEngine: unsupported key");
+  }
+  ctx_ = MontgomeryContextCache::global().get(key.n);
+  k_ = ctx_->limb_count();
+  mod_bytes_ = key.modulus_bytes();
+  key.e.to_limbs64(&e_, 1);
+  e_bits_ = key.e.bit_length();
+}
+
+bool RsaVerifyEngine::verify(std::span<const std::uint8_t> message,
+                             std::span<const std::uint8_t> signature,
+                             HashAlgorithm hash) {
+  if (signature.size() != mod_bytes_) return false;
+  const limb64::Mont& mont = ctx_->mont();
+  if (!limb64::from_bytes_be(signature.data(), signature.size(), base_, k_)) {
+    return false;
+  }
+  if (limb64::cmp_n(base_, mont.m, k_) >= 0) return false;  // s >= n
+  if (!emsa_pkcs1_encode_into(message, hash,
+                              std::span<std::uint8_t>(expected_, mod_bytes_))) {
+    return false;  // modulus too small for this digest
+  }
+
+  // acc = s^e, computed in the Montgomery domain (one shared R factor,
+  // removed by the final REDC). e is at most 64 bits — 65537 in practice
+  // — so plain square-and-multiply beats any window.
+  limb64::mont_mul(mont, base_, mont.r2, base_, t_);
+  std::copy(base_, base_ + k_, acc_);
+  for (std::size_t j = e_bits_ - 1; j-- > 0;) {
+    limb64::mont_mul(mont, acc_, acc_, acc_, t_);
+    if ((e_ >> j) & 1) limb64::mont_mul(mont, acc_, base_, acc_, t_);
+  }
+  limb64::redc(mont, acc_, acc_, t_);
+
+  limb64::to_bytes_be(acc_, k_, em_, mod_bytes_);  // result < n always fits
+  return constant_time_equal(
+      std::span<const std::uint8_t>(em_, mod_bytes_),
+      std::span<const std::uint8_t>(expected_, mod_bytes_));
+}
+
+BatchRsaVerifier::BatchRsaVerifier(const RsaPublicKey& key, Config config)
+    : config_(config) {
+  if (!supports(key)) {
+    throw std::invalid_argument("BatchRsaVerifier: unsupported key");
+  }
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  config_.check_bits = std::min<std::size_t>(config_.check_bits, 64);
+  ctx_ = MontgomeryContextCache::global().get(key.n);
+  k_ = ctx_->limb_count();
+  mod_bytes_ = key.modulus_bytes();
+  key.e.to_limbs64(&e_, 1);
+  e_bits_ = key.e.bit_length();
+  items_.assign(config_.max_batch * 2 * k_, 0);
+  tags_.assign(config_.max_batch, 0);
+  challenges_.assign(config_.max_batch, 0);
+}
+
+bool BatchRsaVerifier::enqueue(std::size_t tag,
+                               std::span<const std::uint8_t> message,
+                               std::span<const std::uint8_t> signature,
+                               HashAlgorithm hash) {
+  if (count_ >= config_.max_batch) {
+    throw std::logic_error("BatchRsaVerifier: enqueue on a full batch");
+  }
+  const limb64::Mont& mont = ctx_->mont();
+  Limb* s_hat = items_.data() + 2 * count_ * k_;
+  Limb* m_hat = s_hat + k_;
+
+  // Structural checks, mirroring what serial rsa_verify rejects before
+  // exponentiating — so a false return carries the serial verdict.
+  if (signature.size() != mod_bytes_) return false;
+  if (!limb64::from_bytes_be(signature.data(), signature.size(), s_hat, k_)) {
+    return false;
+  }
+  if (limb64::cmp_n(s_hat, mont.m, k_) >= 0) return false;  // s >= n
+  if (!emsa_pkcs1_encode_into(message, hash,
+                              std::span<std::uint8_t>(em_, mod_bytes_))) {
+    return false;  // modulus too small for this digest
+  }
+  limb64::from_bytes_be(em_, mod_bytes_, m_hat, k_);
+  if (limb64::cmp_n(m_hat, mont.m, k_) >= 0) {
+    // em >= n can never equal s^e mod n < n; serial fails the byte compare.
+    return false;
+  }
+
+  transcript_.update(signature);
+  transcript_.update(std::span<const std::uint8_t>(em_, mod_bytes_));
+
+  limb64::mont_mul(mont, s_hat, mont.r2, s_hat, t_);
+  limb64::mont_mul(mont, m_hat, mont.r2, m_hat, t_);
+  tags_[count_] = tag;
+  ++count_;
+  return true;
+}
+
+void BatchRsaVerifier::pow_e(const Limb* x, Limb* out) {
+  const limb64::Mont& mont = ctx_->mont();
+  std::copy(x, x + k_, out);
+  for (std::size_t j = e_bits_ - 1; j-- > 0;) {
+    limb64::mont_mul(mont, out, out, out, t_);
+    if ((e_ >> j) & 1) limb64::mont_mul(mont, out, x, out, t_);
+  }
+}
+
+std::size_t BatchRsaVerifier::find_invalid() {
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Limb* s_hat = items_.data() + 2 * i * k_;
+    pow_e(s_hat, acc_);
+    if (limb64::cmp_n(acc_, s_hat + k_, k_) != 0) return tags_[i];
+  }
+  // Unreachable with exact arithmetic: a product mismatch implies some
+  // item fails individually (if every s_i^e = m_i, the combined products
+  // agree for ANY challenge vector).
+  return tags_[0];
+}
+
+std::optional<std::size_t> BatchRsaVerifier::flush() {
+  if (count_ == 0) return std::nullopt;
+  const limb64::Mont& mont = ctx_->mont();
+  ++flushes_;
+  batched_items_ += count_;
+
+  std::optional<std::size_t> bad;
+  if (count_ == 1) {
+    // Nothing to amortize: direct check.
+    pow_e(items_.data(), acc_);
+    if (limb64::cmp_n(acc_, items_.data() + k_, k_) != 0) {
+      ++fallbacks_;
+      bad = tags_[0];
+    }
+  } else {
+    if (config_.check_bits == 0) {
+      // Plain product test: P = prod s_i, Q = prod m_i.
+      std::copy(items_.data(), items_.data() + k_, p_);
+      std::copy(items_.data() + k_, items_.data() + 2 * k_, q_);
+      for (std::size_t i = 1; i < count_; ++i) {
+        const Limb* s_hat = items_.data() + 2 * i * k_;
+        limb64::mont_mul(mont, p_, s_hat, p_, t_);
+        limb64::mont_mul(mont, q_, s_hat + k_, q_, t_);
+      }
+    } else {
+      // Challenges r_i: check_bits wide, top bit forced, derived from the
+      // batch transcript — fixed only after every signature is committed.
+      const Sha256::Digest seed = transcript_.finalize();
+      for (std::size_t i = 0; i < count_; ++i) {
+        Sha256 h;
+        h.update(seed);
+        const std::uint8_t idx[4] = {
+            static_cast<std::uint8_t>(i >> 24), static_cast<std::uint8_t>(i >> 16),
+            static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i)};
+        h.update(idx);
+        const Sha256::Digest d = h.finalize();
+        std::uint64_t r = 0;
+        for (int b = 0; b < 8; ++b) r = (r << 8) | d[static_cast<std::size_t>(b)];
+        if (config_.check_bits < 64) r &= (1ull << config_.check_bits) - 1;
+        r |= 1ull << (config_.check_bits - 1);
+        challenges_[i] = r;
+      }
+
+      // Straus interleaving: P = prod s_i^{r_i}, Q = prod m_i^{r_i} with
+      // ONE shared run of check_bits squarings for all items and both
+      // accumulators — this is where the batch amortization comes from.
+      std::copy(mont.one, mont.one + k_, p_);
+      std::copy(mont.one, mont.one + k_, q_);
+      for (std::size_t j = config_.check_bits; j-- > 0;) {
+        limb64::mont_mul(mont, p_, p_, p_, t_);
+        limb64::mont_mul(mont, q_, q_, q_, t_);
+        for (std::size_t i = 0; i < count_; ++i) {
+          if ((challenges_[i] >> j) & 1) {
+            const Limb* s_hat = items_.data() + 2 * i * k_;
+            limb64::mont_mul(mont, p_, s_hat, p_, t_);
+            limb64::mont_mul(mont, q_, s_hat + k_, q_, t_);
+          }
+        }
+      }
+    }
+
+    // One exponent ladder for the whole batch: P^e == Q.
+    pow_e(p_, acc_);
+    if (limb64::cmp_n(acc_, q_, k_) != 0) {
+      ++fallbacks_;
+      bad = find_invalid();
+    }
+  }
+
+  count_ = 0;
+  transcript_.reset();
+  return bad;
+}
+
+}  // namespace alidrone::crypto

@@ -1,0 +1,174 @@
+// Allocation-free RSA verification and batched e-th-power product checks.
+//
+// RsaVerifyEngine is the single-signature hot path: a per-key object
+// whose verify() runs RSASSA-PKCS1-v1_5 entirely on fixed member limb
+// buffers over the limb64 CIOS kernels — zero heap allocations per call
+// (guarded by the counting-operator-new check in bench_verify_throughput)
+// and byte-identical verdicts to the legacy rsa_verify path, which now
+// routes through it.
+//
+// BatchRsaVerifier amortizes the public-exponent ladder across K queued
+// signatures under one modulus (the Auditor's per-sample RSA mode, where
+// every sample in a PoA carries the same TEE key): instead of K
+// independent s_i^e computations it checks
+//
+//     (prod_i s_i^{r_i})^e  ==  prod_i m_i^{r_i}   (mod n)
+//
+// with small random challenge exponents r_i derived Fiat-Shamir-style
+// from a SHA-256 transcript of the batch content (soundness error
+// 2^-check_bits per batch against an online forger, the small-exponents
+// test of Bellare-Garay-Rabin; the challenges are transcript-derived,
+// so treat check_bits as an offline grinding bound too). check_bits = 0
+// is the plain product *screening* test: fastest, but it verifies a
+// strictly weaker, permutation-invariant property — every message in
+// the batch was authentically signed AS A SET. It does not check which
+// signature sits next to which message: swapping two valid signatures
+// leaves both products unchanged and passes, where serial verification
+// rejects both items. Callers who need serial-identical verdicts must
+// use nonzero check_bits (distinct per-item challenges break the
+// permutation symmetry). On product mismatch the batch
+// falls back to per-item Montgomery checks in enqueue order, so the
+// reported first-failing item — and therefore every Auditor verdict and
+// audit log line — is byte-identical to serial verification.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/limb64.h"
+#include "crypto/montgomery.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+
+namespace alidrone::crypto {
+
+/// Per-key RSASSA-PKCS1-v1_5 verifier with preallocated working state.
+/// Immutable key data is shared through the MontgomeryContextCache; the
+/// member buffers make verify() zero-allocation but NOT thread-safe —
+/// use one engine per thread (they are cheap: a few KB).
+class RsaVerifyEngine {
+ public:
+  /// True when the key fits the fixed-capacity engine: odd modulus of
+  /// 128..4096 bits and a public exponent of 1..64 bits. Keys outside
+  /// this range (never produced by generate_rsa_keypair) verify through
+  /// the generic BigInt path.
+  static bool supports(const RsaPublicKey& key);
+
+  /// Requires supports(key); throws std::invalid_argument otherwise.
+  explicit RsaVerifyEngine(const RsaPublicKey& key);
+
+  /// Strict verification, byte-identical to rsa_verify for this key.
+  bool verify(std::span<const std::uint8_t> message,
+              std::span<const std::uint8_t> signature, HashAlgorithm hash);
+
+  std::size_t modulus_bytes() const { return mod_bytes_; }
+  const MontgomeryContext& context() const { return *ctx_; }
+
+ private:
+  friend class BatchRsaVerifier;  // reuses the key-normalization logic
+
+  std::shared_ptr<const MontgomeryContext> ctx_;
+  std::size_t k_ = 0;          // modulus limbs
+  std::size_t mod_bytes_ = 0;  // signature / EM length
+  limb64::Limb e_ = 0;         // public exponent (<= 64 bits)
+  std::size_t e_bits_ = 0;
+
+  // Working state (member, not stack, so verify() stays cheap to call in
+  // a loop and the arrays are sized once against the protocol ceiling).
+  limb64::Limb base_[limb64::kMaxProtocolLimbs];
+  limb64::Limb acc_[limb64::kMaxProtocolLimbs];
+  limb64::Limb t_[limb64::kMaxProtocolLimbs + 2];
+  std::uint8_t em_[limb64::kMaxProtocolBytes];
+  std::uint8_t expected_[limb64::kMaxProtocolBytes];
+};
+
+/// BatchRsaVerifier tuning knobs (namespace scope so the struct can be a
+/// defaulted constructor argument, as with RsaSigningPlanConfig).
+struct BatchVerifyConfig {
+  /// Items per flush; more amortizes the exponent ladder further but
+  /// raises the cost of a fallback.
+  std::size_t max_batch = 32;
+  /// Challenge-exponent width. Soundness error 2^-check_bits against
+  /// adversarial batches; 0 = plain product screening, which is
+  /// permutation-invariant set authenticity, NOT per-item verdicts (see
+  /// the header comment).
+  std::size_t check_bits = 16;
+};
+
+/// Batched verification of RSASSA-PKCS1-v1_5 signatures under ONE public
+/// key. Queue with enqueue(), settle with flush(). Not thread-safe.
+class BatchRsaVerifier {
+ public:
+  using Config = BatchVerifyConfig;
+
+  static bool supports(const RsaPublicKey& key) {
+    return RsaVerifyEngine::supports(key);
+  }
+
+  /// Requires supports(key); throws std::invalid_argument otherwise.
+  explicit BatchRsaVerifier(const RsaPublicKey& key, Config config = {});
+
+  /// Queue one signature. Returns false — without queueing — when the
+  /// item is structurally invalid (wrong length, s >= n, modulus too
+  /// small for the digest): exactly the cases serial rsa_verify rejects
+  /// before exponentiating, so the caller can fail it immediately with
+  /// the serial verdict. `tag` is returned by flush() to identify a
+  /// failing item (the Auditor passes the sample index).
+  bool enqueue(std::size_t tag, std::span<const std::uint8_t> message,
+               std::span<const std::uint8_t> signature, HashAlgorithm hash);
+
+  bool full() const { return count_ == config_.max_batch; }
+  std::size_t size() const { return count_; }
+
+  /// Settle the queued items. Returns std::nullopt when every item
+  /// verifies; otherwise the tag of the FIRST invalid item in enqueue
+  /// order (identical to serial verification order). Resets the queue.
+  std::optional<std::size_t> flush();
+
+  // Introspection for metrics/tests (plain counts; the Auditor publishes
+  // them through the obs registry at commit time).
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t batched_items() const { return batched_items_; }
+  std::uint64_t fallbacks() const { return fallbacks_; }
+
+ private:
+  /// acc = x^e in the Montgomery domain (one R factor preserved).
+  void pow_e(const limb64::Limb* x, limb64::Limb* acc);
+  /// First item (enqueue order) whose s^e != m, checked individually.
+  std::size_t find_invalid();
+
+  Config config_;
+  std::shared_ptr<const MontgomeryContext> ctx_;
+  std::size_t k_ = 0;
+  std::size_t mod_bytes_ = 0;
+  limb64::Limb e_ = 0;
+  std::size_t e_bits_ = 0;
+
+  // Queued items in Montgomery form: item i occupies 2k limbs at
+  // items_[2ik] — s-hat first, then m-hat (the expected representative).
+  std::vector<limb64::Limb> items_;
+  std::vector<std::size_t> tags_;
+  std::size_t count_ = 0;
+
+  // Fiat-Shamir transcript over (signature || em) of every queued item;
+  // the challenge seed for this batch.
+  Sha256 transcript_;
+
+  std::uint64_t flushes_ = 0;
+  std::uint64_t batched_items_ = 0;
+  std::uint64_t fallbacks_ = 0;
+
+  // Working state.
+  limb64::Limb p_[limb64::kMaxProtocolLimbs];  // signature-side accumulator
+  limb64::Limb q_[limb64::kMaxProtocolLimbs];  // representative-side accumulator
+  limb64::Limb acc_[limb64::kMaxProtocolLimbs];
+  limb64::Limb work_[limb64::kMaxProtocolLimbs];
+  limb64::Limb t_[limb64::kMaxProtocolLimbs + 2];
+  std::uint8_t em_[limb64::kMaxProtocolBytes];
+  std::vector<std::uint64_t> challenges_;
+};
+
+}  // namespace alidrone::crypto

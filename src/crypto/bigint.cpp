@@ -113,6 +113,27 @@ Bytes BigInt::to_bytes(std::size_t length) const {
   return out;
 }
 
+void BigInt::to_limbs64(std::uint64_t* out, std::size_t n) const {
+  if (limb64_count() > n) {
+    throw std::length_error("BigInt::to_limbs64: value does not fit");
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i / 2] |= static_cast<std::uint64_t>(limbs_[i]) << (32 * (i % 2));
+  }
+}
+
+BigInt BigInt::from_limbs64(const std::uint64_t* limbs, std::size_t n) {
+  BigInt out;
+  out.limbs_.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.limbs_.push_back(static_cast<std::uint32_t>(limbs[i] & 0xFFFFFFFFu));
+    out.limbs_.push_back(static_cast<std::uint32_t>(limbs[i] >> 32));
+  }
+  out.trim();
+  return out;
+}
+
 std::string BigInt::to_hex_string() const {
   if (is_zero()) return "0x0";
   std::string out = negative_ ? "-0x" : "0x";
@@ -337,6 +358,67 @@ BigInt BigInt::operator+(const BigInt& o) const {
 }
 
 BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+void BigInt::add_mag_inplace(const std::vector<std::uint32_t>& b) {
+  if (limbs_.size() < b.size()) limbs_.resize(b.size(), 0);
+  std::uint64_t carry = 0;
+  std::size_t i = 0;
+  for (; i < b.size(); ++i) {
+    const std::uint64_t sum = static_cast<std::uint64_t>(limbs_[i]) + b[i] + carry;
+    limbs_[i] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFu);
+    carry = sum >> 32;
+  }
+  for (; carry != 0 && i < limbs_.size(); ++i) {
+    const std::uint64_t sum = static_cast<std::uint64_t>(limbs_[i]) + carry;
+    limbs_[i] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+}
+
+void BigInt::sub_mag_inplace(const std::vector<std::uint32_t>& b) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < b.size()) diff -= b[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  trim();
+}
+
+BigInt& BigInt::operator+=(const BigInt& o) {
+  if (negative_ == o.negative_) {
+    add_mag_inplace(o.limbs_);
+    return *this;
+  }
+  const int cmp = cmp_mag(limbs_, o.limbs_);
+  if (cmp == 0) return *this = BigInt();
+  if (cmp > 0) {
+    sub_mag_inplace(o.limbs_);  // sign (ours) survives: result nonzero
+    return *this;
+  }
+  return *this = *this + o;
+}
+
+BigInt& BigInt::operator-=(const BigInt& o) {
+  if (negative_ != o.negative_) {
+    add_mag_inplace(o.limbs_);  // this - o = this + |o| with our sign
+    return *this;
+  }
+  const int cmp = cmp_mag(limbs_, o.limbs_);
+  if (cmp == 0) return *this = BigInt();
+  if (cmp > 0) {
+    sub_mag_inplace(o.limbs_);
+    return *this;
+  }
+  return *this = *this - o;
+}
 
 BigInt BigInt::operator*(const BigInt& o) const {
   BigInt out;

@@ -40,6 +40,15 @@ class BigInt {
   Bytes to_bytes() const;
   Bytes to_bytes(std::size_t length) const;
 
+  /// 64-bit limbs needed for the magnitude (0 for zero) — the boundary
+  /// to the fixed-capacity limb64/SmallInt engine.
+  std::size_t limb64_count() const { return (limbs_.size() + 1) / 2; }
+  /// Magnitude into out[0..n) as little-endian 64-bit limbs, zero-padded;
+  /// throws std::length_error when it needs more than n limbs.
+  void to_limbs64(std::uint64_t* out, std::size_t n) const;
+  /// Non-negative value from little-endian 64-bit limbs.
+  static BigInt from_limbs64(const std::uint64_t* limbs, std::size_t n);
+
   std::string to_decimal_string() const;
   std::string to_hex_string() const;
 
@@ -64,8 +73,12 @@ class BigInt {
   BigInt operator<<(std::size_t bits) const;
   BigInt operator>>(std::size_t bits) const;
 
-  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
-  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  /// In-place add/sub reuse this->limbs_ capacity on the common
+  /// same-sign (resp. larger-magnitude) paths instead of building a
+  /// fresh vector per call; only the sign-flip cases fall back to the
+  /// copying operator.
+  BigInt& operator+=(const BigInt& o);
+  BigInt& operator-=(const BigInt& o);
   BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
 
   struct DivMod;
@@ -93,6 +106,10 @@ class BigInt {
   bool negative_ = false;
 
   void trim();
+  // In-place magnitude helpers behind operator+=/-=; sub requires
+  // |this| >= |b|. Both are safe when b aliases this->limbs_.
+  void add_mag_inplace(const std::vector<std::uint32_t>& b);
+  void sub_mag_inplace(const std::vector<std::uint32_t>& b);
   static std::vector<std::uint32_t> add_mag(const std::vector<std::uint32_t>& a,
                                             const std::vector<std::uint32_t>& b);
   // Requires |a| >= |b|.

@@ -1,20 +1,40 @@
 #include "crypto/montgomery.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace alidrone::crypto {
 
 namespace {
 
-/// Inverse of odd x modulo 2^32 via Newton-Hensel lifting.
-std::uint32_t inverse_mod_2_32(std::uint32_t x) {
-  std::uint32_t inv = x;  // correct to 3 bits
-  for (int i = 0; i < 5; ++i) {
-    inv *= 2u - x * inv;  // doubles the number of correct bits
+using Limb = limb64::Limb;
+
+/// Limb scratch: stack-backed up to the largest arena any protocol-size
+/// (<= 4096-bit) operation needs, heap-backed beyond. The fallback keeps
+/// the engine general while the verify path never allocates.
+class Scratch {
+ public:
+  explicit Scratch(std::size_t n) {
+    if (n <= sizeof(stack_) / sizeof(Limb)) {
+      data_ = stack_;
+      std::fill(stack_, stack_ + n, 0);
+    } else {
+      heap_.assign(n, 0);
+      data_ = heap_.data();
+    }
   }
-  return inv;
-}
+  Limb* data() { return data_; }
+
+ private:
+  // pow() needs the most: a 16-entry window table + accumulator + k + 2
+  // REDC limbs = 18k + 2.
+  Limb stack_[18 * limb64::kMaxProtocolLimbs + 2];
+  std::vector<Limb> heap_;
+  Limb* data_;
+};
 
 }  // namespace
 
@@ -22,97 +42,73 @@ MontgomeryContext::MontgomeryContext(const BigInt& modulus) : m_(modulus) {
   if (m_.is_negative() || m_.is_even() || m_ < BigInt(3)) {
     throw std::invalid_argument("MontgomeryContext: modulus must be odd and >= 3");
   }
-  k_ = m_.limbs_.size();
-  m_prime_ = ~inverse_mod_2_32(m_.limbs_[0]) + 1;  // -m^-1 mod 2^32
+  k_ = m_.limb64_count();
+  constants_.assign(3 * k_, 0);
+  Limb* m64 = constants_.data();
+  Limb* r2 = m64 + k_;
+  Limb* one = r2 + k_;
 
-  // R = 2^(32k): R mod m and R^2 mod m via shifting (setup-only division).
-  const BigInt r = BigInt(1) << (32 * k_);
-  one_mont_ = r.mod(m_);
-  r2_ = (one_mont_ * one_mont_).mod(m_);
-}
+  m_.to_limbs64(m64, k_);
+  m_prime_ = limb64::neg_inverse(m64[0]);
 
-void MontgomeryContext::redc_in_place(std::vector<std::uint32_t>& t) const {
-  t.resize(2 * k_ + 1, 0);
-  for (std::size_t i = 0; i < k_; ++i) {
-    const std::uint32_t u = t[i] * m_prime_;  // mod 2^32 implicitly
-    // t += u * m << (32 i)
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < k_; ++j) {
-      const std::uint64_t sum =
-          static_cast<std::uint64_t>(t[i + j]) +
-          static_cast<std::uint64_t>(u) * m_.limbs_[j] + carry;
-      t[i + j] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFu);
-      carry = sum >> 32;
-    }
-    std::size_t idx = i + k_;
-    while (carry != 0) {
-      const std::uint64_t sum = static_cast<std::uint64_t>(t[idx]) + carry;
-      t[idx] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFu);
-      carry = sum >> 32;
-      ++idx;
-    }
-  }
+  // R = 2^(64k): R mod m and R^2 mod m via shifting (setup-only division).
+  const BigInt r = BigInt(1) << (64 * k_);
+  const BigInt one_mont = r.mod(m_);
+  one_mont.to_limbs64(one, k_);
+  (one_mont * one_mont).mod(m_).to_limbs64(r2, k_);
 
-  // result = t >> 32k (a memmove within the buffer, not a fresh vector)
-  t.erase(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
-  while (!t.empty() && t.back() == 0) t.pop_back();
-
-  // Conditional final subtraction, also in place.
-  if (BigInt::cmp_mag(t, m_.limbs_) >= 0) {
-    std::int64_t borrow = 0;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      const std::int64_t mi =
-          i < m_.limbs_.size() ? static_cast<std::int64_t>(m_.limbs_[i]) : 0;
-      std::int64_t diff = static_cast<std::int64_t>(t[i]) - mi - borrow;
-      borrow = diff < 0 ? 1 : 0;
-      if (diff < 0) diff += std::int64_t{1} << 32;
-      t[i] = static_cast<std::uint32_t>(diff);
-    }
-    while (!t.empty() && t.back() == 0) t.pop_back();
-  }
-}
-
-void MontgomeryContext::mul_into(const BigInt& a, const BigInt& b, BigInt& out,
-                                 std::vector<std::uint32_t>& scratch) const {
-  // Schoolbook product into the reusable scratch buffer. Row i writes
-  // scratch[i + b_size] exactly once (nothing above i + b_size - 1 was
-  // written by earlier rows), so the final carry is an assignment.
-  const std::vector<std::uint32_t>& al = a.limbs_;
-  const std::vector<std::uint32_t>& bl = b.limbs_;
-  scratch.assign(al.size() + bl.size(), 0);
-  for (std::size_t i = 0; i < al.size(); ++i) {
-    std::uint64_t carry = 0;
-    const std::uint64_t ai = al[i];
-    for (std::size_t j = 0; j < bl.size(); ++j) {
-      const std::uint64_t cur = scratch[i + j] + ai * bl[j] + carry;
-      scratch[i + j] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
-      carry = cur >> 32;
-    }
-    scratch[i + bl.size()] = static_cast<std::uint32_t>(carry);
-  }
-
-  redc_in_place(scratch);
-  out.negative_ = false;
-  out.limbs_.assign(scratch.begin(), scratch.end());  // reuses out's capacity
+  mont_ = limb64::Mont{k_, m_prime_, m64, r2, one};
 }
 
 BigInt MontgomeryContext::to_mont(const BigInt& a) const {
-  return mul(a.mod(m_), r2_);
+  // Reduce first: to_mont accepts any integer, while the kernel wants a
+  // k-limb value (a * r2 < R * m keeps REDC exact).
+  const BigInt reduced = a.mod(m_);
+  Scratch scratch(2 * k_ + 2);
+  Limb* x = scratch.data();
+  Limb* t = x + k_;
+  reduced.to_limbs64(x, k_);
+  limb64::mont_mul(mont_, x, mont_.r2, x, t);
+  return BigInt::from_limbs64(x, k_);
 }
 
 BigInt MontgomeryContext::from_mont(const BigInt& a) const {
-  std::vector<std::uint32_t> t = a.limbs_;
-  redc_in_place(t);
-  BigInt result;
-  result.limbs_ = std::move(t);
-  return result;
+  // REDC(a mod m) = a * R^-1 mod m for any a, so reducing oversized
+  // inputs first preserves the result.
+  BigInt reduced;
+  const BigInt* p = &a;
+  if (a.is_negative() || a.limb64_count() > k_) {
+    reduced = a.mod(m_);
+    p = &reduced;
+  }
+  Scratch scratch(2 * k_ + 2);
+  Limb* x = scratch.data();
+  Limb* t = x + k_;
+  p->to_limbs64(x, k_);
+  limb64::redc(mont_, x, x, t);
+  return BigInt::from_limbs64(x, k_);
 }
 
 BigInt MontgomeryContext::mul(const BigInt& a, const BigInt& b) const {
-  BigInt out;
-  std::vector<std::uint32_t> scratch;
-  mul_into(a, b, out, scratch);
-  return out;
+  BigInt ra, rb;
+  const BigInt* pa = &a;
+  const BigInt* pb = &b;
+  if (a.is_negative() || a.limb64_count() > k_) {
+    ra = a.mod(m_);
+    pa = &ra;
+  }
+  if (b.is_negative() || b.limb64_count() > k_) {
+    rb = b.mod(m_);
+    pb = &rb;
+  }
+  Scratch scratch(3 * k_ + 2);
+  Limb* x = scratch.data();
+  Limb* y = x + k_;
+  Limb* t = y + k_;
+  pa->to_limbs64(x, k_);
+  pb->to_limbs64(y, k_);
+  limb64::mont_mul(mont_, x, y, x, t);
+  return BigInt::from_limbs64(x, k_);
 }
 
 BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exponent) const {
@@ -121,55 +117,64 @@ BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exponent) const 
   }
   if (exponent.is_zero()) return BigInt(1).mod(m_);
 
-  const BigInt base_m = to_mont(base);
+  // Bring the base under R: any k-limb value maps correctly through
+  // REDC (the first Montgomery product reduces it mod m), so only wider
+  // or negative inputs pay the division.
+  BigInt reduced;
+  const BigInt* b = &base;
+  if (base.is_negative() || base.limb64_count() > k_) {
+    reduced = base.mod(m_);
+    b = &reduced;
+  }
+
+  // One arena: 16-entry window table (entry 1 doubles as the Montgomery
+  // base), accumulator, k + 2 REDC limbs.
+  Scratch scratch(17 * k_ + k_ + 2);
+  Limb* table = scratch.data();
+  Limb* acc = table + 16 * k_;
+  Limb* t = acc + k_;
+  Limb* base_m = table + k_;  // table entry 1 = base^1
+
+  b->to_limbs64(base_m, k_);
+  limb64::mont_mul(mont_, base_m, mont_.r2, base_m, t);
+
   const std::size_t bits = exponent.bit_length();
 
   // Short exponents (RSA verification: e = 65537, 17 bits) take plain
   // square-and-multiply: the 4-bit window's 14-entry table build would
   // cost more products than the whole exponentiation.
-  if (bits <= 32) {
-    std::vector<std::uint32_t> scratch;
-    scratch.reserve(2 * k_ + 1);
-    BigInt acc = base_m;
-    BigInt tmp;
+  if (bits <= 64) {
+    std::copy(base_m, base_m + k_, acc);
     for (std::size_t j = bits - 1; j-- > 0;) {
-      mul_into(acc, acc, tmp, scratch);
-      std::swap(acc, tmp);
-      if (exponent.bit(j)) {
-        mul_into(acc, base_m, tmp, scratch);
-        std::swap(acc, tmp);
-      }
+      limb64::mont_mul(mont_, acc, acc, acc, t);
+      if (exponent.bit(j)) limb64::mont_mul(mont_, acc, base_m, acc, t);
     }
-    return from_mont(acc);
+    limb64::redc(mont_, acc, acc, t);
+    return BigInt::from_limbs64(acc, k_);
   }
 
   // 4-bit fixed window over Montgomery-domain values.
-  std::vector<BigInt> table(16);
-  table[0] = one_mont_;
-  table[1] = base_m;
-  std::vector<std::uint32_t> scratch;
-  scratch.reserve(2 * k_ + 1);
-  for (int i = 2; i < 16; ++i) mul_into(table[i - 1], base_m, table[i], scratch);
+  std::copy(mont_.one, mont_.one + k_, table);  // entry 0 = 1
+  for (std::size_t i = 2; i < 16; ++i) {
+    limb64::mont_mul(mont_, table + (i - 1) * k_, base_m, table + i * k_, t);
+  }
 
-  BigInt acc = one_mont_;
-  BigInt tmp;
+  std::copy(mont_.one, mont_.one + k_, acc);
   const std::size_t windows = (bits + 3) / 4;
   for (std::size_t w = windows; w-- > 0;) {
-    for (int s = 0; s < 4; ++s) {
-      mul_into(acc, acc, tmp, scratch);
-      std::swap(acc, tmp);
-    }
+    for (int s = 0; s < 4; ++s) limb64::mont_mul(mont_, acc, acc, acc, t);
     int digit = 0;
-    for (int b = 3; b >= 0; --b) {
+    for (int bi = 3; bi >= 0; --bi) {
       digit = (digit << 1) |
-              (exponent.bit(w * 4 + static_cast<std::size_t>(b)) ? 1 : 0);
+              (exponent.bit(w * 4 + static_cast<std::size_t>(bi)) ? 1 : 0);
     }
     if (digit != 0) {
-      mul_into(acc, table[static_cast<std::size_t>(digit)], tmp, scratch);
-      std::swap(acc, tmp);
+      limb64::mont_mul(mont_, acc, table + static_cast<std::size_t>(digit) * k_,
+                       acc, t);
     }
   }
-  return from_mont(acc);
+  limb64::redc(mont_, acc, acc, t);
+  return BigInt::from_limbs64(acc, k_);
 }
 
 int FixedExponentPlan::choose_window_bits(std::size_t exponent_bits) {
@@ -197,7 +202,12 @@ FixedExponentPlan::FixedExponentPlan(
   if (bits == 0) return;  // pow() handles the x^0 case directly
 
   window_bits_ = choose_window_bits(bits);
-  table_.resize(std::size_t{1} << (window_bits_ - 1));
+
+  // Arena layout: odd-power table (2^(w-1) entries), base^2, accumulator,
+  // REDC scratch — allocated once here so pow() never allocates limbs.
+  const std::size_t k = ctx_->k_;
+  const std::size_t entries = std::size_t{1} << (window_bits_ - 1);
+  arena_.assign((entries + 2) * k + k + 2, 0);
 
   // Left-to-right sliding-window decomposition, done once. Each step is a
   // run of squarings followed by one multiply with an odd window value
@@ -234,35 +244,55 @@ BigInt FixedExponentPlan::pow(const BigInt& base) {
   const MontgomeryContext& ctx = *ctx_;
   if (exponent_.is_zero()) return BigInt(1).mod(ctx.m_);
 
-  scratch_.reserve(2 * ctx.k_ + 1);
-  table_[0] = ctx.to_mont(base);
-  if (table_.size() > 1) {
-    ctx.mul_into(table_[0], table_[0], base_sq_, scratch_);
-    for (std::size_t t = 1; t < table_.size(); ++t) {
-      ctx.mul_into(table_[t - 1], base_sq_, table_[t], scratch_);
+  const std::size_t k = ctx.k_;
+  const limb64::Mont& mont = ctx.mont_;
+  const std::size_t entries = std::size_t{1} << (window_bits_ - 1);
+  Limb* table = arena_.data();
+  Limb* base_sq = table + entries * k;
+  Limb* acc = base_sq + k;
+  Limb* t = acc + k;
+
+  // Base into Montgomery form; only oversized or negative inputs pay the
+  // division (REDC absorbs any k-limb value).
+  BigInt reduced;
+  const BigInt* b = &base;
+  if (base.is_negative() || base.limb64_count() > k) {
+    reduced = base.mod(ctx.m_);
+    b = &reduced;
+  }
+  b->to_limbs64(table, k);  // table entry 0 = base^1
+  limb64::mont_mul(mont, table, mont.r2, table, t);
+  if (entries > 1) {
+    limb64::mont_mul(mont, table, table, base_sq, t);
+    for (std::size_t e = 1; e < entries; ++e) {
+      limb64::mont_mul(mont, table + (e - 1) * k, base_sq, table + e * k, t);
     }
   }
 
   // Replay. The leading step seeds the accumulator (its squarings would
   // only square 1), every later step is squares-then-optional-multiply.
-  acc_ = table_[static_cast<std::size_t>(program_.front().table_index)];
+  const Limb* seed = table + static_cast<std::size_t>(program_.front().table_index) * k;
+  std::copy(seed, seed + k, acc);
   for (std::size_t s = 1; s < program_.size(); ++s) {
     const Step& step = program_[s];
     for (std::uint32_t q = 0; q < step.squares; ++q) {
-      ctx.mul_into(acc_, acc_, tmp_, scratch_);
-      std::swap(acc_, tmp_);
+      limb64::mont_mul(mont, acc, acc, acc, t);
     }
     if (step.table_index >= 0) {
-      ctx.mul_into(acc_, table_[static_cast<std::size_t>(step.table_index)],
-                   tmp_, scratch_);
-      std::swap(acc_, tmp_);
+      limb64::mont_mul(mont, acc,
+                       table + static_cast<std::size_t>(step.table_index) * k,
+                       acc, t);
     }
   }
-  return ctx.from_mont(acc_);
+  limb64::redc(mont, acc, acc, t);
+  return BigInt::from_limbs64(acc, k);
 }
 
 MontgomeryContextCache::MontgomeryContextCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+    : capacity_(capacity == 0 ? 1 : capacity),
+      obs_hits_(&obs::MetricsRegistry::global().counter("crypto.mont.cache_hits")),
+      obs_misses_(
+          &obs::MetricsRegistry::global().counter("crypto.mont.cache_misses")) {}
 
 std::shared_ptr<const MontgomeryContext> MontgomeryContextCache::get(
     const BigInt& modulus) {
@@ -274,10 +304,12 @@ std::shared_ptr<const MontgomeryContext> MontgomeryContextCache::get(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
+      obs_hits_->increment();
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // bump to front
       return it->second.context;
     }
     ++misses_;
+    obs_misses_->increment();
   }
 
   // Build outside the lock: R^2 setup is the expensive part and must not

@@ -1,13 +1,20 @@
 // Montgomery modular arithmetic (Montgomery, 1985).
 //
 // Replaces the division-based reduction in modular exponentiation with
-// shift/add REDC steps, cutting RSA private-key operations by roughly
-// 2-4x. Valid for odd moduli only — always true for RSA moduli and for
-// the prime moduli used in Miller-Rabin. BigInt::mod_pow dispatches here
-// automatically for odd moduli of at least 128 bits, through a process-
-// wide MontgomeryContextCache so repeated operations under the same
-// modulus (the Auditor re-verifying against a handful of public keys)
-// pay the R^2 setup division once instead of per call.
+// REDC steps. Valid for odd moduli only — always true for RSA moduli and
+// for the prime moduli used in Miller-Rabin. BigInt::mod_pow dispatches
+// here automatically for odd moduli of at least 128 bits, through a
+// process-wide MontgomeryContextCache so repeated operations under the
+// same modulus (the Auditor re-verifying against a handful of public
+// keys) pay the R^2 setup division once instead of per call.
+//
+// The arithmetic itself runs on the 64-bit limb64 kernels (CIOS
+// multiply-interleaved REDC, 128-bit products): contexts precompute the
+// modulus and constants as flat uint64 limb arrays, and every operation
+// works in caller- or member-owned scratch, so the verify inner loop
+// performs zero heap allocations (guarded in bench_verify_throughput).
+// The BigInt methods below are the convenience boundary; hot paths
+// (RsaVerifyEngine, BatchRsaVerifier) use mont() directly.
 #pragma once
 
 #include <cstdint>
@@ -19,18 +26,34 @@
 #include <vector>
 
 #include "crypto/bigint.h"
+#include "crypto/limb64.h"
+
+namespace alidrone::obs {
+class Counter;
+}  // namespace alidrone::obs
 
 namespace alidrone::crypto {
 
-/// Precomputed context for a fixed odd modulus m. R = 2^(32k) where k is
-/// the limb count of m. Immutable after construction, so one context can
-/// be shared freely across threads.
+/// Precomputed context for a fixed odd modulus m. R = 2^(64k) where k is
+/// the 64-bit limb count of m. Immutable after construction, so one
+/// context can be shared freely across threads.
 class MontgomeryContext {
  public:
   /// Throws std::invalid_argument when m is even or < 3.
   explicit MontgomeryContext(const BigInt& modulus);
 
+  // The Mont view points into member storage; copying would leave it
+  // dangling. Contexts are shared by shared_ptr, never copied.
+  MontgomeryContext(const MontgomeryContext&) = delete;
+  MontgomeryContext& operator=(const MontgomeryContext&) = delete;
+
   const BigInt& modulus() const { return m_; }
+
+  /// Raw 64-bit limb view of the modulus and its constants — the
+  /// zero-allocation engine interface (limb64::mont_mul / redc).
+  const limb64::Mont& mont() const { return mont_; }
+  /// Modulus size in 64-bit limbs (R = 2^(64 * limb_count())).
+  std::size_t limb_count() const { return k_; }
 
   /// Map into Montgomery form: a * R mod m.
   BigInt to_mont(const BigInt& a) const;
@@ -41,29 +64,20 @@ class MontgomeryContext {
   /// Montgomery form.
   BigInt mul(const BigInt& a, const BigInt& b) const;
 
-  /// base^exponent mod m (plain-domain base and result); 4-bit windows.
-  /// The inner loop reuses one scratch buffer across all ~1.25*bits
-  /// Montgomery products, so steady-state exponentiation allocates
-  /// nothing per product.
+  /// base^exponent mod m (plain-domain base and result); 4-bit windows
+  /// over a single stack-backed limb arena for protocol-size moduli.
   BigInt pow(const BigInt& base, const BigInt& exponent) const;
 
  private:
   BigInt m_;
-  std::size_t k_;          // limb count of m
-  std::uint32_t m_prime_;  // -m^-1 mod 2^32
-  BigInt r2_;              // R^2 mod m, for to_mont
-  BigInt one_mont_;        // R mod m (1 in Montgomery form)
+  std::size_t k_;             // 64-bit limb count of m
+  limb64::Limb m_prime_;      // -m^-1 mod 2^64
+  // Flat constant storage the Mont view points into: m | R^2 mod m |
+  // R mod m, k limbs each.
+  std::vector<limb64::Limb> constants_;
+  limb64::Mont mont_;
 
-  friend class FixedExponentPlan;  // reuses mul_into / one_mont_ / k_
-
-  /// REDC over a raw double-width limb vector, in place: t becomes the
-  /// reduced k-limb (or shorter) result with no intermediate allocation.
-  void redc_in_place(std::vector<std::uint32_t>& t) const;
-
-  /// out = REDC(a * b), with the double-width product built in `scratch`
-  /// (grown once, then reused call after call).
-  void mul_into(const BigInt& a, const BigInt& b, BigInt& out,
-                std::vector<std::uint32_t>& scratch) const;
+  friend class FixedExponentPlan;  // reuses mont_ / m_ / k_
 };
 
 /// Exponentiation plan for a *fixed* (exponent, modulus) pair — the
@@ -71,16 +85,16 @@ class MontgomeryContext {
 /// are applied to a fresh base on every signature.
 ///
 /// MontgomeryContext::pow re-derives everything per call: it scans the
-/// exponent bits, builds a full 16-entry 4-bit window table and allocates
-/// the accumulators. A plan hoists all exponent-dependent work to
-/// construction time:
+/// exponent bits and builds a full 16-entry 4-bit window table. A plan
+/// hoists all exponent-dependent work to construction time:
 ///   - the sliding-window program (square runs + odd-window multiplies)
 ///     is decomposed once, so the per-call loop is a flat replay;
 ///   - the window width is sized to the exponent (4/5/6 bits for RSA-size
 ///     exponents — wider windows only pay off once the exponent is long
 ///     enough to amortize the bigger odd-power table);
-///   - the odd-power table, accumulators and REDC scratch are owned by the
-///     plan and reused, so steady-state signing allocates almost nothing.
+///   - the odd-power table, accumulator and REDC scratch live in one
+///     preallocated limb arena, so steady-state signing allocates only
+///     the BigInt result.
 /// Only the base-dependent odd-power table contents (2^(w-1) Montgomery
 /// products) are computed per call.
 ///
@@ -103,7 +117,7 @@ class FixedExponentPlan {
 
  private:
   /// One replay step: `squares` squarings, then (unless table_index < 0) a
-  /// multiply by the precomputed odd power table_[table_index].
+  /// multiply by the precomputed odd power table[table_index].
   struct Step {
     std::uint32_t squares = 0;
     std::int32_t table_index = -1;
@@ -116,12 +130,10 @@ class FixedExponentPlan {
   int window_bits_ = 1;
   std::vector<Step> program_;  // leading step first; its squares are skipped
 
-  // Per-call buffers, reused across pow() calls.
-  std::vector<BigInt> table_;  // odd powers base^1, base^3, ... (Montgomery form)
-  BigInt base_sq_;
-  BigInt acc_;
-  BigInt tmp_;
-  std::vector<std::uint32_t> scratch_;
+  // Per-call limb arena, reused across pow() calls: odd-power table
+  // (2^(w-1) entries of k limbs, Montgomery form), base^2, accumulator,
+  // then k + 2 limbs of REDC scratch.
+  std::vector<limb64::Limb> arena_;
 };
 
 /// Thread-safe, LRU-bounded cache of MontgomeryContext keyed by modulus
@@ -131,6 +143,11 @@ class FixedExponentPlan {
 /// context construction happens outside the lock (two threads racing on
 /// the same cold modulus may both build it — one copy wins, both are
 /// correct).
+///
+/// Hits and misses are tracked twice: per-cache counters behind hits() /
+/// misses() (reset by clear(), asserted exactly by tests), and the
+/// cumulative process-wide `crypto.mont.cache_hits` / `cache_misses`
+/// counters in obs::MetricsRegistry::global() for `--metrics` snapshots.
 class MontgomeryContextCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 64;
@@ -162,6 +179,8 @@ class MontgomeryContextCache {
   std::unordered_map<std::string, Entry> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::Counter* obs_hits_;    // process-wide mirror, never reset
+  obs::Counter* obs_misses_;
 };
 
 }  // namespace alidrone::crypto

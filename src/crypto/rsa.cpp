@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "crypto/batch_verify.h"
 #include "crypto/prime.h"
 #include "crypto/sha1.h"
 #include "crypto/sha256.h"
@@ -20,41 +21,51 @@ constexpr std::uint8_t kSha256Prefix[] = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09,
                                           0x04, 0x02, 0x01, 0x05, 0x00, 0x04,
                                           0x20};
 
-Bytes digest_info(std::span<const std::uint8_t> message, HashAlgorithm hash) {
-  Bytes out;
-  switch (hash) {
-    case HashAlgorithm::kSha1: {
-      const Sha1::Digest d = Sha1::hash(message);
-      out.assign(std::begin(kSha1Prefix), std::end(kSha1Prefix));
-      out.insert(out.end(), d.begin(), d.end());
-      break;
-    }
-    case HashAlgorithm::kSha256: {
-      const Sha256::Digest d = Sha256::hash(message);
-      out.assign(std::begin(kSha256Prefix), std::end(kSha256Prefix));
-      out.insert(out.end(), d.begin(), d.end());
-      break;
-    }
-  }
-  return out;
-}
-
-/// EMSA-PKCS1-v1_5 encoding: 0x00 0x01 FF..FF 0x00 DigestInfo.
+/// EMSA-PKCS1-v1_5 encoding: 0x00 0x01 FF..FF 0x00 DigestInfo. Throwing
+/// wrapper over the allocation-free emsa_pkcs1_encode_into.
 Bytes emsa_pkcs1_encode(std::span<const std::uint8_t> message, HashAlgorithm hash,
                         std::size_t em_len) {
-  const Bytes t = digest_info(message, hash);
-  if (em_len < t.size() + 11) {
+  Bytes em(em_len, 0);
+  if (!emsa_pkcs1_encode_into(message, hash, em)) {
     throw std::length_error("RSA modulus too small for this digest");
   }
-  Bytes em(em_len, 0xFF);
-  em[0] = 0x00;
-  em[1] = 0x01;
-  em[em_len - t.size() - 1] = 0x00;
-  std::copy(t.begin(), t.end(), em.end() - static_cast<std::ptrdiff_t>(t.size()));
   return em;
 }
 
 }  // namespace
+
+bool emsa_pkcs1_encode_into(std::span<const std::uint8_t> message,
+                            HashAlgorithm hash, std::span<std::uint8_t> em) {
+  // DigestInfo on the stack: the longest prefix (19 bytes) + SHA-256 (32).
+  std::uint8_t t[sizeof(kSha256Prefix) + Sha256::kDigestSize];
+  std::size_t t_len = 0;
+  switch (hash) {
+    case HashAlgorithm::kSha1: {
+      const Sha1::Digest d = Sha1::hash(message);
+      std::copy(std::begin(kSha1Prefix), std::end(kSha1Prefix), t);
+      std::copy(d.begin(), d.end(), t + sizeof(kSha1Prefix));
+      t_len = sizeof(kSha1Prefix) + d.size();
+      break;
+    }
+    case HashAlgorithm::kSha256: {
+      const Sha256::Digest d = Sha256::hash(message);
+      std::copy(std::begin(kSha256Prefix), std::end(kSha256Prefix), t);
+      std::copy(d.begin(), d.end(), t + sizeof(kSha256Prefix));
+      t_len = sizeof(kSha256Prefix) + d.size();
+      break;
+    }
+  }
+  if (em.size() < t_len + 11) return false;
+  em[0] = 0x00;
+  em[1] = 0x01;
+  const std::size_t ps_end = em.size() - t_len - 1;
+  std::fill(em.begin() + 2, em.begin() + static_cast<std::ptrdiff_t>(ps_end),
+            0xFF);
+  em[ps_end] = 0x00;
+  std::copy(t, t + t_len,
+            em.begin() + static_cast<std::ptrdiff_t>(ps_end + 1));
+  return true;
+}
 
 std::string to_string(HashAlgorithm h) {
   switch (h) {
@@ -264,6 +275,12 @@ Bytes rsa_sign_blinded(const RsaPrivateKey& key,
 
 bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
                 std::span<const std::uint8_t> signature, HashAlgorithm hash) {
+  // RSA-range keys take the fixed-capacity 64-bit engine (same verdicts,
+  // no per-call heap traffic beyond the one-time context build).
+  if (RsaVerifyEngine::supports(key)) {
+    return RsaVerifyEngine(key).verify(message, signature, hash);
+  }
+
   const std::size_t k = key.modulus_bytes();
   if (signature.size() != k) return false;
 

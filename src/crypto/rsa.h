@@ -82,8 +82,16 @@ Bytes rsa_sign_blinded(const RsaPrivateKey& key,
 
 /// Strict RSASSA-PKCS1-v1_5 verification; false on any mismatch (never throws
 /// for malformed signatures — a hostile input must not crash the Auditor).
+/// Routes through the allocation-free RsaVerifyEngine for supported keys.
 bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
                 std::span<const std::uint8_t> signature, HashAlgorithm hash);
+
+/// EMSA-PKCS1-v1_5 encoding (0x00 0x01 FF..FF 0x00 DigestInfo) written
+/// into a caller buffer of exactly em.size() bytes, allocation-free.
+/// Returns false when the buffer cannot hold the digest (the "modulus
+/// too small for this digest" case).
+bool emsa_pkcs1_encode_into(std::span<const std::uint8_t> message,
+                            HashAlgorithm hash, std::span<std::uint8_t> em);
 
 /// RSAES-PKCS1-v1_5 encryption. Message must be at most k - 11 bytes where
 /// k is the modulus length; throws std::length_error otherwise.

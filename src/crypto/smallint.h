@@ -1,0 +1,180 @@
+// crypto::SmallInt<N> — fixed-capacity, stack-only unsigned bignum.
+//
+// The value type over the limb64 kernels: little-endian uint64_t
+// limbs[N] with an in-place normalized size, no heap anywhere. N is
+// chosen per use site against limb64::kMaxProtocolLimbs (64 limbs =
+// 4096 bits, the protocol ceiling); operations that would exceed the
+// capacity throw rather than silently truncate. Conversion shims to and
+// from the general sign/magnitude BigInt live at the API boundary so
+// callers pay the translation cost once, outside inner loops.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bigint.h"
+#include "crypto/limb64.h"
+
+namespace alidrone::crypto {
+
+template <std::size_t N>
+class SmallInt {
+ public:
+  static_assert(N > 0, "SmallInt needs at least one limb");
+  using Limb = limb64::Limb;
+  static constexpr std::size_t kCapacity = N;
+
+  SmallInt() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): literal ergonomics.
+  SmallInt(std::uint64_t v) {
+    if (v != 0) {
+      limbs_[0] = v;
+      size_ = 1;
+    }
+  }
+
+  /// From a non-negative BigInt; throws std::length_error when the value
+  /// needs more than N limbs and std::domain_error when negative.
+  static SmallInt from_big(const BigInt& v) {
+    if (v.is_negative()) {
+      throw std::domain_error("SmallInt::from_big: negative value");
+    }
+    SmallInt out;
+    v.to_limbs64(out.limbs_, N);
+    out.size_ = limb64::normalized_size(out.limbs_, N);
+    return out;
+  }
+
+  BigInt to_big() const { return BigInt::from_limbs64(limbs_, size_); }
+
+  /// From little-endian limbs; throws std::length_error on overflow.
+  static SmallInt from_limbs(const Limb* limbs, std::size_t n) {
+    const std::size_t used = limb64::normalized_size(limbs, n);
+    if (used > N) {
+      throw std::length_error("SmallInt::from_limbs: value does not fit");
+    }
+    SmallInt out;
+    std::copy(limbs, limbs + used, out.limbs_);
+    out.size_ = used;
+    return out;
+  }
+
+  /// From big-endian bytes; throws std::length_error on overflow.
+  static SmallInt from_bytes(std::span<const std::uint8_t> be) {
+    SmallInt out;
+    if (!limb64::from_bytes_be(be.data(), be.size(), out.limbs_, N)) {
+      throw std::length_error("SmallInt::from_bytes: value does not fit");
+    }
+    out.size_ = limb64::normalized_size(out.limbs_, N);
+    return out;
+  }
+
+  /// Exactly out.size() big-endian bytes, zero-padded on the left;
+  /// throws std::length_error when the value does not fit.
+  void to_bytes(std::span<std::uint8_t> out) const {
+    if (!limb64::to_bytes_be(limbs_, size_, out.data(), out.size())) {
+      throw std::length_error("SmallInt::to_bytes: value does not fit");
+    }
+  }
+
+  bool is_zero() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  const Limb* limbs() const { return limbs_; }
+  Limb limb(std::size_t i) const { return i < size_ ? limbs_[i] : 0; }
+
+  std::size_t bit_length() const {
+    if (size_ == 0) return 0;
+    return 64 * size_ - static_cast<std::size_t>(std::countl_zero(limbs_[size_ - 1]));
+  }
+
+  int compare(const SmallInt& o) const {
+    if (size_ != o.size_) return size_ < o.size_ ? -1 : 1;
+    return limb64::cmp_n(limbs_, o.limbs_, size_);
+  }
+
+  friend bool operator==(const SmallInt& a, const SmallInt& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const SmallInt& a, const SmallInt& b) {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const SmallInt& a, const SmallInt& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const SmallInt& a, const SmallInt& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const SmallInt& a, const SmallInt& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const SmallInt& a, const SmallInt& b) {
+    return a.compare(b) >= 0;
+  }
+
+  /// In-place add; throws std::overflow_error past N limbs.
+  SmallInt& operator+=(const SmallInt& o) {
+    const std::size_t n = std::max(size_, o.size_);
+    Limb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const limb64::Wide sum =
+          static_cast<limb64::Wide>(limb(i)) + o.limb(i) + carry;
+      limbs_[i] = static_cast<Limb>(sum);
+      carry = static_cast<Limb>(sum >> 64);
+    }
+    size_ = n;
+    if (carry != 0) {
+      if (n >= N) throw std::overflow_error("SmallInt: capacity exceeded");
+      limbs_[n] = carry;
+      size_ = n + 1;
+    }
+    return *this;
+  }
+
+  /// In-place subtract; throws std::underflow_error when o > *this
+  /// (SmallInt is unsigned).
+  SmallInt& operator-=(const SmallInt& o) {
+    if (compare(o) < 0) {
+      throw std::underflow_error("SmallInt: negative result");
+    }
+    Limb borrow = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const limb64::Wide diff =
+          static_cast<limb64::Wide>(limbs_[i]) - o.limb(i) - borrow;
+      limbs_[i] = static_cast<Limb>(diff);
+      borrow = static_cast<Limb>((diff >> 64) & 1);
+    }
+    size_ = limb64::normalized_size(limbs_, size_);
+    return *this;
+  }
+
+  friend SmallInt operator+(const SmallInt& a, const SmallInt& b) {
+    SmallInt out = a;
+    out += b;
+    return out;
+  }
+  friend SmallInt operator-(const SmallInt& a, const SmallInt& b) {
+    SmallInt out = a;
+    out -= b;
+    return out;
+  }
+
+ private:
+  Limb limbs_[N] = {};
+  std::size_t size_ = 0;  ///< normalized limb count (no trailing zeros)
+};
+
+/// Full product — the result capacity NA + NB always holds it, so no
+/// overflow path exists.
+template <std::size_t NA, std::size_t NB>
+SmallInt<NA + NB> operator*(const SmallInt<NA>& a, const SmallInt<NB>& b) {
+  limb64::Limb prod[NA + NB] = {};
+  limb64::mul(prod, a.limbs(), a.size(), b.limbs(), b.size());
+  return SmallInt<NA + NB>::from_limbs(prod, a.size() + b.size());
+}
+
+}  // namespace alidrone::crypto

@@ -1,0 +1,462 @@
+// Differential suite for the fixed-capacity 64-bit bignum core: SmallInt
+// arithmetic and the limb64 Montgomery kernels are checked limb-for-limb
+// against the general BigInt path at 1024/2048/4096 bits, the
+// allocation-free RsaVerifyEngine against rsa_verify, and the batched
+// small-exponents test against serial verification — including the
+// security property that one forged signature inside a batch flips the
+// product check into the per-proof fallback with serial-identical
+// verdicts, at the crypto layer and end to end through the Auditor.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "geo/units.h"
+#include "crypto/batch_verify.h"
+#include "crypto/montgomery.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "crypto/smallint.h"
+#include "obs/metrics.h"
+#include "sim/scenarios.h"
+
+namespace alidrone::crypto {
+namespace {
+
+using Limb = limb64::Limb;
+
+// ---- SmallInt vs BigInt differential arithmetic ----
+
+BigInt odd_modulus(DeterministicRandom& rng, std::size_t bits) {
+  BigInt m = (BigInt(1) << (bits - 1)) + rng.random_bits(bits - 1);
+  if (!m.is_odd()) m = m + BigInt(1);  // even => +1 cannot carry past a bit
+  return m;
+}
+
+TEST(SmallInt, EdgeCases) {
+  using S = SmallInt<4>;
+  EXPECT_TRUE(S().is_zero());
+  EXPECT_EQ(S(0).size(), 0u);
+  EXPECT_EQ(S(7).bit_length(), 3u);
+
+  // Carry chain across every limb: (2^256 - 1) + 1 needs a fifth limb.
+  const Limb all[4] = {~0ull, ~0ull, ~0ull, ~0ull};
+  S ones = S::from_limbs(all, 4);
+  EXPECT_THROW(ones += S(1), std::overflow_error);
+
+  // Borrow chain: 2^192 - 1 == (2^192) - 1 via BigInt cross-check.
+  S pow = S::from_big(BigInt(1) << 192);
+  S dec = pow;
+  dec -= S(1);
+  EXPECT_EQ(dec.to_big(), (BigInt(1) << 192) - BigInt(1));
+  EXPECT_EQ(dec.size(), 3u);
+  EXPECT_THROW(S(1) - S(2), std::underflow_error);
+  EXPECT_EQ((S(5) - S(5)).size(), 0u);
+
+  EXPECT_THROW(S::from_big(BigInt(-1)), std::domain_error);
+  EXPECT_THROW(S::from_big(BigInt(1) << 256), std::length_error);
+}
+
+TEST(SmallInt, BytesRoundTrip) {
+  DeterministicRandom rng("smallint-bytes");
+  for (int iter = 0; iter < 50; ++iter) {
+    const BigInt a = rng.random_bits(500);
+    const auto s = SmallInt<8>::from_big(a);
+    std::uint8_t buf[64] = {};
+    s.to_bytes(buf);
+    EXPECT_EQ(SmallInt<8>::from_bytes(buf).to_big(), a);
+    EXPECT_EQ(BigInt::from_bytes(buf), a);
+  }
+}
+
+TEST(SmallInt, DifferentialAddSubMul) {
+  DeterministicRandom rng("smallint-diff");
+  for (const std::size_t bits : {1024u, 2048u, 4096u}) {
+    for (int iter = 0; iter < 30; ++iter) {
+      const BigInt a = rng.random_bits(bits - 1);
+      const BigInt b = rng.random_bits(bits - 1);
+      const auto sa = SmallInt<64>::from_big(a);
+      const auto sb = SmallInt<64>::from_big(b);
+      EXPECT_EQ((sa + sb).to_big(), a + b) << bits;
+      const bool a_ge_b = a >= b;
+      EXPECT_EQ((a_ge_b ? sa - sb : sb - sa).to_big(),
+                a_ge_b ? a - b : b - a)
+          << bits;
+      EXPECT_EQ(sa.compare(sb) < 0, a < b) << bits;
+    }
+  }
+  // Full products at half capacity so NA + NB stays within the template.
+  for (int iter = 0; iter < 30; ++iter) {
+    const BigInt a = rng.random_bits(2048);
+    const BigInt b = rng.random_bits(2048);
+    const auto p = SmallInt<32>::from_big(a) * SmallInt<32>::from_big(b);
+    EXPECT_EQ(p.to_big(), a * b);
+  }
+}
+
+// ---- limb64 Montgomery kernels vs BigInt ----
+
+TEST(SmallInt, DifferentialMontgomeryKernels) {
+  DeterministicRandom rng("smallint-mont");
+  for (const std::size_t bits : {1024u, 2048u, 4096u}) {
+    const BigInt m = odd_modulus(rng, bits);
+    const MontgomeryContext ctx(m);
+    const limb64::Mont& mont = ctx.mont();
+    const std::size_t k = ctx.limb_count();
+    std::vector<Limb> a_hat(k), b_hat(k), out(k), t(k + 2);
+
+    for (int iter = 0; iter < 10; ++iter) {
+      const BigInt a = rng.random_range(BigInt(0), m - BigInt(1));
+      const BigInt b = rng.random_range(BigInt(0), m - BigInt(1));
+
+      // mont_mul over raw limbs: from_mont(a-hat * b-hat) == a*b mod m.
+      ctx.to_mont(a).to_limbs64(a_hat.data(), k);
+      ctx.to_mont(b).to_limbs64(b_hat.data(), k);
+      limb64::mont_mul(mont, a_hat.data(), b_hat.data(), out.data(), t.data());
+      limb64::redc(mont, out.data(), out.data(), t.data());
+      EXPECT_EQ(BigInt::from_limbs64(out.data(), k), (a * b).mod(m)) << bits;
+
+      // redc inverts to_mont exactly.
+      limb64::redc(mont, a_hat.data(), out.data(), t.data());
+      EXPECT_EQ(BigInt::from_limbs64(out.data(), k), a) << bits;
+    }
+
+    // modexp: windowed (wide exponent) and square-multiply (<= 64 bits)
+    // paths against BigInt::mod_pow.
+    const BigInt base = rng.random_range(BigInt(0), m - BigInt(1));
+    for (const std::size_t ebits : {40u, 256u}) {
+      const BigInt e = rng.random_bits(ebits);
+      EXPECT_EQ(ctx.pow(base, e), base.mod_pow(e, m)) << bits << ":" << ebits;
+    }
+  }
+}
+
+// ---- RsaVerifyEngine vs rsa_verify ----
+
+TEST(SmallInt, VerifyEngineMatchesRsaVerify) {
+  DeterministicRandom rng("engine-vs-serial");
+  const RsaKeyPair key = generate_rsa_keypair(1024, rng);
+  ASSERT_TRUE(RsaVerifyEngine::supports(key.pub));
+  RsaVerifyEngine engine(key.pub);
+
+  const Bytes msg = {'p', 'o', 'a', '-', 's', 'a', 'm', 'p', 'l', 'e'};
+  Bytes sig = rsa_sign(key.priv, msg, HashAlgorithm::kSha256);
+
+  const auto both = [&](std::span<const std::uint8_t> m,
+                        std::span<const std::uint8_t> s) {
+    const bool serial = rsa_verify(key.pub, m, s, HashAlgorithm::kSha256);
+    EXPECT_EQ(engine.verify(m, s, HashAlgorithm::kSha256), serial);
+    return serial;
+  };
+
+  EXPECT_TRUE(both(msg, sig));
+  Bytes bad = sig;
+  bad[7] ^= 0x40;
+  EXPECT_FALSE(both(msg, bad));           // corrupted signature
+  Bytes other = msg;
+  other[0] ^= 0x01;
+  EXPECT_FALSE(both(other, sig));         // corrupted message
+  EXPECT_FALSE(both(msg, Bytes(sig.begin(), sig.end() - 1)));  // wrong length
+  EXPECT_FALSE(both(msg, key.pub.n.to_bytes(sig.size())));     // s == n >= n
+}
+
+// ---- Batched verification: throughput path and the forgery flip ----
+
+struct SignedMsg {
+  Bytes msg;
+  Bytes sig;
+};
+
+std::vector<SignedMsg> make_signed(const RsaKeyPair& key, std::size_t count) {
+  std::vector<SignedMsg> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].msg = {static_cast<std::uint8_t>(i), 0x55, 0xaa,
+                  static_cast<std::uint8_t>(i * 7)};
+    out[i].sig = rsa_sign(key.priv, out[i].msg, HashAlgorithm::kSha256);
+  }
+  return out;
+}
+
+TEST(BatchVerify, AllValidBatchSettlesWithoutFallback) {
+  DeterministicRandom rng("batch-valid");
+  const RsaKeyPair key = generate_rsa_keypair(1024, rng);
+  const auto items = make_signed(key, 8);
+
+  BatchVerifyConfig config;
+  config.max_batch = 8;
+  BatchRsaVerifier bv(key.pub, config);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(bv.enqueue(i, items[i].msg, items[i].sig, HashAlgorithm::kSha256));
+  }
+  EXPECT_TRUE(bv.full());
+  EXPECT_EQ(bv.flush(), std::nullopt);
+  EXPECT_EQ(bv.flushes(), 1u);
+  EXPECT_EQ(bv.batched_items(), 8u);
+  EXPECT_EQ(bv.fallbacks(), 0u);
+  EXPECT_EQ(bv.size(), 0u);  // queue reset
+}
+
+TEST(BatchVerify, ForgedSignatureFlipsToPerProofFallback) {
+  DeterministicRandom rng("batch-forged");
+  const RsaKeyPair key = generate_rsa_keypair(1024, rng);
+  auto items = make_signed(key, 8);
+  // A structurally valid forgery: index 3 carries index 0's signature.
+  items[3].sig = items[0].sig;
+
+  for (const std::size_t check_bits : {0u, 16u}) {
+    BatchVerifyConfig config;
+    config.max_batch = 8;
+    config.check_bits = check_bits;
+    BatchRsaVerifier bv(key.pub, config);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      ASSERT_TRUE(
+          bv.enqueue(i, items[i].msg, items[i].sig, HashAlgorithm::kSha256));
+    }
+    const auto bad = bv.flush();
+    ASSERT_TRUE(bad.has_value()) << check_bits;
+    EXPECT_EQ(*bad, 3u) << check_bits;
+    EXPECT_EQ(bv.fallbacks(), 1u);
+
+    // The fallback's per-proof verdicts are serial verification verbatim.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(rsa_verify(key.pub, items[i].msg, items[i].sig,
+                           HashAlgorithm::kSha256),
+                i != 3)
+          << i;
+    }
+  }
+}
+
+TEST(BatchVerify, ReportsFirstOfSeveralForgeries) {
+  DeterministicRandom rng("batch-two-forged");
+  const RsaKeyPair key = generate_rsa_keypair(1024, rng);
+  auto items = make_signed(key, 6);
+  items[2].sig = items[0].sig;
+  items[5].sig = items[1].sig;
+
+  BatchRsaVerifier bv(key.pub);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(
+        bv.enqueue(i, items[i].msg, items[i].sig, HashAlgorithm::kSha256));
+  }
+  EXPECT_EQ(bv.flush(), std::optional<std::size_t>(2));  // lowest index wins
+}
+
+// The check_bits = 0 plain product test verifies permutation-invariant
+// set authenticity: swapping two valid signatures leaves both products
+// unchanged, so the batch passes even though serial verification rejects
+// both items. Distinct per-item challenges (check_bits > 0) break that
+// symmetry. This is why the Auditor never selects screening implicitly.
+TEST(BatchVerify, ScreeningIsPermutationInvariantChallengesAreNot) {
+  DeterministicRandom rng("batch-swap");
+  const RsaKeyPair key = generate_rsa_keypair(1024, rng);
+  auto items = make_signed(key, 6);
+  std::swap(items[1].sig, items[4].sig);
+
+  // Each swapped pair is individually invalid.
+  EXPECT_FALSE(rsa_verify(key.pub, items[1].msg, items[1].sig,
+                          HashAlgorithm::kSha256));
+  EXPECT_FALSE(rsa_verify(key.pub, items[4].msg, items[4].sig,
+                          HashAlgorithm::kSha256));
+
+  BatchVerifyConfig screening;
+  screening.check_bits = 0;
+  BatchRsaVerifier plain(key.pub, screening);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(
+        plain.enqueue(i, items[i].msg, items[i].sig, HashAlgorithm::kSha256));
+  }
+  EXPECT_EQ(plain.flush(), std::nullopt);  // the product cannot see the swap
+  EXPECT_EQ(plain.fallbacks(), 0u);
+
+  BatchRsaVerifier challenged(key.pub);  // default 16-bit challenges
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(challenged.enqueue(i, items[i].msg, items[i].sig,
+                                   HashAlgorithm::kSha256));
+  }
+  EXPECT_EQ(challenged.flush(), std::optional<std::size_t>(1));
+  EXPECT_EQ(challenged.fallbacks(), 1u);
+}
+
+TEST(BatchVerify, StructurallyInvalidItemsAreRejectedWithoutQueueing) {
+  DeterministicRandom rng("batch-structural");
+  const RsaKeyPair key = generate_rsa_keypair(1024, rng);
+  const auto items = make_signed(key, 2);
+
+  BatchRsaVerifier bv(key.pub);
+  ASSERT_TRUE(bv.enqueue(0, items[0].msg, items[0].sig, HashAlgorithm::kSha256));
+  const Bytes short_sig(items[1].sig.begin(), items[1].sig.end() - 1);
+  EXPECT_FALSE(bv.enqueue(1, items[1].msg, short_sig, HashAlgorithm::kSha256));
+  const Bytes big_sig = key.pub.n.to_bytes(items[1].sig.size());  // s == n
+  EXPECT_FALSE(bv.enqueue(1, items[1].msg, big_sig, HashAlgorithm::kSha256));
+  EXPECT_EQ(bv.size(), 1u);              // nothing was queued
+  EXPECT_EQ(bv.flush(), std::nullopt);   // the queued item is still valid
+}
+
+// Shared immutable Montgomery state: many engines on one cached context,
+// verifying concurrently. Run under the tsan label.
+TEST(BatchVerify, ConcurrentEnginesShareContextSafely) {
+  DeterministicRandom rng("batch-threads");
+  const RsaKeyPair key = generate_rsa_keypair(512, rng);
+  const auto items = make_signed(key, 4);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&] {
+      RsaVerifyEngine engine(key.pub);
+      for (int round = 0; round < 8; ++round) {
+        for (const auto& it : items) {
+          ASSERT_TRUE(engine.verify(it.msg, it.sig, HashAlgorithm::kSha256));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace alidrone::crypto
+
+// ---- End to end: Auditor verdicts and audit detail are identical with
+// batching on and off, and the batch counters surface in the registry ----
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kTestKeyBits = 512;
+
+class AuditorBatchEquivalence : public ::testing::Test {
+ protected:
+  AuditorBatchEquivalence()
+      : rng_serial_("batch-eq-auditor"),
+        rng_batched_("batch-eq-auditor"),  // same seed: same keypair
+        operator_rng_("batch-eq-operator"),
+        serial_(kTestKeyBits, rng_serial_, serial_params()),
+        batched_(kTestKeyBits, rng_batched_, batched_params()),
+        tee_(make_tee_config()),
+        client_(tee_, kTestKeyBits, operator_rng_) {
+    serial_.bind(serial_bus_);
+    batched_.bind(batched_bus_);
+    EXPECT_TRUE(client_.register_with_auditor(serial_bus_));
+    EXPECT_TRUE(client_.register_with_auditor(batched_bus_));
+  }
+
+  static ProtocolParams serial_params() {
+    ProtocolParams p;
+    p.batch_verify = false;
+    return p;
+  }
+  static ProtocolParams batched_params() {
+    ProtocolParams p;
+    p.batch_verify = true;
+    p.batch_verify_max_batch = 4;  // force several flushes per PoA
+    // 8-bit challenges keep the Auditor's cost gate open for e = 65537
+    // (17 bits > 8 + 4) so these tests actually exercise the batch path;
+    // the default 16-bit setting makes the gate choose the serial engine.
+    p.batch_verify_check_bits = 8;
+    return p;
+  }
+  static tee::DroneTee::Config make_tee_config() {
+    tee::DroneTee::Config config;
+    config.key_bits = kTestKeyBits;
+    config.manufacturing_seed = "batch-eq-device";
+    return config;
+  }
+
+  ProofOfAlibi fly() {
+    const sim::Scenario scenario = sim::make_airport_scenario(kT0);
+    gps::GpsReceiverSim::Config rc;
+    rc.update_rate_hz = 5.0;
+    rc.start_time = scenario.route.start_time();
+    gps::GpsReceiverSim receiver(rc, scenario.route.as_position_source());
+    AdaptiveSampler policy(scenario.frame, scenario.local_zones(),
+                           geo::kFaaMaxSpeedMps, 5.0);
+    FlightConfig config;
+    config.end_time = scenario.route.start_time() +
+                      std::min(60.0, scenario.route.duration());
+    config.frame = scenario.frame;
+    config.local_zones = scenario.local_zones();
+    config.auth_mode = AuthMode::kRsaPerSample;
+    return client_.fly(receiver, policy, config);
+  }
+
+  crypto::DeterministicRandom rng_serial_;
+  crypto::DeterministicRandom rng_batched_;
+  crypto::DeterministicRandom operator_rng_;
+  net::MessageBus serial_bus_;
+  net::MessageBus batched_bus_;
+  Auditor serial_;
+  Auditor batched_;
+  tee::DroneTee tee_;
+  DroneClient client_;
+};
+
+TEST_F(AuditorBatchEquivalence, VerdictsMatchSerialForValidAndForgedPoas) {
+  ProofOfAlibi poa = fly();
+  ASSERT_GT(poa.samples.size(), 4u);
+
+  const PoaVerdict vs = serial_.verify_poa(poa, kT0 + 500);
+  const PoaVerdict vb = batched_.verify_poa(poa, kT0 + 500);
+  EXPECT_TRUE(vb.accepted) << vb.detail;
+  EXPECT_EQ(vb.accepted, vs.accepted);
+  EXPECT_EQ(vb.compliant, vs.compliant);
+  EXPECT_EQ(vb.detail, vs.detail);
+
+  // Forge one signature mid-PoA: both paths must report the same sample.
+  const std::size_t victim = poa.samples.size() / 2;
+  poa.samples[victim].signature = poa.samples[0].signature;
+  const PoaVerdict fs = serial_.verify_poa(poa, kT0 + 501);
+  const PoaVerdict fb = batched_.verify_poa(poa, kT0 + 501);
+  EXPECT_FALSE(fb.accepted);
+  EXPECT_EQ(fb.detail, "sample " + std::to_string(victim) + " signature invalid");
+  EXPECT_EQ(fb.detail, fs.detail);
+
+  // Two forgeries: serial ordering says the lower index is reported.
+  poa.samples[victim + 1].signature = poa.samples[1].signature;
+  EXPECT_EQ(batched_.verify_poa(poa, kT0 + 502).detail,
+            serial_.verify_poa(poa, kT0 + 502).detail);
+
+  // Signature swap: each swapped sample is individually invalid but the
+  // multiset of signatures is unchanged — exactly the case the randomized
+  // challenges exist for. Both paths must reject with the lower index.
+  ProofOfAlibi swapped = fly();
+  std::swap(swapped.samples[1].signature, swapped.samples[3].signature);
+  const PoaVerdict ss = serial_.verify_poa(swapped, kT0 + 503);
+  const PoaVerdict sb = batched_.verify_poa(swapped, kT0 + 503);
+  EXPECT_FALSE(sb.accepted);
+  EXPECT_EQ(sb.detail, "sample 1 signature invalid");
+  EXPECT_EQ(sb.detail, ss.detail);
+}
+
+TEST_F(AuditorBatchEquivalence, BatchCountersSurfaceInMetricsRegistry) {
+  obs::MetricsRegistry registry;
+  ProtocolParams params = batched_params();
+  params.metrics = &registry;
+  crypto::DeterministicRandom rng("batch-metrics-auditor");
+  Auditor auditor(kTestKeyBits, rng, params);
+  net::MessageBus bus;
+  auditor.bind(bus);
+  ASSERT_TRUE(client_.register_with_auditor(bus));
+
+  const ProofOfAlibi poa = fly();
+  ASSERT_GT(poa.samples.size(), 4u);
+  ASSERT_TRUE(auditor.verify_poa(poa, kT0 + 500).accepted);
+
+  // First auditor in a fresh registry => instance scope core.auditor#0.
+  const std::uint64_t groups =
+      registry.counter("core.auditor#0.batch.groups").value();
+  const std::uint64_t samples =
+      registry.counter("core.auditor#0.batch.samples").value();
+  EXPECT_GE(groups, 2u);  // max_batch = 4 forces multiple flushes
+  EXPECT_EQ(samples, poa.samples.size());
+  EXPECT_EQ(registry.counter("core.auditor#0.batch.fallbacks").value(), 0u);
+  EXPECT_GT(registry.gauge("core.auditor#0.batch.max_group").value(), 0.0);
+  EXPECT_NE(registry.to_json().find("core.auditor#0.batch.groups"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace alidrone::core
