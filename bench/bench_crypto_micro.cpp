@@ -8,6 +8,7 @@
 
 #include "crypto/chacha20.h"
 #include "crypto/ecdsa.h"
+#include "crypto/hash_chain.h"
 #include "crypto/hmac.h"
 #include "crypto/prime.h"
 #include "crypto/rsa.h"
@@ -184,6 +185,86 @@ void BM_BigIntAccumulateInPlace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BigIntAccumulateInPlace)->Arg(1024)->Arg(4096);
+
+// ---- TESLA hash-chain primitives (the hash-chain PoA mode) -------------
+
+/// Chain construction: N SHA-256 steps from seed to anchor, plus the
+/// checkpoint cache. Paid once per flight.
+void BM_TeslaChainBuild(benchmark::State& state) {
+  ChainKey seed{};
+  seed.fill(0x5A);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashChain(seed, n));
+  }
+  state.counters["hashes_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TeslaChainBuild)->Arg(1024)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Checkpoint-cache ablation: K_i lookup cost by stride. Args: {length,
+/// stride} — stride 1 caches every key (O(1) lookups, N keys of memory),
+/// 0 the √N default, `length` a single checkpoint (worst-case walk).
+/// The hashes_per_key counter is the chain's own derive_hashes() meter.
+void BM_TeslaChainKey(benchmark::State& state) {
+  ChainKey seed{};
+  seed.fill(0x5A);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const HashChain chain(seed, n, static_cast<std::size_t>(state.range(1)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.key((i++ * 7919) % n + 1));
+  }
+  state.counters["hashes_per_key"] =
+      state.iterations() > 0
+          ? static_cast<double>(chain.derive_hashes()) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+BENCHMARK(BM_TeslaChainKey)
+    ->Args({4096, 1})->Args({4096, 0})->Args({4096, 256})->Args({4096, 4096})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Per-sample tag (MAC-key separation + HMAC over interval || sample):
+/// the entire TESLA signing cost once K_i is in hand.
+void BM_TeslaTag(benchmark::State& state) {
+  ChainKey key{};
+  key.fill(0x77);
+  std::uint64_t interval = 0;
+  for (auto _ : state) {
+    const ChainKey mac_key = tesla_mac_key(key);
+    benchmark::DoNotOptimize(tesla_tag(mac_key, ++interval, sample_bytes()));
+  }
+  state.counters["tags_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TeslaTag)->Unit(benchmark::kMicrosecond);
+
+/// Verifier frontier: one full flight of in-order disclosures costs N
+/// hashes total (the per-accept cost here is a single chain step).
+void BM_TeslaFrontierAccept(benchmark::State& state) {
+  ChainKey seed{};
+  seed.fill(0x5A);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const HashChain chain(seed, n, 1);  // stride 1: O(1) key lookups
+  std::vector<ChainKey> keys;
+  keys.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) keys.push_back(chain.key(i));
+  for (auto _ : state) {
+    ChainFrontier frontier(chain.anchor(), n);
+    for (std::size_t i = 1; i <= n; ++i) {
+      if (!frontier.accept(i, keys[i - 1])) std::abort();  // keys are genuine
+    }
+    benchmark::DoNotOptimize(frontier);
+  }
+  state.counters["accepts_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TeslaFrontierAccept)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_MillerRabin(benchmark::State& state) {
   DeterministicRandom rng("bench-mr");

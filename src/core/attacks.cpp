@@ -62,4 +62,70 @@ ProofOfAlibi drop_samples(const ProofOfAlibi& poa, std::size_t from, std::size_t
   return out;
 }
 
+namespace {
+
+/// Pin a fix's timestamp to the midpoint of `interval` so the claimed
+/// interval and the embedded canonical time agree.
+gps::GpsFix pin_to_interval(gps::GpsFix fix, const tee::TeslaCommit& commit,
+                            std::uint64_t interval) {
+  const std::int64_t t_us =
+      commit.t0_us +
+      static_cast<std::int64_t>((interval - 1) * commit.interval_us +
+                                commit.interval_us / 2);
+  fix.unix_time = static_cast<double>(t_us) * 1e-6;
+  return fix;
+}
+
+}  // namespace
+
+TeslaSampleBroadcast tesla_forge_tag(const DroneId& drone_id,
+                                     std::uint64_t session_nonce,
+                                     std::uint64_t interval,
+                                     const tee::TeslaCommit& commit,
+                                     gps::GpsFix fake_fix,
+                                     crypto::RandomSource& rng) {
+  TeslaSampleBroadcast out;
+  out.drone_id = drone_id;
+  out.session_nonce = session_nonce;
+  out.interval = interval;
+  out.sample = tee::encode_sample(pin_to_interval(fake_fix, commit, interval));
+  out.tag = rng.bytes(crypto::kChainKeySize);
+  return out;
+}
+
+TeslaSampleBroadcast tesla_late_sample(const DroneId& drone_id,
+                                       std::uint64_t session_nonce,
+                                       const crypto::ChainKey& disclosed_key,
+                                       std::uint64_t disclosed_index,
+                                       std::uint64_t interval,
+                                       const tee::TeslaCommit& commit,
+                                       gps::GpsFix fake_fix) {
+  TeslaSampleBroadcast out;
+  out.drone_id = drone_id;
+  out.session_nonce = session_nonce;
+  out.interval = interval;
+  out.sample = tee::encode_sample(pin_to_interval(fake_fix, commit, interval));
+  // The eavesdropper's derivation: K_interval from the public K_index.
+  crypto::ChainKey key = disclosed_key;
+  for (std::uint64_t at = disclosed_index; at > interval; --at) {
+    key = crypto::chain_step(key);
+  }
+  const crypto::ChainKey tag =
+      crypto::tesla_tag(crypto::tesla_mac_key(key), interval, out.sample);
+  out.tag.assign(tag.begin(), tag.end());
+  return out;
+}
+
+TeslaDiscloseRequest tesla_forge_disclosure(const DroneId& drone_id,
+                                            std::uint64_t session_nonce,
+                                            std::uint64_t index,
+                                            crypto::RandomSource& rng) {
+  TeslaDiscloseRequest out;
+  out.drone_id = drone_id;
+  out.session_nonce = session_nonce;
+  out.index = index;
+  out.key = rng.bytes(crypto::kChainKeySize);
+  return out;
+}
+
 }  // namespace alidrone::core::attacks

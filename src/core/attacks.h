@@ -10,14 +10,23 @@
 //  - drop_samples:  cut out the window where the drone entered a zone
 //                   (creates an insufficient gap, eq. (1) catches it);
 //  - replay is resubmitting a stored PoA verbatim — no helper needed; the
-//    accusation path shows why it fails (wrong flight window).
+//    accusation path shows why it fails (wrong flight window);
+//  - tesla_*:       the broadcast-mode attacker: forged tags, late samples
+//                   crafted from overheard (already public) chain keys,
+//                   and disclosures that do not chain to the commitment.
+//    A forked chain commitment is just a second, different announce under
+//    the same (drone, session) — no helper needed; replaying a disclosure
+//    verbatim is likewise just a resubmission.
 #pragma once
 
 #include <vector>
 
+#include "core/messages.h"
 #include "core/poa.h"
+#include "crypto/hash_chain.h"
 #include "crypto/random.h"
 #include "gps/fix.h"
+#include "tee/sample_codec.h"
 
 namespace alidrone::core::attacks {
 
@@ -45,5 +54,41 @@ ProofOfAlibi tamper_time(const ProofOfAlibi& poa, std::size_t index,
 /// Remove samples [from, to); signatures stay valid but the time gap
 /// makes the alibi insufficient near any zone the drone approached.
 ProofOfAlibi drop_samples(const ProofOfAlibi& poa, std::size_t from, std::size_t to);
+
+// ---- TESLA broadcast-mode attacks ----
+
+/// Craft a broadcast sample for `interval` with a random tag (the real
+/// chain key is still inside the TEE, so a guess is the attacker's best
+/// move). The Auditor buffers it — nothing is checkable yet — and must
+/// reject it with "tag invalid" once the interval's key is disclosed.
+/// `fake_fix`'s timestamp is overwritten with the interval midpoint so the
+/// sample is self-consistent (interval matches the embedded time).
+TeslaSampleBroadcast tesla_forge_tag(const DroneId& drone_id,
+                                     std::uint64_t session_nonce,
+                                     std::uint64_t interval,
+                                     const tee::TeslaCommit& commit,
+                                     gps::GpsFix fake_fix,
+                                     crypto::RandomSource& rng);
+
+/// Craft a *correctly tagged* sample for an interval whose key is already
+/// public: `disclosed_key` = K_disclosed_index, overheard on the channel;
+/// walking the chain down yields K_interval for any interval <= index, so
+/// any eavesdropper can compute a valid tag. The defense is temporal, not
+/// cryptographic — the Auditor must reject it as late.
+TeslaSampleBroadcast tesla_late_sample(const DroneId& drone_id,
+                                       std::uint64_t session_nonce,
+                                       const crypto::ChainKey& disclosed_key,
+                                       std::uint64_t disclosed_index,
+                                       std::uint64_t interval,
+                                       const tee::TeslaCommit& commit,
+                                       gps::GpsFix fake_fix);
+
+/// Disclose a random "chain key" for `index`. Hashing it down to the
+/// session frontier cannot reach the committed anchor, so the Auditor
+/// must reject it without advancing the frontier.
+TeslaDiscloseRequest tesla_forge_disclosure(const DroneId& drone_id,
+                                            std::uint64_t session_nonce,
+                                            std::uint64_t index,
+                                            crypto::RandomSource& rng);
 
 }  // namespace alidrone::core::attacks

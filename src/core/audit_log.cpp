@@ -19,6 +19,12 @@ std::string to_string(AuditEventType type) {
       return "accusation";
     case AuditEventType::kGpsFixDropped:
       return "gps-fix-dropped";
+    case AuditEventType::kTeslaSession:
+      return "tesla-session";
+    case AuditEventType::kTeslaSampleRejected:
+      return "tesla-sample-rejected";
+    case AuditEventType::kTeslaKeyRejected:
+      return "tesla-key-rejected";
   }
   return "unknown";
 }
@@ -29,7 +35,9 @@ std::optional<AuditEventType> type_from_string(const std::string& s) {
   for (const auto type :
        {AuditEventType::kDroneRegistered, AuditEventType::kZoneRegistered,
         AuditEventType::kZoneQuery, AuditEventType::kPoaVerdict,
-        AuditEventType::kAccusation, AuditEventType::kGpsFixDropped}) {
+        AuditEventType::kAccusation, AuditEventType::kGpsFixDropped,
+        AuditEventType::kTeslaSession, AuditEventType::kTeslaSampleRejected,
+        AuditEventType::kTeslaKeyRejected}) {
     if (to_string(type) == s) return type;
   }
   return std::nullopt;

@@ -31,6 +31,16 @@ enum class AuditEventType : std::uint8_t {
   /// Drone-side: the secure-world GPS driver's bounded pending-fix queue
   /// overflowed and lost its oldest fix (the latest fix is never lost).
   kGpsFixDropped,
+  /// TESLA broadcast mode: chain commitment announced (ok = accepted;
+  /// rejects cover bad signatures, forked chains, parameter bounds).
+  kTeslaSession,
+  /// TESLA sample refused admission (late arrival past the disclosure
+  /// deadline, unknown session, malformed sizes, buffer bound) or its tag
+  /// failed verification when the interval key was disclosed.
+  kTeslaSampleRejected,
+  /// TESLA key disclosure refused (does not chain to the committed
+  /// anchor — forged or forked — or replayed/out-of-range index).
+  kTeslaKeyRejected,
 };
 
 std::string to_string(AuditEventType type);

@@ -3,8 +3,11 @@
 #include "core/thinning.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "crypto/batch_verify.h"
+#include "crypto/hash_chain.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "net/codec.h"
@@ -35,6 +38,14 @@ Auditor::Auditor(std::size_t key_bits, crypto::RandomSource& rng, ProtocolParams
   batch_samples_ = &reg.counter(scope + ".batch.samples");
   batch_fallbacks_ = &reg.counter(scope + ".batch.fallbacks");
   batch_max_group_ = &reg.gauge(scope + ".batch.max_group");
+  TeslaVerifier::Config tesla_config;
+  tesla_config.max_chain_length = params_.tesla_max_chain_length;
+  tesla_config.max_disclosure_delay = params_.tesla_max_disclosure_delay;
+  tesla_config.max_sessions = params_.tesla_max_sessions;
+  tesla_config.max_buffered_samples = params_.tesla_max_buffered_samples;
+  tesla_config.clock_skew_s = params_.tesla_clock_skew_s;
+  tesla_config.clock = params_.clock;
+  tesla_ = std::make_unique<TeslaVerifier>(tesla_config, reg, scope);
 }
 
 std::size_t Auditor::shard_index(std::string_view drone_id) const {
@@ -331,6 +342,64 @@ std::string Auditor::authenticate_samples(const PoaView& poa,
     hmac_key = *key;
   }
 
+  // TESLA chain mode: the PoA is self-contained (see AuthMode docs) — the
+  // commitment is re-verified under T+, the carried frontier element is
+  // chained down to the committed anchor, and every MAC key the proof
+  // needs is captured along that single walk. One RSA verify total; the
+  // rest is hashing.
+  std::map<std::uint64_t, crypto::ChainKey> tesla_keys;
+  std::vector<std::uint64_t> tesla_intervals;
+  if (poa.mode == AuthMode::kTeslaChain) {
+    if (poa.encrypted) return "encrypted TESLA PoA unsupported";
+    const auto commit = tee::parse_tesla_commit(poa.batch_signature);
+    if (!commit) return "tesla commitment malformed";
+    if (commit->chain_length > params_.tesla_max_chain_length) {
+      return "tesla chain too long";
+    }
+    if (!crypto::rsa_verify(drone.tee_key, poa.batch_signature,
+                            poa.session_key_signature, poa.hash)) {
+      return "tesla commitment signature invalid";
+    }
+    if (poa.session_key_ciphertext.size() != 8 + crypto::kChainKeySize) {
+      return "tesla frontier malformed";
+    }
+    std::uint64_t top_index = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      top_index = (top_index << 8) | poa.session_key_ciphertext[i];
+    }
+    if (top_index > commit->chain_length) return "tesla frontier out of range";
+    crypto::ChainKey cur{};
+    std::copy_n(poa.session_key_ciphertext.begin() + 8, crypto::kChainKeySize,
+                cur.begin());
+    // Interval of every sample, from its embedded canonical timestamp.
+    std::set<std::uint64_t> needed;
+    tesla_intervals.reserve(poa.samples.size());
+    for (std::size_t i = 0; i < poa.samples.size(); ++i) {
+      const auto t_us = tee::sample_time_us(poa.samples[i].sample);
+      if (!t_us) return "sample " + std::to_string(i) + " malformed";
+      const std::uint64_t interval =
+          tee::tesla_interval(*t_us, commit->t0_us, commit->interval_us);
+      if (interval == 0 || interval > top_index) {
+        return "sample " + std::to_string(i) + " key undisclosed";
+      }
+      tesla_intervals.push_back(interval);
+      needed.insert(interval);
+    }
+    std::uint64_t at = top_index;
+    for (auto it = needed.rbegin(); it != needed.rend(); ++it) {
+      while (at > *it) {
+        cur = crypto::chain_step(cur);
+        --at;
+      }
+      tesla_keys.emplace(*it, crypto::tesla_mac_key(cur));
+    }
+    while (at > 0) {
+      cur = crypto::chain_step(cur);
+      --at;
+    }
+    if (cur != commit->anchor) return "tesla frontier does not chain to anchor";
+  }
+
   // Batched per-sample RSA: every signature in the PoA is under the one
   // TEE key, so an e-th-power product settles up to max_batch of them
   // with a single exponent ladder (crypto::BatchRsaVerifier). Verdict
@@ -438,6 +507,15 @@ std::string Auditor::authenticate_samples(const PoaView& poa,
       case AuthMode::kBatchSignature:
         batch_payload.insert(batch_payload.end(), plain.begin(), plain.end());
         break;
+      case AuthMode::kTeslaChain: {
+        const crypto::ChainKey tag = crypto::tesla_tag(
+            tesla_keys.at(tesla_intervals[i]), tesla_intervals[i], plain);
+        if (s.signature.size() != tag.size() ||
+            !crypto::constant_time_equal(s.signature, tag)) {
+          return "sample " + std::to_string(i) + " tag invalid";
+        }
+        break;
+      }
     }
     out_samples.push_back(*fix);
   }
@@ -601,6 +679,79 @@ PoaVerdict Auditor::verify_poa_bytes(std::span<const std::uint8_t> poa_bytes,
     return verdict;
   }
   return commit_evaluation(view.drone_id, evaluate_poa(view), submission_time);
+}
+
+TeslaAck Auditor::tesla_announce(const TeslaAnnounceRequest& request) {
+  const auto drone = find_drone(request.drone_id);
+  if (drone == nullptr) {
+    audit(0.0, AuditEventType::kTeslaSession, request.drone_id, false,
+          "unknown drone");
+    return {false, "unknown drone"};
+  }
+  const auto commit = tee::parse_tesla_commit(request.commit_payload);
+  if (!commit) {
+    audit(0.0, AuditEventType::kTeslaSession, request.drone_id, false,
+          "malformed commitment");
+    return {false, "malformed commitment"};
+  }
+  // The anchor's pedigree: only this drone's TEE can have signed it.
+  if (!crypto::rsa_verify(drone->tee_key, request.commit_payload,
+                          request.commit_signature, request.hash)) {
+    audit(0.0, AuditEventType::kTeslaSession, request.drone_id, false,
+          "commitment signature invalid");
+    return {false, "commitment signature invalid"};
+  }
+  const TeslaAck ack = tesla_->announce(request, *commit);
+  // Idempotent re-sends of an accepted announce (lossy links) are not
+  // re-audited: the log records sessions, not deliveries.
+  if (ack.detail != "duplicate announce") {
+    audit(static_cast<double>(commit->t0_us) * 1e-6,
+          AuditEventType::kTeslaSession, request.drone_id, ack.accepted,
+          ack.detail);
+  }
+  return ack;
+}
+
+TeslaAck Auditor::tesla_sample(const TeslaSampleBroadcastView& sample) {
+  const TeslaAck ack = tesla_->sample(sample);
+  if (!ack.accepted) {
+    const auto t_us = tee::sample_time_us(sample.sample);
+    audit(t_us ? static_cast<double>(*t_us) * 1e-6 : 0.0,
+          AuditEventType::kTeslaSampleRejected, std::string(sample.drone_id),
+          false, ack.detail);
+  }
+  return ack;
+}
+
+TeslaAck Auditor::tesla_disclose(const TeslaDiscloseRequestView& disclose) {
+  const TeslaVerifier::DiscloseResult result = tesla_->disclose(disclose);
+  if (!result.ack.accepted) {
+    audit(0.0, AuditEventType::kTeslaKeyRejected, std::string(disclose.drone_id),
+          false, result.ack.detail);
+  }
+  for (const auto& [interval, detail] : result.tag_rejects) {
+    audit(0.0, AuditEventType::kTeslaSampleRejected,
+          std::string(disclose.drone_id), false,
+          "interval " + std::to_string(interval) + ": " + detail);
+  }
+  return result.ack;
+}
+
+PoaVerdict Auditor::tesla_finalize(const TeslaFinalizeRequest& request) {
+  std::string error;
+  const auto poa =
+      tesla_->finalize(request.drone_id, request.session_nonce, &error);
+  if (!poa) {
+    audit(request.end_time, AuditEventType::kTeslaSession, request.drone_id,
+          false, error);
+    PoaVerdict verdict;
+    verdict.detail = error;
+    return verdict;
+  }
+  // The accepted subset goes through the standard pipeline: sufficiency,
+  // retention, audit — and authenticate_samples re-verifies the whole
+  // chain-of-custody from the self-contained proof.
+  return verify_poa(*poa, request.end_time);
 }
 
 AccusationResponse Auditor::handle_accusation(const AccusationRequest& request) {
@@ -767,6 +918,31 @@ void Auditor::bind(net::MessageBus& bus) {
     // re-verify idempotently and stay out of the bounded cache.
     if (verdict.accepted) note_submission(digest, encoded);
     return encoded;
+  });
+  bus.register_endpoint("auditor.tesla_announce", [this](const crypto::Bytes& in) {
+    const auto request = TeslaAnnounceRequest::decode(in);
+    return (request ? tesla_announce(*request) : TeslaAck{false, "bad request"})
+        .encode();
+  });
+  bus.register_endpoint("auditor.tesla_sample", [this](const crypto::Bytes& in) {
+    // Borrowing decode: sample and tag stay views into the frame until
+    // the verifier actually buffers them.
+    const auto view = TeslaSampleBroadcastView::decode(in);
+    return (view ? tesla_sample(*view) : TeslaAck{false, "bad request"}).encode();
+  });
+  bus.register_endpoint("auditor.tesla_disclose", [this](const crypto::Bytes& in) {
+    const auto view = TeslaDiscloseRequestView::decode(in);
+    return (view ? tesla_disclose(*view) : TeslaAck{false, "bad request"})
+        .encode();
+  });
+  bus.register_endpoint("auditor.tesla_finalize", [this](const crypto::Bytes& in) {
+    const auto request = TeslaFinalizeRequest::decode(in);
+    if (!request) {
+      PoaVerdict verdict;
+      verdict.detail = "bad request";
+      return verdict.encode();
+    }
+    return tesla_finalize(*request).encode();
   });
   bus.register_endpoint("auditor.accuse", [this](const crypto::Bytes& in) {
     const auto request = AccusationRequest::decode(in);

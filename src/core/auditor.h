@@ -39,6 +39,7 @@
 #include "core/protocol_types.h"
 #include "core/registry_store.h"
 #include "core/sufficiency.h"
+#include "core/tesla.h"
 #include "core/zone_index.h"
 #include "crypto/random.h"
 #include "crypto/rsa.h"
@@ -98,6 +99,27 @@ class Auditor {
   std::vector<PoaVerdict> verify_poa_batch(std::span<const ProofOfAlibi> poas,
                                            double submission_time,
                                            runtime::ThreadPool* pool = nullptr);
+
+  // ---- TESLA broadcast mode (hash-chain PoA) ----
+  //
+  // The lossy-broadcast alternative to submit_poa: announce a chain
+  // commitment, stream tagged samples, disclose keys, finalize. Calls
+  // must be presented in a deterministic admission order (bind() serial
+  // endpoints, or AuditorIngest's commit phase) — then verdicts and
+  // audit events are byte-identical for any thread or shard count.
+
+  /// Verify the TEE commitment signature under the drone's registered T+
+  /// and open (or idempotently re-acknowledge) the session.
+  TeslaAck tesla_announce(const TeslaAnnounceRequest& request);
+  /// Admit one broadcast sample (buffered until its key is disclosed).
+  TeslaAck tesla_sample(const TeslaSampleBroadcastView& sample);
+  /// Verify a disclosed chain key and settle the intervals it covers;
+  /// failed tags are audited as kTeslaSampleRejected.
+  TeslaAck tesla_disclose(const TeslaDiscloseRequestView& disclose);
+  /// Assemble the session's accepted subset into a kTeslaChain PoA and
+  /// adjudicate it through the standard verify/retain/audit pipeline.
+  PoaVerdict tesla_finalize(const TeslaFinalizeRequest& request);
+  std::size_t tesla_session_count() const { return tesla_->session_count(); }
 
   // ---- Accusations ----
   AccusationResponse handle_accusation(const AccusationRequest& request);
@@ -225,6 +247,10 @@ class Auditor {
   std::shared_ptr<PoaStore> store_;             // optional durable retention
   std::shared_ptr<RegistryStore> registry_;     // optional durable identities
   std::shared_ptr<AuditLog> audit_;             // optional event log
+
+  /// TESLA session state (hash-chain commitments, buffered samples,
+  /// disclosure frontiers). Own mutex, leaf in the lock order.
+  std::unique_ptr<TeslaVerifier> tesla_;
 
   /// Caller holds registration_mu_ (serializes snapshot contents).
   void persist_registry() const;

@@ -107,6 +107,58 @@ crypto::Bytes AuditorIngest::submit(std::span<const std::uint8_t> request_frame)
   return future.get();
 }
 
+crypto::Bytes AuditorIngest::submit_tesla(Kind kind,
+                                          std::span<const std::uint8_t> frame) {
+  submitted_->increment();
+  Item item;
+  item.kind = kind;
+  item.frame = pool_.acquire();
+  item.frame.assign(frame.begin(), frame.end());
+  auto future = item.reply.get_future();
+  if (!queue_.try_push(std::move(item))) {
+    pool_.release(std::move(item.frame));
+    retry_later_->increment();
+    return net::retry_later_reply();
+  }
+  admitted_->increment();
+  return future.get();
+}
+
+crypto::Bytes AuditorIngest::commit_tesla(const Item& item) {
+  switch (item.kind) {
+    case Kind::kTeslaAnnounce: {
+      const auto request = TeslaAnnounceRequest::decode(item.frame);
+      return (request ? auditor_.tesla_announce(*request)
+                      : TeslaAck{false, "bad request"})
+          .encode();
+    }
+    case Kind::kTeslaSample: {
+      const auto view = TeslaSampleBroadcastView::decode(item.frame);
+      return (view ? auditor_.tesla_sample(*view)
+                   : TeslaAck{false, "bad request"})
+          .encode();
+    }
+    case Kind::kTeslaDisclose: {
+      const auto view = TeslaDiscloseRequestView::decode(item.frame);
+      return (view ? auditor_.tesla_disclose(*view)
+                   : TeslaAck{false, "bad request"})
+          .encode();
+    }
+    case Kind::kTeslaFinalize: {
+      const auto request = TeslaFinalizeRequest::decode(item.frame);
+      if (!request) {
+        PoaVerdict verdict;
+        verdict.detail = "bad request";
+        return verdict.encode();
+      }
+      return auditor_.tesla_finalize(*request).encode();
+    }
+    case Kind::kPoa:
+      break;  // unreachable: callers route kPoa through the verdict path
+  }
+  return {};
+}
+
 void AuditorIngest::ingest_loop() {
   std::vector<Item> batch;
   batch.reserve(config_.max_batch);
@@ -143,7 +195,10 @@ void AuditorIngest::process_batch(std::vector<Item>& batch) {
   if (views_.size() < n) views_.resize(n);
   std::vector<char> parsed(n);
   for (std::size_t i = 0; i < n; ++i) {
-    parsed[i] = PoaView::parse_into(batch[i].frame, views_[i]) ? 1 : 0;
+    parsed[i] = batch[i].kind == Kind::kPoa &&
+                        PoaView::parse_into(batch[i].frame, views_[i])
+                    ? 1
+                    : 0;
   }
 
   // Evaluate — pure reads, so the whole batch can fan out.
@@ -188,7 +243,13 @@ void AuditorIngest::process_batch(std::vector<Item>& batch) {
   for (std::size_t i = 0; i < n; ++i) {
     Item& item = batch[i];
     crypto::Bytes encoded;
-    if (!parsed[i]) {
+    if (item.kind != Kind::kPoa) {
+      // TESLA operations are order-sensitive (chain frontiers, buffered
+      // intervals) and cheap — symmetric crypto plus at most one RSA
+      // verify per flight — so they are applied here, serially, in
+      // admission order, never in the parallel evaluate phase.
+      encoded = commit_tesla(item);
+    } else if (!parsed[i]) {
       PoaVerdict verdict;
       verdict.detail = "unparseable PoA";
       encoded = verdict.encode();
@@ -213,6 +274,18 @@ void AuditorIngest::process_batch(std::vector<Item>& batch) {
 void AuditorIngest::bind(net::MessageBus& bus) {
   bus.register_endpoint("auditor.submit_poa",
                         [this](const crypto::Bytes& in) { return submit(in); });
+  bus.register_endpoint("auditor.tesla_announce", [this](const crypto::Bytes& in) {
+    return submit_tesla(Kind::kTeslaAnnounce, in);
+  });
+  bus.register_endpoint("auditor.tesla_sample", [this](const crypto::Bytes& in) {
+    return submit_tesla(Kind::kTeslaSample, in);
+  });
+  bus.register_endpoint("auditor.tesla_disclose", [this](const crypto::Bytes& in) {
+    return submit_tesla(Kind::kTeslaDisclose, in);
+  });
+  bus.register_endpoint("auditor.tesla_finalize", [this](const crypto::Bytes& in) {
+    return submit_tesla(Kind::kTeslaFinalize, in);
+  });
 }
 
 AuditorIngest::Counters AuditorIngest::counters() const {

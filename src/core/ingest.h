@@ -71,8 +71,29 @@ class AuditorIngest {
   /// rejects with retry-later). Safe from any number of threads.
   crypto::Bytes submit(std::span<const std::uint8_t> request_frame);
 
-  /// Re-register "auditor.submit_poa" to run through the pipeline (call
-  /// after Auditor::bind, which installs the unbatched handler).
+  /// Which protocol operation a queued item carries. PoA submissions take
+  /// the batched, parallel-evaluated path; TESLA broadcast operations
+  /// ride the same FIFO but are applied strictly serially at commit time
+  /// (chain-frontier state is order-sensitive), so verdicts and audit
+  /// events stay byte-identical to the unbatched serial path for any
+  /// verify-thread or shard count.
+  enum class Kind : std::uint8_t {
+    kPoa,
+    kTeslaAnnounce,
+    kTeslaSample,
+    kTeslaDisclose,
+    kTeslaFinalize,
+  };
+
+  /// Submit one TESLA operation frame through the pipeline; blocks until
+  /// its commit slot. No dedup (the verifier itself is idempotent where
+  /// the protocol needs it); a full queue answers retry-later, which a
+  /// lossy broadcaster treats as a drop.
+  crypto::Bytes submit_tesla(Kind kind, std::span<const std::uint8_t> frame);
+
+  /// Re-register "auditor.submit_poa" and the "auditor.tesla_*" endpoints
+  /// to run through the pipeline (call after Auditor::bind, which
+  /// installs the unbatched handlers).
   void bind(net::MessageBus& bus);
 
   /// Stop admitting, drain everything already queued, join the ingest
@@ -107,13 +128,16 @@ class AuditorIngest {
 
  private:
   struct Item {
-    crypto::Bytes frame;    ///< pooled; holds the PoA bytes
-    crypto::Bytes digest;   ///< SHA-256 of the PoA bytes
+    Kind kind = Kind::kPoa;
+    crypto::Bytes frame;    ///< pooled; holds the PoA or TESLA op bytes
+    crypto::Bytes digest;   ///< SHA-256 of the PoA bytes (kPoa only)
     std::promise<crypto::Bytes> reply;
   };
 
   void ingest_loop();
   void process_batch(std::vector<Item>& batch);
+  /// Decode and apply one TESLA item (commit phase, ingest thread only).
+  crypto::Bytes commit_tesla(const Item& item);
 
   Auditor& auditor_;
   Config config_;

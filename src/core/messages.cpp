@@ -336,6 +336,188 @@ std::optional<PoaVerdict> PoaVerdict::decode(std::span<const std::uint8_t> data)
   return m;
 }
 
+// ---- TESLA broadcast mode ----
+
+std::size_t TeslaAnnounceRequest::encoded_size_hint() const {
+  return field(drone_id.size()) + 8 + 1 + field(commit_payload.size()) +
+         field(commit_signature.size());
+}
+
+crypto::Bytes TeslaAnnounceRequest::encode() const {
+  net::Writer w;
+  w.reserve(encoded_size_hint());
+  w.str(drone_id);
+  w.u64(session_nonce);
+  w.u8(static_cast<std::uint8_t>(hash));
+  w.bytes(commit_payload);
+  w.bytes(commit_signature);
+  return std::move(w).take();
+}
+
+std::optional<TeslaAnnounceRequest> TeslaAnnounceRequest::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  TeslaAnnounceRequest m;
+  auto id = r.str();
+  auto nonce = r.u64();
+  auto hash = r.u8();
+  auto payload = r.bytes();
+  auto signature = r.bytes();
+  if (!id || !nonce || !hash || !payload || !signature || !r.at_end()) {
+    return std::nullopt;
+  }
+  if (*hash > static_cast<std::uint8_t>(crypto::HashAlgorithm::kSha256)) {
+    return std::nullopt;
+  }
+  m.drone_id = std::move(*id);
+  m.session_nonce = *nonce;
+  m.hash = static_cast<crypto::HashAlgorithm>(*hash);
+  m.commit_payload = std::move(*payload);
+  m.commit_signature = std::move(*signature);
+  return m;
+}
+
+std::size_t TeslaAck::encoded_size_hint() const {
+  return 1 + field(detail.size());
+}
+
+crypto::Bytes TeslaAck::encode() const {
+  net::Writer w;
+  w.reserve(encoded_size_hint());
+  w.u8(accepted ? 1 : 0);
+  w.str(detail);
+  return std::move(w).take();
+}
+
+std::optional<TeslaAck> TeslaAck::decode(std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  TeslaAck m;
+  auto accepted = r.u8();
+  auto detail = r.str();
+  if (!accepted || !detail || !r.at_end()) return std::nullopt;
+  m.accepted = *accepted != 0;
+  m.detail = std::move(*detail);
+  return m;
+}
+
+std::size_t TeslaSampleBroadcast::encoded_size_hint() const {
+  return field(drone_id.size()) + 8 + 8 + field(sample.size()) +
+         field(tag.size());
+}
+
+crypto::Bytes TeslaSampleBroadcast::encode() const {
+  net::Writer w;
+  w.reserve(encoded_size_hint());
+  w.str(drone_id);
+  w.u64(session_nonce);
+  w.u64(interval);
+  w.bytes(sample);
+  w.bytes(tag);
+  return std::move(w).take();
+}
+
+std::optional<TeslaSampleBroadcast> TeslaSampleBroadcast::decode(
+    std::span<const std::uint8_t> data) {
+  auto view = TeslaSampleBroadcastView::decode(data);
+  if (!view) return std::nullopt;
+  TeslaSampleBroadcast m;
+  m.drone_id = DroneId(view->drone_id);
+  m.session_nonce = view->session_nonce;
+  m.interval = view->interval;
+  m.sample.assign(view->sample.begin(), view->sample.end());
+  m.tag.assign(view->tag.begin(), view->tag.end());
+  return m;
+}
+
+std::optional<TeslaSampleBroadcastView> TeslaSampleBroadcastView::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  TeslaSampleBroadcastView m;
+  auto id = r.str_view();
+  auto nonce = r.u64();
+  auto interval = r.u64();
+  auto sample = r.bytes_view();
+  auto tag = r.bytes_view();
+  if (!id || !nonce || !interval || !sample || !tag || !r.at_end()) {
+    return std::nullopt;
+  }
+  m.drone_id = *id;
+  m.session_nonce = *nonce;
+  m.interval = *interval;
+  m.sample = *sample;
+  m.tag = *tag;
+  return m;
+}
+
+std::size_t TeslaDiscloseRequest::encoded_size_hint() const {
+  return field(drone_id.size()) + 8 + 8 + field(key.size());
+}
+
+crypto::Bytes TeslaDiscloseRequest::encode() const {
+  net::Writer w;
+  w.reserve(encoded_size_hint());
+  w.str(drone_id);
+  w.u64(session_nonce);
+  w.u64(index);
+  w.bytes(key);
+  return std::move(w).take();
+}
+
+std::optional<TeslaDiscloseRequest> TeslaDiscloseRequest::decode(
+    std::span<const std::uint8_t> data) {
+  auto view = TeslaDiscloseRequestView::decode(data);
+  if (!view) return std::nullopt;
+  TeslaDiscloseRequest m;
+  m.drone_id = DroneId(view->drone_id);
+  m.session_nonce = view->session_nonce;
+  m.index = view->index;
+  m.key.assign(view->key.begin(), view->key.end());
+  return m;
+}
+
+std::optional<TeslaDiscloseRequestView> TeslaDiscloseRequestView::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  TeslaDiscloseRequestView m;
+  auto id = r.str_view();
+  auto nonce = r.u64();
+  auto index = r.u64();
+  auto key = r.bytes_view();
+  if (!id || !nonce || !index || !key || !r.at_end()) return std::nullopt;
+  m.drone_id = *id;
+  m.session_nonce = *nonce;
+  m.index = *index;
+  m.key = *key;
+  return m;
+}
+
+std::size_t TeslaFinalizeRequest::encoded_size_hint() const {
+  return field(drone_id.size()) + 8 + 8;
+}
+
+crypto::Bytes TeslaFinalizeRequest::encode() const {
+  net::Writer w;
+  w.reserve(encoded_size_hint());
+  w.str(drone_id);
+  w.u64(session_nonce);
+  w.f64(end_time);
+  return std::move(w).take();
+}
+
+std::optional<TeslaFinalizeRequest> TeslaFinalizeRequest::decode(
+    std::span<const std::uint8_t> data) {
+  net::Reader r(data);
+  TeslaFinalizeRequest m;
+  auto id = r.str();
+  auto nonce = r.u64();
+  auto end_time = r.f64();
+  if (!id || !nonce || !end_time || !r.at_end()) return std::nullopt;
+  m.drone_id = std::move(*id);
+  m.session_nonce = *nonce;
+  m.end_time = *end_time;
+  return m;
+}
+
 // ---- Accusation ----
 
 crypto::Bytes AccusationRequest::signed_payload() const {

@@ -143,6 +143,109 @@ struct PoaVerdict {
   static std::optional<PoaVerdict> decode(std::span<const std::uint8_t>);
 };
 
+// ---- TESLA broadcast mode (hash-chain PoA, ROADMAP item 2) ----
+//
+// Unlike the request/response submission flow, these messages model a
+// lossy broadcast: the drone fires samples and key disclosures at the
+// Auditor without retries, any subset may be dropped or reordered, and
+// the chain verifies whatever lands. Only announce and finalize are
+// request/response-shaped.
+
+/// Flight start: the drone announces its hash-chain commitment. The
+/// commit payload is the exact byte string the TEE signed
+/// (tee::tesla_commit_payload: anchor K_0, chain length, disclosure
+/// delay, interval, flight epoch t0); the Auditor re-verifies it under
+/// the drone's registered T+. Re-sending an identical announce is
+/// idempotent (lossy links re-send); announcing a *different* commitment
+/// under the same (drone, session_nonce) is a forked chain and rejected.
+struct TeslaAnnounceRequest {
+  DroneId drone_id;
+  std::uint64_t session_nonce = 0;
+  /// Digest algorithm of the TEE commitment signature (the TA's
+  /// SamplerConfig::hash).
+  crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1;
+  crypto::Bytes commit_payload;
+  crypto::Bytes commit_signature;  ///< TEE signature over commit_payload
+
+  std::size_t encoded_size_hint() const;
+  crypto::Bytes encode() const;
+  static std::optional<TeslaAnnounceRequest> decode(std::span<const std::uint8_t>);
+};
+
+/// Shared thin reply for announce/sample/disclose.
+struct TeslaAck {
+  bool accepted = false;
+  std::string detail;
+
+  std::size_t encoded_size_hint() const;
+  crypto::Bytes encode() const;
+  static std::optional<TeslaAck> decode(std::span<const std::uint8_t>);
+};
+
+/// One broadcast sample: canonical 32-byte sample plus its HMAC tag under
+/// the (still secret) chain key of `interval`.
+struct TeslaSampleBroadcast {
+  DroneId drone_id;
+  std::uint64_t session_nonce = 0;
+  std::uint64_t interval = 0;
+  crypto::Bytes sample;  ///< tee::kEncodedSampleSize bytes
+  crypto::Bytes tag;     ///< 32 bytes
+
+  std::size_t encoded_size_hint() const;
+  crypto::Bytes encode() const;
+  static std::optional<TeslaSampleBroadcast> decode(std::span<const std::uint8_t>);
+};
+
+/// Borrowing decode of a TeslaSampleBroadcast: the admission hot path
+/// buffers sample/tag straight out of the frame without owning copies
+/// until the sample is actually admitted.
+struct TeslaSampleBroadcastView {
+  std::string_view drone_id;
+  std::uint64_t session_nonce = 0;
+  std::uint64_t interval = 0;
+  std::span<const std::uint8_t> sample;
+  std::span<const std::uint8_t> tag;
+
+  static std::optional<TeslaSampleBroadcastView> decode(
+      std::span<const std::uint8_t>);
+};
+
+/// Delayed key disclosure: chain element K_index. Disclosures are also
+/// lossy; a later disclosure K_j (j > index) settles everything at or
+/// below j, so drops only delay verification.
+struct TeslaDiscloseRequest {
+  DroneId drone_id;
+  std::uint64_t session_nonce = 0;
+  std::uint64_t index = 0;
+  crypto::Bytes key;  ///< 32 bytes
+
+  std::size_t encoded_size_hint() const;
+  crypto::Bytes encode() const;
+  static std::optional<TeslaDiscloseRequest> decode(std::span<const std::uint8_t>);
+};
+
+struct TeslaDiscloseRequestView {
+  std::string_view drone_id;
+  std::uint64_t session_nonce = 0;
+  std::uint64_t index = 0;
+  std::span<const std::uint8_t> key;
+
+  static std::optional<TeslaDiscloseRequestView> decode(
+      std::span<const std::uint8_t>);
+};
+
+/// Flight end: adjudicate the accepted subset. The reply is a PoaVerdict,
+/// exactly as for request/response submission.
+struct TeslaFinalizeRequest {
+  DroneId drone_id;
+  std::uint64_t session_nonce = 0;
+  double end_time = 0.0;
+
+  std::size_t encoded_size_hint() const;
+  crypto::Bytes encode() const;
+  static std::optional<TeslaFinalizeRequest> decode(std::span<const std::uint8_t>);
+};
+
 /// A Zone Owner's incident report ("I saw drone X near my zone at time t").
 struct AccusationRequest {
   ZoneId zone_id;

@@ -13,6 +13,8 @@ std::string to_string(AuthMode mode) {
       return "hmac-session";
     case AuthMode::kBatchSignature:
       return "batch-signature";
+    case AuthMode::kTeslaChain:
+      return "tesla-chain";
   }
   return "unknown";
 }
@@ -87,7 +89,7 @@ bool PoaView::parse_into(std::span<const std::uint8_t> data, PoaView& out) {
   const auto encrypted = r.u8();
   const auto count = r.u32();
   if (!id || !mode || !hash || !encrypted || !count) return false;
-  if (*mode > static_cast<std::uint8_t>(AuthMode::kBatchSignature)) return false;
+  if (*mode > static_cast<std::uint8_t>(AuthMode::kTeslaChain)) return false;
   if (*hash > 1 || *encrypted > 1) return false;
 
   out.drone_id = *id;

@@ -25,6 +25,14 @@ enum class AuthMode : std::uint8_t {
   kRsaPerSample = 0,   ///< paper baseline: Sig(S_i, T-) per sample
   kHmacSession = 1,    ///< Section VII-A1a: HMAC under an ephemeral key
   kBatchSignature = 2, ///< Section VII-A1b: one signature over the trace
+  /// TESLA hash-chain broadcast mode: per-sample HMAC tags under delayed-
+  /// disclosure chain keys, one TEE signature over the chain commitment.
+  /// A retained kTeslaChain PoA is self-contained: batch_signature holds
+  /// the commit payload, session_key_signature the TEE signature over it,
+  /// session_key_ciphertext the highest disclosed chain element
+  /// (BE64 index || 32-byte key), and each SignedSample::signature the
+  /// 32-byte tag — enough to re-verify the whole proof offline.
+  kTeslaChain = 3,
 };
 
 std::string to_string(AuthMode mode);

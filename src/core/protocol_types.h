@@ -17,6 +17,7 @@
 #include "geo/zone.h"
 
 namespace alidrone::obs {
+class Clock;
 class MetricsRegistry;
 }  // namespace alidrone::obs
 
@@ -106,6 +107,26 @@ struct ProtocolParams {
   /// challenges are not a win and the Auditor's cost gate falls back to
   /// the serial engine; batching pays off for wider public exponents.
   std::size_t batch_verify_check_bits = 16;
+  /// --- TESLA broadcast mode (hash-chain PoA, ROADMAP item 2) ---
+  /// Receive-time authority for the TESLA disclosure-delay security
+  /// condition: a sample for interval i is admitted only while
+  /// clock->now() < t0 + (i + d) * tau, i.e. before its key could have
+  /// been disclosed. Null disables the arrival-time check (offline
+  /// replay of recorded flights; chain + tag verification still apply).
+  const obs::Clock* clock = nullptr;
+  /// Upper bound on announced chain lengths (bounds verifier hash work
+  /// and frontier walks per session).
+  std::uint32_t tesla_max_chain_length = 1u << 20;
+  /// Upper bound on announced disclosure delays d.
+  std::uint32_t tesla_max_disclosure_delay = 4096;
+  /// Concurrent TESLA sessions the Auditor will track.
+  std::size_t tesla_max_sessions = 4096;
+  /// Tagged-but-unsettled samples buffered per session; beyond this,
+  /// new samples are rejected (memory bound against flooding).
+  std::size_t tesla_max_buffered_samples = 65536;
+  /// Tolerated receiver/drone clock skew (seconds) in the arrival-time
+  /// safety check. 0 in deterministic simulations (one shared clock).
+  double tesla_clock_skew_s = 0.0;
   /// Registry the Auditor (and its ingestion pipeline) publishes counters
   /// to. Null means the process-wide obs::MetricsRegistry::global().
   /// Deterministic scenarios that compare snapshots byte-for-byte pass a

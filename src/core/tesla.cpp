@@ -1,0 +1,482 @@
+#include "core/tesla.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/clock.h"
+#include "tee/gps_sampler_ta.h"
+
+namespace alidrone::core {
+
+namespace {
+
+std::uint64_t now_us_of(const obs::Clock& clock) {
+  return static_cast<std::uint64_t>(std::llround(clock.now() * 1e6));
+}
+
+crypto::Bytes be_bytes(std::uint64_t v, std::size_t width) {
+  crypto::Bytes out(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out[i] = static_cast<std::uint8_t>((v >> (8 * (width - 1 - i))) & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace
+
+TeslaVerifier::TeslaVerifier(Config config, obs::MetricsRegistry& registry,
+                             const std::string& scope)
+    : config_(config) {
+  const std::string prefix = scope + ".tesla.";
+  sessions_opened_ = &registry.counter(prefix + "sessions_opened");
+  sessions_rejected_ = &registry.counter(prefix + "sessions_rejected");
+  samples_buffered_ = &registry.counter(prefix + "samples_buffered");
+  samples_accepted_ = &registry.counter(prefix + "samples_accepted");
+  samples_rejected_ = &registry.counter(prefix + "samples_rejected");
+  keys_accepted_ = &registry.counter(prefix + "keys_accepted");
+  keys_rejected_ = &registry.counter(prefix + "keys_rejected");
+  finalized_ = &registry.counter(prefix + "finalized");
+}
+
+TeslaAck TeslaVerifier::announce(const TeslaAnnounceRequest& req,
+                                 const tee::TeslaCommit& commit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (commit.chain_length == 0 ||
+      commit.chain_length > config_.max_chain_length) {
+    sessions_rejected_->increment();
+    return {false, "chain length out of range"};
+  }
+  if (commit.disclosure_delay == 0 ||
+      commit.disclosure_delay > config_.max_disclosure_delay) {
+    sessions_rejected_->increment();
+    return {false, "disclosure delay out of range"};
+  }
+  const auto key = std::make_pair(req.drone_id, req.session_nonce);
+  const auto it = sessions_.find(key);
+  if (it != sessions_.end()) {
+    // Lossy links re-send announces; byte-identical ones are idempotent.
+    // A different commitment under the same session is a forked chain.
+    if (it->second.commit_payload == req.commit_payload &&
+        it->second.commit_signature == req.commit_signature) {
+      return {true, "duplicate announce"};
+    }
+    sessions_rejected_->increment();
+    return {false, "forked chain commitment"};
+  }
+  if (sessions_.size() >= config_.max_sessions) {
+    sessions_rejected_->increment();
+    return {false, "session table full"};
+  }
+  Session session{commit,
+                  req.hash,
+                  req.commit_payload,
+                  req.commit_signature,
+                  crypto::ChainFrontier(commit.anchor, commit.chain_length),
+                  {},
+                  0,
+                  {},
+                  0};
+  sessions_.emplace(key, std::move(session));
+  sessions_opened_->increment();
+  return {true, "session open"};
+}
+
+TeslaAck TeslaVerifier::sample(const TeslaSampleBroadcastView& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it =
+      sessions_.find(std::make_pair(DroneId(s.drone_id), s.session_nonce));
+  if (it == sessions_.end()) {
+    samples_rejected_->increment();
+    return {false, "unknown tesla session"};
+  }
+  Session& session = it->second;
+  if (s.sample.size() != tee::kEncodedSampleSize || s.tag.size() != 32) {
+    samples_rejected_->increment();
+    return {false, "malformed sample or tag"};
+  }
+  if (s.interval == 0 || s.interval > session.commit.chain_length) {
+    samples_rejected_->increment();
+    return {false, "interval out of range"};
+  }
+  // The claimed interval must match the canonical timestamp inside the
+  // sample bytes — offline re-verification derives the key index from the
+  // timestamp, so an inconsistent pair could never settle anyway.
+  const auto t_us = tee::sample_time_us(s.sample);
+  if (!t_us || tee::tesla_interval(*t_us, session.commit.t0_us,
+                                   session.commit.interval_us) != s.interval) {
+    samples_rejected_->increment();
+    return {false, "interval does not match sample time"};
+  }
+  // A key whose disclosure the frontier has already verified is public —
+  // any tag under it could be forged by anyone who watched the channel.
+  if (s.interval <= session.frontier.frontier_index()) {
+    samples_rejected_->increment();
+    return {false, "late: key already disclosed"};
+  }
+  // The TESLA security condition against the receive-time authority: the
+  // sample must arrive before its key's scheduled disclosure time.
+  if (config_.clock != nullptr) {
+    const std::uint64_t now_us = now_us_of(*config_.clock);
+    const std::uint64_t release_us =
+        static_cast<std::uint64_t>(session.commit.t0_us) +
+        (s.interval + session.commit.disclosure_delay) *
+            session.commit.interval_us;
+    const std::uint64_t skew_us =
+        static_cast<std::uint64_t>(std::llround(config_.clock_skew_s * 1e6));
+    if (now_us >= release_us + skew_us) {
+      samples_rejected_->increment();
+      return {false, "late: past disclosure deadline"};
+    }
+  }
+  if (session.pending_count >= config_.max_buffered_samples) {
+    samples_rejected_->increment();
+    return {false, "sample buffer full"};
+  }
+  Buffered buffered;
+  buffered.t_us = *t_us;
+  buffered.seq = session.next_seq++;
+  buffered.sample.assign(s.sample.begin(), s.sample.end());
+  buffered.tag.assign(s.tag.begin(), s.tag.end());
+  session.pending[s.interval].push_back(std::move(buffered));
+  ++session.pending_count;
+  samples_buffered_->increment();
+  return {true, "buffered"};
+}
+
+TeslaVerifier::DiscloseResult TeslaVerifier::disclose(
+    const TeslaDiscloseRequestView& d) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DiscloseResult result;
+  const auto it =
+      sessions_.find(std::make_pair(DroneId(d.drone_id), d.session_nonce));
+  if (it == sessions_.end()) {
+    keys_rejected_->increment();
+    result.ack = {false, "unknown tesla session"};
+    return result;
+  }
+  Session& session = it->second;
+  if (d.key.size() != crypto::kChainKeySize) {
+    keys_rejected_->increment();
+    result.ack = {false, "malformed key"};
+    return result;
+  }
+  if (d.index <= session.frontier.frontier_index()) {
+    keys_rejected_->increment();
+    result.ack = {false, "out-of-order disclosure (replayed index)"};
+    return result;
+  }
+  if (d.index > session.commit.chain_length) {
+    keys_rejected_->increment();
+    result.ack = {false, "index out of range"};
+    return result;
+  }
+  crypto::ChainKey key{};
+  std::copy(d.key.begin(), d.key.end(), key.begin());
+  if (!session.frontier.accept(d.index, key)) {
+    keys_rejected_->increment();
+    result.ack = {false, "key does not chain to committed anchor"};
+    return result;
+  }
+  keys_accepted_->increment();
+
+  // Settle every buffered interval at or below the disclosed index,
+  // deriving the lower chain keys by walking down from K_index. One pass,
+  // highest interval first; erase as we go.
+  crypto::ChainKey cur = key;
+  std::uint64_t at = d.index;
+  while (!session.pending.empty()) {
+    const auto last = std::prev(session.pending.end());
+    const std::uint64_t interval = last->first;
+    if (interval > d.index) break;  // still undisclosed (cannot happen; safe)
+    while (at > interval) {
+      cur = crypto::chain_step(cur);
+      --at;
+    }
+    const crypto::ChainKey mac_key = crypto::tesla_mac_key(cur);
+    for (Buffered& buffered : last->second) {
+      const crypto::ChainKey expected =
+          crypto::tesla_tag(mac_key, interval, buffered.sample);
+      if (!std::equal(expected.begin(), expected.end(), buffered.tag.begin(),
+                      buffered.tag.end())) {
+        samples_rejected_->increment();
+        result.tag_rejects.emplace_back(interval, "tag invalid");
+        continue;
+      }
+      Accepted accepted;
+      accepted.t_us = buffered.t_us;
+      accepted.seq = buffered.seq;
+      accepted.interval = interval;
+      accepted.sample = std::move(buffered.sample);
+      accepted.tag = std::move(buffered.tag);
+      session.accepted.push_back(std::move(accepted));
+      ++result.settled;
+      samples_accepted_->increment();
+    }
+    session.pending_count -= last->second.size();
+    session.pending.erase(last);
+  }
+  result.ack = {true,
+                "settled " + std::to_string(result.settled) + " samples"};
+  return result;
+}
+
+std::optional<ProofOfAlibi> TeslaVerifier::finalize(
+    const DroneId& drone_id, std::uint64_t session_nonce, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(std::make_pair(drone_id, session_nonce));
+  if (it == sessions_.end()) {
+    if (error != nullptr) *error = "unknown tesla session";
+    return std::nullopt;
+  }
+  Session session = std::move(it->second);
+  sessions_.erase(it);
+  finalized_->increment();
+
+  // Deterministic proof order: canonical sample time, arrival order
+  // breaking ties (seq is unique per session, so this is a total order).
+  std::sort(session.accepted.begin(), session.accepted.end(),
+            [](const Accepted& a, const Accepted& b) {
+              if (a.t_us != b.t_us) return a.t_us < b.t_us;
+              return a.seq < b.seq;
+            });
+
+  ProofOfAlibi poa;
+  poa.drone_id = drone_id;
+  poa.mode = AuthMode::kTeslaChain;
+  poa.hash = session.hash;
+  poa.encrypted = false;
+  poa.samples.reserve(session.accepted.size());
+  for (Accepted& accepted : session.accepted) {
+    poa.samples.push_back(
+        SignedSample{std::move(accepted.sample), std::move(accepted.tag)});
+  }
+  // Self-contained offline re-verification material (see AuthMode docs):
+  // the signed commitment plus the highest verified chain element.
+  poa.batch_signature = std::move(session.commit_payload);
+  poa.session_key_signature = std::move(session.commit_signature);
+  poa.session_key_ciphertext = be_bytes(session.frontier.frontier_index(), 8);
+  const crypto::ChainKey& top = session.frontier.frontier_key();
+  poa.session_key_ciphertext.insert(poa.session_key_ciphertext.end(),
+                                    top.begin(), top.end());
+  return poa;
+}
+
+std::size_t TeslaVerifier::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+// ---- Drone side ----
+
+namespace {
+
+constexpr int kMaxTransientRetries = 3;
+
+tee::InvokeResult invoke_sampler(tee::DroneTee& tee, tee::SamplerCommand command,
+                                 std::span<const crypto::Bytes> params = {}) {
+  tee::InvokeResult result = tee.monitor().invoke(
+      tee.sampler_uuid(), static_cast<std::uint32_t>(command), params);
+  for (int attempt = 0;
+       result.status == tee::TeeStatus::kBusy && attempt < kMaxTransientRetries;
+       ++attempt) {
+    result = tee.monitor().invoke(tee.sampler_uuid(),
+                                  static_cast<std::uint32_t>(command), params);
+  }
+  return result;
+}
+
+std::uint64_t read_be64(const crypto::Bytes& b) {
+  std::uint64_t v = 0;
+  for (const std::uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+/// Fire-and-forget send: returns the decoded ack, nullopt on a bus drop
+/// (TimeoutError) — the lossy-broadcast contract.
+std::optional<TeslaAck> broadcast(net::MessageBus& bus,
+                                  const std::string& endpoint,
+                                  const crypto::Bytes& frame) {
+  try {
+    return TeslaAck::decode(bus.request(endpoint, frame));
+  } catch (const net::TimeoutError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+TeslaFlightResult run_tesla_broadcast_flight(tee::DroneTee& tee,
+                                             gps::GpsReceiverSim& receiver,
+                                             SamplingPolicy& policy,
+                                             net::MessageBus& bus,
+                                             const DroneId& drone_id,
+                                             const TeslaFlightConfig& config) {
+  TeslaFlightResult result;
+  const double period = receiver.update_period();
+  const double start = receiver.next_update_time();
+
+  const auto feed_one_update = [&](double at) {
+    for (const std::string& s : receiver.advance_to(at)) tee.feed_gps(s);
+  };
+
+  // The TA needs a fix before it can anchor the flight epoch.
+  feed_one_update(start);
+
+  std::uint32_t chain_length = config.chain_length;
+  if (chain_length == 0) {
+    const double duration = std::max(0.0, config.end_time - start);
+    chain_length = static_cast<std::uint32_t>(
+                       std::ceil(duration / config.interval_s)) +
+                   config.disclosure_delay + 4;
+  }
+  const std::uint64_t interval_us =
+      static_cast<std::uint64_t>(std::llround(config.interval_s * 1e6));
+
+  const std::vector<crypto::Bytes> begin_params{
+      be_bytes(chain_length, 4), be_bytes(config.disclosure_delay, 4),
+      be_bytes(interval_us, 8)};
+  const tee::InvokeResult begun =
+      invoke_sampler(tee, tee::SamplerCommand::kTeslaBegin, begin_params);
+  if (!begun.ok() || begun.outputs.size() != 2) {
+    ++result.tee_failures;
+    return result;
+  }
+  const auto commit = tee::parse_tesla_commit(begun.outputs[0]);
+  if (!commit) {
+    ++result.tee_failures;
+    return result;
+  }
+
+  TeslaAnnounceRequest announce;
+  announce.drone_id = drone_id;
+  announce.session_nonce = config.session_nonce;
+  announce.hash = config.hash;
+  announce.commit_payload = begun.outputs[0];
+  announce.commit_signature = begun.outputs[1];
+  const crypto::Bytes announce_frame = announce.encode();
+  const auto try_announce = [&] {
+    if (result.announced) return;
+    const auto ack = broadcast(bus, "auditor.tesla_announce", announce_frame);
+    if (ack && ack->accepted) result.announced = true;
+  };
+  try_announce();
+
+  std::uint64_t last_disclosed = 0;
+  const auto disclose_up_to = [&](std::uint64_t matured) {
+    matured = std::min<std::uint64_t>(matured, chain_length);
+    if (matured <= last_disclosed) return;
+    const std::vector<crypto::Bytes> params{be_bytes(matured, 8)};
+    const tee::InvokeResult disclosed =
+        invoke_sampler(tee, tee::SamplerCommand::kTeslaDisclose, params);
+    if (!disclosed.ok() || disclosed.outputs.size() != 1) {
+      ++result.tee_failures;
+      return;
+    }
+    TeslaDiscloseRequest request;
+    request.drone_id = drone_id;
+    request.session_nonce = config.session_nonce;
+    request.index = matured;
+    request.key = disclosed.outputs[0];
+    ++result.disclosures_sent;
+    const auto ack =
+        broadcast(bus, "auditor.tesla_disclose", request.encode());
+    if (!ack) {
+      ++result.disclosures_dropped;
+      return;  // a later disclosure settles this interval too
+    }
+    if (ack->accepted) last_disclosed = matured;
+  };
+
+  // The highest interval whose key has passed its disclosure time on the
+  // drone's GPS clock (t >= t0 + (m + d) * tau  =>  m matured).
+  const auto matured_at = [&](double unix_time) -> std::uint64_t {
+    const std::int64_t t_us = tee::time_us_of(unix_time);
+    if (t_us < commit->t0_us) return 0;
+    const std::uint64_t elapsed =
+        static_cast<std::uint64_t>(t_us - commit->t0_us) / interval_us;
+    return elapsed <= config.disclosure_delay
+               ? 0
+               : elapsed - config.disclosure_delay;
+  };
+
+  double last_fix_time = start;
+  for (double now = start + period; now <= config.end_time + 1e-9;
+       now += period) {
+    feed_one_update(now);
+    ++result.gps_updates;
+    const auto fix = invoke_sampler(tee, tee::SamplerCommand::kGetGpsTesla);
+    try_announce();
+
+    if (fix.status == tee::TeeStatus::kSuccess && fix.outputs.size() == 3) {
+      const auto decoded = tee::decode_sample(fix.outputs[0]);
+      if (decoded) {
+        last_fix_time = decoded->unix_time;
+        if (policy.should_authenticate(*decoded)) {
+          policy.on_recorded(*decoded);
+          const std::uint64_t interval = read_be64(fix.outputs[2]);
+          result.max_interval_used =
+              std::max(result.max_interval_used, interval);
+          TeslaSampleBroadcast sample;
+          sample.drone_id = drone_id;
+          sample.session_nonce = config.session_nonce;
+          sample.interval = interval;
+          sample.sample = fix.outputs[0];
+          sample.tag = fix.outputs[1];
+          ++result.samples_sent;
+          const auto ack =
+              broadcast(bus, "auditor.tesla_sample", sample.encode());
+          if (!ack) {
+            ++result.samples_dropped;
+          } else if (!ack->accepted) {
+            ++result.samples_rejected;
+          }
+        }
+      }
+    } else if (fix.status != tee::TeeStatus::kNotReady) {
+      ++result.tee_failures;
+    }
+
+    disclose_up_to(matured_at(last_fix_time));
+  }
+
+  // Post-flight flush: keep the receiver (and with it the TA's clock)
+  // moving until every used interval's key has matured, been disclosed
+  // and acknowledged — exactly what a drone broadcasting disclosures
+  // after landing does. Bounded against pathological fault schedules.
+  const std::uint64_t flush_target =
+      std::min<std::uint64_t>(std::max<std::uint64_t>(result.max_interval_used,
+                                                      1),
+                              chain_length);
+  double now = config.end_time;
+  for (std::size_t i = 0;
+       i < config.max_flush_updates && last_disclosed < flush_target; ++i) {
+    now += period;
+    feed_one_update(now);
+    last_fix_time = now;
+    try_announce();
+    disclose_up_to(matured_at(last_fix_time));
+  }
+
+  TeslaFinalizeRequest finalize;
+  finalize.drone_id = drone_id;
+  finalize.session_nonce = config.session_nonce;
+  finalize.end_time = config.end_time;
+  const crypto::Bytes finalize_frame = finalize.encode();
+  for (std::size_t i = 0; i < config.max_flush_updates; ++i) {
+    try {
+      const auto verdict =
+          PoaVerdict::decode(bus.request("auditor.tesla_finalize", finalize_frame));
+      if (verdict) {
+        result.verdict = *verdict;
+        result.finalized = true;
+      }
+      break;
+    } catch (const net::TimeoutError&) {
+      now += period;
+      feed_one_update(now);
+    }
+  }
+  return result;
+}
+
+}  // namespace alidrone::core

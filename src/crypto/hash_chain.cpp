@@ -1,0 +1,148 @@
+#include "crypto/hash_chain.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace alidrone::crypto {
+
+namespace {
+
+// Process-wide TESLA counters, obtained once (mont.cache_* idiom). The
+// hot-path cost is one relaxed atomic add; the lookups never run inside
+// the zero-allocation guard window because warm-up touches them first.
+obs::Counter& tag_ops_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("crypto.tesla.tag_ops");
+  return c;
+}
+
+obs::Counter& derive_hashes_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("crypto.tesla.derive_hashes");
+  return c;
+}
+
+obs::Counter& frontier_hashes_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("crypto.tesla.frontier_hashes");
+  return c;
+}
+
+// HMAC-SHA256 with a key no longer than one block, entirely on the stack.
+// crypto::Hmac allocates its pads; this path is what the per-sample
+// zero-allocation guard in bench_sign_throughput measures.
+Sha256::Digest hmac_fixed(const ChainKey& key,
+                          std::span<const std::uint8_t> part1,
+                          std::span<const std::uint8_t> part2) {
+  static_assert(kChainKeySize <= Sha256::kBlockSize);
+  std::array<std::uint8_t, Sha256::kBlockSize> pad{};
+  for (std::size_t i = 0; i < key.size(); ++i) pad[i] = key[i] ^ 0x36;
+  for (std::size_t i = key.size(); i < pad.size(); ++i) pad[i] = 0x36;
+
+  Sha256 inner;
+  inner.update(pad);
+  inner.update(part1);
+  inner.update(part2);
+  const Sha256::Digest inner_digest = inner.finalize();
+
+  for (auto& b : pad) b ^= 0x36 ^ 0x5c;  // flip ipad to opad in place
+  Sha256 outer;
+  outer.update(pad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+}  // namespace
+
+ChainKey chain_step(const ChainKey& key) { return Sha256::hash(key); }
+
+HashChain::HashChain(const ChainKey& seed, std::size_t length,
+                     std::size_t checkpoint_stride)
+    : length_(length), stride_(checkpoint_stride) {
+  if (length_ == 0) throw std::invalid_argument("HashChain: length == 0");
+  if (stride_ == 0) {
+    stride_ = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(length_))));
+  }
+  // Walk K_N .. K_0 once, capturing every stride_-th element. The walk
+  // runs top-down but checkpoints_ is indexed bottom-up, so size it first
+  // and fill by index.
+  checkpoints_.assign(length_ / stride_, ChainKey{});
+  ChainKey cur = seed;  // K_length
+  for (std::size_t i = length_; i >= 1; --i) {
+    if (i % stride_ == 0 && i / stride_ <= checkpoints_.size()) {
+      checkpoints_[i / stride_ - 1] = cur;
+    }
+    cur = chain_step(cur);  // K_{i-1}
+  }
+  anchor_ = cur;  // K_0
+  // The seed itself is the final fallback checkpoint so key(length) and
+  // the tail above the last stride boundary stay cheap.
+  checkpoints_.push_back(seed);
+}
+
+ChainKey HashChain::key(std::size_t index) const {
+  if (index < 1 || index > length_) {
+    throw std::out_of_range("HashChain::key: index outside [1, length]");
+  }
+  // Nearest checkpoint at or above index: checkpoints_[j] holds
+  // K_{(j+1)*stride_}, with the seed (K_length) appended last.
+  const std::size_t j = (index + stride_ - 1) / stride_ - 1;
+  std::size_t at;
+  ChainKey cur;
+  if (j < checkpoints_.size() - 1) {
+    at = (j + 1) * stride_;
+    cur = checkpoints_[j];
+  } else {
+    at = length_;
+    cur = checkpoints_.back();
+  }
+  std::uint64_t steps = 0;
+  for (; at > index; --at, ++steps) cur = chain_step(cur);
+  derive_hashes_ += steps;
+  if (steps != 0) derive_hashes_counter().add(steps);
+  return cur;
+}
+
+ChainFrontier::ChainFrontier(const ChainKey& anchor, std::size_t length)
+    : frontier_(anchor), length_(length) {}
+
+bool ChainFrontier::accept(std::size_t index, const ChainKey& key) {
+  if (index <= index_ || index > length_) return false;
+  ChainKey cur = key;
+  std::uint64_t steps = 0;
+  for (std::size_t i = index; i > index_; --i, ++steps) {
+    cur = chain_step(cur);
+  }
+  verify_hashes_ += steps;
+  frontier_hashes_counter().add(steps);
+  if (cur != frontier_) return false;
+  frontier_ = key;
+  index_ = index;
+  return true;
+}
+
+ChainKey tesla_mac_key(const ChainKey& chain_key) {
+  static constexpr std::string_view kContext = "alidrone.tesla.mac.v1";
+  return hmac_fixed(
+      chain_key,
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(kContext.data()),
+          kContext.size()),
+      {});
+}
+
+ChainKey tesla_tag(const ChainKey& mac_key, std::uint64_t interval,
+                   std::span<const std::uint8_t> sample) {
+  std::array<std::uint8_t, 8> be{};
+  for (int i = 0; i < 8; ++i) {
+    be[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((interval >> (8 * (7 - i))) & 0xFF);
+  }
+  tag_ops_counter().increment();
+  return hmac_fixed(mac_key, be, sample);
+}
+
+}  // namespace alidrone::crypto

@@ -1,0 +1,115 @@
+// TESLA hash chains (delayed-key-disclosure broadcast authentication).
+//
+// A flight's authentication keys form a one-way chain
+//
+//     K_N  --SHA-256-->  K_{N-1}  --SHA-256-->  ...  --SHA-256-->  K_0
+//
+// generated backwards from a random seed K_N. The drone commits to the
+// *anchor* K_0 once per flight with a single TEE RSA signature; every
+// GPS sample in interval i is then authenticated with one HMAC tag keyed
+// by a value derived from the not-yet-disclosed K_i. Disclosing K_i
+// after the delay lets anyone verify the tag, and the one-way chain lets
+// anyone confirm K_i really belongs to the committed flight by hashing
+// it down to a previously verified element.
+//
+// Two sides, two caching strategies:
+//  - the sender (`HashChain`) keeps √N checkpoints so deriving K_i costs
+//    O(√N) hashes worst case and zero heap allocations;
+//  - the verifier (`ChainFrontier`) keeps only the highest verified
+//    element (the frontier), so a whole flight's disclosures cost N
+//    hashes total no matter how many are dropped or arrive out of order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "crypto/sha256.h"
+
+namespace alidrone::crypto {
+
+/// One chain element (SHA-256 wide).
+using ChainKey = std::array<std::uint8_t, 32>;
+inline constexpr std::size_t kChainKeySize = 32;
+
+/// One step toward the anchor: returns SHA-256(key), i.e. K_{i-1} from K_i.
+ChainKey chain_step(const ChainKey& key);
+
+/// Sender-side chain with checkpoint caching.
+///
+/// Construction walks the full chain once (N hashes), storing every
+/// `checkpoint_stride`-th element; `key(i)` then re-derives any element
+/// from the nearest checkpoint above it without touching the heap.
+/// stride = 1 caches the whole chain (O(1) lookup, N keys of memory);
+/// stride = 0 picks ceil(√N) — the classic O(√N) time/memory balance.
+class HashChain {
+ public:
+  HashChain(const ChainKey& seed, std::size_t length,
+            std::size_t checkpoint_stride = 0);
+
+  /// Number of usable keys K_1..K_length (K_0 is the commitment anchor).
+  std::size_t length() const { return length_; }
+  std::size_t checkpoint_stride() const { return stride_; }
+
+  /// K_0, the element committed by the per-flight TEE signature.
+  const ChainKey& anchor() const { return anchor_; }
+
+  /// Derive K_index (1 <= index <= length()). Zero allocations.
+  ChainKey key(std::size_t index) const;
+
+  /// Total SHA-256 invocations spent inside key() since construction
+  /// (checkpoint-cache ablation metric; construction's N hashes excluded).
+  std::uint64_t derive_hashes() const { return derive_hashes_; }
+
+ private:
+  std::size_t length_;
+  std::size_t stride_;
+  ChainKey anchor_;
+  std::vector<ChainKey> checkpoints_;  ///< checkpoints_[j] = K_{(j+1)*stride_}
+  mutable std::uint64_t derive_hashes_ = 0;
+};
+
+/// Verifier-side incremental chain state: starts at the committed anchor
+/// K_0 and advances as keys are disclosed. Accepting K_j hashes it down
+/// j - frontier steps to the last verified element, so total verification
+/// cost is N hashes per flight regardless of drops, duplicates or
+/// reordering; a key that does not chain down to the frontier is forged
+/// (or belongs to a forked chain) and is rejected without state change.
+class ChainFrontier {
+ public:
+  ChainFrontier(const ChainKey& anchor, std::size_t length);
+
+  /// Verify that `key` is K_index of the committed chain. On success the
+  /// frontier advances to index. Rejects index <= frontier (replay /
+  /// out-of-order disclosure), index > length, and keys that fail to
+  /// chain down to the frontier.
+  bool accept(std::size_t index, const ChainKey& key);
+
+  std::size_t length() const { return length_; }
+  std::size_t frontier_index() const { return index_; }
+  const ChainKey& frontier_key() const { return frontier_; }
+
+  /// Total SHA-256 invocations spent in accept() (bounded by length()).
+  std::uint64_t verify_hashes() const { return verify_hashes_; }
+
+ private:
+  ChainKey frontier_;
+  std::size_t index_ = 0;
+  std::size_t length_;
+  std::uint64_t verify_hashes_ = 0;
+};
+
+/// TESLA key-separation: the MAC key for interval i is not K_i itself but
+/// K'_i = HMAC-SHA256(K_i, "alidrone.tesla.mac.v1"), so disclosed chain
+/// elements are never directly usable as MAC keys. Zero allocations.
+ChainKey tesla_mac_key(const ChainKey& chain_key);
+
+/// Per-sample tag: HMAC-SHA256(K'_i, BE64(interval) || sample). This is
+/// the entire per-sample signing cost of the TESLA PoA mode — a few µs
+/// against ~ms for a planned RSA private operation. Zero allocations.
+ChainKey tesla_tag(const ChainKey& mac_key, std::uint64_t interval,
+                   std::span<const std::uint8_t> sample);
+
+}  // namespace alidrone::crypto

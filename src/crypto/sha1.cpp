@@ -63,6 +63,7 @@ void Sha1::process_block(const std::uint8_t* block) {
 }
 
 void Sha1::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;  // an empty span may carry a null data()
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -66,6 +66,12 @@ InvokeResult GpsSamplerTA::invoke(SessionId session, std::uint32_t command,
       return batch_append(session);
     case SamplerCommand::kBatchFinalize:
       return batch_finalize(session);
+    case SamplerCommand::kTeslaBegin:
+      return tesla_begin(session, params);
+    case SamplerCommand::kGetGpsTesla:
+      return get_gps_tesla(session);
+    case SamplerCommand::kTeslaDisclose:
+      return tesla_disclose(session, params);
   }
   return {TeeStatus::kBadCommand, {}};
 }
@@ -209,6 +215,119 @@ InvokeResult GpsSamplerTA::batch_finalize(SessionId session) {
   st.batch_count = 0;
   storage_.erase(batch_key(session));
   return {TeeStatus::kSuccess, {*batch, std::move(signature)}};
+}
+
+namespace {
+
+std::uint64_t read_be(const crypto::Bytes& b, std::size_t offset,
+                      std::size_t width) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) v = (v << 8) | b[offset + i];
+  return v;
+}
+
+crypto::Bytes be64_bytes(std::uint64_t v) {
+  crypto::Bytes out(8);
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * (7 - i))) & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace
+
+InvokeResult GpsSamplerTA::tesla_begin(SessionId session,
+                                       std::span<const crypto::Bytes> params) {
+  if (params.size() != 3 || params[0].size() != 4 || params[1].size() != 4 ||
+      params[2].size() != 8) {
+    return {TeeStatus::kBadParameters, {}};
+  }
+  const auto chain_length = static_cast<std::uint32_t>(read_be(params[0], 0, 4));
+  const auto delay = static_cast<std::uint32_t>(read_be(params[1], 0, 4));
+  const std::uint64_t interval_us = read_be(params[2], 0, 8);
+  if (chain_length == 0 || chain_length > config_.tesla_max_chain_length ||
+      delay == 0 || interval_us == 0) {
+    return {TeeStatus::kBadParameters, {}};
+  }
+  // The flight epoch is the TA's own GPS time base; refusing to start
+  // without a fix keeps both halves of the disclosure schedule (here and
+  // at the Auditor) anchored to the same clock.
+  const auto fix = driver_.get_gps();
+  if (!fix || !fix->valid) return {TeeStatus::kNotReady, {}};
+  if (!environment_trusted(*fix)) return {TeeStatus::kAccessDenied, {}};
+
+  SessionState& st = state(session);
+  crypto::ChainKey seed{};
+  rng_.fill(seed);
+  st.tesla_chain = std::make_unique<crypto::HashChain>(seed, chain_length);
+  st.tesla_t0_us = time_us_of(fix->unix_time);
+  st.tesla_interval_us = interval_us;
+  st.tesla_delay = delay;
+
+  TeslaCommit commit;
+  commit.anchor = st.tesla_chain->anchor();
+  commit.chain_length = chain_length;
+  commit.disclosure_delay = delay;
+  commit.interval_us = interval_us;
+  commit.t0_us = st.tesla_t0_us;
+  const crypto::Bytes payload = tesla_commit_payload(commit);
+  charge_sign();
+  // The one RSA private operation of the whole flight: every subsequent
+  // sample costs one HMAC. Blinded + planned exactly like per-sample mode.
+  crypto::Bytes signature = vault_.sign_fast(payload, config_.hash, rng_);
+  return {TeeStatus::kSuccess, {payload, std::move(signature)}};
+}
+
+InvokeResult GpsSamplerTA::get_gps_tesla(SessionId session) {
+  SessionState& st = state(session);
+  if (st.tesla_chain == nullptr) return {TeeStatus::kNotReady, {}};
+  const auto fix = driver_.get_gps();
+  if (!fix || !fix->valid) return {TeeStatus::kNotReady, {}};
+  if (!environment_trusted(*fix)) return {TeeStatus::kAccessDenied, {}};
+
+  charge(resource::Op::kGpsReadParse);
+  const crypto::Bytes sample = encode_sample(*fix);
+  const auto t_us = sample_time_us(sample);
+  const std::uint64_t interval =
+      tesla_interval(t_us.value_or(-1), st.tesla_t0_us, st.tesla_interval_us);
+  if (interval == 0) return {TeeStatus::kNotReady, {}};  // clock reversal
+  if (interval > st.tesla_chain->length()) {
+    return {TeeStatus::kOutOfResources, {}};  // chain exhausted
+  }
+  charge(resource::Op::kHmacSign);
+  const crypto::ChainKey mac_key =
+      crypto::tesla_mac_key(st.tesla_chain->key(interval));
+  const crypto::ChainKey tag = crypto::tesla_tag(mac_key, interval, sample);
+  return {TeeStatus::kSuccess,
+          {sample, crypto::Bytes(tag.begin(), tag.end()),
+           be64_bytes(interval)}};
+}
+
+InvokeResult GpsSamplerTA::tesla_disclose(SessionId session,
+                                          std::span<const crypto::Bytes> params) {
+  SessionState& st = state(session);
+  if (st.tesla_chain == nullptr) return {TeeStatus::kNotReady, {}};
+  if (params.size() != 1 || params[0].size() != 8) {
+    return {TeeStatus::kBadParameters, {}};
+  }
+  const std::uint64_t index = read_be(params[0], 0, 8);
+  if (index == 0 || index > st.tesla_chain->length()) {
+    return {TeeStatus::kBadParameters, {}};
+  }
+  // Secure-world half of the TESLA security condition: K_index leaves the
+  // TEE only after its scheduled disclosure time on the TA's GPS clock.
+  const auto fix = driver_.get_gps();
+  if (!fix || !fix->valid) return {TeeStatus::kNotReady, {}};
+  const std::int64_t now_us = time_us_of(fix->unix_time);
+  const std::int64_t release_us =
+      st.tesla_t0_us +
+      static_cast<std::int64_t>((index + st.tesla_delay) * st.tesla_interval_us);
+  if (now_us < release_us) return {TeeStatus::kAccessDenied, {}};
+
+  charge(resource::Op::kHmacSign);
+  const crypto::ChainKey key = st.tesla_chain->key(index);
+  return {TeeStatus::kSuccess, {crypto::Bytes(key.begin(), key.end())}};
 }
 
 }  // namespace alidrone::tee

@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 
+#include "crypto/hash_chain.h"
 #include "crypto/random.h"
 #include "gps/driver.h"
 #include "resource/cost_model.h"
@@ -42,6 +43,22 @@ enum class SamplerCommand : std::uint32_t {
   /// instead of N pairs. in: optionally [max_samples, 4 bytes BE];
   /// out: [sample_1, sig_1, sample_2, sig_2, ...], oldest first.
   kGetGpsAuthCoalesced = 8,
+  /// TESLA mode (ROADMAP item 2): generate a per-flight hash chain inside
+  /// the TEE and sign its commitment — the flight's ONE RSA private
+  /// operation. in: [chain_length u32 BE, disclosure_delay u32 BE,
+  /// interval_us u64 BE]; out: [commit_payload, rsa_signature] where the
+  /// payload is tee::tesla_commit_payload (anchor, length, delay,
+  /// interval, t0 = current-fix time).
+  kTeslaBegin = 9,
+  /// One authenticated TESLA sample: µs-class HMAC instead of an RSA
+  /// sign. out: [sample, tag(32), interval u64 BE].
+  kGetGpsTesla = 10,
+  /// Disclose chain key K_index. The TA refuses until its own GPS time
+  /// base has passed the key's scheduled disclosure time t0 + (index +
+  /// delay) * interval — this is the secure-world half of the TESLA
+  /// security condition: the normal world can never obtain a key early
+  /// enough to forge a timely sample. in: [index u64 BE]; out: [key(32)].
+  kTeslaDisclose = 11,
 };
 
 /// GpsSamplerTA configuration (defined at namespace scope so it can be a
@@ -52,6 +69,9 @@ struct SamplerConfig {
   /// Upper bound on samples signed by one kGetGpsAuthCoalesced invoke
   /// (bounds secure-world time per SMC; leftover fixes stay queued).
   std::size_t max_coalesced_samples = 32;
+  /// Upper bound on a TESLA chain built by kTeslaBegin (bounds the
+  /// secure-world memory/hash budget of a single flight).
+  std::uint32_t tesla_max_chain_length = 1u << 20;
   /// Section VII-A2: refuse to sign fixes from a suspicious environment
   /// (impossible jumps/speeds, reversed clocks).
   bool enable_plausibility_check = false;
@@ -91,6 +111,13 @@ class GpsSamplerTA final : public TrustedApp {
     crypto::Bytes hmac_key;  // empty until established
     bool batch_active = false;
     std::size_t batch_count = 0;
+    // TESLA mode: the flight's hash chain and commitment parameters live
+    // only in the secure world; the normal world sees the anchor (in the
+    // signed commit payload), tags, and keys it is allowed to learn.
+    std::unique_ptr<crypto::HashChain> tesla_chain;
+    std::int64_t tesla_t0_us = 0;
+    std::uint64_t tesla_interval_us = 0;
+    std::uint32_t tesla_delay = 0;
   };
   std::map<SessionId, SessionState> sessions_;
 
@@ -118,6 +145,11 @@ class GpsSamplerTA final : public TrustedApp {
   InvokeResult batch_begin(SessionId session);
   InvokeResult batch_append(SessionId session);
   InvokeResult batch_finalize(SessionId session);
+  InvokeResult tesla_begin(SessionId session,
+                           std::span<const crypto::Bytes> params);
+  InvokeResult get_gps_tesla(SessionId session);
+  InvokeResult tesla_disclose(SessionId session,
+                              std::span<const crypto::Bytes> params);
 };
 
 }  // namespace alidrone::tee

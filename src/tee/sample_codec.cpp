@@ -1,5 +1,7 @@
 #include "tee/sample_codec.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
 namespace alidrone::tee {
@@ -57,6 +59,58 @@ std::optional<gps::GpsFix> decode_sample(std::span<const std::uint8_t> data) {
   fix.altitude_m = static_cast<double>(alt_mm) / 1e3;
   fix.unix_time = static_cast<double>(time_us) / 1e6;
   return fix;
+}
+
+std::int64_t time_us_of(double unix_time) { return scale(unix_time, 1e6); }
+
+std::optional<std::int64_t> sample_time_us(std::span<const std::uint8_t> data) {
+  if (data.size() != kEncodedSampleSize) return std::nullopt;
+  return get_i64(data, 24);
+}
+
+namespace {
+
+constexpr std::array<std::uint8_t, 5> kTeslaMagic = {'A', 'T', 'S', 'L', '1'};
+
+void put_u32(crypto::Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t offset) {
+  std::uint32_t u = 0;
+  for (int i = 0; i < 4; ++i) u = (u << 8) | data[offset + static_cast<std::size_t>(i)];
+  return u;
+}
+
+}  // namespace
+
+crypto::Bytes tesla_commit_payload(const TeslaCommit& commit) {
+  crypto::Bytes out;
+  out.reserve(kTeslaCommitPayloadSize);
+  out.insert(out.end(), kTeslaMagic.begin(), kTeslaMagic.end());
+  out.insert(out.end(), commit.anchor.begin(), commit.anchor.end());
+  put_u32(out, commit.chain_length);
+  put_u32(out, commit.disclosure_delay);
+  put_i64(out, static_cast<std::int64_t>(commit.interval_us));
+  put_i64(out, commit.t0_us);
+  return out;
+}
+
+std::optional<TeslaCommit> parse_tesla_commit(std::span<const std::uint8_t> data) {
+  if (data.size() != kTeslaCommitPayloadSize) return std::nullopt;
+  for (std::size_t i = 0; i < kTeslaMagic.size(); ++i) {
+    if (data[i] != kTeslaMagic[i]) return std::nullopt;
+  }
+  TeslaCommit commit;
+  std::copy_n(data.begin() + 5, commit.anchor.size(), commit.anchor.begin());
+  commit.chain_length = get_u32(data, 37);
+  commit.disclosure_delay = get_u32(data, 41);
+  commit.interval_us = static_cast<std::uint64_t>(get_i64(data, 45));
+  commit.t0_us = get_i64(data, 53);
+  if (commit.chain_length == 0 || commit.interval_us == 0) return std::nullopt;
+  return commit;
 }
 
 }  // namespace alidrone::tee

@@ -1,0 +1,174 @@
+// HMAC edge cases: the complete RFC 4231 (HMAC-SHA256) and RFC 2202
+// (HMAC-SHA1) known-answer sets, plus the key-length boundaries the RFCs
+// leave implicit — empty key, empty message, and the exactly-block-size /
+// one-over-block-size transition where RFC 2104 switches from padding the
+// key to hashing it first.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace alidrone::crypto {
+namespace {
+
+template <typename Digest>
+std::string hex(const Digest& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// RFC 4231 shared inputs (cases 4-7; 1-3 use trivial literals inline).
+Bytes rfc_case4_key() {
+  return from_hex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+}
+const char* kLongKeyMsg =
+    "Test Using Larger Than Block-Size Key - Hash Key First";
+const char* kLongBothMsg =
+    "This is a test using a larger than block-size key and a larger than "
+    "block-size data. The key needs to be hashed before being used by the "
+    "HMAC algorithm.";
+
+// ---- RFC 4231: HMAC-SHA256 ----
+
+TEST(HmacSha256Rfc4231, Case1) {
+  EXPECT_EQ(hex(HmacSha256::mac(Bytes(20, 0x0b), to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Rfc4231, Case2ShortKey) {
+  EXPECT_EQ(hex(HmacSha256::mac(to_bytes("Jefe"),
+                                to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Rfc4231, Case3BinaryData) {
+  EXPECT_EQ(hex(HmacSha256::mac(Bytes(20, 0xaa), Bytes(50, 0xdd))),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Rfc4231, Case4TwentyFiveByteKey) {
+  EXPECT_EQ(hex(HmacSha256::mac(rfc_case4_key(), Bytes(50, 0xcd))),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256Rfc4231, Case5Truncated128) {
+  // RFC 4231 specifies only the first 128 bits of the output here.
+  const auto mac = HmacSha256::mac(Bytes(20, 0x0c), to_bytes("Test With Truncation"));
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(mac.data(), 16)),
+            "a3b6167473100ee06e0c796c2955552b");
+}
+
+TEST(HmacSha256Rfc4231, Case6KeyLargerThanBlock) {
+  EXPECT_EQ(hex(HmacSha256::mac(Bytes(131, 0xaa), to_bytes(kLongKeyMsg))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Rfc4231, Case7KeyAndDataLargerThanBlock) {
+  EXPECT_EQ(hex(HmacSha256::mac(Bytes(131, 0xaa), to_bytes(kLongBothMsg))),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+// ---- RFC 2202: HMAC-SHA1 ----
+
+TEST(HmacSha1Rfc2202, Case1) {
+  EXPECT_EQ(hex(HmacSha1::mac(Bytes(20, 0x0b), to_bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1Rfc2202, Case2ShortKey) {
+  EXPECT_EQ(hex(HmacSha1::mac(to_bytes("Jefe"),
+                              to_bytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1Rfc2202, Case3BinaryData) {
+  EXPECT_EQ(hex(HmacSha1::mac(Bytes(20, 0xaa), Bytes(50, 0xdd))),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1Rfc2202, Case4TwentyFiveByteKey) {
+  EXPECT_EQ(hex(HmacSha1::mac(rfc_case4_key(), Bytes(50, 0xcd))),
+            "4c9007f4026250c6bc8414f9bf50c86c2d7235da");
+}
+
+TEST(HmacSha1Rfc2202, Case5Truncation) {
+  const auto mac = HmacSha1::mac(Bytes(20, 0x0c), to_bytes("Test With Truncation"));
+  EXPECT_EQ(hex(mac), "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04");
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(mac.data(), 12)),
+            "4c1a03424b55e07fe7f27be1");
+}
+
+TEST(HmacSha1Rfc2202, Case6KeyLargerThanBlock) {
+  EXPECT_EQ(hex(HmacSha1::mac(Bytes(80, 0xaa), to_bytes(kLongKeyMsg))),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha1Rfc2202, Case7KeyAndDataLargerThanBlock) {
+  EXPECT_EQ(hex(HmacSha1::mac(
+                Bytes(80, 0xaa),
+                to_bytes("Test Using Larger Than Block-Size Key and Larger "
+                         "Than One Block-Size Data"))),
+            "e8e99d0f45237d786d6bbaa7965c7808bbff1a91");
+}
+
+// ---- Edges the RFC vectors skip ----
+
+TEST(HmacEdges, EmptyKeyEmptyMessage) {
+  // Known answers (OpenSSL cross-check): both key and message empty.
+  EXPECT_EQ(hex(HmacSha256::mac(Bytes{}, Bytes{})),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+  EXPECT_EQ(hex(HmacSha1::mac(Bytes{}, Bytes{})),
+            "fbdb1d1b18aa6c08324b7d64b71fb76370690e1d");
+}
+
+TEST(HmacEdges, EmptyMessageNonEmptyKey) {
+  // HMAC-SHA256(key="key", msg="") — cross-checked against OpenSSL.
+  EXPECT_EQ(hex(HmacSha256::mac(to_bytes("key"), Bytes{})),
+            "5d5d139563c95b5967b9bd9a8c9b233a9dedb45072794cd232dc1b74832607d0");
+}
+
+TEST(HmacEdges, KeyExactlyBlockSizeIsUsedRaw) {
+  // A 64-byte key sits on the RFC 2104 boundary: it is padded (a no-op),
+  // not hashed. Using SHA-256(key) instead must give a different MAC.
+  const Bytes key(Sha256::kBlockSize, 0x42);
+  const Bytes msg = to_bytes("boundary");
+  const auto raw = HmacSha256::mac(key, msg);
+  const auto hashed_key = Sha256::hash(key);
+  const auto via_hash = HmacSha256::mac(hashed_key, msg);
+  EXPECT_NE(hex(raw), hex(via_hash));
+}
+
+TEST(HmacEdges, KeyOneOverBlockSizeIsHashedFirst) {
+  // A 65-byte key must behave exactly like its SHA-256 digest used as key.
+  const Bytes key(Sha256::kBlockSize + 1, 0x42);
+  const Bytes msg = to_bytes("boundary");
+  const auto hashed_key = Sha256::hash(key);
+  EXPECT_EQ(hex(HmacSha256::mac(key, msg)),
+            hex(HmacSha256::mac(hashed_key, msg)));
+}
+
+TEST(HmacEdges, IncrementalMatchesOneShot) {
+  const Bytes key(20, 0x0b);
+  const std::string msg = "Hi There";
+  HmacSha256 h(key);
+  for (const char c : msg) {
+    const auto b = static_cast<std::uint8_t>(c);
+    h.update({&b, 1});
+  }
+  EXPECT_EQ(hex(h.finalize()), hex(HmacSha256::mac(key, to_bytes(msg))));
+}
+
+TEST(HmacEdges, ResetAllowsReuse) {
+  HmacSha256 h(Bytes(20, 0x0b));
+  h.update(to_bytes("garbage"));
+  h.reset();
+  h.update(to_bytes("Hi There"));
+  EXPECT_EQ(hex(h.finalize()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+}  // namespace
+}  // namespace alidrone::crypto
