@@ -67,6 +67,11 @@ run_bench bench_adaptive_ablation
 # Fleet-scale ingestion (exit code checks serial/pipeline verdict parity).
 run_bench bench_auditor_scale --drones 8 --proofs 4
 
+# Ledger append/proof throughput and replica catch-up (exit code checks
+# root equality, proof verification and the reapplied-write count).
+run_bench bench_ledger_replication --appends 4000 --durable-appends 1000 \
+  --writes 40
+
 # google-benchmark micro benches.
 micro_args=""
 if [ -n "$MIN_TIME" ]; then

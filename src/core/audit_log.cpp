@@ -110,11 +110,25 @@ AuditLog::AuditLog(const std::filesystem::path& path) {
   if (!*sink_) throw std::runtime_error("AuditLog: cannot open " + path.string());
 }
 
+void AuditLog::attach_ledger(std::shared_ptr<ledger::Ledger> ledger,
+                             std::uint32_t mask) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ledger_ = std::move(ledger);
+  anchor_mask_ = mask;
+}
+
 void AuditLog::record(AuditEvent event) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (sink_) {
     *sink_ << event.to_line() << '\n';
     sink_->flush();
+  }
+  if (ledger_ != nullptr &&
+      (anchor_mask_ & anchor_bit(event.type)) != 0) {
+    const std::string line = event.to_line();
+    ledger_->append(ledger::EntryKind::kAuditEvent, event.time,
+                    {reinterpret_cast<const std::uint8_t*>(line.data()),
+                     line.size()});
   }
   events_.push_back(std::move(event));
 }

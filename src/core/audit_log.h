@@ -14,11 +14,14 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "ledger/ledger.h"
 
 namespace alidrone::core {
 
@@ -66,11 +69,30 @@ class AuditLog {
 
   // Movable (the mutex is not moved; both logs must be quiescent).
   AuditLog(AuditLog&& other) noexcept
-      : events_(std::move(other.events_)), sink_(std::move(other.sink_)) {}
+      : events_(std::move(other.events_)),
+        sink_(std::move(other.sink_)),
+        ledger_(std::move(other.ledger_)),
+        anchor_mask_(other.anchor_mask_) {}
   AuditLog& operator=(AuditLog&& other) noexcept {
     events_ = std::move(other.events_);
     sink_ = std::move(other.sink_);
+    ledger_ = std::move(other.ledger_);
+    anchor_mask_ = other.anchor_mask_;
     return *this;
+  }
+
+  /// Every event of any type in `mask` (default: all) is mirrored into
+  /// the tamper-evident ledger as an EntryKind::kAuditEvent whose payload
+  /// is the event's to_line() bytes. Appending happens under the same
+  /// lock as the in-memory append, so the ledger sees events in exactly
+  /// the order record() serialized them — the stream is byte-identical
+  /// for any upstream thread/shard count.
+  void attach_ledger(std::shared_ptr<ledger::Ledger> ledger,
+                     std::uint32_t mask = kAnchorAll);
+  static constexpr std::uint32_t kAnchorAll = 0xFFFFFFFFu;
+  /// Mask bit for one event type, for composing attach_ledger masks.
+  static constexpr std::uint32_t anchor_bit(AuditEventType type) {
+    return 1u << static_cast<unsigned>(type);
   }
 
   /// Safe to call from multiple threads; each event is appended (and
@@ -95,6 +117,8 @@ class AuditLog {
   mutable std::mutex mu_;
   std::vector<AuditEvent> events_;
   std::optional<std::ofstream> sink_;
+  std::shared_ptr<ledger::Ledger> ledger_;
+  std::uint32_t anchor_mask_ = kAnchorAll;
 };
 
 }  // namespace alidrone::core

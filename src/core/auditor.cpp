@@ -869,87 +869,124 @@ std::size_t Auditor::retained_poa_count() const {
   return n;
 }
 
-void Auditor::bind(net::MessageBus& bus) {
-  bus.register_endpoint("auditor.register_drone", [this](const crypto::Bytes& in) {
-    const auto request = RegisterDroneRequest::decode(in);
-    return (request ? register_drone(*request) : RegisterDroneResponse{}).encode();
-  });
-  bus.register_endpoint("auditor.register_zone", [this](const crypto::Bytes& in) {
-    const auto request = RegisterZoneRequest::decode(in);
-    return (request ? register_zone(*request) : RegisterZoneResponse{}).encode();
-  });
-  bus.register_endpoint("auditor.query_zones", [this](const crypto::Bytes& in) {
-    // Borrowing decode: id, nonce and signature stay views into the
-    // request frame; only an accepted nonce is copied (into the replay
-    // cache).
-    const auto request = ZoneQueryRequestView::decode(in);
-    return (request ? query_zones_impl(request->drone_id, request->rect,
-                                       request->nonce, request->nonce_signature)
-                    : ZoneQueryResponse{false, "bad request", {}})
-        .encode();
-  });
-  bus.register_endpoint("auditor.submit_poa", [this](const crypto::Bytes& in) {
-    const auto poa_bytes = SubmitPoaRequest::decode_view(in);
-    if (!poa_bytes) {
+const char* Auditor::method_suffix(WireMethod method) {
+  switch (method) {
+    case WireMethod::kRegisterDrone: return "register_drone";
+    case WireMethod::kRegisterZone: return "register_zone";
+    case WireMethod::kQueryZones: return "query_zones";
+    case WireMethod::kSubmitPoa: return "submit_poa";
+    case WireMethod::kTeslaAnnounce: return "tesla_announce";
+    case WireMethod::kTeslaSample: return "tesla_sample";
+    case WireMethod::kTeslaDisclose: return "tesla_disclose";
+    case WireMethod::kTeslaFinalize: return "tesla_finalize";
+    case WireMethod::kAccuse: return "accuse";
+  }
+  return "unknown";
+}
+
+crypto::Bytes Auditor::handle_frame(WireMethod method,
+                                    const crypto::Bytes& in) {
+  switch (method) {
+    case WireMethod::kRegisterDrone: {
+      const auto request = RegisterDroneRequest::decode(in);
+      return (request ? register_drone(*request) : RegisterDroneResponse{})
+          .encode();
+    }
+    case WireMethod::kRegisterZone: {
+      const auto request = RegisterZoneRequest::decode(in);
+      return (request ? register_zone(*request) : RegisterZoneResponse{})
+          .encode();
+    }
+    case WireMethod::kQueryZones: {
+      // Borrowing decode: id, nonce and signature stay views into the
+      // request frame; only an accepted nonce is copied (into the replay
+      // cache).
+      const auto request = ZoneQueryRequestView::decode(in);
+      return (request ? query_zones_impl(request->drone_id, request->rect,
+                                         request->nonce,
+                                         request->nonce_signature)
+                      : ZoneQueryResponse{false, "bad request", {}})
+          .encode();
+    }
+    case WireMethod::kSubmitPoa: {
+      const auto poa_bytes = SubmitPoaRequest::decode_view(in);
+      if (!poa_bytes) {
+        PoaVerdict verdict;
+        verdict.detail = "bad request";
+        return verdict.encode();
+      }
+      // Content-based dedup: retried and duplicated deliveries of the same
+      // proof bytes return the first verdict verbatim, with no second
+      // verification, retention or audit event — retry storms cannot
+      // double-count a flight.
+      const auto digest_arr = crypto::Sha256::hash(*poa_bytes);
+      const crypto::Bytes digest(digest_arr.begin(), digest_arr.end());
+      if (auto hit = lookup_submission(digest)) return *hit;
+      // Zero-copy verification straight out of the request frame; an owning
+      // proof is materialized only if the verdict reaches retention.
+      PoaView view;
       PoaVerdict verdict;
-      verdict.detail = "bad request";
-      return verdict.encode();
+      if (!PoaView::parse_into(*poa_bytes, view)) {
+        verdict.detail = "unparseable PoA";
+      } else {
+        // Submission time: latest sample time stands in for server wall clock.
+        const double t = view.end_time().value_or(0.0);
+        verdict = commit_evaluation(view.drone_id, evaluate_poa(view), t);
+      }
+      crypto::Bytes encoded = verdict.encode();
+      // Only accepted proofs had side effects worth fencing; rejected ones
+      // re-verify idempotently and stay out of the bounded cache.
+      if (verdict.accepted) note_submission(digest, encoded);
+      return encoded;
     }
-    // Content-based dedup: retried and duplicated deliveries of the same
-    // proof bytes return the first verdict verbatim, with no second
-    // verification, retention or audit event — retry storms cannot
-    // double-count a flight.
-    const auto digest_arr = crypto::Sha256::hash(*poa_bytes);
-    const crypto::Bytes digest(digest_arr.begin(), digest_arr.end());
-    if (auto hit = lookup_submission(digest)) return *hit;
-    // Zero-copy verification straight out of the request frame; an owning
-    // proof is materialized only if the verdict reaches retention.
-    PoaView view;
-    PoaVerdict verdict;
-    if (!PoaView::parse_into(*poa_bytes, view)) {
-      verdict.detail = "unparseable PoA";
-    } else {
-      // Submission time: latest sample time stands in for server wall clock.
-      const double t = view.end_time().value_or(0.0);
-      verdict = commit_evaluation(view.drone_id, evaluate_poa(view), t);
+    case WireMethod::kTeslaAnnounce: {
+      const auto request = TeslaAnnounceRequest::decode(in);
+      return (request ? tesla_announce(*request) : TeslaAck{false, "bad request"})
+          .encode();
     }
-    crypto::Bytes encoded = verdict.encode();
-    // Only accepted proofs had side effects worth fencing; rejected ones
-    // re-verify idempotently and stay out of the bounded cache.
-    if (verdict.accepted) note_submission(digest, encoded);
-    return encoded;
-  });
-  bus.register_endpoint("auditor.tesla_announce", [this](const crypto::Bytes& in) {
-    const auto request = TeslaAnnounceRequest::decode(in);
-    return (request ? tesla_announce(*request) : TeslaAck{false, "bad request"})
-        .encode();
-  });
-  bus.register_endpoint("auditor.tesla_sample", [this](const crypto::Bytes& in) {
-    // Borrowing decode: sample and tag stay views into the frame until
-    // the verifier actually buffers them.
-    const auto view = TeslaSampleBroadcastView::decode(in);
-    return (view ? tesla_sample(*view) : TeslaAck{false, "bad request"}).encode();
-  });
-  bus.register_endpoint("auditor.tesla_disclose", [this](const crypto::Bytes& in) {
-    const auto view = TeslaDiscloseRequestView::decode(in);
-    return (view ? tesla_disclose(*view) : TeslaAck{false, "bad request"})
-        .encode();
-  });
-  bus.register_endpoint("auditor.tesla_finalize", [this](const crypto::Bytes& in) {
-    const auto request = TeslaFinalizeRequest::decode(in);
-    if (!request) {
-      PoaVerdict verdict;
-      verdict.detail = "bad request";
-      return verdict.encode();
+    case WireMethod::kTeslaSample: {
+      // Borrowing decode: sample and tag stay views into the frame until
+      // the verifier actually buffers them.
+      const auto view = TeslaSampleBroadcastView::decode(in);
+      return (view ? tesla_sample(*view) : TeslaAck{false, "bad request"})
+          .encode();
     }
-    return tesla_finalize(*request).encode();
-  });
-  bus.register_endpoint("auditor.accuse", [this](const crypto::Bytes& in) {
-    const auto request = AccusationRequest::decode(in);
-    return (request ? handle_accusation(*request)
-                    : AccusationResponse{false, false, "bad request"})
-        .encode();
-  });
+    case WireMethod::kTeslaDisclose: {
+      const auto view = TeslaDiscloseRequestView::decode(in);
+      return (view ? tesla_disclose(*view) : TeslaAck{false, "bad request"})
+          .encode();
+    }
+    case WireMethod::kTeslaFinalize: {
+      const auto request = TeslaFinalizeRequest::decode(in);
+      if (!request) {
+        PoaVerdict verdict;
+        verdict.detail = "bad request";
+        return verdict.encode();
+      }
+      return tesla_finalize(*request).encode();
+    }
+    case WireMethod::kAccuse: {
+      const auto request = AccusationRequest::decode(in);
+      return (request ? handle_accusation(*request)
+                      : AccusationResponse{false, false, "bad request"})
+          .encode();
+    }
+  }
+  return {};
+}
+
+void Auditor::bind(net::MessageBus& bus, const std::string& prefix) {
+  for (const WireMethod method :
+       {WireMethod::kRegisterDrone, WireMethod::kRegisterZone,
+        WireMethod::kQueryZones, WireMethod::kSubmitPoa,
+        WireMethod::kTeslaAnnounce, WireMethod::kTeslaSample,
+        WireMethod::kTeslaDisclose, WireMethod::kTeslaFinalize,
+        WireMethod::kAccuse}) {
+    bus.register_endpoint(prefix + "." + method_suffix(method),
+                          [this, method](const crypto::Bytes& in) {
+                            return handle_frame(method, in);
+                          });
+  }
 }
 
 }  // namespace alidrone::core

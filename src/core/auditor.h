@@ -160,8 +160,33 @@ class Auditor {
   const std::map<ZoneId, ZoneRecord>& zones() const { return zones_; }
   const ProtocolParams& params() const { return params_; }
 
-  /// Register the serialized endpoints ("auditor.register_drone", ...).
-  void bind(net::MessageBus& bus);
+  /// The wire-visible operations bind() serves, in a stable numbering —
+  /// also the method byte of the ledger's kReplicatedRequest entries, so
+  /// renumbering is a ledger format break.
+  enum class WireMethod : std::uint8_t {
+    kRegisterDrone = 1,
+    kRegisterZone,
+    kQueryZones,
+    kSubmitPoa,
+    kTeslaAnnounce,
+    kTeslaSample,
+    kTeslaDisclose,
+    kTeslaFinalize,
+    kAccuse,
+  };
+  static const char* method_suffix(WireMethod method);
+
+  /// Serve one serialized request frame exactly as the corresponding bus
+  /// endpoint would (same decode, same dedup, same audit events). This is
+  /// the seam ReplicatedAuditor re-executes requests through: feeding the
+  /// same frames in the same order to two Auditors yields byte-identical
+  /// responses, state and ledger streams.
+  crypto::Bytes handle_frame(WireMethod method, const crypto::Bytes& request);
+
+  /// Register the serialized endpoints ("<prefix>.register_drone", ...).
+  /// The prefix is the Auditor's bus address — replicas bind the same
+  /// methods as "auditor0.", "auditor1.", ... so clients can re-target.
+  void bind(net::MessageBus& bus, const std::string& prefix = "auditor");
 
  private:
   friend class AuditorIngest;

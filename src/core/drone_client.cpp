@@ -15,6 +15,22 @@ DroneClient::DroneClient(tee::DroneTee& tee, std::size_t operator_key_bits,
   delivered_ = &reg.counter(scope + ".outbox_delivered");
   drain_attempts_ = &reg.counter(scope + ".outbox_drain_attempts");
   undecodable_responses_ = &reg.counter(scope + ".outbox_undecodable_responses");
+  failovers_ = &reg.counter(scope + ".failovers");
+}
+
+void DroneClient::set_auditor_endpoints(std::vector<std::string> prefixes) {
+  targets_ = resilience::EndpointFailover(std::move(prefixes));
+}
+
+bool DroneClient::fail_over() {
+  if (targets_.size() <= 1) return false;
+  targets_.rotate();
+  failovers_->increment();
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::TraceKind::kReplicaFailover, 0.0,
+                      targets_.active_index(), 0, targets_.active());
+  }
+  return true;
 }
 
 DroneClient::OutboxCounters DroneClient::outbox_counters() const {
@@ -52,14 +68,24 @@ bool DroneClient::accept_register_reply(const crypto::Bytes& reply) {
 bool DroneClient::register_with_auditor(net::MessageBus& bus) {
   const auto request = make_register_request();
   if (!request) return false;
-  return accept_register_reply(bus.request("auditor.register_drone", request->encode()));
+  return accept_register_reply(
+      bus.request(targets_.endpoint("register_drone"), request->encode()));
 }
 
 bool DroneClient::register_with_auditor(resilience::ReliableChannel& channel) {
   const auto request = make_register_request();
   if (!request) return false;
-  const auto outcome = channel.request("auditor.register_drone", request->encode());
-  return outcome.ok && accept_register_reply(outcome.response);
+  // Registration is idempotent on every replica, so trying each target in
+  // turn can at worst register twice under different prefixes — the
+  // replicas replicate the first write, and the second is answered from
+  // the duplicate-registration path.
+  for (std::size_t tried = 0; tried < targets_.size(); ++tried) {
+    const auto outcome =
+        channel.request(targets_.endpoint("register_drone"), request->encode());
+    if (outcome.ok) return accept_register_reply(outcome.response);
+    if (!fail_over()) break;
+  }
+  return false;
 }
 
 ZoneQueryRequest DroneClient::make_zone_query(const QueryRect& rect) {
@@ -75,7 +101,7 @@ ZoneQueryRequest DroneClient::make_zone_query(const QueryRect& rect) {
 std::optional<std::vector<ZoneInfo>> DroneClient::query_zones(net::MessageBus& bus,
                                                               const QueryRect& rect) {
   const crypto::Bytes reply =
-      bus.request("auditor.query_zones", make_zone_query(rect).encode());
+      bus.request(targets_.endpoint("query_zones"), make_zone_query(rect).encode());
   const auto response = ZoneQueryResponse::decode(reply);
   if (!response || !response->ok) return std::nullopt;
   return response->zones;
@@ -89,10 +115,19 @@ std::optional<std::vector<ZoneInfo>> DroneClient::query_zones(
   // (a new logical request), with the channel handling backoff between.
   for (std::uint32_t attempt = 0; attempt < channel.config().retry.max_attempts;
        ++attempt) {
-    const auto outcome =
-        channel.request("auditor.query_zones", make_zone_query(rect).encode());
-    if (outcome.circuit_open) return std::nullopt;
-    if (!outcome.ok) continue;
+    const auto outcome = channel.request(targets_.endpoint("query_zones"),
+                                         make_zone_query(rect).encode());
+    if (outcome.circuit_open) {
+      // The active auditor's breaker is open: a follower can serve the
+      // (read-only) query instead. Single-target clients give up, as
+      // before.
+      if (!fail_over()) return std::nullopt;
+      continue;
+    }
+    if (!outcome.ok) {
+      fail_over();
+      continue;
+    }
     const auto response = ZoneQueryResponse::decode(outcome.response);
     if (!response) continue;  // corrupted in transit: ask again
     if (!response->ok && response->error == "replayed nonce") continue;
@@ -121,7 +156,8 @@ ProofOfAlibi DroneClient::fly(gps::GpsReceiverSim& receiver, SamplingPolicy& pol
 std::optional<PoaVerdict> DroneClient::submit_poa(net::MessageBus& bus,
                                                   const ProofOfAlibi& poa) {
   SubmitPoaRequest request{poa.serialize()};
-  const crypto::Bytes reply = bus.request("auditor.submit_poa", request.encode());
+  const crypto::Bytes reply =
+      bus.request(targets_.endpoint("submit_poa"), request.encode());
   return PoaVerdict::decode(reply);
 }
 
@@ -154,15 +190,25 @@ std::vector<PoaVerdict> DroneClient::drain_outbox(
       continue;
     }
 
-    const auto outcome = channel.request("auditor.submit_poa",
-                                         SubmitPoaRequest{entry.poa_bytes}.encode());
-    drain_attempts_->add(outcome.attempts);
-    ++entry.attempts;
-
+    // One pass over the target list: try the active auditor, and on
+    // failure rotate to the next replica for this same entry. The proof
+    // bytes are frozen at enqueue, so a cross-replica redelivery hits the
+    // replicas' shared content-dedup discipline and stays exactly-once.
     std::optional<PoaVerdict> verdict;
-    if (outcome.ok) {
-      verdict = PoaVerdict::decode(outcome.response);
-      if (!verdict) undecodable_responses_->increment();
+    bool last_circuit_open = false;
+    for (std::size_t tried = 0; tried < targets_.size(); ++tried) {
+      const auto outcome =
+          channel.request(targets_.endpoint("submit_poa"),
+                          SubmitPoaRequest{entry.poa_bytes}.encode());
+      drain_attempts_->add(outcome.attempts);
+      ++entry.attempts;
+      last_circuit_open = outcome.circuit_open;
+      if (outcome.ok) {
+        verdict = PoaVerdict::decode(outcome.response);
+        if (!verdict) undecodable_responses_->increment();
+      }
+      if (verdict) break;
+      if (!fail_over()) break;
     }
     if (verdict) {
       delivered_->increment();
@@ -174,7 +220,7 @@ std::vector<PoaVerdict> DroneClient::drain_outbox(
     // return the same verdict). Keep it for the next drain, and stop
     // hammering a tripped endpoint.
     remaining.push_back(std::move(entry));
-    if (outcome.circuit_open) stop = true;
+    if (last_circuit_open) stop = true;
   }
   outbox_ = std::move(remaining);
   return verdicts;

@@ -23,7 +23,9 @@
 #include "crypto/random.h"
 #include "crypto/rsa.h"
 #include "net/message_bus.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "resilience/failover.h"
 #include "resilience/reliable_channel.h"
 #include "tee/secure_monitor.h"
 
@@ -42,6 +44,23 @@ class DroneClient {
   const crypto::RsaPublicKey& operator_key() const { return keypair_.pub; }
   const DroneId& id() const { return id_; }
   tee::DroneTee& tee() { return tee_; }
+
+  // ---- Auditor addressing / failover ----
+
+  /// Bus prefixes of the auditors to talk to, in preference order (the
+  /// default is the single prefix "auditor"). When the active auditor
+  /// stops answering through a ReliableChannel — exhausted retries or an
+  /// open breaker — the client rotates to the next prefix and retries
+  /// there. The replicas' dedup caches make the cross-server redelivery
+  /// exactly-once, so a verdict can never be double-counted by failover.
+  void set_auditor_endpoints(std::vector<std::string> prefixes);
+  const std::string& active_auditor() const { return targets_.active(); }
+  /// Times the client rotated auditors (also the
+  /// "core.drone_client#N.failovers" counter).
+  std::uint64_t failovers() const { return failovers_->value(); }
+
+  /// Trace failovers into a flight recorder (null disables).
+  void set_trace(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
   /// Step 0: register with the Auditor over the bus. Returns false when
   /// the Auditor refuses. Reads T+ out of the TEE via GetPublicKey.
@@ -119,14 +138,20 @@ class DroneClient {
     std::uint32_t attempts = 0;
   };
   std::deque<OutboxEntry> outbox_;
+  resilience::EndpointFailover targets_;
+  obs::FlightRecorder* recorder_ = nullptr;
   // Registry-backed outbox counters.
   obs::Counter* enqueued_;
   obs::Counter* delivered_;
   obs::Counter* drain_attempts_;
   obs::Counter* undecodable_responses_;
+  obs::Counter* failovers_;
 
   std::optional<RegisterDroneRequest> make_register_request();
   bool accept_register_reply(const crypto::Bytes& reply);
+  /// Rotate to the next auditor prefix (counted + traced); false when
+  /// there is nowhere else to go (single-target client).
+  bool fail_over();
 };
 
 }  // namespace alidrone::core

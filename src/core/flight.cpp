@@ -70,7 +70,9 @@ FlightResult run_flight(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
         });
   }
 
-  crypto::SecureRandom encryption_rng;
+  crypto::SecureRandom os_entropy;
+  crypto::RandomSource& encryption_rng =
+      config.encryption_rng != nullptr ? *config.encryption_rng : os_entropy;
   const double period = receiver.update_period();
   const double start = receiver.next_update_time();
 

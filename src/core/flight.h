@@ -58,6 +58,10 @@ struct FlightConfig {
   /// Encrypt each recorded sample for this key (Section V-C); plaintext
   /// PoA when absent.
   std::optional<crypto::RsaPublicKey> auditor_encryption_key;
+  /// Randomness for the encryption padding. OS entropy when null;
+  /// replicated-ledger tests inject a DeterministicRandom so a recorded
+  /// flight replays byte-identically. Borrowed for the flight only.
+  crypto::RandomSource* encryption_rng = nullptr;
   /// Cost accounting (Table II); disabled when cpu is null.
   resource::CpuAccountant* cpu = nullptr;
   resource::CostProfile cost_profile{};

@@ -271,19 +271,19 @@ void AuditorIngest::process_batch(std::vector<Item>& batch) {
   }
 }
 
-void AuditorIngest::bind(net::MessageBus& bus) {
-  bus.register_endpoint("auditor.submit_poa",
+void AuditorIngest::bind(net::MessageBus& bus, const std::string& prefix) {
+  bus.register_endpoint(prefix + ".submit_poa",
                         [this](const crypto::Bytes& in) { return submit(in); });
-  bus.register_endpoint("auditor.tesla_announce", [this](const crypto::Bytes& in) {
+  bus.register_endpoint(prefix + ".tesla_announce", [this](const crypto::Bytes& in) {
     return submit_tesla(Kind::kTeslaAnnounce, in);
   });
-  bus.register_endpoint("auditor.tesla_sample", [this](const crypto::Bytes& in) {
+  bus.register_endpoint(prefix + ".tesla_sample", [this](const crypto::Bytes& in) {
     return submit_tesla(Kind::kTeslaSample, in);
   });
-  bus.register_endpoint("auditor.tesla_disclose", [this](const crypto::Bytes& in) {
+  bus.register_endpoint(prefix + ".tesla_disclose", [this](const crypto::Bytes& in) {
     return submit_tesla(Kind::kTeslaDisclose, in);
   });
-  bus.register_endpoint("auditor.tesla_finalize", [this](const crypto::Bytes& in) {
+  bus.register_endpoint(prefix + ".tesla_finalize", [this](const crypto::Bytes& in) {
     return submit_tesla(Kind::kTeslaFinalize, in);
   });
 }

@@ -91,10 +91,10 @@ class AuditorIngest {
   /// lossy broadcaster treats as a drop.
   crypto::Bytes submit_tesla(Kind kind, std::span<const std::uint8_t> frame);
 
-  /// Re-register "auditor.submit_poa" and the "auditor.tesla_*" endpoints
-  /// to run through the pipeline (call after Auditor::bind, which
-  /// installs the unbatched handlers).
-  void bind(net::MessageBus& bus);
+  /// Re-register "<prefix>.submit_poa" and the "<prefix>.tesla_*"
+  /// endpoints to run through the pipeline (call after Auditor::bind,
+  /// which installs the unbatched handlers under the same prefix).
+  void bind(net::MessageBus& bus, const std::string& prefix = "auditor");
 
   /// Stop admitting, drain everything already queued, join the ingest
   /// thread. Idempotent; the destructor calls it.

@@ -1,19 +1,43 @@
 #include "core/poa_store.h"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 
+#include "crypto/sha256.h"
+#include "ledger/crc32.h"
 #include "net/codec.h"
 
 namespace alidrone::core {
 
 namespace {
-constexpr std::uint32_t kMagic = 0xA11D0A01;  // "AliD PoA v1"
+constexpr std::uint32_t kMagicV1 = 0xA11D0A01;  // "AliD PoA v1" (no CRC)
+constexpr std::uint32_t kMagicV2 = 0xA11D0A02;  // v2: u32 crc32 after magic
 constexpr const char* kExtension = ".poa";
+
+/// Sequence number out of "poa-<seq>.poa"; nullopt for foreign names.
+std::optional<std::uint64_t> filename_sequence(const std::string& name) {
+  constexpr std::string_view kPrefix = "poa-";
+  if (name.size() <= kPrefix.size() || name.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return std::nullopt;
+  }
+  const char* begin = name.data() + kPrefix.size();
+  const char* end = name.data() + name.size() - 4;  // strip ".poa"
+  if (begin >= end) return std::nullopt;
+  std::uint64_t seq = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, seq);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return seq;
+}
 }  // namespace
 
-PoaStore::PoaStore(std::filesystem::path directory)
+PoaStore::PoaStore(std::filesystem::path directory,
+                   obs::MetricsRegistry* metrics)
     : directory_(std::move(directory)) {
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::MetricsRegistry::global();
+  recovered_tail_gauge_ =
+      &reg.gauge(reg.instance_scope("core.poa_store") + ".recovered_tail");
   if (std::filesystem::exists(directory_)) {
     if (!std::filesystem::is_directory(directory_)) {
       throw std::runtime_error("PoaStore: not a directory: " + directory_.string());
@@ -23,16 +47,40 @@ PoaStore::PoaStore(std::filesystem::path directory)
   }
   // One scan: continue sequence numbers after any existing files and
   // build the per-drone index. Unreadable files stay out of the index
-  // (they are never loaded or expired, exactly as before).
+  // (they are never loaded or expired, exactly as before) — except the
+  // highest-sequence file when it alone is unreadable: that is the
+  // signature of a crash mid-save, and the torn file is dropped rather
+  // than reported as corruption.
+  struct FailedFile {
+    std::filesystem::path path;
+    std::optional<std::uint64_t> seq;
+  };
+  std::vector<FailedFile> failed;
+  std::optional<std::uint64_t> max_seq;
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
     if (entry.path().extension() != kExtension) continue;
-    next_sequence_.fetch_add(1, std::memory_order_relaxed);
-    if (const auto stored = read_file(entry.path())) {
+    const auto seq = filename_sequence(entry.path().filename().string());
+    if (seq && (!max_seq || *seq > *max_seq)) max_seq = *seq;
+    if (const auto stored = read_file(entry.path(), /*count_corrupt=*/false)) {
       IndexShard& shard = index_[index_shard_of(stored->drone_id)];
       shard.entries[stored->drone_id].push_back(
           {entry.path().filename().string(), stored->submission_time});
+    } else {
+      failed.push_back({entry.path(), seq});
     }
   }
+  if (max_seq) {
+    next_sequence_.store(*max_seq + 1, std::memory_order_relaxed);
+  }
+  if (failed.size() == 1 && failed[0].seq && max_seq &&
+      *failed[0].seq == *max_seq) {
+    std::error_code ec;
+    std::filesystem::remove(failed[0].path, ec);
+    recovered_tail_ = 1;
+  } else {
+    corrupt_.fetch_add(failed.size(), std::memory_order_relaxed);
+  }
+  recovered_tail_gauge_->set(static_cast<double>(recovered_tail_));
   // Deterministic order within each drone regardless of scan order.
   for (IndexShard& shard : index_) {
     for (auto& [id, list] : shard.entries) {
@@ -44,6 +92,11 @@ PoaStore::PoaStore(std::filesystem::path directory)
                 });
     }
   }
+}
+
+void PoaStore::attach_ledger(std::shared_ptr<ledger::Ledger> ledger) {
+  const std::lock_guard<std::mutex> lock(ledger_mu_);
+  ledger_ = std::move(ledger);
 }
 
 std::size_t PoaStore::index_shard_of(std::string_view drone_id) const {
@@ -62,13 +115,26 @@ std::filesystem::path PoaStore::save(const DroneId& drone_id,
                                      double submission_time,
                                      const ProofOfAlibi& poa) {
   const crypto::Bytes poa_bytes = poa.serialize();
-  net::Writer w;
-  w.reserve(4 + net::Writer::field_size(drone_id.size()) + 8 +
-            net::Writer::field_size(poa_bytes.size()));
-  w.u32(kMagic);
-  w.str(drone_id);
-  w.f64(submission_time);
-  w.bytes(poa_bytes);
+  net::Writer body;
+  body.reserve(net::Writer::field_size(drone_id.size()) + 8 +
+               net::Writer::field_size(poa_bytes.size()));
+  body.str(drone_id);
+  body.f64(submission_time);
+  body.bytes(poa_bytes);
+  const crypto::Bytes body_bytes = std::move(body).take();
+
+  // v2 layout: u32 magic, u32 crc32(body), body — the CRC is what lets a
+  // reopening store tell a crashed (torn) save from honest data.
+  crypto::Bytes data;
+  data.reserve(8 + body_bytes.size());
+  const std::uint32_t crc = ledger::crc32(body_bytes);
+  for (int i = 0; i < 4; ++i) {
+    data.push_back(static_cast<std::uint8_t>(kMagicV2 >> (8 * i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    data.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  data.insert(data.end(), body_bytes.begin(), body_bytes.end());
 
   // Filename avoids trusting the drone id's characters.
   const std::string filename =
@@ -78,10 +144,24 @@ std::filesystem::path PoaStore::save(const DroneId& drone_id,
   const std::filesystem::path path = directory_ / filename;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("PoaStore: cannot write " + path.string());
-  const crypto::Bytes& data = w.data();
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size()));
+  out.flush();
   if (!out) throw std::runtime_error("PoaStore: short write to " + path.string());
+
+  {
+    const std::lock_guard<std::mutex> lock(ledger_mu_);
+    if (ledger_ != nullptr) {
+      const crypto::Sha256::Digest digest = crypto::Sha256::hash(poa_bytes);
+      net::Writer anchor;
+      anchor.str(drone_id);
+      anchor.f64(submission_time);
+      anchor.bytes(crypto::Bytes(digest.begin(), digest.end()));
+      const crypto::Bytes anchor_bytes = std::move(anchor).take();
+      ledger_->append(ledger::EntryKind::kPoaAnchor, submission_time,
+                      anchor_bytes);
+    }
+  }
 
   {
     IndexShard& shard = index_[index_shard_of(drone_id)];
@@ -103,30 +183,34 @@ std::filesystem::path PoaStore::save(const DroneId& drone_id,
 }
 
 std::optional<PoaStore::StoredPoa> PoaStore::read_file(
-    const std::filesystem::path& path) const {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    const std::filesystem::path& path, bool count_corrupt) const {
+  const auto fail = [&]() -> std::optional<StoredPoa> {
+    if (count_corrupt) corrupt_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
-  }
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail();
   crypto::Bytes data((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
 
   net::Reader r(data);
   const auto magic = r.u32();
+  if (!magic || (*magic != kMagicV1 && *magic != kMagicV2)) return fail();
+  if (*magic == kMagicV2) {
+    // v2: verify the body CRC before trusting any field — a torn or
+    // bit-flipped file fails here instead of half-parsing.
+    const auto crc = r.u32();
+    if (!crc || data.size() < 8 ||
+        ledger::crc32({data.data() + 8, data.size() - 8}) != *crc) {
+      return fail();
+    }
+  }
   const auto drone_id = r.str();
   const auto time = r.f64();
   const auto poa_bytes = r.bytes_view();
-  if (!magic || *magic != kMagic || !drone_id || !time || !poa_bytes ||
-      !r.at_end()) {
-    corrupt_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
-  }
+  if (!drone_id || !time || !poa_bytes || !r.at_end()) return fail();
   const auto poa = ProofOfAlibi::parse(*poa_bytes);
-  if (!poa) {
-    corrupt_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
-  }
+  if (!poa) return fail();
   return StoredPoa{*drone_id, *time, *poa};
 }
 

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -28,6 +29,8 @@
 
 #include "core/poa.h"
 #include "core/protocol_types.h"
+#include "ledger/ledger.h"
+#include "obs/metrics.h"
 
 namespace alidrone::core {
 
@@ -36,7 +39,18 @@ class PoaStore {
   /// Creates the directory if needed; throws std::runtime_error when the
   /// path exists but is not a directory. Scans the directory once to
   /// build the per-drone index.
-  explicit PoaStore(std::filesystem::path directory);
+  ///
+  /// Crash consistency: new files are written with a CRC over their
+  /// contents (v2 format; v1 files from older stores still load). If the
+  /// scan finds that exactly the highest-sequence file is truncated or
+  /// CRC-corrupt — the signature of a crash mid-save — that file is
+  /// deleted and counted in the `core.poa_store#N.recovered_tail` gauge
+  /// instead of being reported as corruption; any other unreadable file
+  /// still counts in corrupt_files_seen() (that is damage, not a torn
+  /// tail). Metrics register against `metrics` (the process-wide
+  /// registry when null).
+  explicit PoaStore(std::filesystem::path directory,
+                    obs::MetricsRegistry* metrics = nullptr);
 
   struct StoredPoa {
     DroneId drone_id;
@@ -47,6 +61,13 @@ class PoaStore {
   /// Persist one submission; returns the file path written.
   std::filesystem::path save(const DroneId& drone_id, double submission_time,
                              const ProofOfAlibi& poa);
+
+  /// Every successful save() additionally appends an
+  /// EntryKind::kPoaAnchor entry — drone id, submission time, SHA-256 of
+  /// the serialized proof — to the ledger, binding PoA retention into the
+  /// tamper-evident chain. Swapping a stored file after the fact breaks
+  /// the anchor digest.
+  void attach_ledger(std::shared_ptr<ledger::Ledger> ledger);
 
   /// Load every stored PoA (corrupt files are skipped and counted).
   std::vector<StoredPoa> load_all() const;
@@ -63,6 +84,9 @@ class PoaStore {
   std::size_t corrupt_files_seen() const {
     return corrupt_.load(std::memory_order_relaxed);
   }
+  /// Files dropped as a crashed trailing save during the opening scan
+  /// (also exported as the `core.poa_store#N.recovered_tail` gauge).
+  std::size_t recovered_tail_files() const { return recovered_tail_; }
   const std::filesystem::path& directory() const { return directory_; }
 
  private:
@@ -80,9 +104,14 @@ class PoaStore {
   std::array<IndexShard, kIndexShards> index_;
   std::atomic<std::uint64_t> next_sequence_{0};
   mutable std::atomic<std::size_t> corrupt_{0};
+  std::size_t recovered_tail_ = 0;
+  obs::Gauge* recovered_tail_gauge_ = nullptr;
+  std::shared_ptr<ledger::Ledger> ledger_;
+  mutable std::mutex ledger_mu_;
 
   std::size_t index_shard_of(std::string_view drone_id) const;
-  std::optional<StoredPoa> read_file(const std::filesystem::path& path) const;
+  std::optional<StoredPoa> read_file(const std::filesystem::path& path,
+                                     bool count_corrupt = true) const;
 };
 
 }  // namespace alidrone::core

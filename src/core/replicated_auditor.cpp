@@ -1,0 +1,312 @@
+#include "core/replicated_auditor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/sha256.h"
+#include "net/codec.h"
+
+namespace alidrone::core {
+
+namespace {
+
+constexpr Auditor::WireMethod kAllMethods[] = {
+    Auditor::WireMethod::kRegisterDrone, Auditor::WireMethod::kRegisterZone,
+    Auditor::WireMethod::kQueryZones,    Auditor::WireMethod::kSubmitPoa,
+    Auditor::WireMethod::kTeslaAnnounce, Auditor::WireMethod::kTeslaSample,
+    Auditor::WireMethod::kTeslaDisclose, Auditor::WireMethod::kTeslaFinalize,
+    Auditor::WireMethod::kAccuse,
+};
+
+/// Zone queries are the one read-only method: served locally, never
+/// written ahead, never forwarded.
+bool is_write(Auditor::WireMethod method) {
+  return method != Auditor::WireMethod::kQueryZones;
+}
+
+}  // namespace
+
+ReplicatedAuditor::ReplicatedAuditor(net::MessageBus& bus,
+                                     resilience::SimClock& clock,
+                                     Config config)
+    : bus_(bus), config_(std::move(config)) {
+  obs::MetricsRegistry& reg = config_.metrics != nullptr
+                                  ? *config_.metrics
+                                  : obs::MetricsRegistry::global();
+  const std::string scope = reg.instance_scope("core.replicated_auditor");
+  forwards_ = &reg.counter(scope + ".forwards");
+  forward_failures_ = &reg.counter(scope + ".forward_failures");
+  dedup_hits_ = &reg.counter(scope + ".dedup_hits");
+  reapplied_ = &reg.counter(scope + ".reapplied");
+
+  if (config_.replicas == 0) config_.replicas = 1;
+  for (std::size_t k = 0; k < config_.replicas; ++k) {
+    auto rep = std::make_unique<Replica>();
+    rep->index = k;
+    // Every replica derives its keypair from the same seed: a drone that
+    // encrypted samples for the primary can finish its flight against any
+    // follower.
+    crypto::DeterministicRandom key_rng(config_.key_seed);
+    rep->auditor =
+        std::make_unique<Auditor>(config_.key_bits, key_rng, config_.params);
+
+    ledger::Ledger::Config lc;
+    if (!config_.ledger_directory.empty()) {
+      lc.directory = config_.ledger_directory / ("replica" + std::to_string(k));
+    }
+    lc.segment_capacity = config_.segment_capacity;
+    lc.metrics = config_.metrics;
+    lc.recorder = config_.recorder;
+    rep->ledger = std::make_shared<ledger::Ledger>(std::move(lc));
+
+    rep->audit = std::make_shared<AuditLog>();
+    rep->audit->attach_ledger(rep->ledger, config_.anchor_mask);
+    rep->auditor->attach_audit_log(rep->audit);
+
+    resilience::ReliableChannel::Config cc = config_.channel;
+    cc.seed = config_.channel.seed + 7919 * (k + 1);
+    if (cc.metrics == nullptr) cc.metrics = config_.metrics;
+    if (cc.trace == nullptr) cc.trace = config_.recorder;
+    rep->forward =
+        std::make_unique<resilience::ReliableChannel>(bus, clock, cc);
+
+    replicas_.push_back(std::move(rep));
+  }
+  for (auto& rep : replicas_) bind_replica(*rep);
+}
+
+std::vector<std::string> ReplicatedAuditor::client_prefixes() const {
+  std::vector<std::string> prefixes;
+  prefixes.reserve(replicas_.size());
+  for (std::size_t k = 0; k < replicas_.size(); ++k) {
+    prefixes.push_back(replica_prefix(k));
+  }
+  return prefixes;
+}
+
+bool ReplicatedAuditor::converged() const {
+  const ledger::Digest first = replicas_.front()->ledger->root_hash();
+  for (const auto& rep : replicas_) {
+    if (rep->ledger->root_hash() != first) return false;
+  }
+  return true;
+}
+
+crypto::Bytes ReplicatedAuditor::encode_apply(Auditor::WireMethod method,
+                                              const crypto::Bytes& frame) {
+  net::Writer w;
+  w.reserve(1 + net::Writer::field_size(frame.size()));
+  w.u8(static_cast<std::uint8_t>(method));
+  w.bytes(frame);
+  return std::move(w).take();
+}
+
+void ReplicatedAuditor::bind_replica(Replica& rep) {
+  const std::string prefix = replica_prefix(rep.index);
+  Replica* r = &rep;
+
+  for (const Auditor::WireMethod method : kAllMethods) {
+    const std::string endpoint =
+        prefix + "." + Auditor::method_suffix(method);
+    if (is_write(method)) {
+      bus_.register_endpoint(endpoint, [this, r, method](
+                                           const crypto::Bytes& in) {
+        return apply_local(*r, method, in, /*replicate=*/true);
+      });
+    } else {
+      // Reads never touch the ledger: any replica answers from its own
+      // replicated state.
+      bus_.register_endpoint(endpoint, [r, method](const crypto::Bytes& in) {
+        return r->auditor->handle_frame(method, in);
+      });
+    }
+  }
+
+  // Peer replication: a forwarded write, applied without re-forwarding.
+  bus_.register_endpoint(prefix + ".apply", [this, r](const crypto::Bytes& in) {
+    net::Reader reader(in);
+    const auto method = reader.u8();
+    const auto frame = reader.bytes();
+    if (!method || !frame || !reader.at_end()) return crypto::Bytes{};
+    return apply_local(*r, static_cast<Auditor::WireMethod>(*method), *frame,
+                       /*replicate=*/false);
+  });
+
+  // Ledger introspection for divergence descent and catch-up.
+  bus_.register_endpoint(prefix + ".ledger_info", [r](const crypto::Bytes&) {
+    net::Writer w;
+    w.u64(r->ledger->entry_count());
+    w.u64(r->ledger->segment_count());
+    w.bytes(r->ledger->root_hash());
+    return std::move(w).take();
+  });
+  bus_.register_endpoint(
+      prefix + ".ledger_range", [r](const crypto::Bytes& in) {
+        net::Reader reader(in);
+        const auto lo = reader.u64();
+        const auto hi = reader.u64();
+        if (!lo || !hi || !reader.at_end()) return crypto::Bytes{};
+        const ledger::Digest digest = r->ledger->segment_range_hash(
+            static_cast<std::size_t>(*lo), static_cast<std::size_t>(*hi));
+        return crypto::Bytes(digest.begin(), digest.end());
+      });
+  bus_.register_endpoint(
+      prefix + ".ledger_segment", [r](const crypto::Bytes& in) {
+        net::Reader reader(in);
+        const auto index = reader.u64();
+        if (!index || !reader.at_end()) return crypto::Bytes{};
+        return r->ledger->encode_segment(static_cast<std::size_t>(*index));
+      });
+}
+
+crypto::Bytes ReplicatedAuditor::apply_local(Replica& rep,
+                                             Auditor::WireMethod method,
+                                             const crypto::Bytes& frame,
+                                             bool replicate) {
+  const crypto::Bytes apply_frame = encode_apply(method, frame);
+  const crypto::Sha256::Digest digest = crypto::Sha256::hash(apply_frame);
+  crypto::Bytes key(digest.begin(), digest.end());
+  if (const auto it = rep.dedup.find(key); it != rep.dedup.end()) {
+    // Replay: a client retry after a lost response, a failover
+    // resubmission, or a peer forward of a write this replica already
+    // served directly. Answer from cache, append nothing.
+    dedup_hits_->increment();
+    return it->second;
+  }
+
+  // Write-ahead: the request is on the ledger before its effects, with a
+  // content-only timestamp — wall-clock apply times differ per replica
+  // and would fork otherwise-identical streams.
+  rep.ledger->append(ledger::EntryKind::kReplicatedRequest, 0.0, apply_frame);
+  crypto::Bytes response = rep.auditor->handle_frame(method, frame);
+
+  rep.dedup.emplace(std::move(key), response);
+  rep.dedup_order.push_back(
+      crypto::Bytes(digest.begin(), digest.end()));
+  while (rep.dedup_order.size() > config_.dedup_capacity) {
+    rep.dedup.erase(rep.dedup_order.front());
+    rep.dedup_order.pop_front();
+  }
+
+  if (replicate) {
+    for (const auto& peer : replicas_) {
+      if (peer->index == rep.index) continue;
+      forwards_->increment();
+      const auto outcome = rep.forward->request(
+          replica_prefix(peer->index) + ".apply", apply_frame);
+      // A dead peer is not an error: it re-converges through catch_up()
+      // once its outage window ends.
+      if (!outcome.ok) forward_failures_->increment();
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::TraceKind::kReplicaForward, 0.0,
+                                 rep.index, peer->index,
+                                 outcome.ok ? "ok" : "failed");
+      }
+    }
+  }
+  return response;
+}
+
+std::optional<ReplicatedAuditor::Divergence> ReplicatedAuditor::check_divergence(
+    std::size_t a, std::size_t b) const {
+  const auto& ledger_a = *replicas_[a]->ledger;
+  const auto& ledger_b = *replicas_[b]->ledger;
+  if (ledger_a.root_hash() == ledger_b.root_hash()) return std::nullopt;
+
+  // Probe range hashes through the same bus endpoints an external auditor
+  // would use — neither ledger is trusted to name the divergence itself.
+  const auto probe = [this](std::size_t k) {
+    return [this, k](std::size_t lo,
+                     std::size_t hi) -> std::optional<ledger::Digest> {
+      net::Writer w;
+      w.u64(lo);
+      w.u64(hi);
+      crypto::Bytes reply;
+      try {
+        reply = bus_.request(replica_prefix(k) + ".ledger_range",
+                             std::move(w).take());
+      } catch (const net::TimeoutError&) {
+        return std::nullopt;  // peer unreachable: descent aborts, no verdict
+      }
+      ledger::Digest digest = ledger::kZeroDigest;
+      if (reply.size() != digest.size()) return std::nullopt;
+      std::copy(reply.begin(), reply.end(), digest.begin());
+      return digest;
+    };
+  };
+  Divergence div;
+  div.replica_a = a;
+  div.replica_b = b;
+  div.segment = ledger::first_divergent_leaf(
+      ledger_a.segment_count(), probe(a), ledger_b.segment_count(), probe(b));
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(obs::TraceKind::kLedgerDivergence, 0.0, a, b,
+                             div.segment ? "segment " + std::to_string(*div.segment)
+                                         : "roots differ");
+  }
+  return div;
+}
+
+std::optional<std::size_t> ReplicatedAuditor::catch_up(std::size_t to,
+                                                       std::size_t from) {
+  Replica& dst = *replicas_[to];
+  const Replica& src = *replicas_[from];
+  const std::uint64_t have = dst.ledger->entry_count();
+  std::size_t reapplied = 0;
+
+  if (have < src.ledger->entry_count()) {
+    const std::size_t segments = src.ledger->segment_count();
+    for (std::size_t i = 0; i < segments; ++i) {
+      const auto info = src.ledger->segment_info(i);
+      if (!info) break;
+      // Entirely behind this replica's frontier — nothing new in it.
+      if (info->first_seq + info->entries <= have) continue;
+
+      net::Writer w;
+      w.u64(i);
+      crypto::Bytes frame;
+      try {
+        frame = bus_.request(replica_prefix(from) + ".ledger_segment",
+                             std::move(w).take());
+      } catch (const net::TimeoutError&) {
+        return std::nullopt;  // peer unreachable (or segment compacted away)
+      }
+      const auto decoded = ledger::decode_segment(frame);
+      if (!decoded) return std::nullopt;
+
+      for (const ledger::LedgerEntry& entry : decoded->entries) {
+        // Re-applying a request regenerates its derived entries (audit
+        // events) byte-identically, advancing our count past them — only
+        // the requests themselves are replayed.
+        if (entry.seq < dst.ledger->entry_count()) continue;
+        if (entry.kind != ledger::EntryKind::kReplicatedRequest) continue;
+        net::Reader reader(entry.payload);
+        const auto method = reader.u8();
+        const auto request = reader.bytes();
+        if (!method || !request || !reader.at_end()) return std::nullopt;
+        apply_local(dst, static_cast<Auditor::WireMethod>(*method), *request,
+                    /*replicate=*/false);
+        ++reapplied;
+        reapplied_->increment();
+      }
+    }
+  }
+
+  if (dst.ledger->root_hash() != src.ledger->root_hash()) {
+    // Not a prefix — a genuine fork. Leave a trace naming the segment.
+    check_divergence(to, from);
+    return std::nullopt;
+  }
+  return reapplied;
+}
+
+ReplicatedAuditor::Counters ReplicatedAuditor::counters() const {
+  Counters c;
+  c.forwards = forwards_->value();
+  c.forward_failures = forward_failures_->value();
+  c.dedup_hits = dedup_hits_->value();
+  c.reapplied = reapplied_->value();
+  return c;
+}
+
+}  // namespace alidrone::core

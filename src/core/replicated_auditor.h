@@ -1,0 +1,176 @@
+// core::ReplicatedAuditor — N Auditor replicas behind one MessageBus,
+// kept convergent by write-ahead ledger replication.
+//
+// A single Auditor process is a single point of failure AND a single
+// point of trust: it can crash mid-flight, and nothing stops a dishonest
+// operator from quietly rewriting its audit history. This federation
+// addresses both with the same mechanism:
+//
+//   replicate  every write (registration, PoA submission, TESLA op,
+//              accusation) arrives at one replica's "<prefix><k>.*"
+//              endpoint, is appended to that replica's ledger as a
+//              kReplicatedRequest entry (method byte + request frame),
+//              executed through Auditor::handle_frame, and forwarded to
+//              every peer's "<prefix><j>.apply" endpoint over a
+//              ReliableChannel. Peers re-execute the frame identically —
+//              the Auditor's evaluate/commit discipline is deterministic,
+//              so derived ledger entries (audit events, PoA anchors)
+//              regenerate byte-for-byte and all replica ledgers carry the
+//              same stream. Zone queries are reads: served locally, never
+//              replicated, excluded from ledger anchoring by default.
+//   dedup      each replica remembers recent request digests, so a frame
+//              that arrives twice (client retry after a lost response,
+//              failover resubmission, forward after a direct submission)
+//              returns the first response and appends nothing — writes
+//              are exactly-once per replica no matter the path taken.
+//   compare    one 32-byte ledger root per replica decides convergence;
+//              check_divergence() runs a Merkle range descent over the
+//              bus to name the exact first divergent segment when roots
+//              disagree (a tampered or forked replica cannot hide where).
+//   catch up   a replica that slept through traffic (chaos outage window)
+//              fetches peer segments over the bus, re-applies the missed
+//              kReplicatedRequest entries, and converges to the same
+//              root.
+//
+// Replicas are constructed from the same key seed, so they share one
+// Auditor keypair: a drone that encrypted its samples for the primary
+// can fail over to a follower mid-flight and still be verified.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "crypto/random.h"
+#include "ledger/ledger.h"
+#include "net/message_bus.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "resilience/reliable_channel.h"
+#include "resilience/sim_clock.h"
+
+namespace alidrone::core {
+
+class ReplicatedAuditor {
+ public:
+  struct Config {
+    std::size_t replicas = 3;
+    std::size_t key_bits = 512;
+    /// Seeds one DeterministicRandom per replica — the SAME seed, so all
+    /// replicas generate the identical Auditor keypair (failover
+    /// requirement: samples encrypted for one replica decrypt at all).
+    std::string key_seed = "replicated-auditor";
+    /// Replica k binds "<prefix>k.*" ("auditor0.register_drone", ...).
+    std::string prefix = "auditor";
+    ProtocolParams params;
+    /// Per-replica ledger root directory; replica k persists under
+    /// "<ledger_directory>/replica<k>". Empty = in-memory ledgers.
+    std::filesystem::path ledger_directory;
+    std::size_t segment_capacity = 8;
+    /// Request digests remembered per replica for exactly-once re-execution.
+    std::size_t dedup_capacity = 4096;
+    /// Channel used for peer forwarding (seed is offset per replica).
+    resilience::ReliableChannel::Config channel;
+    /// AuditEventTypes anchored into the ledgers. Zone queries are
+    /// excluded: they are served locally per replica, so anchoring them
+    /// would fork otherwise-identical ledger streams.
+    std::uint32_t anchor_mask = default_anchor_mask();
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::FlightRecorder* recorder = nullptr;
+  };
+
+  static constexpr std::uint32_t default_anchor_mask() {
+    return AuditLog::kAnchorAll &
+           ~AuditLog::anchor_bit(AuditEventType::kZoneQuery);
+  }
+
+  /// Constructs the replicas and binds every endpoint on `bus`. The bus
+  /// and clock are borrowed and must outlive the federation.
+  ReplicatedAuditor(net::MessageBus& bus, resilience::SimClock& clock,
+                    Config config);
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  std::string replica_prefix(std::size_t k) const {
+    return config_.prefix + std::to_string(k);
+  }
+  /// All replica prefixes in order — what a failover-aware client feeds
+  /// DroneClient::set_auditor_endpoints.
+  std::vector<std::string> client_prefixes() const;
+
+  Auditor& replica(std::size_t k) { return *replicas_[k]->auditor; }
+  const Auditor& replica(std::size_t k) const { return *replicas_[k]->auditor; }
+  std::shared_ptr<ledger::Ledger> replica_ledger(std::size_t k) const {
+    return replicas_[k]->ledger;
+  }
+  std::shared_ptr<AuditLog> replica_audit_log(std::size_t k) const {
+    return replicas_[k]->audit;
+  }
+
+  ledger::Digest root_of(std::size_t k) const {
+    return replicas_[k]->ledger->root_hash();
+  }
+  /// True when every replica reports the same ledger root.
+  bool converged() const;
+
+  struct Divergence {
+    std::size_t replica_a = 0;
+    std::size_t replica_b = 0;
+    /// First top-tree leaf (= segment index) where the two ledgers
+    /// differ; min(segment counts) when one is a strict prefix.
+    std::optional<std::size_t> segment;
+  };
+  /// Merkle range descent between two replicas' ledgers, probing range
+  /// hashes over the bus ("<prefix>k.ledger_range"). Nullopt when the
+  /// ledgers agree.
+  std::optional<Divergence> check_divergence(std::size_t a,
+                                             std::size_t b) const;
+
+  /// Pull the entries replica `to` is missing from replica `from` (bus
+  /// segment fetch) and re-apply their kReplicatedRequest frames locally.
+  /// Returns the number of requests re-applied; nullopt when the ledgers
+  /// had truly diverged (not a prefix — check_divergence names where).
+  std::optional<std::size_t> catch_up(std::size_t to, std::size_t from);
+
+  struct Counters {
+    std::uint64_t forwards = 0;          ///< peer forwards attempted
+    std::uint64_t forward_failures = 0;  ///< peer unreachable (catch-up later)
+    std::uint64_t dedup_hits = 0;        ///< re-deliveries answered from cache
+    std::uint64_t reapplied = 0;         ///< requests re-executed by catch_up
+  };
+  Counters counters() const;
+
+ private:
+  struct Replica {
+    std::size_t index = 0;
+    std::unique_ptr<Auditor> auditor;
+    std::shared_ptr<ledger::Ledger> ledger;
+    std::shared_ptr<AuditLog> audit;
+    std::unique_ptr<resilience::ReliableChannel> forward;
+    std::map<crypto::Bytes, crypto::Bytes> dedup;
+    std::deque<crypto::Bytes> dedup_order;
+  };
+
+  /// Execute one write frame on replica k: dedup, write-ahead ledger
+  /// entry, Auditor::handle_frame, optional peer forwarding.
+  crypto::Bytes apply_local(Replica& rep, Auditor::WireMethod method,
+                            const crypto::Bytes& frame, bool replicate);
+  void bind_replica(Replica& rep);
+  static crypto::Bytes encode_apply(Auditor::WireMethod method,
+                                    const crypto::Bytes& frame);
+
+  net::MessageBus& bus_;
+  Config config_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  obs::Counter* forwards_;
+  obs::Counter* forward_failures_;
+  obs::Counter* dedup_hits_;
+  obs::Counter* reapplied_;
+};
+
+}  // namespace alidrone::core

@@ -356,7 +356,7 @@ TeslaFlightResult run_tesla_broadcast_flight(tee::DroneTee& tee,
   const crypto::Bytes announce_frame = announce.encode();
   const auto try_announce = [&] {
     if (result.announced) return;
-    const auto ack = broadcast(bus, "auditor.tesla_announce", announce_frame);
+    const auto ack = broadcast(bus, config.auditor_prefix + ".tesla_announce", announce_frame);
     if (ack && ack->accepted) result.announced = true;
   };
   try_announce();
@@ -379,7 +379,7 @@ TeslaFlightResult run_tesla_broadcast_flight(tee::DroneTee& tee,
     request.key = disclosed.outputs[0];
     ++result.disclosures_sent;
     const auto ack =
-        broadcast(bus, "auditor.tesla_disclose", request.encode());
+        broadcast(bus, config.auditor_prefix + ".tesla_disclose", request.encode());
     if (!ack) {
       ++result.disclosures_dropped;
       return;  // a later disclosure settles this interval too
@@ -424,7 +424,7 @@ TeslaFlightResult run_tesla_broadcast_flight(tee::DroneTee& tee,
           sample.tag = fix.outputs[1];
           ++result.samples_sent;
           const auto ack =
-              broadcast(bus, "auditor.tesla_sample", sample.encode());
+              broadcast(bus, config.auditor_prefix + ".tesla_sample", sample.encode());
           if (!ack) {
             ++result.samples_dropped;
           } else if (!ack->accepted) {
@@ -465,7 +465,7 @@ TeslaFlightResult run_tesla_broadcast_flight(tee::DroneTee& tee,
   for (std::size_t i = 0; i < config.max_flush_updates; ++i) {
     try {
       const auto verdict =
-          PoaVerdict::decode(bus.request("auditor.tesla_finalize", finalize_frame));
+          PoaVerdict::decode(bus.request(config.auditor_prefix + ".tesla_finalize", finalize_frame));
       if (verdict) {
         result.verdict = *verdict;
         result.finalized = true;

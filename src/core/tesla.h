@@ -171,6 +171,9 @@ struct TeslaFlightConfig {
   /// Safety valve for the post-flight disclosure/finalize flush under
   /// heavy fault schedules (receiver periods, not wall time).
   std::size_t max_flush_updates = 100000;
+  /// Bus prefix of the auditor serving this flight ("auditor0", ... in a
+  /// federated deployment).
+  std::string auditor_prefix = "auditor";
 };
 
 struct TeslaFlightResult {

@@ -36,12 +36,23 @@ AccusationRequest ZoneOwner::make_accusation(const ZoneId& zone_id,
 }
 
 ZoneId ZoneOwner::register_zone(net::MessageBus& bus, const geo::GeoZone& zone,
-                                const std::string& description) const {
+                                const std::string& description,
+                                const std::string& auditor_prefix) const {
   const crypto::Bytes reply =
-      bus.request("auditor.register_zone", make_zone_request(zone, description).encode());
+      bus.request(auditor_prefix + ".register_zone",
+                  make_zone_request(zone, description).encode());
   const auto response = RegisterZoneResponse::decode(reply);
   if (!response || !response->ok) return "";
   return response->zone_id;
+}
+
+std::optional<AccusationResponse> ZoneOwner::accuse(
+    net::MessageBus& bus, const ZoneId& zone_id, const DroneId& drone_id,
+    double incident_time, const std::string& auditor_prefix) const {
+  const crypto::Bytes reply =
+      bus.request(auditor_prefix + ".accuse",
+                  make_accusation(zone_id, drone_id, incident_time).encode());
+  return AccusationResponse::decode(reply);
 }
 
 }  // namespace alidrone::core

@@ -2,6 +2,8 @@
 // reports suspected violations (paper Section III-A).
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/messages.h"
@@ -31,9 +33,18 @@ class ZoneOwner {
                                     double incident_time) const;
 
   /// Convenience: register a zone over the bus. Returns the issued id
-  /// ("" on rejection).
+  /// ("" on rejection). `auditor_prefix` addresses a specific replica in
+  /// a federated deployment.
   ZoneId register_zone(net::MessageBus& bus, const geo::GeoZone& zone,
-                       const std::string& description) const;
+                       const std::string& description,
+                       const std::string& auditor_prefix = "auditor") const;
+
+  /// Convenience: file a signed accusation over the bus; any replica can
+  /// adjudicate it from its replicated retention. Nullopt on an
+  /// undecodable reply.
+  std::optional<AccusationResponse> accuse(
+      net::MessageBus& bus, const ZoneId& zone_id, const DroneId& drone_id,
+      double incident_time, const std::string& auditor_prefix = "auditor") const;
 
  private:
   crypto::RsaKeyPair keypair_;

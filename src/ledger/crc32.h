@@ -1,0 +1,36 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for ledger record
+// framing. A CRC is not a security boundary — tamper evidence comes from
+// the Merkle chain — it distinguishes a torn write (crash mid-append, the
+// recoverable case) from a clean record without hashing the payload twice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace alidrone::ledger {
+
+namespace detail {
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    c = detail::kCrc32Table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace alidrone::ledger

@@ -1,0 +1,78 @@
+// Merkle-tree helpers over SHA-256 digests (RFC 6962 tree shape).
+//
+// The ledger uses the same tree construction at two levels: entry leaf
+// hashes within a segment, and segment roots within the whole ledger.
+// Trees follow the Certificate-Transparency recursion — split at the
+// largest power of two strictly below n — so a tree's shape depends only
+// on its leaf count and audit paths stay O(log n).
+//
+// Domain separation: leaf hashes arrive already domain-tagged (the entry
+// layer prefixes 0x00 for leaves and 0x01 for chain links); interior
+// nodes here hash with a 0x02 prefix, and the ledger's final root binds
+// everything under 0x03. No input collides across layers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace alidrone::ledger {
+
+using Digest = crypto::Sha256::Digest;
+
+/// The root of an empty tree: all zero bytes (also the chain seed).
+inline constexpr Digest kZeroDigest{};
+
+/// Interior node: SHA-256(0x02 || left || right).
+Digest merkle_node(const Digest& left, const Digest& right);
+
+/// RFC 6962 merkle tree hash of `leaves` (kZeroDigest when empty, the
+/// leaf itself when single — leaves are pre-hashed upstream).
+Digest merkle_root(std::span<const Digest> leaves);
+
+/// Audit path for `leaves[index]` (sibling hashes, leaf-to-root order).
+std::vector<Digest> merkle_path(std::span<const Digest> leaves,
+                                std::size_t index);
+
+/// Recompute the root implied by `leaf` sitting at `index` within a tree
+/// of `count` leaves, folding the audit path upward.
+Digest merkle_fold(const Digest& leaf, std::size_t index, std::size_t count,
+                   std::span<const Digest> path);
+
+inline bool merkle_verify(const Digest& root, const Digest& leaf,
+                          std::size_t index, std::size_t count,
+                          std::span<const Digest> path) {
+  return count != 0 && index < count &&
+         merkle_fold(leaf, index, count, path) == root;
+}
+
+/// Tree hash of the contiguous leaf range [lo, hi) as a standalone tree.
+/// Range hashes are what replicas exchange during divergence descent: the
+/// shape depends only on hi - lo, so two replicas' hashes over the same
+/// range are comparable even when their total leaf counts differ.
+Digest merkle_range(std::span<const Digest> leaves, std::size_t lo,
+                    std::size_t hi);
+
+/// Answers merkle_range queries for one party during divergence descent.
+/// Returns nullopt when the range cannot be served (peer unreachable) —
+/// the descent aborts without a verdict.
+using RangeProbe =
+    std::function<std::optional<Digest>(std::size_t lo, std::size_t hi)>;
+
+/// Binary Merkle descent: find the first leaf index where two parties'
+/// trees differ, comparing O(log n) range hashes instead of n leaves.
+/// `count_a`/`count_b` are the parties' leaf counts. Returns:
+///   - nullopt         — identical over [0, min(count_a, count_b)) and
+///                       equal counts (no divergence), or a probe failed;
+///   - min(count_a, count_b) — one side is a strict prefix of the other;
+///   - i < min(...)    — first differing leaf.
+std::optional<std::size_t> first_divergent_leaf(std::size_t count_a,
+                                                const RangeProbe& probe_a,
+                                                std::size_t count_b,
+                                                const RangeProbe& probe_b);
+
+}  // namespace alidrone::ledger

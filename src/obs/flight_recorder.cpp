@@ -28,6 +28,11 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kIngestEvaluate: return "ingest-evaluate";
     case TraceKind::kIngestCommit: return "ingest-commit";
     case TraceKind::kGpsFixDropped: return "gps-fix-dropped";
+    case TraceKind::kLedgerSeal: return "ledger-seal";
+    case TraceKind::kLedgerRecoveredTail: return "ledger-recovered-tail";
+    case TraceKind::kLedgerDivergence: return "ledger-divergence";
+    case TraceKind::kReplicaForward: return "replica-forward";
+    case TraceKind::kReplicaFailover: return "replica-failover";
     case TraceKind::kCustom: return "custom";
   }
   return "?";

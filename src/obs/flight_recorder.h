@@ -34,6 +34,11 @@ enum class TraceKind : std::uint8_t {
   kIngestEvaluate,     ///< ingest batch entering evaluation; a = batch size
   kIngestCommit,       ///< ingest batch committed; a = batch size
   kGpsFixDropped,      ///< pending-queue overflow; a = total dropped
+  kLedgerSeal,         ///< segment sealed; a = segment index, b = entries
+  kLedgerRecoveredTail,  ///< torn tail truncated on reopen; a = records, b = bytes
+  kLedgerDivergence,   ///< replica roots disagree; a = first divergent segment
+  kReplicaForward,     ///< write forwarded to a peer replica; tag = endpoint
+  kReplicaFailover,    ///< client rotated to a new auditor; tag = new prefix
   kCustom,             ///< free-form (tests, tools)
 };
 

@@ -1,0 +1,60 @@
+// resilience::EndpointFailover — an ordered list of server prefixes and a
+// cursor over them.
+//
+// A replicated service binds the same methods under several bus prefixes
+// ("auditor0", "auditor1", ...). A client holds one EndpointFailover,
+// resolves every request through endpoint(), and rotate()s to the next
+// prefix when the active server stops answering (channel failure or open
+// breaker). Rotation wraps: a revived primary gets retried after the
+// list cycles. The type is deliberately dumb — no health checks, no
+// timers — so failover policy stays in (and is testable at) the caller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace alidrone::resilience {
+
+class EndpointFailover {
+ public:
+  EndpointFailover() : prefixes_{"auditor"} {}
+  explicit EndpointFailover(std::vector<std::string> prefixes)
+      : prefixes_(std::move(prefixes)) {
+    if (prefixes_.empty()) prefixes_.emplace_back("auditor");
+  }
+
+  const std::string& active() const { return prefixes_[active_]; }
+  std::size_t active_index() const { return active_; }
+  std::size_t size() const { return prefixes_.size(); }
+  const std::vector<std::string>& prefixes() const { return prefixes_; }
+
+  /// "<active prefix>.<method>".
+  std::string endpoint(std::string_view method) const {
+    std::string out = active();
+    out.push_back('.');
+    out.append(method);
+    return out;
+  }
+
+  /// Advance to the next prefix (wrapping); returns the new active index.
+  /// A single-entry list rotates onto itself and counts nothing.
+  std::size_t rotate() {
+    if (prefixes_.size() > 1) {
+      active_ = (active_ + 1) % prefixes_.size();
+      ++rotations_;
+    }
+    return active_;
+  }
+
+  std::uint64_t rotations() const { return rotations_; }
+
+ private:
+  std::vector<std::string> prefixes_;
+  std::size_t active_ = 0;
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace alidrone::resilience

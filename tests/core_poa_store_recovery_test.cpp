@@ -1,0 +1,158 @@
+// PoaStore crash consistency (labelled `ledger`): a save interrupted
+// mid-write leaves a truncated or CRC-failing highest-sequence file. The
+// opening scan must recognize that signature, drop the file, count it in
+// the recovered-tail gauge — and keep treating damage anywhere ELSE as
+// corruption, because a torn middle file cannot be a crashed tail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/poa.h"
+#include "core/poa_store.h"
+#include "geo/geopoint.h"
+#include "obs/metrics.h"
+#include "tee/sample_codec.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+
+ProofOfAlibi make_poa(const DroneId& drone_id, double t) {
+  ProofOfAlibi poa;
+  poa.drone_id = drone_id;
+  poa.mode = AuthMode::kRsaPerSample;
+  poa.hash = crypto::HashAlgorithm::kSha1;
+  gps::GpsFix fix;
+  fix.position = geo::GeoPoint{40.0, -88.0};
+  fix.unix_time = t;
+  SignedSample sample;
+  sample.sample = tee::encode_sample(fix);
+  sample.signature = crypto::Bytes{4, 5, 6};  // the store never verifies
+  poa.samples.push_back(std::move(sample));
+  return poa;
+}
+
+class PoaStoreRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("alidrone-poa-recovery-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Paths of all stored files, sorted by filename (= sequence order).
+  std::vector<std::filesystem::path> stored_files() const {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PoaStoreRecoveryTest, TruncatedTrailingSaveIsDroppedAndCounted) {
+  {
+    PoaStore store(dir_);
+    for (int i = 0; i < 3; ++i) {
+      store.save("drone-a", kT0 + i, make_poa("drone-a", kT0 + i));
+    }
+  }
+  // Crash mid-save: the highest-sequence file loses its tail bytes.
+  const auto files = stored_files();
+  ASSERT_EQ(files.size(), 3u);
+  const auto torn = files.back();
+  std::filesystem::resize_file(torn, std::filesystem::file_size(torn) - 7);
+
+  obs::MetricsRegistry reg;
+  PoaStore recovered(dir_, &reg);
+  EXPECT_EQ(recovered.count(), 2u);
+  EXPECT_EQ(recovered.recovered_tail_files(), 1u);
+  EXPECT_EQ(recovered.corrupt_files_seen(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(torn));
+
+  // The store keeps working: the lost submission is simply re-saved.
+  recovered.save("drone-a", kT0 + 2, make_poa("drone-a", kT0 + 2));
+  EXPECT_EQ(recovered.count(), 3u);
+  EXPECT_EQ(recovered.load_for_drone("drone-a").size(), 3u);
+}
+
+TEST_F(PoaStoreRecoveryTest, CrcCatchesBitFlipInTrailingSave) {
+  {
+    PoaStore store(dir_);
+    store.save("drone-b", kT0, make_poa("drone-b", kT0));
+    store.save("drone-b", kT0 + 1, make_poa("drone-b", kT0 + 1));
+  }
+  // Flip one payload byte (well past the 8-byte magic+crc header): the
+  // length structure still parses, only the CRC can notice.
+  const auto victim = stored_files().back();
+  {
+    std::fstream file(victim,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(12);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(12);
+    file.write(&byte, 1);
+  }
+
+  PoaStore recovered(dir_);
+  EXPECT_EQ(recovered.count(), 1u);
+  EXPECT_EQ(recovered.recovered_tail_files(), 1u);
+  EXPECT_EQ(recovered.corrupt_files_seen(), 0u);
+}
+
+TEST_F(PoaStoreRecoveryTest, DamagedMiddleFileIsCorruptionNotATornTail) {
+  {
+    PoaStore store(dir_);
+    for (int i = 0; i < 3; ++i) {
+      store.save("drone-c", kT0 + i, make_poa("drone-c", kT0 + i));
+    }
+  }
+  // Truncate the MIDDLE file: a crash cannot tear a file that later saves
+  // succeeded after, so this must be reported, not silently dropped.
+  const auto files = stored_files();
+  ASSERT_EQ(files.size(), 3u);
+  std::filesystem::resize_file(files[1],
+                               std::filesystem::file_size(files[1]) - 7);
+
+  PoaStore recovered(dir_);
+  EXPECT_EQ(recovered.recovered_tail_files(), 0u);
+  EXPECT_EQ(recovered.corrupt_files_seen(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(files[1]));  // evidence is preserved
+  EXPECT_EQ(recovered.count(), 3u);  // count() scans; damage stays visible
+  EXPECT_EQ(recovered.load_all().size(), 2u);  // loads skip the damage
+}
+
+TEST_F(PoaStoreRecoveryTest, ReopenedStoreRoundTripsV2Files) {
+  {
+    PoaStore store(dir_);
+    store.save("drone-d", kT0, make_poa("drone-d", kT0));
+    store.save("drone-e", kT0 + 1, make_poa("drone-e", kT0 + 1));
+  }
+  PoaStore reopened(dir_);
+  EXPECT_EQ(reopened.count(), 2u);
+  EXPECT_EQ(reopened.recovered_tail_files(), 0u);
+  const auto all = reopened.load_all();
+  ASSERT_EQ(all.size(), 2u);
+  const auto for_d = reopened.load_for_drone("drone-d");
+  ASSERT_EQ(for_d.size(), 1u);
+  EXPECT_EQ(for_d[0].submission_time, kT0);
+  EXPECT_EQ(for_d[0].poa.samples.size(), 1u);
+}
+
+}  // namespace
+}  // namespace alidrone::core

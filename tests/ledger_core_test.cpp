@@ -1,0 +1,425 @@
+// Ledger core invariants (labelled `ledger` in ctest): canonical entry
+// encoding, Merkle tree/path/range algebra, chain and root determinism,
+// inclusion proofs across segment boundaries, crash recovery (torn-tail
+// truncation of the open segment), tamper detection with exact segment
+// localization, and compaction keeping the root fixed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ledger/crc32.h"
+#include "ledger/entry.h"
+#include "ledger/ledger.h"
+#include "ledger/merkle.h"
+#include "ledger/segment.h"
+#include "obs/metrics.h"
+
+namespace alidrone::ledger {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+
+crypto::Bytes payload_bytes(const std::string& s) {
+  return crypto::Bytes(s.begin(), s.end());
+}
+
+LedgerEntry make_entry(std::uint64_t seq, const std::string& payload) {
+  LedgerEntry entry;
+  entry.seq = seq;
+  entry.kind = EntryKind::kAuditEvent;
+  entry.time = kT0 + static_cast<double>(seq);
+  entry.payload = payload_bytes(payload);
+  return entry;
+}
+
+/// Append `count` deterministic entries; returns the payload strings.
+std::vector<std::string> fill(Ledger& ledger, std::size_t count,
+                              std::size_t offset = 0) {
+  std::vector<std::string> payloads;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string payload =
+        "event-" + std::to_string(offset + i) + "|detail";
+    const crypto::Bytes bytes = payload_bytes(payload);
+    ledger.append(EntryKind::kAuditEvent, kT0 + static_cast<double>(offset + i),
+                  bytes);
+    payloads.push_back(payload);
+  }
+  return payloads;
+}
+
+class LedgerDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("alidrone-ledger-" + std::string(::testing::UnitTest::GetInstance()
+                                                 ->current_test_info()
+                                                 ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Ledger::Config durable_config(std::size_t capacity = 4) {
+    Ledger::Config config;
+    config.directory = dir_;
+    config.segment_capacity = capacity;
+    config.metrics = &metrics_;
+    return config;
+  }
+
+  std::filesystem::path segment_file(std::uint64_t first_seq) const {
+    char name[32];
+    std::snprintf(name, sizeof(name), "segment-%012llu.seg",
+                  static_cast<unsigned long long>(first_seq));
+    return dir_ / name;
+  }
+
+  std::filesystem::path dir_;
+  obs::MetricsRegistry metrics_;
+};
+
+// ---- Entry encoding ----
+
+TEST(LedgerEntryTest, CanonicalRoundTrip) {
+  const LedgerEntry entry = make_entry(42, "hello|world");
+  const crypto::Bytes encoded = entry.canonical();
+  EXPECT_EQ(encoded.size(), entry.canonical_size());
+
+  const auto decoded = LedgerEntry::parse(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, entry.seq);
+  EXPECT_EQ(decoded->kind, entry.kind);
+  EXPECT_EQ(decoded->time, entry.time);
+  EXPECT_EQ(decoded->payload, entry.payload);
+  EXPECT_EQ(decoded->leaf_hash(), entry.leaf_hash());
+}
+
+TEST(LedgerEntryTest, ParseIsStrict) {
+  const crypto::Bytes encoded = make_entry(7, "x").canonical();
+
+  crypto::Bytes trailing = encoded;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(LedgerEntry::parse(trailing).has_value());
+
+  crypto::Bytes truncated(encoded.begin(), encoded.end() - 1);
+  EXPECT_FALSE(LedgerEntry::parse(truncated).has_value());
+
+  crypto::Bytes bad_kind = encoded;
+  bad_kind[8] = 0xEE;  // unknown EntryKind
+  EXPECT_FALSE(LedgerEntry::parse(bad_kind).has_value());
+}
+
+TEST(LedgerEntryTest, LeafAndChainAreDomainSeparated) {
+  const LedgerEntry entry = make_entry(0, "payload");
+  const Digest leaf = entry.leaf_hash();
+  const Digest chain = chain_link(kZeroDigest, leaf);
+  EXPECT_NE(leaf, chain);
+  EXPECT_NE(leaf, crypto::Sha256::hash(entry.canonical()));
+}
+
+// ---- Merkle algebra ----
+
+TEST(MerkleTest, KnownShapes) {
+  EXPECT_EQ(merkle_root({}), kZeroDigest);
+
+  std::vector<Digest> leaves;
+  for (int i = 0; i < 7; ++i) {
+    leaves.push_back(crypto::Sha256::hash("leaf-" + std::to_string(i)));
+  }
+  // Single leaf: the tree IS the leaf.
+  EXPECT_EQ(merkle_root({leaves.data(), 1}), leaves[0]);
+  // Two leaves: one interior node.
+  EXPECT_EQ(merkle_root({leaves.data(), 2}), merkle_node(leaves[0], leaves[1]));
+  // RFC 6962 split: 7 leaves split 4 + 3.
+  const Digest left = merkle_root({leaves.data(), 4});
+  const Digest right = merkle_root({leaves.data() + 4, 3});
+  EXPECT_EQ(merkle_root(leaves), merkle_node(left, right));
+}
+
+TEST(MerkleTest, PathsVerifyAtEveryIndexAndCount) {
+  std::vector<Digest> leaves;
+  for (int i = 0; i < 13; ++i) {
+    leaves.push_back(crypto::Sha256::hash("leaf-" + std::to_string(i)));
+    const Digest root = merkle_root(leaves);
+    for (std::size_t j = 0; j < leaves.size(); ++j) {
+      const std::vector<Digest> path = merkle_path(leaves, j);
+      EXPECT_TRUE(merkle_verify(root, leaves[j], j, leaves.size(), path));
+      // The same path must not verify a different leaf.
+      const Digest wrong = crypto::Sha256::hash("not-a-leaf");
+      EXPECT_FALSE(merkle_verify(root, wrong, j, leaves.size(), path));
+    }
+  }
+}
+
+TEST(MerkleTest, RangeHashesComposeLikeSubtrees) {
+  std::vector<Digest> leaves;
+  for (int i = 0; i < 11; ++i) {
+    leaves.push_back(crypto::Sha256::hash("r-" + std::to_string(i)));
+  }
+  EXPECT_EQ(merkle_range(leaves, 0, leaves.size()), merkle_root(leaves));
+  // A range hash depends only on the leaves inside it, so two parties
+  // with different totals can still compare [lo, hi).
+  std::vector<Digest> shorter(leaves.begin(), leaves.begin() + 8);
+  EXPECT_EQ(merkle_range(leaves, 2, 8), merkle_range(shorter, 2, 8));
+}
+
+TEST(MerkleTest, FirstDivergentLeafFindsTheExactIndex) {
+  constexpr std::size_t kLeaves = 21;
+  std::vector<Digest> a;
+  for (std::size_t i = 0; i < kLeaves; ++i) {
+    a.push_back(crypto::Sha256::hash("leaf-" + std::to_string(i)));
+  }
+  const auto probe = [](const std::vector<Digest>& leaves) {
+    return [&leaves](std::size_t lo,
+                     std::size_t hi) -> std::optional<Digest> {
+      return merkle_range(leaves, lo, hi);
+    };
+  };
+
+  // Identical trees: no divergence.
+  EXPECT_EQ(first_divergent_leaf(a.size(), probe(a), a.size(), probe(a)),
+            std::nullopt);
+
+  // Flip each leaf in turn: the descent names exactly that index.
+  for (std::size_t flip = 0; flip < kLeaves; ++flip) {
+    std::vector<Digest> b = a;
+    b[flip][0] ^= 0x01;
+    const auto found =
+        first_divergent_leaf(a.size(), probe(a), b.size(), probe(b));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, flip);
+  }
+
+  // Strict prefix: divergence at the shorter count.
+  std::vector<Digest> prefix(a.begin(), a.begin() + 9);
+  const auto found =
+      first_divergent_leaf(a.size(), probe(a), prefix.size(), probe(prefix));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, prefix.size());
+}
+
+// ---- In-memory ledger ----
+
+TEST(LedgerTest, RootIsDeterministicAndOrderSensitive) {
+  Ledger::Config config;
+  config.segment_capacity = 4;
+  Ledger a(config), b(config), c(config);
+  fill(a, 10);
+  fill(b, 10);
+  EXPECT_EQ(a.root_hash(), b.root_hash());
+  EXPECT_EQ(a.chain_tip(), b.chain_tip());
+
+  // Same entries, one pair swapped: everything downstream changes.
+  const crypto::Bytes first = payload_bytes("event-1|detail");
+  const crypto::Bytes second = payload_bytes("event-0|detail");
+  c.append(EntryKind::kAuditEvent, kT0 + 1.0, first);
+  c.append(EntryKind::kAuditEvent, kT0, second);
+  fill(c, 8, 2);
+  EXPECT_NE(a.root_hash(), c.root_hash());
+}
+
+TEST(LedgerTest, RootCoversKindTimeAndCount) {
+  Ledger a, b;
+  const crypto::Bytes payload = payload_bytes("same-bytes");
+  a.append(EntryKind::kAuditEvent, kT0, payload);
+  b.append(EntryKind::kPoaAnchor, kT0, payload);
+  EXPECT_NE(a.root_hash(), b.root_hash());
+
+  Ledger c;
+  c.append(EntryKind::kAuditEvent, kT0 + 1.0, payload);
+  EXPECT_NE(a.root_hash(), c.root_hash());
+
+  // An empty ledger and a one-entry ledger never share a root.
+  Ledger empty;
+  EXPECT_NE(empty.root_hash(), a.root_hash());
+}
+
+TEST(LedgerTest, InclusionProofsVerifyAcrossSegmentBoundaries) {
+  Ledger::Config config;
+  config.segment_capacity = 4;
+  Ledger ledger(config);
+  fill(ledger, 11);  // 2 sealed segments + 3 entries open
+
+  const Digest root = ledger.root_hash();
+  EXPECT_EQ(ledger.segment_count(), 3u);
+  for (std::uint64_t seq = 0; seq < 11; ++seq) {
+    const auto proof = ledger.prove(seq);
+    ASSERT_TRUE(proof.has_value()) << "seq " << seq;
+    const auto entry = ledger.entry(seq);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_TRUE(Ledger::verify_inclusion(root, entry->leaf_hash(), *proof))
+        << "seq " << seq;
+
+    // A proof is only as good as the leaf it binds.
+    const Digest wrong = crypto::Sha256::hash("forged");
+    EXPECT_FALSE(Ledger::verify_inclusion(wrong, entry->leaf_hash(), *proof));
+    EXPECT_FALSE(Ledger::verify_inclusion(root, wrong, *proof));
+  }
+
+  // Appending invalidates old proofs against the new root.
+  const auto proof = ledger.prove(0);
+  ledger.append(EntryKind::kAuditEvent, kT0 + 100.0, payload_bytes("more"));
+  const auto entry = ledger.entry(0);
+  EXPECT_FALSE(
+      Ledger::verify_inclusion(ledger.root_hash(), entry->leaf_hash(), *proof));
+}
+
+TEST(LedgerTest, CompactionPreservesRootAndRemainingProofs) {
+  Ledger::Config config;
+  config.segment_capacity = 4;
+  Ledger ledger(config);
+  fill(ledger, 14);  // segments [0,4) [4,8) [8,12) sealed, [12,14) open
+
+  const Digest root = ledger.root_hash();
+  EXPECT_EQ(ledger.compact_before(8), 2u);
+  EXPECT_EQ(ledger.root_hash(), root);
+  EXPECT_EQ(ledger.entry_count(), 14u);
+
+  // Compacted range: no entries, no proofs; retained range still proves.
+  EXPECT_FALSE(ledger.entry(3).has_value());
+  EXPECT_FALSE(ledger.prove(3).has_value());
+  const auto proof = ledger.prove(9);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(
+      Ledger::verify_inclusion(root, ledger.entry(9)->leaf_hash(), *proof));
+
+  // The open segment is never compacted.
+  EXPECT_EQ(ledger.compact_before(100), 1u);  // only [8,12) goes
+  EXPECT_TRUE(ledger.entry(12).has_value());
+  EXPECT_EQ(ledger.root_hash(), root);
+
+  // audit_segments still passes: compacted segments are skipped, retained
+  // ones re-verify.
+  const auto report = ledger.audit_segments();
+  EXPECT_FALSE(report.first_divergent.has_value()) << report.detail;
+}
+
+// ---- Durable ledger ----
+
+TEST_F(LedgerDirTest, ReopenRestoresRootChainAndProofs) {
+  Digest root, chain;
+  {
+    Ledger ledger(durable_config());
+    fill(ledger, 10);
+    root = ledger.root_hash();
+    chain = ledger.chain_tip();
+  }
+  Ledger reopened(durable_config());
+  EXPECT_EQ(reopened.entry_count(), 10u);
+  EXPECT_EQ(reopened.root_hash(), root);
+  EXPECT_EQ(reopened.chain_tip(), chain);
+  EXPECT_EQ(reopened.recovered_tail_records(), 0u);
+
+  // The reopened ledger keeps proving and appending.
+  const auto proof = reopened.prove(7);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(
+      Ledger::verify_inclusion(root, reopened.entry(7)->leaf_hash(), *proof));
+  fill(reopened, 3, 10);
+  EXPECT_EQ(reopened.entry_count(), 13u);
+
+  // An in-memory ledger fed the same stream lands on the same root.
+  Ledger::Config mem;
+  mem.segment_capacity = 4;
+  Ledger shadow(mem);
+  fill(shadow, 13);
+  EXPECT_EQ(reopened.root_hash(), shadow.root_hash());
+}
+
+TEST_F(LedgerDirTest, TornTailIsTruncatedOnRecovery) {
+  {
+    Ledger ledger(durable_config());
+    fill(ledger, 10);  // segments [0,4) [4,8) sealed; [8,10) open
+  }
+  // Crash mid-append: chop bytes off the open segment's last record.
+  const auto open_file = segment_file(8);
+  ASSERT_TRUE(std::filesystem::exists(open_file));
+  const auto size = std::filesystem::file_size(open_file);
+  std::filesystem::resize_file(open_file, size - 5);
+
+  Ledger recovered(durable_config());
+  EXPECT_EQ(recovered.entry_count(), 9u);  // entry 9 was torn away
+  EXPECT_EQ(recovered.recovered_tail_records(), 1u);
+  EXPECT_FALSE(recovered.audit_segments().first_divergent.has_value());
+
+  // Appending resumes at the truncated point and converges with a clean
+  // ledger fed the same surviving stream.
+  fill(recovered, 1, 9);
+  Ledger shadow(Ledger::Config{{}, 4, nullptr, nullptr});
+  fill(shadow, 10);
+  EXPECT_EQ(recovered.root_hash(), shadow.root_hash());
+}
+
+TEST_F(LedgerDirTest, BitFlipInSealedSegmentIsLocalizedExactly) {
+  {
+    Ledger ledger(durable_config());
+    fill(ledger, 14);  // sealed [0,4) [4,8) [8,12), open [12,14)
+  }
+  // Tamper with one payload byte inside the SECOND sealed segment. The
+  // record's CRC and the sealed root both disagree now.
+  const auto victim = segment_file(4);
+  {
+    std::fstream file(victim,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(60);  // inside the first record's payload
+    char byte = 0;
+    file.seekg(60);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(60);
+    file.write(&byte, 1);
+  }
+
+  Ledger reopened(durable_config());
+  const auto report = reopened.audit_segments();
+  ASSERT_TRUE(report.first_divergent.has_value());
+  EXPECT_EQ(*report.first_divergent, 1u) << report.detail;
+  EXPECT_FALSE(report.detail.empty());
+}
+
+TEST_F(LedgerDirTest, SegmentWireFramesRoundTrip) {
+  Ledger ledger(durable_config());
+  fill(ledger, 9);
+
+  for (std::size_t i = 0; i < ledger.segment_count(); ++i) {
+    const crypto::Bytes frame = ledger.encode_segment(i);
+    ASSERT_FALSE(frame.empty());
+    const auto decoded = decode_segment(frame);
+    ASSERT_TRUE(decoded.has_value());
+    const auto info = ledger.segment_info(i);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(decoded->header.first_seq, info->first_seq);
+    EXPECT_EQ(decoded->entries.size(), info->entries);
+  }
+
+  // A torn frame decodes to nothing (wire corruption is loud).
+  crypto::Bytes torn = ledger.encode_segment(0);
+  torn.resize(torn.size() - 3);
+  EXPECT_FALSE(decode_segment(torn).has_value());
+  EXPECT_TRUE(ledger.encode_segment(99).empty());
+}
+
+TEST_F(LedgerDirTest, CompactedSegmentSurvivesReopen) {
+  Digest root;
+  {
+    Ledger ledger(durable_config());
+    fill(ledger, 14);
+    root = ledger.root_hash();
+    EXPECT_EQ(ledger.compact_before(8), 2u);
+    EXPECT_FALSE(std::filesystem::exists(segment_file(0)));
+  }
+  Ledger reopened(durable_config());
+  EXPECT_EQ(reopened.root_hash(), root);
+  EXPECT_EQ(reopened.entry_count(), 14u);
+  EXPECT_FALSE(reopened.entry(2).has_value());
+  EXPECT_TRUE(reopened.entry(9).has_value());
+  EXPECT_TRUE(reopened.encode_segment(0).empty());
+  EXPECT_FALSE(reopened.audit_segments().first_divergent.has_value());
+}
+
+}  // namespace
+}  // namespace alidrone::ledger

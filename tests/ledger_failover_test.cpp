@@ -1,0 +1,336 @@
+// Chaos-driven failover for the replicated Auditor (labelled `ledger` and
+// `chaos` in ctest): the primary replica is killed mid-flight and the
+// drone re-targets a follower. Invariants, for every schedule:
+//
+//   1. every verdict is byte-identical to the fault-free baseline;
+//   2. the surviving replicas converge to the SAME ledger root as the
+//      fault-free run — losing the primary loses no history and forks
+//      nothing;
+//   3. the dead primary holds a strict prefix, and one catch_up() call
+//      brings it to the identical root once its outage ends;
+//   4. a lost response (verify-then-timeout ambiguity) resubmitted to a
+//      DIFFERENT replica is absorbed by content dedup, never
+//      double-counted.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/drone_client.h"
+#include "core/replicated_auditor.h"
+#include "core/zone_owner.h"
+#include "geo/units.h"
+#include "obs/flight_recorder.h"
+#include "sim/route.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kTestKeyBits = 512;
+constexpr int kFlights = 2;
+constexpr std::uint64_t kGpsSeed = 42;  // fixed: PoA bytes identical per run
+
+enum class Schedule {
+  kNone,          // fault-free baseline
+  kPrimaryDead,   // every auditor0.* endpoint dark mid-run
+  kResponseLoss,  // auditor0 verifies but its submit responses vanish
+};
+
+std::string to_string(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::kNone: return "None";
+    case Schedule::kPrimaryDead: return "PrimaryDead";
+    case Schedule::kResponseLoss: return "ResponseLoss";
+  }
+  return "?";
+}
+
+/// Every endpoint replica 0 serves — wire methods, the replication inlet
+/// and the ledger introspection endpoints. Killing the primary means all
+/// of them.
+std::vector<std::string> primary_endpoints() {
+  std::vector<std::string> endpoints;
+  for (const char* suffix :
+       {"register_drone", "register_zone", "query_zones", "submit_poa",
+        "tesla_announce", "tesla_sample", "tesla_disclose", "tesla_finalize",
+        "accuse", "apply", "ledger_info", "ledger_range", "ledger_segment"}) {
+    endpoints.push_back(std::string("auditor0.") + suffix);
+  }
+  return endpoints;
+}
+
+constexpr double kFaultStart = 1.0;
+constexpr double kFaultEnd = 4000.0;
+
+net::MessageBus::FaultConfig bus_faults(Schedule schedule, std::uint64_t seed) {
+  net::MessageBus::FaultConfig faults;
+  faults.seed = seed;
+  switch (schedule) {
+    case Schedule::kNone:
+      break;
+    case Schedule::kPrimaryDead:
+      for (const std::string& endpoint : primary_endpoints()) {
+        net::FaultWindow w;
+        w.endpoint = endpoint;
+        w.start = kFaultStart;
+        w.end = kFaultEnd;
+        w.kind = net::FaultKind::kOutage;
+        w.probability = 1.0;
+        faults.schedule.push_back(w);
+      }
+      break;
+    case Schedule::kResponseLoss: {
+      net::FaultWindow w;
+      w.endpoint = "auditor0.submit_poa";
+      w.start = kFaultStart;
+      w.end = kFaultEnd;
+      w.kind = net::FaultKind::kResponseLoss;
+      w.probability = 1.0;
+      faults.schedule.push_back(w);
+      break;
+    }
+  }
+  return faults;
+}
+
+struct RunResult {
+  bool registered = false;
+  std::vector<crypto::Bytes> verdict_bytes;  // one per flight, in order
+  std::vector<ledger::Digest> roots;         // per replica, END of run
+  std::vector<std::uint64_t> entry_counts;   // per replica
+  bool survivors_converged = false;          // replicas 1 and 2 agree
+  bool all_converged = false;                // including the primary
+  std::uint64_t failovers = 0;
+  std::uint64_t forward_failures = 0;
+  std::uint64_t dedup_hits = 0;
+  std::size_t retained_on_survivor = 0;
+  bool caught_up = false;     // primary converged after catch_up()
+  std::size_t outbox_left = 999;
+  /// Replica 1's full entry stream ("kind|time|payload-hex"): when a root
+  /// mismatch fails the run, the first differing entry names the culprit.
+  std::vector<std::string> entries1;
+};
+
+std::string hex(const crypto::Bytes& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+RunResult run_scenario(Schedule schedule, std::uint64_t seed,
+                       obs::FlightRecorder* recorder = nullptr) {
+  RunResult result;
+  obs::MetricsRegistry reg;
+  net::MessageBus bus;
+  resilience::SimClock clock(0.0);
+
+  ReplicatedAuditor::Config fed_config;
+  fed_config.replicas = 3;
+  fed_config.key_bits = kTestKeyBits;
+  fed_config.key_seed = "failover-auditor";
+  fed_config.segment_capacity = 4;
+  fed_config.params.metrics = &reg;
+  fed_config.metrics = &reg;
+  fed_config.recorder = recorder;
+  fed_config.channel.retry.max_attempts = 4;
+  fed_config.channel.retry.initial_backoff_s = 0.5;
+  fed_config.channel.retry.backoff_multiplier = 2.0;
+  fed_config.channel.retry.max_backoff_s = 4.0;
+  fed_config.channel.retry.jitter_fraction = 0.1;
+  fed_config.channel.breaker.failure_threshold = 3;
+  fed_config.channel.breaker.cooldown_s = 10.0;
+  fed_config.channel.seed = seed;
+  ReplicatedAuditor fed(bus, clock, fed_config);
+  bus.set_faults(bus_faults(schedule, seed));
+
+  tee::DroneTee::Config tee_config;
+  tee_config.key_bits = kTestKeyBits;
+  tee_config.manufacturing_seed = "failover-device";
+  tee::DroneTee tee(tee_config);
+  crypto::DeterministicRandom operator_rng("failover-operator");
+  DroneClient client(tee, kTestKeyBits, operator_rng, &reg);
+  client.set_auditor_endpoints(fed.client_prefixes());
+  client.set_trace(recorder);
+
+  resilience::ReliableChannel::Config channel_config = fed_config.channel;
+  channel_config.metrics = &reg;
+  channel_config.trace = recorder;
+  resilience::ReliableChannel channel(bus, clock, channel_config);
+
+  // t=0, before any window opens: registration and zones go to the
+  // primary and replicate out — every run shares this prefix.
+  result.registered = client.register_with_auditor(channel);
+  if (!result.registered) return result;
+  crypto::DeterministicRandom owner_rng("failover-owner");
+  ZoneOwner owner(kTestKeyBits, owner_rng);
+  const geo::LocalFrame frame(geo::GeoPoint{40.0, -88.0});
+  std::vector<geo::GeoZone> zones;
+  for (double x : {100.0, 300.0}) {
+    zones.push_back({frame.to_geo(geo::Vec2{x, 400.0}), 30.0});
+  }
+  for (const geo::GeoZone& zone : zones) {
+    owner.register_zone(bus, zone, "failover zone", "auditor0");
+  }
+
+  // ... and then the primary dies.
+  clock.advance(kFaultStart + 1.0);
+
+  for (int f = 0; f < kFlights; ++f) {
+    const double start = kT0 + f * 1000.0;
+    sim::Route route(
+        frame, {{geo::Vec2{0.0, 0.0}, 10.0}, {geo::Vec2{600.0, 0.0}, 10.0}},
+        start);
+    gps::GpsReceiverSim::Config rc;
+    rc.update_rate_hz = 5.0;
+    rc.start_time = start;
+    rc.seed = kGpsSeed + static_cast<std::uint64_t>(f);
+    gps::GpsReceiverSim receiver(rc, route.as_position_source());
+
+    std::vector<geo::Circle> local_zones;
+    for (const geo::GeoZone& z : zones) {
+      local_zones.push_back({frame.to_local(z.center), z.radius_m});
+    }
+    AdaptiveSampler policy(frame, local_zones, geo::kFaaMaxSpeedMps, 0.2);
+    FlightConfig flight_config;
+    flight_config.end_time = start + 60.0;
+    flight_config.frame = frame;
+    flight_config.local_zones = local_zones;
+    // Samples encrypted for the shared federation key: the proof stays
+    // verifiable no matter which replica ends up serving it. The padding
+    // rng is seeded per flight so the SAME proof bytes are produced under
+    // every fault schedule — the root-equality invariant depends on it.
+    flight_config.auditor_encryption_key = fed.replica(0).encryption_key();
+    crypto::DeterministicRandom encryption_rng("failover-encryption-" +
+                                               std::to_string(f));
+    flight_config.encryption_rng = &encryption_rng;
+
+    const ProofOfAlibi poa = client.fly(receiver, policy, flight_config);
+    client.enqueue_poa(poa);
+    for (int i = 0; i < 100 && client.outbox_size() > 0; ++i) {
+      for (PoaVerdict& verdict : client.drain_outbox(channel)) {
+        result.verdict_bytes.push_back(verdict.encode());
+      }
+      if (client.outbox_size() > 0) clock.advance(1.5);
+    }
+  }
+  result.outbox_left = client.outbox_size();
+  result.failovers = client.failovers();
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    result.roots.push_back(fed.root_of(k));
+    result.entry_counts.push_back(fed.replica_ledger(k)->entry_count());
+  }
+  for (std::uint64_t seq = 0; seq < result.entry_counts[1]; ++seq) {
+    const auto entry = fed.replica_ledger(1)->entry(seq);
+    if (!entry) { result.entries1.push_back("<gone>"); continue; }
+    result.entries1.push_back(std::to_string(static_cast<int>(entry->kind)) +
+                              "|" + std::to_string(entry->time) + "|" +
+                              hex(entry->payload));
+  }
+  result.survivors_converged = fed.root_of(1) == fed.root_of(2);
+  result.all_converged = fed.converged();
+  result.forward_failures = fed.counters().forward_failures;
+  result.dedup_hits = fed.counters().dedup_hits;
+  result.retained_on_survivor = fed.replica(1).retained_poa_count();
+
+  // The outage ends; one catch-up pull from a survivor must land the
+  // primary on the identical root.
+  clock.advance(kFaultEnd + 100.0);
+  const auto reapplied = fed.catch_up(0, 1);
+  result.caught_up = reapplied.has_value() && fed.converged();
+  return result;
+}
+
+const RunResult& baseline() {
+  static const RunResult result = run_scenario(Schedule::kNone, 1);
+  return result;
+}
+
+void expect_matches_baseline(const RunResult& result, const std::string& label) {
+  const RunResult& base = baseline();
+  EXPECT_TRUE(result.registered) << label;
+  EXPECT_EQ(result.outbox_left, 0u) << label;
+  ASSERT_EQ(result.verdict_bytes.size(), base.verdict_bytes.size()) << label;
+  for (std::size_t i = 0; i < base.verdict_bytes.size(); ++i) {
+    EXPECT_EQ(result.verdict_bytes[i], base.verdict_bytes[i])
+        << label << " flight " << i;
+  }
+  // Survivors carry the byte-identical history of the fault-free run —
+  // diff entry by entry so a regression names the first divergent record.
+  EXPECT_TRUE(result.survivors_converged) << label;
+  const std::size_t n = std::min(result.entries1.size(), base.entries1.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.entries1[i] != base.entries1[i]) {
+      ADD_FAILURE() << label << " first differing entry seq=" << i
+                    << "\n  run : " << result.entries1[i].substr(0, 400)
+                    << "\n  base: " << base.entries1[i].substr(0, 400);
+      break;
+    }
+  }
+  EXPECT_EQ(result.entries1.size(), base.entries1.size()) << label;
+  EXPECT_EQ(result.roots[1], base.roots[1]) << label;
+  EXPECT_EQ(result.retained_on_survivor, base.retained_on_survivor) << label;
+  EXPECT_TRUE(result.caught_up) << label;
+}
+
+TEST(LedgerFailoverTest, BaselineIsHealthy) {
+  const RunResult& base = baseline();
+  ASSERT_TRUE(base.registered);
+  ASSERT_EQ(base.verdict_bytes.size(), static_cast<std::size_t>(kFlights));
+  EXPECT_EQ(base.outbox_left, 0u);
+  EXPECT_EQ(base.failovers, 0u);
+  EXPECT_EQ(base.forward_failures, 0u);
+  EXPECT_TRUE(base.all_converged);
+  EXPECT_EQ(base.retained_on_survivor, static_cast<std::size_t>(kFlights));
+  EXPECT_GT(base.entry_counts[0], 0u);
+}
+
+TEST(LedgerFailoverTest, PrimaryKilledMidFlightFailsOverAndConverges) {
+  for (const std::uint64_t seed : {2u, 3u, 4u}) {
+    obs::FlightRecorder recorder(seed, 4096);
+    const RunResult result =
+        run_scenario(Schedule::kPrimaryDead, seed, &recorder);
+    const std::string label =
+        to_string(Schedule::kPrimaryDead) + "/seed=" + std::to_string(seed);
+    if (::testing::Test::HasFailure()) break;
+
+    expect_matches_baseline(result, label);
+    // The client really did re-target a follower...
+    EXPECT_GT(result.failovers, 0u) << label;
+    bool saw_failover_trace = false;
+    for (const obs::TraceEvent& event : recorder.events()) {
+      if (event.kind == obs::TraceKind::kReplicaFailover) {
+        saw_failover_trace = true;
+      }
+    }
+    EXPECT_TRUE(saw_failover_trace) << label;
+    // ...the survivors could not reach the dead primary...
+    EXPECT_GT(result.forward_failures, 0u) << label;
+    // ...which, until catch-up, held a strict prefix.
+    EXPECT_LT(result.entry_counts[0], result.entry_counts[1]) << label;
+  }
+}
+
+TEST(LedgerFailoverTest, LostResponsesAreAbsorbedByContentDedup) {
+  for (const std::uint64_t seed : {5u, 6u}) {
+    const RunResult result = run_scenario(Schedule::kResponseLoss, seed);
+    const std::string label =
+        to_string(Schedule::kResponseLoss) + "/seed=" + std::to_string(seed);
+    if (::testing::Test::HasFailure()) break;
+
+    expect_matches_baseline(result, label);
+    // The primary DID verify each proof (its responses just vanished), so
+    // the failover resubmission to a follower hit the dedup cache — and
+    // every replica stayed in lockstep the whole time.
+    EXPECT_GT(result.dedup_hits, 0u) << label;
+    EXPECT_EQ(result.entry_counts[0], result.entry_counts[1]) << label;
+  }
+}
+
+}  // namespace
+}  // namespace alidrone::core

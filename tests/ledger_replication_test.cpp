@@ -1,0 +1,421 @@
+// Replication invariants (labelled `ledger` in ctest):
+//
+//   1. the anchored ledger stream is byte-identical for any
+//      verify_threads × auditor_shards configuration (the Auditor's
+//      serial commit discipline is what the ledger inherits);
+//   2. N ReplicatedAuditor replicas converge to the same root on every
+//      write path (direct, forwarded, redelivered), with reads served
+//      from any replica;
+//   3. redelivery and cross-replica resubmission stay exactly-once;
+//   4. a replica cut off by an outage catches up to a byte-identical
+//      root;
+//   5. a genuine fork is localized to the exact first divergent segment
+//      by Merkle descent over the bus.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "core/ingest.h"
+#include "core/poa_store.h"
+#include "core/replicated_auditor.h"
+#include "core/zone_owner.h"
+#include "geo/units.h"
+#include "ledger/ledger.h"
+#include "net/codec.h"
+#include "obs/metrics.h"
+#include "sim/route.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kTestKeyBits = 512;
+
+const geo::LocalFrame& test_frame() {
+  static const geo::LocalFrame frame(geo::GeoPoint{40.0, -88.0});
+  return frame;
+}
+
+std::vector<geo::GeoZone> test_zones() {
+  std::vector<geo::GeoZone> zones;
+  for (double x : {100.0, 300.0}) {
+    zones.push_back({test_frame().to_geo(geo::Vec2{x, 400.0}), 30.0});
+  }
+  return zones;
+}
+
+/// One deterministic compliant flight; identical bytes for identical
+/// (tee seed, operator seed, gps seed, start time).
+ProofOfAlibi make_flight_poa(DroneClient& client, double start,
+                             std::uint64_t gps_seed) {
+  sim::Route route(
+      test_frame(),
+      {{geo::Vec2{0.0, 0.0}, 10.0}, {geo::Vec2{600.0, 0.0}, 10.0}}, start);
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = start;
+  rc.seed = gps_seed;
+  gps::GpsReceiverSim receiver(rc, route.as_position_source());
+
+  std::vector<geo::Circle> local_zones;
+  for (const geo::GeoZone& z : test_zones()) {
+    local_zones.push_back({test_frame().to_local(z.center), z.radius_m});
+  }
+  AdaptiveSampler policy(test_frame(), local_zones, geo::kFaaMaxSpeedMps, 0.2);
+  FlightConfig config;
+  config.end_time = start + 30.0;
+  config.frame = test_frame();
+  config.local_zones = local_zones;
+  return client.fly(receiver, policy, config);
+}
+
+resilience::ReliableChannel::Config channel_config(std::uint64_t seed,
+                                                   obs::MetricsRegistry* reg) {
+  resilience::ReliableChannel::Config config;
+  config.retry.max_attempts = 4;
+  config.retry.initial_backoff_s = 0.5;
+  config.retry.backoff_multiplier = 2.0;
+  config.retry.max_backoff_s = 4.0;
+  config.retry.jitter_fraction = 0.1;
+  config.breaker.failure_threshold = 3;
+  config.breaker.cooldown_s = 10.0;
+  config.seed = seed;
+  config.metrics = reg;
+  return config;
+}
+
+// ---- 1. One auditor, any pipeline shape: same ledger stream ----
+
+TEST(LedgerStreamTest, ByteIdenticalForAnyVerifyThreadsAndShards) {
+  std::vector<ledger::Digest> roots;
+  std::vector<std::uint64_t> counts;
+  for (const std::size_t verify_threads : {std::size_t{0}, std::size_t{4}}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+      obs::MetricsRegistry reg;
+      crypto::DeterministicRandom auditor_rng("stream-auditor");
+      crypto::DeterministicRandom owner_rng("stream-owner");
+      crypto::DeterministicRandom operator_rng("stream-operator");
+      ProtocolParams params;
+      params.auditor_shards = shards;
+      params.metrics = &reg;
+      Auditor auditor(kTestKeyBits, auditor_rng, params);
+
+      auto led = std::make_shared<ledger::Ledger>();
+      auto log = std::make_shared<AuditLog>();
+      log->attach_ledger(led);
+      auditor.attach_audit_log(log);
+
+      tee::DroneTee::Config tee_config;
+      tee_config.key_bits = kTestKeyBits;
+      tee_config.manufacturing_seed = "stream-device";
+      tee::DroneTee tee(tee_config);
+      DroneClient client(tee, kTestKeyBits, operator_rng, &reg);
+      net::MessageBus bus;
+      auditor.bind(bus);
+      ASSERT_TRUE(client.register_with_auditor(bus));
+      ZoneOwner owner(kTestKeyBits, owner_rng);
+      for (const geo::GeoZone& zone : test_zones()) {
+        auditor.register_zone(owner.make_zone_request(zone, "stream zone"));
+      }
+
+      AuditorIngest::Config ingest_config;
+      ingest_config.verify_threads = verify_threads;
+      AuditorIngest ingest(auditor, ingest_config);
+      for (int f = 0; f < 2; ++f) {
+        const ProofOfAlibi poa =
+            make_flight_poa(client, kT0 + f * 100.0, 40u + f);
+        const crypto::Bytes frame = SubmitPoaRequest{poa.serialize()}.encode();
+        const auto verdict = PoaVerdict::decode(ingest.submit(frame));
+        ASSERT_TRUE(verdict.has_value());
+        EXPECT_TRUE(verdict->accepted);
+      }
+      roots.push_back(led->root_hash());
+      counts.push_back(led->entry_count());
+    }
+  }
+  ASSERT_EQ(roots.size(), 4u);
+  EXPECT_GT(counts[0], 0u);
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    EXPECT_EQ(roots[i], roots[0]) << "config " << i;
+    EXPECT_EQ(counts[i], counts[0]);
+  }
+}
+
+TEST(LedgerStreamTest, PoaStoreAnchorsRetainedProofs) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "alidrone-ledger-poa-anchor";
+  std::filesystem::remove_all(dir);
+
+  obs::MetricsRegistry reg;
+  crypto::DeterministicRandom auditor_rng("anchor-auditor");
+  crypto::DeterministicRandom operator_rng("anchor-operator");
+  ProtocolParams params;
+  params.metrics = &reg;
+  Auditor auditor(kTestKeyBits, auditor_rng, params);
+
+  auto led = std::make_shared<ledger::Ledger>();
+  auto store = std::make_shared<PoaStore>(dir, &reg);
+  store->attach_ledger(led);
+  auditor.attach_store(store);
+
+  tee::DroneTee::Config tee_config;
+  tee_config.key_bits = kTestKeyBits;
+  tee_config.manufacturing_seed = "anchor-device";
+  tee::DroneTee tee(tee_config);
+  DroneClient client(tee, kTestKeyBits, operator_rng, &reg);
+  net::MessageBus bus;
+  auditor.bind(bus);
+  ASSERT_TRUE(client.register_with_auditor(bus));
+
+  const ProofOfAlibi poa = make_flight_poa(client, kT0, 7);
+  const crypto::Bytes poa_bytes = poa.serialize();
+  const PoaVerdict verdict = auditor.verify_poa(poa, kT0 + 31.0);
+  ASSERT_TRUE(verdict.accepted);
+
+  // One kPoaAnchor entry: drone id, submission time, SHA-256 of the
+  // serialized proof — enough to later prove the stored file untampered.
+  ASSERT_EQ(led->entry_count(), 1u);
+  const auto entry = led->entry(0);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->kind, ledger::EntryKind::kPoaAnchor);
+  net::Reader reader(entry->payload);
+  const auto drone_id = reader.str();
+  const auto time = reader.f64();
+  const auto digest = reader.bytes();
+  ASSERT_TRUE(drone_id && time && digest);
+  EXPECT_EQ(*drone_id, client.id());
+  EXPECT_EQ(*time, kT0 + 31.0);
+  const auto expect = crypto::Sha256::hash(poa_bytes);
+  EXPECT_EQ(*digest, crypto::Bytes(expect.begin(), expect.end()));
+
+  std::filesystem::remove_all(dir);
+}
+
+// ---- 2-5. Replicated federation ----
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void build(std::size_t replicas, net::MessageBus::FaultConfig faults = {}) {
+    ReplicatedAuditor::Config config;
+    config.replicas = replicas;
+    config.key_bits = kTestKeyBits;
+    config.key_seed = "replication-auditor";
+    config.segment_capacity = 4;
+    config.params.metrics = &reg_;
+    config.channel = channel_config(1, &reg_);
+    config.metrics = &reg_;
+    fed_ = std::make_unique<ReplicatedAuditor>(bus_, clock_, config);
+    bus_.set_faults(faults);
+  }
+
+  net::FaultWindow outage(const std::string& endpoint, double start,
+                          double end) {
+    net::FaultWindow w;
+    w.endpoint = endpoint;
+    w.start = start;
+    w.end = end;
+    w.kind = net::FaultKind::kOutage;
+    w.probability = 1.0;
+    return w;
+  }
+
+  net::MessageBus bus_;
+  resilience::SimClock clock_{0.0};
+  obs::MetricsRegistry reg_;
+  std::unique_ptr<ReplicatedAuditor> fed_;
+};
+
+TEST_F(ReplicationTest, ThreeReplicasConvergeAcrossTheProtocol) {
+  build(3);
+
+  // Same key seed => same keypair: failover-encrypted proofs stay
+  // decryptable by every replica.
+  EXPECT_EQ(fed_->replica(0).encryption_key().n.to_bytes(),
+            fed_->replica(1).encryption_key().n.to_bytes());
+  EXPECT_EQ(fed_->replica(1).encryption_key().n.to_bytes(),
+            fed_->replica(2).encryption_key().n.to_bytes());
+
+  tee::DroneTee::Config tee_config;
+  tee_config.key_bits = kTestKeyBits;
+  tee_config.manufacturing_seed = "replication-device";
+  tee::DroneTee tee(tee_config);
+  crypto::DeterministicRandom operator_rng("replication-operator");
+  DroneClient client(tee, kTestKeyBits, operator_rng, &reg_);
+  client.set_auditor_endpoints(fed_->client_prefixes());
+
+  // Registration lands on replica 0 and replicates out.
+  ASSERT_TRUE(client.register_with_auditor(bus_));
+
+  // A zone registered THROUGH A FOLLOWER is a write like any other.
+  crypto::DeterministicRandom owner_rng("replication-owner");
+  ZoneOwner owner(kTestKeyBits, owner_rng);
+  const ZoneId zone_id =
+      owner.register_zone(bus_, test_zones()[0], "replicated zone", "auditor1");
+  ASSERT_FALSE(zone_id.empty());
+
+  // Reads are served by every replica from its own replicated state.
+  const QueryRect rect{{39.99, -88.01}, {40.02, -87.98}};
+  const crypto::Bytes query = client.make_zone_query(rect).encode();
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto response = ZoneQueryResponse::decode(
+        bus_.request(fed_->replica_prefix(k) + ".query_zones", query));
+    ASSERT_TRUE(response.has_value()) << "replica " << k;
+    EXPECT_TRUE(response->ok);
+    EXPECT_EQ(response->zones.size(), 1u) << "replica " << k;
+  }
+
+  // Flight + submission through the resilient path.
+  resilience::ReliableChannel channel(bus_, clock_, channel_config(2, &reg_));
+  const ProofOfAlibi poa = make_flight_poa(client, kT0, 11);
+  const auto verdict = client.submit_poa(channel, poa);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(verdict->accepted);
+
+  // An accusation adjudicated by the LAST replica, from replicated
+  // retention.
+  const auto accusation =
+      owner.accuse(bus_, zone_id, client.id(), kT0 + 10.0, "auditor2");
+  ASSERT_TRUE(accusation.has_value());
+  EXPECT_TRUE(accusation->ok);
+  EXPECT_TRUE(accusation->alibi_holds);
+
+  // Convergence: same retained state, same audit history, same root.
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(fed_->replica(k).retained_poa_count(), 1u) << "replica " << k;
+  }
+  EXPECT_EQ(fed_->replica_audit_log(0)->size(),
+            fed_->replica_audit_log(1)->size());
+  EXPECT_TRUE(fed_->converged());
+  EXPECT_EQ(fed_->check_divergence(0, 1), std::nullopt);
+  EXPECT_EQ(fed_->check_divergence(0, 2), std::nullopt);
+
+  const auto counters = fed_->counters();
+  EXPECT_GT(counters.forwards, 0u);
+  EXPECT_EQ(counters.forward_failures, 0u);
+
+  // The ledger_info endpoint reports what the replica itself does.
+  const crypto::Bytes info_bytes = bus_.request("auditor0.ledger_info", {});
+  net::Reader info(info_bytes);
+  const auto count = info.u64();
+  const auto segments = info.u64();
+  const auto root = info.bytes();
+  ASSERT_TRUE(count && segments && root);
+  EXPECT_EQ(*count, fed_->replica_ledger(0)->entry_count());
+  const ledger::Digest local_root = fed_->root_of(0);
+  EXPECT_EQ(*root, crypto::Bytes(local_root.begin(), local_root.end()));
+}
+
+TEST_F(ReplicationTest, RedeliveryAndCrossReplicaResubmissionIsExactlyOnce) {
+  build(3);
+  crypto::DeterministicRandom owner_rng("dedup-owner");
+  ZoneOwner owner(kTestKeyBits, owner_rng);
+  const crypto::Bytes frame =
+      owner.make_zone_request(test_zones()[0], "dedup zone").encode();
+
+  const crypto::Bytes first = bus_.request("auditor0.register_zone", frame);
+  const std::uint64_t count = fed_->replica_ledger(0)->entry_count();
+
+  // Same bytes again, to the same replica and to a different one: the
+  // first response verbatim, nothing appended anywhere.
+  const crypto::Bytes again = bus_.request("auditor0.register_zone", frame);
+  const crypto::Bytes other = bus_.request("auditor1.register_zone", frame);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first, other);
+  EXPECT_EQ(fed_->replica_ledger(0)->entry_count(), count);
+  EXPECT_TRUE(fed_->converged());
+  EXPECT_GE(fed_->counters().dedup_hits, 2u);
+
+  // Only one zone exists in every replica.
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(fed_->replica(k).zones().size(), 1u) << "replica " << k;
+  }
+}
+
+TEST_F(ReplicationTest, OutageThenCatchUpConvergesToIdenticalRoot) {
+  net::MessageBus::FaultConfig faults;
+  faults.seed = 3;
+  // Replica 2's replication inlet is dead for the whole write burst.
+  faults.schedule.push_back(outage("auditor2.apply", 0.0, 1000.0));
+  build(3, faults);
+
+  crypto::DeterministicRandom owner_rng("catchup-owner");
+  ZoneOwner owner(kTestKeyBits, owner_rng);
+  for (int i = 0; i < 5; ++i) {
+    const geo::GeoZone zone{
+        test_frame().to_geo(geo::Vec2{100.0 + 50.0 * i, 400.0}), 30.0};
+    const ZoneId id = owner.register_zone(bus_, zone,
+                                          "zone " + std::to_string(i),
+                                          "auditor0");
+    ASSERT_FALSE(id.empty());
+  }
+
+  // 0 and 1 agree; 2 is a strict prefix (it heard nothing).
+  EXPECT_EQ(fed_->root_of(0), fed_->root_of(1));
+  EXPECT_FALSE(fed_->converged());
+  EXPECT_GT(fed_->counters().forward_failures, 0u);
+  EXPECT_LT(fed_->replica_ledger(2)->entry_count(),
+            fed_->replica_ledger(0)->entry_count());
+
+  // Catch-up re-executes the missed requests from replica 0's segments;
+  // derived audit events regenerate byte-identically.
+  const auto reapplied = fed_->catch_up(2, 0);
+  ASSERT_TRUE(reapplied.has_value());
+  EXPECT_EQ(*reapplied, 5u);
+  EXPECT_TRUE(fed_->converged());
+  EXPECT_EQ(fed_->replica(2).zones().size(), 5u);
+  EXPECT_EQ(fed_->counters().reapplied, 5u);
+}
+
+TEST_F(ReplicationTest, ForkIsLocalizedToTheExactSegment) {
+  net::MessageBus::FaultConfig faults;
+  faults.seed = 4;
+  // After t=100, the two replicas cannot reach each other.
+  faults.schedule.push_back(outage("auditor0.apply", 100.0, 1e9));
+  faults.schedule.push_back(outage("auditor1.apply", 100.0, 1e9));
+  build(2, faults);
+
+  crypto::DeterministicRandom owner_rng("fork-owner");
+  ZoneOwner owner(kTestKeyBits, owner_rng);
+
+  // Phase 1 (t=0, links healthy): a shared prefix spanning one sealed
+  // segment — 3 writes x 2 entries at capacity 4.
+  for (int i = 0; i < 3; ++i) {
+    const geo::GeoZone zone{
+        test_frame().to_geo(geo::Vec2{100.0 + 50.0 * i, 400.0}), 30.0};
+    ASSERT_FALSE(owner.register_zone(bus_, zone,
+                                     "shared " + std::to_string(i), "auditor0")
+                     .empty());
+  }
+  ASSERT_TRUE(fed_->converged());
+  const std::uint64_t shared_count = fed_->replica_ledger(0)->entry_count();
+  const std::size_t expected_segment =
+      static_cast<std::size_t>(shared_count) / 4;
+
+  // Phase 2 (t>100, partitioned): each replica accepts a DIFFERENT write
+  // at the same position — a genuine fork.
+  clock_.advance(150.0);
+  const geo::GeoZone zone_a{test_frame().to_geo(geo::Vec2{50.0, 400.0}), 25.0};
+  const geo::GeoZone zone_b{test_frame().to_geo(geo::Vec2{80.0, 400.0}), 25.0};
+  bus_.request("auditor0.register_zone",
+               owner.make_zone_request(zone_a, "fork a").encode());
+  bus_.request("auditor1.register_zone",
+               owner.make_zone_request(zone_b, "fork b").encode());
+
+  EXPECT_FALSE(fed_->converged());
+  const auto divergence = fed_->check_divergence(0, 1);
+  ASSERT_TRUE(divergence.has_value());
+  ASSERT_TRUE(divergence->segment.has_value());
+  EXPECT_EQ(*divergence->segment, expected_segment);
+
+  // catch_up cannot reconcile a fork — it reports failure instead of
+  // silently merging divergent histories.
+  EXPECT_EQ(fed_->catch_up(0, 1), std::nullopt);
+}
+
+}  // namespace
+}  // namespace alidrone::core
