@@ -9,6 +9,7 @@
 #include "core/drone_client.h"
 #include "core/sampler.h"
 #include "core/zone_index.h"
+#include "net/message_bus.h"
 #include "sim/planner.h"
 #include "gps/receiver_sim.h"
 #include "sim/scenarios.h"

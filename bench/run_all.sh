@@ -45,6 +45,13 @@ run_bench() {
   json="$tmp_dir/$name.json"
   metrics="$tmp_dir/$name.metrics.json"
   echo "== $name =="
+  if [ ! -x "$bin" ]; then
+    # A missing binary means the build tree is stale — fail loudly
+    # instead of silently shipping a BENCH_results.json with a hole in it.
+    echo "run_all.sh: MISSING bench binary $bin (stale build tree?)" >&2
+    fail=1
+    return
+  fi
   if ! "$bin" "$@" --json "$json" --metrics "$metrics"; then
     echo "run_all.sh: FAIL $name" >&2
     fail=1
@@ -71,6 +78,10 @@ run_bench bench_auditor_scale --drones 8 --proofs 4
 # root equality, proof verification and the reapplied-write count).
 run_bench bench_ledger_replication --appends 4000 --durable-appends 1000 \
   --writes 40
+
+# Socket transport vs the in-process bus (exit code checks byte-identical
+# verdicts, best-UDS >= 0.5x bus, and 0 allocs per decoded submission).
+run_bench bench_transport --messages 512 --alloc-iters 50
 
 # google-benchmark micro benches.
 micro_args=""

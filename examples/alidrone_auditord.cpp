@@ -1,0 +1,188 @@
+// alidrone_auditord — the Auditor as a standalone multi-process daemon.
+//
+// Serves the full wire protocol (registration, zone registry, zone
+// queries, PoA submission, TESLA streams, accusations) over real
+// sockets: a TransportServer with an epoll acceptor and N worker event
+// loops, PoA ingestion running through the batched AuditorIngest
+// pipeline. Any client built on net::Transport — DroneClient,
+// ReliableChannel, a raw TransportClient — talks to it unchanged.
+//
+//   alidrone_auditord --listen uds:/tmp/auditor.sock
+//       --listen tcp:127.0.0.1:9000 --workers 2 --verify-threads 4
+//       --shards 8 --seed 7
+//
+// Readiness: prints one "listening <address>" line per bound socket
+// (ephemeral tcp ports resolved) and then "ready", all on stdout,
+// flushed — parents fork+exec and wait for "ready".
+//
+// Shutdown: SIGTERM or SIGINT drains gracefully — the acceptor stops,
+// in-flight requests finish and flush, then the daemon prints its final
+// state (ledger root, entry counts, transport stats; --metrics adds the
+// full registry as JSON) and exits 0. The printed ledger root is how
+// out-of-process runs are asserted byte-identical to in-process ones.
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/ingest.h"
+#include "crypto/bytes.h"
+#include "crypto/random.h"
+#include "ledger/ledger.h"
+#include "net/transport/server.h"
+#include "obs/metrics.h"
+
+namespace {
+
+// Signal handler writes one byte; main blocks on the read end. The
+// self-pipe keeps all shutdown work out of signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+struct Options {
+  std::vector<std::string> listen;
+  std::size_t workers = 2;
+  std::size_t verify_threads = 0;
+  std::size_t shards = 8;
+  std::size_t key_bits = 512;
+  std::uint64_t seed = 1;
+  bool metrics = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --listen <tcp:host:port|uds:path> ...\n"
+      << "  --listen ADDR        listen address (repeatable; required)\n"
+      << "  --workers N          reactor event loops (default 2)\n"
+      << "  --verify-threads N   ingest verify pool, 0 = inline (default 0)\n"
+      << "  --shards N           auditor lock stripes (default 8)\n"
+      << "  --key-bits N         auditor RSA modulus bits (default 512)\n"
+      << "  --seed N             auditor keygen seed (default 1)\n"
+      << "  --metrics            dump the metrics registry as JSON on exit\n";
+  return 2;
+}
+
+bool parse_size(const char* s, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace alidrone;
+
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--listen" && has_value) {
+      opt.listen.push_back(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      if (!parse_size(argv[++i], opt.workers)) return usage(argv[0]);
+    } else if (arg == "--verify-threads" && has_value) {
+      if (!parse_size(argv[++i], opt.verify_threads)) return usage(argv[0]);
+    } else if (arg == "--shards" && has_value) {
+      if (!parse_size(argv[++i], opt.shards)) return usage(argv[0]);
+    } else if (arg == "--key-bits" && has_value) {
+      if (!parse_size(argv[++i], opt.key_bits)) return usage(argv[0]);
+    } else if (arg == "--seed" && has_value) {
+      std::size_t seed = 0;
+      if (!parse_size(argv[++i], seed)) return usage(argv[0]);
+      opt.seed = seed;
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.listen.empty()) return usage(argv[0]);
+
+  obs::MetricsRegistry registry;
+
+  // The Auditor: deterministic keygen from --seed so a daemon run can be
+  // compared byte-for-byte against an in-process run with the same seed.
+  crypto::DeterministicRandom auditor_rng(opt.seed);
+  core::ProtocolParams params;
+  params.auditor_shards = std::max<std::size_t>(opt.shards, 1);
+  params.metrics = &registry;
+  core::Auditor auditor(opt.key_bits, auditor_rng, params);
+
+  auto ledger = std::make_shared<ledger::Ledger>();
+  auto audit_log = std::make_shared<core::AuditLog>();
+  audit_log->attach_ledger(ledger);
+  auditor.attach_audit_log(audit_log);
+
+  core::AuditorIngest::Config ingest_config;
+  ingest_config.verify_threads = opt.verify_threads;
+  core::AuditorIngest ingest(auditor, ingest_config);
+
+  net::transport::TransportServer::Config server_config;
+  server_config.listen = opt.listen;
+  server_config.workers = std::max<std::size_t>(opt.workers, 1);
+  server_config.registry = &registry;
+  net::transport::TransportServer server(std::move(server_config));
+
+  // Registration/zone/accusation endpoints straight off the Auditor;
+  // submission + TESLA endpoints rebind to the batched ingest pipeline.
+  auditor.bind(server);
+  ingest.bind(server);
+
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "alidrone_auditord: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::cerr << "alidrone_auditord: pipe failed\n";
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  for (const std::string& address : server.bound_addresses()) {
+    std::cout << "listening " << address << "\n";
+  }
+  std::cout << "ready" << std::endl;  // endl: flush before the parent waits
+
+  // Block until SIGTERM/SIGINT.
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  server.stop();  // graceful drain: in-flight requests finish and flush
+
+  const net::transport::TransportServer::Stats stats = server.stats();
+  std::cout << "ledger_root " << crypto::to_hex(ledger->root_hash()) << "\n"
+            << "ledger_entries " << ledger->entry_count() << "\n"
+            << "audit_events " << audit_log->size() << "\n"
+            << "conns " << stats.conns_opened << "\n"
+            << "requests " << stats.requests_handled << "\n"
+            << "frames_in " << stats.frames_in << "\n"
+            << "torn_frames " << stats.torn_frames << "\n";
+  if (opt.metrics) {
+    registry.write_json(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "drained" << std::endl;
+  return 0;
+}

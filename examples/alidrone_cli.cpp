@@ -22,6 +22,7 @@
 #include "core/preflight.h"
 #include "core/zone_owner.h"
 #include "geo/units.h"
+#include "net/message_bus.h"
 #include "sim/scenarios.h"
 
 using namespace alidrone;

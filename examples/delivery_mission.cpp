@@ -11,6 +11,7 @@
 #include "core/preflight.h"
 #include "core/zone_owner.h"
 #include "geo/units.h"
+#include "net/message_bus.h"
 #include "sim/planner.h"
 
 using namespace alidrone;

@@ -10,6 +10,7 @@
 #include "core/streaming.h"
 #include "geo/units.h"
 #include "net/codec.h"
+#include "net/message_bus.h"
 #include "sim/scenarios.h"
 #include "tee/secure_monitor.h"
 

@@ -975,7 +975,7 @@ crypto::Bytes Auditor::handle_frame(WireMethod method,
   return {};
 }
 
-void Auditor::bind(net::MessageBus& bus, const std::string& prefix) {
+void Auditor::bind(net::Transport& bus, const std::string& prefix) {
   for (const WireMethod method :
        {WireMethod::kRegisterDrone, WireMethod::kRegisterZone,
         WireMethod::kQueryZones, WireMethod::kSubmitPoa,

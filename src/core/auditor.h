@@ -4,7 +4,7 @@
 // queries, verifies submitted Proofs-of-Alibi (signatures, well-formedness
 // and eq.-(1) sufficiency) and retains verified PoAs so later accusations
 // from Zone Owners can be adjudicated. All functionality is available as
-// a direct API and as serialized endpoints on a net::MessageBus.
+// a direct API and as serialized endpoints on a net::Transport.
 //
 // Fleet-scale concurrency model: per-drone state (registration records,
 // retained PoAs) is split across N lock-striped shards keyed by a hash of
@@ -44,7 +44,7 @@
 #include "crypto/random.h"
 #include "crypto/rsa.h"
 #include "geo/polygon.h"
-#include "net/message_bus.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 
@@ -186,7 +186,7 @@ class Auditor {
   /// Register the serialized endpoints ("<prefix>.register_drone", ...).
   /// The prefix is the Auditor's bus address — replicas bind the same
   /// methods as "auditor0.", "auditor1.", ... so clients can re-target.
-  void bind(net::MessageBus& bus, const std::string& prefix = "auditor");
+  void bind(net::Transport& bus, const std::string& prefix = "auditor");
 
  private:
   friend class AuditorIngest;

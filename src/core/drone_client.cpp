@@ -65,7 +65,7 @@ bool DroneClient::accept_register_reply(const crypto::Bytes& reply) {
   return true;
 }
 
-bool DroneClient::register_with_auditor(net::MessageBus& bus) {
+bool DroneClient::register_with_auditor(net::Transport& bus) {
   const auto request = make_register_request();
   if (!request) return false;
   return accept_register_reply(
@@ -98,7 +98,7 @@ ZoneQueryRequest DroneClient::make_zone_query(const QueryRect& rect) {
   return request;
 }
 
-std::optional<std::vector<ZoneInfo>> DroneClient::query_zones(net::MessageBus& bus,
+std::optional<std::vector<ZoneInfo>> DroneClient::query_zones(net::Transport& bus,
                                                               const QueryRect& rect) {
   const crypto::Bytes reply =
       bus.request(targets_.endpoint("query_zones"), make_zone_query(rect).encode());
@@ -153,7 +153,7 @@ ProofOfAlibi DroneClient::fly(gps::GpsReceiverSim& receiver, SamplingPolicy& pol
   return poa;
 }
 
-std::optional<PoaVerdict> DroneClient::submit_poa(net::MessageBus& bus,
+std::optional<PoaVerdict> DroneClient::submit_poa(net::Transport& bus,
                                                   const ProofOfAlibi& poa) {
   SubmitPoaRequest request{poa.serialize()};
   const crypto::Bytes reply =

@@ -22,7 +22,7 @@
 #include "core/protocol_types.h"
 #include "crypto/random.h"
 #include "crypto/rsa.h"
-#include "net/message_bus.h"
+#include "net/transport.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "resilience/failover.h"
@@ -64,7 +64,7 @@ class DroneClient {
 
   /// Step 0: register with the Auditor over the bus. Returns false when
   /// the Auditor refuses. Reads T+ out of the TEE via GetPublicKey.
-  bool register_with_auditor(net::MessageBus& bus);
+  bool register_with_auditor(net::Transport& bus);
 
   /// Step 0 through a ReliableChannel: a dropped or lost reply becomes a
   /// bounded retry instead of an unhandled TimeoutError; the Auditor's
@@ -72,7 +72,7 @@ class DroneClient {
   bool register_with_auditor(resilience::ReliableChannel& channel);
 
   /// Steps 2-3: query NFZs in a rectangle with a fresh signed nonce.
-  std::optional<std::vector<ZoneInfo>> query_zones(net::MessageBus& bus,
+  std::optional<std::vector<ZoneInfo>> query_zones(net::Transport& bus,
                                                    const QueryRect& rect);
 
   /// Steps 2-3 with retries. Each retry re-signs a FRESH nonce — the
@@ -90,7 +90,7 @@ class DroneClient {
                    crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1);
 
   /// Step 4: submit a PoA; returns the Auditor's verdict.
-  std::optional<PoaVerdict> submit_poa(net::MessageBus& bus,
+  std::optional<PoaVerdict> submit_poa(net::Transport& bus,
                                        const ProofOfAlibi& poa);
 
   /// Step 4 via the outbox: enqueue, then drain through `channel`.

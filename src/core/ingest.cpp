@@ -271,7 +271,7 @@ void AuditorIngest::process_batch(std::vector<Item>& batch) {
   }
 }
 
-void AuditorIngest::bind(net::MessageBus& bus, const std::string& prefix) {
+void AuditorIngest::bind(net::Transport& bus, const std::string& prefix) {
   bus.register_endpoint(prefix + ".submit_poa",
                         [this](const crypto::Bytes& in) { return submit(in); });
   bus.register_endpoint(prefix + ".tesla_announce", [this](const crypto::Bytes& in) {

@@ -37,7 +37,7 @@
 #include "core/auditor.h"
 #include "crypto/bytes.h"
 #include "net/buffer_pool.h"
-#include "net/message_bus.h"
+#include "net/transport.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "runtime/mpmc_queue.h"
@@ -94,7 +94,7 @@ class AuditorIngest {
   /// Re-register "<prefix>.submit_poa" and the "<prefix>.tesla_*"
   /// endpoints to run through the pipeline (call after Auditor::bind,
   /// which installs the unbatched handlers under the same prefix).
-  void bind(net::MessageBus& bus, const std::string& prefix = "auditor");
+  void bind(net::Transport& bus, const std::string& prefix = "auditor");
 
   /// Stop admitting, drain everything already queued, join the ingest
   /// thread. Idempotent; the destructor calls it.

@@ -26,7 +26,7 @@ bool is_write(Auditor::WireMethod method) {
 
 }  // namespace
 
-ReplicatedAuditor::ReplicatedAuditor(net::MessageBus& bus,
+ReplicatedAuditor::ReplicatedAuditor(net::Transport& bus,
                                      resilience::SimClock& clock,
                                      Config config)
     : bus_(bus), config_(std::move(config)) {

@@ -1,4 +1,4 @@
-// core::ReplicatedAuditor — N Auditor replicas behind one MessageBus,
+// core::ReplicatedAuditor — N Auditor replicas behind one Transport,
 // kept convergent by write-ahead ledger replication.
 //
 // A single Auditor process is a single point of failure AND a single
@@ -49,7 +49,7 @@
 #include "core/auditor.h"
 #include "crypto/random.h"
 #include "ledger/ledger.h"
-#include "net/message_bus.h"
+#include "net/transport.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "resilience/reliable_channel.h"
@@ -92,7 +92,7 @@ class ReplicatedAuditor {
 
   /// Constructs the replicas and binds every endpoint on `bus`. The bus
   /// and clock are borrowed and must outlive the federation.
-  ReplicatedAuditor(net::MessageBus& bus, resilience::SimClock& clock,
+  ReplicatedAuditor(net::Transport& bus, resilience::SimClock& clock,
                     Config config);
 
   std::size_t replica_count() const { return replicas_.size(); }
@@ -164,7 +164,7 @@ class ReplicatedAuditor {
   static crypto::Bytes encode_apply(Auditor::WireMethod method,
                                     const crypto::Bytes& frame);
 
-  net::MessageBus& bus_;
+  net::Transport& bus_;
   Config config_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   obs::Counter* forwards_;

@@ -59,7 +59,7 @@ StreamingVerifier::SampleStatus StreamingVerifier::ingest(
   return status;
 }
 
-StreamingUplink::StreamingUplink(net::MessageBus& bus, std::string endpoint,
+StreamingUplink::StreamingUplink(net::Transport& bus, std::string endpoint,
                                  resource::RadioModel radio)
     : bus_(bus), endpoint_(std::move(endpoint)), radio_(radio) {}
 

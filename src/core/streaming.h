@@ -22,7 +22,7 @@
 #include "core/poa.h"
 #include "core/sufficiency.h"
 #include "crypto/rsa.h"
-#include "net/message_bus.h"
+#include "net/transport.h"
 #include "resource/cost_model.h"
 
 namespace alidrone::core {
@@ -68,7 +68,7 @@ class StreamingVerifier {
 /// radio energy spent, so the end-of-flight alternative can be compared.
 class StreamingUplink {
  public:
-  StreamingUplink(net::MessageBus& bus, std::string endpoint,
+  StreamingUplink(net::Transport& bus, std::string endpoint,
                   resource::RadioModel radio = {});
 
   /// Transmit one recorded sample; returns false on a dropped link
@@ -88,7 +88,7 @@ class StreamingUplink {
                                std::size_t signature_bytes) const;
 
  private:
-  net::MessageBus& bus_;
+  net::Transport& bus_;
   std::string endpoint_;
   resource::RadioModel radio_;
   std::vector<SignedSample> queue_;

@@ -293,7 +293,7 @@ std::uint64_t read_be64(const crypto::Bytes& b) {
 
 /// Fire-and-forget send: returns the decoded ack, nullopt on a bus drop
 /// (TimeoutError) — the lossy-broadcast contract.
-std::optional<TeslaAck> broadcast(net::MessageBus& bus,
+std::optional<TeslaAck> broadcast(net::Transport& bus,
                                   const std::string& endpoint,
                                   const crypto::Bytes& frame) {
   try {
@@ -308,7 +308,7 @@ std::optional<TeslaAck> broadcast(net::MessageBus& bus,
 TeslaFlightResult run_tesla_broadcast_flight(tee::DroneTee& tee,
                                              gps::GpsReceiverSim& receiver,
                                              SamplingPolicy& policy,
-                                             net::MessageBus& bus,
+                                             net::Transport& bus,
                                              const DroneId& drone_id,
                                              const TeslaFlightConfig& config) {
   TeslaFlightResult result;

@@ -43,7 +43,7 @@
 #include "core/sampler.h"
 #include "crypto/hash_chain.h"
 #include "gps/receiver_sim.h"
-#include "net/message_bus.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "tee/sample_codec.h"
 #include "tee/secure_monitor.h"
@@ -198,7 +198,7 @@ struct TeslaFlightResult {
 TeslaFlightResult run_tesla_broadcast_flight(tee::DroneTee& tee,
                                              gps::GpsReceiverSim& receiver,
                                              SamplingPolicy& policy,
-                                             net::MessageBus& bus,
+                                             net::Transport& bus,
                                              const DroneId& drone_id,
                                              const TeslaFlightConfig& config);
 

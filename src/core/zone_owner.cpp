@@ -35,7 +35,7 @@ AccusationRequest ZoneOwner::make_accusation(const ZoneId& zone_id,
   return request;
 }
 
-ZoneId ZoneOwner::register_zone(net::MessageBus& bus, const geo::GeoZone& zone,
+ZoneId ZoneOwner::register_zone(net::Transport& bus, const geo::GeoZone& zone,
                                 const std::string& description,
                                 const std::string& auditor_prefix) const {
   const crypto::Bytes reply =
@@ -47,7 +47,7 @@ ZoneId ZoneOwner::register_zone(net::MessageBus& bus, const geo::GeoZone& zone,
 }
 
 std::optional<AccusationResponse> ZoneOwner::accuse(
-    net::MessageBus& bus, const ZoneId& zone_id, const DroneId& drone_id,
+    net::Transport& bus, const ZoneId& zone_id, const DroneId& drone_id,
     double incident_time, const std::string& auditor_prefix) const {
   const crypto::Bytes reply =
       bus.request(auditor_prefix + ".accuse",

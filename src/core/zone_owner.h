@@ -10,7 +10,7 @@
 #include "core/protocol_types.h"
 #include "crypto/random.h"
 #include "crypto/rsa.h"
-#include "net/message_bus.h"
+#include "net/transport.h"
 
 namespace alidrone::core {
 
@@ -35,7 +35,7 @@ class ZoneOwner {
   /// Convenience: register a zone over the bus. Returns the issued id
   /// ("" on rejection). `auditor_prefix` addresses a specific replica in
   /// a federated deployment.
-  ZoneId register_zone(net::MessageBus& bus, const geo::GeoZone& zone,
+  ZoneId register_zone(net::Transport& bus, const geo::GeoZone& zone,
                        const std::string& description,
                        const std::string& auditor_prefix = "auditor") const;
 
@@ -43,7 +43,7 @@ class ZoneOwner {
   /// adjudicate it from its replicated retention. Nullopt on an
   /// undecodable reply.
   std::optional<AccusationResponse> accuse(
-      net::MessageBus& bus, const ZoneId& zone_id, const DroneId& drone_id,
+      net::Transport& bus, const ZoneId& zone_id, const DroneId& drone_id,
       double incident_time, const std::string& auditor_prefix = "auditor") const;
 
  private:

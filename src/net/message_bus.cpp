@@ -4,23 +4,13 @@
 
 namespace alidrone::net {
 
-const crypto::Bytes& retry_later_reply() {
-  static const crypto::Bytes reply = {0xB5, 'R', 'E', 'T', 'R', 'Y'};
-  return reply;
-}
-
-bool is_retry_later(std::span<const std::uint8_t> response) {
-  const crypto::Bytes& sentinel = retry_later_reply();
-  return response.size() == sentinel.size() &&
-         std::equal(response.begin(), response.end(), sentinel.begin());
-}
-
 std::string to_string(FaultKind kind) {
   switch (kind) {
     case FaultKind::kOutage: return "outage";
     case FaultKind::kResponseLoss: return "response-loss";
     case FaultKind::kCorruptResponse: return "corrupt-response";
     case FaultKind::kLatency: return "latency";
+    case FaultKind::kStall: return "stall";
   }
   return "?";
 }
@@ -98,6 +88,9 @@ crypto::Bytes MessageBus::request(const std::string& endpoint,
         dropped_->increment();
         throw TimeoutError(endpoint);
       case FaultKind::kResponseLoss:
+      case FaultKind::kStall:
+        // On the synchronous bus a stalled peer is indistinguishable from
+        // a lost response: the handler ran, the caller times out.
         lose_response = true;
         break;
       case FaultKind::kCorruptResponse:

@@ -26,29 +26,12 @@
 
 #include "crypto/bytes.h"
 #include "crypto/random.h"
+#include "net/transport.h"
 #include "obs/clock.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace alidrone::net {
-
-/// Backpressure sentinel: an overloaded endpoint returns this instead of a
-/// real response to tell the caller "valid request, no capacity — retry
-/// later". The first byte (0xB5) can never open a legitimate protocol
-/// message (all of them start with a status byte of 0 or 1 or a u32
-/// length whose low byte is small), so callers can distinguish it without
-/// a length prefix. ReliableChannel treats it as retryable without
-/// charging the circuit breaker (the server is alive, just busy).
-const crypto::Bytes& retry_later_reply();
-bool is_retry_later(std::span<const std::uint8_t> response);
-
-/// Raised at the caller when a request (or its response) is dropped
-/// (models a timeout).
-class TimeoutError : public std::runtime_error {
- public:
-  explicit TimeoutError(const std::string& endpoint)
-      : std::runtime_error("request to '" + endpoint + "' timed out") {}
-};
 
 /// What a scheduled fault window does to matching requests.
 enum class FaultKind : std::uint8_t {
@@ -56,6 +39,11 @@ enum class FaultKind : std::uint8_t {
   kResponseLoss,     ///< handler runs, its response is lost; caller times out
   kCorruptResponse,  ///< handler runs, response bytes are flipped in transit
   kLatency,          ///< response delayed; seconds advanced on the bus clock
+  kStall,            ///< peer goes silent: on a socket the server parks the
+                     ///< request until the window ends (the caller's deadline
+                     ///< expires first); on the bus the handler runs but the
+                     ///< response is lost — either way the work may have
+                     ///< happened and only dedup makes the retry safe
 };
 
 std::string to_string(FaultKind kind);
@@ -77,16 +65,16 @@ struct FaultWindow {
   }
 };
 
-class MessageBus {
+class MessageBus : public Transport {
  public:
-  using Handler = std::function<crypto::Bytes(const crypto::Bytes&)>;
+  using Handler = Transport::Handler;
 
   /// Counters register under an instance scope of "net.bus" in `registry`
   /// (the process-wide registry when null).
   explicit MessageBus(obs::MetricsRegistry* registry = nullptr);
 
   /// Register a named endpoint; replaces any previous handler.
-  void register_endpoint(const std::string& name, Handler handler);
+  void register_endpoint(const std::string& name, Handler handler) override;
 
   /// Send a request and wait for the response. Throws TimeoutError when
   /// fault injection drops the message (or loses the response after the
@@ -96,7 +84,9 @@ class MessageBus {
   /// (the caller sees the first response) — handlers must be idempotent or
   /// defend with nonces/content dedup, which is what the protocol's zone
   /// query nonce and the Auditor's proof-digest cache are for.
-  crypto::Bytes request(const std::string& endpoint, const crypto::Bytes& payload);
+  crypto::Bytes request(const std::string& endpoint,
+                        const crypto::Bytes& payload) override;
+  using Transport::request;  // deadline overload (synchronous: forwards)
 
   struct FaultConfig {
     double drop_probability = 0.0;
@@ -112,10 +102,12 @@ class MessageBus {
   /// seconds advance this clock directly, so the caller's backoff
   /// deadlines and the fault windows share one timeline. Without a clock,
   /// bus time is 0 and only windows covering t=0 fire.
-  void set_clock(obs::VirtualClock* clock) { clock_ = clock; }
+  void set_clock(obs::VirtualClock* clock) override { clock_ = clock; }
 
   /// Trace every request and injected fault into `recorder` (null stops).
-  void set_trace(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+  void set_trace(obs::FlightRecorder* recorder) override {
+    recorder_ = recorder;
+  }
 
   std::uint64_t requests_sent() const { return sent_->value(); }
   std::uint64_t requests_dropped() const { return dropped_->value(); }

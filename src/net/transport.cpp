@@ -1,0 +1,18 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+namespace alidrone::net {
+
+const crypto::Bytes& retry_later_reply() {
+  static const crypto::Bytes reply = {0xB5, 'R', 'E', 'T', 'R', 'Y'};
+  return reply;
+}
+
+bool is_retry_later(std::span<const std::uint8_t> response) {
+  const crypto::Bytes& sentinel = retry_later_reply();
+  return response.size() == sentinel.size() &&
+         std::equal(response.begin(), response.end(), sentinel.begin());
+}
+
+}  // namespace alidrone::net

@@ -1,0 +1,102 @@
+// net::Transport — the endpoint abstraction every protocol party talks
+// through.
+//
+// A transport carries named request/response endpoints: servers
+// register_endpoint() handlers, clients request() them and get the
+// handler's reply bytes back. Two implementations exist:
+//
+//   - net::MessageBus: the in-process bus with seeded fault injection —
+//     every test and chaos scenario runs on it;
+//   - net::TransportClient / net::TransportServer (src/net/transport/):
+//     length-prefixed CRC-framed messages over real TCP / Unix-domain
+//     sockets behind an epoll reactor, for multi-process deployments
+//     (examples/alidrone_auditord).
+//
+// Because DroneClient, ReliableChannel, Auditor::bind, AuditorIngest and
+// ReplicatedAuditor are written against this interface, the same protocol
+// code runs unmodified in-process and over loopback sockets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+
+namespace alidrone::net {
+
+/// Backpressure sentinel: an overloaded endpoint returns this instead of a
+/// real response to tell the caller "valid request, no capacity — retry
+/// later". The first byte (0xB5) can never open a legitimate protocol
+/// message (all of them start with a status byte of 0 or 1 or a u32
+/// length whose low byte is small), so callers can distinguish it without
+/// a length prefix. ReliableChannel treats it as retryable without
+/// charging the circuit breaker (the server is alive, just busy).
+const crypto::Bytes& retry_later_reply();
+bool is_retry_later(std::span<const std::uint8_t> response);
+
+/// Raised at the caller when a request (or its response) is dropped
+/// (models a timeout). On a real socket this is a killed connection, a
+/// reset, or a response that never arrived.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& endpoint)
+      : std::runtime_error("request to '" + endpoint + "' timed out") {}
+};
+
+/// A TimeoutError whose cause is a *deadline*: the peer accepted the
+/// connection but sent no bytes back before the caller's per-attempt
+/// budget ran out (hung socket, stalled read, overload). ReliableChannel
+/// counts these separately (resilience.channel#N.deadline_expired) —
+/// without a deadline a hung socket would block the caller forever,
+/// because unlike the in-process bus nothing throws synchronously.
+class DeadlineExpired : public TimeoutError {
+ public:
+  explicit DeadlineExpired(const std::string& endpoint)
+      : TimeoutError(endpoint) {}
+};
+
+/// Request/response endpoint carrier. Implementations must preserve the
+/// contract MessageBus established: request() returns the handler's reply
+/// bytes, throws TimeoutError when the message (or its reply) is lost,
+/// and std::out_of_range for an endpoint nobody registered. Handlers may
+/// run on transport-owned threads — servers make them thread-safe.
+class Transport {
+ public:
+  using Handler = std::function<crypto::Bytes(const crypto::Bytes&)>;
+
+  virtual ~Transport() = default;
+
+  /// Register a named endpoint; replaces any previous handler.
+  virtual void register_endpoint(const std::string& name, Handler handler) = 0;
+
+  /// Send a request and wait for the response (no deadline — a hung peer
+  /// blocks until the transport itself gives up).
+  virtual crypto::Bytes request(const std::string& endpoint,
+                                const crypto::Bytes& payload) = 0;
+
+  /// Deadline-bounded request: give up and throw DeadlineExpired after
+  /// `deadline_s` seconds without a response. Synchronous transports (the
+  /// in-process bus) answer before any deadline can expire, so the
+  /// default forwards to the unbounded overload; socket transports wait
+  /// on real time. `deadline_s` <= 0 means no deadline.
+  virtual crypto::Bytes request(const std::string& endpoint,
+                                const crypto::Bytes& payload,
+                                double deadline_s) {
+    (void)deadline_s;
+    return request(endpoint, payload);
+  }
+
+  /// Adopt `clock` as the transport's time authority (fault schedules,
+  /// injected latency). Transports that run on real time ignore it.
+  virtual void set_clock(obs::VirtualClock* clock) { (void)clock; }
+
+  /// Trace transport events into `recorder` (null stops). Optional.
+  virtual void set_trace(obs::FlightRecorder* recorder) { (void)recorder; }
+};
+
+}  // namespace alidrone::net

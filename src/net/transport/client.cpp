@@ -1,0 +1,230 @@
+#include "net/transport/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <stdexcept>
+
+#include "net/transport/frame.h"
+#include "net/transport/sockets.h"
+
+namespace alidrone::net::transport {
+
+TransportClient::TransportClient(Config config)
+    : config_(std::move(config)), pool_(64, config_.registry) {
+  obs::MetricsRegistry& reg = config_.registry != nullptr
+                                  ? *config_.registry
+                                  : obs::MetricsRegistry::global();
+  const std::string scope = reg.instance_scope("net.transport.client");
+  requests_ = &reg.counter(scope + ".requests");
+  connects_ = &reg.counter(scope + ".connects");
+  resets_ = &reg.counter(scope + ".resets");
+  deadline_expired_ = &reg.counter(scope + ".deadline_expired");
+
+  const std::size_t n = std::max<std::size_t>(config_.connections, 1);
+  channels_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+}
+
+TransportClient::~TransportClient() {
+  closing_.store(true, std::memory_order_release);
+  for (auto& channel : channels_) {
+    std::lock_guard<std::mutex> conn_lock(channel->conn_mu);
+    if (channel->fd >= 0) shutdown(channel->fd, SHUT_RDWR);
+    if (channel->reader.joinable()) channel->reader.join();
+    if (channel->fd >= 0) {
+      close(channel->fd);
+      channel->fd = -1;
+    }
+  }
+}
+
+void TransportClient::register_endpoint(const std::string& name, Handler) {
+  throw std::logic_error("TransportClient: cannot register endpoint '" + name +
+                         "' on the client side");
+}
+
+void TransportClient::ensure_connected(Channel& channel) {
+  std::lock_guard<std::mutex> conn_lock(channel.conn_mu);
+  {
+    std::lock_guard<std::mutex> lock(channel.mu);
+    if (!channel.dead) return;
+  }
+  // The reader marks the channel dead just before returning, so the join
+  // below only ever waits out that last instant.
+  if (channel.reader.joinable()) channel.reader.join();
+  if (channel.fd >= 0) {
+    close(channel.fd);
+    channel.fd = -1;
+  }
+  const int fd = connect_socket(config_.address, config_.connect_timeout_s);
+  {
+    std::lock_guard<std::mutex> lock(channel.mu);
+    channel.fd = fd;
+    channel.dead = false;
+  }
+  connects_->increment();
+  channel.reader = std::thread([this, &channel] { reader_loop(channel); });
+}
+
+void TransportClient::fail_channel(Channel& channel) {
+  std::lock_guard<std::mutex> lock(channel.mu);
+  channel.dead = true;
+  for (auto& [correlation, pending] : channel.pending) {
+    if (!pending.done) {
+      pending.done = true;
+      pending.failed = true;
+    }
+  }
+  channel.cv.notify_all();
+}
+
+void TransportClient::reader_loop(Channel& channel) {
+  constexpr std::size_t kChunk = 16 * 1024;
+  FrameAssembler assembler(&pool_);
+  const int fd = channel.fd;  // stable until this thread exits
+  const auto noop = [](std::span<const std::uint8_t>) {
+    return std::string();
+  };
+  for (;;) {
+    const std::span<std::uint8_t> dst = assembler.writable(kChunk);
+    const ssize_t n = read(fd, dst.data(), dst.size());
+    if (n < 0 && errno == EINTR) {
+      assembler.commit(0, kChunk, noop);
+      continue;
+    }
+    if (n <= 0) break;  // EOF / reset: torn frame if assembler.mid_frame()
+    const std::string err = assembler.commit(
+        static_cast<std::size_t>(n), kChunk,
+        [&](std::span<const std::uint8_t> payload) -> std::string {
+          ResponseEnvelope response;
+          const std::string perr = parse_response(payload, response);
+          if (!perr.empty()) return perr;
+          std::lock_guard<std::mutex> lock(channel.mu);
+          const auto it = channel.pending.find(response.correlation_id);
+          if (it != channel.pending.end()) {
+            it->second.status = response.status;
+            it->second.body.assign(response.body.begin(), response.body.end());
+            it->second.done = true;
+            channel.cv.notify_all();
+          }
+          // Unmatched id: a chaos-stalled response outliving its waiter's
+          // deadline. Dropped — the retry is in flight with a fresh id.
+          return std::string();
+        });
+    if (!err.empty()) break;  // framing lost — the stream is unrecoverable
+  }
+  fail_channel(channel);
+}
+
+bool TransportClient::write_frame(Channel& channel, const crypto::Bytes& frame) {
+  std::lock_guard<std::mutex> conn_lock(channel.conn_mu);
+  {
+    std::lock_guard<std::mutex> lock(channel.mu);
+    if (channel.dead) return false;
+  }
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = send(channel.fd, frame.data() + off, frame.size() - off,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    fail_channel(channel);
+    return false;
+  }
+  return true;
+}
+
+crypto::Bytes TransportClient::request(const std::string& endpoint,
+                                       const crypto::Bytes& payload) {
+  return request(endpoint, payload, config_.default_deadline_s);
+}
+
+crypto::Bytes TransportClient::request(const std::string& endpoint,
+                                       const crypto::Bytes& payload,
+                                       double deadline_s) {
+  Channel& channel = *channels_[next_channel_.fetch_add(
+                                   1, std::memory_order_relaxed) %
+                               channels_.size()];
+  try {
+    ensure_connected(channel);
+  } catch (const std::exception&) {
+    // Unreachable server == dropped request: retryable ambiguity.
+    resets_->increment();
+    throw TimeoutError(endpoint);
+  }
+  requests_->increment();
+
+  const std::uint64_t correlation =
+      next_correlation_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(channel.mu);
+    channel.pending.emplace(correlation, Pending{});
+  }
+
+  crypto::Bytes frame = pool_.acquire();
+  append_request_frame(frame, correlation, endpoint, payload);
+  const bool written = write_frame(channel, frame);
+  frame.clear();
+  pool_.release(std::move(frame));
+  if (!written) {
+    std::lock_guard<std::mutex> lock(channel.mu);
+    channel.pending.erase(correlation);
+    resets_->increment();
+    throw TimeoutError(endpoint);
+  }
+
+  std::unique_lock<std::mutex> lock(channel.mu);
+  Pending& pending = channel.pending[correlation];
+  const auto ready = [&] { return pending.done; };
+  if (deadline_s > 0.0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::duration<double>(deadline_s));
+    if (!channel.cv.wait_until(lock, deadline, ready)) {
+      channel.pending.erase(correlation);
+      deadline_expired_->increment();
+      throw DeadlineExpired(endpoint);
+    }
+  } else {
+    channel.cv.wait(lock, ready);
+  }
+
+  Pending result = std::move(channel.pending[correlation]);
+  channel.pending.erase(correlation);
+  lock.unlock();
+
+  if (result.failed) {
+    resets_->increment();
+    throw TimeoutError(endpoint);
+  }
+  switch (result.status) {
+    case kStatusOk:
+      return std::move(result.body);
+    case kStatusUnknownEndpoint:
+      throw std::out_of_range("TransportClient: unknown endpoint '" + endpoint +
+                              "'");
+    default:
+      throw std::runtime_error(
+          std::string(result.body.begin(), result.body.end()));
+  }
+}
+
+TransportClient::Stats TransportClient::stats() const {
+  Stats s;
+  s.requests = requests_->value();
+  s.connects = connects_->value();
+  s.resets = resets_->value();
+  s.deadline_expired = deadline_expired_->value();
+  return s;
+}
+
+}  // namespace alidrone::net::transport

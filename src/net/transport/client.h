@@ -1,0 +1,108 @@
+// TransportClient — the caller-side net::Transport over a socket.
+//
+// A client owns a small pool of connections to one server address.
+// Requests pick a channel round-robin and multiplex on it: each request
+// carries a fresh correlation id, a per-channel reader thread demuxes
+// response frames back to the waiting callers, so many threads share a
+// few sockets without head-of-line blocking on the wire.
+//
+// Failure semantics mirror the in-process bus so ReliableChannel's retry
+// logic transfers unchanged:
+//   - connection refused / reset / torn mid-request  -> TimeoutError
+//     (the caller cannot know whether the handler ran — the dedup-or-die
+//     ambiguity the protocol already defends against)
+//   - per-attempt deadline elapsed with the socket hung -> DeadlineExpired
+//     (a TimeoutError subclass; ReliableChannel counts it separately)
+//   - server answered "unknown endpoint"              -> std::out_of_range
+// Channels reconnect lazily on the next request after a death.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "net/buffer_pool.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace alidrone::net::transport {
+
+class TransportClient : public Transport {
+ public:
+  struct Config {
+    std::string address;         ///< "tcp:host:port" or "uds:path"
+    std::size_t connections = 1; ///< pool size (multiplexed channels)
+    double connect_timeout_s = 5.0;
+    /// Deadline applied by the 2-arg request(); 0 = wait forever.
+    double default_deadline_s = 0.0;
+    obs::MetricsRegistry* registry = nullptr;
+  };
+
+  explicit TransportClient(Config config);
+  ~TransportClient() override;
+
+  TransportClient(const TransportClient&) = delete;
+  TransportClient& operator=(const TransportClient&) = delete;
+
+  /// Clients have no server side.
+  void register_endpoint(const std::string& name, Handler handler) override;
+
+  crypto::Bytes request(const std::string& endpoint,
+                        const crypto::Bytes& payload) override;
+  crypto::Bytes request(const std::string& endpoint,
+                        const crypto::Bytes& payload,
+                        double deadline_s) override;
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t connects = 0;   ///< successful (re)connections
+    std::uint64_t resets = 0;     ///< requests failed by a dead connection
+    std::uint64_t deadline_expired = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    bool done = false;
+    bool failed = false;  ///< connection died before the response
+    std::uint8_t status = 0;
+    crypto::Bytes body;
+  };
+  struct Channel {
+    std::mutex conn_mu;  ///< serialized (re)connects and socket writes
+    std::mutex mu;       ///< guards everything below
+    std::condition_variable cv;
+    int fd = -1;
+    bool dead = true;
+    std::thread reader;
+    std::map<std::uint64_t, Pending> pending;
+  };
+
+  /// Throws std::runtime_error when the server is unreachable.
+  void ensure_connected(Channel& channel);
+  void reader_loop(Channel& channel);
+  /// False on any write error (channel marked dead, waiters failed).
+  bool write_frame(Channel& channel, const crypto::Bytes& frame);
+  void fail_channel(Channel& channel);
+
+  Config config_;
+  BufferPool pool_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::atomic<std::uint64_t> next_channel_{0};
+  std::atomic<std::uint64_t> next_correlation_{1};
+  std::atomic<bool> closing_{false};
+
+  obs::Counter* requests_;
+  obs::Counter* connects_;
+  obs::Counter* resets_;
+  obs::Counter* deadline_expired_;
+};
+
+}  // namespace alidrone::net::transport

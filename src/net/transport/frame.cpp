@@ -1,0 +1,106 @@
+#include "net/transport/frame.h"
+
+namespace alidrone::net::transport {
+
+namespace {
+
+void append_u32(crypto::Bytes& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+void append_u64(crypto::Bytes& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+/// Patch the header in after the payload is written: the frame was
+/// appended as [8 zero bytes][payload], so one pass computes length and
+/// CRC without a scratch copy of the payload.
+void finish_frame(crypto::Bytes& out, std::size_t header_at) {
+  const std::size_t payload_len = out.size() - header_at - kFrameHeaderBytes;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload_len);
+  const std::uint32_t crc = ledger::crc32(
+      {out.data() + header_at + kFrameHeaderBytes, payload_len});
+  std::memcpy(out.data() + header_at, &len, 4);
+  std::memcpy(out.data() + header_at + 4, &crc, 4);
+}
+
+}  // namespace
+
+void append_request_frame(crypto::Bytes& out, std::uint64_t correlation_id,
+                          std::string_view endpoint,
+                          std::span<const std::uint8_t> body) {
+  const std::size_t header_at = out.size();
+  out.reserve(out.size() + kFrameHeaderBytes + 13 + endpoint.size() +
+              body.size());
+  out.resize(out.size() + kFrameHeaderBytes);  // header patched below
+  out.push_back(kEnvelopeRequest);
+  append_u64(out, correlation_id);
+  append_u32(out, static_cast<std::uint32_t>(endpoint.size()));
+  out.insert(out.end(), endpoint.begin(), endpoint.end());
+  out.insert(out.end(), body.begin(), body.end());
+  finish_frame(out, header_at);
+}
+
+void append_response_frame(crypto::Bytes& out, std::uint64_t correlation_id,
+                           std::uint8_t status,
+                           std::span<const std::uint8_t> body) {
+  const std::size_t header_at = out.size();
+  out.reserve(out.size() + kFrameHeaderBytes + 10 + body.size());
+  out.resize(out.size() + kFrameHeaderBytes);
+  out.push_back(kEnvelopeResponse);
+  append_u64(out, correlation_id);
+  out.push_back(status);
+  out.insert(out.end(), body.begin(), body.end());
+  finish_frame(out, header_at);
+}
+
+std::string parse_request(std::span<const std::uint8_t> payload,
+                          RequestEnvelope& out) {
+  if (payload.size() < 13) return "envelope: truncated";
+  if (payload[0] != kEnvelopeRequest) return "envelope: unknown type";
+  out.correlation_id = read_u64(payload.data() + 1);
+  const std::uint32_t endpoint_len = read_u32(payload.data() + 9);
+  if (payload.size() - 13 < endpoint_len) {
+    return "envelope: bad endpoint length";
+  }
+  out.endpoint = std::string_view(
+      reinterpret_cast<const char*>(payload.data() + 13), endpoint_len);
+  out.body = payload.subspan(13 + endpoint_len);
+  return "";
+}
+
+std::string parse_response(std::span<const std::uint8_t> payload,
+                           ResponseEnvelope& out) {
+  if (payload.size() < 10) return "envelope: truncated";
+  if (payload[0] != kEnvelopeResponse) return "envelope: unknown type";
+  out.correlation_id = read_u64(payload.data() + 1);
+  out.status = payload[9];
+  out.body = payload.subspan(10);
+  return "";
+}
+
+FrameAssembler::FrameAssembler(BufferPool* pool) : pool_(pool) {
+  if (pool_ != nullptr) buf_ = pool_->acquire();
+}
+
+FrameAssembler::~FrameAssembler() {
+  if (pool_ != nullptr) pool_->release(std::move(buf_));
+}
+
+}  // namespace alidrone::net::transport

@@ -1,0 +1,186 @@
+// Wire framing for the socket transport.
+//
+// A TCP or Unix-domain stream has no message boundaries, so every
+// transport message travels as one frame:
+//
+//   u32 payload_len (LE) | u32 crc32(payload) (LE) | payload
+//
+// The CRC is not a security boundary (the protocol's signatures are) — it
+// catches torn or corrupted frames at the transport layer so a damaged
+// stream is rejected with an exact, testable error instead of feeding
+// garbage into the protocol parsers. Inside the payload, an envelope
+// multiplexes request/response messages with correlation ids:
+//
+//   request  := 0x01 | u64 correlation_id | u32 endpoint_len | endpoint | body
+//   response := 0x02 | u64 correlation_id | u8 status          | body
+//
+// status: 0 = ok (body is the handler's reply), 1 = unknown endpoint
+// (body empty; the caller surfaces std::out_of_range, matching the
+// in-process bus).
+//
+// FrameAssembler is the incremental parser both the reactor and the
+// client reader use: feed it whatever chunk sizes the socket produces —
+// a frame split at every byte boundary reassembles identically — and it
+// yields complete payload spans *borrowing its internal buffer*, so the
+// zero-copy decode_view path runs straight off the wire. The buffer is
+// checked out of a net::BufferPool; steady-state traffic recycles its
+// capacity instead of allocating.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "ledger/crc32.h"
+#include "net/buffer_pool.h"
+
+namespace alidrone::net::transport {
+
+/// Hard ceiling on one frame's payload. Bigger lengths are rejected
+/// before any buffering, so a hostile or corrupted length prefix cannot
+/// make the peer allocate unbounded memory.
+inline constexpr std::size_t kMaxFramePayload = 16u * 1024u * 1024u;
+
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Envelope type bytes (first payload byte).
+inline constexpr std::uint8_t kEnvelopeRequest = 0x01;
+inline constexpr std::uint8_t kEnvelopeResponse = 0x02;
+
+/// Response status bytes.
+inline constexpr std::uint8_t kStatusOk = 0;
+inline constexpr std::uint8_t kStatusUnknownEndpoint = 1;
+/// Handler threw; body carries what() and the client rethrows it as a
+/// std::runtime_error (the bus propagates handler exceptions in-process).
+inline constexpr std::uint8_t kStatusHandlerError = 2;
+
+// ---- encoding ----------------------------------------------------------
+
+/// Append one framed request to `out`: header + request envelope.
+void append_request_frame(crypto::Bytes& out, std::uint64_t correlation_id,
+                          std::string_view endpoint,
+                          std::span<const std::uint8_t> body);
+
+/// Append one framed response to `out`: header + response envelope.
+void append_response_frame(crypto::Bytes& out, std::uint64_t correlation_id,
+                           std::uint8_t status,
+                           std::span<const std::uint8_t> body);
+
+// ---- decoding ----------------------------------------------------------
+
+/// A request envelope parsed out of a frame payload. Views borrow the
+/// frame (valid until the assembler consumes the next chunk).
+struct RequestEnvelope {
+  std::uint64_t correlation_id = 0;
+  std::string_view endpoint;
+  std::span<const std::uint8_t> body;
+};
+
+/// A response envelope parsed out of a frame payload (body borrows).
+struct ResponseEnvelope {
+  std::uint64_t correlation_id = 0;
+  std::uint8_t status = kStatusOk;
+  std::span<const std::uint8_t> body;
+};
+
+/// Parse one envelope; returns "" on success or the exact reject string
+/// ("envelope: truncated", "envelope: unknown type",
+/// "envelope: bad endpoint length").
+std::string parse_request(std::span<const std::uint8_t> payload,
+                          RequestEnvelope& out);
+std::string parse_response(std::span<const std::uint8_t> payload,
+                           ResponseEnvelope& out);
+
+/// Incremental frame reassembly. Not thread-safe: one assembler per
+/// connection, driven by that connection's reader.
+class FrameAssembler {
+ public:
+  /// The internal accumulation buffer is checked out of `pool` (capacity
+  /// retained from its previous use) and returned on destruction; without
+  /// a pool it is plain heap memory.
+  explicit FrameAssembler(BufferPool* pool = nullptr);
+  ~FrameAssembler();
+
+  FrameAssembler(const FrameAssembler&) = delete;
+  FrameAssembler& operator=(const FrameAssembler&) = delete;
+
+  /// Feed `chunk` (any size, any split) and invoke
+  /// `on_frame(std::span<const std::uint8_t> payload)` for every complete
+  /// frame, in order. `on_frame` returns an error string ("" = keep
+  /// going); the payload span borrows the assembler and dies with the
+  /// call. Returns "" or the first error — the assembler's own exact
+  /// strings are "frame: oversized length" and "frame: bad crc". After an
+  /// error the assembler is poisoned: every further absorb() returns the
+  /// same error (the stream is unrecoverable once framing is lost).
+  template <typename OnFrame>
+  std::string absorb(std::span<const std::uint8_t> chunk, OnFrame&& on_frame) {
+    if (!error_.empty()) return error_;
+    buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+    return parse_buffered(on_frame);
+  }
+
+  /// Zero-copy ingest path for the reactor: writable(n) grows the buffer
+  /// and returns the n-byte tail for recv() to land in; commit(n) shrinks
+  /// to the bytes actually read and parses. Reads go straight into the
+  /// pooled buffer — no intermediate chunk copy.
+  std::span<std::uint8_t> writable(std::size_t chunk) {
+    const std::size_t used = buf_.size();
+    buf_.resize(used + chunk);
+    return {buf_.data() + used, chunk};
+  }
+
+  template <typename OnFrame>
+  std::string commit(std::size_t written, std::size_t chunk,
+                     OnFrame&& on_frame) {
+    buf_.resize(buf_.size() - (chunk - written));
+    if (!error_.empty()) return error_;
+    return parse_buffered(on_frame);
+  }
+
+  /// True while bytes of an incomplete frame are buffered — an EOF here
+  /// is a torn frame (the peer died mid-message).
+  bool mid_frame() const { return !buf_.empty(); }
+  std::size_t buffered() const { return buf_.size(); }
+  std::uint64_t frames() const { return frames_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  template <typename OnFrame>
+  std::string parse_buffered(OnFrame&& on_frame) {
+    std::size_t pos = 0;
+    while (buf_.size() - pos >= kFrameHeaderBytes) {
+      std::uint32_t len = 0;
+      std::uint32_t crc = 0;
+      std::memcpy(&len, buf_.data() + pos, 4);
+      std::memcpy(&crc, buf_.data() + pos + 4, 4);
+      if (len > kMaxFramePayload) {
+        error_ = "frame: oversized length";
+        break;
+      }
+      if (buf_.size() - pos - kFrameHeaderBytes < len) break;  // incomplete
+      const std::span<const std::uint8_t> payload(
+          buf_.data() + pos + kFrameHeaderBytes, len);
+      if (ledger::crc32(payload) != crc) {
+        error_ = "frame: bad crc";
+        break;
+      }
+      ++frames_;
+      error_ = on_frame(payload);
+      pos += kFrameHeaderBytes + len;
+      if (!error_.empty()) break;
+    }
+    // Compact: move the incomplete tail to the front so the buffer never
+    // grows past one frame + one chunk (capacity then recycles).
+    if (pos > 0) buf_.erase(buf_.begin(), buf_.begin() + pos);
+    return error_;
+  }
+
+  crypto::Bytes buf_;
+  BufferPool* pool_;
+  std::uint64_t frames_ = 0;
+  std::string error_;
+};
+
+}  // namespace alidrone::net::transport

@@ -1,0 +1,304 @@
+#include "net/transport/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace alidrone::net::transport {
+
+namespace {
+
+/// recv() chunk size. One frame of typical submission size (~hundreds of
+/// bytes) plus headroom; large frames just take several edges.
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+/// Internal absorb() sentinel: the dispatch asked for a connection kill.
+/// It rides the assembler's error channel (which also stops parsing any
+/// frames queued behind the killed request — they die with the socket)
+/// but is not a protocol error.
+const char kChaosKill[] = "chaos: kill";
+
+constexpr int kIdleTimeoutMs = 50;
+
+}  // namespace
+
+EventLoop::EventLoop(std::size_t index, BufferPool* pool, Dispatch dispatch,
+                     Counters counters, const obs::Clock* clock,
+                     obs::FlightRecorder* recorder)
+    : index_(index),
+      pool_(pool),
+      dispatch_(std::move(dispatch)),
+      counters_(counters),
+      clock_(clock),
+      recorder_(recorder) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    throw std::runtime_error("transport: epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // reserved id for the wake eventfd
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+void EventLoop::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop(double drain_deadline_s) {
+  if (!thread_.joinable()) return;
+  drain_deadline_s_ = drain_deadline_s;
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  thread_.join();
+}
+
+void EventLoop::adopt(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(fd);
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_inbox() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    fds.swap(inbox_);
+  }
+  for (const int fd : fds) {
+    if (stop_.load(std::memory_order_acquire)) {
+      close(fd);
+      continue;
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(fd, pool_);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.u64 = id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      close(fd);
+      continue;
+    }
+    counters_.conns_opened->increment();
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::TraceKind::kTransportConn, clock_->now(), 1,
+                        index_, "");
+    }
+    Conn& ref = *conn;
+    conns_.emplace(id, std::move(conn));
+    // Edge-triggered: data that raced the EPOLL_CTL_ADD may never edge
+    // again, so always attempt the first read eagerly.
+    handle_readable(id, ref);
+  }
+}
+
+void EventLoop::update_interest(std::uint64_t id, Conn& conn, bool want_write) {
+  if (conn.want_write == want_write) return;
+  conn.want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = id;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void EventLoop::close_conn(std::uint64_t id, Conn& conn, bool torn) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  close(conn.fd);
+  counters_.conns_closed->increment();
+  if (torn) counters_.torn_frames->increment();
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::TraceKind::kTransportConn, clock_->now(), 0, index_,
+                      torn ? "torn" : "");
+  }
+  conns_.erase(id);
+}
+
+bool EventLoop::flush(std::uint64_t id, Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        send(conn.fd, conn.out.data() + conn.out_off,
+             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      update_interest(id, conn, true);
+      return true;
+    }
+    close_conn(id, conn, false);  // peer reset mid-write
+    return false;
+  }
+  conn.out.clear();  // capacity retained for the next response
+  conn.out_off = 0;
+  update_interest(id, conn, false);
+  return true;
+}
+
+void EventLoop::handle_readable(std::uint64_t id, Conn& conn) {
+  for (;;) {
+    const std::span<std::uint8_t> dst = conn.in.writable(kReadChunk);
+    const ssize_t n = recv(conn.fd, dst.data(), dst.size(), 0);
+    if (n < 0 && errno == EINTR) {
+      conn.in.commit(0, kReadChunk, [](std::span<const std::uint8_t>) {
+        return std::string();
+      });
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      conn.in.commit(0, kReadChunk, [](std::span<const std::uint8_t>) {
+        return std::string();
+      });
+      return;
+    }
+    if (n <= 0) {  // EOF or hard error
+      conn.in.commit(0, kReadChunk, [](std::span<const std::uint8_t>) {
+        return std::string();
+      });
+      close_conn(id, conn, conn.in.mid_frame());
+      return;
+    }
+
+    const std::string err = conn.in.commit(
+        static_cast<std::size_t>(n), kReadChunk,
+        [&](std::span<const std::uint8_t> payload) -> std::string {
+          counters_.frames_in->increment();
+          RequestEnvelope req;
+          const std::string perr = parse_request(payload, req);
+          if (!perr.empty()) return perr;
+          // Stage the body in the pooled scratch so the handler sees a
+          // crypto::Bytes without a fresh allocation per request.
+          conn.scratch.assign(req.body.begin(), req.body.end());
+          DispatchResult result = dispatch_(req, conn.scratch);
+          switch (result.action) {
+            case DispatchResult::Action::kKill:
+              return kChaosKill;
+            case DispatchResult::Action::kDrop:
+              return std::string();
+            case DispatchResult::Action::kDelay:
+              timers_.push(Timer{clock_->now() + result.delay_s, id,
+                                 req.correlation_id, result.status,
+                                 std::move(result.body)});
+              return std::string();
+            case DispatchResult::Action::kRespond:
+              append_response_frame(conn.out, req.correlation_id,
+                                    result.status, result.body);
+              counters_.frames_out->increment();
+              return std::string();
+          }
+          return std::string();
+        });
+    if (!err.empty()) {
+      if (err != kChaosKill) counters_.protocol_errors->increment();
+      close_conn(id, conn, false);
+      return;
+    }
+    if (!flush(id, conn)) return;  // conn died mid-write
+  }
+}
+
+void EventLoop::fire_due_timers() {
+  const double now = clock_->now();
+  while (!timers_.empty() && timers_.top().due <= now) {
+    Timer timer = timers_.top();
+    timers_.pop();
+    const auto it = conns_.find(timer.conn_id);
+    if (it == conns_.end()) continue;  // connection died while parked
+    Conn& conn = *it->second;
+    append_response_frame(conn.out, timer.correlation_id, timer.status,
+                          timer.body);
+    counters_.frames_out->increment();
+    flush(timer.conn_id, conn);
+  }
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timers_.empty()) return kIdleTimeoutMs;
+  const double wait_s = timers_.top().due - clock_->now();
+  if (wait_s <= 0.0) return 0;
+  return std::min(kIdleTimeoutMs,
+                  static_cast<int>(wait_s * 1000.0) + 1);
+}
+
+void EventLoop::run() {
+  epoll_event events[64];
+  obs::SteadyClock drain_clock;
+  double drain_started = -1.0;
+  for (;;) {
+    const int n =
+        epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == 0) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn& conn = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        close_conn(id, conn, conn.in.mid_frame());
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!flush(id, conn)) continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        handle_readable(id, conn);
+      }
+    }
+    drain_inbox();
+    fire_due_timers();
+
+    if (stop_.load(std::memory_order_acquire)) {
+      if (drain_started < 0.0) drain_started = drain_clock.now();
+      // Drain: flush what is pending, then close. Parked chaos timers are
+      // abandoned (their callers' deadlines expired long ago).
+      bool pending = false;
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        const std::uint64_t id = it->first;
+        Conn& conn = *it->second;
+        ++it;  // flush/close may erase
+        if (conn.out_off >= conn.out.size()) {
+          close_conn(id, conn, false);
+        } else if (flush(id, conn) && conn.out_off < conn.out.size()) {
+          pending = true;
+        }
+      }
+      if (!pending || drain_clock.now() - drain_started > drain_deadline_s_) {
+        for (auto it = conns_.begin(); it != conns_.end();) {
+          const std::uint64_t id = it->first;
+          Conn& conn = *it->second;
+          ++it;
+          close_conn(id, conn, false);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace alidrone::net::transport

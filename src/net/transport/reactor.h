@@ -1,0 +1,158 @@
+// The transport's event loop: one epoll instance, edge-triggered, driven
+// by one worker thread. A TransportServer runs N of these; an acceptor
+// hands each new connection to a loop round-robin via adopt(), which
+// enqueues the fd and pokes the loop's eventfd.
+//
+// Per connection the loop keeps a FrameAssembler whose accumulation
+// buffer is checked out of the server's BufferPool — recv() lands
+// directly in that pooled buffer (writable()/commit()), so a decoded
+// request body is a span over pooled memory and the zero-copy
+// decode_view path runs straight off the wire.
+//
+// Chaos hooks: the dispatch callback returns an action, and the loop is
+// the mechanism — kKill closes the socket mid-conversation, kDelay parks
+// the finished response on a timer heap until its due time (used for
+// both injected latency and stalled-peer windows), kDrop discards it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "net/buffer_pool.h"
+#include "net/transport/frame.h"
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace alidrone::net::transport {
+
+/// What the server decided to do with one parsed request.
+struct DispatchResult {
+  enum class Action : std::uint8_t {
+    kRespond,  ///< send status+body now
+    kDelay,    ///< send status+body after delay_s (latency / stall chaos)
+    kDrop,     ///< handler ran, response discarded (response-loss chaos)
+    kKill,     ///< close the connection without answering (outage chaos)
+  };
+  Action action = Action::kRespond;
+  std::uint8_t status = kStatusOk;
+  crypto::Bytes body;
+  double delay_s = 0.0;
+};
+
+class EventLoop {
+ public:
+  /// Runs on the loop thread for every request frame. `body` is the
+  /// request body copied into a pooled per-connection scratch buffer
+  /// (steady-state: capacity reuse, no allocation).
+  using Dispatch =
+      std::function<DispatchResult(const RequestEnvelope&, const crypto::Bytes&)>;
+
+  /// Registry handles owned by the server; every loop bumps the same set.
+  struct Counters {
+    obs::Counter* conns_opened = nullptr;
+    obs::Counter* conns_closed = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* torn_frames = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+  };
+
+  EventLoop(std::size_t index, BufferPool* pool, Dispatch dispatch,
+            Counters counters, const obs::Clock* clock,
+            obs::FlightRecorder* recorder);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  void start();
+  /// Graceful drain: in-flight requests (frames already received) finish
+  /// and their responses flush, bounded by `drain_deadline_s`; then every
+  /// connection closes and the thread joins. Idempotent.
+  void stop(double drain_deadline_s = 2.0);
+
+  /// Hand a non-blocking connected socket to this loop (thread-safe;
+  /// takes ownership of the fd).
+  void adopt(int fd);
+
+  std::size_t index() const { return index_; }
+
+ private:
+  struct Conn {
+    explicit Conn(int f, BufferPool* pool)
+        : fd(f), in(pool), scratch_pool(pool) {
+      if (pool != nullptr) {
+        out = pool->acquire();
+        scratch = pool->acquire();
+      }
+    }
+    ~Conn() {
+      if (scratch_pool != nullptr) {
+        scratch_pool->release(std::move(out));
+        scratch_pool->release(std::move(scratch));
+      }
+    }
+    int fd;
+    FrameAssembler in;
+    crypto::Bytes out;        ///< pooled pending-write buffer
+    std::size_t out_off = 0;  ///< flushed prefix of `out`
+    crypto::Bytes scratch;    ///< pooled request-body staging for dispatch
+    bool want_write = false;  ///< EPOLLOUT armed
+    BufferPool* scratch_pool;
+  };
+
+  /// A chaos-delayed response waiting for its due time.
+  struct Timer {
+    double due = 0.0;
+    std::uint64_t conn_id = 0;
+    std::uint64_t correlation_id = 0;
+    std::uint8_t status = kStatusOk;
+    crypto::Bytes body;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      return a.due > b.due;
+    }
+  };
+
+  void run();
+  void drain_inbox();
+  void handle_readable(std::uint64_t id, Conn& conn);
+  /// Returns false when the connection died mid-flush (already closed).
+  bool flush(std::uint64_t id, Conn& conn);
+  void fire_due_timers();
+  void close_conn(std::uint64_t id, Conn& conn, bool torn);
+  void update_interest(std::uint64_t id, Conn& conn, bool want_write);
+  int next_timeout_ms() const;
+
+  std::size_t index_;
+  BufferPool* pool_;
+  Dispatch dispatch_;
+  Counters counters_;
+  const obs::Clock* clock_;
+  obs::FlightRecorder* recorder_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  double drain_deadline_s_ = 2.0;
+
+  std::mutex inbox_mu_;
+  std::vector<int> inbox_;
+
+  std::uint64_t next_conn_id_ = 1;  ///< 0 is the wake eventfd
+  std::map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+};
+
+}  // namespace alidrone::net::transport

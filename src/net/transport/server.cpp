@@ -1,0 +1,255 @@
+#include "net/transport/server.h"
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "net/transport/sockets.h"
+
+namespace alidrone::net::transport {
+
+TransportServer::TransportServer(Config config)
+    : config_(std::move(config)),
+      clock_(&steady_),
+      pool_(config_.pool_buffers, config_.registry) {
+  obs::MetricsRegistry& reg = config_.registry != nullptr
+                                  ? *config_.registry
+                                  : obs::MetricsRegistry::global();
+  const std::string scope = reg.instance_scope("net.transport.server");
+  conns_opened_ = &reg.counter(scope + ".conns_opened");
+  conns_closed_ = &reg.counter(scope + ".conns_closed");
+  frames_in_ = &reg.counter(scope + ".frames_in");
+  frames_out_ = &reg.counter(scope + ".frames_out");
+  torn_frames_ = &reg.counter(scope + ".torn_frames");
+  protocol_errors_ = &reg.counter(scope + ".protocol_errors");
+  requests_handled_ = &reg.counter(scope + ".requests_handled");
+  unknown_endpoints_ = &reg.counter(scope + ".unknown_endpoints");
+  chaos_kills_ = &reg.counter(scope + ".chaos_kills");
+  chaos_drops_ = &reg.counter(scope + ".chaos_drops");
+  chaos_corruptions_ = &reg.counter(scope + ".chaos_corruptions");
+  chaos_delays_ = &reg.counter(scope + ".chaos_delays");
+  chaos_stalls_ = &reg.counter(scope + ".chaos_stalls");
+}
+
+TransportServer::~TransportServer() { stop(); }
+
+void TransportServer::set_faults(const ChaosConfig& chaos) {
+  chaos_ = chaos;
+  rng_ = crypto::DeterministicRandom(chaos.seed);
+}
+
+void TransportServer::register_endpoint(const std::string& name,
+                                        Handler handler) {
+  std::unique_lock lock(endpoints_mu_);
+  endpoints_[name] = std::move(handler);
+}
+
+crypto::Bytes TransportServer::request(const std::string& endpoint,
+                                       const crypto::Bytes& payload) {
+  Handler handler;
+  {
+    std::shared_lock lock(endpoints_mu_);
+    const auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) {
+      throw std::out_of_range("TransportServer: unknown endpoint '" +
+                              endpoint + "'");
+    }
+    handler = it->second;
+  }
+  return handler(payload);
+}
+
+void TransportServer::trace_chaos(FaultKind kind, double now,
+                                  std::string_view endpoint) {
+  if (recorder_ == nullptr) return;
+  recorder_->record(obs::TraceKind::kTransportChaos, now,
+                    static_cast<std::uint64_t>(kind), 0,
+                    to_string(kind) + ":" + std::string(endpoint));
+}
+
+DispatchResult TransportServer::dispatch(const RequestEnvelope& request,
+                                         const crypto::Bytes& body) {
+  DispatchResult out;
+  const std::string endpoint(request.endpoint);
+  const double now = clock_->now();
+
+  bool lose_response = false;
+  bool corrupt_response = false;
+  double delay = 0.0;
+  for (const FaultWindow& window : chaos_.schedule) {
+    if (!window.matches(endpoint, now)) continue;
+    if (window.probability < 1.0) {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      if (rng_.uniform_double() >= window.probability) continue;
+    }
+    trace_chaos(window.kind, now, endpoint);
+    switch (window.kind) {
+      case FaultKind::kOutage:
+        // The request never reaches the handler — and on a real socket
+        // "never reaches" means the connection dies under the caller.
+        chaos_kills_->increment();
+        out.action = DispatchResult::Action::kKill;
+        return out;
+      case FaultKind::kResponseLoss:
+        chaos_drops_->increment();
+        lose_response = true;
+        break;
+      case FaultKind::kCorruptResponse:
+        chaos_corruptions_->increment();
+        corrupt_response = true;
+        break;
+      case FaultKind::kLatency:
+        chaos_delays_->increment();
+        delay += window.latency_s;
+        break;
+      case FaultKind::kStall:
+        // Peer goes silent: the handler runs (work happens server-side)
+        // but the response is parked until the window closes. The
+        // caller's deadline fires first; its retry must hit dedup.
+        chaos_stalls_->increment();
+        delay = std::max(delay, window.end - now);
+        break;
+    }
+  }
+
+  Handler handler;
+  {
+    std::shared_lock lock(endpoints_mu_);
+    const auto it = endpoints_.find(endpoint);
+    if (it != endpoints_.end()) handler = it->second;
+  }
+  if (!handler) {
+    unknown_endpoints_->increment();
+    out.status = kStatusUnknownEndpoint;
+    return out;
+  }
+
+  requests_handled_->increment();
+  try {
+    out.body = handler(body);
+  } catch (const std::exception& e) {
+    out.status = kStatusHandlerError;
+    const std::string_view what(e.what());
+    out.body.assign(what.begin(), what.end());
+  }
+
+  if (lose_response) {
+    out.action = DispatchResult::Action::kDrop;
+    return out;
+  }
+  if (corrupt_response) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    if (out.body.empty()) {
+      out.body.push_back(static_cast<std::uint8_t>(rng_.uniform(256)));
+    } else {
+      const std::size_t flips = 1 + rng_.uniform(4);
+      for (std::size_t i = 0; i < flips; ++i) {
+        out.body[rng_.uniform(out.body.size())] ^=
+            static_cast<std::uint8_t>(1u << rng_.uniform(8));
+      }
+    }
+  }
+  if (delay > 0.0) {
+    out.action = DispatchResult::Action::kDelay;
+    out.delay_s = delay;
+  }
+  return out;
+}
+
+void TransportServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  if (config_.listen.empty()) {
+    throw std::invalid_argument("TransportServer: no listen addresses");
+  }
+
+  listen_fds_.clear();
+  bound_.clear();
+  for (const std::string& address : config_.listen) {
+    const int fd = listen_socket(address);
+    listen_fds_.push_back(fd);
+    bound_.push_back(bound_address(fd, address));
+  }
+
+  const EventLoop::Counters counters{conns_opened_, conns_closed_,
+                                     frames_in_,   frames_out_,
+                                     torn_frames_, protocol_errors_};
+  const std::size_t workers = std::max<std::size_t>(config_.workers, 1);
+  loops_.clear();
+  for (std::size_t i = 0; i < workers; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(
+        i, &pool_,
+        [this](const RequestEnvelope& request, const crypto::Bytes& body) {
+          return dispatch(request, body);
+        },
+        counters, clock_, recorder_));
+    loops_.back()->start();
+  }
+
+  acceptor_wake_ = eventfd(0, EFD_CLOEXEC);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void TransportServer::accept_loop() {
+  std::vector<pollfd> pfds;
+  for (const int fd : listen_fds_) pfds.push_back({fd, POLLIN, 0});
+  pfds.push_back({acceptor_wake_, POLLIN, 0});
+
+  while (running_.load(std::memory_order_acquire)) {
+    for (pollfd& pfd : pfds) pfd.revents = 0;
+    const int ready = poll(pfds.data(), pfds.size(), 500);
+    if (ready <= 0) continue;
+    for (std::size_t i = 0; i + 1 < pfds.size(); ++i) {
+      if ((pfds[i].revents & POLLIN) == 0) continue;
+      for (;;) {
+        const int conn = accept4(pfds[i].fd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (conn < 0) break;  // EAGAIN (or transient error): next poll
+        const std::size_t slot =
+            next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+        loops_[slot]->adopt(conn);
+      }
+    }
+  }
+}
+
+void TransportServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (acceptor_wake_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(acceptor_wake_, &one, sizeof(one));
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (const int fd : listen_fds_) close(fd);
+  listen_fds_.clear();
+  if (acceptor_wake_ >= 0) {
+    close(acceptor_wake_);
+    acceptor_wake_ = -1;
+  }
+  for (auto& loop : loops_) loop->stop();
+  loops_.clear();
+}
+
+TransportServer::Stats TransportServer::stats() const {
+  Stats s;
+  s.conns_opened = conns_opened_->value();
+  s.conns_closed = conns_closed_->value();
+  s.frames_in = frames_in_->value();
+  s.frames_out = frames_out_->value();
+  s.torn_frames = torn_frames_->value();
+  s.protocol_errors = protocol_errors_->value();
+  s.requests_handled = requests_handled_->value();
+  s.unknown_endpoints = unknown_endpoints_->value();
+  s.chaos_kills = chaos_kills_->value();
+  s.chaos_drops = chaos_drops_->value();
+  s.chaos_corruptions = chaos_corruptions_->value();
+  s.chaos_delays = chaos_delays_->value();
+  s.chaos_stalls = chaos_stalls_->value();
+  return s;
+}
+
+}  // namespace alidrone::net::transport

@@ -1,0 +1,166 @@
+// TransportServer — the socket-side implementation of net::Transport.
+//
+// Topology: one acceptor thread polls the listen sockets (any mix of
+// "tcp:..." and "uds:..." addresses) and deals each accepted connection
+// to one of N worker EventLoops round-robin. Workers parse frames with
+// pooled buffers, run endpoint handlers inline, and write framed
+// responses back — the same request/response contract MessageBus
+// implements in-process, so an Auditor binds its endpoints to either
+// without knowing which.
+//
+// TransportServer also *implements* request(): a direct local dispatch
+// to its own endpoint table. That is the in-process loopback a
+// ReplicatedAuditor inside the daemon uses to talk to its peers without
+// a socket round-trip.
+//
+// Chaos: the same net::FaultWindow schedule the bus interprets, but with
+// real-transport teeth — kOutage kills the connection before the handler
+// runs, kStall parks the finished response until the window closes (the
+// caller's deadline expires first), kLatency delays it, kResponseLoss
+// discards it, kCorruptResponse bit-flips the body before framing (the
+// frame CRC covers the corrupted bytes, so the client sees a valid frame
+// carrying a corrupt payload — exactly the bus's semantics). The window
+// clock defaults to a SteadyClock born with the server; set_clock()
+// substitutes a scenario clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "crypto/random.h"
+#include "net/buffer_pool.h"
+#include "net/message_bus.h"
+#include "net/transport.h"
+#include "net/transport/reactor.h"
+#include "obs/clock.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace alidrone::net::transport {
+
+/// Scripted faults for the socket path: the bus's FaultWindow schedule,
+/// drawn from one seeded stream (probability < 1 windows only).
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  std::vector<FaultWindow> schedule;
+};
+
+class TransportServer : public Transport {
+ public:
+  struct Config {
+    /// Listen addresses ("tcp:host:port", "uds:path"); "tcp:host:0"
+    /// binds an ephemeral port — read it back via bound_addresses().
+    std::vector<std::string> listen;
+    std::size_t workers = 2;
+    std::size_t pool_buffers = 256;  ///< BufferPool free-list bound
+    obs::MetricsRegistry* registry = nullptr;
+  };
+
+  explicit TransportServer(Config config);
+  ~TransportServer() override;
+
+  // -- lifecycle ---------------------------------------------------------
+  /// Bind, listen, spin up workers + acceptor. Throws on bind failure.
+  void start();
+  /// Graceful drain: stop accepting, let in-flight requests finish and
+  /// flush, close everything. Idempotent; the destructor calls it.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Canonical bound addresses, ephemeral ports resolved. Valid after
+  /// start().
+  std::vector<std::string> bound_addresses() const { return bound_; }
+
+  // -- Transport ---------------------------------------------------------
+  void register_endpoint(const std::string& name, Handler handler) override;
+  /// Local loopback dispatch straight into the endpoint table (no socket,
+  /// no chaos). Throws std::out_of_range on unknown endpoints.
+  crypto::Bytes request(const std::string& endpoint,
+                        const crypto::Bytes& payload) override;
+  using Transport::request;
+
+  /// Chaos-window time authority (must be set before start()).
+  void set_clock(obs::VirtualClock* clock) override {
+    clock_ = clock != nullptr ? static_cast<const obs::Clock*>(clock)
+                              : &steady_;
+  }
+  /// Trace connections + chaos (must be set before start()).
+  void set_trace(obs::FlightRecorder* recorder) override {
+    recorder_ = recorder;
+  }
+
+  /// Install the fault schedule (before start()).
+  void set_faults(const ChaosConfig& chaos);
+
+  // -- stats -------------------------------------------------------------
+  struct Stats {
+    std::uint64_t conns_opened = 0;
+    std::uint64_t conns_closed = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+    std::uint64_t torn_frames = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t requests_handled = 0;
+    std::uint64_t unknown_endpoints = 0;
+    std::uint64_t chaos_kills = 0;
+    std::uint64_t chaos_drops = 0;
+    std::uint64_t chaos_corruptions = 0;
+    std::uint64_t chaos_delays = 0;
+    std::uint64_t chaos_stalls = 0;
+  };
+  Stats stats() const;
+
+  BufferPool& buffer_pool() { return pool_; }
+
+ private:
+  DispatchResult dispatch(const RequestEnvelope& request,
+                          const crypto::Bytes& body);
+  void accept_loop();
+  void trace_chaos(FaultKind kind, double now, std::string_view endpoint);
+
+  Config config_;
+  obs::SteadyClock steady_;
+  const obs::Clock* clock_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  BufferPool pool_;
+
+  mutable std::shared_mutex endpoints_mu_;
+  std::map<std::string, Handler> endpoints_;
+
+  ChaosConfig chaos_;
+  std::mutex rng_mu_;  ///< probabilistic windows + corruption draws
+  crypto::DeterministicRandom rng_{1};
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<int> listen_fds_;
+  std::vector<std::string> bound_;
+  std::thread acceptor_;
+  int acceptor_wake_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> next_loop_{0};
+
+  // Registry-backed counters shared by every worker.
+  obs::Counter* conns_opened_;
+  obs::Counter* conns_closed_;
+  obs::Counter* frames_in_;
+  obs::Counter* frames_out_;
+  obs::Counter* torn_frames_;
+  obs::Counter* protocol_errors_;
+  obs::Counter* requests_handled_;
+  obs::Counter* unknown_endpoints_;
+  obs::Counter* chaos_kills_;
+  obs::Counter* chaos_drops_;
+  obs::Counter* chaos_corruptions_;
+  obs::Counter* chaos_delays_;
+  obs::Counter* chaos_stalls_;
+};
+
+}  // namespace alidrone::net::transport

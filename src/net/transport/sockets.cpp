@@ -1,0 +1,189 @@
+#include "net/transport/sockets.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace alidrone::net::transport {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw std::runtime_error("transport: " + what + ": " +
+                           std::strerror(errno));
+}
+
+sockaddr_in tcp_sockaddr(const ParsedAddress& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    throw std::invalid_argument("transport: bad tcp host '" + addr.host + "'");
+  }
+  return sa;
+}
+
+sockaddr_un uds_sockaddr(const ParsedAddress& addr) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (addr.path.size() >= sizeof(sa.sun_path)) {
+    throw std::invalid_argument("transport: uds path too long '" + addr.path +
+                                "'");
+  }
+  std::memcpy(sa.sun_path, addr.path.c_str(), addr.path.size() + 1);
+  return sa;
+}
+
+}  // namespace
+
+ParsedAddress parse_address(const std::string& address) {
+  ParsedAddress out;
+  if (address.rfind("uds:", 0) == 0) {
+    out.is_tcp = false;
+    out.path = address.substr(4);
+    if (out.path.empty()) {
+      throw std::invalid_argument("transport: empty uds path in '" + address +
+                                  "'");
+    }
+    return out;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::size_t colon = address.rfind(':');
+    if (colon == 3) {
+      throw std::invalid_argument("transport: missing port in '" + address +
+                                  "'");
+    }
+    out.is_tcp = true;
+    out.host = address.substr(4, colon - 4);
+    const std::string port = address.substr(colon + 1);
+    char* end = nullptr;
+    const long value = std::strtol(port.c_str(), &end, 10);
+    if (port.empty() || *end != '\0' || value < 0 || value > 65535) {
+      throw std::invalid_argument("transport: bad port in '" + address + "'");
+    }
+    out.port = static_cast<std::uint16_t>(value);
+    return out;
+  }
+  throw std::invalid_argument("transport: unknown address scheme '" + address +
+                              "' (want tcp:host:port or uds:path)");
+}
+
+void make_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    raise_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+int listen_socket(const std::string& address, int backlog) {
+  const ParsedAddress addr = parse_address(address);
+  const int fd = socket(addr.is_tcp ? AF_INET : AF_UNIX,
+                        SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) raise_errno("socket");
+  if (addr.is_tcp) {
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in sa = tcp_sockaddr(addr);
+    if (bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+      close(fd);
+      raise_errno("bind " + address);
+    }
+  } else {
+    unlink(addr.path.c_str());  // stale socket from a dead server
+    const sockaddr_un sa = uds_sockaddr(addr);
+    if (bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+      close(fd);
+      raise_errno("bind " + address);
+    }
+  }
+  if (listen(fd, backlog) < 0) {
+    close(fd);
+    raise_errno("listen " + address);
+  }
+  make_nonblocking(fd);
+  return fd;
+}
+
+std::string bound_address(int listen_fd, const std::string& requested) {
+  const ParsedAddress addr = parse_address(requested);
+  if (!addr.is_tcp) return requested;
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    raise_errno("getsockname");
+  }
+  return "tcp:" + addr.host + ":" + std::to_string(ntohs(sa.sin_port));
+}
+
+int connect_socket(const std::string& address, double timeout_s) {
+  const ParsedAddress addr = parse_address(address);
+  const int fd = socket(addr.is_tcp ? AF_INET : AF_UNIX,
+                        SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) raise_errno("socket");
+  make_nonblocking(fd);
+
+  int rc;
+  if (addr.is_tcp) {
+    const sockaddr_in sa = tcp_sockaddr(addr);
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  } else {
+    const sockaddr_un sa = uds_sockaddr(addr);
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  }
+  if (rc < 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms =
+        timeout_s > 0.0 ? static_cast<int>(timeout_s * 1000.0) : -1;
+    const int ready = poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      close(fd);
+      throw std::runtime_error("transport: connect to '" + address +
+                               "' timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      close(fd);
+      errno = err;
+      raise_errno("connect " + address);
+    }
+  } else if (rc < 0) {
+    close(fd);
+    raise_errno("connect " + address);
+  }
+
+  // Back to blocking: the client's reader thread uses plain read(), and
+  // writes go through a poll()-guarded loop.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  if (addr.is_tcp) {
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+std::size_t raise_fd_limit(std::size_t needed) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur < needed) {
+    rlimit want = lim;
+    want.rlim_cur = needed > lim.rlim_max ? lim.rlim_max
+                                          : static_cast<rlim_t>(needed);
+    if (setrlimit(RLIMIT_NOFILE, &want) == 0) lim = want;
+  }
+  return static_cast<std::size_t>(lim.rlim_cur);
+}
+
+}  // namespace alidrone::net::transport

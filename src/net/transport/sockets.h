@@ -1,0 +1,51 @@
+// Low-level socket plumbing for the transport: address parsing, listener
+// and connector setup, non-blocking mode. Addresses are strings so they
+// can ride in flags and configs:
+//
+//   "tcp:127.0.0.1:9000"   TCP on host:port ("tcp:127.0.0.1:0" binds an
+//                          ephemeral port; bound_address() reports it)
+//   "uds:/tmp/auditor.sock" Unix-domain stream socket at a path
+//
+// Everything here throws std::runtime_error with a "transport: ..."
+// message on syscall failure — socket setup errors are configuration
+// bugs, not protocol faults, so they are loud.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace alidrone::net::transport {
+
+struct ParsedAddress {
+  bool is_tcp = false;
+  std::string host;     ///< tcp only
+  std::uint16_t port = 0;  ///< tcp only
+  std::string path;     ///< uds only
+};
+
+/// Parse "tcp:host:port" / "uds:path"; throws std::invalid_argument with
+/// the offending address on anything else.
+ParsedAddress parse_address(const std::string& address);
+
+/// Bind + listen a non-blocking socket for `address`. For "uds:" any
+/// stale socket file at the path is removed first. Returns the fd.
+int listen_socket(const std::string& address, int backlog = 1024);
+
+/// The canonical string of a bound listener — resolves "tcp:host:0" to
+/// the actual port so clients can be pointed at an ephemeral listener.
+std::string bound_address(int listen_fd, const std::string& requested);
+
+/// Connect (blocking, bounded by `timeout_s`) and return a socket left in
+/// blocking mode with TCP_NODELAY set. Throws TimeoutError-compatible
+/// std::runtime_error on refusal/timeout.
+int connect_socket(const std::string& address, double timeout_s);
+
+/// Set O_NONBLOCK.
+void make_nonblocking(int fd);
+
+/// Raise RLIMIT_NOFILE's soft limit toward `needed` (capped at the hard
+/// limit). Returns the resulting soft limit. High-connection benches call
+/// this so 4096 sockets do not trip a 1024 default.
+std::size_t raise_fd_limit(std::size_t needed);
+
+}  // namespace alidrone::net::transport

@@ -11,6 +11,8 @@
 // cool-downs and CPU wall-time integration all share one timeline.
 #pragma once
 
+#include <chrono>
+
 namespace alidrone::obs {
 
 /// Read-only time authority. Implementations must be monotonic.
@@ -32,6 +34,25 @@ class VirtualClock : public Clock {
   /// Advance by `seconds` (implementations ignore negative deltas — time
   /// is monotonic). Returns the new time.
   virtual double advance(double seconds) = 0;
+};
+
+/// Real monotonic time, measured in seconds since construction. This is
+/// the authority the socket transport's fault-window schedule runs on
+/// when no scenario clock is injected: a window of [0, 2) then means
+/// "the first two wall-clock seconds of the server's life". Thread-safe
+/// (steady_clock reads, immutable epoch).
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 }  // namespace alidrone::obs

@@ -33,6 +33,8 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kLedgerDivergence: return "ledger-divergence";
     case TraceKind::kReplicaForward: return "replica-forward";
     case TraceKind::kReplicaFailover: return "replica-failover";
+    case TraceKind::kTransportConn: return "transport-conn";
+    case TraceKind::kTransportChaos: return "transport-chaos";
     case TraceKind::kCustom: return "custom";
   }
   return "?";

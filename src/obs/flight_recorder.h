@@ -39,6 +39,8 @@ enum class TraceKind : std::uint8_t {
   kLedgerDivergence,   ///< replica roots disagree; a = first divergent segment
   kReplicaForward,     ///< write forwarded to a peer replica; tag = endpoint
   kReplicaFailover,    ///< client rotated to a new auditor; tag = new prefix
+  kTransportConn,      ///< socket opened (a=1) or closed (a=0); b = worker
+  kTransportChaos,     ///< transport-layer fault injected; tag = kind:endpoint
   kCustom,             ///< free-form (tests, tools)
 };
 

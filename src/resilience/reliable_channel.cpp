@@ -6,10 +6,10 @@
 
 namespace alidrone::resilience {
 
-ReliableChannel::ReliableChannel(net::MessageBus& bus, SimClock& clock)
+ReliableChannel::ReliableChannel(net::Transport& bus, SimClock& clock)
     : ReliableChannel(bus, clock, Config{}) {}
 
-ReliableChannel::ReliableChannel(net::MessageBus& bus, SimClock& clock,
+ReliableChannel::ReliableChannel(net::Transport& bus, SimClock& clock,
                                  Config config)
     : bus_(bus), clock_(clock), config_(config), jitter_rng_(config.seed) {
   bus_.set_clock(&clock_);
@@ -25,6 +25,7 @@ ReliableChannel::ReliableChannel(net::MessageBus& bus, SimClock& clock,
   failures_ = &reg.counter(scope + ".failures");
   breaker_fast_fails_ = &reg.counter(scope + ".breaker_fast_fails");
   retry_later_replies_ = &reg.counter(scope + ".retry_later_replies");
+  deadline_expired_ = &reg.counter(scope + ".deadline_expired");
 }
 
 crypto::Bytes ReliableChannel::request_id(const std::string& endpoint,
@@ -58,6 +59,7 @@ ReliableChannel::Counters ReliableChannel::counters() const {
   c.failures = failures_->value();
   c.breaker_fast_fails = breaker_fast_fails_->value();
   c.retry_later_replies = retry_later_replies_->value();
+  c.deadline_expired = deadline_expired_->value();
   return c;
 }
 
@@ -96,7 +98,10 @@ ReliableChannel::Outcome ReliableChannel::request(const std::string& endpoint,
     }
     ++outcome.attempts;
     try {
-      outcome.response = bus_.request(endpoint, payload);
+      outcome.response =
+          retry.attempt_timeout_s > 0.0
+              ? bus_.request(endpoint, payload, retry.attempt_timeout_s)
+              : bus_.request(endpoint, payload);
       if (net::is_retry_later(outcome.response)) {
         // Explicit backpressure: the server is alive but at capacity, so
         // the reply counts for the breaker (no trip) while the logical
@@ -111,6 +116,13 @@ ReliableChannel::Outcome ReliableChannel::request(const std::string& endpoint,
         outcome.ok = true;
         return outcome;
       }
+    } catch (const net::DeadlineExpired&) {
+      // The per-attempt deadline fired with the socket hung mid-request:
+      // the peer may still answer (too late) or may have died — either
+      // way the breaker charges it and the retry loop regains control.
+      deadline_expired_->increment();
+      breaker.on_failure();
+      outcome.error = "request to '" + endpoint + "' hit attempt deadline";
     } catch (const net::TimeoutError&) {
       breaker.on_failure();
       outcome.error = "request to '" + endpoint + "' timed out";

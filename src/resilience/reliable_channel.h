@@ -1,5 +1,5 @@
 // ReliableChannel — retrying, circuit-breaking wrapper around
-// net::MessageBus::request.
+// net::Transport::request (the in-process bus or a socket client alike).
 //
 // One logical request = up to RetryPolicy::max_attempts bus attempts,
 // separated by capped exponential backoff "slept" on the scenario's
@@ -22,7 +22,7 @@
 
 #include "crypto/bytes.h"
 #include "crypto/random.h"
-#include "net/message_bus.h"
+#include "net/transport.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "resilience/circuit_breaker.h"
@@ -63,14 +63,19 @@ class ReliableChannel {
     /// backoff but never charged to the circuit breaker: the server
     /// answered, it just had no capacity.
     std::uint64_t retry_later_replies = 0;
+    /// Attempts that died on RetryPolicy::attempt_timeout_s — a hung
+    /// socket, not a refused one. Charged to the breaker and retried like
+    /// any timeout, but counted separately so a stalling peer is
+    /// distinguishable from a dead one in the metrics.
+    std::uint64_t deadline_expired = 0;
   };
 
   /// The bus and clock are borrowed and must outlive the channel. The
   /// channel wires the clock in as the bus's time authority so
   /// fault-schedule windows, injected latency and breaker cool-downs
   /// share one timeline.
-  ReliableChannel(net::MessageBus& bus, SimClock& clock);
-  ReliableChannel(net::MessageBus& bus, SimClock& clock, Config config);
+  ReliableChannel(net::Transport& bus, SimClock& clock);
+  ReliableChannel(net::Transport& bus, SimClock& clock, Config config);
 
   /// Send with retries. Never throws for transport faults — a dropped or
   /// lost message becomes a retry, an exhausted budget becomes
@@ -90,12 +95,12 @@ class ReliableChannel {
   /// Breaker for an endpoint; nullptr before its first request.
   const CircuitBreaker* breaker(const std::string& endpoint) const;
 
-  net::MessageBus& bus() { return bus_; }
+  net::Transport& bus() { return bus_; }
   SimClock& clock() { return clock_; }
   const Config& config() const { return config_; }
 
  private:
-  net::MessageBus& bus_;
+  net::Transport& bus_;
   SimClock& clock_;
   Config config_;
   crypto::DeterministicRandom jitter_rng_;
@@ -108,6 +113,7 @@ class ReliableChannel {
   obs::Counter* failures_;
   obs::Counter* breaker_fast_fails_;
   obs::Counter* retry_later_replies_;
+  obs::Counter* deadline_expired_;
 };
 
 }  // namespace alidrone::resilience

@@ -26,6 +26,12 @@ struct RetryPolicy {
   /// Budget for the whole request (first attempt through last retry),
   /// measured on the scenario clock. <= 0 means no deadline.
   double deadline_s = 30.0;
+  /// Per-attempt deadline handed to the transport (socket clients honor
+  /// it and throw net::DeadlineExpired when a hung peer eats the budget;
+  /// the synchronous in-process bus ignores it). <= 0 disables — correct
+  /// for simulation, required > 0 against real sockets or one stalled
+  /// read blocks the whole retry loop forever.
+  double attempt_timeout_s = 0.0;
 
   /// Backoff to sleep after a failed `attempt` (1-based) before the next
   /// try. Draws one jitter sample from `rng` even when jitter_fraction is

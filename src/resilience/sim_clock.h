@@ -11,6 +11,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #include "obs/clock.h"
@@ -21,26 +22,35 @@ class SimClock final : public obs::VirtualClock {
  public:
   explicit SimClock(double start_time = 0.0) : now_(start_time) {}
 
-  double now() const override { return now_; }
+  double now() const override { return now_.load(std::memory_order_acquire); }
 
   /// Advance by `seconds` (negative deltas are ignored — time is
-  /// monotonic). Returns the new time.
+  /// monotonic). Returns the new time. The fields are atomic because a
+  /// TransportServer's reactor threads read the chaos clock while the
+  /// test thread advances it; writers are still expected to be single
+  /// (tests advance from one thread).
   double advance(double seconds) override {
-    now_ += std::max(seconds, 0.0);
-    ++advances_;
-    return now_;
+    double next = now_.load(std::memory_order_relaxed) + std::max(seconds, 0.0);
+    now_.store(next, std::memory_order_release);
+    advances_.fetch_add(1, std::memory_order_relaxed);
+    return next;
   }
 
   /// Jump forward to an absolute time (no-op when `time` is in the past).
-  void advance_to(double time) { now_ = std::max(now_, time); }
+  void advance_to(double time) {
+    now_.store(std::max(now_.load(std::memory_order_relaxed), time),
+               std::memory_order_release);
+  }
 
   /// How many times the clock was advanced — backoff sleeps show up here,
   /// so a zero-fault run proves itself sleep-free.
-  std::uint64_t advances() const { return advances_; }
+  std::uint64_t advances() const {
+    return advances_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double now_;
-  std::uint64_t advances_ = 0;
+  std::atomic<double> now_;
+  std::atomic<std::uint64_t> advances_{0};
 };
 
 }  // namespace alidrone::resilience

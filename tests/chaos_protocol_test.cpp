@@ -24,6 +24,7 @@
 #include "core/drone_client.h"
 #include "core/zone_owner.h"
 #include "geo/units.h"
+#include "net/message_bus.h"
 #include "obs/flight_recorder.h"
 #include "resilience/reliable_channel.h"
 #include "sim/route.h"

@@ -11,6 +11,7 @@
 #include "core/drone_client.h"
 #include "core/zone_owner.h"
 #include "geo/units.h"
+#include "net/message_bus.h"
 #include "sim/scenarios.h"
 
 namespace alidrone::core {

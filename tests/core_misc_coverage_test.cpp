@@ -9,6 +9,7 @@
 #include "core/zone_owner.h"
 #include "geo/units.h"
 #include "gps/receiver_sim.h"
+#include "net/message_bus.h"
 #include "tee/gps_sampler_ta.h"
 #include "tee/sample_codec.h"
 

@@ -9,6 +9,7 @@
 #include "core/auditor.h"
 #include "core/drone_client.h"
 #include "core/zone_owner.h"
+#include "net/message_bus.h"
 
 namespace alidrone::core {
 namespace {

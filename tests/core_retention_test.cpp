@@ -13,6 +13,7 @@
 #include "core/zone_owner.h"
 #include "geo/units.h"
 #include "gps/trace.h"
+#include "net/message_bus.h"
 #include "sim/scenarios.h"
 
 namespace alidrone::core {

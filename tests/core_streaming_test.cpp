@@ -9,6 +9,7 @@
 #include "geo/units.h"
 #include "gps/receiver_sim.h"
 #include "net/codec.h"
+#include "net/message_bus.h"
 #include "sim/scenarios.h"
 #include "tee/gps_sampler_ta.h"
 #include "tee/sample_codec.h"

@@ -26,6 +26,7 @@
 #include "core/tesla.h"
 #include "core/zone_owner.h"
 #include "geo/units.h"
+#include "net/message_bus.h"
 #include "resilience/sim_clock.h"
 #include "sim/route.h"
 #include "tee/gps_sampler_ta.h"

@@ -9,6 +9,7 @@
 #include "core/thinning.h"
 #include "core/zone_owner.h"
 #include "geo/units.h"
+#include "net/message_bus.h"
 #include "sim/scenarios.h"
 #include "tee/secure_monitor.h"
 

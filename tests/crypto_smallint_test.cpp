@@ -19,6 +19,7 @@
 #include "crypto/random.h"
 #include "crypto/rsa.h"
 #include "crypto/smallint.h"
+#include "net/message_bus.h"
 #include "obs/metrics.h"
 #include "sim/scenarios.h"
 

@@ -15,6 +15,7 @@
 #include "geo/units.h"
 #include "gps/driver.h"
 #include "net/codec.h"
+#include "net/message_bus.h"
 #include "nmea/gga.h"
 #include "nmea/rmc.h"
 #include "nmea/sentence.h"

@@ -20,6 +20,7 @@
 #include "core/replicated_auditor.h"
 #include "core/zone_owner.h"
 #include "geo/units.h"
+#include "net/message_bus.h"
 #include "obs/flight_recorder.h"
 #include "sim/route.h"
 

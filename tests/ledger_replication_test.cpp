@@ -27,6 +27,7 @@
 #include "geo/units.h"
 #include "ledger/ledger.h"
 #include "net/codec.h"
+#include "net/message_bus.h"
 #include "obs/metrics.h"
 #include "sim/route.h"
 

@@ -1,0 +1,238 @@
+// alidrone_auditord as a real child process (labelled `transport`): the
+// test forks + execs the daemon binary (path in $ALIDRONE_AUDITORD, set
+// by CMake), waits for its "ready" line, drives the full wire protocol
+// through a TransportClient over a Unix-domain socket, then SIGTERMs it
+// and checks the graceful-drain report. The acceptance claim: the ledger
+// root the daemon prints on exit is byte-identical to an in-process
+// MessageBus run fed the same requests in the same order with the same
+// --seed.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "core/ingest.h"
+#include "core/zone_owner.h"
+#include "crypto/bytes.h"
+#include "geo/units.h"
+#include "ledger/ledger.h"
+#include "net/codec.h"
+#include "net/message_bus.h"
+#include "net/transport/client.h"
+#include "obs/metrics.h"
+#include "sim/route.h"
+
+namespace alidrone {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kTestKeyBits = 512;
+constexpr std::uint64_t kAuditorSeed = 7;
+
+const geo::LocalFrame& test_frame() {
+  static const geo::LocalFrame frame(geo::GeoPoint{40.0, -88.0});
+  return frame;
+}
+
+std::vector<geo::GeoZone> test_zones() {
+  std::vector<geo::GeoZone> zones;
+  for (double x : {100.0, 300.0}) {
+    zones.push_back({test_frame().to_geo(geo::Vec2{x, 400.0}), 30.0});
+  }
+  return zones;
+}
+
+core::ProofOfAlibi make_flight_poa(core::DroneClient& client, double start,
+                                   std::uint64_t gps_seed) {
+  sim::Route route(
+      test_frame(),
+      {{geo::Vec2{0.0, 0.0}, 10.0}, {geo::Vec2{600.0, 0.0}, 10.0}}, start);
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = start;
+  rc.seed = gps_seed;
+  gps::GpsReceiverSim receiver(rc, route.as_position_source());
+
+  std::vector<geo::Circle> local_zones;
+  for (const geo::GeoZone& z : test_zones()) {
+    local_zones.push_back({test_frame().to_local(z.center), z.radius_m});
+  }
+  core::AdaptiveSampler policy(test_frame(), local_zones,
+                               geo::kFaaMaxSpeedMps, 0.2);
+  core::FlightConfig config;
+  config.end_time = start + 30.0;
+  config.frame = test_frame();
+  config.local_zones = local_zones;
+  return client.fly(receiver, policy, config);
+}
+
+/// The daemon's stdout, read line-at-a-time by the parent.
+class DaemonProcess {
+ public:
+  DaemonProcess(const std::string& binary, const std::string& address) {
+    int out_pipe[2];
+    if (pipe(out_pipe) != 0) throw std::runtime_error("pipe failed");
+    pid_ = fork();
+    if (pid_ < 0) throw std::runtime_error("fork failed");
+    if (pid_ == 0) {
+      dup2(out_pipe[1], STDOUT_FILENO);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      execl(binary.c_str(), binary.c_str(), "--listen", address.c_str(),
+            "--seed", std::to_string(kAuditorSeed).c_str(),
+            static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    close(out_pipe[1]);
+    stdout_ = fdopen(out_pipe[0], "r");
+    if (stdout_ == nullptr) throw std::runtime_error("fdopen failed");
+  }
+
+  ~DaemonProcess() {
+    if (stdout_ != nullptr) fclose(stdout_);
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);  // no-op if already reaped
+      int status = 0;
+      waitpid(pid_, &status, WNOHANG);
+    }
+  }
+
+  /// Next stdout line without the trailing newline; "" on EOF.
+  std::string read_line() {
+    char buffer[4096];
+    if (fgets(buffer, sizeof(buffer), stdout_) == nullptr) return {};
+    std::string line(buffer);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    return line;
+  }
+
+  /// Read until a line starting with `prefix`; returns it ("" on EOF).
+  std::string read_until(const std::string& prefix) {
+    for (;;) {
+      const std::string line = read_line();
+      if (line.empty()) return {};
+      if (line.rfind(prefix, 0) == 0) return line;
+    }
+  }
+
+  void terminate() { kill(pid_, SIGTERM); }
+
+  int wait_exit() {
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return status;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  FILE* stdout_ = nullptr;
+};
+
+TEST(AuditordProcessTest, LedgerRootMatchesInProcessRun) {
+  const char* binary = std::getenv("ALIDRONE_AUDITORD");
+  if (binary == nullptr || *binary == '\0') {
+    GTEST_SKIP() << "ALIDRONE_AUDITORD not set (run via ctest)";
+  }
+
+  // Shared request material, generated once so both the in-process
+  // reference and the daemon see byte-identical wire traffic.
+  crypto::DeterministicRandom operator_rng("auditord-operator");
+  crypto::DeterministicRandom owner_rng("auditord-owner");
+  tee::DroneTee::Config tee_config;
+  tee_config.key_bits = kTestKeyBits;
+  tee_config.manufacturing_seed = "auditord-device";
+  tee::DroneTee tee(tee_config);
+  core::DroneClient drone(tee, kTestKeyBits, operator_rng);
+  core::ZoneOwner owner(kTestKeyBits, owner_rng);
+  std::vector<crypto::Bytes> zone_frames;
+  for (const geo::GeoZone& zone : test_zones()) {
+    zone_frames.push_back(owner.make_zone_request(zone, "daemon zone").encode());
+  }
+
+  // ---- In-process reference: exactly the daemon's wiring, over a bus.
+  // Same seed, same shards, same ingest pipeline, same request order:
+  // register drone, register zones, submit 2 proofs.
+  std::vector<crypto::Bytes> proof_frames;
+  std::vector<crypto::Bytes> reference_verdicts;
+  std::string reference_root_hex;
+  {
+    obs::MetricsRegistry registry;
+    crypto::DeterministicRandom auditor_rng(kAuditorSeed);
+    core::ProtocolParams params;
+    params.auditor_shards = 8;
+    params.metrics = &registry;
+    core::Auditor auditor(kTestKeyBits, auditor_rng, params);
+    auto led = std::make_shared<ledger::Ledger>();
+    auto log = std::make_shared<core::AuditLog>();
+    log->attach_ledger(led);
+    auditor.attach_audit_log(log);
+    core::AuditorIngest ingest(auditor, {});
+
+    net::MessageBus bus;
+    auditor.bind(bus);
+    ingest.bind(bus);
+
+    ASSERT_TRUE(drone.register_with_auditor(bus));
+    for (const crypto::Bytes& frame : zone_frames) {
+      bus.request("auditor.register_zone", frame);
+    }
+    for (int f = 0; f < 2; ++f) {
+      const core::ProofOfAlibi poa =
+          make_flight_poa(drone, kT0 + f * 100.0, 240u + f);
+      proof_frames.push_back(
+          core::SubmitPoaRequest{poa.serialize()}.encode());
+      reference_verdicts.push_back(
+          bus.request("auditor.submit_poa", proof_frames.back()));
+    }
+    reference_root_hex = crypto::to_hex(led->root_hash());
+  }
+
+  // ---- The daemon, as a real child process over a real socket.
+  const std::string address = "uds:/tmp/alidrone_auditord_test_" +
+                              std::to_string(getpid()) + ".sock";
+  DaemonProcess daemon(binary, address);
+  ASSERT_EQ(daemon.read_until("listening"), "listening " + address);
+  ASSERT_EQ(daemon.read_until("ready"), "ready");
+
+  {
+    net::transport::TransportClient::Config client_config;
+    client_config.address = address;
+    net::transport::TransportClient client(std::move(client_config));
+
+    ASSERT_TRUE(drone.register_with_auditor(client));
+    for (const crypto::Bytes& frame : zone_frames) {
+      client.request("auditor.register_zone", frame);
+    }
+    for (std::size_t f = 0; f < proof_frames.size(); ++f) {
+      EXPECT_EQ(client.request("auditor.submit_poa", proof_frames[f]),
+                reference_verdicts[f])
+          << "proof " << f;
+    }
+  }  // close the connection before asking the daemon to drain
+
+  daemon.terminate();
+  const std::string root_line = daemon.read_until("ledger_root");
+  EXPECT_EQ(root_line, "ledger_root " + reference_root_hex);
+  const std::string requests_line = daemon.read_until("requests");
+  // drone registration + 2 zones + 2 proofs, all over the socket
+  EXPECT_EQ(requests_line, "requests 5");
+  EXPECT_EQ(daemon.read_until("drained"), "drained");
+  const int status = daemon.wait_exit();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace alidrone

@@ -1,0 +1,327 @@
+// Frame codec edges (labelled `transport`): a TCP stream can hand the
+// assembler any byte split, and a hostile or corrupted stream must be
+// rejected with an exact, testable error — never fed into the protocol
+// parsers. Covers: frames split at every byte boundary, byte-at-a-time
+// delivery, seeded random chunking, partial reads via the zero-copy
+// writable()/commit() path, oversized-length and bad-CRC rejection with
+// exact strings, envelope rejects, poisoning after the first error, and
+// torn-frame-on-disconnect detection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/random.h"
+#include "ledger/crc32.h"
+#include "net/buffer_pool.h"
+#include "net/transport/frame.h"
+
+namespace alidrone::net::transport {
+namespace {
+
+crypto::Bytes bytes_of(std::string_view text) {
+  return crypto::Bytes(text.begin(), text.end());
+}
+
+/// Collect every payload the assembler yields for `stream` fed in chunks
+/// of the given sizes (last chunk takes the remainder).
+std::vector<crypto::Bytes> absorb_chunked(FrameAssembler& assembler,
+                                          const crypto::Bytes& stream,
+                                          const std::vector<std::size_t>& cuts,
+                                          std::string* error_out = nullptr) {
+  std::vector<crypto::Bytes> payloads;
+  const auto on_frame = [&](std::span<const std::uint8_t> payload) {
+    payloads.emplace_back(payload.begin(), payload.end());
+    return std::string();
+  };
+  std::size_t at = 0;
+  std::string error;
+  for (const std::size_t cut : cuts) {
+    const std::size_t take = std::min(cut, stream.size() - at);
+    error = assembler.absorb({stream.data() + at, take}, on_frame);
+    at += take;
+    if (!error.empty()) break;
+  }
+  if (error.empty() && at < stream.size()) {
+    error = assembler.absorb({stream.data() + at, stream.size() - at}, on_frame);
+  }
+  if (error_out != nullptr) *error_out = error;
+  return payloads;
+}
+
+TEST(FrameCodecTest, RequestEnvelopeRoundTrips) {
+  crypto::Bytes wire;
+  const crypto::Bytes body = bytes_of("proof bytes");
+  append_request_frame(wire, 42, "auditor.submit_poa", body);
+
+  FrameAssembler assembler;
+  std::size_t frames = 0;
+  const std::string err =
+      assembler.absorb(wire, [&](std::span<const std::uint8_t> payload) {
+        RequestEnvelope req;
+        EXPECT_EQ(parse_request(payload, req), "");
+        EXPECT_EQ(req.correlation_id, 42u);
+        EXPECT_EQ(req.endpoint, "auditor.submit_poa");
+        EXPECT_EQ(crypto::Bytes(req.body.begin(), req.body.end()), body);
+        ++frames;
+        return std::string();
+      });
+  EXPECT_EQ(err, "");
+  EXPECT_EQ(frames, 1u);
+  EXPECT_FALSE(assembler.mid_frame());
+}
+
+TEST(FrameCodecTest, ResponseEnvelopeRoundTrips) {
+  crypto::Bytes wire;
+  const crypto::Bytes body = bytes_of("verdict");
+  append_response_frame(wire, 7, kStatusOk, body);
+
+  FrameAssembler assembler;
+  const std::string err =
+      assembler.absorb(wire, [&](std::span<const std::uint8_t> payload) {
+        ResponseEnvelope resp;
+        EXPECT_EQ(parse_response(payload, resp), "");
+        EXPECT_EQ(resp.correlation_id, 7u);
+        EXPECT_EQ(resp.status, kStatusOk);
+        EXPECT_EQ(crypto::Bytes(resp.body.begin(), resp.body.end()), body);
+        return std::string();
+      });
+  EXPECT_EQ(err, "");
+}
+
+TEST(FrameCodecTest, FrameSplitAtEveryByteBoundaryReassembles) {
+  crypto::Bytes wire;
+  append_request_frame(wire, 1, "ep", bytes_of("first body"));
+  append_response_frame(wire, 2, kStatusOk, bytes_of("second body"));
+
+  // Reference: one-shot absorb.
+  FrameAssembler whole;
+  const std::vector<crypto::Bytes> expected =
+      absorb_chunked(whole, wire, {wire.size()});
+  ASSERT_EQ(expected.size(), 2u);
+
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    FrameAssembler assembler;
+    std::string error;
+    const std::vector<crypto::Bytes> got =
+        absorb_chunked(assembler, wire, {cut}, &error);
+    EXPECT_EQ(error, "") << "cut at " << cut;
+    EXPECT_EQ(got, expected) << "cut at " << cut;
+    EXPECT_FALSE(assembler.mid_frame()) << "cut at " << cut;
+  }
+}
+
+TEST(FrameCodecTest, ByteAtATimeDelivery) {
+  crypto::Bytes wire;
+  append_request_frame(wire, 9, "auditor.query_zones", bytes_of("q"));
+
+  FrameAssembler assembler;
+  std::size_t frames = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const std::string err = assembler.absorb(
+        {wire.data() + i, 1}, [&](std::span<const std::uint8_t>) {
+          ++frames;
+          return std::string();
+        });
+    ASSERT_EQ(err, "");
+    // The frame must complete exactly at the last byte, never before.
+    EXPECT_EQ(frames, i + 1 == wire.size() ? 1u : 0u) << "byte " << i;
+  }
+}
+
+TEST(FrameCodecTest, SeededRandomChunkingMatchesOneShot) {
+  crypto::Bytes wire;
+  for (int i = 0; i < 32; ++i) {
+    crypto::Bytes body(static_cast<std::size_t>(i * 17 % 301), 0);
+    for (std::size_t b = 0; b < body.size(); ++b) {
+      body[b] = static_cast<std::uint8_t>(i + b);
+    }
+    append_request_frame(wire, static_cast<std::uint64_t>(i),
+                         "endpoint." + std::to_string(i), body);
+  }
+  FrameAssembler whole;
+  const std::vector<crypto::Bytes> expected =
+      absorb_chunked(whole, wire, {wire.size()});
+  ASSERT_EQ(expected.size(), 32u);
+
+  crypto::DeterministicRandom rng("frame-chunk-fuzz");
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::size_t> cuts;
+    std::size_t total = 0;
+    while (total < wire.size()) {
+      const std::size_t cut = 1 + rng.uniform(97);
+      cuts.push_back(cut);
+      total += cut;
+    }
+    FrameAssembler assembler;
+    std::string error;
+    const std::vector<crypto::Bytes> got =
+        absorb_chunked(assembler, wire, cuts, &error);
+    EXPECT_EQ(error, "") << "round " << round;
+    EXPECT_EQ(got, expected) << "round " << round;
+  }
+}
+
+TEST(FrameCodecTest, WritableCommitPartialReadsMatchAbsorb) {
+  crypto::Bytes wire;
+  append_request_frame(wire, 3, "ep", bytes_of("zero copy payload"));
+  append_response_frame(wire, 3, kStatusOk, bytes_of("reply"));
+
+  // Simulate recv() filling only part of each requested chunk — the
+  // short-write/short-read shape the reactor sees under load.
+  FrameAssembler assembler;
+  std::vector<crypto::Bytes> payloads;
+  std::size_t at = 0;
+  crypto::DeterministicRandom rng("writable-commit");
+  while (at < wire.size()) {
+    const std::size_t chunk = 16;
+    const std::span<std::uint8_t> dst = assembler.writable(chunk);
+    ASSERT_EQ(dst.size(), chunk);
+    const std::size_t got =
+        std::min<std::size_t>(1 + rng.uniform(chunk), wire.size() - at);
+    std::memcpy(dst.data(), wire.data() + at, got);
+    at += got;
+    const std::string err = assembler.commit(
+        got, chunk, [&](std::span<const std::uint8_t> payload) {
+          payloads.emplace_back(payload.begin(), payload.end());
+          return std::string();
+        });
+    ASSERT_EQ(err, "");
+  }
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_FALSE(assembler.mid_frame());
+}
+
+TEST(FrameCodecTest, OversizedLengthRejectedBeforeBuffering) {
+  crypto::Bytes wire(kFrameHeaderBytes, 0);
+  const std::uint32_t huge = static_cast<std::uint32_t>(kMaxFramePayload) + 1;
+  std::memcpy(wire.data(), &huge, 4);
+
+  FrameAssembler assembler;
+  const std::string err = assembler.absorb(
+      wire, [](std::span<const std::uint8_t>) { return std::string(); });
+  EXPECT_EQ(err, "frame: oversized length");
+  EXPECT_EQ(assembler.error(), "frame: oversized length");
+}
+
+TEST(FrameCodecTest, BadCrcRejectedAndPoisons) {
+  crypto::Bytes wire;
+  append_request_frame(wire, 5, "ep", bytes_of("payload"));
+  wire.back() ^= 0x01;  // flip one payload bit; the CRC no longer matches
+
+  FrameAssembler assembler;
+  const std::string err = assembler.absorb(
+      wire, [](std::span<const std::uint8_t>) { return std::string(); });
+  EXPECT_EQ(err, "frame: bad crc");
+
+  // Poisoned: even a pristine follow-up frame is refused — once framing
+  // is lost the stream cannot be trusted again.
+  crypto::Bytes good;
+  append_request_frame(good, 6, "ep", bytes_of("fine"));
+  std::size_t frames = 0;
+  const std::string again = assembler.absorb(
+      good, [&](std::span<const std::uint8_t>) {
+        ++frames;
+        return std::string();
+      });
+  EXPECT_EQ(again, "frame: bad crc");
+  EXPECT_EQ(frames, 0u);
+}
+
+TEST(FrameCodecTest, EnvelopeRejectsAreExact) {
+  RequestEnvelope req;
+  ResponseEnvelope resp;
+
+  const crypto::Bytes short_payload = {kEnvelopeRequest, 0x00};
+  EXPECT_EQ(parse_request(short_payload, req), "envelope: truncated");
+  EXPECT_EQ(parse_response({short_payload.data(), 1}, resp),
+            "envelope: truncated");
+
+  crypto::Bytes wrong_type;
+  append_request_frame(wrong_type, 1, "ep", {});
+  crypto::Bytes payload(wrong_type.begin() + kFrameHeaderBytes,
+                        wrong_type.end());
+  payload[0] = 0x7F;
+  EXPECT_EQ(parse_request(payload, req), "envelope: unknown type");
+  EXPECT_EQ(parse_response(payload, resp), "envelope: unknown type");
+
+  // endpoint_len pointing past the payload end.
+  crypto::Bytes bad_len;
+  append_request_frame(bad_len, 1, "endpoint", {});
+  crypto::Bytes bad_payload(bad_len.begin() + kFrameHeaderBytes,
+                            bad_len.end());
+  const std::uint32_t lie = 1000;
+  std::memcpy(bad_payload.data() + 9, &lie, 4);
+  EXPECT_EQ(parse_request(bad_payload, req), "envelope: bad endpoint length");
+}
+
+TEST(FrameCodecTest, TornFrameOnDisconnectIsDetectable) {
+  crypto::Bytes wire;
+  append_request_frame(wire, 8, "ep", bytes_of("the peer dies mid-message"));
+
+  FrameAssembler assembler;
+  std::size_t frames = 0;
+  // Deliver everything except the last byte, then "disconnect".
+  const std::string err = assembler.absorb(
+      {wire.data(), wire.size() - 1}, [&](std::span<const std::uint8_t>) {
+        ++frames;
+        return std::string();
+      });
+  EXPECT_EQ(err, "");
+  EXPECT_EQ(frames, 0u);
+  EXPECT_TRUE(assembler.mid_frame());  // what the reactor counts as torn
+  EXPECT_GT(assembler.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, PooledBufferIsReturnedOnDestruction) {
+  BufferPool pool(4);
+  {
+    FrameAssembler assembler(&pool);
+    crypto::Bytes wire;
+    append_request_frame(wire, 1, "ep", crypto::Bytes(600, 0xAB));
+    EXPECT_EQ(assembler.absorb(
+                  wire, [](std::span<const std::uint8_t>) {
+                    return std::string();
+                  }),
+              "");
+  }
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 1u);
+  EXPECT_EQ(stats.releases, 1u);
+  EXPECT_EQ(stats.pooled, 1u);
+
+  // The next assembler reuses the returned capacity.
+  FrameAssembler reuse(&pool);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+}
+
+TEST(FrameCodecTest, EmptyBodyAndEmptyEndpointFrames) {
+  crypto::Bytes wire;
+  append_request_frame(wire, 0, "", {});
+  append_response_frame(wire, 0, kStatusUnknownEndpoint, {});
+
+  FrameAssembler assembler;
+  std::size_t frames = 0;
+  const std::string err =
+      assembler.absorb(wire, [&](std::span<const std::uint8_t> payload) {
+        if (frames == 0) {
+          RequestEnvelope req;
+          EXPECT_EQ(parse_request(payload, req), "");
+          EXPECT_EQ(req.endpoint, "");
+          EXPECT_TRUE(req.body.empty());
+        } else {
+          ResponseEnvelope resp;
+          EXPECT_EQ(parse_response(payload, resp), "");
+          EXPECT_EQ(resp.status, kStatusUnknownEndpoint);
+          EXPECT_TRUE(resp.body.empty());
+        }
+        ++frames;
+        return std::string();
+      });
+  EXPECT_EQ(err, "");
+  EXPECT_EQ(frames, 2u);
+}
+
+}  // namespace
+}  // namespace alidrone::net::transport

@@ -1,0 +1,516 @@
+// Socket transport end-to-end (labelled `transport tsan`):
+//
+//   1. request/response over UDS and TCP with the exact error contract
+//      the in-process bus defines (out_of_range for unknown endpoints,
+//      rethrown handler errors, TimeoutError on resets, DeadlineExpired
+//      on hung reads);
+//   2. correlation-id multiplexing: many caller threads share a few
+//      sockets without crosstalk;
+//   3. ReliableChannel riding a socket client unmodified — a stalled
+//      server trips the per-attempt deadline, charges the breaker and
+//      bumps the deadline_expired counter (the retry loop stays live);
+//   4. the acceptance bar: an Auditor served over >= 1024 concurrent
+//      loopback connections produces verdicts, audit logs and a ledger
+//      root byte-identical to the same submissions over the in-process
+//      MessageBus.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "core/ingest.h"
+#include "core/zone_owner.h"
+#include "geo/units.h"
+#include "ledger/ledger.h"
+#include "net/codec.h"
+#include "net/message_bus.h"
+#include "net/transport/client.h"
+#include "net/transport/frame.h"
+#include "net/transport/server.h"
+#include "net/transport/sockets.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "resilience/reliable_channel.h"
+#include "resilience/sim_clock.h"
+#include "sim/route.h"
+
+namespace alidrone {
+namespace {
+
+using net::transport::TransportClient;
+using net::transport::TransportServer;
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr std::size_t kManyConnections = 256;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr std::size_t kManyConnections = 256;
+#else
+constexpr std::size_t kManyConnections = 1024;
+#endif
+#else
+constexpr std::size_t kManyConnections = 1024;
+#endif
+
+std::string unique_uds(const std::string& tag) {
+  return "uds:/tmp/alidrone_" + tag + "_" + std::to_string(getpid()) + ".sock";
+}
+
+crypto::Bytes bytes_of(std::string_view text) {
+  return crypto::Bytes(text.begin(), text.end());
+}
+
+// ---- 1. Contract over real sockets -------------------------------------
+
+class TransportContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TransportContractTest, EchoUnknownEndpointAndHandlerErrors) {
+  obs::MetricsRegistry registry;
+  TransportServer::Config config;
+  config.listen = {GetParam()};
+  config.workers = 2;
+  config.registry = &registry;
+  TransportServer server(std::move(config));
+  server.register_endpoint("echo", [](const crypto::Bytes& in) {
+    crypto::Bytes out = in;
+    out.push_back('!');
+    return out;
+  });
+  server.register_endpoint("boom", [](const crypto::Bytes&) -> crypto::Bytes {
+    throw std::runtime_error("handler exploded");
+  });
+  server.start();
+
+  TransportClient::Config client_config;
+  client_config.address = server.bound_addresses()[0];
+  client_config.registry = &registry;
+  TransportClient client(std::move(client_config));
+
+  crypto::Bytes expected = bytes_of("hello");
+  expected.push_back('!');
+  EXPECT_EQ(client.request("echo", bytes_of("hello")), expected);
+  EXPECT_EQ(client.request("echo", crypto::Bytes{}), bytes_of("!"));
+
+  EXPECT_THROW(client.request("nope", bytes_of("x")), std::out_of_range);
+  try {
+    client.request("boom", bytes_of("x"));
+    FAIL() << "handler error not propagated";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "handler exploded");
+  }
+
+  // Clients have no server side.
+  EXPECT_THROW(client.register_endpoint("x", [](const crypto::Bytes& in) {
+    return in;
+  }),
+               std::logic_error);
+
+  // Local loopback dispatch on the server itself (what a co-resident
+  // ReplicatedAuditor uses) shares the endpoint table.
+  EXPECT_EQ(server.request("echo", bytes_of("local")), bytes_of("local!"));
+  EXPECT_THROW(server.request("nope", bytes_of("x")), std::out_of_range);
+
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(UdsAndTcp, TransportContractTest,
+                         ::testing::Values(std::string("tcp:127.0.0.1:0"),
+                                           unique_uds("contract")));
+
+TEST(TransportTest, ConnectionTraceAndCountersTrack) {
+  obs::MetricsRegistry registry;
+  obs::FlightRecorder recorder(1, 128);
+  TransportServer::Config config;
+  config.listen = {unique_uds("trace")};
+  config.workers = 1;
+  config.registry = &registry;
+  TransportServer server(std::move(config));
+  server.set_trace(&recorder);
+  server.register_endpoint("echo",
+                           [](const crypto::Bytes& in) { return in; });
+  server.start();
+
+  {
+    TransportClient::Config client_config;
+    client_config.address = server.bound_addresses()[0];
+    client_config.registry = &registry;
+    TransportClient client(std::move(client_config));
+    EXPECT_EQ(client.request("echo", bytes_of("ping")), bytes_of("ping"));
+    EXPECT_EQ(client.stats().requests, 1u);
+    EXPECT_EQ(client.stats().connects, 1u);
+  }  // client destruction closes the socket
+
+  // Poll briefly: the close lands on the worker asynchronously.
+  for (int i = 0; i < 100 && server.stats().conns_closed < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const TransportServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.conns_opened, 1u);
+  EXPECT_EQ(stats.conns_closed, 1u);
+  EXPECT_EQ(stats.frames_in, 1u);
+  EXPECT_EQ(stats.frames_out, 1u);
+  EXPECT_EQ(stats.requests_handled, 1u);
+  EXPECT_EQ(stats.torn_frames, 0u);
+  server.stop();
+
+  bool saw_open = false;
+  bool saw_close = false;
+  for (const obs::TraceEvent& event : recorder.events()) {
+    if (event.kind != obs::TraceKind::kTransportConn) continue;
+    if (event.a == 1) saw_open = true;
+    if (event.a == 0) saw_close = true;
+  }
+  EXPECT_TRUE(saw_open);
+  EXPECT_TRUE(saw_close);
+}
+
+// ---- 2. Correlation-id multiplexing ------------------------------------
+
+TEST(TransportTest, ManyThreadsMultiplexFewConnections) {
+  obs::MetricsRegistry registry;
+  TransportServer::Config config;
+  config.listen = {unique_uds("mux")};
+  config.workers = 2;
+  config.registry = &registry;
+  TransportServer server(std::move(config));
+  server.register_endpoint("double", [](const crypto::Bytes& in) {
+    crypto::Bytes out = in;
+    out.insert(out.end(), in.begin(), in.end());
+    return out;
+  });
+  server.start();
+
+  TransportClient::Config client_config;
+  client_config.address = server.bound_addresses()[0];
+  client_config.connections = 2;  // 8 threads share 2 sockets
+  client_config.registry = &registry;
+  TransportClient client(std::move(client_config));
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 25;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&client, &mismatches, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const crypto::Bytes payload =
+            bytes_of("t" + std::to_string(t) + ".r" + std::to_string(i));
+        crypto::Bytes expected = payload;
+        expected.insert(expected.end(), payload.begin(), payload.end());
+        if (client.request("double", payload) != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(client.stats().requests, kThreads * kPerThread);
+  EXPECT_EQ(client.stats().connects, 2u);  // the pool, not one per request
+  EXPECT_EQ(server.stats().requests_handled, kThreads * kPerThread);
+  server.stop();
+}
+
+// ---- 3. Deadlines: a hung socket trips retry/breaker -------------------
+
+TEST(TransportTest, DeadlineExpiredOnHungHandler) {
+  obs::MetricsRegistry registry;
+  TransportServer::Config config;
+  config.listen = {unique_uds("deadline")};
+  config.workers = 2;
+  config.registry = &registry;
+  TransportServer server(std::move(config));
+  server.register_endpoint("slow", [](const crypto::Bytes& in) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return in;
+  });
+  server.register_endpoint("fast",
+                           [](const crypto::Bytes& in) { return in; });
+  server.start();
+
+  TransportClient::Config client_config;
+  client_config.address = server.bound_addresses()[0];
+  client_config.connections = 2;
+  client_config.registry = &registry;
+  TransportClient client(std::move(client_config));
+
+  // Raw client: the 3-arg request throws DeadlineExpired, which IS a
+  // TimeoutError (so untyped retry loops keep working).
+  EXPECT_THROW(client.request("slow", bytes_of("x"), 0.02),
+               net::DeadlineExpired);
+  try {
+    client.request("slow", bytes_of("x"), 0.02);
+    FAIL() << "deadline did not fire";
+  } catch (const net::TimeoutError&) {
+  }
+  EXPECT_EQ(client.stats().deadline_expired, 2u);
+
+  // ReliableChannel over the socket client, unmodified: each hung
+  // attempt costs attempt_timeout_s, bumps deadline_expired, charges the
+  // breaker, and the retry loop regains control instead of hanging.
+  resilience::SimClock clock;
+  resilience::ReliableChannel::Config channel_config;
+  channel_config.retry.max_attempts = 3;
+  channel_config.retry.attempt_timeout_s = 0.02;
+  channel_config.retry.initial_backoff_s = 0.01;
+  channel_config.retry.deadline_s = 0.0;  // per-attempt deadline does the work
+  channel_config.breaker.failure_threshold = 3;
+  channel_config.breaker.cooldown_s = 1000.0;
+  channel_config.metrics = &registry;
+  resilience::ReliableChannel channel(client, clock, channel_config);
+
+  const auto outcome = channel.request("slow", bytes_of("x"));
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_NE(outcome.error.find("attempt deadline"), std::string::npos);
+  EXPECT_EQ(channel.counters().deadline_expired, 3u);
+  EXPECT_EQ(channel.breaker_trips(), 1u);  // 3 failures tripped the breaker
+
+  // The breaker now fails fast — no socket wait at all.
+  const auto fast_fail = channel.request("slow", bytes_of("x"));
+  EXPECT_FALSE(fast_fail.ok);
+  EXPECT_TRUE(fast_fail.circuit_open);
+
+  // Let the stalled responses land (and be dropped as unmatched ids),
+  // then prove the connections survived the abandonments.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_EQ(client.request("fast", bytes_of("still alive")),
+            bytes_of("still alive"));
+  server.stop();
+}
+
+// ---- 4. The acceptance bar: >= 1024 connections, byte-identical --------
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kTestKeyBits = 512;
+
+const geo::LocalFrame& test_frame() {
+  static const geo::LocalFrame frame(geo::GeoPoint{40.0, -88.0});
+  return frame;
+}
+
+std::vector<geo::GeoZone> test_zones() {
+  std::vector<geo::GeoZone> zones;
+  for (double x : {100.0, 300.0}) {
+    zones.push_back({test_frame().to_geo(geo::Vec2{x, 400.0}), 30.0});
+  }
+  return zones;
+}
+
+core::ProofOfAlibi make_flight_poa(core::DroneClient& client, double start,
+                                   std::uint64_t gps_seed) {
+  sim::Route route(
+      test_frame(),
+      {{geo::Vec2{0.0, 0.0}, 10.0}, {geo::Vec2{600.0, 0.0}, 10.0}}, start);
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = start;
+  rc.seed = gps_seed;
+  gps::GpsReceiverSim receiver(rc, route.as_position_source());
+
+  std::vector<geo::Circle> local_zones;
+  for (const geo::GeoZone& z : test_zones()) {
+    local_zones.push_back({test_frame().to_local(z.center), z.radius_m});
+  }
+  core::AdaptiveSampler policy(test_frame(), local_zones,
+                               geo::kFaaMaxSpeedMps, 0.2);
+  core::FlightConfig config;
+  config.end_time = start + 30.0;
+  config.frame = test_frame();
+  config.local_zones = local_zones;
+  return client.fly(receiver, policy, config);
+}
+
+/// One raw framed request on an already-connected blocking socket.
+crypto::Bytes raw_request(int fd, std::uint64_t correlation,
+                          const std::string& endpoint,
+                          const crypto::Bytes& body) {
+  using namespace net::transport;
+  crypto::Bytes frame;
+  append_request_frame(frame, correlation, endpoint, body);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = write(fd, frame.data() + off, frame.size() - off);
+    if (n <= 0) throw std::runtime_error("raw_request: write failed");
+    off += static_cast<std::size_t>(n);
+  }
+
+  FrameAssembler assembler;
+  crypto::Bytes response;
+  bool done = false;
+  while (!done) {
+    const std::span<std::uint8_t> dst = assembler.writable(4096);
+    const ssize_t n = read(fd, dst.data(), dst.size());
+    if (n <= 0) throw std::runtime_error("raw_request: read failed");
+    const std::string err = assembler.commit(
+        static_cast<std::size_t>(n), 4096,
+        [&](std::span<const std::uint8_t> payload) -> std::string {
+          ResponseEnvelope resp;
+          const std::string perr = parse_response(payload, resp);
+          if (!perr.empty()) return perr;
+          if (resp.correlation_id != correlation) {
+            return "unexpected correlation id";
+          }
+          if (resp.status != kStatusOk) return "non-ok status";
+          response.assign(resp.body.begin(), resp.body.end());
+          done = true;
+          return std::string();
+        });
+    if (!err.empty()) throw std::runtime_error("raw_request: " + err);
+  }
+  return response;
+}
+
+TEST(TransportAuditorTest, ByteIdenticalToBusOver1024Connections) {
+  net::transport::raise_fd_limit(kManyConnections + 256);
+
+  // Shared, generated once: the drone, its proofs, the zone requests.
+  // Both runs then see byte-identical wire traffic.
+  crypto::DeterministicRandom operator_rng("transport-operator");
+  crypto::DeterministicRandom owner_rng("transport-owner");
+  tee::DroneTee::Config tee_config;
+  tee_config.key_bits = kTestKeyBits;
+  tee_config.manufacturing_seed = "transport-device";
+  tee::DroneTee tee(tee_config);
+  core::DroneClient drone(tee, kTestKeyBits, operator_rng);
+  core::ZoneOwner owner(kTestKeyBits, owner_rng);
+  std::vector<core::RegisterZoneRequest> zone_requests;
+  for (const geo::GeoZone& zone : test_zones()) {
+    zone_requests.push_back(owner.make_zone_request(zone, "transport zone"));
+  }
+
+  auto make_auditor = [&](obs::MetricsRegistry& reg) {
+    crypto::DeterministicRandom auditor_rng("transport-auditor");
+    core::ProtocolParams params;
+    params.auditor_shards = 8;
+    params.metrics = &reg;
+    auto auditor =
+        std::make_unique<core::Auditor>(kTestKeyBits, auditor_rng, params);
+    for (const core::RegisterZoneRequest& request : zone_requests) {
+      auditor->register_zone(request);
+    }
+    return auditor;
+  };
+
+  // Proof frames: 3 distinct flights, serialized once.
+  std::vector<crypto::Bytes> frames;
+  std::vector<core::ProofOfAlibi> poas;
+  // The drone must know its id before flying; register against a
+  // throwaway auditor wired over a bus (the registration request bytes
+  // are deterministic, so re-registering later runs is idempotent).
+  {
+    obs::MetricsRegistry scratch_reg;
+    auto scratch = make_auditor(scratch_reg);
+    net::MessageBus scratch_bus;
+    scratch->bind(scratch_bus);
+    ASSERT_TRUE(drone.register_with_auditor(scratch_bus));
+  }
+  for (int f = 0; f < 3; ++f) {
+    poas.push_back(make_flight_poa(drone, kT0 + f * 100.0, 70u + f));
+    frames.push_back(core::SubmitPoaRequest{poas.back().serialize()}.encode());
+  }
+
+  // ---- Baseline: the in-process MessageBus run ----
+  std::vector<crypto::Bytes> bus_verdicts;
+  ledger::Digest bus_root;
+  std::uint64_t bus_entries = 0;
+  std::size_t bus_audit_events = 0;
+  {
+    obs::MetricsRegistry reg;
+    auto auditor = make_auditor(reg);
+    auto led = std::make_shared<ledger::Ledger>();
+    auto log = std::make_shared<core::AuditLog>();
+    log->attach_ledger(led);
+    auditor->attach_audit_log(log);
+
+    net::MessageBus bus;
+    auditor->bind(bus);
+    core::AuditorIngest::Config ingest_config;
+    ingest_config.verify_threads = 2;
+    core::AuditorIngest ingest(*auditor, ingest_config);
+    ingest.bind(bus);
+
+    ASSERT_TRUE(drone.register_with_auditor(bus));
+    for (std::size_t i = 0; i < kManyConnections; ++i) {
+      bus_verdicts.push_back(
+          bus.request("auditor.submit_poa", frames[i % frames.size()]));
+    }
+    bus_root = led->root_hash();
+    bus_entries = led->entry_count();
+    bus_audit_events = log->size();
+  }
+  ASSERT_GT(bus_entries, 0u);
+
+  // ---- Socket run: same submissions over >= 1024 live connections ----
+  std::vector<crypto::Bytes> socket_verdicts;
+  {
+    obs::MetricsRegistry reg;
+    auto auditor = make_auditor(reg);
+    auto led = std::make_shared<ledger::Ledger>();
+    auto log = std::make_shared<core::AuditLog>();
+    log->attach_ledger(led);
+    auditor->attach_audit_log(log);
+
+    TransportServer::Config config;
+    config.listen = {unique_uds("byteident")};
+    config.workers = 2;
+    config.pool_buffers = 64;
+    config.registry = &reg;
+    TransportServer server(std::move(config));
+    auditor->bind(server);
+    core::AuditorIngest::Config ingest_config;
+    ingest_config.verify_threads = 2;
+    core::AuditorIngest ingest(*auditor, ingest_config);
+    ingest.bind(server);
+    server.start();
+    const std::string address = server.bound_addresses()[0];
+
+    {
+      TransportClient::Config client_config;
+      client_config.address = address;
+      TransportClient register_client(std::move(client_config));
+      ASSERT_TRUE(drone.register_with_auditor(register_client));
+    }
+
+    // Establish every connection first — all concurrently open for the
+    // whole submission phase — then submit in the bus run's order.
+    // Serialized submission fixes the commit order; the concurrency
+    // claim is that the server holds and serves 1024 live sockets.
+    std::vector<int> fds;
+    fds.reserve(kManyConnections);
+    for (std::size_t i = 0; i < kManyConnections; ++i) {
+      fds.push_back(net::transport::connect_socket(address, 5.0));
+    }
+    for (std::size_t i = 0; i < kManyConnections; ++i) {
+      socket_verdicts.push_back(raw_request(
+          fds[i], i + 1, "auditor.submit_poa", frames[i % frames.size()]));
+    }
+    const TransportServer::Stats stats = server.stats();
+    EXPECT_GE(stats.conns_opened, kManyConnections);
+    // +1: the drone registration also went over the socket.
+    EXPECT_EQ(stats.requests_handled, kManyConnections + 1);
+    for (const int fd : fds) close(fd);
+    server.stop();
+
+    EXPECT_EQ(led->root_hash(), bus_root);
+    EXPECT_EQ(led->entry_count(), bus_entries);
+    EXPECT_EQ(log->size(), bus_audit_events);
+  }
+
+  ASSERT_EQ(socket_verdicts.size(), bus_verdicts.size());
+  for (std::size_t i = 0; i < bus_verdicts.size(); ++i) {
+    ASSERT_EQ(socket_verdicts[i], bus_verdicts[i]) << "submission " << i;
+  }
+}
+
+}  // namespace
+}  // namespace alidrone
