@@ -1,0 +1,156 @@
+// Fleet campaign bench (FlightActor + FleetScheduler PR).
+//
+// Flies one adversarial fleet campaign — N concurrent flights on the
+// deterministic scheduler, submitted through the batched AuditorIngest
+// into the ledger-anchored audit pipeline — and reports end-to-end
+// throughput plus the Auditor's per-attack-class detection quality.
+// Built-in shape checks so CI can run this as a smoke test:
+//
+//   - the same seed re-run with a different scheduler worker count must
+//     reproduce the campaign fingerprint byte-identically;
+//   - chain-forge and replay attacks must score precision/recall 1.0.
+//
+// Usage: bench_fleet_campaign [--flights N] [--workers W] [--shards S]
+//                             [--verify-threads V] [--seed X]
+//                             [--json <path>] [--metrics <path>]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "sim/campaign.h"
+
+namespace alidrone {
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Options {
+  std::size_t flights = 128;
+  std::size_t workers = 4;
+  std::size_t shards = 8;
+  std::size_t verify_threads = 2;
+  std::uint64_t seed = 1;
+};
+
+std::optional<std::size_t> take_size_flag(int& argc, char** argv,
+                                          const std::string& name) {
+  const auto text = bench::take_path_flag(argc, argv, name);
+  if (!text) return std::nullopt;
+  return static_cast<std::size_t>(std::strtoull(text->c_str(), nullptr, 10));
+}
+
+int run(int argc, char** argv) {
+  const auto json_path = bench::take_json_flag(argc, argv);
+  bench::MetricsDump metrics_dump(bench::take_metrics_flag(argc, argv),
+                                  "bench_fleet_campaign");
+
+  Options opt;
+  if (const auto v = take_size_flag(argc, argv, "flights")) opt.flights = *v;
+  if (const auto v = take_size_flag(argc, argv, "workers")) opt.workers = *v;
+  if (const auto v = take_size_flag(argc, argv, "shards")) opt.shards = *v;
+  if (const auto v = take_size_flag(argc, argv, "verify-threads")) {
+    opt.verify_threads = *v;
+  }
+  if (const auto v = take_size_flag(argc, argv, "seed")) opt.seed = *v;
+
+  sim::CampaignConfig config;
+  config.flights = opt.flights;
+  config.seed = opt.seed;
+  config.scheduler_workers = opt.workers;
+  config.auditor_shards = opt.shards;
+  config.ingest_verify_threads = opt.verify_threads;
+
+  const double t0 = now_s();
+  const sim::CampaignReport report = sim::run_campaign(config);
+  const double elapsed = now_s() - t0;
+  const double proofs_per_sec =
+      static_cast<double>(report.outcomes.size()) / elapsed;
+
+  std::printf("fleet campaign: %zu flights, %zu workers, %zu shards, %zu "
+              "verify threads, seed %llu\n",
+              opt.flights, opt.workers, opt.shards, opt.verify_threads,
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("  %.2f s wall, %.1f proofs/sec, %llu scheduler steps in %llu "
+              "batches (max batch %llu)\n",
+              elapsed, proofs_per_sec,
+              static_cast<unsigned long long>(report.scheduler.steps),
+              static_cast<unsigned long long>(report.scheduler.batches),
+              static_cast<unsigned long long>(report.scheduler.max_batch));
+  std::printf("  %-15s %8s %8s %10s %8s\n", "class", "flights", "flagged",
+              "precision", "recall");
+  for (std::size_t c = 0; c < sim::kAttackClassCount; ++c) {
+    const sim::ClassMetrics& m = report.per_class[c];
+    std::printf("  %-15s %8zu %8zu %10.3f %8.3f\n",
+                sim::attack_class_name(static_cast<sim::AttackClass>(c)),
+                m.flights, m.flagged, m.precision, m.recall);
+  }
+  std::printf("  ledger: %llu entries, root %.16s...\n",
+              static_cast<unsigned long long>(report.ledger_entries),
+              report.ledger_root_hex.c_str());
+
+  // Shape check 1: a serial re-run of the same seed must land on the
+  // same fingerprint (worker-count independence).
+  sim::CampaignConfig serial = config;
+  serial.scheduler_workers = 1;
+  const sim::CampaignReport replay = sim::run_campaign(serial);
+  if (replay.fingerprint() != report.fingerprint()) {
+    std::fprintf(stderr, "FAIL: fingerprint differs between %zu-worker and "
+                 "serial runs of seed %llu\n",
+                 opt.workers, static_cast<unsigned long long>(opt.seed));
+    return 1;
+  }
+  // Shape check 2: the hard-reject attack classes must be detected
+  // perfectly.
+  for (const sim::AttackClass c :
+       {sim::AttackClass::kChainForge, sim::AttackClass::kReplay}) {
+    const sim::ClassMetrics& m = report.per_class[static_cast<std::size_t>(c)];
+    if (m.flights == 0) continue;
+    if (m.precision != 1.0 || m.recall != 1.0) {
+      std::fprintf(stderr, "FAIL: %s precision/recall %.3f/%.3f (want 1/1)\n",
+                   sim::attack_class_name(c), m.precision, m.recall);
+      return 1;
+    }
+  }
+  std::printf("  replay check: serial fingerprint identical; "
+              "chain-forge/replay at 1.0/1.0\n");
+
+  if (json_path) {
+    bench::JsonRecordWriter writer(*json_path);
+    const std::string cfg = "flights=" + std::to_string(opt.flights) +
+                            ",workers=" + std::to_string(opt.workers) +
+                            ",shards=" + std::to_string(opt.shards);
+    writer.write("bench_fleet_campaign", cfg, "proofs_per_sec", proofs_per_sec);
+    writer.write("bench_fleet_campaign", cfg, "wall_seconds", elapsed);
+    writer.write("bench_fleet_campaign", cfg, "scheduler_batches",
+                 static_cast<double>(report.scheduler.batches));
+    writer.write("bench_fleet_campaign", cfg, "scheduler_max_batch",
+                 static_cast<double>(report.scheduler.max_batch));
+    writer.write("bench_fleet_campaign", cfg, "ledger_entries",
+                 static_cast<double>(report.ledger_entries));
+    for (std::size_t c = 0; c < sim::kAttackClassCount; ++c) {
+      const sim::ClassMetrics& m = report.per_class[c];
+      if (m.flights == 0) continue;
+      const std::string name =
+          sim::attack_class_name(static_cast<sim::AttackClass>(c));
+      writer.write("bench_fleet_campaign", cfg, name + "_precision",
+                   m.precision);
+      writer.write("bench_fleet_campaign", cfg, name + "_recall", m.recall);
+    }
+    if (!writer.ok()) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", json_path->c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace alidrone
+
+int main(int argc, char** argv) { return alidrone::run(argc, argv); }

@@ -74,6 +74,12 @@ run_bench bench_adaptive_ablation
 # Fleet-scale ingestion (exit code checks serial/pipeline verdict parity).
 run_bench bench_auditor_scale --drones 8 --proofs 4
 
+# Adversarial fleet campaign on the deterministic scheduler (exit code
+# checks serial-replay fingerprint identity and perfect chain-forge /
+# replay detection).
+run_bench bench_fleet_campaign --flights 64 --workers 4 --shards 8 \
+  --verify-threads 2
+
 # Ledger append/proof throughput and replica catch-up (exit code checks
 # root equality, proof verification and the reapplied-write count).
 run_bench bench_ledger_replication --appends 4000 --durable-appends 1000 \

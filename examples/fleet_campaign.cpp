@@ -1,0 +1,79 @@
+// Fleet campaign demo (ROADMAP item 5): a whole adversarial fleet in
+// one process. Thirty-two TEE-equipped drones fly concurrently on the
+// deterministic FleetScheduler — swarm, delivery and corridor route
+// families, each skirting its own no-fly zone — while half the fleet
+// runs the operator playbook from core/attacks (chain forge, replay,
+// tamper, drop-window, navigation-deviation spoofing, thinning abuse).
+// Every proof flows through the real batched ingest pipeline into the
+// Merkle-anchored audit ledger; the Auditor's per-class detection
+// quality and the campaign's replay fingerprint are printed at the end.
+//
+// Exits non-zero if any attack class scores below precision/recall 1.0
+// or if a serial re-run of the same seed fails to reproduce the
+// campaign fingerprint byte for byte — the two properties every other
+// scale (the 512-flight ctest, the CI smoke bench) also pins.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/campaign.h"
+
+using namespace alidrone;
+
+int main(int argc, char** argv) {
+  std::printf("AliDrone fleet campaign\n=======================\n\n");
+
+  sim::CampaignConfig config;
+  config.flights = 32;
+  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  config.scheduler_workers = 4;
+  config.auditor_shards = 8;
+  config.ingest_verify_threads = 2;
+  config.adversary_fraction = 0.5;
+
+  std::printf("flying %zu drones (seed %llu): %zu scheduler workers, "
+              "%zu auditor shards, %zu ingest verifiers...\n\n",
+              config.flights, static_cast<unsigned long long>(config.seed),
+              config.scheduler_workers, config.auditor_shards,
+              config.ingest_verify_threads);
+  const sim::CampaignReport report = sim::run_campaign(config);
+
+  std::printf("  %-15s %8s %8s %10s %8s\n", "class", "flights", "flagged",
+              "precision", "recall");
+  bool perfect = true;
+  for (std::size_t c = 0; c < sim::kAttackClassCount; ++c) {
+    const sim::ClassMetrics& m = report.per_class[c];
+    std::printf("  %-15s %8zu %8zu %10.3f %8.3f\n",
+                sim::attack_class_name(static_cast<sim::AttackClass>(c)),
+                m.flights, m.flagged, m.precision, m.recall);
+    perfect = perfect && m.precision == 1.0 && m.recall == 1.0;
+  }
+  std::printf("\n  ingest: %llu submitted, %llu committed, %llu duplicates\n",
+              static_cast<unsigned long long>(report.ingest.submitted),
+              static_cast<unsigned long long>(report.ingest.committed),
+              static_cast<unsigned long long>(report.ingest.duplicates));
+  std::printf("  audit trail: %zu events, ledger root %.16s...\n",
+              report.audit_events, report.ledger_root_hex.c_str());
+  std::printf("  scheduler: %llu steps in %llu batches (max batch %llu)\n",
+              static_cast<unsigned long long>(report.scheduler.steps),
+              static_cast<unsigned long long>(report.scheduler.batches),
+              static_cast<unsigned long long>(report.scheduler.max_batch));
+
+  // Replay: the campaign is a pure function of its seed.
+  sim::CampaignConfig serial = config;
+  serial.scheduler_workers = 1;
+  serial.auditor_shards = 1;
+  serial.ingest_verify_threads = 0;
+  const bool replays =
+      sim::run_campaign(serial).fingerprint() == report.fingerprint();
+  std::printf("  serial replay of seed %llu: fingerprint %s\n",
+              static_cast<unsigned long long>(config.seed),
+              replays ? "IDENTICAL" : "DIVERGED");
+
+  if (!perfect || !replays) {
+    std::printf("\nUNEXPECTED: detection below 1.0 or replay diverged\n");
+    return 1;
+  }
+  std::printf("\nEvery attack flagged, no honest drone accused, campaign "
+              "replayable from its seed.\n");
+  return 0;
+}

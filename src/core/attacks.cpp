@@ -62,6 +62,43 @@ ProofOfAlibi drop_samples(const ProofOfAlibi& poa, std::size_t from, std::size_t
   return out;
 }
 
+gps::PositionSource spoofed_drift_source(gps::PositionSource truth,
+                                         const geo::LocalFrame& frame,
+                                         geo::Vec2 target_local,
+                                         double start_time, double drift_mps) {
+  return [truth = std::move(truth), frame, target_local, start_time,
+          drift_mps](double unix_time) {
+    gps::GpsFix fix = truth(unix_time);
+    if (unix_time <= start_time || drift_mps <= 0.0) return fix;
+    const geo::Vec2 honest = frame.to_local(fix.position);
+    const geo::Vec2 to_target = target_local - honest;
+    const double gap = to_target.norm();
+    if (gap <= 1e-9) return fix;
+    // The spoofed offset budget grows linearly from onset; once it covers
+    // the remaining gap the drone reads as parked on the target.
+    const double budget = drift_mps * (unix_time - start_time);
+    const double frac = std::min(1.0, budget / gap);
+    fix.position = frame.to_geo(honest + to_target * frac);
+    return fix;
+  };
+}
+
+ProofOfAlibi thinning_abuse(const ProofOfAlibi& poa, std::size_t keep) {
+  ProofOfAlibi out = poa;
+  const std::size_t n = out.samples.size();
+  if (keep < 2) keep = 2;
+  if (n <= keep) return out;
+  std::vector<SignedSample> kept;
+  kept.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    // Evenly spaced over [0, n-1]; i=0 keeps the first sample and
+    // i=keep-1 the last, anchoring the claimed flight window.
+    kept.push_back(out.samples[(i * (n - 1)) / (keep - 1)]);
+  }
+  out.samples = std::move(kept);
+  return out;
+}
+
 namespace {
 
 /// Pin a fix's timestamp to the midpoint of `interval` so the claimed

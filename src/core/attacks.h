@@ -25,7 +25,9 @@
 #include "core/poa.h"
 #include "crypto/hash_chain.h"
 #include "crypto/random.h"
+#include "geo/geopoint.h"
 #include "gps/fix.h"
+#include "gps/receiver_sim.h"
 #include "tee/sample_codec.h"
 
 namespace alidrone::core::attacks {
@@ -54,6 +56,29 @@ ProofOfAlibi tamper_time(const ProofOfAlibi& poa, std::size_t index,
 /// Remove samples [from, to); signatures stay valid but the time gap
 /// makes the alibi insufficient near any zone the drone approached.
 ProofOfAlibi drop_samples(const ProofOfAlibi& poa, std::size_t from, std::size_t to);
+
+/// Gradual GPS-spoofing navigation deviation: wrap the drone's true
+/// trajectory in a position source that, from `start_time` onward, drifts
+/// the reported position toward `target_local` (frame coordinates) at
+/// `drift_mps`. The offset grows slowly enough to ride under jump-detection
+/// heuristics, but because every spoofed fix is signed by the real TEE the
+/// PoA honestly documents the deviated path — an Auditor whose zone covers
+/// the target sees the entry (accepted, non-compliant, violations > 0).
+/// This is the paper's "GPS spoofing moves the drone, not the proof"
+/// observation: the attack defeats navigation, never the alibi.
+gps::PositionSource spoofed_drift_source(gps::PositionSource truth,
+                                         const geo::LocalFrame& frame,
+                                         geo::Vec2 target_local,
+                                         double start_time, double drift_mps);
+
+/// Thinning abuse: over-thin an honestly signed PoA down to `keep`
+/// samples (first and last always survive, the rest evenly spaced),
+/// mimicking a legitimate thin_poa pass but ignoring the sufficiency
+/// constraint. Signatures stay valid; near any zone the drone approached
+/// the surviving gaps violate eq. (1), so the Auditor must flag the PoA
+/// as insufficient rather than silently accept the sparse trace.
+/// `keep` is clamped to [2, samples.size()].
+ProofOfAlibi thinning_abuse(const ProofOfAlibi& poa, std::size_t keep);
 
 // ---- TESLA broadcast-mode attacks ----
 

@@ -140,17 +140,7 @@ std::optional<std::vector<ZoneInfo>> DroneClient::query_zones(
 ProofOfAlibi DroneClient::fly(gps::GpsReceiverSim& receiver, SamplingPolicy& policy,
                               FlightConfig config, crypto::HashAlgorithm hash) {
   last_flight_ = run_flight(tee_, receiver, policy, config);
-
-  ProofOfAlibi poa;
-  poa.drone_id = id_;
-  poa.mode = config.auth_mode;
-  poa.hash = hash;
-  poa.encrypted = config.auditor_encryption_key.has_value();
-  poa.samples = last_flight_.poa_samples;
-  poa.session_key_ciphertext = last_flight_.session_key_ciphertext;
-  poa.session_key_signature = last_flight_.session_key_signature;
-  poa.batch_signature = last_flight_.batch_signature;
-  return poa;
+  return assemble_poa(id_, config, hash, last_flight_);
 }
 
 std::optional<PoaVerdict> DroneClient::submit_poa(net::Transport& bus,

@@ -1,204 +1,32 @@
 #include "core/flight.h"
 
-#include <stdexcept>
-
-#include "core/sufficiency.h"
-#include "crypto/random.h"
-#include "tee/gps_sampler_ta.h"
+#include "core/flight_actor.h"
 
 namespace alidrone::core {
 
-namespace {
-
-/// Extra invocations allowed per command to ride out transient (kBusy)
-/// world-switch failures. Bounded: a persistently busy secure world must
-/// surface as a tee_failure, not hang the flight loop.
-constexpr int kMaxTransientRetries = 3;
-
-tee::InvokeResult invoke_sampler(tee::DroneTee& tee, tee::SamplerCommand command,
-                                 std::span<const crypto::Bytes> params = {},
-                                 std::uint64_t* retries = nullptr) {
-  tee::InvokeResult result = tee.monitor().invoke(
-      tee.sampler_uuid(), static_cast<std::uint32_t>(command), params);
-  for (int attempt = 0;
-       result.status == tee::TeeStatus::kBusy && attempt < kMaxTransientRetries;
-       ++attempt) {
-    if (retries != nullptr) ++*retries;
-    result = tee.monitor().invoke(tee.sampler_uuid(),
-                                  static_cast<std::uint32_t>(command), params);
-  }
-  return result;
-}
-
-}  // namespace
-
 FlightResult run_flight(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
                         SamplingPolicy& policy, const FlightConfig& config) {
-  FlightResult result;
-  gps::GpsDriver normal_world_driver;  // the Adapter's ReadGPS() source
-  std::uint64_t last_seq = 0;
+  // Thin single-actor driver: the whole loop lives in FlightActor now
+  // (one receiver tick per step). No submission phase and no transport —
+  // a plain flight never enqueues a send.
+  FlightActor actor(tee, receiver, policy, config);
+  while (!actor.done()) actor.step();
+  return actor.take_flight();
+}
 
-  // Audit-trail the secure driver's evidence loss. Overflows are frequent
-  // on the per-sample path (it never drains the pending queue), so instead
-  // of one event per dropped fix the flight records the onset plus an
-  // end-of-flight summary. The listener borrows config.audit, so it is
-  // detached again on any exit.
-  struct DropListenerGuard {
-    tee::DroneTee& tee;
-    bool armed = false;
-    ~DropListenerGuard() {
-      if (armed) tee.set_gps_drop_listener(nullptr);
-    }
-  } drop_guard{tee};
-  const std::uint64_t dropped_at_start = tee.gps_fixes_dropped();
-  bool drop_onset_logged = false;
-  if (config.audit != nullptr) {
-    drop_guard.armed = true;
-    tee.set_gps_drop_listener(
-        [audit = config.audit, &drop_onset_logged](const gps::GpsFix& dropped,
-                                                   std::uint64_t total) {
-          if (drop_onset_logged) return;
-          drop_onset_logged = true;
-          AuditEvent event;
-          event.time = dropped.unix_time;
-          event.type = AuditEventType::kGpsFixDropped;
-          event.subject = "tee-gps-driver";
-          event.outcome_ok = false;
-          event.detail = "pending-fix queue overflow began; total dropped=" +
-                         std::to_string(total);
-          audit->record(std::move(event));
-        });
-  }
-
-  crypto::SecureRandom os_entropy;
-  crypto::RandomSource& encryption_rng =
-      config.encryption_rng != nullptr ? *config.encryption_rng : os_entropy;
-  const double period = receiver.update_period();
-  const double start = receiver.next_update_time();
-
-  if (config.cpu != nullptr) {
-    tee.set_cost_meter(config.cpu, config.cost_profile);
-  }
-
-  // Mode-specific flight setup.
-  tee::SamplerCommand sample_command = tee::SamplerCommand::kGetGpsAuth;
-  if (config.auth_mode == AuthMode::kHmacSession) {
-    if (!config.auditor_encryption_key) {
-      throw std::invalid_argument(
-          "run_flight: HMAC mode needs the Auditor's public key");
-    }
-    const std::vector<crypto::Bytes> params{
-        config.auditor_encryption_key->n.to_bytes(),
-        config.auditor_encryption_key->e.to_bytes()};
-    const tee::InvokeResult established = invoke_sampler(
-        tee, tee::SamplerCommand::kEstablishHmacKey, params, &result.tee_retries);
-    if (!established.ok() || established.outputs.size() != 2) {
-      throw std::runtime_error("run_flight: HMAC session key establishment failed");
-    }
-    result.session_key_ciphertext = established.outputs[0];
-    result.session_key_signature = established.outputs[1];
-    sample_command = tee::SamplerCommand::kGetGpsHmac;
-  } else if (config.auth_mode == AuthMode::kBatchSignature) {
-    if (!invoke_sampler(tee, tee::SamplerCommand::kBatchBegin, {},
-                        &result.tee_retries)
-             .ok()) {
-      throw std::runtime_error("run_flight: batch begin failed");
-    }
-    sample_command = tee::SamplerCommand::kBatchAppend;
-  }
-
-  for (double now = start; now <= config.end_time + 1e-9; now += period) {
-    if (config.cpu != nullptr) config.cpu->advance_wall(period);
-
-    const std::vector<std::string> sentences = receiver.advance_to(now);
-    for (const std::string& s : sentences) {
-      tee.feed_gps(s);                // hardware UART into the secure world
-      normal_world_driver.feed(s);    // the Adapter's replica feed
-    }
-
-    if (normal_world_driver.sequence() == last_seq) continue;  // no fresh fix
-    last_seq = normal_world_driver.sequence();
-    ++result.gps_updates;
-
-    const auto fix = normal_world_driver.get_gps();
-    if (!fix || !fix->valid) continue;
-
-    // The cheap normal-world work: read + adaptive condition check.
-    if (config.cpu != nullptr) {
-      config.cpu->charge(resource::Op::kGpsReadParse, config.cost_profile);
-      config.cpu->charge(resource::Op::kEllipseCheck, config.cost_profile);
-    }
-
-    FlightLogEntry entry;
-    entry.time = fix->unix_time;
-    entry.nearest_zone_distance = nearest_zone_boundary_distance(
-        config.frame.to_local(fix->position), config.local_zones);
-
-    if (policy.should_authenticate(*fix)) {
-      ++result.authentications;
-      const tee::InvokeResult auth =
-          invoke_sampler(tee, sample_command, {}, &result.tee_retries);
-      const std::size_t expected_outputs =
-          config.auth_mode == AuthMode::kBatchSignature ? 1u : 2u;
-      if (auth.ok() && auth.outputs.size() == expected_outputs) {
-        SignedSample sample{auth.outputs[0],
-                            expected_outputs == 2 ? auth.outputs[1]
-                                                  : crypto::Bytes{}};
-        // Tell the policy what was actually authenticated (the TEE's own
-        // fix, which is the same update in this wiring).
-        if (const auto recorded_fix = sample.fix()) {
-          policy.on_recorded(*recorded_fix);
-        }
-        if (config.auditor_encryption_key) {
-          if (config.cpu != nullptr) {
-            config.cpu->charge(
-                config.auditor_encryption_key->modulus_bits() >= 2048
-                    ? resource::Op::kRsaEncrypt2048
-                    : resource::Op::kRsaEncrypt1024,
-                config.cost_profile);
-          }
-          sample.sample = crypto::rsa_encrypt(*config.auditor_encryption_key,
-                                              sample.sample, encryption_rng);
-        }
-        if (config.cpu != nullptr) {
-          config.cpu->charge(resource::Op::kPersistSample, config.cost_profile);
-        }
-        result.poa_samples.push_back(std::move(sample));
-        entry.recorded = true;
-      } else {
-        ++result.tee_failures;
-      }
-    }
-
-    entry.cumulative_samples = result.poa_samples.size();
-    result.log.push_back(entry);
-  }
-
-  if (config.auth_mode == AuthMode::kBatchSignature &&
-      !result.poa_samples.empty()) {
-    const tee::InvokeResult finalized = invoke_sampler(
-        tee, tee::SamplerCommand::kBatchFinalize, {}, &result.tee_retries);
-    if (finalized.ok() && finalized.outputs.size() == 2) {
-      result.batch_signature = finalized.outputs[1];
-    } else {
-      ++result.tee_failures;
-    }
-  }
-
-  if (config.audit != nullptr) {
-    const std::uint64_t dropped = tee.gps_fixes_dropped() - dropped_at_start;
-    if (dropped > 0) {
-      AuditEvent event;
-      event.time = config.end_time;
-      event.type = AuditEventType::kGpsFixDropped;
-      event.subject = "tee-gps-driver";
-      event.outcome_ok = false;
-      event.detail =
-          "flight summary: " + std::to_string(dropped) + " fixes dropped";
-      config.audit->record(std::move(event));
-    }
-  }
-  return result;
+ProofOfAlibi assemble_poa(const DroneId& drone_id, const FlightConfig& config,
+                          crypto::HashAlgorithm hash,
+                          const FlightResult& flight) {
+  ProofOfAlibi poa;
+  poa.drone_id = drone_id;
+  poa.mode = config.auth_mode;
+  poa.hash = hash;
+  poa.encrypted = config.auditor_encryption_key.has_value();
+  poa.samples = flight.poa_samples;
+  poa.session_key_ciphertext = flight.session_key_ciphertext;
+  poa.session_key_signature = flight.session_key_signature;
+  poa.batch_signature = flight.batch_signature;
+  return poa;
 }
 
 }  // namespace alidrone::core

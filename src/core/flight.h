@@ -75,7 +75,17 @@ struct FlightConfig {
 
 /// Run a full flight. The receiver is advanced from its current clock to
 /// config.end_time; the policy decides which updates become PoA samples.
+/// Implemented as a thin driver over core::FlightActor (flight_actor.h),
+/// which exposes the same loop in resumable one-tick steps.
 FlightResult run_flight(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
                         SamplingPolicy& policy, const FlightConfig& config);
+
+/// Package a flight's authenticated trace as the drone's ProofOfAlibi —
+/// the submission-side assembly DroneClient::fly and the fleet campaign
+/// share (mode, hash, encryption flag and signatures all come from the
+/// flight configuration and result).
+ProofOfAlibi assemble_poa(const DroneId& drone_id, const FlightConfig& config,
+                          crypto::HashAlgorithm hash,
+                          const FlightResult& flight);
 
 }  // namespace alidrone::core

@@ -1,0 +1,211 @@
+// FlightActor — the resumable flight state machine (ROADMAP item 5).
+//
+// run_flight and run_tesla_broadcast_flight were blocking functions: each
+// monopolized its receiver, TEE and the caller's thread from takeoff to
+// end_time, so one process could never interleave two flights — let alone
+// the fleet-scale campaign. FlightActor is the same control flow cut at
+// the GPS update grid: each step() performs exactly one receiver tick of
+// the original loop (setup and teardown fold into the first/last ticks)
+// and reports when it next wants to run, so a discrete-event scheduler
+// (sim::FleetScheduler) can interleave hundreds of flights on one virtual
+// clock. Network I/O is split out through an outbox: step() only enqueues
+// ActorSends; flush() performs them against a Transport and routes each
+// reply (or timeout) to its callback. Because the secure world never
+// observes bus replies and each actor's requests drain in FIFO order
+// before its next step, the request sequence an Auditor sees from one
+// actor — and therefore every verdict, counter and audit event — is
+// byte-identical to the original blocking loops. The legacy entry points
+// are now thin single-actor drivers over this class.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/flight.h"
+#include "core/tee_invoke.h"
+#include "core/tesla.h"
+#include "crypto/random.h"
+#include "gps/driver.h"
+#include "net/transport.h"
+#include "resilience/retry_policy.h"
+
+namespace alidrone::core {
+
+/// One deferred network request. A null reply pointer at the callback
+/// means the request (or its response) was lost — net::TimeoutError on
+/// the wire — mirroring the lossy-broadcast contract of the TESLA loop.
+struct ActorSend {
+  std::string endpoint;
+  crypto::Bytes frame;
+  std::function<void(const crypto::Bytes* reply)> on_reply;
+};
+
+/// Resumable flight: construct in standard (request/response PoA) or
+/// TESLA broadcast mode, then repeatedly
+///
+///   while (!actor.done()) {
+///     /* wait until the virtual clock reaches actor.next_wakeup() */
+///     actor.step();
+///     actor.flush(bus);   // or drain actor.outbox() yourself
+///   }
+///
+/// The actor borrows its TEE, receiver and policy for its lifetime (the
+/// same contract the blocking loops had) and is address-stable: outbox
+/// callbacks capture `this`, so the actor is neither copyable nor movable.
+class FlightActor {
+ public:
+  /// Optional post-flight submission for standard-mode actors: assemble
+  /// the PoA from the FlightResult, run it through the attack hook, and
+  /// submit it to "<auditor_prefix>.submit_poa" with capped-backoff
+  /// retries on loss or retry-later backpressure (AuditorIngest's
+  /// admission-queue sentinel). The verdict lands in submission_verdict().
+  struct Submission {
+    DroneId drone_id;
+    crypto::HashAlgorithm hash = crypto::HashAlgorithm::kSha1;
+    std::string auditor_prefix = "auditor";
+    /// Attack hook: transforms the honest PoA before serialization
+    /// (core/attacks strategies slot in here). Identity when empty.
+    std::function<ProofOfAlibi(ProofOfAlibi)> mutate;
+    resilience::RetryPolicy retry{};
+    /// Seeds the backoff jitter stream (deterministic per actor).
+    std::string backoff_seed = "flight-actor-backoff";
+  };
+
+  /// Standard mode: the run_flight loop, one receiver update per step.
+  FlightActor(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
+              SamplingPolicy& policy, FlightConfig config);
+
+  /// TESLA broadcast mode: the run_tesla_broadcast_flight loop.
+  FlightActor(tee::DroneTee& tee, gps::GpsReceiverSim& receiver,
+              SamplingPolicy& policy, DroneId drone_id,
+              TeslaFlightConfig config);
+
+  FlightActor(const FlightActor&) = delete;
+  FlightActor& operator=(const FlightActor&) = delete;
+
+  /// Standard mode only; must be called before the first step().
+  void set_submission(Submission submission);
+
+  /// Run one slice of the flight (one receiver tick, one flush probe, or
+  /// one submission attempt). Mode-setup failures throw exactly as the
+  /// blocking loops did (std::invalid_argument / std::runtime_error from
+  /// the first step of a standard flight). Precondition: !done().
+  void step();
+
+  /// Perform every queued send against `bus` in FIFO order, delivering
+  /// each reply (nullptr on net::TimeoutError) to its callback.
+  void flush(net::Transport& bus);
+
+  /// Pending sends for schedulers that batch transport I/O themselves.
+  std::deque<ActorSend>& outbox() { return outbox_; }
+
+  bool done() const { return done_; }
+
+  /// Virtual time at which the actor next wants step() — refreshed by
+  /// step() and by reply callbacks (a retry backoff moves it), so read it
+  /// after flush(). Meaningless once done().
+  double next_wakeup() const { return wakeup_; }
+
+  bool is_tesla() const { return is_tesla_; }
+  const DroneId& drone_id() const { return drone_id_; }
+
+  const FlightResult& flight() const { return flight_; }
+  FlightResult take_flight() { return std::move(flight_); }
+  const TeslaFlightResult& tesla() const { return tesla_; }
+  TeslaFlightResult take_tesla() { return std::move(tesla_); }
+
+  /// Verdict from the submission phase (standard mode with a Submission);
+  /// empty if submission was disabled, exhausted its retries, or the
+  /// reply was undecodable.
+  const std::optional<PoaVerdict>& submission_verdict() const {
+    return verdict_;
+  }
+  /// Submission attempts actually sent (retry-later and losses included).
+  std::uint32_t submission_attempts() const { return submit_attempts_; }
+
+ private:
+  enum class State {
+    kStandardSetup,
+    kStandardSampling,
+    kSubmitting,
+    kTeslaInit,
+    kTeslaSampling,
+    kTeslaFlush,
+    kTeslaFinalize,
+    kDone,
+  };
+
+  // Standard mode.
+  void step_standard_setup();
+  void standard_tick();
+  void advance_standard();
+  void standard_finish();
+  void begin_submission();
+  void enqueue_submit_attempt();
+
+  // TESLA mode.
+  void step_tesla_init();
+  void step_tesla_sampling();
+  void step_tesla_flush();
+  void step_tesla_finalize();
+  void enter_tesla_flush();
+  void enter_tesla_finalize();
+  void feed_one_update(double at);
+  void enqueue_try_announce();
+  void disclose_up_to(std::uint64_t matured);
+  std::uint64_t matured_at(double unix_time) const;
+  void finish_now();
+
+  tee::DroneTee& tee_;
+  gps::GpsReceiverSim& receiver_;
+  SamplingPolicy& policy_;
+
+  const bool is_tesla_;
+  FlightConfig config_{};
+  TeslaFlightConfig tesla_config_{};
+  DroneId drone_id_;
+
+  State state_;
+  bool done_ = false;
+  double wakeup_ = 0.0;
+  double now_ = 0.0;     ///< float-accumulated loop time, as in the loops
+  double period_ = 0.0;
+  double start_ = 0.0;
+
+  std::deque<ActorSend> outbox_;
+
+  // Standard-mode flight state.
+  FlightResult flight_;
+  gps::GpsDriver normal_world_driver_;
+  std::uint64_t last_seq_ = 0;
+  std::optional<GpsDropAuditScope> drop_scope_;
+  std::optional<crypto::SecureRandom> os_entropy_;
+  crypto::RandomSource* encryption_rng_ = nullptr;
+  CostMeter cost_;
+  tee::SamplerCommand sample_command_{};
+
+  // TESLA-mode flight state.
+  TeslaFlightResult tesla_;
+  std::uint32_t chain_length_ = 0;
+  std::uint64_t interval_us_ = 0;
+  std::optional<tee::TeslaCommit> commit_;
+  crypto::Bytes announce_frame_;
+  std::uint64_t last_disclosed_ = 0;
+  double last_fix_time_ = 0.0;
+  std::uint64_t flush_target_ = 0;
+  std::size_t flush_i_ = 0;
+  crypto::Bytes finalize_frame_;
+  std::size_t finalize_attempts_ = 0;
+  bool finalize_pending_refeed_ = false;
+
+  // Submission state.
+  std::optional<Submission> submission_;
+  crypto::Bytes submit_frame_;
+  std::optional<crypto::DeterministicRandom> backoff_rng_;
+  std::uint32_t submit_attempts_ = 0;
+  std::optional<PoaVerdict> verdict_;
+};
+
+}  // namespace alidrone::core

@@ -1,0 +1,66 @@
+#include "core/tee_invoke.h"
+
+#include <string>
+#include <utility>
+
+namespace alidrone::core {
+
+tee::InvokeResult invoke_sampler_with_retry(tee::DroneTee& tee,
+                                            tee::SamplerCommand command,
+                                            std::span<const crypto::Bytes> params,
+                                            std::uint64_t* retries) {
+  tee::InvokeResult result = tee.monitor().invoke(
+      tee.sampler_uuid(), static_cast<std::uint32_t>(command), params);
+  for (int attempt = 0; result.status == tee::TeeStatus::kBusy &&
+                        attempt < kMaxTransientTeeRetries;
+       ++attempt) {
+    if (retries != nullptr) ++*retries;
+    result = tee.monitor().invoke(tee.sampler_uuid(),
+                                  static_cast<std::uint32_t>(command), params);
+  }
+  return result;
+}
+
+GpsDropAuditScope::GpsDropAuditScope(tee::DroneTee& tee, AuditLog* audit)
+    : tee_(tee), audit_(audit), dropped_at_start_(tee.gps_fixes_dropped()) {
+  if (audit_ == nullptr) return;
+  armed_ = true;
+  tee_.set_gps_drop_listener(
+      [this](const gps::GpsFix& dropped, std::uint64_t total) {
+        if (onset_logged_) return;
+        onset_logged_ = true;
+        AuditEvent event;
+        event.time = dropped.unix_time;
+        event.type = AuditEventType::kGpsFixDropped;
+        event.subject = "tee-gps-driver";
+        event.outcome_ok = false;
+        event.detail = "pending-fix queue overflow began; total dropped=" +
+                       std::to_string(total);
+        audit_->record(std::move(event));
+      });
+}
+
+GpsDropAuditScope::~GpsDropAuditScope() {
+  if (armed_) tee_.set_gps_drop_listener(nullptr);
+  armed_ = false;
+}
+
+void GpsDropAuditScope::finish(double end_time) {
+  if (audit_ == nullptr) return;
+  const std::uint64_t dropped = tee_.gps_fixes_dropped() - dropped_at_start_;
+  if (dropped > 0) {
+    AuditEvent event;
+    event.time = end_time;
+    event.type = AuditEventType::kGpsFixDropped;
+    event.subject = "tee-gps-driver";
+    event.outcome_ok = false;
+    event.detail =
+        "flight summary: " + std::to_string(dropped) + " fixes dropped";
+    audit_->record(std::move(event));
+  }
+  if (armed_) tee_.set_gps_drop_listener(nullptr);
+  armed_ = false;
+  audit_ = nullptr;  // finish() is one-shot
+}
+
+}  // namespace alidrone::core

@@ -1,0 +1,87 @@
+// Shared drone-side TEE invocation plumbing for the flight loops.
+//
+// Before the FlightActor refactor, run_flight and
+// run_tesla_broadcast_flight each carried a private copy of the bounded
+// kBusy retry loop, and only the standard loop wired up CPU accounting
+// and the kGpsFixDropped audit trail. This header is the one home for
+// all three concerns, used by core::FlightActor for every flight mode:
+//
+//   invoke_sampler_with_retry  world switch with the bounded transient-
+//                              retry budget (a persistently busy secure
+//                              world surfaces as a tee_failure, never a
+//                              hang);
+//   CostMeter                  null-safe CPU accounting (Table II) — a
+//                              flight without an accountant charges
+//                              nothing and branches nowhere else;
+//   GpsDropAuditScope          audit-trail the secure driver's evidence
+//                              loss: one onset event when the pending-fix
+//                              queue first overflows, one end-of-flight
+//                              summary, and guaranteed listener detach.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/audit_log.h"
+#include "resource/cost_model.h"
+#include "tee/gps_sampler_ta.h"
+#include "tee/secure_monitor.h"
+
+namespace alidrone::core {
+
+/// Extra invocations allowed per command to ride out transient (kBusy)
+/// world-switch failures. Bounded: a persistently busy secure world must
+/// surface as a tee_failure, not hang the flight loop.
+inline constexpr int kMaxTransientTeeRetries = 3;
+
+/// Invoke one sampler command, retrying kBusy up to the transient budget.
+/// When `retries` is non-null each extra invocation increments it (the
+/// FlightResult::tee_retries accounting; the TESLA loop passes null).
+tee::InvokeResult invoke_sampler_with_retry(
+    tee::DroneTee& tee, tee::SamplerCommand command,
+    std::span<const crypto::Bytes> params = {},
+    std::uint64_t* retries = nullptr);
+
+/// Null-safe wrapper over the optional CPU accountant: every charge site
+/// collapses to one call instead of an `if (cpu != nullptr)` ladder.
+struct CostMeter {
+  resource::CpuAccountant* cpu = nullptr;
+  resource::CostProfile profile{};
+
+  bool enabled() const { return cpu != nullptr; }
+  void advance_wall(double seconds) const {
+    if (cpu != nullptr) cpu->advance_wall(seconds);
+  }
+  void charge(resource::Op op) const {
+    if (cpu != nullptr) cpu->charge(op, profile);
+  }
+};
+
+/// Arms the TEE's GPS-drop listener for the duration of one flight and
+/// records the audit evidence of secure-world fix loss. Overflows are
+/// frequent on the per-sample path (it never drains the pending queue),
+/// so instead of one event per dropped fix the flight records the onset
+/// plus an end-of-flight summary. The listener borrows `audit`, so the
+/// destructor always detaches it; finish() is idempotent.
+class GpsDropAuditScope {
+ public:
+  /// A null `audit` disables the wiring entirely (nothing is armed).
+  GpsDropAuditScope(tee::DroneTee& tee, AuditLog* audit);
+  ~GpsDropAuditScope();
+
+  GpsDropAuditScope(const GpsDropAuditScope&) = delete;
+  GpsDropAuditScope& operator=(const GpsDropAuditScope&) = delete;
+
+  /// Record the flight-summary event (total fixes dropped since the scope
+  /// was armed) stamped at `end_time`, and detach the listener.
+  void finish(double end_time);
+
+ private:
+  tee::DroneTee& tee_;
+  AuditLog* audit_;
+  std::uint64_t dropped_at_start_ = 0;
+  bool armed_ = false;
+  bool onset_logged_ = false;
+};
+
+}  // namespace alidrone::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/flight_actor.h"
 #include "obs/clock.h"
 #include "tee/gps_sampler_ta.h"
 
@@ -268,215 +269,21 @@ std::size_t TeslaVerifier::session_count() const {
 
 // ---- Drone side ----
 
-namespace {
-
-constexpr int kMaxTransientRetries = 3;
-
-tee::InvokeResult invoke_sampler(tee::DroneTee& tee, tee::SamplerCommand command,
-                                 std::span<const crypto::Bytes> params = {}) {
-  tee::InvokeResult result = tee.monitor().invoke(
-      tee.sampler_uuid(), static_cast<std::uint32_t>(command), params);
-  for (int attempt = 0;
-       result.status == tee::TeeStatus::kBusy && attempt < kMaxTransientRetries;
-       ++attempt) {
-    result = tee.monitor().invoke(tee.sampler_uuid(),
-                                  static_cast<std::uint32_t>(command), params);
-  }
-  return result;
-}
-
-std::uint64_t read_be64(const crypto::Bytes& b) {
-  std::uint64_t v = 0;
-  for (const std::uint8_t byte : b) v = (v << 8) | byte;
-  return v;
-}
-
-/// Fire-and-forget send: returns the decoded ack, nullopt on a bus drop
-/// (TimeoutError) — the lossy-broadcast contract.
-std::optional<TeslaAck> broadcast(net::Transport& bus,
-                                  const std::string& endpoint,
-                                  const crypto::Bytes& frame) {
-  try {
-    return TeslaAck::decode(bus.request(endpoint, frame));
-  } catch (const net::TimeoutError&) {
-    return std::nullopt;
-  }
-}
-
-}  // namespace
-
 TeslaFlightResult run_tesla_broadcast_flight(tee::DroneTee& tee,
                                              gps::GpsReceiverSim& receiver,
                                              SamplingPolicy& policy,
                                              net::Transport& bus,
                                              const DroneId& drone_id,
                                              const TeslaFlightConfig& config) {
-  TeslaFlightResult result;
-  const double period = receiver.update_period();
-  const double start = receiver.next_update_time();
-
-  const auto feed_one_update = [&](double at) {
-    for (const std::string& s : receiver.advance_to(at)) tee.feed_gps(s);
-  };
-
-  // The TA needs a fix before it can anchor the flight epoch.
-  feed_one_update(start);
-
-  std::uint32_t chain_length = config.chain_length;
-  if (chain_length == 0) {
-    const double duration = std::max(0.0, config.end_time - start);
-    chain_length = static_cast<std::uint32_t>(
-                       std::ceil(duration / config.interval_s)) +
-                   config.disclosure_delay + 4;
+  // Thin single-actor driver: the broadcast loop lives in FlightActor now
+  // (one receiver tick, flush probe or finalize attempt per step), with
+  // every send drained through the actor's outbox in FIFO order.
+  FlightActor actor(tee, receiver, policy, drone_id, config);
+  while (!actor.done()) {
+    actor.step();
+    actor.flush(bus);
   }
-  const std::uint64_t interval_us =
-      static_cast<std::uint64_t>(std::llround(config.interval_s * 1e6));
-
-  const std::vector<crypto::Bytes> begin_params{
-      be_bytes(chain_length, 4), be_bytes(config.disclosure_delay, 4),
-      be_bytes(interval_us, 8)};
-  const tee::InvokeResult begun =
-      invoke_sampler(tee, tee::SamplerCommand::kTeslaBegin, begin_params);
-  if (!begun.ok() || begun.outputs.size() != 2) {
-    ++result.tee_failures;
-    return result;
-  }
-  const auto commit = tee::parse_tesla_commit(begun.outputs[0]);
-  if (!commit) {
-    ++result.tee_failures;
-    return result;
-  }
-
-  TeslaAnnounceRequest announce;
-  announce.drone_id = drone_id;
-  announce.session_nonce = config.session_nonce;
-  announce.hash = config.hash;
-  announce.commit_payload = begun.outputs[0];
-  announce.commit_signature = begun.outputs[1];
-  const crypto::Bytes announce_frame = announce.encode();
-  const auto try_announce = [&] {
-    if (result.announced) return;
-    const auto ack = broadcast(bus, config.auditor_prefix + ".tesla_announce", announce_frame);
-    if (ack && ack->accepted) result.announced = true;
-  };
-  try_announce();
-
-  std::uint64_t last_disclosed = 0;
-  const auto disclose_up_to = [&](std::uint64_t matured) {
-    matured = std::min<std::uint64_t>(matured, chain_length);
-    if (matured <= last_disclosed) return;
-    const std::vector<crypto::Bytes> params{be_bytes(matured, 8)};
-    const tee::InvokeResult disclosed =
-        invoke_sampler(tee, tee::SamplerCommand::kTeslaDisclose, params);
-    if (!disclosed.ok() || disclosed.outputs.size() != 1) {
-      ++result.tee_failures;
-      return;
-    }
-    TeslaDiscloseRequest request;
-    request.drone_id = drone_id;
-    request.session_nonce = config.session_nonce;
-    request.index = matured;
-    request.key = disclosed.outputs[0];
-    ++result.disclosures_sent;
-    const auto ack =
-        broadcast(bus, config.auditor_prefix + ".tesla_disclose", request.encode());
-    if (!ack) {
-      ++result.disclosures_dropped;
-      return;  // a later disclosure settles this interval too
-    }
-    if (ack->accepted) last_disclosed = matured;
-  };
-
-  // The highest interval whose key has passed its disclosure time on the
-  // drone's GPS clock (t >= t0 + (m + d) * tau  =>  m matured).
-  const auto matured_at = [&](double unix_time) -> std::uint64_t {
-    const std::int64_t t_us = tee::time_us_of(unix_time);
-    if (t_us < commit->t0_us) return 0;
-    const std::uint64_t elapsed =
-        static_cast<std::uint64_t>(t_us - commit->t0_us) / interval_us;
-    return elapsed <= config.disclosure_delay
-               ? 0
-               : elapsed - config.disclosure_delay;
-  };
-
-  double last_fix_time = start;
-  for (double now = start + period; now <= config.end_time + 1e-9;
-       now += period) {
-    feed_one_update(now);
-    ++result.gps_updates;
-    const auto fix = invoke_sampler(tee, tee::SamplerCommand::kGetGpsTesla);
-    try_announce();
-
-    if (fix.status == tee::TeeStatus::kSuccess && fix.outputs.size() == 3) {
-      const auto decoded = tee::decode_sample(fix.outputs[0]);
-      if (decoded) {
-        last_fix_time = decoded->unix_time;
-        if (policy.should_authenticate(*decoded)) {
-          policy.on_recorded(*decoded);
-          const std::uint64_t interval = read_be64(fix.outputs[2]);
-          result.max_interval_used =
-              std::max(result.max_interval_used, interval);
-          TeslaSampleBroadcast sample;
-          sample.drone_id = drone_id;
-          sample.session_nonce = config.session_nonce;
-          sample.interval = interval;
-          sample.sample = fix.outputs[0];
-          sample.tag = fix.outputs[1];
-          ++result.samples_sent;
-          const auto ack =
-              broadcast(bus, config.auditor_prefix + ".tesla_sample", sample.encode());
-          if (!ack) {
-            ++result.samples_dropped;
-          } else if (!ack->accepted) {
-            ++result.samples_rejected;
-          }
-        }
-      }
-    } else if (fix.status != tee::TeeStatus::kNotReady) {
-      ++result.tee_failures;
-    }
-
-    disclose_up_to(matured_at(last_fix_time));
-  }
-
-  // Post-flight flush: keep the receiver (and with it the TA's clock)
-  // moving until every used interval's key has matured, been disclosed
-  // and acknowledged — exactly what a drone broadcasting disclosures
-  // after landing does. Bounded against pathological fault schedules.
-  const std::uint64_t flush_target =
-      std::min<std::uint64_t>(std::max<std::uint64_t>(result.max_interval_used,
-                                                      1),
-                              chain_length);
-  double now = config.end_time;
-  for (std::size_t i = 0;
-       i < config.max_flush_updates && last_disclosed < flush_target; ++i) {
-    now += period;
-    feed_one_update(now);
-    last_fix_time = now;
-    try_announce();
-    disclose_up_to(matured_at(last_fix_time));
-  }
-
-  TeslaFinalizeRequest finalize;
-  finalize.drone_id = drone_id;
-  finalize.session_nonce = config.session_nonce;
-  finalize.end_time = config.end_time;
-  const crypto::Bytes finalize_frame = finalize.encode();
-  for (std::size_t i = 0; i < config.max_flush_updates; ++i) {
-    try {
-      const auto verdict =
-          PoaVerdict::decode(bus.request(config.auditor_prefix + ".tesla_finalize", finalize_frame));
-      if (verdict) {
-        result.verdict = *verdict;
-        result.finalized = true;
-      }
-      break;
-    } catch (const net::TimeoutError&) {
-      now += period;
-      feed_one_update(now);
-    }
-  }
-  return result;
+  return actor.take_tesla();
 }
 
 }  // namespace alidrone::core

@@ -53,6 +53,13 @@ class GpsReceiverSim {
     return config_.start_time + static_cast<double>(tick_) * update_period();
   }
 
+  /// Step exactly one scheduled update (the one at next_update_time())
+  /// and return its sentences — the step-to-time twin of advance_to()
+  /// for actor-style drivers that pace themselves on the update grid.
+  std::vector<std::string> advance_one() {
+    return advance_to(next_update_time());
+  }
+
   double update_period() const { return 1.0 / config_.update_rate_hz; }
   const Config& config() const { return config_; }
 

@@ -1,0 +1,124 @@
+// Campaign — the adversarial fleet experiment (ROADMAP item 5).
+//
+// run_campaign stands up one complete AliDrone deployment in-process —
+// Auditor (sharded), batched AuditorIngest, Merkle-anchored audit ledger,
+// MessageBus — registers a fleet of TEE-equipped drones, and flies them
+// concurrently on a deterministic FleetScheduler. Flights split across
+// three route families (swarm staging loops, delivery out-and-backs, a
+// transit corridor), each skirting its own no-fly zone; a configurable
+// fraction of the fleet attacks, cycling through the operator's whole
+// playbook from core/attacks:
+//
+//   chain-forge     fabricated trace under an attacker key  -> rejected
+//   replay          another drone's honest PoA, relabeled   -> rejected
+//   tamper          one sample moved without re-signing     -> rejected
+//   drop-window     zone-approach window cut from the PoA   -> insufficient
+//   nav-deviation   gradual GPS spoofing drifts the drone
+//                   into the zone; the TEE honestly signs
+//                   the deviated path                       -> violation
+//   thinning-abuse  PoA over-thinned to its two endpoints   -> insufficient
+//
+// The report scores the Auditor as a detector per attack class
+// (precision/recall against the flagged = !(accepted && compliant)
+// signal) and carries a canonical fingerprint — per-flight verdicts,
+// deterministic ingest counters, audit-event count and the ledger root —
+// that is a pure function of the campaign seed: any worker count, verify
+// thread count or shard count must reproduce it byte-identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ingest.h"
+#include "core/messages.h"
+#include "sim/fleet_scheduler.h"
+
+namespace alidrone::sim {
+
+enum class AttackClass : std::uint8_t {
+  kHonest = 0,
+  kChainForge,
+  kReplay,
+  kTamper,
+  kDropWindow,
+  kNavDeviation,
+  kThinningAbuse,
+};
+inline constexpr std::size_t kAttackClassCount = 7;
+
+/// Stable lowercase name ("honest", "chain-forge", ...), used in the
+/// fingerprint — renaming a class is a format change.
+const char* attack_class_name(AttackClass c);
+
+struct CampaignConfig {
+  std::size_t flights = 64;
+  /// Seeds everything: routes, TEE manufacturing, operator keys, the
+  /// scheduler tie-break and the attack assignments.
+  std::uint64_t seed = 1;
+  /// FleetScheduler step-phase workers (1 = serial).
+  std::size_t scheduler_workers = 1;
+  /// Auditor lock stripes and ingest verifier threads — the knobs the
+  /// determinism contract quantifies over.
+  std::size_t auditor_shards = 8;
+  std::size_t ingest_verify_threads = 0;
+  std::size_t ingest_queue_capacity = 256;
+  std::size_t ingest_max_batch = 32;
+  /// Fraction of flights that attack, spread evenly over the fleet and
+  /// cycled across the six attack classes.
+  double adversary_fraction = 0.375;
+  double update_rate_hz = 2.0;       ///< GPS receiver rate, [1, 5] Hz
+  double start_time = 1528400000.0;  ///< unix time of the first takeoff
+  /// Takeoffs stagger across eight groups at this spacing, so batches of
+  /// co-scheduled actors and interleaved singletons both occur.
+  double stagger_s = 3.125;
+};
+
+struct FlightOutcome {
+  core::DroneId drone_id;
+  AttackClass attack = AttackClass::kHonest;
+  std::string route_family;  ///< "swarm" | "delivery" | "corridor"
+  std::optional<core::PoaVerdict> verdict;
+  std::uint32_t submit_attempts = 0;
+  /// The detection signal: anything short of accepted-and-compliant.
+  bool flagged() const {
+    return !(verdict.has_value() && verdict->accepted && verdict->compliant);
+  }
+};
+
+/// Detector quality for one attack class. recall = flagged attacks of
+/// this class / attacks of this class; precision = those true positives
+/// against the campaign's honest false positives:
+/// TP / (TP + honest_flagged). Both are 1.0 on an empty denominator.
+struct ClassMetrics {
+  std::size_t flights = 0;
+  std::size_t flagged = 0;
+  double precision = 1.0;
+  double recall = 1.0;
+};
+
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  std::vector<FlightOutcome> outcomes;
+  std::array<ClassMetrics, kAttackClassCount> per_class{};
+  core::AuditorIngest::Counters ingest;
+  std::size_t audit_events = 0;
+  std::uint64_t ledger_entries = 0;
+  std::string ledger_root_hex;
+  FleetScheduler::Stats scheduler;
+
+  /// Canonical replay fingerprint: per-flight verdict lines plus the
+  /// deterministic ingest counters, the audit-event count and the ledger
+  /// root. Excludes anything timing-dependent (ingest batch sizes,
+  /// scheduler parallelism) — two runs of the same seed must produce the
+  /// same string for any worker/shard/verify-thread configuration.
+  std::string fingerprint() const;
+};
+
+/// Run one campaign to completion (registration, flights, submissions,
+/// scoring). Everything is in-process and deterministic in config.seed.
+CampaignReport run_campaign(const CampaignConfig& config);
+
+}  // namespace alidrone::sim

@@ -1,0 +1,110 @@
+// FleetScheduler — deterministic discrete-event executor for FlightActors.
+//
+// The FlightActor refactor cut the two flight loops at the GPS update
+// grid; this scheduler is the other half of ROADMAP item 5: it interleaves
+// N resumable flights on one shared virtual clock, so a single process
+// can fly an entire fleet against the real Auditor/ingest pipeline. Each
+// actor sits in a min-heap keyed by (next_wakeup, tiebreak, index); the
+// scheduler pops every actor due at the earliest instant, advances the
+// clock once to that instant, steps the batch, then flushes each actor's
+// outbox through the Transport *serially in batch order* — the commit
+// barrier that makes the Auditor-visible request sequence (and therefore
+// every verdict, counter, audit event and ledger root) a pure function of
+// the seed, independent of how many workers stepped the batch.
+//
+// Two actors due at the same instant are ordered by a per-actor tiebreak
+// drawn from the seed (splitmix64(seed ^ index)), not by insertion order
+// alone — so "same seed ⇒ same schedule" is an explicit contract rather
+// than an accident of heap internals.
+//
+// With workers > 1 the step phase of each batch runs on a thread pool.
+// This is safe because step() never touches the Transport (sends are only
+// enqueued) — actors share no mutable state until the serial flush — but
+// each actor's TEE/receiver/policy must be private to it, and per-flight
+// FlightConfig::audit must not point at a log shared across actors being
+// stepped concurrently (the campaign driver wires drone-side audit off
+// for exactly this reason).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/flight_actor.h"
+#include "net/transport.h"
+#include "obs/clock.h"
+#include "runtime/thread_pool.h"
+
+namespace alidrone::sim {
+
+class FleetScheduler {
+ public:
+  struct Config {
+    /// Drives the equal-time tie-break ordering (and nothing else): two
+    /// runs with the same seed and the same actors execute the same
+    /// schedule; different seeds permute only same-instant batches.
+    std::uint64_t seed = 1;
+    /// Step-phase parallelism. 1 = fully serial; > 1 steps each batch on
+    /// a worker pool, with the flush phase always serial (commit barrier).
+    std::size_t workers = 1;
+    /// Advanced to each batch instant before stepping (never rewound);
+    /// optional — a campaign without time-sensitive verifier logic can
+    /// run clockless.
+    obs::VirtualClock* clock = nullptr;
+    /// Outbox flush target; required before run().
+    net::Transport* transport = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t steps = 0;            ///< total actor step() calls
+    std::uint64_t batches = 0;          ///< distinct wakeup instants executed
+    std::uint64_t max_batch = 0;        ///< largest same-instant batch
+    std::uint64_t parallel_batches = 0; ///< batches stepped on the pool
+  };
+
+  explicit FleetScheduler(Config config);
+
+  /// Register a borrowed actor; it must outlive run(). Returns its index
+  /// (stable handle into actor()).
+  std::size_t add(core::FlightActor& actor);
+
+  /// Register an owned actor (kept alive by the scheduler).
+  std::size_t adopt(std::unique_ptr<core::FlightActor> actor);
+
+  /// Run every registered actor to completion. May be called once; actors
+  /// added after a run() are not picked up.
+  void run();
+
+  std::size_t size() const { return actors_.size(); }
+  core::FlightActor& actor(std::size_t index) { return *actors_[index]; }
+  const core::FlightActor& actor(std::size_t index) const {
+    return *actors_[index];
+  }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    double time = 0.0;
+    std::uint64_t tiebreak = 0;
+    std::size_t index = 0;
+    /// Min-heap order on (time, tiebreak, index) — index last so the
+    /// order is total even on a tiebreak collision.
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      if (tiebreak != o.tiebreak) return tiebreak > o.tiebreak;
+      return index > o.index;
+    }
+  };
+
+  std::uint64_t tiebreak_for(std::size_t index) const;
+
+  Config config_;
+  std::vector<core::FlightActor*> actors_;
+  std::vector<std::unique_ptr<core::FlightActor>> owned_;
+  std::optional<runtime::ThreadPool> pool_;
+  Stats stats_;
+};
+
+}  // namespace alidrone::sim

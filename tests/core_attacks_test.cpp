@@ -220,5 +220,69 @@ TEST_F(AttackFixture, MaliciousUartInjectionDocumentedLimitation) {
   EXPECT_TRUE(verdict.compliant);
 }
 
+TEST_F(AttackFixture, NavigationDeviationDriftConvictedByItsOwnPoa) {
+  // Gradual GPS spoofing drifts the vehicle into house #10's zone. The
+  // attack defeats navigation, not the alibi: the TEE signs the deviated
+  // fixes, so the PoA itself documents the zone entry.
+  const geo::GeoZone target = scenario_.zones[10];
+  gps::PositionSource source = attacks::spoofed_drift_source(
+      scenario_.route.as_position_source(), scenario_.frame,
+      scenario_.frame.to_local(target.center),
+      scenario_.route.start_time() + 10.0, 15.0);
+
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = 5.0;
+  rc.start_time = scenario_.route.start_time();
+  gps::GpsReceiverSim receiver(rc, std::move(source));
+  AdaptiveSampler policy(scenario_.frame, scenario_.local_zones(),
+                         geo::kFaaMaxSpeedMps, 5.0);
+  FlightConfig config;
+  config.end_time = scenario_.route.end_time();
+  config.frame = scenario_.frame;
+  config.local_zones = scenario_.local_zones();
+  const ProofOfAlibi poa = client_.fly(receiver, policy, config);
+
+  const PoaVerdict verdict = auditor_.verify_poa(poa, kT0 + 500);
+  EXPECT_TRUE(verdict.accepted) << verdict.detail;  // genuine TEE signatures
+  EXPECT_FALSE(verdict.compliant);                  // ...over a zone entry
+  EXPECT_GT(verdict.violation_count, 0u);
+}
+
+TEST_F(AttackFixture, SpoofedDriftIsIdentityBeforeOnset) {
+  // Before the onset time (and with no drift budget) the wrapper must
+  // pass the truth through untouched.
+  const gps::PositionSource truth = scenario_.route.as_position_source();
+  const gps::PositionSource wrapped = attacks::spoofed_drift_source(
+      scenario_.route.as_position_source(), scenario_.frame, {0.0, 0.0},
+      scenario_.route.start_time() + 50.0, 15.0);
+  const double t = scenario_.route.start_time() + 20.0;
+  EXPECT_EQ(wrapped(t), truth(t));
+}
+
+TEST_F(AttackFixture, ThinningAbuseFlaggedInsufficientNearZones) {
+  const ProofOfAlibi honest = honest_flight();
+  ASSERT_GT(honest.samples.size(), 2u);
+  const ProofOfAlibi abused = attacks::thinning_abuse(honest, 2);
+  ASSERT_EQ(abused.samples.size(), 2u);
+
+  const PoaVerdict verdict = auditor_.verify_poa(abused, kT0 + 500);
+  EXPECT_TRUE(verdict.accepted);   // the kept signatures are untouched
+  EXPECT_FALSE(verdict.compliant); // the gap violates eq. (1) near houses
+  EXPECT_GT(verdict.violation_count, 0u);
+}
+
+TEST_F(AttackFixture, ThinningAbuseKeepsEndpointsAndOrder) {
+  const ProofOfAlibi honest = honest_flight();
+  ASSERT_GE(honest.samples.size(), 5u);
+  const ProofOfAlibi thinned = attacks::thinning_abuse(honest, 4);
+  ASSERT_EQ(thinned.samples.size(), 4u);
+  EXPECT_EQ(thinned.samples.front().sample, honest.samples.front().sample);
+  EXPECT_EQ(thinned.samples.back().sample, honest.samples.back().sample);
+  // keep >= size is a no-op.
+  const ProofOfAlibi untouched =
+      attacks::thinning_abuse(honest, honest.samples.size() + 3);
+  EXPECT_EQ(untouched.samples.size(), honest.samples.size());
+}
+
 }  // namespace
 }  // namespace alidrone::core

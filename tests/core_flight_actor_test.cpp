@@ -1,0 +1,358 @@
+// FlightActor — the resumable flight state machine (labelled `tsan`).
+//
+// The refactor's contract is byte-identity: cutting run_flight /
+// run_tesla_broadcast_flight at the GPS update grid and driving the
+// slices from a scheduler must not change a single byte of what the
+// Auditor sees. Coverage:
+//  1. two standard actors interleaved step-by-step on one virtual
+//     timeline produce PoAs byte-identical to back-to-back blocking runs;
+//  2. the TESLA actor driven externally matches the blocking loop —
+//     result counters, verdict and the Auditor-side audit trail;
+//  3. the submission phase: verdict delivery over the bus, the attack
+//     mutate hook, and capped-backoff retries through an outage window.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attacks.h"
+#include "core/audit_log.h"
+#include "core/auditor.h"
+#include "core/drone_client.h"
+#include "core/flight_actor.h"
+#include "core/sampler.h"
+#include "core/zone_owner.h"
+#include "geo/units.h"
+#include "net/message_bus.h"
+#include "resilience/sim_clock.h"
+#include "sim/route.h"
+
+namespace alidrone::core {
+namespace {
+
+constexpr double kT0 = 1528400000.0;
+constexpr std::size_t kTestKeyBits = 512;
+constexpr double kRateHz = 5.0;
+
+// A 600 m corridor at 10 m/s with three zones 400 m off to the side —
+// honest adaptive flights stay compliant, thinned ones do not.
+struct Corridor {
+  geo::LocalFrame frame{geo::GeoPoint{40.0, -88.0}};
+  std::vector<geo::Circle> local_zones{{geo::Vec2{100.0, 400.0}, 30.0},
+                                       {geo::Vec2{300.0, 400.0}, 30.0},
+                                       {geo::Vec2{500.0, 400.0}, 30.0}};
+
+  sim::Route route() const {
+    return sim::Route(frame,
+                      {{geo::Vec2{0.0, 0.0}, 10.0}, {geo::Vec2{600.0, 0.0}, 10.0}},
+                      kT0);
+  }
+
+  FlightConfig flight_config() const {
+    FlightConfig config;
+    config.end_time = route().end_time();
+    config.frame = frame;
+    config.local_zones = local_zones;
+    return config;
+  }
+};
+
+tee::DroneTee::Config tee_config(const std::string& seed) {
+  tee::DroneTee::Config config;
+  config.key_bits = kTestKeyBits;
+  config.manufacturing_seed = seed;
+  return config;
+}
+
+gps::GpsReceiverSim make_receiver(const Corridor& corridor) {
+  gps::GpsReceiverSim::Config rc;
+  rc.update_rate_hz = kRateHz;
+  rc.start_time = kT0;
+  return gps::GpsReceiverSim(rc, corridor.route().as_position_source());
+}
+
+// ---- 1. Standard mode: interleaving preserves every byte ----
+
+TEST(FlightActor, InterleavedActorsMatchBlockingRunsByteForByte) {
+  const Corridor corridor;
+  const FlightConfig config = corridor.flight_config();
+
+  // Reference: each flight alone through the blocking entry point.
+  std::vector<ProofOfAlibi> reference;
+  std::vector<FlightResult> reference_results;
+  for (const std::string seed : {"actor-twin-a", "actor-twin-b"}) {
+    tee::DroneTee tee(tee_config(seed));
+    gps::GpsReceiverSim receiver = make_receiver(corridor);
+    AdaptiveSampler policy(corridor.frame, corridor.local_zones,
+                           geo::kFaaMaxSpeedMps, kRateHz);
+    FlightResult result = run_flight(tee, receiver, policy, config);
+    reference.push_back(assemble_poa("drone-" + seed, config,
+                                     crypto::HashAlgorithm::kSha1, result));
+    reference_results.push_back(std::move(result));
+  }
+
+  // Same two flights as actors, interleaved one step at a time in
+  // earliest-wakeup order — the FleetScheduler's core move, in miniature.
+  tee::DroneTee tee_a(tee_config("actor-twin-a"));
+  tee::DroneTee tee_b(tee_config("actor-twin-b"));
+  gps::GpsReceiverSim recv_a = make_receiver(corridor);
+  gps::GpsReceiverSim recv_b = make_receiver(corridor);
+  AdaptiveSampler policy_a(corridor.frame, corridor.local_zones,
+                           geo::kFaaMaxSpeedMps, kRateHz);
+  AdaptiveSampler policy_b(corridor.frame, corridor.local_zones,
+                           geo::kFaaMaxSpeedMps, kRateHz);
+  FlightActor actor_a(tee_a, recv_a, policy_a, config);
+  FlightActor actor_b(tee_b, recv_b, policy_b, config);
+
+  std::size_t steps = 0;
+  while (!actor_a.done() || !actor_b.done()) {
+    FlightActor* next = nullptr;
+    if (actor_a.done()) {
+      next = &actor_b;
+    } else if (actor_b.done()) {
+      next = &actor_a;
+    } else {
+      next = actor_a.next_wakeup() <= actor_b.next_wakeup() ? &actor_a
+                                                            : &actor_b;
+    }
+    next->step();
+    ++steps;
+  }
+  EXPECT_GT(steps, 2u);  // genuinely sliced, not two monolithic runs
+
+  const FlightResult result_a = actor_a.take_flight();
+  const FlightResult result_b = actor_b.take_flight();
+  const ProofOfAlibi poa_a = assemble_poa("drone-actor-twin-a", config,
+                                          crypto::HashAlgorithm::kSha1, result_a);
+  const ProofOfAlibi poa_b = assemble_poa("drone-actor-twin-b", config,
+                                          crypto::HashAlgorithm::kSha1, result_b);
+
+  EXPECT_EQ(poa_a.serialize(), reference[0].serialize());
+  EXPECT_EQ(poa_b.serialize(), reference[1].serialize());
+  EXPECT_EQ(result_a.gps_updates, reference_results[0].gps_updates);
+  EXPECT_EQ(result_a.authentications, reference_results[0].authentications);
+  EXPECT_EQ(result_a.tee_failures, reference_results[0].tee_failures);
+  EXPECT_EQ(result_b.gps_updates, reference_results[1].gps_updates);
+  EXPECT_EQ(result_b.authentications, reference_results[1].authentications);
+}
+
+// ---- 2. TESLA mode: external driving matches the blocking loop ----
+
+struct TeslaRig {
+  crypto::DeterministicRandom auditor_rng{"actor-tesla-auditor"};
+  crypto::DeterministicRandom operator_rng{"actor-tesla-operator"};
+  crypto::DeterministicRandom owner_rng{"actor-tesla-owner"};
+  net::MessageBus bus;
+  Auditor auditor{kTestKeyBits, auditor_rng};
+  ZoneOwner owner{kTestKeyBits, owner_rng};
+  tee::DroneTee tee{tee_config("actor-tesla-device")};
+  DroneClient client{tee, kTestKeyBits, operator_rng};
+  std::shared_ptr<AuditLog> audit = std::make_shared<AuditLog>();
+  Corridor corridor;
+
+  TeslaRig() {
+    auditor.attach_audit_log(audit);
+    auditor.bind(bus);
+    EXPECT_TRUE(client.register_with_auditor(bus));
+    for (const geo::Circle& z : corridor.local_zones) {
+      owner.register_zone(bus, {corridor.frame.to_geo(z.center), z.radius},
+                          "corridor zone");
+    }
+  }
+
+  TeslaFlightConfig tesla_config() const {
+    TeslaFlightConfig config;
+    config.end_time = kT0 + 30.0;
+    config.session_nonce = 7;
+    config.disclosure_delay = 2;
+    config.interval_s = 1.0;
+    config.local_zones = corridor.local_zones;
+    config.frame = corridor.frame;
+    return config;
+  }
+};
+
+TEST(FlightActor, TeslaActorMatchesBlockingLoop) {
+  // Blocking reference run.
+  TeslaRig loop_rig;
+  gps::GpsReceiverSim loop_recv = make_receiver(loop_rig.corridor);
+  AdaptiveSampler loop_policy(loop_rig.corridor.frame,
+                              loop_rig.corridor.local_zones,
+                              geo::kFaaMaxSpeedMps, kRateHz);
+  const TeslaFlightResult blocking = run_tesla_broadcast_flight(
+      loop_rig.tee, loop_recv, loop_policy, loop_rig.bus,
+      loop_rig.client.id(), loop_rig.tesla_config());
+  ASSERT_TRUE(blocking.finalized);
+  EXPECT_TRUE(blocking.verdict.accepted) << blocking.verdict.detail;
+
+  // Identically-seeded deployment, actor driven from the outside.
+  TeslaRig actor_rig;
+  gps::GpsReceiverSim actor_recv = make_receiver(actor_rig.corridor);
+  AdaptiveSampler actor_policy(actor_rig.corridor.frame,
+                               actor_rig.corridor.local_zones,
+                               geo::kFaaMaxSpeedMps, kRateHz);
+  FlightActor actor(actor_rig.tee, actor_recv, actor_policy,
+                    actor_rig.client.id(), actor_rig.tesla_config());
+  EXPECT_TRUE(actor.is_tesla());
+  while (!actor.done()) {
+    actor.step();
+    actor.flush(actor_rig.bus);
+  }
+  const TeslaFlightResult driven = actor.take_tesla();
+
+  EXPECT_EQ(driven.announced, blocking.announced);
+  EXPECT_EQ(driven.finalized, blocking.finalized);
+  EXPECT_EQ(driven.gps_updates, blocking.gps_updates);
+  EXPECT_EQ(driven.samples_sent, blocking.samples_sent);
+  EXPECT_EQ(driven.samples_dropped, blocking.samples_dropped);
+  EXPECT_EQ(driven.samples_rejected, blocking.samples_rejected);
+  EXPECT_EQ(driven.disclosures_sent, blocking.disclosures_sent);
+  EXPECT_EQ(driven.verdict.accepted, blocking.verdict.accepted);
+  EXPECT_EQ(driven.verdict.compliant, blocking.verdict.compliant);
+  EXPECT_EQ(driven.verdict.detail, blocking.verdict.detail);
+
+  // The Auditors lived through identical request sequences.
+  const auto& loop_events = loop_rig.audit->events();
+  const auto& actor_events = actor_rig.audit->events();
+  ASSERT_EQ(actor_events.size(), loop_events.size());
+  for (std::size_t i = 0; i < loop_events.size(); ++i) {
+    EXPECT_EQ(actor_events[i].type, loop_events[i].type) << "event " << i;
+    EXPECT_EQ(actor_events[i].subject, loop_events[i].subject) << "event " << i;
+    EXPECT_EQ(actor_events[i].detail, loop_events[i].detail) << "event " << i;
+    EXPECT_EQ(actor_events[i].outcome_ok, loop_events[i].outcome_ok)
+        << "event " << i;
+  }
+}
+
+// ---- 3. The submission phase ----
+
+struct SubmissionRig {
+  crypto::DeterministicRandom auditor_rng{"actor-submit-auditor"};
+  crypto::DeterministicRandom operator_rng{"actor-submit-operator"};
+  crypto::DeterministicRandom owner_rng{"actor-submit-owner"};
+  resilience::SimClock clock{kT0};
+  net::MessageBus bus;
+  Auditor auditor{kTestKeyBits, auditor_rng};
+  ZoneOwner owner{kTestKeyBits, owner_rng};
+  tee::DroneTee tee{tee_config("actor-submit-device")};
+  DroneClient client{tee, kTestKeyBits, operator_rng};
+  Corridor corridor;
+
+  SubmissionRig() {
+    bus.set_clock(&clock);
+    auditor.bind(bus);
+    EXPECT_TRUE(client.register_with_auditor(bus));
+    for (const geo::Circle& z : corridor.local_zones) {
+      owner.register_zone(bus, {corridor.frame.to_geo(z.center), z.radius},
+                          "corridor zone");
+    }
+  }
+
+  // Scheduler-style driver: advance the shared clock to the actor's next
+  // wakeup, run the slice, flush its sends at that instant.
+  void drive(FlightActor& actor) {
+    while (!actor.done()) {
+      const double t = actor.next_wakeup();
+      if (t > clock.now()) clock.advance(t - clock.now());
+      actor.step();
+      actor.flush(bus);
+    }
+  }
+};
+
+TEST(FlightActor, SubmissionDeliversVerdictOverBus) {
+  SubmissionRig rig;
+  gps::GpsReceiverSim receiver = make_receiver(rig.corridor);
+  AdaptiveSampler policy(rig.corridor.frame, rig.corridor.local_zones,
+                         geo::kFaaMaxSpeedMps, kRateHz);
+  FlightActor actor(rig.tee, receiver, policy, rig.corridor.flight_config());
+  FlightActor::Submission submission;
+  submission.drone_id = rig.client.id();
+  actor.set_submission(std::move(submission));
+  rig.drive(actor);
+
+  ASSERT_TRUE(actor.submission_verdict().has_value());
+  EXPECT_TRUE(actor.submission_verdict()->accepted)
+      << actor.submission_verdict()->detail;
+  EXPECT_TRUE(actor.submission_verdict()->compliant);
+  EXPECT_EQ(actor.submission_attempts(), 1u);
+}
+
+TEST(FlightActor, SubmissionMutateHookAppliesAttack) {
+  SubmissionRig rig;
+  gps::GpsReceiverSim receiver = make_receiver(rig.corridor);
+  AdaptiveSampler policy(rig.corridor.frame, rig.corridor.local_zones,
+                         geo::kFaaMaxSpeedMps, kRateHz);
+  FlightActor actor(rig.tee, receiver, policy, rig.corridor.flight_config());
+  FlightActor::Submission submission;
+  submission.drone_id = rig.client.id();
+  submission.mutate = [](ProofOfAlibi poa) {
+    return attacks::thinning_abuse(poa, 2);
+  };
+  actor.set_submission(std::move(submission));
+  rig.drive(actor);
+
+  ASSERT_TRUE(actor.submission_verdict().has_value());
+  EXPECT_TRUE(actor.submission_verdict()->accepted);    // signatures intact
+  EXPECT_FALSE(actor.submission_verdict()->compliant);  // the gap convicts
+}
+
+TEST(FlightActor, SubmissionRetriesThroughOutageWindow) {
+  SubmissionRig rig;
+  // The submit endpoint is dark until one second past the flight's end;
+  // a 2 s fixed backoff guarantees attempt 2 lands after the outage.
+  net::FaultWindow outage;
+  outage.endpoint = "auditor.submit_poa";
+  outage.start = 0.0;
+  outage.end = rig.corridor.route().end_time() + 1.0;
+  net::MessageBus::FaultConfig faults;
+  faults.schedule = {outage};
+  rig.bus.set_faults(faults);
+
+  gps::GpsReceiverSim receiver = make_receiver(rig.corridor);
+  AdaptiveSampler policy(rig.corridor.frame, rig.corridor.local_zones,
+                         geo::kFaaMaxSpeedMps, kRateHz);
+  FlightActor actor(rig.tee, receiver, policy, rig.corridor.flight_config());
+  FlightActor::Submission submission;
+  submission.drone_id = rig.client.id();
+  submission.retry.max_attempts = 4;
+  submission.retry.initial_backoff_s = 2.0;
+  submission.retry.backoff_multiplier = 1.0;
+  submission.retry.max_backoff_s = 2.0;
+  submission.retry.jitter_fraction = 0.0;
+  actor.set_submission(std::move(submission));
+  rig.drive(actor);
+
+  ASSERT_TRUE(actor.submission_verdict().has_value());
+  EXPECT_TRUE(actor.submission_verdict()->accepted);
+  EXPECT_EQ(actor.submission_attempts(), 2u);
+}
+
+TEST(FlightActor, SubmissionExhaustsRetriesUnderTotalOutage) {
+  SubmissionRig rig;
+  net::FaultWindow outage;
+  outage.endpoint = "auditor.submit_poa";
+  outage.start = 0.0;
+  outage.end = 1e18;
+  net::MessageBus::FaultConfig faults;
+  faults.schedule = {outage};
+  rig.bus.set_faults(faults);
+
+  gps::GpsReceiverSim receiver = make_receiver(rig.corridor);
+  AdaptiveSampler policy(rig.corridor.frame, rig.corridor.local_zones,
+                         geo::kFaaMaxSpeedMps, kRateHz);
+  FlightActor actor(rig.tee, receiver, policy, rig.corridor.flight_config());
+  FlightActor::Submission submission;
+  submission.drone_id = rig.client.id();
+  submission.retry.max_attempts = 3;
+  submission.retry.jitter_fraction = 0.0;
+  actor.set_submission(std::move(submission));
+  rig.drive(actor);
+
+  EXPECT_FALSE(actor.submission_verdict().has_value());
+  EXPECT_EQ(actor.submission_attempts(), 3u);
+}
+
+}  // namespace
+}  // namespace alidrone::core

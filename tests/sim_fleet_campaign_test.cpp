@@ -1,0 +1,133 @@
+// FleetScheduler + adversarial campaign (labelled `fleet tsan`).
+//
+// The determinism contract: a campaign is a pure function of its seed.
+// Worker count, Auditor shard count and ingest verify threads change
+// only wall-clock behaviour — the canonical fingerprint (per-flight
+// verdicts, ingest counters, audit-event count, ledger root) must be
+// byte-identical across every configuration. Plus the detector-quality
+// shape the paper's threat model demands: no honest false positives and
+// every attack class flagged.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/campaign.h"
+
+namespace alidrone::sim {
+namespace {
+
+CampaignConfig small_campaign(std::uint64_t seed) {
+  CampaignConfig config;
+  config.flights = 18;  // 3 route families x 6 stagger slots
+  config.seed = seed;
+  config.adversary_fraction = 0.5;  // all six attack classes present
+  return config;
+}
+
+TEST(FleetCampaign, FingerprintInvariantAcrossWorkersAndShards) {
+  const CampaignConfig base = small_campaign(42);
+
+  CampaignConfig reference_config = base;
+  reference_config.scheduler_workers = 1;
+  reference_config.auditor_shards = 1;
+  const CampaignReport reference = run_campaign(reference_config);
+  const std::string want = reference.fingerprint();
+  ASSERT_FALSE(want.empty());
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+      if (workers == 1 && shards == 1) continue;
+      CampaignConfig config = base;
+      config.scheduler_workers = workers;
+      config.auditor_shards = shards;
+      config.ingest_verify_threads = workers > 1 ? 2 : 0;
+      const CampaignReport report = run_campaign(config);
+      EXPECT_EQ(report.fingerprint(), want)
+          << "workers=" << workers << " shards=" << shards;
+    }
+  }
+}
+
+TEST(FleetCampaign, DifferentSeedsDiverge) {
+  const CampaignReport a = run_campaign(small_campaign(42));
+  const CampaignReport b = run_campaign(small_campaign(43));
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.ledger_root_hex, b.ledger_root_hex);
+}
+
+TEST(FleetCampaign, PerClassVerdictsMatchThreatModel) {
+  const CampaignReport report = run_campaign(small_campaign(42));
+  ASSERT_EQ(report.outcomes.size(), 18u);
+
+  std::set<AttackClass> seen;
+  for (const FlightOutcome& outcome : report.outcomes) {
+    seen.insert(outcome.attack);
+    switch (outcome.attack) {
+      case AttackClass::kHonest:
+        ASSERT_TRUE(outcome.verdict.has_value()) << outcome.drone_id;
+        EXPECT_TRUE(outcome.verdict->accepted)
+            << outcome.drone_id << ": " << outcome.verdict->detail;
+        EXPECT_TRUE(outcome.verdict->compliant)
+            << outcome.drone_id << ": " << outcome.verdict->detail;
+        break;
+      case AttackClass::kChainForge:
+      case AttackClass::kReplay:
+      case AttackClass::kTamper:
+        // Cryptographic rejects: the Auditor refuses the proof outright.
+        ASSERT_TRUE(outcome.verdict.has_value()) << outcome.drone_id;
+        EXPECT_FALSE(outcome.verdict->accepted) << outcome.drone_id;
+        break;
+      case AttackClass::kDropWindow:
+      case AttackClass::kThinningAbuse:
+        // Geometric rejects: valid signatures, insufficient alibi.
+        ASSERT_TRUE(outcome.verdict.has_value()) << outcome.drone_id;
+        EXPECT_TRUE(outcome.verdict->accepted)
+            << outcome.drone_id << ": " << outcome.verdict->detail;
+        EXPECT_FALSE(outcome.verdict->compliant) << outcome.drone_id;
+        break;
+      case AttackClass::kNavDeviation:
+        // The PoA itself documents the zone entry.
+        ASSERT_TRUE(outcome.verdict.has_value()) << outcome.drone_id;
+        EXPECT_TRUE(outcome.verdict->accepted) << outcome.drone_id;
+        EXPECT_FALSE(outcome.verdict->compliant) << outcome.drone_id;
+        EXPECT_GT(outcome.verdict->violation_count, 0u) << outcome.drone_id;
+        break;
+    }
+  }
+  EXPECT_EQ(seen.size(), kAttackClassCount);  // every class exercised
+
+  for (std::size_t c = 0; c < kAttackClassCount; ++c) {
+    const ClassMetrics& m = report.per_class[c];
+    EXPECT_EQ(m.precision, 1.0) << attack_class_name(AttackClass(c));
+    EXPECT_EQ(m.recall, 1.0) << attack_class_name(AttackClass(c));
+  }
+}
+
+TEST(FleetCampaign, IngestAndLedgerAccounting) {
+  CampaignConfig config = small_campaign(7);
+  config.scheduler_workers = 4;
+  config.auditor_shards = 8;
+  config.ingest_verify_threads = 2;
+  const CampaignReport report = run_campaign(config);
+
+  // Every flight's submission eventually committed (retries included in
+  // submitted, each flight admitted exactly once).
+  EXPECT_GE(report.ingest.submitted, report.outcomes.size());
+  EXPECT_EQ(report.ingest.committed, report.outcomes.size());
+  EXPECT_EQ(report.ingest.malformed, 0u);
+
+  // Ledger anchors registrations, zone grants and verdicts; it can never
+  // be empty and its root rides in the fingerprint.
+  EXPECT_GT(report.ledger_entries, 0u);
+  EXPECT_EQ(report.ledger_root_hex.size(), 64u);  // SHA-256 hex
+  EXPECT_GT(report.audit_events, 0u);
+
+  // The scheduler actually interleaved: staggered takeoff groups force
+  // multi-actor batches.
+  EXPECT_GT(report.scheduler.max_batch, 1u);
+  EXPECT_GT(report.scheduler.steps, report.outcomes.size());
+}
+
+}  // namespace
+}  // namespace alidrone::sim
